@@ -1,0 +1,56 @@
+// Ablation A1 — the paper's Sec. IV-B claim: ERR(d) = n^2 - d^2 improves
+// computation time by ~17% over the basic ERR(d) = 1.
+#include <cstdio>
+
+#include "analysis/summary.hpp"
+#include "common.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags("bench_ablation_err — ERR(d)=n^2-d^2 vs ERR(d)=1 (paper: ~17% faster).");
+  flags.add_bool("full", false, "sizes 15..17, more reps");
+  flags.add_int("reps", 0, "override repetitions");
+  flags.add_int("seed", 4242, "master seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Ablation — error function ERR(d) (paper Sec. IV-B, ~17% claim)");
+
+  std::vector<std::pair<int, int>> plan =
+      flags.get_bool("full") ? std::vector<std::pair<int, int>>{{15, 50}, {16, 50}, {17, 30}}
+                             : std::vector<std::pair<int, int>>{{13, 120}, {14, 80}, {15, 40}};
+  if (flags.get_int("reps") > 0)
+    for (auto& p : plan) p.second = static_cast<int>(flags.get_int("reps"));
+
+  util::Table table("mean over reps; time in seconds");
+  table.header({"Size", "reps", "ERR=1 time", "ERR=n2-d2 time", "gain", "ERR=1 iters",
+                "ERR=n2-d2 iters"});
+  const auto seed = static_cast<uint64_t>(flags.get_int("seed"));
+  double log_ratio_sum = 0;
+  for (const auto& [n, reps] : plan) {
+    costas::CostasOptions unit_opts;
+    unit_opts.err = costas::ErrFunction::kUnit;
+    const auto unit = run_sequential_batch(n, reps, seed, unit_opts);
+    const auto quad = run_sequential_batch(n, reps, seed, {});
+    const auto ut = analysis::summarize(times_of(unit));
+    const auto qt = analysis::summarize(times_of(quad));
+    const auto ui = analysis::summarize(iterations_of(unit));
+    const auto qi = analysis::summarize(iterations_of(quad));
+    log_ratio_sum += std::log(ut.mean / qt.mean);
+    table.row({util::strf("%d", n), util::strf("%d", reps), util::strf("%.3f", ut.mean),
+               util::strf("%.3f", qt.mean),
+               util::strf("%+.0f%%", 100 * (ut.mean - qt.mean) / ut.mean),
+               util::with_commas(static_cast<long long>(ui.mean)),
+               util::with_commas(static_cast<long long>(qi.mean))});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  const double gmean_ratio = std::exp(log_ratio_sum / static_cast<double>(plan.size()));
+  std::printf("Geometric-mean gain from the quadratic ERR across sizes: %.0f%%\n"
+              "(paper claims ~17%%; run-time variance is exponential, so per-size\n"
+              "entries fluctuate — raise --reps to tighten).\n",
+              100 * (1.0 - 1.0 / gmean_ratio));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A9 — homogeneous multi-walk (the paper's choice) vs an
+// algorithm portfolio over the same cores.
+//
+// The paper parallelizes by running IDENTICAL Adaptive Search engines with
+// different seeds. A mixed portfolio (AS + Tabu + Dialectic + SA racing on
+// the same instance) is the classical alternative; it wins when no single
+// method dominates. On the CAP, AS dominates every baseline (Table II and
+// the baseline gallery), so the portfolio should lose exactly the fraction
+// of cores it spends on non-AS members — measured here as the mean
+// first-win time over many runs on the same hardware.
+#include <cstdio>
+
+#include "common.hpp"
+#include "par/portfolio.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+namespace {
+
+double mean_time(int n, const std::vector<par::EngineKind>& assignment, int reps,
+                 uint64_t seed) {
+  par::PortfolioConfig cfg;
+  cfg.as = costas::recommended_config(n);
+  double total = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto result = par::run_portfolio<costas::CostasProblem>(
+        n, assignment, cfg, seed + static_cast<uint64_t>(997 * r));
+    total += result.wall_seconds;
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "bench_ablation_portfolio — homogeneous AS multi-walk vs mixed algorithm "
+      "portfolios on the same cores.");
+  flags.add_bool("full", false, "n = 15 and more reps");
+  flags.add_int("reps", 0, "override repetitions");
+  flags.add_int("walkers", 4, "cores per run");
+  flags.add_int("seed", 2718, "master seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Ablation — homogeneous multi-walk vs algorithm portfolio (Sec. V design)");
+
+  const bool full = flags.get_bool("full");
+  const int n = full ? 15 : 13;
+  int reps = full ? 30 : 15;
+  if (flags.get_int("reps") > 0) reps = static_cast<int>(flags.get_int("reps"));
+  const int walkers = static_cast<int>(flags.get_int("walkers"));
+  const auto seed = static_cast<uint64_t>(flags.get_int("seed"));
+
+  using K = par::EngineKind;
+  struct Row {
+    const char* name;
+    std::vector<K> kinds;
+  };
+  const std::vector<Row> plans{
+      {"pure AS (the paper)", {K::kAdaptiveSearch}},
+      {"AS + Tabu", {K::kAdaptiveSearch, K::kTabuSearch}},
+      {"AS + DS + TS + SA", {K::kAdaptiveSearch, K::kDialecticSearch, K::kTabuSearch,
+                             K::kSimulatedAnnealing}},
+      {"no AS (TS + DS + SA)", {K::kTabuSearch, K::kDialecticSearch,
+                                K::kSimulatedAnnealing}},
+  };
+
+  std::printf("CAP %d, %d walkers, %d runs per row\n\n", n, walkers, reps);
+  util::Table table("mean wall-clock of the first winner");
+  table.header({"portfolio", "mean time (s)", "vs pure AS"});
+  double base = 0;
+  for (const auto& row : plans) {
+    const double t =
+        mean_time(n, par::round_robin(row.kinds, walkers), reps, seed);
+    if (base == 0) base = t;
+    table.row({row.name, util::strf("%.4f", t), util::strf("%.2fx", t / base)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "Shape check: pure AS should be the fastest row — on the CAP no other\n"
+      "engine ever wins the race, so cores given to them are wasted. This is\n"
+      "the measured justification for the paper's homogeneous design; on\n"
+      "problems without a dominant engine the portfolio row would win.\n");
+  return 0;
+}

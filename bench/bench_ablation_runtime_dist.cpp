@@ -1,0 +1,93 @@
+// Ablation A8 — is the run-time distribution really (shifted) exponential?
+//
+// The paper's Fig. 4 asserts the CAP run-time CDF is well approximated by
+// 1 - e^{-(x-mu)/lambda} and leans on Verhoeven & Aarts to explain the
+// observed linear speedups. Here the claim is tested instead of assumed:
+// real CAP run-length banks are fitted with the shifted exponential AND
+// its two classic competitors (Weibull, lognormal), ranked by AIC/BIC/KS;
+// then the fitted shifted exponential is turned into the *predicted*
+// speedup curve and compared against the distribution-free min-of-k
+// prediction — quantifying how far the "nearly linear" regime extends.
+#include <cstdio>
+
+#include "analysis/distribution_fit.hpp"
+#include "analysis/speedup_predictor.hpp"
+#include "common.hpp"
+#include "parallel_table.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "bench_ablation_runtime_dist — model selection on CAP run-length banks and the "
+      "speedup prediction the fit implies.");
+  flags.add_bool("full", false, "larger sizes and banks");
+  flags.add_int("samples", 0, "override bank size");
+  flags.add_int("seed", 20120521, "bank master seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Ablation — run-time distribution model selection (paper Fig. 4 premise)");
+
+  const bool full = flags.get_bool("full");
+  const std::vector<int> sizes = full ? std::vector<int>{16, 17, 18} : std::vector<int>{14, 15, 16};
+  int samples = full ? 200 : 60;
+  if (flags.get_int("samples") > 0) samples = static_cast<int>(flags.get_int("samples"));
+
+  ParallelBenchPlan plan;
+  plan.bank_samples = samples;
+  plan.seed = static_cast<uint64_t>(flags.get_int("seed"));
+
+  for (int n : sizes) {
+    const auto bank = get_bank(n, plan);
+    const auto& xs = bank.iterations;
+
+    std::printf("\nCAP %d — %zu sequential runs (iterations as the time unit)\n", n, xs.size());
+    util::Table table("models ranked by AIC (best first)");
+    table.header({"model", "AIC", "BIC", "KS", "fitted mean", "sample mean"});
+    const auto fits = analysis::compare_models(xs);
+    const double sample_mean = analysis::Ecdf(xs).mean();
+    for (const auto& f : fits) {
+      table.row({f.name, util::strf("%.1f", f.aic), util::strf("%.1f", f.bic),
+                 util::strf("%.3f", f.ks), util::with_commas(static_cast<long long>(f.mean)),
+                 util::with_commas(static_cast<long long>(sample_mean))});
+    }
+    std::printf("%s\n", table.to_text().c_str());
+
+    const auto se = analysis::fit_shifted_exponential(xs);
+    std::printf("shifted-exponential fit: mu = %s iters, lambda = %s iters "
+                "(mu/lambda = %.4f)\n",
+                util::with_commas(static_cast<long long>(se.mu)).c_str(),
+                util::with_commas(static_cast<long long>(se.lambda)).c_str(),
+                se.mu / se.lambda);
+    const double knee = analysis::efficiency_knee(se);
+    if (std::isinf(knee)) {
+      std::printf("predicted 50%%-efficiency knee: none (pure exponential regime)\n");
+    } else {
+      std::printf("predicted 50%%-efficiency knee: ~%s cores\n",
+                  util::with_commas(static_cast<long long>(knee)).c_str());
+    }
+
+    const std::vector<int> cores{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 8192};
+    const analysis::Ecdf ecdf(xs);
+    util::Table sp("speedup predicted from the fit vs distribution-free min-of-k");
+    sp.header({"cores", "parametric speedup", "efficiency", "empirical speedup"});
+    for (int k : cores) {
+      const auto par = analysis::predict_speedup(se, k);
+      const auto emp = analysis::predict_speedup_empirical(ecdf, k);
+      sp.row({util::strf("%d", k), util::strf("%.1f", par.speedup),
+              util::strf("%.2f", par.efficiency), util::strf("%.1f", emp.speedup)});
+    }
+    std::printf("%s\n", sp.to_text().c_str());
+  }
+
+  std::printf(
+      "Shape check: the shifted exponential should win or tie the AIC ranking\n"
+      "(the paper's Fig. 4 premise), mu/lambda should be small (near-linear\n"
+      "regime), and the parametric curve should track the empirical one until\n"
+      "k approaches the bank size, where the empirical estimate pins at the\n"
+      "observed minimum.\n");
+  return 0;
+}

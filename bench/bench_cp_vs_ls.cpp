@@ -1,0 +1,113 @@
+// Experiment (paper Sec. IV-C, closing paragraph): complete
+// propagation-based solving vs local search on CAP. The paper measured a
+// Comet CP program (Laurent Michel's, from Barry O'Sullivan's MiniZinc
+// model) at ~400x slower than Adaptive Search on CAP19, concluding CAP "is
+// clearly too difficult for propagation-based solvers".
+//
+// Here the complete solver is our CpSolver (DFS + forward checking over the
+// same difference-triangle model); the comparison is time-to-first-solution
+// against sequential Adaptive Search, plus the naive no-propagation
+// backtracker as a second reference point. The shape to reproduce: the
+// CP/AS ratio explodes with n.
+#include <cstdio>
+
+#include "analysis/summary.hpp"
+#include "common.hpp"
+#include "core/simulated_annealing.hpp"
+#include "costas/cp_solver.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "bench_cp_vs_ls — complete CP search vs Adaptive Search (paper Sec. IV-C: "
+      "CP ~400x slower at n=19).");
+  flags.add_bool("full", false, "larger sizes (CP time grows exponentially!)");
+  flags.add_int("reps", 10, "AS repetitions per size (CP is deterministic)");
+  flags.add_int("seed", 1912, "master seed for the AS runs");
+  flags.add_double("cp-time-limit", 120.0, "per-size CP time limit in seconds");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Complete CP search vs local search (paper Sec. IV-C closing comparison)");
+
+  const std::vector<int> sizes =
+      flags.get_bool("full") ? std::vector<int>{14, 15, 16, 17, 18, 19}
+                             : std::vector<int>{12, 13, 14, 15, 16, 17};
+  const int reps = static_cast<int>(flags.get_int("reps"));
+  const auto seed = static_cast<uint64_t>(flags.get_int("seed"));
+  const double cp_limit = flags.get_double("cp-time-limit");
+
+  util::Table table(
+      "time to FIRST solution (s); CP is deterministic, AS/SA averaged over reps");
+  table.header({"Size", "CP (FC)", "CP nodes", "CP (no-prop)", "AS avg", "SA avg", "CP/AS"});
+  for (int n : sizes) {
+    costas::CpOptions fc_opts;
+    fc_opts.time_limit_seconds = cp_limit;
+    fc_opts.solution_limit = 1;
+    costas::CpSolver fc(n, fc_opts);
+    const auto fc_stats = fc.solve([](std::span<const int>) { return false; });
+    const double t0 =
+        fc_stats.status == costas::CpStatus::kTimeLimit ? -1.0 : fc_stats.wall_seconds;
+
+    costas::CpOptions noprop = fc_opts;
+    noprop.forward_check = false;
+    noprop.time_limit_seconds = std::min(cp_limit, 30.0);
+    costas::CpSolver plain(n, noprop);
+    const auto plain_stats = plain.solve([](std::span<const int>) { return false; });
+    const double plain_time =
+        plain_stats.status == costas::CpStatus::kTimeLimit ? -1.0 : plain_stats.wall_seconds;
+
+    const auto as_runs = run_sequential_batch(n, reps, seed);
+    const auto as = analysis::summarize(times_of(as_runs));
+
+    // Simulated annealing baseline over the same repetitions. SA is far
+    // weaker than AS on CAP, so each run carries a proposal budget; capped
+    // runs count at their cap and flag the cell.
+    std::vector<double> sa_times;
+    int sa_unsolved = 0;
+    {
+      const int sa_reps = std::min(reps, 6);
+      par::ThreadPool pool(0);
+      std::vector<std::future<std::pair<double, bool>>> futs;
+      for (int r = 0; r < sa_reps; ++r) {
+        futs.push_back(pool.submit([n, seed, r] {
+          costas::CostasProblem p(n);
+          core::SaConfig cfg;
+          cfg.seed = seed + 31 + static_cast<uint64_t>(r);
+          cfg.max_iterations = 5000000;  // ~seconds of proposals per run
+          core::SimulatedAnnealing<costas::CostasProblem> sa(p, cfg);
+          const auto st = sa.solve();
+          return std::make_pair(st.wall_seconds, st.solved);
+        }));
+      }
+      for (auto& f : futs) {
+        const auto [secs, solved] = f.get();
+        sa_times.push_back(secs);
+        sa_unsolved += !solved;
+      }
+    }
+    const auto sa = analysis::summarize(sa_times);
+    const std::string sa_cell =
+        util::strf("%.3f%s", sa.mean, sa_unsolved > 0 ? "*" : "");
+
+    table.row({util::strf("%d", n), t0 < 0 ? ">limit" : util::strf("%.3f", t0),
+               util::with_commas(static_cast<long long>(fc_stats.nodes)),
+               plain_time < 0 ? ">limit" : util::strf("%.3f", plain_time),
+               util::strf("%.3f", as.mean), sa_cell,
+               t0 < 0 ? "inf" : util::strf("%.1f", t0 / as.mean)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "Shape check: the CP/AS ratio grows rapidly with n (the paper measured\n"
+      "~400x at n=19 against Comet; --full shows our CP blowing its budget at\n"
+      "n=19 too). First-solution CP times benefit from the lexicographic order\n"
+      "finding 'easy' arrays early at small n; the exponential node growth\n"
+      "(~10x per size step) still dominates as n rises — propagation alone\n"
+      "cannot tame the bi-dimensional alldifferent structure (Sec. I).\n"
+      "('*' on an SA cell: some runs hit the proposal budget unsolved; capped\n"
+      "times understate SA's true cost.)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Experiment E6 — Figure 2 of the paper: speed-ups for CAP 22 w.r.t. 32
+// cores on HA8000 and GRID'5000, log-log scale.
+//
+// The measured series comes from the cluster simulator over a real
+// run-length bank (largest default size; --full uses bigger instances);
+// the paper's own CAP 22 numbers are plotted alongside, together with the
+// ideal-speedup diagonal.
+#include <cstdio>
+#include <map>
+
+#include "analysis/speedup.hpp"
+#include "common.hpp"
+#include "parallel_table.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/flags.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+namespace {
+
+std::map<int, double> simulated_avg_times(const sim::SampleBank& bank,
+                                          const sim::Platform& platform,
+                                          const std::vector<int>& cores, int runs,
+                                          uint64_t seed) {
+  std::map<int, double> out;
+  sim::SimOptions sopts;
+  sopts.runs = runs;
+  sopts.seed = seed;
+  for (int k : cores) out[k] = sim::simulate_cell(bank, platform, k, sopts).seconds.mean;
+  return out;
+}
+
+util::Series to_series(const std::string& name, char glyph,
+                       const std::map<int, double>& time_by_cores) {
+  const auto pts = analysis::speedup_series(time_by_cores);
+  util::Series s;
+  s.name = name;
+  s.glyph = glyph;
+  s.connect = true;
+  for (const auto& p : pts) {
+    s.x.push_back(p.cores);
+    s.y.push_back(p.speedup);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "bench_fig2_speedup_cap22 — reproduce Figure 2 (CAP 22 speed-ups w.r.t. 32 cores).");
+  flags.add_bool("full", false, "use an n=19 bank (closer to CAP22 behaviour; longer)");
+  flags.add_int("samples", 0, "override bank samples");
+  flags.add_int("runs", 200, "simulated executions per point");
+  flags.add_int("seed", 20120521, "master seed (shares bank caches)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Figure 2 — speed-ups (HA8000 / GRID'5000) w.r.t. 32 cores, log-log");
+
+  ParallelBenchPlan plan;
+  plan.seed = static_cast<uint64_t>(flags.get_int("seed"));
+  plan.bank_samples = flags.get_bool("full") ? 100 : 48;
+  if (flags.get_int("samples") > 0)
+    plan.bank_samples = static_cast<int>(flags.get_int("samples"));
+  const int n = flags.get_bool("full") ? 19 : 17;
+  const auto bank = get_bank(n, plan);
+
+  const std::vector<int> cores{32, 64, 128, 256};
+  const auto runs = static_cast<int>(flags.get_int("runs"));
+  const auto t_ha = simulated_avg_times(bank, sim::ha8000(), cores, runs, plan.seed);
+  const auto t_suno = simulated_avg_times(bank, sim::grid5000_suno(), cores, runs, plan.seed + 1);
+  const auto t_helios =
+      simulated_avg_times(bank, sim::grid5000_helios(), cores, runs, plan.seed + 2);
+
+  // Paper's CAP 22 averages.
+  std::map<int, double> paper_ha, paper_suno;
+  for (const auto& [k, cell] : paper_table3_ha8000().at(22)) paper_ha[k] = cell.avg;
+  for (const auto& [k, cell] : paper_table5_suno().at(22)) paper_suno[k] = cell.avg;
+
+  std::map<int, double> ideal;
+  for (int k : cores) ideal[k] = 32.0 / k;  // time halves per doubling
+
+  std::vector<util::Series> series{
+      to_series(util::strf("sim HA8000 (CAP %d bank)", n), 'H', t_ha),
+      to_series(util::strf("sim Suno (CAP %d bank)", n), 'S', t_suno),
+      to_series(util::strf("sim Helios (CAP %d bank)", n), 'E', t_helios),
+      to_series("paper HA8000 (CAP 22)", 'h', paper_ha),
+      to_series("paper Suno (CAP 22)", 's', paper_suno),
+      to_series("ideal (linear)", 'i', ideal),
+  };
+  util::PlotOptions opt;
+  opt.title = "Speed-up w.r.t. 32 cores (log-log)";
+  opt.log_x = true;
+  opt.log_y = true;
+  opt.x_label = "cores";
+  opt.y_label = "speed-up";
+  opt.width = 70;
+  opt.height = 22;
+  std::printf("%s\n", util::ascii_plot(series, opt).c_str());
+
+  util::Table table("Speed-up values w.r.t. 32 cores");
+  table.header({"cores", "sim HA8000", "sim Suno", "sim Helios", "paper HA8000",
+                "paper Suno", "ideal"});
+  for (int k : cores) {
+    table.row({util::strf("%d", k), util::strf("%.2f", t_ha.at(32) / t_ha.at(k)),
+               util::strf("%.2f", t_suno.at(32) / t_suno.at(k)),
+               util::strf("%.2f", t_helios.at(32) / t_helios.at(k)),
+               util::strf("%.2f", paper_ha.at(32) / paper_ha.at(k)),
+               util::strf("%.2f", paper_suno.at(32) / paper_suno.at(k)),
+               util::strf("%.2f", static_cast<double>(k) / 32)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("Shape check: all series hug the ideal diagonal — execution times are\n"
+              "halved when the number of cores is doubled (paper Sec. V-B).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Experiment E8 — Figure 4 of the paper: time-to-target plots for CAP 21
+// over 32, 64, 128 and 256 cores (200 runs per core count), with
+// shifted-exponential fits.
+//
+// This is the experiment that JUSTIFIES the whole parallel scheme: if the
+// run-time distribution is (shifted) exponential, independent multi-walk
+// gives linear speed-up (Verhoeven & Aarts). We therefore also print the
+// KS distance and p-value of each fit — the quantified version of the
+// paper's "actual runtime distributions are very close to exponential
+// distributions".
+#include <cstdio>
+
+#include "analysis/ttt.hpp"
+#include "common.hpp"
+#include "parallel_table.hpp"
+#include "sim/cluster_sim.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags("bench_fig4_ttt — reproduce Figure 4 (time-to-target plots).");
+  flags.add_bool("full", false, "use an n=19 bank (longer collection)");
+  flags.add_int("samples", 0, "override bank samples");
+  flags.add_int("runs", 200, "runs per core count (paper: 200)");
+  flags.add_int("seed", 20120521, "master seed (shares bank caches)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Figure 4 — time-to-target plots with shifted-exponential fits");
+
+  ParallelBenchPlan plan;
+  plan.seed = static_cast<uint64_t>(flags.get_int("seed"));
+  plan.bank_samples = flags.get_bool("full") ? 100 : 48;
+  if (flags.get_int("samples") > 0)
+    plan.bank_samples = static_cast<int>(flags.get_int("samples"));
+  const int n = flags.get_bool("full") ? 19 : 17;
+  const auto bank = get_bank(n, plan);
+
+  // First: the SEQUENTIAL run-length distribution itself (this is the raw
+  // exponentiality evidence; every multi-core curve follows from it).
+  {
+    std::vector<double> secs;
+    for (double it : bank.iterations) secs.push_back(sim::ha8000().seconds(it, bank.n));
+    const auto seq = analysis::make_ttt(util::strf("sequential (n=%d)", bank.n), secs);
+    std::printf("Sequential run-time distribution: shifted-exp fit mu=%.3g s, "
+                "lambda=%.3g s, KS=%.3f (p=%.3f)\n\n",
+                seq.fit.mu, seq.fit.lambda, seq.ks, seq.ks_p);
+  }
+
+  const int runs = static_cast<int>(flags.get_int("runs"));
+  std::vector<analysis::TttSeries> series;
+  util::Table table("Fit quality per core count");
+  table.header({"cores", "runs", "mu (s)", "lambda (s)", "KS", "KS p-value",
+                "P(solve <= t*)"});
+  // t*: fixed budget for the paper's visual read-off ("around 50% chance
+  // within 100 s on 32 cores, ~75/95/100% with 64/128/256"). We use the
+  // median of the 32-core series as the budget.
+  double budget = 0;
+  for (int cores : {32, 64, 128, 256}) {
+    sim::SimOptions sopts;
+    sopts.runs = runs;
+    sopts.seed = plan.seed + static_cast<uint64_t>(cores);
+    const auto times = sim::simulate_times(bank, sim::ha8000(), cores, sopts);
+    auto s = analysis::make_ttt(util::strf("%d cores", cores), times);
+    if (cores == 32) budget = analysis::quantile_sorted(s.times, 0.5);
+    table.row({util::strf("%d", cores), util::strf("%d", runs), util::strf("%.3g", s.fit.mu),
+               util::strf("%.3g", s.fit.lambda), util::strf("%.3f", s.ks),
+               util::strf("%.3f", s.ks_p),
+               util::strf("%.0f%%", 100 * analysis::success_probability_within(s, budget))});
+    series.push_back(std::move(s));
+  }
+
+  std::printf("%s\n", analysis::render_ttt_plot(series, 72, 22).c_str());
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("(t* = median time at 32 cores = %.3g s)\n\n", budget);
+  std::printf("Shape checks (paper Sec. V-B): every empirical CDF is well approximated\n"
+              "by a shifted exponential (small KS distance), and for a fixed budget the\n"
+              "success probability climbs toward 1 as cores double — the paper reads\n"
+              "~50%% / 75%% / 95%% / 100%% at 32/64/128/256 cores for CAP 21.\n");
+  return 0;
+}

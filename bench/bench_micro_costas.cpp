@@ -1,0 +1,120 @@
+// M1 — google-benchmark microbenchmarks for the Costas model kernels: the
+// costs that dominate the engine's iteration budget (move evaluation, swap
+// application, error projection, reset candidate evaluation). These back
+// the O(n^2)-per-iteration cost model used by the platform profiles.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "costas/checker.hpp"
+#include "costas/construction.hpp"
+#include "costas/enumerate.hpp"
+#include "costas/model.hpp"
+
+using namespace cas;
+
+namespace {
+
+void BM_CostIfSwap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(1);
+  p.randomize(rng);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % n;
+    const int b = (i * 7 + 1) % n;
+    if (a != b) benchmark::DoNotOptimize(p.cost_if_swap(a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CostIfSwap)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+void BM_ApplySwap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(2);
+  p.randomize(rng);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % n;
+    const int b = (i * 5 + 1) % n;
+    if (a != b) p.apply_swap(a, b);
+    benchmark::DoNotOptimize(p.cost());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ApplySwap)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_ComputeErrors(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(3);
+  p.randomize(rng);
+  std::vector<core::Cost> errs(static_cast<size_t>(n));
+  for (auto _ : state) {
+    p.compute_errors(errs);
+    benchmark::DoNotOptimize(errs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ComputeErrors)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_StatelessEvaluate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(4);
+  const auto perm = rng.permutation(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.evaluate(perm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatelessEvaluate)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_CustomReset(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(5);
+  p.randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.custom_reset(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CustomReset)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_FullRebuildViaSetPermutation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(6);
+  const auto perm = rng.permutation(n);
+  for (auto _ : state) {
+    p.set_permutation(perm);
+    benchmark::DoNotOptimize(p.cost());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullRebuildViaSetPermutation)->Arg(18);
+
+void BM_CheckerIsCostas(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto perm = costas::construct_any(n).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(costas::is_costas(perm));
+  }
+}
+BENCHMARK(BM_CheckerIsCostas)->Arg(16)->Arg(22);
+
+void BM_EnumerateCount(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(costas::count_costas(n));
+  }
+}
+BENCHMARK(BM_EnumerateCount)->Arg(7)->Arg(8)->Arg(9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// M2 — google-benchmark microbenchmarks for the engine layer and its
+// substrates: end-to-end iteration throughput (the quantity the platform
+// profiles convert to seconds), PRNG and seed-sequence speed, and the
+// algebraic constructions.
+#include <benchmark/benchmark.h>
+
+#include "core/adaptive_search.hpp"
+#include "core/chaotic_seed.hpp"
+#include "core/rng.hpp"
+#include "costas/construction.hpp"
+#include "costas/model.hpp"
+
+using namespace cas;
+
+namespace {
+
+void BM_EngineIterations(benchmark::State& state) {
+  // Measures sustained engine iterations/second on one CAP instance by
+  // running bounded chunks. Reported rate backs the cellops/s calibration.
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  auto cfg = costas::recommended_config(n, 42);
+  uint64_t seed = 0;
+  uint64_t total_iters = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    cfg.max_iterations = 20000;
+    core::AdaptiveSearch<costas::CostasProblem> engine(p, cfg);
+    const auto st = engine.solve();
+    total_iters += st.iterations;
+    benchmark::DoNotOptimize(st.iterations);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_iters));
+  state.counters["iters/s"] =
+      benchmark::Counter(static_cast<double>(total_iters), benchmark::Counter::kIsRate);
+  state.counters["cellops/s"] = benchmark::Counter(
+      static_cast<double>(total_iters) * n * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineIterations)->Arg(14)->Arg(17)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_SolveToCompletion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    costas::CostasProblem p(n);
+    core::AdaptiveSearch<costas::CostasProblem> engine(
+        p, costas::recommended_config(n, ++seed));
+    const auto st = engine.solve();
+    benchmark::DoNotOptimize(st.solved);
+  }
+}
+BENCHMARK(BM_SolveToCompletion)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_RngNext(benchmark::State& state) {
+  core::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  core::Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(19));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_RngShufflePermutation(benchmark::State& state) {
+  core::Rng rng(9);
+  std::vector<int> perm(20);
+  for (int i = 0; i < 20; ++i) perm[static_cast<size_t>(i)] = i + 1;
+  for (auto _ : state) {
+    rng.shuffle(perm);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngShufflePermutation);
+
+void BM_ChaoticSeedNext(benchmark::State& state) {
+  core::ChaoticSeedSequence seq(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChaoticSeedNext);
+
+void BM_WelchConstruction(benchmark::State& state) {
+  const uint64_t p = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(costas::welch(p));
+  }
+}
+BENCHMARK(BM_WelchConstruction)->Arg(23)->Arg(101);
+
+void BM_GolombConstruction(benchmark::State& state) {
+  const uint64_t q = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(costas::golomb(q));
+  }
+}
+BENCHMARK(BM_GolombConstruction)->Arg(32)->Arg(81);
+
+}  // namespace
+
+BENCHMARK_MAIN();

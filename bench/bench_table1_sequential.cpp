@@ -1,0 +1,134 @@
+// Experiment E1 — Table I of the paper: evaluation of the sequential
+// Adaptive Search implementation on CAP.
+//
+// For each instance size, run the solver `reps` times from random seeds and
+// report avg/min/max of execution time, iterations and local minima, plus
+// the avg/min ratio — the heavy-tail indicator that motivates the paper's
+// parallel scheme (Sec. IV-C).
+//
+// Defaults are laptop-scale (n = 14..17, fewer reps). `--full` switches to
+// the paper's protocol: n = 16..20, 100 runs each (hours of CPU time).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/summary.hpp"
+#include "common.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "bench_table1_sequential — reproduce Table I (sequential CAP evaluation).");
+  flags.add_bool("full", false, "paper-scale protocol: n=16..20, 100 reps (very long)");
+  flags.add_int("reps", 0, "override repetitions per size (0 = per-size default)");
+  flags.add_int("min-n", 0, "override smallest size");
+  flags.add_int("max-n", 0, "override largest size");
+  flags.add_int("seed", 20120516, "master seed");
+  flags.add_int("threads", 0, "collection threads (0 = hardware)");
+  flags.add_string("json", "", "also write results to this JSON file");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Table I — sequential Adaptive Search on CAP");
+
+  struct Row {
+    int n;
+    int reps;
+  };
+  std::vector<Row> plan;
+  if (flags.get_bool("full")) {
+    plan = {{16, 100}, {17, 100}, {18, 100}, {19, 100}, {20, 100}};
+  } else {
+    plan = {{14, 50}, {15, 50}, {16, 30}, {17, 12}};
+  }
+  if (flags.get_int("min-n") > 0 || flags.get_int("max-n") > 0) {
+    const int lo = flags.get_int("min-n") > 0 ? static_cast<int>(flags.get_int("min-n")) : 14;
+    const int hi = flags.get_int("max-n") > 0 ? static_cast<int>(flags.get_int("max-n")) : lo;
+    plan.clear();
+    for (int n = lo; n <= hi; ++n) plan.push_back({n, 20});
+  }
+  if (flags.get_int("reps") > 0) {
+    for (auto& row : plan) row.reps = static_cast<int>(flags.get_int("reps"));
+  }
+
+  util::Table table("Measured on this machine (seconds; iterations; local minima)");
+  table.header({"Size", "", "Time", "Iterations", "Local min", "ratio"});
+
+  util::Json doc;
+  doc["experiment"] = "table1-sequential";
+  doc["seed"] = static_cast<int64_t>(flags.get_int("seed"));
+  doc["rows"] = util::Json::array();
+
+  for (const auto& row : plan) {
+    const auto stats =
+        run_sequential_batch(row.n, row.reps, static_cast<uint64_t>(flags.get_int("seed")),
+                             {}, nullptr, static_cast<unsigned>(flags.get_int("threads")));
+    const auto t = analysis::summarize(times_of(stats));
+    const auto it = analysis::summarize(iterations_of(stats));
+    std::vector<double> lm;
+    for (const auto& s : stats) lm.push_back(static_cast<double>(s.local_minima));
+    const auto l = analysis::summarize(lm);
+    // The paper's "ratio" column: avg/min of time, or of iterations when
+    // the minimum time rounds to zero.
+    const double ratio = t.min > 0.005 ? t.mean / t.min : it.mean / std::max(it.min, 1.0);
+    table.row({util::strf("%d", row.n), "avg", util::strf("%.2f", t.mean),
+               util::with_commas(static_cast<long long>(it.mean)),
+               util::with_commas(static_cast<long long>(l.mean)), ""});
+    table.row({util::strf("(%d runs)", row.reps), "min", util::strf("%.2f", t.min),
+               util::with_commas(static_cast<long long>(it.min)),
+               util::with_commas(static_cast<long long>(l.min)),
+               util::strf("%.0f", ratio)});
+    table.row({"", "max", util::strf("%.2f", t.max),
+               util::with_commas(static_cast<long long>(it.max)),
+               util::with_commas(static_cast<long long>(l.max)), ""});
+    table.separator();
+
+    util::Json jrow;
+    jrow["n"] = row.n;
+    jrow["reps"] = row.reps;
+    jrow["time"] = util::Json::Object{
+        {"avg", t.mean}, {"min", t.min}, {"max", t.max}, {"median", t.median}};
+    jrow["iterations"] = util::Json::Object{
+        {"avg", it.mean}, {"min", it.min}, {"max", it.max}};
+    jrow["local_minima"] = util::Json::Object{
+        {"avg", l.mean}, {"min", l.min}, {"max", l.max}};
+    jrow["ratio"] = ratio;
+    doc["rows"].push_back(std::move(jrow));
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  if (!flags.get_string("json").empty()) {
+    std::ofstream out(flags.get_string("json"));
+    out << doc.dump(2) << '\n';
+    std::printf("(JSON results written to %s)\n\n", flags.get_string("json").c_str());
+  }
+
+  util::Table ref("Paper Table I (Xeon W5580 3.2 GHz, 100 runs)");
+  ref.header({"Size", "", "Time", "Iterations", "Local min", "ratio"});
+  for (const auto& r : paper_table1()) {
+    ref.row({util::strf("%d", r.n), "avg", util::strf("%.2f", r.avg_time),
+             util::with_commas(static_cast<long long>(r.avg_iters)),
+             util::with_commas(static_cast<long long>(r.avg_locmin)), ""});
+    ref.row({"", "min", util::strf("%.2f", r.min_time),
+             util::with_commas(static_cast<long long>(r.min_iters)),
+             util::with_commas(static_cast<long long>(r.min_locmin)),
+             util::strf("%d", r.ratio)});
+    ref.row({"", "max", util::strf("%.2f", r.max_time),
+             util::with_commas(static_cast<long long>(r.max_iters)),
+             util::with_commas(static_cast<long long>(r.max_locmin)), ""});
+    ref.separator();
+  }
+  std::printf("%s\n", ref.to_text().c_str());
+
+  std::printf("Shape checks (paper Sec. IV-C):\n");
+  std::printf("  * iterations grow ~an order of magnitude per size step for n >= 17;\n");
+  std::printf("  * local minima are ~half of iterations at every size;\n");
+  std::printf("  * the best run is 1-2 orders of magnitude faster than the average\n");
+  std::printf("    (the 'ratio' column) — the property that makes independent\n");
+  std::printf("    multi-walk parallelization pay off.\n");
+  return 0;
+}

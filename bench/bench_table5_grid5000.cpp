@@ -1,0 +1,64 @@
+// Experiment E5 — Table V of the paper: CAP execution times on the
+// GRID'5000 Sophia clusters (Suno: 1..256 cores, Helios: 1..128 cores).
+// Order-statistics substitution as in Table III, with the two GRID'5000
+// platform profiles calibrated from the paper's 1-core columns.
+#include <cstdio>
+
+#include "common.hpp"
+#include "parallel_table.hpp"
+#include "util/flags.hpp"
+
+using namespace cas;
+using namespace cas::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "bench_table5_grid5000 — reproduce Table V (GRID'5000 Suno and Helios).");
+  flags.add_bool("full", false, "paper sizes n=18..20 with 100-sample banks");
+  flags.add_int("samples", 0, "override bank samples per size");
+  flags.add_int("runs", 50, "simulated executions per cell (paper: 50)");
+  flags.add_int("seed", 20120521, "master seed (shares bank caches with table3/4)");
+  flags.add_bool("no-cache", false, "ignore bank caches");
+  if (!flags.parse(argc, argv)) return 0;
+
+  print_banner("Table V — execution times on GRID'5000 (simulated)");
+
+  ParallelBenchPlan plan;
+  plan.runs_per_cell = static_cast<int>(flags.get_int("runs"));
+  plan.seed = static_cast<uint64_t>(flags.get_int("seed"));
+  plan.use_cache = !flags.get_bool("no-cache");
+  if (flags.get_bool("full")) {
+    plan.sizes = {18, 19, 20};
+    plan.bank_samples = 100;
+  } else {
+    plan.sizes = {15, 16, 17};
+    plan.bank_samples = 48;
+  }
+  if (flags.get_int("samples") > 0)
+    plan.bank_samples = static_cast<int>(flags.get_int("samples"));
+
+  std::vector<sim::SampleBank> banks;
+  for (int n : plan.sizes) banks.push_back(get_bank(n, plan));
+  std::printf("\n");
+
+  plan.core_counts = {1, 32, 64, 128, 256};
+  print_simulated_table(
+      util::strf("Simulated times (s) on Suno [%s, %.1fM cellops/s]",
+                 sim::grid5000_suno().cpu.c_str(),
+                 sim::grid5000_suno().cellops_per_second / 1e6),
+      sim::grid5000_suno(), banks, plan);
+  print_paper_table("Paper Table V — Suno", paper_table5_suno(), plan.core_counts);
+
+  plan.core_counts = {1, 32, 64, 128};
+  print_simulated_table(
+      util::strf("Simulated times (s) on Helios [%s, %.1fM cellops/s]",
+                 sim::grid5000_helios().cpu.c_str(),
+                 sim::grid5000_helios().cellops_per_second / 1e6),
+      sim::grid5000_helios(), banks, plan);
+  print_paper_table("Paper Table V — Helios", paper_table5_helios(), plan.core_counts);
+
+  std::printf("Shape checks: same near-linear scaling as HA8000 (paper: speedups of\n"
+              "120-137 at 128 cores and 204-226 at 256 cores on Suno); Helios is the\n"
+              "slowest per-core platform of the three x86 testbeds.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// construction_atlas — the state of knowledge on Costas arrays, order by
+// order (paper Sec. II: enumerations to n = 29, algebraic constructions
+// for most but not all orders, and the famous open cases n = 32, 33).
+//
+// For every order up to --limit the atlas prints: the published total and
+// symmetry-class counts (cross-checked against this library's enumerator
+// for small n), which algebraic constructions cover the order, a sample
+// array when one can be built, and the existence status. The output makes
+// the paper's motivation visible at a glance: the count C(n) collapses
+// after its n = 16 peak while n! explodes, and the construction families
+// leave gaps (19, 31, then 32/33 ...) that only search can fill.
+//
+//   $ ./construction_atlas --limit 36
+#include <cstdio>
+
+#include "costas/checker.hpp"
+#include "costas/construction.hpp"
+#include "costas/database.hpp"
+#include "costas/enumerate.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace cas;
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "construction_atlas — per-order status of the Costas array problem:\n"
+      "published counts, construction coverage, open cases.");
+  flags.add_int("limit", 36, "largest order to report");
+  flags.add_int("verify", 8, "cross-check counts against the enumerator up to this order");
+  if (!flags.parse(argc, argv)) return 0;
+  const int limit = static_cast<int>(flags.get_int("limit"));
+  const int verify = static_cast<int>(flags.get_int("verify"));
+
+  util::Table table("published enumeration counts; '-' = beyond the enumerated range");
+  table.header({"n", "C(n)", "classes", "density", "constructions", "status"});
+  for (int n = 1; n <= limit; ++n) {
+    const auto count = costas::known_costas_count(n);
+    const auto classes = costas::known_class_count(n);
+    const auto density = costas::known_density(n);
+    const auto methods = costas::available_constructions(n);
+    const char* status = "";
+    switch (costas::existence_status(n)) {
+      case costas::ExistenceStatus::kEnumerated: status = "enumerated"; break;
+      case costas::ExistenceStatus::kConstructible: status = "constructible"; break;
+      case costas::ExistenceStatus::kUnknown:
+        status = (n == 32 || n == 33) ? "OPEN PROBLEM" : "no construction here";
+        break;
+    }
+    table.row({util::strf("%d", n),
+               count ? util::with_commas(static_cast<long long>(*count)) : "-",
+               classes ? util::with_commas(static_cast<long long>(*classes)) : "-",
+               density ? util::strf("%.1e", *density) : "-",
+               methods.empty() ? "(none)" : util::strf("%zu known", methods.size()), status});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  // Cross-check the database against this library's own enumerator.
+  std::printf("enumerator cross-check (n <= %d):\n", verify);
+  for (int n = 1; n <= verify; ++n) {
+    const auto arrays = costas::all_costas(n);
+    const bool ok =
+        static_cast<int64_t>(arrays.size()) == costas::known_costas_count(n).value_or(-1);
+    std::printf("  n=%-2d enumerated %6zu arrays  %s\n", n, arrays.size(),
+                ok ? "== database" : "!= database (BUG)");
+  }
+
+  // Show one certified array per constructible order in a narrow band.
+  std::printf("\nsample constructions (first row of each family):\n");
+  for (int n : {10, 16, 22, 26, 30}) {
+    if (n > limit) break;
+    if (auto arr = costas::construct_any(n)) {
+      std::printf("  n=%-2d [%s]  %s\n", n,
+                  costas::available_constructions(n).empty()
+                      ? "search"
+                      : costas::available_constructions(n).front().c_str(),
+                  costas::is_costas(*arr) ? "valid" : "INVALID (BUG)");
+    }
+  }
+
+  const auto open = costas::unknown_orders_up_to(limit);
+  std::printf("\norders with no construction covered here: ");
+  for (int n : open) std::printf("%d ", n);
+  std::printf("\n%s\n%s\n", costas::describe_order(32).c_str(),
+              costas::describe_order(33).c_str());
+  return 0;
+}

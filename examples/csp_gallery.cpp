@@ -1,0 +1,125 @@
+// csp_gallery — Adaptive Search is domain-independent (paper Sec. III: the
+// same engine that solves Costas is cited solving N-Queens ~40x faster than
+// Comet and Magic Square 100-500x faster). This example runs the one engine
+// over seven different CSP models through the same LocalSearchProblem
+// interface: N-Queens, All-Interval Series, Magic Square, Langford pairing,
+// number partitioning, the alpha cipher, and Costas — the same benchmark
+// set Diaz's reference AS library ships.
+//
+//   $ ./csp_gallery --queens 256 --interval 20 --magic 6 --costas 16
+#include <cstdio>
+
+#include "core/adaptive_search.hpp"
+#include "costas/checker.hpp"
+#include "costas/model.hpp"
+#include "problems/all_interval.hpp"
+#include "problems/alpha.hpp"
+#include "problems/langford.hpp"
+#include "problems/magic_square.hpp"
+#include "problems/partition.hpp"
+#include "problems/queens.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+using namespace cas;
+
+namespace {
+
+template <core::LocalSearchProblem P>
+core::RunStats run(const char* name, P& problem, core::AsConfig cfg, bool expect_valid) {
+  core::AdaptiveSearch<P> engine(problem, cfg);
+  const auto st = engine.solve();
+  std::printf("%-22s %s in %8.3f s, %10llu iterations, %8llu local minima%s\n", name,
+              st.solved ? "solved" : "FAILED", st.wall_seconds,
+              static_cast<unsigned long long>(st.iterations),
+              static_cast<unsigned long long>(st.local_minima),
+              expect_valid ? "" : " (?)");
+  return st;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "csp_gallery — one Adaptive Search engine, four constraint problems\n"
+      "(N-Queens, All-Interval prob007, Magic Square prob019, Costas).");
+  flags.add_int("queens", 256, "N-Queens board size");
+  flags.add_int("interval", 20, "All-Interval series length");
+  flags.add_int("magic", 6, "Magic Square order");
+  flags.add_int("langford", 16, "Langford L(2,n) order (n = 0 or 3 mod 4)");
+  flags.add_int("partition", 40, "Number-partitioning size (multiple of 4)");
+  flags.add_int("costas", 16, "Costas array order");
+  flags.add_int("seed", 7, "random seed");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto seed = static_cast<uint64_t>(flags.get_int("seed"));
+
+  {
+    problems::QueensProblem p(static_cast<int>(flags.get_int("queens")));
+    core::AsConfig cfg;
+    cfg.seed = seed;
+    cfg.tabu_tenure = 4;
+    cfg.reset_limit = 4;
+    cfg.reset_fraction = 0.05;
+    const auto st = run("N-Queens", p, cfg, true);
+    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
+  }
+  {
+    problems::AllIntervalProblem p(static_cast<int>(flags.get_int("interval")));
+    core::AsConfig cfg;
+    cfg.seed = seed;
+    cfg.tabu_tenure = 3;
+    cfg.reset_limit = 2;
+    cfg.reset_fraction = 0.15;
+    cfg.plateau_probability = 0.5;
+    const auto st = run("All-Interval", p, cfg, true);
+    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
+  }
+  {
+    problems::MagicSquareProblem p(static_cast<int>(flags.get_int("magic")));
+    core::AsConfig cfg;
+    cfg.seed = seed;
+    cfg.tabu_tenure = 5;
+    cfg.reset_limit = 3;
+    cfg.reset_fraction = 0.1;
+    cfg.plateau_probability = 0.93;  // the paper's plateau tuning showcase
+    const auto st = run("Magic Square", p, cfg, true);
+    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
+  }
+  {
+    int ln = static_cast<int>(flags.get_int("langford"));
+    if (!problems::LangfordProblem::solvable(ln)) {
+      const int requested = ln;
+      while (!problems::LangfordProblem::solvable(ln)) ++ln;
+      std::printf("Langford L(2,%d) has no solutions (n must be 0 or 3 mod 4); using %d\n",
+                  requested, ln);
+    }
+    problems::LangfordProblem p(ln);
+    core::AsConfig cfg;
+    cfg.seed = seed;
+    const auto st = run("Langford", p, cfg, true);
+    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
+  }
+  {
+    problems::PartitionProblem p(static_cast<int>(flags.get_int("partition")));
+    core::AsConfig cfg;
+    cfg.seed = seed;
+    const auto st = run("Number Partitioning", p, cfg, true);
+    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
+  }
+  {
+    problems::AlphaProblem p;
+    const auto st = run("Alpha cipher", p, problems::AlphaProblem::recommended_config(seed), true);
+    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
+    if (st.solved)
+      std::printf("  A=%d B=%d C=%d ... Z=%d (the unique rec.puzzles assignment)\n",
+                  p.value_of('A'), p.value_of('B'), p.value_of('C'), p.value_of('Z'));
+  }
+  {
+    costas::CostasProblem p(static_cast<int>(flags.get_int("costas")));
+    const auto st = run("Costas", p, costas::recommended_config(
+                                          static_cast<int>(flags.get_int("costas")), seed),
+                        true);
+    if (st.solved && !costas::is_costas(st.solution)) std::printf("  WARNING: checker disagrees!\n");
+  }
+  return 0;
+}

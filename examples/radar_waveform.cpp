@@ -1,0 +1,111 @@
+// radar_waveform — why Costas arrays matter (the paper's Sec. II history:
+// "these arrays have been developed in the 1960's to compute a set of sonar
+// and radar frequencies avoiding noise").
+//
+// A Costas array of order n defines a frequency-hopping waveform: at time
+// slot i, transmit frequency f_{perm[i]}. Its discrete auto-ambiguity
+// function counts time/Doppler coincidences between the waveform and a
+// shifted copy of itself; the Costas property is EXACTLY the statement that
+// every off-origin cell holds at most 1 — the ideal "thumbtack" ambiguity
+// shape that lets a radar resolve range and velocity simultaneously.
+//
+// This example builds a waveform (algebraic construction or search),
+// contrasts its full sidelobe matrix with a naive linear chirp (whose
+// diagonal ridge makes range/Doppler ambiguous), and checks the
+// cross-ambiguity of two different Costas waveforms sharing a band
+// (multi-user operation).
+//
+//   $ ./radar_waveform --n 16
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/adaptive_search.hpp"
+#include "costas/ambiguity.hpp"
+#include "costas/checker.hpp"
+#include "costas/construction.hpp"
+#include "costas/model.hpp"
+#include "util/flags.hpp"
+
+using namespace cas;
+
+namespace {
+
+void report(const char* name, const std::vector<int>& perm, bool matrix) {
+  const int n = static_cast<int>(perm.size());
+  std::printf("--- %s (n=%d) ---\n", name, n);
+  std::printf("hop pattern: ");
+  for (int v : perm) std::printf("%d ", v);
+  std::printf("\nCostas: %s\n", costas::is_costas(perm) ? "yes" : "no");
+  const auto amb = costas::auto_ambiguity(perm);
+  const auto st = costas::sidelobe_stats(amb);
+  std::printf("worst-case sidelobe: %d %s\n", st.max_sidelobe,
+              st.max_sidelobe <= 1 ? "(ideal thumbtack ambiguity)"
+                                   : "(ambiguous: echoes can alias in range/Doppler)");
+  std::printf("mainlobe/max-sidelobe ratio: %.1f; %lld hits spread over %lld cells\n",
+              st.thumbtack_ratio, static_cast<long long>(st.total_hits),
+              static_cast<long long>(st.occupied_cells));
+  if (matrix) {
+    std::printf("delay-Doppler hit matrix (origin center; '.'=0):\n%s",
+                costas::render_ambiguity(amb).c_str());
+  }
+  std::printf("\n");
+}
+
+std::vector<int> make_costas(int n, uint64_t seed) {
+  if (auto c = costas::construct_any(n)) {
+    std::printf("(construction: %s)\n", costas::available_constructions(n).front().c_str());
+    return *c;
+  }
+  std::printf("(no algebraic construction for n=%d; searching with Adaptive Search)\n", n);
+  costas::CostasProblem problem(n);
+  core::AdaptiveSearch<costas::CostasProblem> engine(problem,
+                                                     costas::recommended_config(n, seed));
+  const auto st = engine.solve();
+  return st.solved ? st.solution : std::vector<int>{};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "radar_waveform — Costas arrays as frequency-hop radar waveforms:\n"
+      "auto-ambiguity sidelobes (the application that motivated Costas\n"
+      "arrays; paper Sec. II) and cross-ambiguity between two users.");
+  flags.add_int("n", 16, "waveform length (number of time slots)");
+  flags.add_int("seed", 1, "seed for the search fallback");
+  flags.add_bool("matrix", true, "print the full delay-Doppler hit matrix");
+  if (!flags.parse(argc, argv)) return 0;
+  const int n = static_cast<int>(flags.get_int("n"));
+  const auto seed = static_cast<uint64_t>(flags.get_int("seed"));
+  const bool matrix = flags.get_bool("matrix") && n <= 24;
+
+  // Naive waveform: linear chirp. Every shifted copy of a chirp lands on
+  // the chirp again — the classic ambiguity ridge.
+  std::vector<int> chirp(static_cast<size_t>(n));
+  std::iota(chirp.begin(), chirp.end(), 1);
+  report("linear chirp", chirp, matrix);
+
+  const auto wave_a = make_costas(n, seed);
+  if (wave_a.empty()) {
+    std::printf("search failed\n");
+    return 1;
+  }
+  report("Costas waveform A", wave_a, matrix);
+
+  // A second, independent waveform for the same band: multi-user radar.
+  costas::CostasProblem problem(n);
+  core::AdaptiveSearch<costas::CostasProblem> engine(
+      problem, costas::recommended_config(n, seed + 1));
+  const auto search = engine.solve();
+  if (search.solved && search.solution != wave_a) {
+    report("Costas waveform B (independent search)", search.solution, false);
+    const auto cross = costas::cross_ambiguity(wave_a, search.solution);
+    std::printf("cross-ambiguity A vs B: worst coincidence count %d of n=%d\n",
+                cross.max_anywhere(), n);
+    std::printf("(low cross-ambiguity means the two users barely interfere;\n"
+                " Costas pairs are not guaranteed orthogonal, but stay far\n"
+                " below the n-high auto-ambiguity mainlobe)\n");
+  }
+  return 0;
+}

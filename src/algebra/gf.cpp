@@ -1,0 +1,157 @@
+#include "algebra/gf.hpp"
+
+#include <stdexcept>
+
+#include "algebra/modular.hpp"
+#include "algebra/primes.hpp"
+
+namespace cas::algebra {
+
+Gf::Gf(uint64_t q) {
+  const auto pp = as_prime_power(q);
+  if (!pp) throw std::invalid_argument("Gf: order is not a prime power");
+  p_ = static_cast<uint32_t>(pp->first);
+  k_ = pp->second;
+  q_ = q;
+  if (q_ > (1ull << 26)) throw std::invalid_argument("Gf: order too large for table-based field");
+  modulus_ = find_irreducible(p_, k_);
+
+  // Find a primitive element by brute force over nonzero codes: its order
+  // must be exactly q-1. Order check uses the prime divisors of q-1.
+  const auto qs = prime_divisors(q_ - 1);
+  auto order_is_full = [&](uint32_t a) {
+    for (uint64_t d : qs) {
+      // pow via slow multiplication (tables not built yet)
+      uint64_t e = (q_ - 1) / d;
+      uint32_t acc = 1, base = a;
+      while (e > 0) {
+        if (e & 1) acc = mul_slow(acc, base);
+        base = mul_slow(base, base);
+        e >>= 1;
+      }
+      if (acc == 1) return false;
+    }
+    return true;
+  };
+  generator_ = 0;
+  for (uint32_t a = 2; a < q_; ++a) {
+    if (order_is_full(a)) {
+      generator_ = a;
+      break;
+    }
+  }
+  if (generator_ == 0) {
+    // q == 2 is the only field where the loop above finds nothing: GF(2)*
+    // is trivial and 1 generates it.
+    if (q_ == 2)
+      generator_ = 1;
+    else
+      throw std::logic_error("Gf: no generator found (impossible)");
+  }
+
+  exp_table_.resize(q_ - 1);
+  log_table_.assign(q_, 0);
+  uint32_t acc = 1;
+  for (uint64_t i = 0; i < q_ - 1; ++i) {
+    exp_table_[i] = acc;
+    log_table_[acc] = static_cast<uint32_t>(i);
+    acc = mul_slow(acc, generator_);
+  }
+  if (acc != 1) throw std::logic_error("Gf: generator order mismatch (impossible)");
+}
+
+Poly Gf::decode(uint32_t code) const {
+  Poly a;
+  a.reserve(static_cast<size_t>(k_));
+  uint32_t c = code;
+  for (int i = 0; i < k_; ++i) {
+    a.push_back(c % p_);
+    c /= p_;
+  }
+  poly_normalize(a);
+  return a;
+}
+
+uint32_t Gf::encode(const Poly& a) const {
+  uint64_t code = 0;
+  for (size_t i = a.size(); i-- > 0;) code = code * p_ + a[i];
+  return static_cast<uint32_t>(code);
+}
+
+uint32_t Gf::mul_slow(uint32_t a, uint32_t b) const {
+  return encode(poly_mod(poly_mul(decode(a), decode(b), p_), modulus_, p_));
+}
+
+uint32_t Gf::add(uint32_t a, uint32_t b) const {
+  // Digit-wise addition mod p; for p == 2 this is XOR.
+  if (p_ == 2) return a ^ b;
+  uint32_t result = 0, mult = 1;
+  for (int i = 0; i < k_; ++i) {
+    const uint32_t da = a % p_, db = b % p_;
+    result += ((da + db) % p_) * mult;
+    a /= p_;
+    b /= p_;
+    mult *= p_;
+  }
+  return result;
+}
+
+uint32_t Gf::neg(uint32_t a) const {
+  if (p_ == 2) return a;
+  uint32_t result = 0, mult = 1;
+  for (int i = 0; i < k_; ++i) {
+    const uint32_t da = a % p_;
+    result += ((p_ - da) % p_) * mult;
+    a /= p_;
+    mult *= p_;
+  }
+  return result;
+}
+
+uint32_t Gf::sub(uint32_t a, uint32_t b) const { return add(a, neg(b)); }
+
+uint32_t Gf::mul(uint32_t a, uint32_t b) const {
+  if (a == 0 || b == 0) return 0;
+  const uint64_t s = static_cast<uint64_t>(log_table_[a]) + log_table_[b];
+  return exp_table_[s % (q_ - 1)];
+}
+
+uint32_t Gf::inv(uint32_t a) const {
+  if (a == 0) throw std::domain_error("Gf::inv(0)");
+  const uint64_t l = log_table_[a];
+  return exp_table_[(q_ - 1 - l) % (q_ - 1)];
+}
+
+uint32_t Gf::pow(uint32_t a, uint64_t e) const {
+  if (a == 0) return e == 0 ? 1 : 0;
+  const uint64_t l = log_table_[a];
+  return exp_table_[mulmod(l, e % (q_ - 1), q_ - 1)];
+}
+
+uint32_t Gf::exp(uint64_t e) const { return exp_table_[e % (q_ - 1)]; }
+
+uint32_t Gf::log(uint32_t a) const {
+  if (a == 0) throw std::domain_error("Gf::log(0)");
+  return log_table_[a];
+}
+
+uint64_t Gf::element_order(uint32_t a) const {
+  if (a == 0) throw std::domain_error("Gf::element_order(0)");
+  uint64_t order = q_ - 1;
+  for (uint64_t d : prime_divisors(q_ - 1)) {
+    while (order % d == 0 && pow(a, order / d) == 1) order /= d;
+  }
+  return order;
+}
+
+bool Gf::is_primitive(uint32_t a) const { return a != 0 && element_order(a) == q_ - 1; }
+
+std::vector<uint32_t> Gf::primitive_elements() const {
+  std::vector<uint32_t> out;
+  for (uint32_t a = 1; a < q_; ++a) {
+    if (is_primitive(a)) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace cas::algebra

@@ -1,0 +1,67 @@
+// GF(p^k): finite fields of small prime-power order with log/antilog-table
+// multiplication. Elements are integer codes in [0, q): the code's base-p
+// digits are the coefficients of the representative polynomial.
+//
+// Built for the Lempel-Golomb Costas array construction (orders q-2), so
+// typical sizes are q <= a few thousand; tables are O(q).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/poly.hpp"
+
+namespace cas::algebra {
+
+class Gf {
+ public:
+  /// Construct GF(q) where q = p^k must be a prime power (k >= 1).
+  /// Throws std::invalid_argument otherwise.
+  explicit Gf(uint64_t q);
+
+  [[nodiscard]] uint64_t order() const { return q_; }          // q = p^k
+  [[nodiscard]] uint32_t characteristic() const { return p_; }  // p
+  [[nodiscard]] int degree() const { return k_; }               // k
+
+  [[nodiscard]] uint32_t zero() const { return 0; }
+  [[nodiscard]] uint32_t one() const { return 1; }
+
+  /// A fixed primitive element (generator of the multiplicative group).
+  [[nodiscard]] uint32_t generator() const { return generator_; }
+
+  [[nodiscard]] uint32_t add(uint32_t a, uint32_t b) const;
+  [[nodiscard]] uint32_t sub(uint32_t a, uint32_t b) const;
+  [[nodiscard]] uint32_t neg(uint32_t a) const;
+  [[nodiscard]] uint32_t mul(uint32_t a, uint32_t b) const;
+  [[nodiscard]] uint32_t inv(uint32_t a) const;  // throws on a == 0
+  [[nodiscard]] uint32_t pow(uint32_t a, uint64_t e) const;
+
+  /// generator()^e (e taken mod q-1).
+  [[nodiscard]] uint32_t exp(uint64_t e) const;
+  /// Discrete log base generator() of a != 0, in [0, q-1).
+  [[nodiscard]] uint32_t log(uint32_t a) const;  // throws on a == 0
+
+  /// Multiplicative order of a != 0.
+  [[nodiscard]] uint64_t element_order(uint32_t a) const;
+  [[nodiscard]] bool is_primitive(uint32_t a) const;
+  /// All primitive elements (there are phi(q-1) of them).
+  [[nodiscard]] std::vector<uint32_t> primitive_elements() const;
+
+  /// The reduction polynomial used for this field (monic, irreducible).
+  [[nodiscard]] const Poly& modulus() const { return modulus_; }
+
+ private:
+  [[nodiscard]] Poly decode(uint32_t code) const;
+  [[nodiscard]] uint32_t encode(const Poly& a) const;
+  [[nodiscard]] uint32_t mul_slow(uint32_t a, uint32_t b) const;
+
+  uint64_t q_ = 0;
+  uint32_t p_ = 0;
+  int k_ = 0;
+  Poly modulus_;
+  uint32_t generator_ = 0;
+  std::vector<uint32_t> exp_table_;  // exp_table_[i] = g^i, size q-1
+  std::vector<uint32_t> log_table_;  // log_table_[a] = i with g^i = a; log[0] unused
+};
+
+}  // namespace cas::algebra

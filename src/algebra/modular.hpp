@@ -1,0 +1,66 @@
+// Modular arithmetic on 64-bit integers. Foundation for primality testing,
+// primitive-root search and the Welch construction of Costas arrays.
+#pragma once
+
+#include <cstdint>
+
+// 128-bit intermediates are a GCC/Clang extension; suppress the -Wpedantic
+// note where we deliberately use them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+
+namespace cas::algebra {
+
+/// (a * b) mod m without overflow, for any m < 2^64.
+constexpr uint64_t mulmod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) % m);
+}
+
+/// (base ^ exp) mod m. pow(0,0) convention: returns 1 % m.
+constexpr uint64_t powmod(uint64_t base, uint64_t exp, uint64_t m) {
+  uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+constexpr uint64_t gcd_u64(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    const uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Modular inverse of a mod m for prime m (Fermat). Requires a % m != 0.
+constexpr uint64_t invmod_prime(uint64_t a, uint64_t p) { return powmod(a, p - 2, p); }
+
+/// Modular inverse for general modulus via extended Euclid.
+/// Requires gcd(a, m) == 1 and m >= 2.
+constexpr uint64_t invmod(uint64_t a, uint64_t m) {
+  // Iterative extended gcd on signed 128-bit accumulators (m < 2^63 in all
+  // our uses; the Bezout coefficients stay within range).
+  __int128 old_r = static_cast<__int128>(a % m), r = m;
+  __int128 old_s = 1, s = 0;
+  while (r != 0) {
+    const __int128 q = old_r / r;
+    const __int128 tmp_r = old_r - q * r;
+    old_r = r;
+    r = tmp_r;
+    const __int128 tmp_s = old_s - q * s;
+    old_s = s;
+    s = tmp_s;
+  }
+  __int128 result = old_s % static_cast<__int128>(m);
+  if (result < 0) result += m;
+  return static_cast<uint64_t>(result);
+}
+
+}  // namespace cas::algebra
+
+#pragma GCC diagnostic pop

@@ -1,0 +1,147 @@
+#include "algebra/poly.hpp"
+
+#include <stdexcept>
+
+#include "algebra/modular.hpp"
+#include "algebra/primes.hpp"
+
+namespace cas::algebra {
+
+int poly_deg(const Poly& a) { return static_cast<int>(a.size()) - 1; }
+
+void poly_normalize(Poly& a) {
+  while (!a.empty() && a.back() == 0) a.pop_back();
+}
+
+Poly poly_add(const Poly& a, const Poly& b, uint32_t p) {
+  Poly r(std::max(a.size(), b.size()), 0);
+  for (size_t i = 0; i < r.size(); ++i) {
+    uint64_t v = (i < a.size() ? a[i] : 0u) + (i < b.size() ? b[i] : 0u);
+    r[i] = static_cast<uint32_t>(v % p);
+  }
+  poly_normalize(r);
+  return r;
+}
+
+Poly poly_sub(const Poly& a, const Poly& b, uint32_t p) {
+  Poly r(std::max(a.size(), b.size()), 0);
+  for (size_t i = 0; i < r.size(); ++i) {
+    uint64_t av = i < a.size() ? a[i] : 0u;
+    uint64_t bv = i < b.size() ? b[i] : 0u;
+    r[i] = static_cast<uint32_t>((av + p - bv) % p);
+  }
+  poly_normalize(r);
+  return r;
+}
+
+Poly poly_mul(const Poly& a, const Poly& b, uint32_t p) {
+  if (a.empty() || b.empty()) return {};
+  Poly r(a.size() + b.size() - 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      r[i + j] = static_cast<uint32_t>((r[i + j] + static_cast<uint64_t>(a[i]) * b[j]) % p);
+    }
+  }
+  poly_normalize(r);
+  return r;
+}
+
+Poly poly_mod(const Poly& a, const Poly& b, uint32_t p) {
+  if (b.empty()) throw std::invalid_argument("poly_mod: division by zero polynomial");
+  Poly r = a;
+  poly_normalize(r);
+  const int db = poly_deg(b);
+  const uint32_t lead_inv = static_cast<uint32_t>(invmod_prime(b.back(), p));
+  while (poly_deg(r) >= db) {
+    const int shift = poly_deg(r) - db;
+    const uint32_t factor = static_cast<uint32_t>(mulmod(r.back(), lead_inv, p));
+    for (int i = 0; i <= db; ++i) {
+      const uint64_t sub = mulmod(factor, b[static_cast<size_t>(i)], p);
+      uint32_t& c = r[static_cast<size_t>(i + shift)];
+      c = static_cast<uint32_t>((c + p - sub) % p);
+    }
+    poly_normalize(r);
+  }
+  return r;
+}
+
+Poly poly_powmod(const Poly& base, uint64_t exp, const Poly& f, uint32_t p) {
+  Poly result{1};
+  Poly b = poly_mod(base, f, p);
+  while (exp > 0) {
+    if (exp & 1) result = poly_mod(poly_mul(result, b, p), f, p);
+    b = poly_mod(poly_mul(b, b, p), f, p);
+    exp >>= 1;
+  }
+  return result;
+}
+
+Poly poly_monic(const Poly& a, uint32_t p) {
+  if (a.empty()) return a;
+  const uint32_t inv = static_cast<uint32_t>(invmod_prime(a.back(), p));
+  Poly r = a;
+  for (auto& c : r) c = static_cast<uint32_t>(mulmod(c, inv, p));
+  return r;
+}
+
+Poly poly_gcd(Poly a, Poly b, uint32_t p) {
+  poly_normalize(a);
+  poly_normalize(b);
+  while (!b.empty()) {
+    Poly r = poly_mod(a, b, p);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return poly_monic(a, p);
+}
+
+bool poly_is_irreducible(const Poly& f, uint32_t p) {
+  const int k = poly_deg(f);
+  if (k <= 0) return false;
+  if (k == 1) return true;
+  const Poly x{0, 1};
+  // Rabin: f (deg k) is irreducible over Z_p iff
+  //   x^(p^k) == x (mod f), and
+  //   gcd(x^(p^(k/q)) - x, f) == 1 for every prime q | k.
+  // p^k can exceed 64 bits only for fields far larger than any Costas order
+  // we construct; guard anyway.
+  auto pow_p_tower = [&](int e) {
+    // Computes x^(p^e) mod f by e-fold repeated powering by p.
+    Poly acc = x;
+    for (int i = 0; i < e; ++i) acc = poly_powmod(acc, p, f, p);
+    return acc;
+  };
+  Poly xpk = pow_p_tower(k);
+  if (poly_sub(xpk, x, p) != Poly{}) return false;
+  for (uint64_t q : prime_divisors(static_cast<uint64_t>(k))) {
+    Poly xpe = pow_p_tower(static_cast<int>(k / static_cast<int>(q)));
+    Poly g = poly_gcd(poly_sub(xpe, x, p), f, p);
+    if (poly_deg(g) != 0) return false;
+  }
+  return true;
+}
+
+Poly find_irreducible(uint32_t p, int k) {
+  if (k < 1) throw std::invalid_argument("find_irreducible: k must be >= 1");
+  if (k == 1) return Poly{0, 1};  // x itself
+  // Enumerate monic degree-k polynomials by their low-coefficient vector,
+  // interpreted as a base-p counter. The constant term must be nonzero for
+  // irreducibility (otherwise x divides f).
+  Poly f(static_cast<size_t>(k) + 1, 0);
+  f[static_cast<size_t>(k)] = 1;
+  uint64_t limit = 1;
+  for (int i = 0; i < k; ++i) limit *= p;
+  for (uint64_t code = 1; code < limit; ++code) {
+    uint64_t c = code;
+    for (int i = 0; i < k; ++i) {
+      f[static_cast<size_t>(i)] = static_cast<uint32_t>(c % p);
+      c /= p;
+    }
+    if (f[0] == 0) continue;
+    if (poly_is_irreducible(f, p)) return f;
+  }
+  throw std::logic_error("find_irreducible: exhausted search (impossible)");
+}
+
+}  // namespace cas::algebra

@@ -1,0 +1,43 @@
+// Dense polynomials over Z_p (p prime, p < 2^15 in practice). Coefficients
+// are stored little-endian (coeffs[i] is the x^i coefficient) with no
+// trailing zeros. Used to build GF(p^k) for the Lempel-Golomb Costas
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cas::algebra {
+
+using Poly = std::vector<uint32_t>;  // normalized: empty == zero polynomial
+
+/// Degree; -1 for the zero polynomial.
+int poly_deg(const Poly& a);
+
+/// Remove trailing zero coefficients in place.
+void poly_normalize(Poly& a);
+
+Poly poly_add(const Poly& a, const Poly& b, uint32_t p);
+Poly poly_sub(const Poly& a, const Poly& b, uint32_t p);
+Poly poly_mul(const Poly& a, const Poly& b, uint32_t p);
+
+/// Remainder of a modulo monic-normalizable b (b != 0).
+Poly poly_mod(const Poly& a, const Poly& b, uint32_t p);
+
+/// (base ^ exp) mod f over Z_p.
+Poly poly_powmod(const Poly& base, uint64_t exp, const Poly& f, uint32_t p);
+
+/// Monic gcd.
+Poly poly_gcd(Poly a, Poly b, uint32_t p);
+
+/// Scale so the leading coefficient is 1 (no-op for zero).
+Poly poly_monic(const Poly& a, uint32_t p);
+
+/// Rabin's irreducibility test for a degree-k polynomial over Z_p.
+bool poly_is_irreducible(const Poly& f, uint32_t p);
+
+/// Find a monic irreducible polynomial of degree k over Z_p by ordered
+/// search (deterministic: same (p,k) always yields the same polynomial).
+Poly find_irreducible(uint32_t p, int k);
+
+}  // namespace cas::algebra

@@ -1,0 +1,168 @@
+#include "algebra/primes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algebra/modular.hpp"
+
+namespace cas::algebra {
+
+namespace {
+
+// Witness check: returns true if `a` proves n composite.
+bool witness(uint64_t a, uint64_t n, uint64_t d, int r) {
+  uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_prime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This base set is a proven deterministic witness set for n < 2^64.
+  for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (witness(a, n, d, r)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Pollard's rho (Brent variant) for composite odd n with no small factors.
+uint64_t pollard_rho(uint64_t n) {
+  if (n % 2 == 0) return 2;
+  uint64_t x = 2, y = 2, c = 1;
+  while (true) {
+    x = 2;
+    y = 2;
+    uint64_t d = 1;
+    while (d == 1) {
+      x = (mulmod(x, x, n) + c) % n;
+      y = (mulmod(y, y, n) + c) % n;
+      y = (mulmod(y, y, n) + c) % n;
+      d = gcd_u64(x > y ? x - y : y - x, n);
+    }
+    if (d != n) return d;
+    ++c;  // cycle degenerated; retry with a different polynomial
+  }
+}
+
+void factor_rec(uint64_t n, std::vector<uint64_t>& out) {
+  if (n == 1) return;
+  if (is_prime(n)) {
+    out.push_back(n);
+    return;
+  }
+  const uint64_t d = pollard_rho(n);
+  factor_rec(d, out);
+  factor_rec(n / d, out);
+}
+
+}  // namespace
+
+std::vector<std::pair<uint64_t, int>> factorize(uint64_t n) {
+  std::vector<std::pair<uint64_t, int>> result;
+  if (n < 2) return result;
+  std::vector<uint64_t> primes;
+  // Strip small factors by trial division first; rho handles the remainder.
+  for (uint64_t p = 2; p <= 997 && p * p <= n; p += (p == 2 ? 1 : 2)) {
+    while (n % p == 0) {
+      primes.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factor_rec(n, primes);
+  std::sort(primes.begin(), primes.end());
+  for (uint64_t p : primes) {
+    if (!result.empty() && result.back().first == p)
+      ++result.back().second;
+    else
+      result.emplace_back(p, 1);
+  }
+  return result;
+}
+
+std::vector<uint64_t> prime_divisors(uint64_t n) {
+  std::vector<uint64_t> out;
+  for (const auto& [p, e] : factorize(n)) out.push_back(p);
+  return out;
+}
+
+uint64_t element_order_mod_p(uint64_t a, uint64_t p) {
+  if (!is_prime(p)) throw std::invalid_argument("element_order_mod_p: p not prime");
+  a %= p;
+  if (a == 0) throw std::invalid_argument("element_order_mod_p: a divisible by p");
+  uint64_t order = p - 1;
+  for (uint64_t q : prime_divisors(p - 1)) {
+    while (order % q == 0 && powmod(a, order / q, p) == 1) order /= q;
+  }
+  return order;
+}
+
+namespace {
+
+bool is_primitive_root(uint64_t g, uint64_t p, const std::vector<uint64_t>& qs) {
+  for (uint64_t q : qs) {
+    if (powmod(g, (p - 1) / q, p) == 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t primitive_root(uint64_t p) {
+  if (!is_prime(p)) throw std::invalid_argument("primitive_root: p not prime");
+  if (p == 2) return 1;
+  const auto qs = prime_divisors(p - 1);
+  for (uint64_t g = 2; g < p; ++g) {
+    if (is_primitive_root(g, p, qs)) return g;
+  }
+  throw std::logic_error("primitive_root: none found (impossible for prime p)");
+}
+
+std::vector<uint64_t> all_primitive_roots(uint64_t p) {
+  if (!is_prime(p)) throw std::invalid_argument("all_primitive_roots: p not prime");
+  std::vector<uint64_t> out;
+  if (p == 2) return {1};
+  const auto qs = prime_divisors(p - 1);
+  for (uint64_t g = 2; g < p; ++g) {
+    if (is_primitive_root(g, p, qs)) out.push_back(g);
+  }
+  return out;
+}
+
+std::optional<std::pair<uint64_t, int>> as_prime_power(uint64_t n) {
+  if (n < 2) return std::nullopt;
+  const auto f = factorize(n);
+  if (f.size() != 1) return std::nullopt;
+  return std::make_pair(f[0].first, f[0].second);
+}
+
+std::vector<uint32_t> primes_up_to(uint32_t limit) {
+  std::vector<uint32_t> out;
+  if (limit < 2) return out;
+  std::vector<bool> sieve(static_cast<size_t>(limit) + 1, true);
+  sieve[0] = sieve[1] = false;
+  for (uint64_t i = 2; i <= limit; ++i) {
+    if (!sieve[i]) continue;
+    out.push_back(static_cast<uint32_t>(i));
+    for (uint64_t j = i * i; j <= limit; j += i) sieve[j] = false;
+  }
+  return out;
+}
+
+}  // namespace cas::algebra

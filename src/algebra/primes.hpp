@@ -1,0 +1,38 @@
+// Primality, factorization, primitive roots and prime-power detection.
+// Deterministic for the full 64-bit range (Miller-Rabin with fixed base set,
+// Pollard's rho for factorization).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace cas::algebra {
+
+/// Deterministic Miller-Rabin, valid for all n < 2^64.
+bool is_prime(uint64_t n);
+
+/// Prime factorization as (prime, exponent) pairs, primes ascending.
+/// factorize(0) and factorize(1) return empty.
+std::vector<std::pair<uint64_t, int>> factorize(uint64_t n);
+
+/// Distinct prime divisors, ascending.
+std::vector<uint64_t> prime_divisors(uint64_t n);
+
+/// Smallest primitive root modulo prime p (p >= 2). Throws if p not prime.
+uint64_t primitive_root(uint64_t p);
+
+/// All primitive roots modulo prime p (expensive; intended for small p).
+std::vector<uint64_t> all_primitive_roots(uint64_t p);
+
+/// Multiplicative order of a modulo prime p (a % p != 0).
+uint64_t element_order_mod_p(uint64_t a, uint64_t p);
+
+/// If n = p^k for a prime p and k >= 1, return (p, k).
+std::optional<std::pair<uint64_t, int>> as_prime_power(uint64_t n);
+
+/// Primes in [2, limit] by sieve.
+std::vector<uint32_t> primes_up_to(uint32_t limit);
+
+}  // namespace cas::algebra

@@ -1,0 +1,232 @@
+#include "analysis/distribution_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "analysis/ecdf.hpp"
+
+namespace cas::analysis {
+
+namespace {
+
+// Positivity clamp for log/power transforms: run times of 0 mean "below
+// clock resolution", not "impossible".
+constexpr double kTinyPositive = 1e-12;
+
+std::vector<double> clamped_positive(const std::vector<double>& samples) {
+  std::vector<double> out = samples;
+  for (double& x : out) x = std::max(x, kTinyPositive);
+  return out;
+}
+
+double standard_normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+/// Inverse standard normal CDF by bisection on the monotone CDF (the
+/// callers tolerate ~1e-10; robustness beats speed here).
+double standard_normal_quantile(double q) {
+  double lo = -40, hi = 40;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (standard_normal_cdf(mid) < q)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Generic KS distance: sup over sample points of |F_n - F|.
+template <typename Dist>
+double ks_against(const std::vector<double>& samples, const Dist& dist) {
+  if (samples.empty()) throw std::invalid_argument("ks_distance: no samples");
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double ks = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double f = dist.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    ks = std::max({ks, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return ks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Weibull
+// ---------------------------------------------------------------------------
+
+double Weibull::cdf(double x) const {
+  if (x <= 0) return 0;
+  return 1.0 - std::exp(-std::pow(x / scale, shape));
+}
+
+double Weibull::pdf(double x) const {
+  if (x <= 0) return 0;
+  const double z = x / scale;
+  return (shape / scale) * std::pow(z, shape - 1) * std::exp(-std::pow(z, shape));
+}
+
+double Weibull::quantile(double q) const {
+  if (q < 0 || q >= 1) throw std::invalid_argument("Weibull::quantile: q must be in [0,1)");
+  return scale * std::pow(-std::log1p(-q), 1.0 / shape);
+}
+
+double Weibull::mean() const { return scale * std::tgamma(1.0 + 1.0 / shape); }
+
+Weibull fit_weibull(const std::vector<double>& samples) {
+  if (samples.size() < 2) throw std::invalid_argument("fit_weibull: need >= 2 samples");
+  const auto x = clamped_positive(samples);
+  const double n = static_cast<double>(x.size());
+  double mean_log = 0;
+  for (double v : x) mean_log += std::log(v);
+  mean_log /= n;
+
+  // Profile-likelihood equation in the shape k:
+  //   g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0,
+  // monotone increasing in k; bracket and bisect.
+  const auto g = [&](double k) {
+    double swx = 0, sw = 0;
+    for (double v : x) {
+      const double w = std::pow(v, k);
+      sw += w;
+      swx += w * std::log(v);
+    }
+    return swx / sw - 1.0 / k - mean_log;
+  };
+
+  double lo = 1e-3, hi = 1.0;
+  while (g(hi) < 0 && hi < 1e3) hi *= 2;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) < 0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double shape = 0.5 * (lo + hi);
+
+  double sw = 0;
+  for (double v : x) sw += std::pow(v, shape);
+  const double scale = std::pow(sw / n, 1.0 / shape);
+  return {shape, scale};
+}
+
+// ---------------------------------------------------------------------------
+// Lognormal
+// ---------------------------------------------------------------------------
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0) return 0;
+  return standard_normal_cdf((std::log(x) - mu) / sigma);
+}
+
+double Lognormal::pdf(double x) const {
+  if (x <= 0) return 0;
+  const double z = (std::log(x) - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (x * sigma * std::sqrt(2 * std::numbers::pi));
+}
+
+double Lognormal::quantile(double q) const {
+  if (q <= 0 || q >= 1) throw std::invalid_argument("Lognormal::quantile: q must be in (0,1)");
+  return std::exp(mu + sigma * standard_normal_quantile(q));
+}
+
+double Lognormal::mean() const { return std::exp(mu + 0.5 * sigma * sigma); }
+
+Lognormal fit_lognormal(const std::vector<double>& samples) {
+  if (samples.size() < 2) throw std::invalid_argument("fit_lognormal: need >= 2 samples");
+  const auto x = clamped_positive(samples);
+  const double n = static_cast<double>(x.size());
+  double mu = 0;
+  for (double v : x) mu += std::log(v);
+  mu /= n;
+  double var = 0;
+  for (double v : x) {
+    const double d = std::log(v) - mu;
+    var += d * d;
+  }
+  var /= n;  // MLE (biased) variance
+  return {mu, std::sqrt(std::max(var, 1e-18))};
+}
+
+// ---------------------------------------------------------------------------
+// KS + likelihoods + model selection
+// ---------------------------------------------------------------------------
+
+double ks_distance(const std::vector<double>& samples, const Weibull& dist) {
+  return ks_against(samples, dist);
+}
+
+double ks_distance(const std::vector<double>& samples, const Lognormal& dist) {
+  return ks_against(samples, dist);
+}
+
+double log_likelihood(const std::vector<double>& samples, const ShiftedExponential& dist) {
+  double ll = 0;
+  for (double v : samples) {
+    const double z = v - dist.mu;
+    // Support is [mu, inf); below-support samples get a hard penalty
+    // instead of -inf so comparisons stay finite.
+    if (z < 0) {
+      ll += -1e6;
+      continue;
+    }
+    ll += -std::log(dist.lambda) - z / dist.lambda;
+  }
+  return ll;
+}
+
+double log_likelihood(const std::vector<double>& samples, const Weibull& dist) {
+  double ll = 0;
+  for (double v : clamped_positive(samples)) ll += std::log(std::max(dist.pdf(v), 1e-300));
+  return ll;
+}
+
+double log_likelihood(const std::vector<double>& samples, const Lognormal& dist) {
+  double ll = 0;
+  for (double v : clamped_positive(samples)) ll += std::log(std::max(dist.pdf(v), 1e-300));
+  return ll;
+}
+
+std::vector<ModelFit> compare_models(const std::vector<double>& samples) {
+  if (samples.size() < 3) throw std::invalid_argument("compare_models: need >= 3 samples");
+  const double n = static_cast<double>(samples.size());
+  constexpr double kParams = 2;  // every candidate has 2 free parameters
+
+  const auto add = [&](std::string name, double ll, double ks, double mean) {
+    ModelFit f;
+    f.name = std::move(name);
+    f.log_lik = ll;
+    f.aic = 2 * kParams - 2 * ll;
+    f.bic = kParams * std::log(n) - 2 * ll;
+    f.ks = ks;
+    f.mean = mean;
+    return f;
+  };
+
+  const auto se = fit_shifted_exponential(samples);
+  const auto wb = fit_weibull(samples);
+  const auto ln = fit_lognormal(samples);
+
+  std::vector<ModelFit> fits;
+  fits.push_back(add("shifted-exponential", log_likelihood(samples, se),
+                     ks_distance(samples, se), se.mean()));
+  fits.push_back(
+      add("weibull", log_likelihood(samples, wb), ks_distance(samples, wb), wb.mean()));
+  fits.push_back(
+      add("lognormal", log_likelihood(samples, ln), ks_distance(samples, ln), ln.mean()));
+  std::stable_sort(fits.begin(), fits.end(),
+                   [](const ModelFit& a, const ModelFit& b) { return a.aic < b.aic; });
+  return fits;
+}
+
+std::string best_model_by_aic(const std::vector<double>& samples) {
+  return compare_models(samples).front().name;
+}
+
+}  // namespace cas::analysis

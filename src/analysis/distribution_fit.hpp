@@ -1,0 +1,81 @@
+// Alternative run-time distribution models and model selection.
+//
+// The paper (Sec. V-B, Fig. 4) asserts that CAP run times are well
+// approximated by a *shifted exponential* — the condition under which
+// independent multi-walk parallelism is provably linear (Verhoeven &
+// Aarts). This module makes that claim falsifiable instead of assumed: it
+// fits the two classic heavy-ish-tailed competitors (Weibull, lognormal)
+// by maximum likelihood and ranks all three models by AIC/BIC and KS
+// distance. The runtime-distribution ablation bench runs the comparison on
+// real CAP run-length banks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/exponential_fit.hpp"
+
+namespace cas::analysis {
+
+/// Weibull(shape k, scale lambda): F(x) = 1 - exp(-(x/lambda)^k), x >= 0.
+/// k = 1 degenerates to the exponential distribution.
+struct Weibull {
+  double shape = 1;
+  double scale = 1;
+
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double quantile(double q) const;  // q in [0,1)
+  [[nodiscard]] double mean() const;              // scale * Gamma(1 + 1/shape)
+};
+
+/// Lognormal(mu, sigma): ln X ~ N(mu, sigma^2), x > 0.
+struct Lognormal {
+  double mu = 0;
+  double sigma = 1;
+
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double quantile(double q) const;  // q in (0,1)
+  [[nodiscard]] double mean() const;              // exp(mu + sigma^2/2)
+};
+
+/// Weibull maximum-likelihood fit (profile likelihood in the shape,
+/// solved by bisection; scale in closed form given the shape). Samples
+/// must be positive; zeros are clamped to a tiny epsilon with the same
+/// semantics the run-time data has ("faster than the clock tick").
+/// Requires at least 2 samples.
+Weibull fit_weibull(const std::vector<double>& samples);
+
+/// Lognormal maximum-likelihood fit (closed form on the logs). Same
+/// positivity handling as fit_weibull. Requires at least 2 samples.
+Lognormal fit_lognormal(const std::vector<double>& samples);
+
+/// KS distances against the sample ECDF (companions to the
+/// shifted-exponential overload in exponential_fit.hpp).
+double ks_distance(const std::vector<double>& samples, const Weibull& dist);
+double ks_distance(const std::vector<double>& samples, const Lognormal& dist);
+
+/// Log-likelihoods of a fitted model on the data.
+double log_likelihood(const std::vector<double>& samples, const ShiftedExponential& dist);
+double log_likelihood(const std::vector<double>& samples, const Weibull& dist);
+double log_likelihood(const std::vector<double>& samples, const Lognormal& dist);
+
+/// One row of the model-selection table.
+struct ModelFit {
+  std::string name;      // "shifted-exponential", "weibull", "lognormal"
+  double log_lik = 0;
+  double aic = 0;        // 2k - 2 ln L, k = 2 parameters for all three
+  double bic = 0;        // k ln n - 2 ln L
+  double ks = 0;         // sup-distance to the ECDF
+  double mean = 0;       // fitted mean (sanity anchor)
+};
+
+/// Fit all three models and return them sorted by ascending AIC (best
+/// first). Requires at least 3 samples.
+std::vector<ModelFit> compare_models(const std::vector<double>& samples);
+
+/// Convenience: name of the AIC-best model.
+std::string best_model_by_aic(const std::vector<double>& samples);
+
+}  // namespace cas::analysis

@@ -1,0 +1,25 @@
+#include "analysis/ecdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/summary.hpp"
+
+namespace cas::analysis {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  double sum = 0;
+  for (double x : sorted_) sum += x;
+  mean_ = sum / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::operator()(double t) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const { return quantile_sorted(sorted_, q); }
+
+}  // namespace cas::analysis

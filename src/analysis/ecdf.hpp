@@ -1,0 +1,33 @@
+// Empirical cumulative distribution function over run-time (or run-length)
+// samples. The backbone of the time-to-target analysis (paper Fig. 4) and
+// of the min-of-k order statistics used by the cluster simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cas::analysis {
+
+class Ecdf {
+ public:
+  /// Takes a copy of the samples and sorts it. Throws on empty input.
+  explicit Ecdf(std::vector<double> samples);
+
+  /// F(t) = fraction of samples <= t.
+  [[nodiscard]] double operator()(double t) const;
+
+  /// Inverse CDF with linear interpolation (type-7 quantile).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+  [[nodiscard]] size_t size() const { return sorted_.size(); }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+  [[nodiscard]] double mean() const { return mean_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0;
+};
+
+}  // namespace cas::analysis

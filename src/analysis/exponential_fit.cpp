@@ -1,0 +1,79 @@
+#include "analysis/exponential_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cas::analysis {
+
+double ShiftedExponential::cdf(double x) const {
+  if (x <= mu) return 0;
+  return 1.0 - std::exp(-(x - mu) / lambda);
+}
+
+double ShiftedExponential::quantile(double q) const {
+  if (q < 0 || q >= 1) throw std::invalid_argument("ShiftedExponential::quantile: q in [0,1)");
+  return mu - lambda * std::log1p(-q);
+}
+
+ShiftedExponential ShiftedExponential::min_of(int k) const {
+  if (k < 1) throw std::invalid_argument("ShiftedExponential::min_of: k >= 1");
+  return ShiftedExponential{mu, lambda / static_cast<double>(k)};
+}
+
+ShiftedExponential fit_shifted_exponential(const std::vector<double>& samples) {
+  if (samples.size() < 2)
+    throw std::invalid_argument("fit_shifted_exponential: need at least 2 samples");
+  double mn = samples.front(), sum = 0;
+  for (double x : samples) {
+    mn = std::min(mn, x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(samples.size());
+  ShiftedExponential d;
+  d.mu = mn;
+  // Guard: degenerate (all-equal) samples get a tiny positive scale.
+  d.lambda = std::max(mean - mn, 1e-12);
+  return d;
+}
+
+ShiftedExponential fit_shifted_exponential_bias_corrected(const std::vector<double>& samples) {
+  ShiftedExponential d = fit_shifted_exponential(samples);
+  const double correction = d.lambda / static_cast<double>(samples.size());
+  const double mu = std::max(0.0, d.mu - correction);
+  // Keep the mean invariant: what leaves the shift goes into the scale.
+  d.lambda += d.mu - mu;
+  d.mu = mu;
+  return d;
+}
+
+double ks_distance(const std::vector<double>& samples, const ShiftedExponential& dist) {
+  if (samples.empty()) throw std::invalid_argument("ks_distance: empty sample");
+  std::vector<double> xs = samples;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double ks = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double f = dist.cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    ks = std::max(ks, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return ks;
+}
+
+double ks_p_value(double ks_stat, size_t n) {
+  // Kolmogorov asymptotic distribution: p = 2 * sum_{j>=1} (-1)^{j-1}
+  // exp(-2 j^2 t^2), with the Stephens finite-n correction to t.
+  const double sn = std::sqrt(static_cast<double>(n));
+  const double t = ks_stat * (sn + 0.12 + 0.11 / sn);
+  double p = 0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * t * t);
+    p += (j % 2 == 1 ? 2.0 : -2.0) * term;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace cas::analysis

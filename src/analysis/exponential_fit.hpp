@@ -1,0 +1,52 @@
+// Shifted-exponential fitting of run-time distributions.
+//
+// The paper (Sec. V-B, Fig. 4) approximates the run-time CDF by
+// 1 - e^{-(x - mu)/lambda} and notes, citing Verhoeven & Aarts, that an
+// exponential run-time distribution is exactly the condition under which
+// independent multi-walk achieves linear speedup. We fit by maximum
+// likelihood and quantify fit quality with the Kolmogorov-Smirnov distance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cas::analysis {
+
+class Ecdf;
+
+struct ShiftedExponential {
+  double mu = 0;      // shift (location)
+  double lambda = 1;  // scale (mean above the shift)
+
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double q) const;  // q in [0,1)
+  [[nodiscard]] double mean() const { return mu + lambda; }
+
+  /// Distribution of the minimum of k independent draws — again shifted
+  /// exponential, with scale lambda/k. This identity is what makes
+  /// independent multi-walk speedup linear (for mu ~ 0).
+  [[nodiscard]] ShiftedExponential min_of(int k) const;
+};
+
+/// Maximum-likelihood fit: mu = min(x), lambda = mean(x) - mu.
+/// Requires at least 2 samples.
+ShiftedExponential fit_shifted_exponential(const std::vector<double>& samples);
+
+/// Bias-corrected fit for tail extrapolation: the sample minimum of N
+/// shifted-exponential draws overshoots mu by lambda/N in expectation, so
+/// mu_hat = max(0, min - lambda_hat/N). Use this when simulating min-of-k
+/// for k comparable to or larger than N (the cluster simulator's fitted
+/// tail); the plain MLE would otherwise floor all large-k times at the
+/// bank's observed minimum.
+ShiftedExponential fit_shifted_exponential_bias_corrected(const std::vector<double>& samples);
+
+/// Two-sided Kolmogorov-Smirnov statistic between the sample ECDF and the
+/// fitted distribution: sup_t |F_n(t) - F(t)|.
+double ks_distance(const std::vector<double>& samples, const ShiftedExponential& dist);
+
+/// Approximate p-value for the KS statistic at sample size n
+/// (Kolmogorov asymptotic series; adequate for n >= ~20 as a fit-quality
+/// indicator, not a strict test).
+double ks_p_value(double ks_stat, size_t n);
+
+}  // namespace cas::analysis

@@ -1,0 +1,65 @@
+#include "analysis/order_stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cas::analysis {
+
+double expected_min_of_k(const Ecdf& ecdf, int k) {
+  if (k < 1) throw std::invalid_argument("expected_min_of_k: k >= 1");
+  const auto& xs = ecdf.sorted();
+  const double n = static_cast<double>(xs.size());
+  // E[min] = integral of P(min > t) over t, telescoped over the sorted
+  // sample: P(min > x_(i)) = ((N - i)/N)^k for draws with replacement.
+  double e = xs.front();
+  for (size_t i = 1; i < xs.size(); ++i) {
+    const double surv = std::pow((n - static_cast<double>(i)) / n, k);
+    e += (xs[i] - xs[i - 1]) * surv;
+  }
+  return e;
+}
+
+double quantile_min_of_k(const Ecdf& ecdf, int k, double q) {
+  if (k < 1) throw std::invalid_argument("quantile_min_of_k: k >= 1");
+  if (q <= 0) return ecdf.min();
+  if (q >= 1) return ecdf.max();
+  const double base_q = 1.0 - std::pow(1.0 - q, 1.0 / static_cast<double>(k));
+  return ecdf.quantile(base_q);
+}
+
+double sample_min_of_k(const Ecdf& ecdf, int k, core::Rng& rng) {
+  const auto& xs = ecdf.sorted();
+  // Equivalent to min of k uniform draws: draw the minimum index directly.
+  // P(min index >= i) = ((N - i)/N)^k; invert by u ~ U(0,1).
+  // Simpler and exact: draw k indices, track the min — O(k); for the large
+  // k used by the JUGENE simulation use the O(1) inversion below.
+  if (k <= 64) {
+    size_t best = static_cast<size_t>(rng.below(xs.size()));
+    for (int i = 1; i < k; ++i) best = std::min(best, static_cast<size_t>(rng.below(xs.size())));
+    return xs[best];
+  }
+  // Inversion: F_minidx(i) = 1 - ((N - i - 1)/N)^k over i = 0..N-1.
+  const double n = static_cast<double>(xs.size());
+  const double u = rng.uniform01();
+  // Find smallest i with 1 - ((N-i-1)/N)^k >= u  <=>  (N-i-1)/N <= (1-u)^{1/k}.
+  const double s = std::pow(1.0 - u, 1.0 / static_cast<double>(k));
+  const double idx = n - 1.0 - s * n;
+  size_t i = idx <= 0 ? 0 : static_cast<size_t>(std::ceil(idx));
+  if (i >= xs.size()) i = xs.size() - 1;
+  return xs[i];
+}
+
+double sample_min_of_k_smoothed(const Ecdf& ecdf, int k, core::Rng& rng) {
+  const double u = rng.uniform01();
+  const double q = 1.0 - std::pow(1.0 - u, 1.0 / static_cast<double>(k));
+  return ecdf.quantile(q);
+}
+
+std::vector<double> sample_mins(const Ecdf& ecdf, int k, int count, core::Rng& rng) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(sample_min_of_k(ecdf, k, rng));
+  return out;
+}
+
+}  // namespace cas::analysis

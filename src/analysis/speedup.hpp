@@ -1,0 +1,42 @@
+// Speedup computation for the scaling figures (paper Figs. 2 and 3):
+// speedup(k) = T(reference cores) / T(k cores), where T is the average (or
+// median) time of repeated runs.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace cas::analysis {
+
+struct SpeedupPoint {
+  int cores = 0;
+  double time = 0;
+  double speedup = 0;        // vs the reference core count
+  double ideal_speedup = 0;  // cores / reference_cores
+  double efficiency = 0;     // speedup / ideal_speedup
+};
+
+/// `time_by_cores`: average (or median) time per core count. The smallest
+/// core count present is the reference (the paper uses 32 for Fig. 2 and
+/// 512/2048 for Fig. 3).
+inline std::vector<SpeedupPoint> speedup_series(const std::map<int, double>& time_by_cores) {
+  if (time_by_cores.empty()) throw std::invalid_argument("speedup_series: no data");
+  const int ref_cores = time_by_cores.begin()->first;
+  const double ref_time = time_by_cores.begin()->second;
+  std::vector<SpeedupPoint> out;
+  for (const auto& [cores, time] : time_by_cores) {
+    SpeedupPoint p;
+    p.cores = cores;
+    p.time = time;
+    p.speedup = time > 0 ? ref_time / time : std::numeric_limits<double>::infinity();
+    p.ideal_speedup = static_cast<double>(cores) / ref_cores;
+    p.efficiency = p.ideal_speedup > 0 ? p.speedup / p.ideal_speedup : 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace cas::analysis

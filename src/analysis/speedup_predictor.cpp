@@ -1,0 +1,60 @@
+#include "analysis/speedup_predictor.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/order_stats.hpp"
+
+namespace cas::analysis {
+
+PredictedSpeedup predict_speedup(const ShiftedExponential& fit, int cores) {
+  if (cores < 1) throw std::invalid_argument("predict_speedup: cores must be >= 1");
+  PredictedSpeedup p;
+  p.cores = cores;
+  p.expected_time = fit.mu + fit.lambda / cores;
+  const double t1 = fit.mu + fit.lambda;
+  p.speedup = p.expected_time > 0 ? t1 / p.expected_time : static_cast<double>(cores);
+  p.efficiency = p.speedup / cores;
+  return p;
+}
+
+std::vector<PredictedSpeedup> predict_speedup_curve(const ShiftedExponential& fit,
+                                                const std::vector<int>& cores) {
+  std::vector<PredictedSpeedup> out;
+  out.reserve(cores.size());
+  for (int k : cores) out.push_back(predict_speedup(fit, k));
+  return out;
+}
+
+PredictedSpeedup predict_speedup_empirical(const Ecdf& ecdf, int cores) {
+  if (cores < 1) throw std::invalid_argument("predict_speedup_empirical: cores must be >= 1");
+  PredictedSpeedup p;
+  p.cores = cores;
+  p.expected_time = expected_min_of_k(ecdf, cores);
+  p.speedup = p.expected_time > 0 ? ecdf.mean() / p.expected_time : static_cast<double>(cores);
+  p.efficiency = p.speedup / cores;
+  return p;
+}
+
+std::vector<PredictedSpeedup> predict_speedup_curve_empirical(const Ecdf& ecdf,
+                                                          const std::vector<int>& cores) {
+  std::vector<PredictedSpeedup> out;
+  out.reserve(cores.size());
+  for (int k : cores) out.push_back(predict_speedup_empirical(ecdf, k));
+  return out;
+}
+
+double efficiency_knee(const ShiftedExponential& fit) {
+  return max_cores_at_efficiency(fit, 0.5);  // k* = 2 + lambda/mu
+}
+
+double max_cores_at_efficiency(const ShiftedExponential& fit, double efficiency) {
+  if (efficiency <= 0 || efficiency > 1)
+    throw std::invalid_argument("max_cores_at_efficiency: efficiency must be in (0,1]");
+  if (fit.mu <= 0) return std::numeric_limits<double>::infinity();
+  // speedup(k)/k >= e  <=>  mu k^2 e + lambda k e <= (mu + lambda) k
+  //                    <=>  k <= (mu + lambda - lambda e) / (mu e)
+  return (fit.mu + fit.lambda * (1 - efficiency)) / (fit.mu * efficiency);
+}
+
+}  // namespace cas::analysis

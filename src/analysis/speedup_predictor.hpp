@@ -1,0 +1,58 @@
+// Predicted multi-walk speedup from a fitted run-time distribution.
+//
+// Verhoeven & Aarts (the paper's [39]): independent multi-walk with
+// first-win termination achieves linear speedup exactly when run times are
+// exponentially distributed. For the shifted exponential the prediction is
+// closed form —
+//
+//     E[T_k] = mu + lambda / k,
+//     speedup(k) = (mu + lambda) / (mu + lambda / k)
+//
+// — so the speedup is linear while lambda/k >> mu and saturates at
+// (mu + lambda)/mu once the shift dominates. This module turns a fitted
+// distribution (or a raw sample bank) into the predicted curve, and
+// quantifies where the paper's "nearly linear up to 8192 cores" regime must
+// end for a given instance: predicted efficiency falls to 50% at
+// k = 2 + lambda/mu cores (infinite for the pure exponential, mu = 0).
+#pragma once
+
+#include <vector>
+
+#include "analysis/ecdf.hpp"
+#include "analysis/exponential_fit.hpp"
+
+namespace cas::analysis {
+
+struct PredictedSpeedup {
+  int cores = 1;
+  double expected_time = 0;  // E[T_k]
+  double speedup = 1;        // E[T_1] / E[T_k]
+  double efficiency = 1;     // speedup / cores
+};
+
+/// Closed-form prediction from a fitted shifted exponential.
+PredictedSpeedup predict_speedup(const ShiftedExponential& fit, int cores);
+
+/// Prediction curve over a list of core counts.
+std::vector<PredictedSpeedup> predict_speedup_curve(const ShiftedExponential& fit,
+                                                const std::vector<int>& cores);
+
+/// Distribution-free prediction via min-of-k order statistics on the
+/// empirical distribution (no parametric assumption). Slower but honest
+/// about the bank's tail.
+PredictedSpeedup predict_speedup_empirical(const Ecdf& ecdf, int cores);
+
+std::vector<PredictedSpeedup> predict_speedup_curve_empirical(const Ecdf& ecdf,
+                                                          const std::vector<int>& cores);
+
+/// The core count at which predicted parallel efficiency drops to 50%:
+/// k* = 2 + lambda / mu (infinite when mu <= 0 — the pure-exponential
+/// linear regime the paper's instances live in).
+double efficiency_knee(const ShiftedExponential& fit);
+
+/// Largest core count whose predicted efficiency stays >= the threshold:
+/// from speedup(k)/k >= eff, k <= 1 + (lambda/mu) * (1 - eff)/eff
+/// (saturating; infinity when mu <= 0).
+double max_cores_at_efficiency(const ShiftedExponential& fit, double efficiency);
+
+}  // namespace cas::analysis

@@ -1,0 +1,57 @@
+// Descriptive statistics for run-time samples: the avg/median/min/max rows
+// of the paper's Tables I and III-V.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cas::analysis {
+
+struct Summary {
+  size_t n = 0;
+  double mean = 0;
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;  // sample standard deviation (n-1)
+  double q25 = 0;
+  double q75 = 0;
+};
+
+/// Quantile with linear interpolation between order statistics (type-7,
+/// the R/NumPy default). `sorted` must be ascending and non-empty.
+inline double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile_sorted: empty sample");
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  const double h = (static_cast<double>(sorted.size()) - 1) * q;
+  const size_t lo = static_cast<size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+}
+
+inline Summary summarize(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("summarize: empty sample");
+  std::sort(xs.begin(), xs.end());
+  Summary s;
+  s.n = xs.size();
+  s.min = xs.front();
+  s.max = xs.back();
+  s.median = quantile_sorted(xs, 0.5);
+  s.q25 = quantile_sorted(xs, 0.25);
+  s.q75 = quantile_sorted(xs, 0.75);
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+}  // namespace cas::analysis

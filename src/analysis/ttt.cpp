@@ -1,0 +1,63 @@
+#include "analysis/ttt.hpp"
+
+#include <algorithm>
+
+#include "util/ascii_plot.hpp"
+
+namespace cas::analysis {
+
+TttSeries make_ttt(std::string label, std::vector<double> run_times) {
+  TttSeries s;
+  s.label = std::move(label);
+  std::sort(run_times.begin(), run_times.end());
+  s.times = std::move(run_times);
+  const double n = static_cast<double>(s.times.size());
+  s.probs.reserve(s.times.size());
+  for (size_t i = 0; i < s.times.size(); ++i) {
+    s.probs.push_back((static_cast<double>(i) + 0.5) / n);  // plotting positions
+  }
+  s.fit = fit_shifted_exponential(s.times);
+  s.ks = ks_distance(s.times, s.fit);
+  s.ks_p = ks_p_value(s.ks, s.times.size());
+  return s;
+}
+
+double success_probability_within(const TttSeries& s, double t) {
+  const auto it = std::upper_bound(s.times.begin(), s.times.end(), t);
+  return static_cast<double>(it - s.times.begin()) / static_cast<double>(s.times.size());
+}
+
+std::string render_ttt_plot(const std::vector<TttSeries>& series, int width, int height) {
+  std::vector<util::Series> plot_series;
+  const char glyphs[] = {'o', '+', 'x', '#', '@', '%'};
+  int gi = 0;
+  for (const auto& s : series) {
+    util::Series pts;
+    pts.name = s.label;
+    pts.glyph = glyphs[gi % 6];
+    pts.x = s.times;
+    pts.y = s.probs;
+    plot_series.push_back(std::move(pts));
+    // Fitted CDF as a connected line over the same time range.
+    util::Series fit_line;
+    fit_line.name = s.label + " (shifted-exp fit)";
+    fit_line.glyph = '.';
+    fit_line.connect = true;
+    const double t0 = s.times.front(), t1 = s.times.back();
+    for (int i = 0; i <= 40; ++i) {
+      const double t = t0 + (t1 - t0) * i / 40.0;
+      fit_line.x.push_back(t);
+      fit_line.y.push_back(s.fit.cdf(t));
+    }
+    plot_series.push_back(std::move(fit_line));
+    ++gi;
+  }
+  util::PlotOptions opt;
+  opt.width = width;
+  opt.height = height;
+  opt.x_label = "time to solution (s)";
+  opt.y_label = "P(solved within t)";
+  return util::ascii_plot(plot_series, opt);
+}
+
+}  // namespace cas::analysis

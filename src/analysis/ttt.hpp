@@ -1,0 +1,32 @@
+// Time-to-target plots (Aiex, Resende & Ribeiro), reproduced for the
+// paper's Figure 4: the empirical probability of having found a solution
+// within time t, overlaid with the best shifted-exponential approximation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/exponential_fit.hpp"
+
+namespace cas::analysis {
+
+struct TttSeries {
+  std::string label;
+  std::vector<double> times;  // sorted run times
+  std::vector<double> probs;  // empirical probabilities (i - 0.5)/N
+  ShiftedExponential fit;     // shifted-exponential approximation
+  double ks = 0;              // KS distance between ECDF and fit
+  double ks_p = 0;            // approximate p-value
+};
+
+/// Build a TTT series from raw run times (unsorted OK).
+TttSeries make_ttt(std::string label, std::vector<double> run_times);
+
+/// Probability of success within budget t under the empirical distribution.
+double success_probability_within(const TttSeries& s, double t);
+
+/// Render one or more TTT series as an ASCII plot (probability vs time).
+std::string render_ttt_plot(const std::vector<TttSeries>& series, int width = 72,
+                            int height = 20);
+
+}  // namespace cas::analysis

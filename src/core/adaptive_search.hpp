@@ -1,0 +1,219 @@
+// Adaptive Search (Codognet & Diaz 2001/2003), the metaheuristic the paper
+// uses to solve the Costas Array Problem. This is the base algorithm of the
+// paper's Figure 1 plus the two published refinements it relies on:
+// plateau moves accepted with probability p (Sec. III-B1) and the
+// reset/diversification machinery with a problem-specific reset hook
+// (Sec. III-B2, Sec. IV-B).
+//
+// One iteration:
+//   1. project constraint errors onto variables (problem.compute_errors),
+//   2. select the worst ("culprit") non-tabu variable, ties broken uniformly,
+//   3. min-conflict: score swapping the culprit with every other variable,
+//   4. apply the best swap if it improves; follow an equal-cost plateau with
+//      probability p; otherwise mark the culprit tabu for `tabu_tenure`
+//      iterations,
+//   5. when `reset_limit` variables are tabu simultaneously, diversify:
+//      problem custom reset if available, else re-shuffle `reset_fraction`
+//      of the variables.
+//
+// The engine is a template over LocalSearchProblem: the hot loop has no
+// virtual calls and no allocation (buffers are reused across iterations).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/problem.hpp"
+#include "core/stats.hpp"
+#include "util/timer.hpp"
+
+namespace cas::core {
+
+template <LocalSearchProblem P>
+class AdaptiveSearch {
+ public:
+  AdaptiveSearch(P& problem, AsConfig config)
+      : problem_(problem), cfg_(config), rng_(config.seed) {}
+
+  /// Randomize the configuration, then search until solved, stopped, or out
+  /// of budget.
+  RunStats solve(StopToken stop = {}) {
+    problem_.randomize(rng_);
+    return solve_from_current(stop);
+  }
+
+  /// Search from the problem's current configuration (used by tests and by
+  /// restart-free reproductions of specific runs).
+  RunStats solve_from_current(StopToken stop = {}) {
+    util::WallTimer timer;
+    RunStats st;
+    const int n = problem_.size();
+    errors_.resize(static_cast<size_t>(n));
+    tabu_until_.assign(static_cast<size_t>(n), 0);
+
+    uint64_t next_probe = cfg_.probe_interval;
+    uint64_t next_restart = cfg_.restart_interval;
+
+    while (problem_.cost() > 0) {
+      if (cfg_.max_iterations != 0 && st.iterations >= cfg_.max_iterations) break;
+      if (st.iterations >= next_probe) {
+        // The paper's parallel scheme: a non-blocking "has anyone finished?"
+        // test every c iterations.
+        if (stop.stop_requested()) break;
+        next_probe += cfg_.probe_interval;
+      }
+      if (st.iterations >= next_restart) {
+        problem_.randomize(rng_);
+        std::fill(tabu_until_.begin(), tabu_until_.end(), uint64_t{0});
+        ++st.restarts;
+        next_restart += cfg_.restart_interval;
+        continue;
+      }
+      ++st.iterations;
+
+      const int culprit = select_culprit(st.iterations);
+      if (culprit < 0) {
+        // Every variable is tabu: forced diversification.
+        diversify(st);
+        continue;
+      }
+
+      // Min-conflict: best swap of the culprit with any other variable.
+      const Cost current = problem_.cost();
+      Cost best_cost = std::numeric_limits<Cost>::max();
+      int best_j = -1;
+      int ties = 0;
+      for (int j = 0; j < n; ++j) {
+        if (j == culprit) continue;
+        const Cost c = problem_.cost_if_swap(culprit, j);
+        ++st.move_evaluations;
+        if (c < best_cost) {
+          best_cost = c;
+          best_j = j;
+          ties = 1;
+        } else if (c == best_cost) {
+          // Uniform choice among equally good moves.
+          ++ties;
+          if (rng_.below(static_cast<uint64_t>(ties)) == 0) best_j = j;
+        }
+      }
+
+      if (best_j >= 0 && best_cost < current) {
+        problem_.apply_swap(culprit, best_j);
+        ++st.swaps;
+        continue;
+      }
+      if (best_j >= 0 && best_cost == current && rng_.chance(cfg_.plateau_probability)) {
+        problem_.apply_swap(culprit, best_j);
+        ++st.swaps;
+        ++st.plateau_moves;
+        continue;
+      }
+      if (best_j >= 0 && best_cost == current) ++st.plateau_refused;
+
+      // Local minimum for this variable: freeze it, maybe diversify.
+      ++st.local_minima;
+      tabu_until_[static_cast<size_t>(culprit)] = st.iterations + static_cast<uint64_t>(cfg_.tabu_tenure);
+      if (count_tabu(st.iterations) >= cfg_.reset_limit) diversify(st);
+    }
+
+    st.solved = problem_.cost() == 0;
+    st.final_cost = problem_.cost();
+    st.wall_seconds = timer.seconds();
+    if (st.solved) {
+      st.solution.resize(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) st.solution[static_cast<size_t>(i)] = problem_.value(i);
+    }
+    return st;
+  }
+
+  [[nodiscard]] const AsConfig& config() const { return cfg_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  /// Highest-error variable not currently tabu; ties broken uniformly.
+  /// Returns -1 if all variables are tabu.
+  int select_culprit(uint64_t iter) {
+    const int n = problem_.size();
+    problem_.compute_errors(std::span<Cost>(errors_.data(), errors_.size()));
+    Cost best_err = -1;
+    int culprit = -1;
+    int ties = 0;
+    for (int i = 0; i < n; ++i) {
+      if (tabu_until_[static_cast<size_t>(i)] > iter) continue;
+      const Cost e = errors_[static_cast<size_t>(i)];
+      if (e > best_err) {
+        best_err = e;
+        culprit = i;
+        ties = 1;
+      } else if (e == best_err) {
+        ++ties;
+        if (rng_.below(static_cast<uint64_t>(ties)) == 0) culprit = i;
+      }
+    }
+    return culprit;
+  }
+
+  int count_tabu(uint64_t iter) const {
+    int c = 0;
+    for (uint64_t t : tabu_until_)
+      if (t > iter) ++c;
+    return c;
+  }
+
+  void diversify(RunStats& st) {
+    ++st.resets;
+    if constexpr (HasCustomReset<P>) {
+      if (cfg_.use_custom_reset) {
+        const bool escaped = problem_.custom_reset(rng_);
+        if (escaped)
+          ++st.custom_reset_escapes;
+        else if (cfg_.hybrid_reset)
+          generic_reset();
+        if (!cfg_.keep_tabu_on_reset) clear_tabu();
+        return;
+      }
+    }
+    generic_reset();
+    if (!cfg_.keep_tabu_on_reset) clear_tabu();
+  }
+
+  /// Generic reset (Sec. III-B2): re-randomize ~reset_fraction of the
+  /// variables. On permutation configurations this is a uniform shuffle of
+  /// k selected positions, expressed as swaps so the problem's incremental
+  /// bookkeeping stays valid.
+  void generic_reset() {
+    const int n = problem_.size();
+    int k = static_cast<int>(std::max(2.0, cfg_.reset_fraction * n + 0.5));
+    k = std::min(k, n);
+    scratch_positions_.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) scratch_positions_[static_cast<size_t>(i)] = i;
+    // Partial Fisher-Yates: the first k entries become k distinct positions.
+    for (int i = 0; i < k; ++i) {
+      const int j = i + static_cast<int>(rng_.below(static_cast<uint64_t>(n - i)));
+      std::swap(scratch_positions_[static_cast<size_t>(i)], scratch_positions_[static_cast<size_t>(j)]);
+    }
+    // Shuffle the values held by those k positions.
+    for (int i = k - 1; i > 0; --i) {
+      const int j = static_cast<int>(rng_.below(static_cast<uint64_t>(i + 1)));
+      if (i != j) {
+        problem_.apply_swap(scratch_positions_[static_cast<size_t>(i)],
+                            scratch_positions_[static_cast<size_t>(j)]);
+      }
+    }
+  }
+
+  void clear_tabu() { std::fill(tabu_until_.begin(), tabu_until_.end(), uint64_t{0}); }
+
+  P& problem_;
+  AsConfig cfg_;
+  Rng rng_;
+  std::vector<Cost> errors_;
+  std::vector<uint64_t> tabu_until_;
+  std::vector<int> scratch_positions_;
+};
+
+}  // namespace cas::core

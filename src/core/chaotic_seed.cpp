@@ -1,0 +1,79 @@
+#include "core/chaotic_seed.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace cas::core {
+
+namespace {
+
+// Piecewise linear chaotic map (skew tent): full measure-preserving chaos on
+// (0,1) for control parameter p in (0,1), with uniform invariant density.
+//   F(x) = x/p            if x <  p
+//        = (1-x)/(1-p)    if x >= p
+double plcm(double x, double p) { return x < p ? x / p : (1.0 - x) / (1.0 - p); }
+
+// Keep orbits strictly inside (0,1): floating-point rounding can pin an
+// orbit to 0 or 1, which are fixed points of the map.
+double clamp_open(double x) {
+  constexpr double kEps = 1e-12;
+  if (!(x > kEps)) return kEps + 1e-13;        // also catches NaN
+  if (!(x < 1.0 - kEps)) return 1.0 - kEps;
+  return x;
+}
+
+}  // namespace
+
+ChaoticSeedSequence::ChaoticSeedSequence(uint64_t master_seed) {
+  SplitMix64 sm(master_seed);
+  // Derive initial orbit points and control parameters from the master seed.
+  for (int i = 0; i < 3; ++i) {
+    x_[i] = clamp_open(static_cast<double>(sm.next() >> 11) * 0x1.0p-53);
+    // Control parameters in (0.05, 0.45): away from the degenerate edges and
+    // from p = 0.5 (where the tent map has a marginally stable structure).
+    p_[i] = 0.05 + 0.4 * static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+  mix_ = sm.next();
+  // Discard the transient so seeds do not reflect the initial conditions.
+  for (int i = 0; i < 64; ++i) step();
+}
+
+void ChaoticSeedSequence::step() {
+  // Advance the three orbits and couple them Trident-style: each orbit is
+  // perturbed by a small multiple of its neighbour, which prevents the
+  // individual maps from collapsing onto short periodic cycles in floating
+  // point (the known weakness of uncoupled digital chaos).
+  double y[3];
+  for (int i = 0; i < 3; ++i) y[i] = plcm(x_[i], p_[i]);
+  constexpr double kCouple = 0x1.0p-16;
+  for (int i = 0; i < 3; ++i) {
+    double v = y[i] + kCouple * y[(i + 1) % 3];
+    if (v >= 1.0) v -= 1.0;
+    x_[i] = clamp_open(v);
+  }
+}
+
+uint64_t ChaoticSeedSequence::next() {
+  step();
+  // Harvest 53 mantissa bits from each orbit and whiten. The whitening pass
+  // (splitmix64 finalizer) removes the residual structure of the map while
+  // preserving the decorrelation the chaotic orbits provide.
+  const uint64_t a = static_cast<uint64_t>(x_[0] * 0x1.0p53);
+  const uint64_t b = static_cast<uint64_t>(x_[1] * 0x1.0p53);
+  const uint64_t c = static_cast<uint64_t>(x_[2] * 0x1.0p53);
+  uint64_t z = a ^ (b << 5) ^ (c << 11) ^ (mix_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<uint64_t> ChaoticSeedSequence::generate(uint64_t master_seed, size_t n) {
+  ChaoticSeedSequence seq(master_seed);
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(seq.next());
+  return out;
+}
+
+}  // namespace cas::core

@@ -1,0 +1,211 @@
+// Dialectic Search (Kadioglu & Sellmann, CP 2009) — the local-search
+// baseline the paper compares Adaptive Search against (Table II).
+//
+// Reimplemented from the published description for permutation problems:
+//   thesis      T: a local optimum (greedy first-improvement descent),
+//   antithesis  A: T with a random fraction of positions shuffled,
+//   synthesis   S: greedy walk from T to A (each step swaps one disagreeing
+//                  position into agreement with A, choosing the cheapest
+//                  step); the best configuration seen along the walk is
+//                  descended again and adopted if it improves on T.
+// After `max_no_improve` fruitless antitheses, restart from scratch.
+//
+// The engine only uses the LocalSearchProblem interface, so it runs on any
+// model in this repo; the paper's Table II uses it on Costas.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/problem.hpp"
+#include "core/stats.hpp"
+#include "util/timer.hpp"
+
+namespace cas::core {
+
+template <LocalSearchProblem P>
+class DialecticSearch {
+ public:
+  DialecticSearch(P& problem, DsConfig config)
+      : problem_(problem), cfg_(config), rng_(config.seed) {}
+
+  RunStats solve(StopToken stop = {}) {
+    util::WallTimer timer;
+    RunStats st;
+    const int n = problem_.size();
+
+    problem_.randomize(rng_);
+    greedy_descent(st, stop);
+
+    int no_improve = 0;
+    while (problem_.cost() > 0 && !should_stop(st, stop)) {
+      // Thesis snapshot.
+      const Cost thesis_cost = problem_.cost();
+      snapshot(thesis_);
+
+      // Antithesis: shuffle a random window of positions.
+      make_antithesis();
+
+      // Synthesis: walk current (== thesis) toward antithesis_, tracking the
+      // best configuration encountered.
+      Cost best_cost = thesis_cost;
+      snapshot(best_);
+      synthesis_walk(best_cost, st, stop);
+
+      // Descend from the best point on the path.
+      restore(best_);
+      greedy_descent(st, stop);
+
+      if (problem_.cost() < thesis_cost) {
+        no_improve = 0;  // adopt as new thesis (already in place)
+      } else {
+        ++no_improve;
+        restore(thesis_);
+        if (no_improve >= cfg_.max_no_improve) {
+          ++st.restarts;
+          problem_.randomize(rng_);
+          greedy_descent(st, stop);
+          no_improve = 0;
+        }
+      }
+    }
+
+    st.solved = problem_.cost() == 0;
+    st.final_cost = problem_.cost();
+    st.wall_seconds = timer.seconds();
+    if (st.solved) {
+      st.solution.resize(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) st.solution[static_cast<size_t>(i)] = problem_.value(i);
+    }
+    return st;
+  }
+
+ private:
+  bool should_stop(RunStats& st, StopToken stop) {
+    if (cfg_.max_iterations != 0 && st.iterations >= cfg_.max_iterations) return true;
+    if (st.iterations >= next_probe_) {
+      next_probe_ += cfg_.probe_interval;
+      if (stop.stop_requested()) return true;
+    }
+    return false;
+  }
+
+  /// First-improvement descent to a local optimum. One `iteration` = one
+  /// full sweep over all position pairs.
+  void greedy_descent(RunStats& st, StopToken stop) {
+    const int n = problem_.size();
+    bool improved = true;
+    while (improved && problem_.cost() > 0) {
+      if (should_stop(st, stop)) return;
+      ++st.iterations;
+      improved = false;
+      for (int i = 0; i < n - 1; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          ++st.move_evaluations;
+          if (problem_.cost_if_swap(i, j) < problem_.cost()) {
+            problem_.apply_swap(i, j);
+            ++st.swaps;
+            improved = true;
+          }
+        }
+      }
+    }
+    if (!improved) ++st.local_minima;
+  }
+
+  void make_antithesis() {
+    const int n = problem_.size();
+    snapshot(antithesis_);
+    int k = std::max(3, static_cast<int>(cfg_.perturbation_fraction * n + 0.5));
+    k = std::min(k, n);
+    const int start = static_cast<int>(rng_.below(static_cast<uint64_t>(n - k + 1)));
+    // Shuffle the window [start, start+k) of the antithesis target.
+    for (int i = k - 1; i > 0; --i) {
+      const int j = static_cast<int>(rng_.below(static_cast<uint64_t>(i + 1)));
+      std::swap(antithesis_[static_cast<size_t>(start + i)], antithesis_[static_cast<size_t>(start + j)]);
+    }
+  }
+
+  /// Greedy path from the current configuration to antithesis_.
+  void synthesis_walk(Cost& best_cost, RunStats& st, StopToken stop) {
+    const int n = problem_.size();
+    build_position_index();
+    while (!should_stop(st, stop)) {
+      // Candidate steps: for each disagreeing position i, swap i with the
+      // position currently holding the antithesis value of i.
+      Cost step_best = std::numeric_limits<Cost>::max();
+      int bi = -1, bj = -1;
+      for (int i = 0; i < n; ++i) {
+        const int want = antithesis_[static_cast<size_t>(i)];
+        if (problem_.value(i) == want) continue;
+        const int j = pos_of_value_[static_cast<size_t>(value_key(want))];
+        const Cost c = problem_.cost_if_swap(i, j);
+        ++st.move_evaluations;
+        if (c < step_best) {
+          step_best = c;
+          bi = i;
+          bj = j;
+        }
+      }
+      if (bi < 0) break;  // reached the antithesis
+      apply_indexed_swap(bi, bj);
+      ++st.swaps;
+      if (problem_.cost() < best_cost) {
+        best_cost = problem_.cost();
+        snapshot(best_);
+      }
+      if (problem_.cost() == 0) break;
+    }
+  }
+
+  // --- configuration snapshots (values are distinct across positions for
+  // all models in this repo, so a value -> position index is well defined) ---
+
+  void snapshot(std::vector<int>& out) {
+    const int n = problem_.size();
+    out.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) out[static_cast<size_t>(i)] = problem_.value(i);
+  }
+
+  /// Rebuild the current configuration into `target` using swaps only, so
+  /// the problem's incremental state stays consistent.
+  void restore(const std::vector<int>& target) {
+    const int n = problem_.size();
+    build_position_index();
+    for (int i = 0; i < n; ++i) {
+      const int want = target[static_cast<size_t>(i)];
+      if (problem_.value(i) == want) continue;
+      const int j = pos_of_value_[static_cast<size_t>(value_key(want))];
+      apply_indexed_swap(i, j);
+    }
+  }
+
+  void build_position_index() {
+    const int n = problem_.size();
+    int max_key = 0;
+    for (int i = 0; i < n; ++i) max_key = std::max(max_key, value_key(problem_.value(i)));
+    pos_of_value_.assign(static_cast<size_t>(max_key) + 1, -1);
+    for (int i = 0; i < n; ++i)
+      pos_of_value_[static_cast<size_t>(value_key(problem_.value(i)))] = i;
+  }
+
+  void apply_indexed_swap(int i, int j) {
+    problem_.apply_swap(i, j);
+    pos_of_value_[static_cast<size_t>(value_key(problem_.value(i)))] = i;
+    pos_of_value_[static_cast<size_t>(value_key(problem_.value(j)))] = j;
+  }
+
+  static int value_key(int v) { return v; }  // values are small non-negative ints
+
+  P& problem_;
+  DsConfig cfg_;
+  Rng rng_;
+  uint64_t next_probe_ = 0;
+  std::vector<int> thesis_;
+  std::vector<int> antithesis_;
+  std::vector<int> best_;
+  std::vector<int> pos_of_value_;
+};
+
+}  // namespace cas::core

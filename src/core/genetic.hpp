@@ -1,0 +1,154 @@
+// Permutation genetic algorithm — the population-based contrast to the
+// paper's local-search family. Sec. V's taxonomy of parallel metaheuristics
+// singles out population-based methods (genetic algorithms) as the other
+// classical approach next to single-walk and multiple-walk local search;
+// this engine lets the baseline-gallery bench measure how a generational
+// GA fares on the CAP against AS on identical hardware.
+//
+// Standard machinery: tournament selection, order crossover (OX1) which
+// preserves permutation validity, transposition mutation, elitism. The
+// engine is generic over any problem that can score a complete permutation
+// (PermutationEvaluator concept) — it never needs incremental move
+// evaluation, which is exactly why it cannot exploit the structure AS does.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/problem.hpp"
+#include "core/stats.hpp"
+#include "util/timer.hpp"
+
+namespace cas::core {
+
+/// Fitness-only view of a problem: score an arbitrary complete permutation
+/// of {1..n}. CostasProblem satisfies this via its stateless evaluate().
+template <typename P>
+concept PermutationEvaluator = requires(const P& cp, std::span<const int> perm) {
+  { cp.size() } -> std::convertible_to<int>;
+  { cp.evaluate(perm) } -> std::convertible_to<Cost>;
+};
+
+template <PermutationEvaluator P>
+class GeneticSearch {
+ public:
+  GeneticSearch(const P& problem, GaConfig config)
+      : problem_(problem), cfg_(config), rng_(config.seed) {}
+
+  /// Evolve until a zero-cost individual appears, the generation budget is
+  /// spent, or the stop token fires. RunStats::iterations counts
+  /// generations; move_evaluations counts fitness evaluations.
+  RunStats solve(StopToken stop = {}) {
+    util::WallTimer timer;
+    RunStats st;
+    const int n = problem_.size();
+    const size_t pop_size = static_cast<size_t>(std::max(cfg_.population, 4));
+
+    std::vector<Individual> pop(pop_size);
+    for (auto& ind : pop) {
+      ind.perm = rng_.permutation(n);
+      ind.cost = problem_.evaluate(ind.perm);
+      ++st.move_evaluations;
+    }
+    sort_population(pop);
+
+    uint64_t next_probe = cfg_.probe_interval;
+    while (pop.front().cost > 0) {
+      if (cfg_.max_generations != 0 && st.iterations >= cfg_.max_generations) break;
+      if (st.iterations >= next_probe) {
+        if (stop.stop_requested()) break;
+        next_probe += cfg_.probe_interval;
+      }
+      ++st.iterations;
+
+      std::vector<Individual> next;
+      next.reserve(pop_size);
+      const size_t elites = std::min(static_cast<size_t>(std::max(cfg_.elites, 0)), pop_size);
+      for (size_t e = 0; e < elites; ++e) next.push_back(pop[e]);
+
+      while (next.size() < pop_size) {
+        const Individual& a = tournament(pop);
+        Individual child;
+        if (rng_.chance(cfg_.crossover_probability)) {
+          const Individual& b = tournament(pop);
+          child.perm = order_crossover(a.perm, b.perm);
+        } else {
+          child.perm = a.perm;
+        }
+        if (rng_.chance(cfg_.mutation_probability)) mutate(child.perm);
+        child.cost = problem_.evaluate(child.perm);
+        ++st.move_evaluations;
+        next.push_back(std::move(child));
+      }
+      pop = std::move(next);
+      sort_population(pop);
+    }
+
+    st.solved = pop.front().cost == 0;
+    st.final_cost = pop.front().cost;
+    st.wall_seconds = timer.seconds();
+    if (st.solved) st.solution = pop.front().perm;
+    return st;
+  }
+
+ private:
+  struct Individual {
+    std::vector<int> perm;
+    Cost cost = 0;
+  };
+
+  static void sort_population(std::vector<Individual>& pop) {
+    std::stable_sort(pop.begin(), pop.end(),
+                     [](const Individual& x, const Individual& y) { return x.cost < y.cost; });
+  }
+
+  const Individual& tournament(const std::vector<Individual>& pop) {
+    const size_t k = static_cast<size_t>(std::max(cfg_.tournament_k, 1));
+    size_t best = rng_.below(pop.size());
+    for (size_t t = 1; t < k; ++t) {
+      const size_t c = rng_.below(pop.size());
+      if (pop[c].cost < pop[best].cost) best = c;
+    }
+    return pop[best];
+  }
+
+  /// OX1: copy a random slice of `a`, fill the rest in `b`'s cyclic order.
+  std::vector<int> order_crossover(const std::vector<int>& a, const std::vector<int>& b) {
+    const size_t n = a.size();
+    size_t lo = rng_.below(n);
+    size_t hi = rng_.below(n);
+    if (lo > hi) std::swap(lo, hi);
+
+    std::vector<int> child(n, 0);
+    taken_.assign(n + 1, false);
+    for (size_t k = lo; k <= hi; ++k) {
+      child[k] = a[k];
+      taken_[static_cast<size_t>(a[k])] = true;
+    }
+    size_t write = (hi + 1) % n;
+    for (size_t step = 0; step < n; ++step) {
+      const int v = b[(hi + 1 + step) % n];
+      if (taken_[static_cast<size_t>(v)]) continue;
+      child[write] = v;
+      write = (write + 1) % n;
+    }
+    return child;
+  }
+
+  void mutate(std::vector<int>& perm) {
+    const size_t n = perm.size();
+    const size_t i = rng_.below(n);
+    size_t j = rng_.below(n - 1);
+    if (j >= i) ++j;
+    std::swap(perm[i], perm[j]);
+  }
+
+  const P& problem_;
+  GaConfig cfg_;
+  Rng rng_;
+  std::vector<char> taken_;  // crossover scratch, reused across offspring
+};
+
+}  // namespace cas::core

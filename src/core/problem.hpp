@@ -1,0 +1,75 @@
+// The LocalSearchProblem concept: the contract between the search engines
+// (AdaptiveSearch, DialecticSearch, HillClimber) and problem models
+// (Costas, N-Queens, All-Interval, Magic Square).
+//
+// A problem owns a *configuration* (for all our models: a permutation laid
+// out over `size()` variables), a cached global cost, and enough internal
+// bookkeeping to evaluate candidate swap moves incrementally. Cost 0 means
+// every constraint is satisfied.
+//
+// The engines are templates over this concept: the per-iteration hot path
+// (error projection + move scan) compiles with no virtual dispatch.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/rng.hpp"
+
+namespace cas::core {
+
+using Cost = int64_t;
+
+template <typename P>
+concept LocalSearchProblem = requires(P p, const P& cp, int i, int j, Rng& rng,
+                                      std::span<Cost> errs) {
+  // Number of decision variables.
+  { cp.size() } -> std::convertible_to<int>;
+  // Cached global cost of the current configuration (0 == solved).
+  { cp.cost() } -> std::convertible_to<Cost>;
+  // Current value of variable i (presentation only; engines never interpret it).
+  { cp.value(i) } -> std::convertible_to<int>;
+  // Draw a fresh uniform random configuration and rebuild internal state.
+  { p.randomize(rng) };
+  // Cost the configuration would have after swapping variables i and j.
+  { p.cost_if_swap(i, j) } -> std::convertible_to<Cost>;
+  // Swap variables i and j, updating cost and bookkeeping incrementally.
+  { p.apply_swap(i, j) };
+  // Write the per-variable error projection into errs (size() entries).
+  // Higher error == variable more responsible for constraint violations.
+  { p.compute_errors(errs) };
+};
+
+/// Problems may provide a hand-tuned reset ("diversification") procedure,
+/// like the paper's Costas reset (Sec. IV-B). The engine calls it at local
+/// minima instead of the generic percentage reset. Returns true if the
+/// chosen perturbation strictly improved on the entry cost ("escaped
+/// early" — the paper reports this happens ~32% of the time for Costas).
+template <typename P>
+concept HasCustomReset = requires(P p, Rng& rng) {
+  { p.custom_reset(rng) } -> std::convertible_to<bool>;
+};
+
+/// Cooperative cancellation for parallel multi-walk: walkers poll this every
+/// `probe_interval` iterations (the paper's non-blocking MPI test every c
+/// iterations). Backed by either an atomic flag (thread multi-walk) or an
+/// arbitrary predicate (e.g. an MPI-style mailbox probe).
+class StopToken {
+ public:
+  StopToken() = default;
+  explicit StopToken(const std::atomic<bool>* flag) : flag_(flag) {}
+  explicit StopToken(const std::function<bool()>* predicate) : predicate_(predicate) {}
+  [[nodiscard]] bool stop_requested() const {
+    if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) return true;
+    return predicate_ != nullptr && (*predicate_)();
+  }
+
+ private:
+  const std::atomic<bool>* flag_ = nullptr;
+  const std::function<bool()>* predicate_ = nullptr;
+};
+
+}  // namespace cas::core

@@ -1,0 +1,87 @@
+// A Rickard-Healy style stochastic search (CISS 2006), reconstructed from
+// the paper's Sec. II account: random transposition moves accepted when
+// they do not worsen the cost, with a stall-triggered full restart — the
+// "restart policy which is too simple" the paper blames for their negative
+// conclusion ("such methods are unlikely to succeed for n > 26"). The
+// baseline-gallery bench shows exactly the failure mode the paper predicts:
+// within a fixed budget this walk's success rate collapses at sizes where
+// Adaptive Search still solves every run.
+//
+// Scheme per iteration: draw a uniformly random pair (i, j), score the
+// swap; apply it when the cost strictly improves (or stays equal, when
+// accept_equal is on). After stall_limit consecutive rejected moves the
+// search restarts from a fresh random configuration, discarding all
+// progress — the defect that makes deep basins unreachable.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/problem.hpp"
+#include "core/stats.hpp"
+#include "util/timer.hpp"
+
+namespace cas::core {
+
+template <LocalSearchProblem P>
+class RickardHealySearch {
+ public:
+  RickardHealySearch(P& problem, RhConfig config)
+      : problem_(problem), cfg_(config), rng_(config.seed) {}
+
+  RunStats solve(StopToken stop = {}) {
+    util::WallTimer timer;
+    RunStats st;
+    const int n = problem_.size();
+    problem_.randomize(rng_);
+
+    int stalled = 0;
+    uint64_t next_probe = cfg_.probe_interval;
+    while (problem_.cost() > 0) {
+      if (cfg_.max_iterations != 0 && st.iterations >= cfg_.max_iterations) break;
+      if (st.iterations >= next_probe) {
+        if (stop.stop_requested()) break;
+        next_probe += cfg_.probe_interval;
+      }
+      ++st.iterations;
+
+      const int i = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+      int j = static_cast<int>(rng_.below(static_cast<uint64_t>(n - 1)));
+      if (j >= i) ++j;
+      const Cost now = problem_.cost();
+      const Cost then = problem_.cost_if_swap(i, j);
+      ++st.move_evaluations;
+
+      const bool accept = then < now || (cfg_.accept_equal && then == now);
+      if (accept) {
+        problem_.apply_swap(i, j);
+        ++st.swaps;
+        if (then == now) ++st.plateau_moves;
+        if (then < now) stalled = 0;
+      } else {
+        ++stalled;
+        if (stalled >= cfg_.stall_limit) {
+          // The too-simple restart: throw everything away.
+          problem_.randomize(rng_);
+          ++st.restarts;
+          ++st.local_minima;
+          stalled = 0;
+        }
+      }
+    }
+
+    st.solved = problem_.cost() == 0;
+    st.final_cost = problem_.cost();
+    st.wall_seconds = timer.seconds();
+    if (st.solved) {
+      st.solution.resize(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) st.solution[static_cast<size_t>(i)] = problem_.value(i);
+    }
+    return st;
+  }
+
+ private:
+  P& problem_;
+  RhConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace cas::core

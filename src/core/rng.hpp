@@ -1,0 +1,142 @@
+// Pseudo-random number generation for the local-search engines.
+//
+// The paper (Sec. III-B3) stresses that massively parallel stochastic search
+// needs better randomness than libc rand(): we use xoshiro256** (Blackman &
+// Vigna) seeded through splitmix64, which is the reference seeding scheme.
+// Each walker owns its generator by value — no shared RNG state between
+// threads (C++ Core Guidelines CP.2/CP.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+// Lemire's bounded-rejection sampler uses 128-bit intermediates (a GCC/
+// Clang extension).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+
+namespace cas::core {
+
+/// splitmix64: used to expand a 64-bit seed into xoshiro state, and as a
+/// lightweight standalone generator in tests.
+struct SplitMix64 {
+  uint64_t state;
+
+  explicit constexpr SplitMix64(uint64_t seed) : state(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** 1.0. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+    // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+    // consecutive zeros, so no further guard is needed.
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  result_type operator()() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Lemire's multiply-shift method with rejection (unbiased).
+  uint64_t below(uint64_t bound) {
+    uint64_t x = (*this)();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      const uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<unsigned __int128>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int64_t between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double prob) { return uniform01() < prob; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Random permutation of {base, ..., base + n - 1}.
+  std::vector<int> permutation(int n, int base = 1) {
+    std::vector<int> p(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) p[static_cast<size_t>(i)] = base + i;
+    shuffle(p);
+    return p;
+  }
+
+  /// 2^128 steps forward; used to partition one seed into parallel streams
+  /// (alternative to per-walker reseeding).
+  void jump() {
+    static constexpr uint64_t kJump[] = {0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+                                         0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+    uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (uint64_t jump_word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump_word & (1ull << b)) {
+          s0 ^= s_[0];
+          s1 ^= s_[1];
+          s2 ^= s_[2];
+          s3 ^= s_[3];
+        }
+        (*this)();
+      }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace cas::core
+
+#pragma GCC diagnostic pop

@@ -1,0 +1,123 @@
+// Simulated annealing over swap moves — the classic metaheuristic the
+// paper's related-work section contrasts with (Pardalos et al.'s parallel
+// SA, and the Rickard & Healy stochastic search whose failure on CAP for
+// n > 26 motivates the paper's Sec. II discussion). Serves as an extra
+// baseline for the solver-comparison benches and as another client of the
+// LocalSearchProblem concept.
+//
+// Geometric cooling with reheating: temperature T is multiplied by `alpha`
+// every `moves_per_temperature` proposals; when it freezes without a
+// solution the schedule restarts from a fresh random configuration (the
+// "too simple restart policy" pitfall the paper quotes is avoided by
+// restarting aggressively).
+#pragma once
+
+#include <cmath>
+
+#include "core/config.hpp"
+#include "core/problem.hpp"
+#include "core/stats.hpp"
+#include "util/timer.hpp"
+
+namespace cas::core {
+
+struct SaConfig {
+  double initial_temperature = 0;  // 0 = auto-calibrate from random moves
+  double alpha = 0.97;             // geometric cooling factor
+  int moves_per_temperature = 0;   // 0 = auto (n^2 proposals per level)
+  double freeze_temperature = 1e-3;
+  uint64_t max_iterations = 0;  // proposals; 0 = unlimited
+  uint64_t probe_interval = 1024;
+  uint64_t seed = 42;
+};
+
+template <LocalSearchProblem P>
+class SimulatedAnnealing {
+ public:
+  SimulatedAnnealing(P& problem, SaConfig config)
+      : problem_(problem), cfg_(config), rng_(config.seed) {}
+
+  RunStats solve(StopToken stop = {}) {
+    util::WallTimer timer;
+    RunStats st;
+    const int n = problem_.size();
+    const int moves_per_level =
+        cfg_.moves_per_temperature > 0 ? cfg_.moves_per_temperature : n * n;
+
+    problem_.randomize(rng_);
+    double temperature = cfg_.initial_temperature > 0 ? cfg_.initial_temperature
+                                                      : calibrate_temperature();
+    const double t0 = temperature;
+    int level_moves = 0;
+    uint64_t next_probe = cfg_.probe_interval;
+
+    while (problem_.cost() > 0) {
+      if (cfg_.max_iterations != 0 && st.iterations >= cfg_.max_iterations) break;
+      if (st.iterations >= next_probe) {
+        if (stop.stop_requested()) break;
+        next_probe += cfg_.probe_interval;
+      }
+      ++st.iterations;
+
+      const int i = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+      int j = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+      if (j == i) j = (j + 1) % n;
+      const Cost current = problem_.cost();
+      const Cost cand = problem_.cost_if_swap(i, j);
+      ++st.move_evaluations;
+      const double delta = static_cast<double>(cand - current);
+      if (delta <= 0 || rng_.uniform01() < std::exp(-delta / temperature)) {
+        problem_.apply_swap(i, j);
+        ++st.swaps;
+        if (delta > 0) ++st.plateau_moves;  // uphill acceptances, repurposed counter
+      }
+
+      if (++level_moves >= moves_per_level) {
+        level_moves = 0;
+        temperature *= cfg_.alpha;
+        if (temperature < cfg_.freeze_temperature) {
+          // Frozen without a solution: restart the schedule.
+          ++st.restarts;
+          problem_.randomize(rng_);
+          temperature = t0;
+        }
+      }
+    }
+
+    st.solved = problem_.cost() == 0;
+    st.final_cost = problem_.cost();
+    st.wall_seconds = timer.seconds();
+    if (st.solved) {
+      st.solution.resize(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) st.solution[static_cast<size_t>(i)] = problem_.value(i);
+    }
+    return st;
+  }
+
+ private:
+  /// Standard warm-up: sample random swaps and set T0 so an average uphill
+  /// move is accepted with probability ~0.8.
+  double calibrate_temperature() {
+    const int n = problem_.size();
+    double uphill_sum = 0;
+    int uphill = 0;
+    for (int t = 0; t < 100; ++t) {
+      const int i = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+      int j = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+      if (j == i) j = (j + 1) % n;
+      const Cost delta = problem_.cost_if_swap(i, j) - problem_.cost();
+      if (delta > 0) {
+        uphill_sum += static_cast<double>(delta);
+        ++uphill;
+      }
+    }
+    const double mean_uphill = uphill > 0 ? uphill_sum / uphill : 1.0;
+    return -mean_uphill / std::log(0.8);
+  }
+
+  P& problem_;
+  SaConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace cas::core

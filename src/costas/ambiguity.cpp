@@ -1,0 +1,142 @@
+#include "costas/ambiguity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "costas/checker.hpp"
+
+namespace cas::costas {
+
+AmbiguityMatrix::AmbiguityMatrix(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("AmbiguityMatrix: order must be >= 1");
+  const size_t s = static_cast<size_t>(side());
+  hits_.assign(s * s, 0);
+}
+
+size_t AmbiguityMatrix::index(int u, int v) const {
+  if (u <= -n_ || u >= n_ || v <= -n_ || v >= n_)
+    throw std::out_of_range("AmbiguityMatrix: (u, v) outside [-(n-1), n-1]");
+  const size_t row = static_cast<size_t>(u + n_ - 1);
+  const size_t col = static_cast<size_t>(v + n_ - 1);
+  return row * static_cast<size_t>(side()) + col;
+}
+
+int AmbiguityMatrix::max_sidelobe() const {
+  const size_t origin = index(0, 0);
+  int best = 0;
+  for (size_t k = 0; k < hits_.size(); ++k) {
+    if (k == origin) continue;
+    best = std::max(best, static_cast<int>(hits_[k]));
+  }
+  return best;
+}
+
+int AmbiguityMatrix::max_anywhere() const {
+  int best = 0;
+  for (int32_t h : hits_) best = std::max(best, static_cast<int>(h));
+  return best;
+}
+
+int64_t AmbiguityMatrix::total_sidelobe_hits() const {
+  const size_t origin = index(0, 0);
+  int64_t total = 0;
+  for (size_t k = 0; k < hits_.size(); ++k) {
+    if (k == origin) continue;
+    total += hits_[k];
+  }
+  return total;
+}
+
+std::vector<int64_t> AmbiguityMatrix::sidelobe_histogram() const {
+  std::vector<int64_t> histo(static_cast<size_t>(max_sidelobe()) + 1, 0);
+  const size_t origin = index(0, 0);
+  for (size_t k = 0; k < hits_.size(); ++k) {
+    if (k == origin) continue;
+    ++histo[static_cast<size_t>(hits_[k])];
+  }
+  return histo;
+}
+
+int64_t AmbiguityMatrix::occupied_cells() const {
+  const size_t origin = index(0, 0);
+  int64_t occupied = 0;
+  for (size_t k = 0; k < hits_.size(); ++k) {
+    if (k == origin) continue;
+    if (hits_[k] > 0) ++occupied;
+  }
+  return occupied;
+}
+
+namespace {
+
+void require_permutation(std::span<const int> perm, const char* who) {
+  if (perm.empty() || !is_permutation(perm))
+    throw std::invalid_argument(std::string(who) + ": input is not a permutation of 1..n");
+}
+
+}  // namespace
+
+AmbiguityMatrix auto_ambiguity(std::span<const int> perm) {
+  require_permutation(perm, "auto_ambiguity");
+  return cross_ambiguity(perm, perm);
+}
+
+AmbiguityMatrix cross_ambiguity(std::span<const int> a, std::span<const int> b) {
+  require_permutation(a, "cross_ambiguity");
+  require_permutation(b, "cross_ambiguity");
+  if (a.size() != b.size())
+    throw std::invalid_argument("cross_ambiguity: orders differ");
+  const int n = static_cast<int>(a.size());
+  AmbiguityMatrix m(n);
+  for (int u = -(n - 1); u <= n - 1; ++u) {
+    const int lo = std::max(0, -u);
+    const int hi = std::min(n, n - u);  // i in [lo, hi)
+    for (int i = lo; i < hi; ++i) {
+      const int v = b[static_cast<size_t>(i + u)] - a[static_cast<size_t>(i)];
+      m.increment(u, v);
+    }
+  }
+  return m;
+}
+
+bool is_costas_by_ambiguity(std::span<const int> perm) {
+  if (!is_permutation(perm)) return false;
+  return auto_ambiguity(perm).max_sidelobe() <= 1;
+}
+
+SidelobeStats sidelobe_stats(const AmbiguityMatrix& m) {
+  SidelobeStats st;
+  st.max_sidelobe = m.max_sidelobe();
+  st.occupied_cells = m.occupied_cells();
+  st.total_hits = m.total_sidelobe_hits();
+  st.mean_nonzero =
+      st.occupied_cells == 0 ? 0.0
+                             : static_cast<double>(st.total_hits) /
+                                   static_cast<double>(st.occupied_cells);
+  st.thumbtack_ratio = st.max_sidelobe == 0
+                           ? static_cast<double>(m.order())
+                           : static_cast<double>(m.order()) / st.max_sidelobe;
+  return st;
+}
+
+std::string render_ambiguity(const AmbiguityMatrix& m) {
+  const int n = m.order();
+  std::string out;
+  out.reserve(static_cast<size_t>(m.side()) * static_cast<size_t>(2 * m.side() + 1));
+  for (int v = n - 1; v >= -(n - 1); --v) {
+    for (int u = -(n - 1); u <= n - 1; ++u) {
+      const int h = m.at(u, v);
+      out += ' ';
+      if (h == 0)
+        out += '.';
+      else if (h <= 9)
+        out += static_cast<char>('0' + h);
+      else
+        out += '#';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cas::costas

@@ -1,0 +1,103 @@
+// The discrete radar ambiguity function of permutation-coded frequency-hop
+// waveforms — the application that motivated Costas arrays (Costas 1984,
+// cited as [11] by the paper: "detection waveforms having nearly ideal
+// range-doppler ambiguity properties"; see also Beard et al. [3]).
+//
+// A permutation A of {1..n} encodes a waveform hopping to frequency A[i]
+// in time slot i. The discrete auto-ambiguity function counts time/frequency
+// coincidences between the waveform and a copy shifted by u time slots and
+// v frequency bins:
+//
+//   amb(u, v) = #{ i : A[i + u] - A[i] = v },   (u, v) != (0, 0).
+//
+// A is a Costas array *iff* every off-origin cell holds at most one hit —
+// the ideal "thumbtack" shape: any mismatched (delay, Doppler) hypothesis
+// lines up at most one pulse out of n. This module computes the full
+// (2n-1) x (2n-1) hit matrix, the cross-ambiguity between two waveforms
+// (multi-user radar), and the sidelobe metrics used by the examples and
+// benches to contrast Costas arrays with naive waveforms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cas::costas {
+
+/// Hit-count matrix over delay u in [-(n-1), n-1] and Doppler shift
+/// v in [-(n-1), n-1]. Value semantics; cells addressed by signed (u, v).
+class AmbiguityMatrix {
+ public:
+  /// Zero matrix for order n (n >= 1).
+  explicit AmbiguityMatrix(int n);
+
+  [[nodiscard]] int order() const { return n_; }
+  /// Side length of the square matrix: 2n - 1.
+  [[nodiscard]] int side() const { return 2 * n_ - 1; }
+
+  /// Hit count at (delay u, Doppler v); both in [-(n-1), n-1].
+  [[nodiscard]] int at(int u, int v) const { return hits_[index(u, v)]; }
+  void increment(int u, int v) { ++hits_[index(u, v)]; }
+
+  /// Largest count over all cells except the origin (0, 0).
+  /// Equals <= 1 exactly when the underlying array is Costas.
+  [[nodiscard]] int max_sidelobe() const;
+
+  /// Largest count over *all* cells including the origin (used for
+  /// cross-ambiguity, where the origin is not special).
+  [[nodiscard]] int max_anywhere() const;
+
+  /// Sum of all off-origin hit counts. For an auto-ambiguity matrix of a
+  /// permutation this is always n(n-1): each ordered pair of distinct time
+  /// slots lands exactly one hit somewhere.
+  [[nodiscard]] int64_t total_sidelobe_hits() const;
+
+  /// histogram[k] = number of off-origin cells holding exactly k hits,
+  /// for k = 0 .. max_sidelobe().
+  [[nodiscard]] std::vector<int64_t> sidelobe_histogram() const;
+
+  /// Number of off-origin cells with at least one hit.
+  [[nodiscard]] int64_t occupied_cells() const;
+
+  /// Raw row-major storage (v varies fastest); for tests and plotting.
+  [[nodiscard]] std::span<const int32_t> data() const { return hits_; }
+
+ private:
+  [[nodiscard]] size_t index(int u, int v) const;
+
+  int n_;
+  std::vector<int32_t> hits_;
+};
+
+/// Auto-ambiguity matrix of a permutation of {1..n} (validated; throws
+/// std::invalid_argument otherwise). amb(0, 0) = n by construction.
+AmbiguityMatrix auto_ambiguity(std::span<const int> perm);
+
+/// Cross-ambiguity between two same-order permutations:
+/// amb(u, v) = #{ i : b[i + u] - a[i] = v }. Used to assess mutual
+/// interference of two hop patterns sharing a band.
+AmbiguityMatrix cross_ambiguity(std::span<const int> a, std::span<const int> b);
+
+/// Costas test via the ambiguity characterization (max sidelobe <= 1).
+/// Agrees with checker.hpp's is_costas on every permutation; kept separate
+/// because it exercises an independent definition (used in cross-checks).
+bool is_costas_by_ambiguity(std::span<const int> perm);
+
+/// Summary statistics of a waveform's ambiguity behaviour.
+struct SidelobeStats {
+  int max_sidelobe = 0;         // worst off-origin coincidence count
+  double mean_nonzero = 0.0;    // mean count over occupied off-origin cells
+  int64_t occupied_cells = 0;   // off-origin cells with >= 1 hit
+  int64_t total_hits = 0;       // always n(n-1) for auto-ambiguity
+  double thumbtack_ratio = 0.0; // mainlobe / max sidelobe = n / max_sidelobe
+};
+
+SidelobeStats sidelobe_stats(const AmbiguityMatrix& m);
+
+/// Render the hit matrix as ASCII (origin at the center, '.' for empty,
+/// digits for counts, '#' for counts > 9). Rows are Doppler bins from
+/// +(n-1) down to -(n-1); columns are delays left to right.
+std::string render_ambiguity(const AmbiguityMatrix& m);
+
+}  // namespace cas::costas

@@ -1,0 +1,97 @@
+#include "costas/checker.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cas::costas {
+
+bool is_permutation(std::span<const int> perm) {
+  const int n = static_cast<int>(perm.size());
+  std::vector<bool> seen(static_cast<size_t>(n) + 1, false);
+  for (int v : perm) {
+    if (v < 1 || v > n || seen[static_cast<size_t>(v)]) return false;
+    seen[static_cast<size_t>(v)] = true;
+  }
+  return true;
+}
+
+bool is_costas(std::span<const int> perm) {
+  if (!is_permutation(perm)) return false;
+  const int n = static_cast<int>(perm.size());
+  // Vectors between marks: (j - i, perm[j] - perm[i]) for i < j. The grid is
+  // Costas iff all are distinct; grouping by dx reduces this to "each
+  // difference-triangle row has distinct entries".
+  for (int d = 1; d < n; ++d) {
+    for (int i = 0; i + d < n; ++i) {
+      for (int j = i + 1; j + d < n; ++j) {
+        if (perm[static_cast<size_t>(i + d)] - perm[static_cast<size_t>(i)] ==
+            perm[static_cast<size_t>(j + d)] - perm[static_cast<size_t>(j)])
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string explain_violation(std::span<const int> perm) {
+  const int n = static_cast<int>(perm.size());
+  if (!is_permutation(perm)) return "not a permutation of 1..n";
+  for (int d = 1; d < n; ++d) {
+    for (int i = 0; i + d < n; ++i) {
+      for (int j = i + 1; j + d < n; ++j) {
+        const int di = perm[static_cast<size_t>(i + d)] - perm[static_cast<size_t>(i)];
+        const int dj = perm[static_cast<size_t>(j + d)] - perm[static_cast<size_t>(j)];
+        if (di == dj) {
+          return util::strf(
+              "row d=%d of the difference triangle repeats value %d at positions %d and %d", d,
+              di, i, j);
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::vector<std::vector<int>> difference_triangle(std::span<const int> perm) {
+  const int n = static_cast<int>(perm.size());
+  std::vector<std::vector<int>> tri;
+  tri.reserve(static_cast<size_t>(std::max(0, n - 1)));
+  for (int d = 1; d < n; ++d) {
+    std::vector<int> row;
+    row.reserve(static_cast<size_t>(n - d));
+    for (int i = 0; i + d < n; ++i)
+      row.push_back(perm[static_cast<size_t>(i + d)] - perm[static_cast<size_t>(i)]);
+    tri.push_back(std::move(row));
+  }
+  return tri;
+}
+
+std::string render_grid(std::span<const int> perm) {
+  const int n = static_cast<int>(perm.size());
+  std::string out;
+  // Row n at the top (matrix convention of the paper's figure: mark at
+  // column i, row perm[i]).
+  for (int r = n; r >= 1; --r) {
+    for (int c = 0; c < n; ++c) {
+      out += perm[static_cast<size_t>(c)] == r ? " X" : " .";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_triangle(std::span<const int> perm) {
+  std::string out;
+  for (int v : perm) out += util::strf("%4d", v);
+  out += '\n';
+  const auto tri = difference_triangle(perm);
+  for (size_t d = 0; d < tri.size(); ++d) {
+    out += util::strf("d=%-2d", static_cast<int>(d + 1));
+    for (int v : tri[d]) out += util::strf("%4d", v);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cas::costas

@@ -1,0 +1,33 @@
+// Independent Costas-array validation. Deliberately written with the naive
+// O(n^3) definition (all vectors between marks pairwise distinct) so it
+// shares no code with the optimized incremental model it cross-checks.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cas::costas {
+
+/// True if `perm` is a permutation of {1..n} (n = perm.size()).
+bool is_permutation(std::span<const int> perm);
+
+/// True if `perm` encodes a Costas array: a permutation whose difference
+/// triangle has no repeated value in any row. Checks ALL n-1 rows.
+bool is_costas(std::span<const int> perm);
+
+/// Human-readable reason why `perm` is not a Costas array ("" if it is).
+std::string explain_violation(std::span<const int> perm);
+
+/// The difference triangle: row d (1-based; triangle[d-1]) holds
+/// perm[i+d] - perm[i] for i = 0..n-1-d. Matches the paper's Sec. IV-A
+/// figure layout.
+std::vector<std::vector<int>> difference_triangle(std::span<const int> perm);
+
+/// Render the n x n grid with 'X' marks, as in the paper's Sec. II figure.
+std::string render_grid(std::span<const int> perm);
+
+/// Render the difference triangle under the permutation, as in Sec. IV-A.
+std::string render_triangle(std::span<const int> perm);
+
+}  // namespace cas::costas

@@ -1,0 +1,205 @@
+#include "costas/construction.hpp"
+
+#include <stdexcept>
+
+#include "algebra/gf.hpp"
+#include "algebra/modular.hpp"
+#include "algebra/primes.hpp"
+#include "costas/checker.hpp"
+#include "costas/enumerate.hpp"
+#include "costas/symmetry.hpp"
+#include "util/strings.hpp"
+
+namespace cas::costas {
+
+using algebra::Gf;
+
+std::vector<int> welch(uint64_t p, uint64_t g, int shift) {
+  if (!algebra::is_prime(p) || p < 3)
+    throw std::invalid_argument("welch: p must be an odd prime");
+  if (algebra::element_order_mod_p(g, p) != p - 1)
+    throw std::invalid_argument("welch: g is not a primitive root mod p");
+  const int n = static_cast<int>(p - 1);
+  if (shift < 0 || shift >= n) throw std::invalid_argument("welch: shift out of range");
+  std::vector<int> perm(static_cast<size_t>(n));
+  uint64_t v = algebra::powmod(g, static_cast<uint64_t>(shift), p);
+  for (int i = 0; i < n; ++i) {
+    perm[static_cast<size_t>(i)] = static_cast<int>(v);
+    v = algebra::mulmod(v, g, p);
+  }
+  return perm;
+}
+
+std::vector<int> welch(uint64_t p) { return welch(p, algebra::primitive_root(p), 0); }
+
+std::vector<int> lempel_golomb(uint64_t q, uint32_t alpha, uint32_t beta) {
+  if (q < 4)
+    throw std::invalid_argument("lempel_golomb: q must be a prime power >= 4");
+  const Gf field(q);
+  if (!field.is_primitive(alpha) || !field.is_primitive(beta))
+    throw std::invalid_argument("lempel_golomb: elements must be primitive");
+  const int n = static_cast<int>(q - 2);
+  // Discrete logs base beta from logs base the field generator:
+  // log_beta(y) = log_g(y) * log_g(beta)^-1 mod (q-1).
+  const uint64_t lb_inv = algebra::invmod(field.log(beta), q - 1);
+  std::vector<int> perm(static_cast<size_t>(n), 0);
+  for (int i = 1; i <= n; ++i) {
+    const uint32_t ai = field.pow(alpha, static_cast<uint64_t>(i));
+    const uint32_t y = field.sub(field.one(), ai);  // 1 - alpha^i, never 0 for i in 1..q-2
+    const uint64_t j = algebra::mulmod(field.log(y), lb_inv, q - 1);
+    perm[static_cast<size_t>(i - 1)] = static_cast<int>(j);
+  }
+  return perm;
+}
+
+std::vector<int> lempel(uint64_t q) {
+  const Gf field(q);
+  const uint32_t g = field.generator();
+  return lempel_golomb(q, g, g);
+}
+
+std::vector<int> golomb(uint64_t q) {
+  const Gf field(q);
+  const auto prim = field.primitive_elements();
+  const uint32_t alpha = prim.front();
+  const uint32_t beta = prim.size() > 1 ? prim[1] : prim.front();
+  return lempel_golomb(q, alpha, beta);
+}
+
+std::optional<std::vector<int>> remove_corner(const std::vector<int>& perm) {
+  if (perm.empty() || perm.front() != 1) return std::nullopt;
+  std::vector<int> out;
+  out.reserve(perm.size() - 1);
+  for (size_t i = 1; i < perm.size(); ++i) out.push_back(perm[i] - 1);
+  return out;
+}
+
+std::optional<std::vector<int>> add_corner(const std::vector<int>& perm) {
+  std::vector<int> out;
+  out.reserve(perm.size() + 1);
+  out.push_back(1);
+  for (int v : perm) out.push_back(v + 1);
+  if (!is_costas(out)) return std::nullopt;
+  return out;
+}
+
+std::vector<std::vector<int>> welch_all_shifts(uint64_t p, uint64_t g) {
+  const int n = static_cast<int>(p - 1);
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) out.push_back(welch(p, g, s));
+  return out;
+}
+
+std::vector<int> welch_minus_two(uint64_t p) {
+  if (algebra::element_order_mod_p(2, p) != p - 1)
+    throw std::invalid_argument("welch_minus_two: 2 is not a primitive root mod p");
+  // g = 2, shift = 0: A = [1, 2, 4, ...]. First removal leaves [1, 3, ...],
+  // so a second removal applies.
+  auto a = welch(p, 2, 0);
+  auto b = remove_corner(a);
+  if (!b) throw std::logic_error("welch_minus_two: first corner missing (impossible)");
+  auto c = remove_corner(*b);
+  if (!c) throw std::logic_error("welch_minus_two: second corner missing (impossible)");
+  return *c;
+}
+
+
+namespace {
+
+/// Try to remove any of the four corner marks by first mapping it to the
+/// bottom-left via a symmetry transform (symmetries preserve the Costas
+/// property, so the result is a genuine Costas array of order n-1).
+std::optional<std::vector<int>> remove_any_corner(const std::vector<int>& perm) {
+  for (Transform t : kAllTransforms) {
+    auto image = apply_transform(perm, t);
+    if (auto r = remove_corner(image)) return r;
+  }
+  return std::nullopt;
+}
+
+/// Golomb pair with alpha + beta = 1 (both primitive): gives A[0] == 1, so
+/// a corner removal yields order q-3 (the G3 corollary).
+std::optional<std::vector<int>> golomb_alpha_plus_beta_one(uint64_t q) {
+  const Gf field(q);
+  for (uint32_t alpha = 2; alpha < q; ++alpha) {
+    if (!field.is_primitive(alpha)) continue;
+    const uint32_t beta = field.sub(field.one(), alpha);
+    if (beta != 0 && field.is_primitive(beta)) return lempel_golomb(q, alpha, beta);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> golomb_minus_two(uint64_t q) {
+  // Characteristic 2 only: (alpha + beta)^2 = alpha^2 + beta^2 there.
+  if (q < 8 || (q & (q - 1)) != 0) return std::nullopt;
+  auto g = golomb_alpha_plus_beta_one(q);
+  if (!g) return std::nullopt;
+  // alpha + beta = 1 gives A[1] = 1; squaring gives A[2] = 2: the array
+  // begins [1, 2, ...] and two corner removals apply.
+  auto b = remove_corner(*g);
+  if (!b || b->front() != 1) return std::nullopt;
+  return remove_corner(*b);
+}
+
+std::optional<std::vector<int>> construct_any(int n) {
+  if (n < 1) return std::nullopt;
+  if (n <= 9) return first_costas(n);  // exhaustive search is instant here
+  const uint64_t un = static_cast<uint64_t>(n);
+  // Welch: order p - 1.
+  if (algebra::is_prime(un + 1)) return welch(un + 1);
+  // Lempel-Golomb: order q - 2.
+  if (algebra::as_prime_power(un + 2)) return golomb(un + 2);
+  // Welch corner removal: order p - 2 (shift 0 puts the mark g^0 = 1 first).
+  if (algebra::is_prime(un + 2)) {
+    if (auto r = remove_corner(welch(un + 2))) return r;
+  }
+  // Golomb G3 corner removal: order q - 3.
+  if (algebra::as_prime_power(un + 3)) {
+    if (auto g = golomb_alpha_plus_beta_one(un + 3)) {
+      if (auto r = remove_any_corner(*g)) return r;
+    }
+  }
+  // Welch W3 double corner removal: order p - 3 when 2 is primitive mod p.
+  if (algebra::is_prime(un + 3) &&
+      algebra::element_order_mod_p(2, un + 3) == un + 2) {
+    return welch_minus_two(un + 3);
+  }
+  // Golomb G4 double corner removal: order q - 4 for q = 2^m.
+  if (algebra::as_prime_power(un + 4)) {
+    if (auto r = golomb_minus_two(un + 4)) return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> available_constructions(int n) {
+  std::vector<std::string> out;
+  if (n < 1) return out;
+  const uint64_t un = static_cast<uint64_t>(n);
+  if (n <= 9) out.push_back("exhaustive enumeration");
+  if (algebra::is_prime(un + 1)) out.push_back(util::strf("Welch W1 (p = %d)", n + 1));
+  if (algebra::as_prime_power(un + 2))
+    out.push_back(util::strf("Lempel-Golomb G2/L2 (q = %d)", n + 2));
+  if (algebra::is_prime(un + 2))
+    out.push_back(util::strf("Welch W1 + corner removal (p = %d)", n + 2));
+  if (algebra::as_prime_power(un + 3))
+    out.push_back(util::strf("Golomb G3 corner removal (q = %d), if a primitive pair with "
+                             "alpha+beta=1 exists",
+                             n + 3));
+  if (algebra::is_prime(un + 3) && algebra::element_order_mod_p(2, un + 3) == un + 2)
+    out.push_back(util::strf("Welch W3 double corner removal (p = %d, 2 primitive)", n + 3));
+  if (un + 4 >= 8 && ((un + 4) & (un + 3)) == 0)
+    out.push_back(util::strf("Golomb G4 double corner removal (q = %d = 2^m)", n + 4));
+  return out;
+}
+
+std::vector<int> constructible_orders_up_to(int limit) {
+  std::vector<int> out;
+  for (int n = 1; n <= limit; ++n)
+    if (construct_any(n)) out.push_back(n);
+  return out;
+}
+
+}  // namespace cas::costas

@@ -1,0 +1,83 @@
+// Algebraic Costas array constructions cited by the paper (Sec. II):
+// the Welch construction [Golomb 1984] for orders p-1 (p prime) and the
+// Lempel-Golomb construction for orders q-2 (q a prime power), plus the
+// classical corner-removal corollaries. These provide certified Costas
+// arrays of arbitrary constructible order for tests, examples, and seeding
+// experiments — the paper notes such methods exist for most (not all)
+// orders, which is exactly why the search problem is interesting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cas::costas {
+
+/// Exponential Welch construction W1: for prime p and primitive root g,
+/// A[i] = g^(i + shift) mod p for i = 0..p-2 is a Costas array of order
+/// p - 1. `shift` in [0, p-2] gives the p-1 circular variants.
+/// Throws std::invalid_argument if p is not prime or g not primitive.
+std::vector<int> welch(uint64_t p, uint64_t g, int shift = 0);
+
+/// welch() with the smallest primitive root.
+std::vector<int> welch(uint64_t p);
+
+/// Lempel-Golomb construction G2: for a prime power q and primitive
+/// elements a, b of GF(q), the permutation A with a^i + b^A[i] = 1
+/// (exponents 1..q-2) is a Costas array of order q - 2.
+/// a == b gives the Lempel (L2) construction, which is symmetric.
+std::vector<int> lempel_golomb(uint64_t q, uint32_t alpha, uint32_t beta);
+
+/// lempel_golomb() choosing the field's reference generator for both
+/// elements (Lempel construction).
+std::vector<int> lempel(uint64_t q);
+
+/// lempel_golomb() over the first pair of (possibly distinct) primitive
+/// elements.
+std::vector<int> golomb(uint64_t q);
+
+/// Corner removal: if perm[0] == 1, dropping column 0 (and renumbering)
+/// yields a Costas array of order n-1 (corollary G3/L3 when applied to
+/// Golomb/Lempel arrays with alpha + beta = 1). Returns nullopt when the
+/// corner mark is absent.
+std::optional<std::vector<int>> remove_corner(const std::vector<int>& perm);
+
+/// Corner addition (the inverse of remove_corner, in the spirit of Taylor's
+/// corner constructions): prepend a mark at (0, 1), shifting every existing
+/// value up by one. The result is order n+1 but is a Costas array only when
+/// the new corner vectors avoid all existing ones, so it is verified and
+/// nullopt is returned on failure.
+std::optional<std::vector<int>> add_corner(const std::vector<int>& perm);
+
+/// All p-1 circular shifts of the exponential Welch construction for
+/// primitive root g: W1 arrays are singly periodic — every circular shift
+/// of the exponent is again Costas (and this is essentially unique to the
+/// Welch family).
+std::vector<std::vector<int>> welch_all_shifts(uint64_t p, uint64_t g);
+
+/// Welch W3: order p - 3 for primes p where 2 is a primitive root. The
+/// g = 2, shift = 0 array begins [1, 2, ...], so two successive corner
+/// removals apply. Throws if 2 is not primitive mod p.
+std::vector<int> welch_minus_two(uint64_t p);
+
+/// Golomb G4: order q - 4 for q = 2^m >= 8. In characteristic 2 a primitive
+/// pair with alpha + beta = 1 satisfies alpha^2 + beta^2 = 1 as well, so the
+/// G2 array begins [1, 2, ...] and two corner removals apply. Returns
+/// nullopt if no primitive pair with alpha + beta = 1 exists (it always
+/// does for the q covered here) or q is not a power of two.
+std::optional<std::vector<int>> golomb_minus_two(uint64_t q);
+
+/// One constructible Costas array of order n via any known construction,
+/// if this library can build one (Welch, Lempel-Golomb, or corner
+/// removals). Returns nullopt for orders with no covered construction
+/// (e.g. n = 32, which is the paper's famous open case).
+std::optional<std::vector<int>> construct_any(int n);
+
+/// Human-readable list of which constructions cover order n (empty if none).
+std::vector<std::string> available_constructions(int n);
+
+/// Orders in [1, limit] for which construct_any succeeds.
+std::vector<int> constructible_orders_up_to(int limit);
+
+}  // namespace cas::costas

@@ -1,0 +1,165 @@
+#include "costas/cp_solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace cas::costas {
+
+namespace {
+constexpr uint64_t full_domain(int n) {
+  return n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;  // bit v-1 == value v allowed
+}
+}  // namespace
+
+CpSolver::CpSolver(int n, CpOptions opts) : n_(n), opts_(opts) {
+  if (n < 1 || n > 32) throw std::invalid_argument("CpSolver: n must be in [1, 32]");
+  depth_ = opts_.use_chang ? (n - 1) / 2 : n - 1;
+  assignment_.assign(static_cast<size_t>(n), 0);
+  frames_.resize(static_cast<size_t>(n) + 1);
+  for (auto& f : frames_) {
+    f.domains.assign(static_cast<size_t>(n), full_domain(n));
+    // Row diff masks: diff in [-(n-1), n-1] -> bit diff + n - 1.
+    f.row_used.assign(static_cast<size_t>(depth_) + 1, 0);
+  }
+}
+
+bool CpSolver::assign_and_propagate(Frame& frame, int pos, int value, CpStats& stats) const {
+  // 0. alldifferent consistency. With forward checking the parent domain
+  //    already excludes used values; plain chronological backtracking must
+  //    check explicitly.
+  if (!opts_.forward_check) {
+    for (int q = 0; q < pos; ++q) {
+      if (assignment_[static_cast<size_t>(q)] == value) return false;
+    }
+  }
+  // 1. Difference-triangle constraints for the newly completed pairs
+  //    (pos - d, pos): record each new difference; fail on a duplicate.
+  for (int d = 1; d <= depth_ && d <= pos; ++d) {
+    const int diff = value - assignment_[static_cast<size_t>(pos - d)];
+    const uint64_t bit = uint64_t{1} << (diff + n_ - 1);
+    if (frame.row_used[static_cast<size_t>(d)] & bit) return false;
+    frame.row_used[static_cast<size_t>(d)] |= bit;
+  }
+  if (!opts_.forward_check) return true;
+
+  // 2. alldifferent: remove `value` from every future domain.
+  const uint64_t vbit = uint64_t{1} << (value - 1);
+  for (int f = pos + 1; f < n_; ++f) {
+    uint64_t& dom = frame.domains[static_cast<size_t>(f)];
+    if (dom & vbit) {
+      dom &= ~vbit;
+      ++stats.prunings;
+      if (dom == 0) return false;
+    }
+  }
+
+  // 3. Forward-check the difference rows.
+  auto prune = [&](int future, int forbidden_value) -> bool {
+    if (forbidden_value < 1 || forbidden_value > n_) return true;
+    uint64_t& dom = frame.domains[static_cast<size_t>(future)];
+    const uint64_t fbit = uint64_t{1} << (forbidden_value - 1);
+    if (dom & fbit) {
+      dom &= ~fbit;
+      ++stats.prunings;
+      if (dom == 0) return false;
+    }
+    return true;
+  };
+  for (int d = 1; d <= depth_; ++d) {
+    // (a) Each difference newly used by the pair (pos - d, pos) also
+    //     forbids values in the pending pairs (q, q + d) with q <= pos
+    //     already assigned and q + d still open.
+    if (d <= pos) {
+      const int diff = value - assignment_[static_cast<size_t>(pos - d)];
+      for (int q = std::max(0, pos - d + 1); q <= pos; ++q) {
+        const int f = q + d;
+        if (f >= n_ || f <= pos) continue;
+        const int base = q == pos ? value : assignment_[static_cast<size_t>(q)];
+        if (!prune(f, base + diff)) return false;
+      }
+    }
+    // (b) The pair (pos, pos + d) now has its left endpoint fixed: every
+    //     difference already used in row d forbids one value there.
+    const int f = pos + d;
+    if (f < n_) {
+      uint64_t used = frame.row_used[static_cast<size_t>(d)];
+      while (used != 0) {
+        const int bit_index = __builtin_ctzll(used);
+        used &= used - 1;
+        const int diff = bit_index - (n_ - 1);
+        if (!prune(f, value + diff)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void CpSolver::search(int pos, CpStats& stats,
+                      const std::function<bool(std::span<const int>)>& on_solution, bool& stop,
+                      double deadline) {
+  if (stop) return;
+  if (pos == n_) {
+    ++stats.solutions;
+    if (!on_solution(std::span<const int>(assignment_.data(), assignment_.size())) ||
+        (opts_.solution_limit != 0 && stats.solutions >= opts_.solution_limit)) {
+      stats.status = CpStatus::kSolutionLimit;
+      stop = true;
+    }
+    return;
+  }
+  const Frame& parent = frames_[static_cast<size_t>(pos)];
+  uint64_t candidates = parent.domains[static_cast<size_t>(pos)];
+  while (candidates != 0) {
+    if (stop) return;
+    if (opts_.node_limit != 0 && stats.nodes >= opts_.node_limit) {
+      stats.status = CpStatus::kNodeLimit;
+      stop = true;
+      return;
+    }
+    if (deadline > 0 && (stats.nodes & 0xFFF) == 0 && timer_.seconds() > deadline) {
+      stats.status = CpStatus::kTimeLimit;
+      stop = true;
+      return;
+    }
+    const int value = __builtin_ctzll(candidates) + 1;
+    candidates &= candidates - 1;
+    ++stats.nodes;
+
+    Frame& child = frames_[static_cast<size_t>(pos) + 1];
+    child = parent;  // copy-on-descend: trivially correct undo
+    assignment_[static_cast<size_t>(pos)] = value;
+    if (assign_and_propagate(child, pos, value, stats)) {
+      search(pos + 1, stats, on_solution, stop, deadline);
+    } else {
+      ++stats.backtracks;
+    }
+  }
+}
+
+CpStats CpSolver::solve(const std::function<bool(std::span<const int>)>& on_solution) {
+  CpStats stats;
+  timer_.reset();
+  bool stop = false;
+  search(0, stats, on_solution, stop, opts_.time_limit_seconds);
+  stats.wall_seconds = timer_.seconds();
+  return stats;
+}
+
+std::optional<std::vector<int>> CpSolver::first_solution() {
+  std::optional<std::vector<int>> out;
+  opts_.solution_limit = 1;
+  solve([&](std::span<const int> sol) {
+    out.emplace(sol.begin(), sol.end());
+    return false;
+  });
+  return out;
+}
+
+uint64_t CpSolver::count_solutions() {
+  const auto stats = solve([](std::span<const int>) { return true; });
+  return stats.solutions;
+}
+
+}  // namespace cas::costas

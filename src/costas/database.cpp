@@ -1,0 +1,95 @@
+#include "costas/database.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "costas/construction.hpp"
+#include "util/strings.hpp"
+
+namespace cas::costas {
+
+namespace {
+
+// Published enumeration totals C(n), n = 1..29. Sources: Drakakis, "A review
+// of Costas arrays" (2006) for n <= 27; Drakakis-Iorio-Rickard (2011) for
+// n = 28; Drakakis-Iorio-Rickard-Walsh (2011) for n = 29 (the paper's
+// Sec. II quotes the n = 29 result: 164 arrays among 29! permutations).
+constexpr std::array<int64_t, 30> kCounts = {
+    0,  // index 0 unused
+    1,     2,     4,     12,    40,    116,   200,   444,   760,   2160,
+    4368,  7852,  12828, 17252, 19612, 21104, 18276, 15096, 10240, 6464,
+    3536,  2052,  872,   200,   88,    56,    204,   712,   164,
+};
+
+// Equivalence classes under the dihedral group D4 ("unique up to rotation
+// and reflection"), same sources. The paper quotes 23 for n = 29.
+constexpr std::array<int64_t, 30> kClasses = {
+    0,  // index 0 unused
+    1,    1,    1,    2,    6,    17,   30,   60,   100,  277,
+    555,  990,  1616, 2168, 2467, 2648, 2294, 1892, 1283, 810,
+    446,  259,  114,  25,   12,   8,    29,   89,   23,
+};
+
+static_assert(kCounts.size() == static_cast<size_t>(kMaxEnumeratedOrder) + 1);
+static_assert(kClasses.size() == static_cast<size_t>(kMaxEnumeratedOrder) + 1);
+
+}  // namespace
+
+std::optional<int64_t> known_costas_count(int n) {
+  if (n < 1 || n > kMaxEnumeratedOrder) return std::nullopt;
+  return kCounts[static_cast<size_t>(n)];
+}
+
+std::optional<int64_t> known_class_count(int n) {
+  if (n < 1 || n > kMaxEnumeratedOrder) return std::nullopt;
+  return kClasses[static_cast<size_t>(n)];
+}
+
+std::optional<double> known_density(int n) {
+  const auto count = known_costas_count(n);
+  if (!count) return std::nullopt;
+  double fact = 1.0;
+  for (int k = 2; k <= n; ++k) fact *= static_cast<double>(k);
+  return static_cast<double>(*count) / fact;
+}
+
+int peak_count_order() {
+  int best = 1;
+  for (int n = 2; n <= kMaxEnumeratedOrder; ++n)
+    if (kCounts[static_cast<size_t>(n)] > kCounts[static_cast<size_t>(best)]) best = n;
+  return best;
+}
+
+ExistenceStatus existence_status(int n) {
+  if (n < 1) throw std::invalid_argument("existence_status: order must be >= 1");
+  if (n <= kMaxEnumeratedOrder) return ExistenceStatus::kEnumerated;
+  if (construct_any(n)) return ExistenceStatus::kConstructible;
+  return ExistenceStatus::kUnknown;
+}
+
+std::string describe_order(int n) {
+  switch (existence_status(n)) {
+    case ExistenceStatus::kEnumerated:
+      return util::strf("order %d: fully enumerated, %lld arrays in %lld symmetry classes",
+                        n, static_cast<long long>(*known_costas_count(n)),
+                        static_cast<long long>(*known_class_count(n)));
+    case ExistenceStatus::kConstructible: {
+      const auto methods = available_constructions(n);
+      std::string how = methods.empty() ? "algebraic construction" : methods.front();
+      return util::strf("order %d: arrays exist (%s)", n, how.c_str());
+    }
+    case ExistenceStatus::kUnknown:
+      return util::strf("order %d: no construction covered here; existence %s", n,
+                        (n == 32 || n == 33) ? "is a famous open problem" : "unresolved by this library");
+  }
+  return {};
+}
+
+std::vector<int> unknown_orders_up_to(int limit) {
+  std::vector<int> out;
+  for (int n = 1; n <= limit; ++n)
+    if (existence_status(n) == ExistenceStatus::kUnknown) out.push_back(n);
+  return out;
+}
+
+}  // namespace cas::costas

@@ -1,0 +1,63 @@
+// Reference data on Costas arrays from the published enumerations the
+// paper cites (Sec. II): total counts for every fully enumerated order
+// (n <= 29, the order-28/29 results of Drakakis et al. [15], [16]), counts
+// of equivalence classes under the dihedral symmetry group ("unique arrays
+// up to rotation and reflection" — the paper quotes 164 total / 23 unique
+// for n = 29), and existence status for larger orders, including the famous
+// open cases n = 32 and 33 the paper highlights.
+//
+// Small-order values are cross-checked against this repository's own
+// exhaustive enumerator in tests; larger values are literature data kept
+// here so tests, examples and benches can assert against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cas::costas {
+
+/// Largest order whose Costas arrays have all been enumerated in the
+/// literature (as of the paper's publication window).
+inline constexpr int kMaxEnumeratedOrder = 29;
+
+/// Total number of Costas arrays of order n, for 1 <= n <= 29.
+/// nullopt outside the enumerated range.
+std::optional<int64_t> known_costas_count(int n);
+
+/// Number of equivalence classes under the 8-element dihedral symmetry
+/// group, for 1 <= n <= 29. nullopt outside the enumerated range.
+std::optional<int64_t> known_class_count(int n);
+
+/// C(n) / n!: the fraction of permutations that are Costas — the "density
+/// of solutions in the search space" whose collapse with growing n is what
+/// makes the CAP hard (Sec. II). nullopt outside the enumerated range.
+std::optional<double> known_density(int n);
+
+/// The enumerated order with the most Costas arrays (n = 16: the count
+/// peaks there and decays for larger n even as n! explodes).
+int peak_count_order();
+
+/// How we know arrays of order n exist.
+enum class ExistenceStatus {
+  kEnumerated,     // n <= 29: full enumeration published
+  kConstructible,  // this library can build one (Welch/Lempel-Golomb family)
+  kUnknown,        // no construction covered here; includes the open cases
+};
+
+/// Status of order n under this library's construction coverage. Note the
+/// literature knows a handful of sporadic arrays beyond our generators
+/// (e.g. n = 30, 31 were settled by search), so kUnknown means "open or
+/// outside this library's constructive reach", not "proved nonexistent".
+ExistenceStatus existence_status(int n);
+
+/// Human-readable status line for order n (used by the explorer example).
+std::string describe_order(int n);
+
+/// Orders in [1, limit] with status kUnknown. For limit = 33 this yields
+/// {32, 33} — the open questions the paper quotes — plus any order beyond
+/// 29 that our constructions miss.
+std::vector<int> unknown_orders_up_to(int limit);
+
+}  // namespace cas::costas

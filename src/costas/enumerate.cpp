@@ -1,0 +1,107 @@
+#include "costas/enumerate.hpp"
+
+#include <stdexcept>
+
+namespace cas::costas {
+
+namespace {
+
+// Backtracking state: perm[0..level) placed; rows[d] is the bitmask of
+// differences already present in difference-triangle row d (bit diff+n-1).
+struct Search {
+  int n;
+  std::vector<int> perm;
+  std::vector<uint64_t> rows;   // rows[d], d = 1..n-1
+  std::vector<bool> used;       // value used (1-based)
+  const std::function<bool(std::span<const int>)>& fn;
+  bool stopped = false;
+
+  Search(int n_in, const std::function<bool(std::span<const int>)>& fn_in)
+      : n(n_in),
+        perm(static_cast<size_t>(n_in)),
+        rows(static_cast<size_t>(n_in), 0),
+        used(static_cast<size_t>(n_in) + 1, false),
+        fn(fn_in) {}
+
+  // Try to place value v at position `level`; returns false on conflict.
+  // On success the row masks are updated (caller must undo()).
+  bool place(int level, int v) {
+    for (int d = 1; d <= level; ++d) {
+      const int diff = v - perm[static_cast<size_t>(level - d)];
+      const uint64_t bit = 1ull << (diff + n - 1);
+      if (rows[static_cast<size_t>(d)] & bit) {
+        // Undo the rows already updated for this placement.
+        for (int u = 1; u < d; ++u) {
+          const int pdiff = v - perm[static_cast<size_t>(level - u)];
+          rows[static_cast<size_t>(u)] &= ~(1ull << (pdiff + n - 1));
+        }
+        return false;
+      }
+      rows[static_cast<size_t>(d)] |= bit;
+    }
+    perm[static_cast<size_t>(level)] = v;
+    used[static_cast<size_t>(v)] = true;
+    return true;
+  }
+
+  void undo(int level, int v) {
+    for (int d = 1; d <= level; ++d) {
+      const int diff = v - perm[static_cast<size_t>(level - d)];
+      rows[static_cast<size_t>(d)] &= ~(1ull << (diff + n - 1));
+    }
+    used[static_cast<size_t>(v)] = false;
+  }
+
+  void run(int level) {
+    if (stopped) return;
+    if (level == n) {
+      if (!fn(std::span<const int>(perm.data(), perm.size()))) stopped = true;
+      return;
+    }
+    for (int v = 1; v <= n; ++v) {
+      if (used[static_cast<size_t>(v)]) continue;
+      if (!place(level, v)) continue;
+      run(level + 1);
+      undo(level, v);
+      if (stopped) return;
+    }
+  }
+};
+
+}  // namespace
+
+void enumerate_costas(int n, const std::function<bool(std::span<const int>)>& fn) {
+  if (n < 1 || n > 32)
+    throw std::invalid_argument("enumerate_costas: n must be in [1, 32]");
+  Search s(n, fn);
+  s.run(0);
+}
+
+uint64_t count_costas(int n) {
+  uint64_t count = 0;
+  enumerate_costas(n, [&](std::span<const int>) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::optional<std::vector<int>> first_costas(int n) {
+  std::optional<std::vector<int>> result;
+  enumerate_costas(n, [&](std::span<const int> p) {
+    result.emplace(p.begin(), p.end());
+    return false;
+  });
+  return result;
+}
+
+std::vector<std::vector<int>> all_costas(int n) {
+  std::vector<std::vector<int>> out;
+  enumerate_costas(n, [&](std::span<const int> p) {
+    out.emplace_back(p.begin(), p.end());
+    return true;
+  });
+  return out;
+}
+
+}  // namespace cas::costas

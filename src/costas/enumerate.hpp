@@ -1,0 +1,38 @@
+// Exhaustive backtracking enumeration of Costas arrays. Ground truth for
+// the stochastic solvers and for the known-count tests (the paper's Sec. II
+// discusses enumeration results up to n = 29).
+//
+// Column-by-column search with one 64-bit "seen differences" bitmask per
+// difference-triangle row; practical up to n ~ 14 on a laptop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cas::costas {
+
+/// Invoke `fn` for every Costas array of order n (in lexicographic order of
+/// the permutation). `fn` returns false to stop the enumeration early.
+/// Supports n in [1, 32] (row bitmasks are 64-bit).
+void enumerate_costas(int n, const std::function<bool(std::span<const int>)>& fn);
+
+/// Number of Costas arrays of order n (full count, no symmetry reduction).
+uint64_t count_costas(int n);
+
+/// First Costas array in lexicographic order, if any exists.
+std::optional<std::vector<int>> first_costas(int n);
+
+/// All Costas arrays of order n (use only for small n; counts grow fast).
+std::vector<std::vector<int>> all_costas(int n);
+
+/// Known counts from the literature (OEIS A008404): kKnownCostasCounts[n]
+/// for n = 0..29 (index 0 unused, set to 0).
+inline constexpr uint64_t kKnownCostasCounts[30] = {
+    0,     1,     2,     4,     12,    40,    116,   200,   444,   760,
+    2160,  4368,  7852,  12828, 17252, 19612, 21104, 18276, 15096, 10240,
+    6464,  3536,  2052,  872,   200,   88,    56,    204,   712,   164};
+
+}  // namespace cas::costas

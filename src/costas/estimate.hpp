@@ -1,0 +1,48 @@
+// Knuth's Monte-Carlo tree-size estimator applied to counting Costas
+// arrays — the tool for studying the paper's motivating phenomenon (the
+// collapse of solution density, Sec. II) at orders where exhaustive
+// enumeration is no longer affordable.
+//
+// One probe walks the backtracking tree from the root, at each level
+// listing the feasible next values, picking one uniformly, and multiplying
+// the running weight by the branch count; a probe that reaches depth n
+// contributes its weight, a probe that dies contributes 0. Knuth (1975):
+// the probe weight is an unbiased estimator of the number of leaves, i.e.
+// of C(n). Averaging many probes gives the estimate plus a standard error.
+//
+// Variance grows with tree imbalance, so confidence intervals widen with
+// n; the probe hit rate (probability of reaching depth n) also collapses —
+// from ~7% at n = 8 to ~2e-5 at n = 16 — which bounds the estimator's
+// practical reach at n <= ~16 with a few hundred thousand probes. (That is
+// still well past where full enumeration stops being interactive, and the
+// hit-rate collapse is itself a quantitative view of the paper's Sec. II
+// density story.) The tests validate unbiasedness against the exact counts
+// on enumerable orders.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace cas::costas {
+
+struct CountEstimate {
+  double mean = 0;         // estimated C(n)
+  double std_error = 0;    // standard error of the mean
+  double hit_rate = 0;     // fraction of probes reaching a full solution
+  uint64_t probes = 0;
+
+  /// Normal-approximation confidence bounds (clamped at 0).
+  [[nodiscard]] double lower(double z = 1.96) const;
+  [[nodiscard]] double upper(double z = 1.96) const;
+};
+
+/// Estimate the number of Costas arrays of order n with `probes` Knuth
+/// probes. Deterministic for fixed (n, probes, seed). Throws for n < 1 or
+/// n > 32 (the row-mask width) or probes < 1.
+CountEstimate estimate_costas_count(int n, uint64_t probes, uint64_t seed = 1975);
+
+/// Estimated solution density C(n)/n! from an estimate.
+double estimated_density(int n, const CountEstimate& est);
+
+}  // namespace cas::costas

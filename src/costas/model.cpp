@@ -1,0 +1,233 @@
+#include "costas/model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "costas/checker.hpp"
+
+namespace cas::costas {
+
+CostasProblem::CostasProblem(int n, CostasOptions opts) : n_(n), opts_(opts) {
+  if (n < 2) throw std::invalid_argument("CostasProblem: n must be >= 2");
+  depth_ = opts_.use_chang ? (n - 1) / 2 : n - 1;
+  stride_ = static_cast<size_t>(2 * n - 1);
+  perm_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm_[static_cast<size_t>(i)] = i + 1;
+  occ_.assign(static_cast<size_t>(std::max(depth_, 1)) * stride_, 0);
+  errw_.assign(static_cast<size_t>(depth_) + 1, 0);
+  for (int d = 1; d <= depth_; ++d) {
+    errw_[static_cast<size_t>(d)] =
+        opts_.err == ErrFunction::kQuadratic
+            ? static_cast<Cost>(n) * n - static_cast<Cost>(d) * d
+            : 1;
+  }
+  rebuild();
+}
+
+void CostasProblem::rebuild() {
+  std::fill(occ_.begin(), occ_.end(), 0);
+  cost_ = 0;
+  for (int d = 1; d <= depth_; ++d) {
+    for (int i = 0; i + d < n_; ++i) {
+      add_pair(d, perm_[static_cast<size_t>(i + d)] - perm_[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+void CostasProblem::randomize(core::Rng& rng) {
+  rng.shuffle(perm_);
+  rebuild();
+}
+
+void CostasProblem::set_permutation(std::span<const int> perm) {
+  if (static_cast<int>(perm.size()) != n_ || !is_permutation(perm))
+    throw std::invalid_argument("CostasProblem::set_permutation: not a permutation of 1..n");
+  std::copy(perm.begin(), perm.end(), perm_.begin());
+  rebuild();
+}
+
+void CostasProblem::apply_swap(int i, int j) {
+  for_each_affected_pair(i, j, [&](int a, int b) {
+    remove_pair(b - a, perm_[static_cast<size_t>(b)] - perm_[static_cast<size_t>(a)]);
+  });
+  std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
+  for_each_affected_pair(i, j, [&](int a, int b) {
+    add_pair(b - a, perm_[static_cast<size_t>(b)] - perm_[static_cast<size_t>(a)]);
+  });
+}
+
+Cost CostasProblem::cost_if_swap(int i, int j) {
+  apply_swap(i, j);
+  const Cost c = cost_;
+  apply_swap(i, j);  // swap back restores both permutation and counters
+  return c;
+}
+
+void CostasProblem::compute_errors(std::span<Cost> errs) const {
+  std::fill(errs.begin(), errs.end(), Cost{0});
+  for (int d = 1; d <= depth_; ++d) {
+    const Cost w = errw_[static_cast<size_t>(d)];
+    for (int i = 0; i + d < n_; ++i) {
+      const int diff = perm_[static_cast<size_t>(i + d)] - perm_[static_cast<size_t>(i)];
+      if (occ_[bucket(d, diff)] >= 2) {
+        errs[static_cast<size_t>(i)] += w;
+        errs[static_cast<size_t>(i + d)] += w;
+      }
+    }
+  }
+}
+
+Cost CostasProblem::evaluate(std::span<const int> perm) const {
+  return evaluate_bounded(perm, std::numeric_limits<Cost>::max());
+}
+
+Cost CostasProblem::evaluate_bounded(std::span<const int> perm, Cost bound) const {
+  // Stateless O(n * depth) evaluation with early abort once the partial cost
+  // reaches `bound` (cost is a sum of non-negative row contributions, so it
+  // can only grow). Uses a per-row seen[] scratch indexed like occ_ rows.
+  Cost total = 0;
+  thread_local std::vector<int32_t> seen;
+  seen.assign(stride_, 0);
+  for (int d = 1; d <= depth_; ++d) {
+    const Cost w = errw_[static_cast<size_t>(d)];
+    for (int i = 0; i + d < n_; ++i) {
+      const int diff = perm[static_cast<size_t>(i + d)] - perm[static_cast<size_t>(i)];
+      int32_t& c = seen[static_cast<size_t>(diff + n_ - 1)];
+      if (c >= 1) {
+        total += w;
+        if (total >= bound) return total;
+      }
+      ++c;
+    }
+    // Clear only the slots we touched for this row.
+    for (int i = 0; i + d < n_; ++i) {
+      seen[static_cast<size_t>(perm[static_cast<size_t>(i + d)] - perm[static_cast<size_t>(i)] +
+                               n_ - 1)] = 0;
+    }
+  }
+  return total;
+}
+
+int CostasProblem::reset_candidate_count() const {
+  // Family 1: 2 shift directions for each sub-array starting or ending at
+  // Vm — (n-1) sub-arrays each way minus the duplicate full-range one gives
+  // 2(n-1) candidates in the worst case (Vm interior); family 2: 4 modular
+  // constants; family 3: up to 3 prefix shifts.
+  return 2 * (n_ - 1) + 4 + 3;
+}
+
+bool CostasProblem::custom_reset(core::Rng& rng) {
+  const Cost entry_cost = cost_;
+  Cost best_cost = std::numeric_limits<Cost>::max();
+  best_perm_.clear();
+
+  // Evaluates one candidate; returns true when the candidate strictly beats
+  // the entry cost (early escape per the paper).
+  auto consider = [&](const std::vector<int>& cand) {
+    const Cost c = evaluate_bounded(cand, best_cost);
+    if (c < best_cost) {
+      best_cost = c;
+      best_perm_ = cand;
+    }
+    return best_cost < entry_cost;
+  };
+
+  auto accept_best = [&](bool escaped) {
+    if (!best_perm_.empty()) {
+      perm_ = best_perm_;
+      rebuild();
+    }
+    return escaped;
+  };
+
+  // Most erroneous variable Vm (ties broken uniformly).
+  err_scratch_.resize(static_cast<size_t>(n_));
+  compute_errors(std::span<Cost>(err_scratch_.data(), err_scratch_.size()));
+  int m = 0;
+  {
+    Cost best_err = -1;
+    int ties = 0;
+    for (int i = 0; i < n_; ++i) {
+      const Cost e = err_scratch_[static_cast<size_t>(i)];
+      if (e > best_err) {
+        best_err = e;
+        m = i;
+        ties = 1;
+      } else if (e == best_err) {
+        ++ties;
+        if (rng.below(static_cast<uint64_t>(ties)) == 0) m = i;
+      }
+    }
+  }
+
+  // --- Family 1: circular shifts of sub-arrays anchored at Vm ---
+  // Sub-arrays [m, e] (e > m) and [s, m] (s < m), shifted one cell left and
+  // one cell right.
+  auto try_rotated = [&](int lo, int hi, bool left) {
+    scratch_ = perm_;
+    auto first = scratch_.begin() + lo;
+    auto last = scratch_.begin() + hi + 1;
+    if (left)
+      std::rotate(first, first + 1, last);
+    else
+      std::rotate(first, last - 1, last);
+    return consider(scratch_);
+  };
+  for (int e = m + 1; e < n_; ++e) {
+    if (try_rotated(m, e, /*left=*/true)) return accept_best(true);
+    if (try_rotated(m, e, /*left=*/false)) return accept_best(true);
+  }
+  for (int s = 0; s < m; ++s) {
+    if (try_rotated(s, m, /*left=*/true)) return accept_best(true);
+    if (try_rotated(s, m, /*left=*/false)) return accept_best(true);
+  }
+
+  // --- Family 2: add a constant modulo n ---
+  const int consts[4] = {1, 2, n_ - 2, n_ - 3};
+  for (int c : consts) {
+    if (c <= 0 || c >= n_) continue;  // degenerate for tiny n
+    scratch_ = perm_;
+    for (int& v : scratch_) v = (v - 1 + c) % n_ + 1;
+    if (consider(scratch_)) return accept_best(true);
+  }
+
+  // --- Family 3: left-shift the prefix ending at a random erroneous
+  // variable (not Vm); up to 3 attempts ---
+  {
+    scratch_.clear();
+    for (int i = 0; i < n_; ++i) {
+      if (i != m && err_scratch_[static_cast<size_t>(i)] > 0) scratch_.push_back(i);
+    }
+    // Pick up to 3 distinct erroneous positions uniformly.
+    std::vector<int> chosen;
+    for (int t = 0; t < 3 && !scratch_.empty(); ++t) {
+      const size_t idx = static_cast<size_t>(rng.below(scratch_.size()));
+      chosen.push_back(scratch_[idx]);
+      scratch_[idx] = scratch_.back();
+      scratch_.pop_back();
+    }
+    for (int e : chosen) {
+      if (e == 0) continue;  // prefix of length 1: no-op
+      std::vector<int> cand = perm_;
+      std::rotate(cand.begin(), cand.begin() + 1, cand.begin() + e + 1);
+      if (consider(cand)) return accept_best(true);
+    }
+  }
+
+  return accept_best(false);
+}
+
+core::AsConfig recommended_config(int n, uint64_t seed) {
+  core::AsConfig cfg;
+  cfg.tabu_tenure = std::max(2, n / 10);
+  cfg.plateau_probability = 0.93;
+  cfg.reset_limit = 1;       // paper: RL = 1
+  cfg.reset_fraction = 0.05;  // paper: RP = 5%
+  cfg.use_custom_reset = true;
+  cfg.probe_interval = 64;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace cas::costas

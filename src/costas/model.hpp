@@ -1,0 +1,129 @@
+// The Costas Array Problem modeled for Adaptive Search — the paper's
+// Sec. IV with all three published optimizations:
+//
+//   * error weight ERR(d) = n^2 - d^2 penalizing collisions in the long
+//     (small-d) rows of the difference triangle (Sec. IV-B, ~17% faster
+//     than ERR(d) = 1),
+//   * Chang's remark: only rows d <= floor((n-1)/2) need checking
+//     (Sec. IV-B, ~30% faster) — a collision in a longer-distance row
+//     always implies one in a shorter-distance row,
+//   * the custom reset procedure with three perturbation families
+//     (Sec. IV-B, ~3.7x speedup over the generic percentage reset).
+//
+// Incremental evaluation: per difference-triangle row d we keep occurrence
+// counts occ[d][diff]. A swap of two positions touches at most 4*D triangle
+// cells (D = number of checked rows), so cost_if_swap/apply_swap are O(D)
+// per affected pair — O(n) per candidate move overall.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace cas::costas {
+
+using core::Cost;
+
+enum class ErrFunction {
+  kUnit,       // ERR(d) = 1 (the paper's "basic model")
+  kQuadratic,  // ERR(d) = n^2 - d^2 (the paper's tuned model)
+};
+
+struct CostasOptions {
+  ErrFunction err = ErrFunction::kQuadratic;
+  bool use_chang = true;  // check only rows d <= floor((n-1)/2)
+};
+
+class CostasProblem {
+ public:
+  explicit CostasProblem(int n, CostasOptions opts = {});
+
+  // --- LocalSearchProblem interface ---
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] Cost cost() const { return cost_; }
+  [[nodiscard]] int value(int i) const { return perm_[static_cast<size_t>(i)]; }
+  void randomize(core::Rng& rng);
+  [[nodiscard]] Cost cost_if_swap(int i, int j);
+  void apply_swap(int i, int j);
+  void compute_errors(std::span<Cost> errs) const;
+
+  /// The paper's dedicated reset (Sec. IV-B). Tries, in order:
+  ///  1. circular shifts (left and right) of every sub-array starting or
+  ///     ending at the most erroneous variable,
+  ///  2. adding a constant in {1, 2, n-2, n-3} to all values, modulo n,
+  ///  3. left-shifting the prefix that ends at a randomly chosen erroneous
+  ///     variable (up to 3 candidates).
+  /// Accepts the first perturbation that strictly improves on the entry
+  /// cost (returns true: "escaped"); otherwise evaluates all and adopts the
+  /// best one (returns false).
+  bool custom_reset(core::Rng& rng);
+
+  // --- model introspection / utilities ---
+  [[nodiscard]] const std::vector<int>& permutation() const { return perm_; }
+  void set_permutation(std::span<const int> perm);  // validates; rebuilds state
+  [[nodiscard]] int checked_rows() const { return depth_; }
+  [[nodiscard]] const CostasOptions& options() const { return opts_; }
+
+  /// Stateless cost of an arbitrary permutation under these options.
+  [[nodiscard]] Cost evaluate(std::span<const int> perm) const;
+
+  /// Number of candidate configurations the custom reset examines (used by
+  /// tests and the reset ablation bench).
+  [[nodiscard]] int reset_candidate_count() const;
+
+ private:
+  void rebuild();
+  [[nodiscard]] Cost evaluate_bounded(std::span<const int> perm, Cost bound) const;
+
+  [[nodiscard]] size_t bucket(int d, int diff) const {
+    // diff in [-(n-1), n-1] -> [0, 2n-2]
+    return static_cast<size_t>(d - 1) * stride_ + static_cast<size_t>(diff + n_ - 1);
+  }
+  void add_pair(int d, int diff) {
+    int32_t& c = occ_[bucket(d, diff)];
+    if (c >= 1) cost_ += errw_[static_cast<size_t>(d)];
+    ++c;
+  }
+  void remove_pair(int d, int diff) {
+    int32_t& c = occ_[bucket(d, diff)];
+    --c;
+    if (c >= 1) cost_ -= errw_[static_cast<size_t>(d)];
+  }
+
+  /// Invoke fn(a, b) for every checked triangle pair (a, b), b - a <= depth,
+  /// that has an endpoint in {i, j}; each affected pair exactly once.
+  template <typename Fn>
+  void for_each_affected_pair(int i, int j, Fn&& fn) const {
+    if (i > j) std::swap(i, j);
+    for (int d = 1; d <= depth_; ++d) {
+      if (i - d >= 0) fn(i - d, i);
+      if (i + d < n_) fn(i, i + d);
+      if (j - d >= 0 && j - d != i) fn(j - d, j);
+      if (j + d < n_) fn(j, j + d);
+    }
+  }
+
+  int n_;
+  CostasOptions opts_;
+  int depth_;      // number of difference-triangle rows checked
+  size_t stride_;  // 2n-1 diff slots per row
+  std::vector<int> perm_;
+  std::vector<int32_t> occ_;
+  std::vector<Cost> errw_;  // errw_[d], d = 1..depth (index 0 unused)
+  Cost cost_ = 0;
+
+  // custom_reset scratch (reused to keep resets allocation-free after warmup)
+  std::vector<int> scratch_;
+  std::vector<int> best_perm_;
+  std::vector<Cost> err_scratch_;
+};
+
+/// Engine configuration tuned for CAP (paper Sec. IV-B: RL=1, RP=5%,
+/// custom reset on).
+core::AsConfig recommended_config(int n, uint64_t seed = 42);
+
+}  // namespace cas::costas

@@ -1,0 +1,116 @@
+#include "costas/symmetry.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cas::costas {
+
+namespace {
+
+// Work in 0-based mark coordinates: the grid holds marks (x, y) with
+// y = perm[x] - 1. Each transform maps (x, y) -> (x', y'); the result is
+// read back as a permutation (requires exactly one mark per column, which
+// every D4 image of a permutation grid satisfies).
+struct Point {
+  int x, y;
+};
+
+Point map_point(Point pt, int n, Transform t) {
+  const int m = n - 1;
+  switch (t) {
+    case Transform::kIdentity:      return {pt.x, pt.y};
+    case Transform::kRot90:         return {pt.y, m - pt.x};          // CCW
+    case Transform::kRot180:        return {m - pt.x, m - pt.y};
+    case Transform::kRot270:        return {m - pt.y, pt.x};
+    case Transform::kFlipX:         return {m - pt.x, pt.y};
+    case Transform::kFlipY:         return {pt.x, m - pt.y};
+    case Transform::kTranspose:     return {pt.y, pt.x};
+    case Transform::kAntiTranspose: return {m - pt.y, m - pt.x};
+  }
+  throw std::logic_error("map_point: bad transform");
+}
+
+}  // namespace
+
+std::vector<int> apply_transform(std::span<const int> perm, Transform t) {
+  const int n = static_cast<int>(perm.size());
+  std::vector<int> out(static_cast<size_t>(n), 0);
+  for (int x = 0; x < n; ++x) {
+    const Point q = map_point({x, perm[static_cast<size_t>(x)] - 1}, n, t);
+    out[static_cast<size_t>(q.x)] = q.y + 1;
+  }
+  return out;
+}
+
+Transform compose(Transform first, Transform second) {
+  // Determine the composition by its action on two non-collinear probe
+  // points of a large virtual grid (n = 5 suffices to distinguish all 8).
+  const int n = 5;
+  for (Transform t : kAllTransforms) {
+    bool match = true;
+    for (Point probe : {Point{0, 0}, Point{1, 0}, Point{0, 2}}) {
+      const Point via = map_point(map_point(probe, n, first), n, second);
+      const Point direct = map_point(probe, n, t);
+      if (via.x != direct.x || via.y != direct.y) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return t;
+  }
+  throw std::logic_error("compose: composition not in group (impossible)");
+}
+
+Transform inverse(Transform t) {
+  for (Transform u : kAllTransforms) {
+    if (compose(t, u) == Transform::kIdentity) return u;
+  }
+  throw std::logic_error("inverse: no inverse found (impossible)");
+}
+
+std::vector<std::vector<int>> orbit(std::span<const int> perm) {
+  std::vector<std::vector<int>> out;
+  out.reserve(8);
+  for (Transform t : kAllTransforms) out.push_back(apply_transform(perm, t));
+  return out;
+}
+
+std::vector<int> canonical_form(std::span<const int> perm) {
+  auto images = orbit(perm);
+  return *std::min_element(images.begin(), images.end());
+}
+
+size_t count_symmetry_classes(const std::vector<std::vector<int>>& arrays) {
+  std::set<std::vector<int>> canon;
+  for (const auto& a : arrays) canon.insert(canonical_form(a));
+  return canon.size();
+}
+
+std::vector<Transform> stabilizer(std::span<const int> perm) {
+  std::vector<Transform> out;
+  const std::vector<int> self(perm.begin(), perm.end());
+  for (Transform t : kAllTransforms) {
+    if (apply_transform(perm, t) == self) out.push_back(t);
+  }
+  return out;
+}
+
+size_t orbit_size(std::span<const int> perm) { return 8 / stabilizer(perm).size(); }
+
+bool is_transpose_symmetric(std::span<const int> perm) {
+  return apply_transform(perm, Transform::kTranspose) ==
+         std::vector<int>(perm.begin(), perm.end());
+}
+
+OrbitBreakdown orbit_breakdown(const std::vector<std::vector<int>>& arrays) {
+  // One representative per orbit: the canonical form. Sizes come from the
+  // representative's stabilizer (constant across the orbit).
+  std::set<std::vector<int>> canon;
+  for (const auto& a : arrays) canon.insert(canonical_form(a));
+  OrbitBreakdown bd;
+  for (const auto& rep : canon) ++bd.orbits_of_size[orbit_size(rep)];
+  return bd;
+}
+
+}  // namespace cas::costas

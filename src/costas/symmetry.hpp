@@ -1,0 +1,83 @@
+// The dihedral symmetry group of the square acting on Costas arrays.
+// Rotating or reflecting the n x n grid of a Costas array yields another
+// Costas array, so the set of arrays of order n splits into orbits of size
+// dividing 8 — the paper's Sec. II quotes 164 arrays / 23 classes for
+// n = 29.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace cas::costas {
+
+/// The 8 elements of the dihedral group D4, as grid transforms.
+enum class Transform {
+  kIdentity,
+  kRot90,      // 90 degrees counter-clockwise
+  kRot180,
+  kRot270,
+  kFlipX,      // mirror columns (left-right)
+  kFlipY,      // mirror rows (up-down)
+  kTranspose,  // main diagonal: the inverse permutation
+  kAntiTranspose,
+};
+
+inline constexpr std::array<Transform, 8> kAllTransforms = {
+    Transform::kIdentity, Transform::kRot90,  Transform::kRot180,
+    Transform::kRot270,   Transform::kFlipX,  Transform::kFlipY,
+    Transform::kTranspose, Transform::kAntiTranspose};
+
+/// Apply a grid transform to a permutation (mark at (col i, row perm[i]),
+/// both 1-based in value, 0-based in index).
+std::vector<int> apply_transform(std::span<const int> perm, Transform t);
+
+/// Compose: apply `second` after `first`.
+Transform compose(Transform first, Transform second);
+
+/// Group inverse.
+Transform inverse(Transform t);
+
+/// All 8 images of `perm` (with duplicates when the array is symmetric).
+std::vector<std::vector<int>> orbit(std::span<const int> perm);
+
+/// Lexicographically smallest element of the orbit; equal for two arrays
+/// iff they are in the same symmetry class.
+std::vector<int> canonical_form(std::span<const int> perm);
+
+/// Number of symmetry classes among the given arrays (e.g. the full
+/// enumeration of some order).
+size_t count_symmetry_classes(const std::vector<std::vector<int>>& arrays);
+
+/// The transforms that map `perm` to itself (always contains kIdentity);
+/// a subgroup of D4, so its size divides 8.
+std::vector<Transform> stabilizer(std::span<const int> perm);
+
+/// Size of the orbit of `perm` under D4: 8 / |stabilizer| (1, 2, 4 or 8).
+size_t orbit_size(std::span<const int> perm);
+
+/// Fixed by the main-diagonal transpose, i.e. the permutation is its own
+/// inverse. Lempel arrays (the alpha = beta Lempel-Golomb construction)
+/// have this property by construction.
+bool is_transpose_symmetric(std::span<const int> perm);
+
+/// Histogram of orbit sizes over a set of arrays: breakdown[s] = number of
+/// *orbits* of size s (s in {1, 2, 4, 8}). Invariants: sum over s of
+/// s * breakdown[s] == arrays in the set (when the set is closed under the
+/// group action), and the sum of breakdown values equals
+/// count_symmetry_classes.
+struct OrbitBreakdown {
+  size_t orbits_of_size[9] = {};  // indexed by orbit size; only 1,2,4,8 used
+
+  [[nodiscard]] size_t total_orbits() const {
+    return orbits_of_size[1] + orbits_of_size[2] + orbits_of_size[4] + orbits_of_size[8];
+  }
+  [[nodiscard]] size_t total_arrays() const {
+    return orbits_of_size[1] + 2 * orbits_of_size[2] + 4 * orbits_of_size[4] +
+           8 * orbits_of_size[8];
+  }
+};
+
+OrbitBreakdown orbit_breakdown(const std::vector<std::vector<int>>& arrays);
+
+}  // namespace cas::costas

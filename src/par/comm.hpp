@@ -1,0 +1,135 @@
+// In-process message-passing layer mirroring the MPI subset the paper's
+// parallel Adaptive Search uses (Sec. V-A): independent ranks, non-blocking
+// probe ("some non-blocking tests are involved every c iterations to check
+// if there is a message indicating that some other process has found a
+// solution"), and a terminate-everyone broadcast by the winner.
+//
+// This is the substitution for OpenMPI documented in DESIGN.md §4: ranks
+// are threads, each with a mutex-guarded mailbox. The control flow of the
+// paper's implementation is preserved exactly; only the transport differs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace cas::par {
+
+struct Message {
+  int tag = 0;
+  int source = -1;
+  std::vector<int64_t> payload;
+};
+
+/// Well-known tags, mirroring the paper's protocol.
+inline constexpr int kTagSolutionFound = 1;
+inline constexpr int kTagTerminate = 2;
+
+/// Tags reserved by the collective operations (selective receive keeps them
+/// from interfering with point-to-point traffic such as kTagSolutionFound).
+inline constexpr int kTagBarrier = 100;
+inline constexpr int kTagBroadcast = 101;
+inline constexpr int kTagReduce = 102;
+inline constexpr int kTagGather = 103;
+
+/// Element-wise combiner for reduce/allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+class Comm;
+
+/// Per-rank handle passed to the rank function. Thread-safe against
+/// concurrent senders; owned by exactly one rank thread.
+class RankCtx {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Non-blocking send (enqueue into dest's mailbox). Valid dest required.
+  void send(int dest, Message msg) const;
+
+  /// Send to every other rank.
+  void broadcast_others(const Message& msg) const;
+
+  /// Non-blocking probe-and-receive: first pending message, if any.
+  [[nodiscard]] std::optional<Message> try_recv() const;
+
+  /// Blocking receive.
+  [[nodiscard]] Message recv() const;
+
+  /// Blocking receive of the first message with the given tag, leaving all
+  /// other messages queued (MPI-style tag matching).
+  [[nodiscard]] Message recv_tagged(int tag) const;
+
+  /// True once any rank has posted a terminate/solution message to us.
+  /// Convenience used by multi-walk loops.
+  [[nodiscard]] bool termination_pending() const;
+
+  // --- collectives -------------------------------------------------------
+  // Every rank of the communicator must call the same collectives in the
+  // same order (the MPI contract). A per-rank sequence number keeps
+  // back-to-back collectives of the same kind from cross-talking; selective
+  // receive keeps them from consuming point-to-point messages.
+
+  /// Block until every rank has entered the barrier.
+  void barrier();
+
+  /// Root's `values` is distributed to every rank; others' input is
+  /// ignored. Returns the broadcast payload on all ranks.
+  std::vector<int64_t> broadcast(int root, std::vector<int64_t> values);
+
+  /// Element-wise reduction of every rank's `values` (all must have equal
+  /// length). The combined vector is returned at the root; other ranks get
+  /// an empty vector.
+  std::vector<int64_t> reduce(int root, const std::vector<int64_t>& values, ReduceOp op);
+
+  /// reduce() followed by broadcast(): every rank receives the combination.
+  std::vector<int64_t> allreduce(const std::vector<int64_t>& values, ReduceOp op);
+
+  /// Root receives every rank's vector, indexed by source rank; other ranks
+  /// get an empty result.
+  std::vector<std::vector<int64_t>> gather(int root, const std::vector<int64_t>& values);
+
+ private:
+  friend class Comm;
+  RankCtx(Comm* comm, int rank) : comm_(comm), rank_(rank) {}
+
+  /// Blocking selective receive: first message with this tag whose payload
+  /// starts with the sequence number `seq`.
+  [[nodiscard]] Message recv_collective(int tag, int64_t seq) const;
+
+  Comm* comm_;
+  int rank_;
+  uint64_t collective_seq_ = 0;  // advances once per collective call
+};
+
+/// A "communicator world" of N ranks, each running `fn` on its own thread.
+class Comm {
+ public:
+  explicit Comm(int num_ranks);
+
+  /// Run fn(ctx) on every rank; returns when all ranks have finished.
+  void run(const std::function<void(RankCtx&)>& fn);
+
+  [[nodiscard]] int size() const { return num_ranks_; }
+
+ private:
+  friend class RankCtx;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Message> queue;
+    bool has_termination = false;
+  };
+
+  void post(int dest, Message msg);
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace cas::par

@@ -1,0 +1,23 @@
+#include "par/portfolio.hpp"
+
+namespace cas::par {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAdaptiveSearch: return "adaptive-search";
+    case EngineKind::kTabuSearch: return "tabu-search";
+    case EngineKind::kDialecticSearch: return "dialectic-search";
+    case EngineKind::kSimulatedAnnealing: return "simulated-annealing";
+  }
+  return "?";
+}
+
+std::vector<EngineKind> round_robin(const std::vector<EngineKind>& kinds, int num_walkers) {
+  std::vector<EngineKind> out;
+  out.reserve(static_cast<size_t>(num_walkers));
+  for (int w = 0; w < num_walkers; ++w)
+    out.push_back(kinds[static_cast<size_t>(w) % kinds.size()]);
+  return out;
+}
+
+}  // namespace cas::par

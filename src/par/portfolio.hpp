@@ -1,0 +1,95 @@
+// Portfolio multi-walk: heterogeneous walkers racing on the same instance.
+//
+// The paper's parallel scheme runs identical Adaptive Search engines that
+// differ only by seed. The classical next step in parallel metaheuristics
+// (and the natural control experiment for the paper's design) is the
+// *algorithm portfolio*: give each walker a different engine — AS, Tabu
+// Search, Dialectic Search, simulated annealing — and let the first
+// finisher win. A portfolio hedges: on instances where one method stalls,
+// another may be fast, at the price of dedicating cores to engines that
+// are (on the CAP) uniformly slower than AS. The portfolio ablation bench
+// quantifies that trade: homogeneous AS beats the mixed portfolio on CAP
+// precisely because AS dominates every other engine here — evidence FOR
+// the paper's homogeneous choice, measured rather than assumed.
+//
+// Implementation: run_multiwalk() with a walker function that dispatches
+// on a per-walker engine assignment; everything else (first-win, stop
+// token, chaotic seeds) is the paper's machinery, unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/adaptive_search.hpp"
+#include "core/config.hpp"
+#include "core/dialectic_search.hpp"
+#include "core/simulated_annealing.hpp"
+#include "core/tabu_search.hpp"
+#include "par/multiwalk.hpp"
+
+namespace cas::par {
+
+enum class EngineKind { kAdaptiveSearch, kTabuSearch, kDialecticSearch, kSimulatedAnnealing };
+
+const char* engine_kind_name(EngineKind kind);
+
+/// Per-engine parameters for portfolio members. Seeds are assigned by the
+/// runner from the chaotic sequence (each member still gets its own seed).
+struct PortfolioConfig {
+  core::AsConfig as;
+  core::TsConfig ts;
+  core::DsConfig ds;
+  core::SaConfig sa;
+  // Probe interval override applied to every member so the first-win
+  // cancellation stays responsive regardless of engine defaults.
+  uint64_t probe_interval = 64;
+};
+
+/// The assignment of engines to walkers, e.g. {AS, AS, TS, SA} for four
+/// cores. round_robin(kinds, n) builds one of any length.
+std::vector<EngineKind> round_robin(const std::vector<EngineKind>& kinds, int num_walkers);
+
+/// Race the portfolio on one CAP-style problem type. P must be
+/// constructible from int (instance size) like CostasProblem.
+template <typename P>
+MultiWalkResult run_portfolio(int n, const std::vector<EngineKind>& assignment,
+                              const PortfolioConfig& cfg, uint64_t master_seed) {
+  return run_multiwalk(
+      static_cast<int>(assignment.size()), master_seed,
+      [&](int id, uint64_t seed, core::StopToken stop) -> core::RunStats {
+        P problem(n);
+        switch (assignment[static_cast<size_t>(id)]) {
+          case EngineKind::kAdaptiveSearch: {
+            auto c = cfg.as;
+            c.seed = seed;
+            c.probe_interval = cfg.probe_interval;
+            core::AdaptiveSearch<P> engine(problem, c);
+            return engine.solve(stop);
+          }
+          case EngineKind::kTabuSearch: {
+            auto c = cfg.ts;
+            c.seed = seed;
+            c.probe_interval = cfg.probe_interval;
+            core::TabuSearch<P> engine(problem, c);
+            return engine.solve(stop);
+          }
+          case EngineKind::kDialecticSearch: {
+            auto c = cfg.ds;
+            c.seed = seed;
+            c.probe_interval = std::max<uint64_t>(1, cfg.probe_interval / 8);
+            core::DialecticSearch<P> engine(problem, c);
+            return engine.solve(stop);
+          }
+          case EngineKind::kSimulatedAnnealing: {
+            auto c = cfg.sa;
+            c.seed = seed;
+            c.probe_interval = cfg.probe_interval;
+            core::SimulatedAnnealing<P> engine(problem, c);
+            return engine.solve(stop);
+          }
+        }
+        return {};
+      });
+}
+
+}  // namespace cas::par

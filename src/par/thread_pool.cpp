@@ -1,0 +1,39 @@
+#include "par/thread_pool.hpp"
+
+namespace cas::par {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (closed_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace cas::par

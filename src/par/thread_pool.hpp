@@ -1,0 +1,53 @@
+// Fixed-size thread pool used by the sample-bank collector (sim module) to
+// run many independent sequential searches concurrently. Follows the C++
+// Core Guidelines concurrency rules: jthreads joined by RAII, shared state
+// confined to the mutex-guarded queue, tasks passed by value.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cas::par {
+
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves with its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool closed_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace cas::par

@@ -1,0 +1,126 @@
+#include "problems/alpha.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace cas::problems {
+
+const std::vector<AlphaProblem::Equation>& AlphaProblem::default_equations() {
+  // The rec.puzzles instance shipped with the reference AS library.
+  static const std::vector<Equation> eqs{
+      {"BALLET", 45},  {"CELLO", 43},   {"CONCERT", 74}, {"FLUTE", 30},
+      {"FUGUE", 50},   {"GLEE", 66},    {"JAZZ", 58},    {"LYRE", 47},
+      {"OBOE", 53},    {"OPERA", 65},   {"POLKA", 59},   {"QUARTET", 50},
+      {"SAXOPHONE", 134}, {"SCALE", 51}, {"SOLO", 37},   {"SONG", 61},
+      {"SOPRANO", 82}, {"THEME", 72},   {"VIOLIN", 100}, {"WALTZ", 34},
+  };
+  return eqs;
+}
+
+AlphaProblem::AlphaProblem(std::vector<Equation> equations) : eqs_(std::move(equations)) {
+  if (eqs_.empty()) throw std::invalid_argument("AlphaProblem: need at least one equation");
+  coef_.reserve(eqs_.size());
+  targets_.reserve(eqs_.size());
+  for (const auto& eq : eqs_) {
+    std::array<int8_t, kLetters> c{};
+    for (char ch : eq.word) {
+      const unsigned char u = static_cast<unsigned char>(ch);
+      if (!std::isalpha(u))
+        throw std::invalid_argument("AlphaProblem: word contains a non-letter: " + eq.word);
+      ++c[static_cast<size_t>(std::toupper(u) - 'A')];
+    }
+    coef_.push_back(c);
+    targets_.push_back(eq.target);
+  }
+  val_.resize(kLetters);
+  for (int i = 0; i < kLetters; ++i) val_[static_cast<size_t>(i)] = i + 1;
+  sums_.assign(eqs_.size(), 0);
+  rebuild();
+}
+
+void AlphaProblem::randomize(core::Rng& rng) {
+  rng.shuffle(val_);
+  rebuild();
+}
+
+Cost AlphaProblem::cost_if_swap(int i, int j) const {
+  const int64_t di = val_[static_cast<size_t>(j)] - val_[static_cast<size_t>(i)];
+  Cost c = 0;
+  for (size_t e = 0; e < eqs_.size(); ++e) {
+    const int coef_diff = coef_[e][static_cast<size_t>(i)] - coef_[e][static_cast<size_t>(j)];
+    const int64_t s = sums_[e] + coef_diff * di;
+    c += std::abs(s - targets_[e]);
+  }
+  return c;
+}
+
+void AlphaProblem::apply_swap(int i, int j) {
+  const int64_t di = val_[static_cast<size_t>(j)] - val_[static_cast<size_t>(i)];
+  cost_ = 0;
+  for (size_t e = 0; e < eqs_.size(); ++e) {
+    const int coef_diff = coef_[e][static_cast<size_t>(i)] - coef_[e][static_cast<size_t>(j)];
+    sums_[e] += coef_diff * di;
+    cost_ += std::abs(sums_[e] - targets_[e]);
+  }
+  std::swap(val_[static_cast<size_t>(i)], val_[static_cast<size_t>(j)]);
+}
+
+void AlphaProblem::compute_errors(std::span<Cost> errs) const {
+  std::fill(errs.begin(), errs.end(), Cost{0});
+  for (size_t e = 0; e < eqs_.size(); ++e) {
+    const Cost dev = std::abs(sums_[e] - targets_[e]);
+    if (dev == 0) continue;
+    for (int i = 0; i < kLetters; ++i) {
+      if (coef_[e][static_cast<size_t>(i)] != 0)
+        errs[static_cast<size_t>(i)] += dev * coef_[e][static_cast<size_t>(i)];
+    }
+  }
+}
+
+int AlphaProblem::value_of(char letter) const {
+  const unsigned char u = static_cast<unsigned char>(letter);
+  if (!std::isalpha(u)) throw std::invalid_argument("AlphaProblem::value_of: not a letter");
+  return val_[static_cast<size_t>(std::toupper(u) - 'A')];
+}
+
+int AlphaProblem::word_sum(std::string_view word) const {
+  int s = 0;
+  for (char ch : word) s += value_of(ch);
+  return s;
+}
+
+bool AlphaProblem::valid() const {
+  std::array<bool, kLetters + 1> seen{};
+  for (int v : val_) {
+    if (v < 1 || v > kLetters || seen[static_cast<size_t>(v)]) return false;
+    seen[static_cast<size_t>(v)] = true;
+  }
+  for (size_t e = 0; e < eqs_.size(); ++e) {
+    if (word_sum(eqs_[e].word) != targets_[e]) return false;
+  }
+  return true;
+}
+
+core::AsConfig AlphaProblem::recommended_config(uint64_t seed) {
+  core::AsConfig cfg;
+  cfg.seed = seed;
+  cfg.tabu_tenure = 10;
+  cfg.plateau_probability = 0.5;
+  cfg.reset_limit = 10;
+  cfg.reset_fraction = 0.1;
+  return cfg;
+}
+
+void AlphaProblem::rebuild() {
+  cost_ = 0;
+  for (size_t e = 0; e < eqs_.size(); ++e) {
+    int64_t s = 0;
+    for (int i = 0; i < kLetters; ++i)
+      s += static_cast<int64_t>(coef_[e][static_cast<size_t>(i)]) * val_[static_cast<size_t>(i)];
+    sums_[e] = s;
+    cost_ += std::abs(s - targets_[e]);
+  }
+}
+
+}  // namespace cas::problems

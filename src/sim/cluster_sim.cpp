@@ -1,0 +1,115 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/ecdf.hpp"
+#include "analysis/exponential_fit.hpp"
+#include "analysis/order_stats.hpp"
+#include "core/rng.hpp"
+
+namespace cas::sim {
+
+namespace {
+
+bool use_empirical(ResampleMode mode, int cores, size_t bank_size) {
+  switch (mode) {
+    case ResampleMode::kEmpirical:
+      return true;
+    case ResampleMode::kFittedTail:
+      return false;
+    case ResampleMode::kHybrid:
+      return static_cast<size_t>(cores) * 4 <= bank_size;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* resample_mode_name(ResampleMode mode) {
+  switch (mode) {
+    case ResampleMode::kEmpirical:
+      return "empirical";
+    case ResampleMode::kFittedTail:
+      return "fitted-tail";
+    case ResampleMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::vector<double> simulate_times(const SampleBank& bank, const Platform& platform, int cores,
+                                   const SimOptions& opts) {
+  analysis::Ecdf ecdf(bank.iterations);
+  core::Rng rng(opts.seed ^ (static_cast<uint64_t>(cores) << 32) ^
+                static_cast<uint64_t>(bank.n));
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(opts.runs));
+
+  if (use_empirical(opts.mode, cores, ecdf.size())) {
+    for (int r = 0; r < opts.runs; ++r) {
+      const double iters = analysis::sample_min_of_k(ecdf, cores, rng);
+      times.push_back(platform.seconds(iters, bank.n) + opts.startup_seconds);
+    }
+  } else {
+    // Fitted tail: min of k i.i.d. shifted-exponential draws is itself
+    // shifted exponential with scale lambda/k. Bias-corrected shift so the
+    // bank's sampling noise does not floor large-k times (see
+    // fit_shifted_exponential_bias_corrected).
+    const auto fit = analysis::fit_shifted_exponential_bias_corrected(bank.iterations);
+    const auto min_dist = fit.min_of(cores);
+    for (int r = 0; r < opts.runs; ++r) {
+      const double iters = min_dist.quantile(rng.uniform01());
+      times.push_back(platform.seconds(std::max(iters, 1.0), bank.n) + opts.startup_seconds);
+    }
+  }
+  return times;
+}
+
+CellResult simulate_cell(const SampleBank& bank, const Platform& platform, int cores,
+                         const SimOptions& opts) {
+  CellResult cell;
+  cell.n = bank.n;
+  cell.cores = cores;
+  auto times = simulate_times(bank, platform, cores, opts);
+  if (opts.walltime_cap_seconds > 0) {
+    // Censor: the batch system kills runs at the cap; only survivors are
+    // summarized (the paper's tables likewise only contain cells whose
+    // runs fit the scheduler limits).
+    std::vector<double> completed;
+    completed.reserve(times.size());
+    for (double t : times) {
+      if (t <= opts.walltime_cap_seconds)
+        completed.push_back(t);
+      else
+        ++cell.censored;
+    }
+    times = std::move(completed);
+  }
+  cell.completed = static_cast<int>(times.size());
+  if (!times.empty()) cell.seconds = analysis::summarize(times);
+  analysis::Ecdf ecdf(bank.iterations);
+  cell.expected_seconds =
+      platform.seconds(analysis::expected_min_of_k(ecdf, cores), bank.n) + opts.startup_seconds;
+  return cell;
+}
+
+bool cell_feasible(const SampleBank& bank, const Platform& platform, int cores,
+                   double walltime_cap_seconds) {
+  if (walltime_cap_seconds <= 0) return true;
+  analysis::Ecdf ecdf(bank.iterations);
+  const double expected =
+      platform.seconds(analysis::expected_min_of_k(ecdf, cores), bank.n);
+  return expected <= walltime_cap_seconds;
+}
+
+std::vector<CellResult> simulate_row(const SampleBank& bank, const Platform& platform,
+                                     const std::vector<int>& core_counts,
+                                     const SimOptions& opts) {
+  std::vector<CellResult> out;
+  out.reserve(core_counts.size());
+  for (int k : core_counts) out.push_back(simulate_cell(bank, platform, k, opts));
+  return out;
+}
+
+}  // namespace cas::sim

@@ -1,0 +1,110 @@
+#include "sim/sample_bank.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <stdexcept>
+
+#include "core/adaptive_search.hpp"
+#include "core/chaotic_seed.hpp"
+#include "costas/model.hpp"
+#include "par/thread_pool.hpp"
+#include "util/csv.hpp"
+
+namespace cas::sim {
+
+SampleBank collect_costas_bank(int n, const core::AsConfig& base, const BankOptions& opts) {
+  SampleBank bank;
+  bank.n = n;
+  bank.master_seed = opts.master_seed;
+  bank.iterations.resize(static_cast<size_t>(opts.num_samples));
+
+  const auto seeds = core::ChaoticSeedSequence::generate(
+      opts.master_seed, static_cast<size_t>(opts.num_samples) * 4);  // spares for re-draws
+  std::atomic<size_t> next_spare{static_cast<size_t>(opts.num_samples)};
+  std::atomic<int> censored{0};
+
+  par::ThreadPool pool(opts.num_threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(opts.num_samples));
+  for (int i = 0; i < opts.num_samples; ++i) {
+    futures.push_back(pool.submit([&, i] {
+      uint64_t seed = seeds[static_cast<size_t>(i)];
+      while (true) {
+        costas::CostasProblem problem(n);
+        core::AsConfig cfg = base;
+        cfg.seed = seed;
+        cfg.max_iterations = opts.max_iterations_per_run;
+        core::AdaptiveSearch<costas::CostasProblem> engine(problem, cfg);
+        const auto st = engine.solve();
+        if (st.solved) {
+          bank.iterations[static_cast<size_t>(i)] = static_cast<double>(st.iterations);
+          return;
+        }
+        // Censored by the safety cap: re-draw with a spare seed.
+        censored.fetch_add(1, std::memory_order_relaxed);
+        const size_t spare = next_spare.fetch_add(1, std::memory_order_relaxed);
+        seed = spare < seeds.size() ? seeds[spare] : seed * 0x9e3779b97f4a7c15ull + 1;
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (censored.load() > 0) {
+    std::fprintf(stderr,
+                 "[sample_bank] warning: %d run(s) hit the %llu-iteration cap and were "
+                 "re-drawn; the bank slightly under-represents the extreme tail\n",
+                 censored.load(),
+                 static_cast<unsigned long long>(opts.max_iterations_per_run));
+  }
+  return bank;
+}
+
+void save_bank(const SampleBank& bank, const std::string& path) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(bank.iterations.size());
+  for (double it : bank.iterations) {
+    rows.push_back({static_cast<double>(bank.n), static_cast<double>(bank.master_seed), it});
+  }
+  util::write_csv(path, {"n", "master_seed", "iterations"}, rows);
+}
+
+SampleBank load_bank(const std::string& path) {
+  const auto doc = util::read_csv(path);
+  SampleBank bank;
+  const int ci = doc.column("iterations");
+  const int cn = doc.column("n");
+  const int cs = doc.column("master_seed");
+  if (ci < 0 || cn < 0 || cs < 0) throw std::runtime_error("load_bank: bad header in " + path);
+  for (const auto& row : doc.rows) {
+    bank.n = static_cast<int>(std::stod(row[static_cast<size_t>(cn)]));
+    bank.master_seed = static_cast<uint64_t>(std::stod(row[static_cast<size_t>(cs)]));
+    bank.iterations.push_back(std::stod(row[static_cast<size_t>(ci)]));
+  }
+  return bank;
+}
+
+SampleBank load_or_collect(int n, const core::AsConfig& base, const BankOptions& opts,
+                           const std::string& cache_path) {
+  if (!cache_path.empty() && util::file_exists(cache_path)) {
+    try {
+      SampleBank bank = load_bank(cache_path);
+      if (bank.n == n && bank.master_seed == opts.master_seed &&
+          bank.iterations.size() >= static_cast<size_t>(opts.num_samples)) {
+        return bank;
+      }
+    } catch (const std::exception&) {
+      // fall through to re-collect
+    }
+  }
+  SampleBank bank = collect_costas_bank(n, base, opts);
+  if (!cache_path.empty()) {
+    try {
+      save_bank(bank, cache_path);
+    } catch (const std::exception&) {
+      // cache write failure is non-fatal
+    }
+  }
+  return bank;
+}
+
+}  // namespace cas::sim

@@ -1,0 +1,52 @@
+// Run-length sample banks: many independent sequential Adaptive Search runs
+// on one CAP instance, recorded as iteration counts. Iterations are
+// hardware-independent, so one bank drives the time models of every
+// platform profile (and of the local machine).
+//
+// Banks are collected in parallel on the host's cores (each run is fully
+// independent — the same property the paper's parallel scheme exploits) and
+// can be cached to CSV so repeated bench invocations are cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace cas::sim {
+
+struct SampleBank {
+  int n = 0;                        // CAP instance size
+  std::vector<double> iterations;   // one entry per successful run
+  uint64_t master_seed = 0;
+
+  [[nodiscard]] size_t size() const { return iterations.size(); }
+};
+
+struct BankOptions {
+  int num_samples = 100;
+  unsigned num_threads = 0;  // 0 = hardware concurrency
+  uint64_t master_seed = 20120521;  // IPDPS-Workshops 2012 vintage
+  // Safety valve for pathological runs; 0 disables. Censored runs are
+  // re-drawn with a fresh seed (documented bias: negligible while the cap
+  // is >> the distribution mean; the collector warns when it triggers).
+  uint64_t max_iterations_per_run = 0;
+};
+
+/// Run `num_samples` independent sequential AS runs on CAP size n and
+/// record their iteration counts. `base` supplies the engine parameters
+/// (seed is overridden per run from the chaotic seed sequence).
+SampleBank collect_costas_bank(int n, const core::AsConfig& base, const BankOptions& opts);
+
+/// CSV cache (header: n,master_seed then one iterations value per row).
+void save_bank(const SampleBank& bank, const std::string& path);
+SampleBank load_bank(const std::string& path);
+
+/// Load if a compatible cache exists, else collect and save. A cache is
+/// compatible when n and master_seed match and it holds >= num_samples
+/// entries (extra entries are kept).
+SampleBank load_or_collect(int n, const core::AsConfig& base, const BankOptions& opts,
+                           const std::string& cache_path);
+
+}  // namespace cas::sim

@@ -1,0 +1,128 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace cas::util {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void extend(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+};
+
+double transform(double v, bool log_scale) { return log_scale ? std::log10(v) : v; }
+
+std::string tick_label(double v, bool log_scale) {
+  const double raw = log_scale ? std::pow(10.0, v) : v;
+  if (std::abs(raw) >= 10000 || (raw != 0 && std::abs(raw) < 0.01))
+    return strf("%.1e", raw);
+  return pretty_double(raw, raw < 1 ? 3 : 1);
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<Series>& series, const PlotOptions& opt) {
+  Range rx, ry;
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if ((opt.log_x && s.x[i] <= 0) || (opt.log_y && s.y[i] <= 0)) continue;
+      rx.extend(transform(s.x[i], opt.log_x));
+      ry.extend(transform(s.y[i], opt.log_y));
+    }
+  }
+  if (!rx.valid() || !ry.valid()) return "(no data)\n";
+  // Avoid a degenerate box when all points share a coordinate.
+  if (rx.hi - rx.lo < 1e-12) {
+    rx.lo -= 0.5;
+    rx.hi += 0.5;
+  }
+  if (ry.hi - ry.lo < 1e-12) {
+    ry.lo -= 0.5;
+    ry.hi += 0.5;
+  }
+
+  const int W = std::max(16, opt.width);
+  const int H = std::max(6, opt.height);
+  std::vector<std::string> grid(static_cast<size_t>(H), std::string(static_cast<size_t>(W), ' '));
+
+  auto to_col = [&](double tx) {
+    return std::clamp(static_cast<int>(std::lround((tx - rx.lo) / (rx.hi - rx.lo) * (W - 1))), 0,
+                      W - 1);
+  };
+  auto to_row = [&](double ty) {
+    // row 0 is the top of the plot.
+    return std::clamp(
+        H - 1 - static_cast<int>(std::lround((ty - ry.lo) / (ry.hi - ry.lo) * (H - 1))), 0, H - 1);
+  };
+
+  for (const auto& s : series) {
+    int prev_c = -1, prev_r = -1;
+    for (size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if ((opt.log_x && s.x[i] <= 0) || (opt.log_y && s.y[i] <= 0)) continue;
+      const int c = to_col(transform(s.x[i], opt.log_x));
+      const int r = to_row(transform(s.y[i], opt.log_y));
+      if (s.connect && prev_c >= 0) {
+        // Bresenham-ish segment fill with '.' so markers stay visible.
+        const int steps = std::max(std::abs(c - prev_c), std::abs(r - prev_r));
+        for (int k = 1; k < steps; ++k) {
+          const int cc = prev_c + (c - prev_c) * k / steps;
+          const int rr = prev_r + (r - prev_r) * k / steps;
+          if (grid[rr][cc] == ' ') grid[rr][cc] = '.';
+        }
+      }
+      grid[static_cast<size_t>(r)][static_cast<size_t>(c)] = s.glyph;
+      prev_c = c;
+      prev_r = r;
+    }
+  }
+
+  std::string out;
+  if (!opt.title.empty()) out += opt.title + "\n";
+  if (!opt.y_label.empty())
+    out += opt.y_label + (opt.log_y ? "  (log scale)" : "") + "\n";
+  const std::string top_tick = tick_label(ry.hi, opt.log_y);
+  const std::string bot_tick = tick_label(ry.lo, opt.log_y);
+  const size_t label_w = std::max(top_tick.size(), bot_tick.size());
+  for (int r = 0; r < H; ++r) {
+    std::string label;
+    if (r == 0)
+      label = top_tick;
+    else if (r == H - 1)
+      label = bot_tick;
+    else if (r == H / 2)
+      label = tick_label(ry.lo + (ry.hi - ry.lo) * (H - 1 - r) / (H - 1), opt.log_y);
+    label.insert(label.begin(), label_w - std::min(label_w, label.size()), ' ');
+    out += label + " |" + grid[static_cast<size_t>(r)] + "\n";
+  }
+  out += std::string(label_w + 1, ' ') + '+' + std::string(static_cast<size_t>(W), '-') + "\n";
+  const std::string lo_x = tick_label(rx.lo, opt.log_x);
+  const std::string mid_x = tick_label((rx.lo + rx.hi) / 2, opt.log_x);
+  const std::string hi_x = tick_label(rx.hi, opt.log_x);
+  std::string xaxis(label_w + 2 + static_cast<size_t>(W), ' ');
+  auto place = [&](size_t pos, const std::string& s) {
+    for (size_t i = 0; i < s.size() && pos + i < xaxis.size(); ++i) xaxis[pos + i] = s[i];
+  };
+  place(label_w + 2, lo_x);
+  place(label_w + 2 + static_cast<size_t>(W) / 2 - mid_x.size() / 2, mid_x);
+  place(label_w + 2 + static_cast<size_t>(W) - hi_x.size(), hi_x);
+  out += xaxis + "\n";
+  if (!opt.x_label.empty()) {
+    out += std::string(label_w + 2, ' ') + opt.x_label + (opt.log_x ? "  (log scale)" : "") + "\n";
+  }
+  for (const auto& s : series) {
+    out += strf("   %c  %s\n", s.glyph, s.name.c_str());
+  }
+  return out;
+}
+
+}  // namespace cas::util

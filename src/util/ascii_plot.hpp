@@ -1,0 +1,35 @@
+// Character-grid plotting for the two "figure" experiments (Figure 2/3
+// speedup curves on log-log axes, Figure 4 time-to-target CDFs). Bench
+// binaries print these so the whole evaluation is reproducible in a
+// terminal without any plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cas::util {
+
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+  bool connect = false;  // draw line segments between consecutive points
+};
+
+struct PlotOptions {
+  int width = 72;    // plot area columns (excluding axis labels)
+  int height = 20;   // plot area rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Render series into an ASCII plot with axes, tick labels and a legend.
+/// Points outside the data bounding box are clamped; log axes require
+/// strictly positive data (non-positive points are dropped).
+std::string ascii_plot(const std::vector<Series>& series, const PlotOptions& opt);
+
+}  // namespace cas::util

@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cas::util {
+
+int CsvDoc::column(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i) out << ',';
+    out << header[i];
+  }
+  out << '\n';
+  for (const auto& r : rows) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) out << ',';
+      out << strf("%.17g", r[i]);
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+CsvDoc read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  CsvDoc doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split(line, ',');
+    if (first) {
+      doc.header = std::move(fields);
+      first = false;
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  return doc;
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+}  // namespace cas::util

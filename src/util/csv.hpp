@@ -1,0 +1,30 @@
+// Tiny CSV reader/writer used by the sample-bank cache (sim module) and by
+// bench binaries that export raw series for external plotting. Handles only
+// the simple dialect we emit ourselves: no quoting, ',' separator, one
+// header line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cas::util {
+
+struct CsvDoc {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by header name; -1 if absent.
+  [[nodiscard]] int column(const std::string& name) const;
+};
+
+/// Write rows of doubles with a header. Overwrites `path`.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+/// Read a CSV produced by write_csv (or compatible). Throws on I/O error.
+CsvDoc read_csv(const std::string& path);
+
+/// True if the file exists and is readable.
+bool file_exists(const std::string& path);
+
+}  // namespace cas::util

@@ -1,0 +1,143 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cas::util {
+
+Flags& Flags::add_int(const std::string& name, long long def, const std::string& help) {
+  Entry e{Kind::kInt, help};
+  e.i = def;
+  e.default_repr = strf("%lld", def);
+  entries_[name] = std::move(e);
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_double(const std::string& name, double def, const std::string& help) {
+  Entry e{Kind::kDouble, help};
+  e.d = def;
+  e.default_repr = pretty_double(def, 6);
+  entries_[name] = std::move(e);
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_bool(const std::string& name, bool def, const std::string& help) {
+  Entry e{Kind::kBool, help};
+  e.b = def;
+  e.default_repr = def ? "true" : "false";
+  entries_[name] = std::move(e);
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_string(const std::string& name, const std::string& def,
+                         const std::string& help) {
+  Entry e{Kind::kString, help};
+  e.s = def;
+  e.default_repr = def.empty() ? "\"\"" : def;
+  entries_[name] = std::move(e);
+  order_.push_back(name);
+  return *this;
+}
+
+void Flags::set_value(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) throw std::runtime_error("unknown flag --" + name);
+  Entry& e = it->second;
+  try {
+    switch (e.kind) {
+      case Kind::kInt:
+        e.i = std::stoll(value);
+        break;
+      case Kind::kDouble:
+        e.d = std::stod(value);
+        break;
+      case Kind::kBool: {
+        const std::string v = to_lower(value);
+        if (v == "true" || v == "1" || v == "yes" || v == "on")
+          e.b = true;
+        else if (v == "false" || v == "0" || v == "no" || v == "off")
+          e.b = false;
+        else
+          throw std::runtime_error("bad bool");
+        break;
+      }
+      case Kind::kString:
+        e.s = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad value for --" + name + ": '" + value + "'");
+  }
+}
+
+bool Flags::parse(int argc, char** argv,
+                  const std::vector<std::string>& passthrough_prefixes) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    if (body == "help" || body == "h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    const size_t eq = body.find('=');
+    std::string name(eq == std::string_view::npos ? body : body.substr(0, eq));
+    bool skipped = false;
+    for (const auto& p : passthrough_prefixes) {
+      if (starts_with(name, p)) {
+        skipped = true;
+        break;
+      }
+    }
+    if (skipped) continue;
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::runtime_error("unknown flag --" + name + " (see --help)");
+    }
+    if (eq != std::string_view::npos) {
+      set_value(name, std::string(body.substr(eq + 1)));
+    } else if (it->second.kind == Kind::kBool) {
+      it->second.b = true;  // bare switch form: --full
+    } else {
+      if (i + 1 >= argc)
+        throw std::runtime_error("flag --" + name + " expects a value");
+      set_value(name, argv[++i]);
+    }
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::entry(const std::string& name, Kind kind) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != kind)
+    throw std::logic_error("flag --" + name + " not registered with this type");
+  return it->second;
+}
+
+long long Flags::get_int(const std::string& name) const { return entry(name, Kind::kInt).i; }
+double Flags::get_double(const std::string& name) const { return entry(name, Kind::kDouble).d; }
+bool Flags::get_bool(const std::string& name) const { return entry(name, Kind::kBool).b; }
+const std::string& Flags::get_string(const std::string& name) const {
+  return entry(name, Kind::kString).s;
+}
+
+std::string Flags::help_text() const {
+  std::string out = doc_ + "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    out += strf("  --%-18s %s (default: %s)\n", name.c_str(), e.help.c_str(),
+                e.default_repr.c_str());
+  }
+  out += "  --help               show this message\n";
+  return out;
+}
+
+}  // namespace cas::util

@@ -1,0 +1,87 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cas::util {
+
+std::vector<HistogramBin> bin_samples(const std::vector<double>& samples,
+                                      const HistogramOptions& opts) {
+  if (samples.empty()) throw std::invalid_argument("bin_samples: empty sample");
+  if (opts.bins < 1) throw std::invalid_argument("bin_samples: bins must be >= 1");
+
+  const auto [mn_it, mx_it] = std::minmax_element(samples.begin(), samples.end());
+  double lo = *mn_it, hi = *mx_it;
+  if (opts.log_x && lo <= 0)
+    throw std::invalid_argument("bin_samples: log_x requires positive samples");
+
+  std::vector<HistogramBin> bins(static_cast<size_t>(opts.bins));
+  if (lo == hi) {
+    // Degenerate: all mass in one bin.
+    bins.assign(1, HistogramBin{lo, hi, samples.size()});
+    return bins;
+  }
+
+  const double llo = opts.log_x ? std::log(lo) : lo;
+  const double lhi = opts.log_x ? std::log(hi) : hi;
+  const double width = (lhi - llo) / opts.bins;
+  for (int b = 0; b < opts.bins; ++b) {
+    const double a = llo + width * b;
+    const double z = llo + width * (b + 1);
+    bins[static_cast<size_t>(b)].lo = opts.log_x ? std::exp(a) : a;
+    bins[static_cast<size_t>(b)].hi = opts.log_x ? std::exp(z) : z;
+  }
+  for (double x : samples) {
+    const double t = opts.log_x ? std::log(x) : x;
+    int b = static_cast<int>((t - llo) / width);
+    b = std::clamp(b, 0, opts.bins - 1);  // put x == max in the last bin
+    ++bins[static_cast<size_t>(b)].count;
+  }
+  return bins;
+}
+
+std::string render_histogram(const std::vector<HistogramBin>& bins,
+                             const HistogramOptions& opts) {
+  if (bins.empty()) return {};
+  size_t peak = 1;
+  for (const auto& b : bins) peak = std::max(peak, b.count);
+
+  // Compact, aligned numeric labels.
+  const auto label = [](double v) {
+    if (v == 0) return std::string("0");
+    const double a = std::abs(v);
+    if (a >= 1e6 || a < 1e-3) return strf("%.2e", v);
+    if (a >= 100) return strf("%.0f", v);
+    return strf("%.3g", v);
+  };
+  size_t lw = 0;
+  std::vector<std::pair<std::string, std::string>> labels;
+  labels.reserve(bins.size());
+  for (const auto& b : bins) {
+    labels.emplace_back(label(b.lo), label(b.hi));
+    lw = std::max({lw, labels.back().first.size(), labels.back().second.size()});
+  }
+
+  std::string out;
+  for (size_t i = 0; i < bins.size(); ++i) {
+    const auto& b = bins[i];
+    const int bar = static_cast<int>(
+        std::llround(static_cast<double>(b.count) * opts.max_bar / static_cast<double>(peak)));
+    out += strf("[%*s, %*s%c ", static_cast<int>(lw), labels[i].first.c_str(),
+                static_cast<int>(lw), labels[i].second.c_str(),
+                i + 1 == bins.size() ? ']' : ')');
+    out.append(static_cast<size_t>(bar), opts.bar_char);
+    if (opts.show_counts) out += strf(" (%zu)", b.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string histogram(const std::vector<double>& samples, const HistogramOptions& opts) {
+  return render_histogram(bin_samples(samples, opts), opts);
+}
+
+}  // namespace cas::util

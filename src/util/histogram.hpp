@@ -1,0 +1,38 @@
+// ASCII histograms for run-time / run-length distributions — the quick
+// visual companion to the summary tables: one glance shows the heavy right
+// tail that motivates the paper's multi-walk parallelization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cas::util {
+
+struct HistogramOptions {
+  int bins = 12;
+  int max_bar = 50;          // widest bar in characters
+  bool log_x = false;        // logarithmic bin edges (positive data only)
+  char bar_char = '#';
+  bool show_counts = true;   // append " (count)" after each bar
+};
+
+struct HistogramBin {
+  double lo = 0;
+  double hi = 0;
+  size_t count = 0;
+};
+
+/// Bin the samples. Linear bins over [min, max], or log-spaced when
+/// opts.log_x (requires strictly positive samples). Throws on empty input
+/// or bins < 1.
+std::vector<HistogramBin> bin_samples(const std::vector<double>& samples,
+                                      const HistogramOptions& opts = {});
+
+/// Render the binned histogram as rows of "[lo, hi) ####### (count)".
+std::string render_histogram(const std::vector<HistogramBin>& bins,
+                             const HistogramOptions& opts = {});
+
+/// bin_samples + render_histogram.
+std::string histogram(const std::vector<double>& samples, const HistogramOptions& opts = {});
+
+}  // namespace cas::util

@@ -1,0 +1,141 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cas::util {
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  if (!is_object()) throw std::logic_error("Json::operator[]: not an object");
+  return std::get<Object>(value_)[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (!is_object()) throw std::logic_error("Json::at: not an object");
+  return std::get<Object>(value_).at(key);
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && std::get<Object>(value_).count(key) > 0;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  if (!is_array()) throw std::logic_error("Json::push_back: not an array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  throw std::logic_error("Json::size: not a container");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string number_repr(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Prefer the shorter %g form when it round-trips.
+  char shorter[40];
+  std::snprintf(shorter, sizeof shorter, "%.12g", d);
+  double back = 0;
+  std::sscanf(shorter, "%lf", &back);
+  return back == d ? shorter : buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    out += number_repr(as_number());
+  } else if (is_string()) {
+    out += '"';
+    out += json_escape(as_string());
+    out += '"';
+  } else if (is_array()) {
+    const auto& a = std::get<Array>(value_);
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out += ',';
+      if (indent > 0) newline_indent(out, indent, depth + 1);
+      a[i].write(out, indent, depth + 1);
+    }
+    if (indent > 0) newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& o = std::get<Object>(value_);
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : o) {
+      if (!first) out += ',';
+      first = false;
+      if (indent > 0) newline_indent(out, indent, depth + 1);
+      out += '"';
+      out += json_escape(k);
+      out += "\":";
+      if (indent > 0) out += ' ';
+      v.write(out, indent, depth + 1);
+    }
+    if (indent > 0) newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace cas::util

@@ -1,0 +1,76 @@
+// Minimal JSON value model and writer, so bench binaries can emit
+// machine-readable result artifacts (--json flags) next to their
+// paper-style text tables. Output only — the harness never parses JSON —
+// which keeps this dependency-free and small.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cas::util {
+
+/// A JSON value: null, bool, number, string, array, or object. Value
+/// semantics; construction mirrors the JSON grammar.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // std::map keeps key order deterministic (sorted) — stable output for
+  // tests and diffs.
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(int64_t i) : value_(static_cast<double>(i)) {}
+  Json(uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json array(std::initializer_list<Json> items = {}) { return Json(Array(items)); }
+  static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Object access: creates the key on non-const access (like std::map).
+  Json& operator[](const std::string& key);
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Array append.
+  void push_back(Json v);
+  [[nodiscard]] size_t size() const;
+
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits the compact single-line form. Numbers use the shortest
+  /// representation that round-trips (printf %.17g trimmed), with integral
+  /// values printed without a decimal point.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters as \uXXXX).
+std::string json_escape(const std::string& s);
+
+}  // namespace cas::util

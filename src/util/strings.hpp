@@ -1,0 +1,39 @@
+// String formatting and manipulation helpers shared by the table/CSV/plot
+// writers and the bench harness. GCC 12's libstdc++ lacks <format>, so the
+// printf-style `strf` helper is the project-wide formatting primitive.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cas::util {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Render a double with `digits` significant decimals, trimming trailing
+/// zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string pretty_double(double v, int digits = 2);
+
+/// Format seconds the way the paper's tables do: two decimals ("0.08",
+/// "1097.06"); '-' for negative sentinel values (missing entries).
+std::string seconds_cell(double secs);
+
+/// Thousands-separated integer ("12665" -> "12,665").
+std::string with_commas(long long v);
+
+}  // namespace cas::util

@@ -1,0 +1,121 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cas::util {
+
+void Table::header(std::vector<std::string> cells, std::vector<Align> align) {
+  header_ = std::move(cells);
+  align_ = std::move(align);
+  align_.resize(header_.size(), Align::kRight);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size())
+    throw std::invalid_argument("Table::row: width mismatch");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::separator() { rows_.push_back(Row{{}, true}); }
+
+std::vector<size_t> Table::widths() const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_)
+    if (!r.is_separator) ncols = std::max(ncols, r.cells.size());
+  std::vector<size_t> w(ncols, 0);
+  for (size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    if (r.is_separator) continue;
+    for (size_t c = 0; c < r.cells.size(); ++c) w[c] = std::max(w[c], r.cells[c].size());
+  }
+  return w;
+}
+
+namespace {
+std::string pad(const std::string& s, size_t width, Align a) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return a == Align::kRight ? fill + s : s + fill;
+}
+}  // namespace
+
+std::string Table::to_text() const {
+  const auto w = widths();
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  auto hline = [&] {
+    std::string line;
+    for (size_t c = 0; c < w.size(); ++c) {
+      line += std::string(w[c] + 2, '-');
+      if (c + 1 < w.size()) line += '+';
+    }
+    out += line + "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < w.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      const Align a = c < align_.size() ? align_[c] : Align::kRight;
+      line += " " + pad(s, w[c], a) + " ";
+      if (c + 1 < w.size()) line += '|';
+    }
+    out += line + "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator)
+      hline();
+    else
+      emit(r.cells);
+  }
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  const auto w = widths();
+  std::string out;
+  if (!title_.empty()) out += "**" + title_ + "**\n\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < w.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      line += " " + pad(s, w[c], c < align_.size() ? align_[c] : Align::kRight) + " |";
+    }
+    out += line + "\n";
+  };
+  std::vector<std::string> hdr = header_;
+  hdr.resize(w.size());
+  emit(hdr);
+  std::string sep = "|";
+  for (size_t c = 0; c < w.size(); ++c) {
+    const Align a = c < align_.size() ? align_[c] : Align::kRight;
+    sep += a == Align::kRight ? std::string(w[c] + 1, '-') + ":|"
+                              : ":" + std::string(w[c] + 1, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& r : rows_) {
+    if (!r.is_separator) emit(r.cells);
+  }
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_)
+    if (!r.is_separator) emit(r.cells);
+  return out;
+}
+
+}  // namespace cas::util

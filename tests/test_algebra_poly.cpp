@@ -1,0 +1,164 @@
+#include "algebra/poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace cas::algebra {
+namespace {
+
+Poly rand_poly(core::Rng& rng, uint32_t p, int max_deg) {
+  Poly a(static_cast<size_t>(rng.below(static_cast<uint64_t>(max_deg) + 1)) + 1);
+  for (auto& c : a) c = static_cast<uint32_t>(rng.below(p));
+  poly_normalize(a);
+  return a;
+}
+
+TEST(Poly, DegreeAndNormalize) {
+  Poly a{1, 2, 0, 0};
+  poly_normalize(a);
+  EXPECT_EQ(poly_deg(a), 1);
+  Poly z{0, 0};
+  poly_normalize(z);
+  EXPECT_EQ(poly_deg(z), -1);
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(Poly, AddSubInverse) {
+  core::Rng rng(7);
+  for (uint32_t p : {2u, 3u, 5u, 7u}) {
+    for (int t = 0; t < 20; ++t) {
+      const Poly a = rand_poly(rng, p, 6);
+      const Poly b = rand_poly(rng, p, 6);
+      EXPECT_EQ(poly_sub(poly_add(a, b, p), b, p), a);
+    }
+  }
+}
+
+TEST(Poly, MulCommutesAndDistributes) {
+  core::Rng rng(8);
+  const uint32_t p = 5;
+  for (int t = 0; t < 20; ++t) {
+    const Poly a = rand_poly(rng, p, 4);
+    const Poly b = rand_poly(rng, p, 4);
+    const Poly c = rand_poly(rng, p, 4);
+    EXPECT_EQ(poly_mul(a, b, p), poly_mul(b, a, p));
+    EXPECT_EQ(poly_mul(a, poly_add(b, c, p), p),
+              poly_add(poly_mul(a, b, p), poly_mul(a, c, p), p));
+  }
+}
+
+TEST(Poly, MulDegreeAdds) {
+  const uint32_t p = 7;
+  const Poly a{1, 1};     // x + 1
+  const Poly b{1, 0, 1};  // x^2 + 1
+  EXPECT_EQ(poly_deg(poly_mul(a, b, p)), 3);
+}
+
+TEST(Poly, MulByZeroIsZero) {
+  EXPECT_TRUE(poly_mul({}, {1, 2}, 5).empty());
+  EXPECT_TRUE(poly_mul({1, 2}, {}, 5).empty());
+}
+
+TEST(Poly, ModEuclideanProperty) {
+  // a = q*b + r with deg(r) < deg(b): verify a - r divisible by b via gcd.
+  core::Rng rng(9);
+  const uint32_t p = 7;
+  for (int t = 0; t < 30; ++t) {
+    const Poly a = rand_poly(rng, p, 8);
+    Poly b = rand_poly(rng, p, 4);
+    if (b.empty()) b = {1, 1};
+    const Poly r = poly_mod(a, b, p);
+    EXPECT_LT(poly_deg(r), poly_deg(b));
+    // (a - r) mod b == 0
+    EXPECT_TRUE(poly_mod(poly_sub(a, r, p), b, p).empty());
+  }
+}
+
+TEST(Poly, ModByZeroThrows) {
+  EXPECT_THROW(poly_mod({1, 2}, {}, 5), std::invalid_argument);
+}
+
+TEST(Poly, PowModMatchesRepeatedMultiplication) {
+  const uint32_t p = 3;
+  const Poly f{1, 0, 1, 1};  // x^3 + x^2 + 1 over Z_3
+  const Poly x{0, 1};
+  Poly acc{1};
+  for (uint64_t e = 0; e <= 10; ++e) {
+    EXPECT_EQ(poly_powmod(x, e, f, p), acc) << "e=" << e;
+    acc = poly_mod(poly_mul(acc, x, p), f, p);
+  }
+}
+
+TEST(Poly, GcdOfMultiples) {
+  const uint32_t p = 5;
+  const Poly g{2, 1};  // x + 2
+  // Cofactors x^2+2 and x+1 share no root mod 5 (x^2 = -2 = 3 has roots
+  // +-? 3 is not a QR mod 5; and -1 gives 1+2 != 0), so gcd == monic(g).
+  const Poly a = poly_mul(g, {2, 0, 1}, p);
+  const Poly b = poly_mul(g, {1, 1}, p);
+  const Poly d = poly_gcd(a, b, p);
+  EXPECT_EQ(d, poly_monic(g, p));
+}
+
+TEST(Poly, GcdWithZero) {
+  const uint32_t p = 5;
+  const Poly a{1, 2, 1};
+  EXPECT_EQ(poly_gcd(a, {}, p), poly_monic(a, p));
+  EXPECT_EQ(poly_gcd({}, a, p), poly_monic(a, p));
+}
+
+TEST(Irreducibility, KnownIrreducibles) {
+  // x^2 + x + 1 is irreducible over Z_2; x^2 + 1 is not over Z_2 ((x+1)^2).
+  EXPECT_TRUE(poly_is_irreducible({1, 1, 1}, 2));
+  EXPECT_FALSE(poly_is_irreducible({1, 0, 1}, 2));
+  // x^2 + 1 over Z_3 is irreducible (-1 is not a QR mod 3).
+  EXPECT_TRUE(poly_is_irreducible({1, 0, 1}, 3));
+  // x^2 - 1 = (x-1)(x+1) over Z_5.
+  EXPECT_FALSE(poly_is_irreducible({4, 0, 1}, 5));
+}
+
+TEST(Irreducibility, DegreeOneAlwaysIrreducible) {
+  EXPECT_TRUE(poly_is_irreducible({3, 1}, 5));
+}
+
+TEST(Irreducibility, AgreesWithBruteForceOverZ2) {
+  // All degree-4 monic polys over Z_2: check against root/factor brute force.
+  auto eval = [](const Poly& f, uint32_t x, uint32_t p) {
+    uint64_t acc = 0, pw = 1;
+    for (uint32_t c : f) {
+      acc = (acc + c * pw) % p;
+      pw = (pw * x) % p;
+    }
+    return static_cast<uint32_t>(acc);
+  };
+  for (int code = 0; code < 16; ++code) {
+    Poly f{static_cast<uint32_t>(code & 1), static_cast<uint32_t>((code >> 1) & 1),
+           static_cast<uint32_t>((code >> 2) & 1), static_cast<uint32_t>((code >> 3) & 1), 1};
+    // Brute force: f (deg 4) is irreducible over Z_2 iff it has no root and
+    // is not the product of two irreducible quadratics. The only irreducible
+    // quadratic over Z_2 is x^2+x+1; its square is x^4+x^2+1.
+    const bool has_root = eval(f, 0, 2) == 0 || eval(f, 1, 2) == 0;
+    const bool is_square_of_quad = (f == Poly{1, 0, 1, 0, 1});
+    const bool expect_irr = !has_root && !is_square_of_quad;
+    EXPECT_EQ(poly_is_irreducible(f, 2), expect_irr) << "code=" << code;
+  }
+}
+
+TEST(FindIrreducible, ProducesIrreducibleOfRightDegree) {
+  for (uint32_t p : {2u, 3u, 5u}) {
+    for (int k = 1; k <= 4; ++k) {
+      const Poly f = find_irreducible(p, k);
+      EXPECT_EQ(poly_deg(f), k);
+      EXPECT_TRUE(poly_is_irreducible(f, p)) << "p=" << p << " k=" << k;
+      EXPECT_EQ(f.back(), 1u);  // monic
+    }
+  }
+}
+
+TEST(FindIrreducible, Deterministic) {
+  EXPECT_EQ(find_irreducible(2, 4), find_irreducible(2, 4));
+}
+
+}  // namespace
+}  // namespace cas::algebra

@@ -1,0 +1,141 @@
+#include "algebra/primes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/modular.hpp"
+
+namespace cas::algebra {
+namespace {
+
+TEST(IsPrime, SmallKnownValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(100));
+}
+
+TEST(IsPrime, AgreesWithSieveUpTo10000) {
+  const auto sieve = primes_up_to(10000);
+  size_t idx = 0;
+  for (uint32_t n = 2; n <= 10000; ++n) {
+    const bool in_sieve = idx < sieve.size() && sieve[idx] == n;
+    EXPECT_EQ(is_prime(n), in_sieve) << n;
+    if (in_sieve) ++idx;
+  }
+}
+
+TEST(IsPrime, LargePrimesAndComposites) {
+  EXPECT_TRUE(is_prime(2147483647ull));           // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(is_prime(1000000007ull));
+  EXPECT_TRUE(is_prime(18446744073709551557ull));  // largest 64-bit prime
+  EXPECT_FALSE(is_prime(1000000007ull * 3));
+  EXPECT_FALSE(is_prime(3215031751ull));  // strong pseudoprime to bases 2,3,5,7
+}
+
+TEST(Factorize, SmallNumbers) {
+  const auto f12 = factorize(12);
+  ASSERT_EQ(f12.size(), 2u);
+  EXPECT_EQ(f12[0], (std::pair<uint64_t, int>{2, 2}));
+  EXPECT_EQ(f12[1], (std::pair<uint64_t, int>{3, 1}));
+  EXPECT_TRUE(factorize(1).empty());
+  EXPECT_TRUE(factorize(0).empty());
+}
+
+TEST(Factorize, ProductReconstructs) {
+  for (uint64_t n : {2ull, 97ull, 360ull, 1024ull, 999999937ull, 600851475143ull}) {
+    uint64_t prod = 1;
+    for (const auto& [p, e] : factorize(n)) {
+      EXPECT_TRUE(is_prime(p)) << p;
+      for (int i = 0; i < e; ++i) prod *= p;
+    }
+    EXPECT_EQ(prod, n);
+  }
+}
+
+TEST(Factorize, PrimesAscendingAndDistinct) {
+  const auto f = factorize(2 * 2 * 3 * 5 * 5 * 7);
+  for (size_t i = 1; i < f.size(); ++i) EXPECT_LT(f[i - 1].first, f[i].first);
+}
+
+TEST(PrimeDivisors, Distinct) {
+  const auto d = prime_divisors(360);  // 2^3 * 3^2 * 5
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[1], 3u);
+  EXPECT_EQ(d[2], 5u);
+}
+
+TEST(PrimitiveRoot, KnownSmallValues) {
+  EXPECT_EQ(primitive_root(2), 1u);
+  EXPECT_EQ(primitive_root(3), 2u);
+  EXPECT_EQ(primitive_root(5), 2u);
+  EXPECT_EQ(primitive_root(7), 3u);
+  EXPECT_EQ(primitive_root(23), 5u);
+}
+
+TEST(PrimitiveRoot, OrderIsPMinus1) {
+  for (uint64_t p : {11ull, 13ull, 101ull, 257ull, 65537ull}) {
+    const uint64_t g = primitive_root(p);
+    EXPECT_EQ(element_order_mod_p(g, p), p - 1) << "p=" << p;
+  }
+}
+
+TEST(PrimitiveRoot, RejectsComposite) {
+  EXPECT_THROW(primitive_root(8), std::invalid_argument);
+}
+
+TEST(AllPrimitiveRoots, CountIsEulerPhiOfPMinus1) {
+  // #primitive roots mod p == phi(p-1).
+  auto phi = [](uint64_t n) {
+    uint64_t r = n;
+    for (const auto& [p, e] : factorize(n)) r = r / p * (p - 1);
+    return r;
+  };
+  for (uint64_t p : {5ull, 7ull, 11ull, 13ull, 23ull, 31ull}) {
+    EXPECT_EQ(all_primitive_roots(p).size(), phi(p - 1)) << "p=" << p;
+  }
+}
+
+TEST(AllPrimitiveRoots, EachHasFullOrder) {
+  for (uint64_t g : all_primitive_roots(13)) {
+    EXPECT_EQ(element_order_mod_p(g, 13), 12u) << "g=" << g;
+  }
+}
+
+TEST(ElementOrder, DividesGroupOrder) {
+  const uint64_t p = 31;
+  for (uint64_t a = 1; a < p; ++a) {
+    const uint64_t ord = element_order_mod_p(a, p);
+    EXPECT_EQ((p - 1) % ord, 0u) << "a=" << a;
+    EXPECT_EQ(powmod(a, ord, p), 1u);
+  }
+}
+
+TEST(AsPrimePower, DetectsPrimePowers) {
+  using PP = std::pair<uint64_t, int>;
+  EXPECT_EQ(as_prime_power(8), (PP{2, 3}));
+  EXPECT_EQ(as_prime_power(9), (PP{3, 2}));
+  EXPECT_EQ(as_prime_power(27), (PP{3, 3}));
+  EXPECT_EQ(as_prime_power(7), (PP{7, 1}));
+  EXPECT_EQ(as_prime_power(625), (PP{5, 4}));
+}
+
+TEST(AsPrimePower, RejectsNonPrimePowers) {
+  EXPECT_FALSE(as_prime_power(1).has_value());
+  EXPECT_FALSE(as_prime_power(6).has_value());
+  EXPECT_FALSE(as_prime_power(12).has_value());
+  EXPECT_FALSE(as_prime_power(100).has_value());  // 2^2 * 5^2
+}
+
+TEST(PrimesUpTo, MatchesKnownCounts) {
+  EXPECT_EQ(primes_up_to(1).size(), 0u);
+  EXPECT_EQ(primes_up_to(2).size(), 1u);
+  EXPECT_EQ(primes_up_to(100).size(), 25u);
+  EXPECT_EQ(primes_up_to(1000).size(), 168u);
+}
+
+}  // namespace
+}  // namespace cas::algebra

@@ -1,0 +1,228 @@
+// Summary statistics, ECDF, order statistics, bootstrap, speedup math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bootstrap.hpp"
+#include "analysis/ecdf.hpp"
+#include "analysis/order_stats.hpp"
+#include "analysis/speedup.hpp"
+#include "analysis/summary.hpp"
+
+namespace cas::analysis {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const auto s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, SingleSample) {
+  const auto s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, EvenCountMedianInterpolates) {
+  const auto s = summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summary, UnsortedInputHandled) {
+  const auto s = summarize({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, EmptyThrows) { EXPECT_THROW(summarize({}), std::invalid_argument); }
+
+TEST(QuantileSorted, Endpoints) {
+  const std::vector<double> xs{10, 20, 30};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 30);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 20);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 15);
+}
+
+TEST(Ecdf, StepFunctionValues) {
+  const Ecdf F({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(F(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(F(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(F(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(F(3.9), 0.75);
+  EXPECT_DOUBLE_EQ(F(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(F(99.0), 1.0);
+}
+
+TEST(Ecdf, QuantileInverseRelation) {
+  // Interpolated (type-7) quantiles sit between order statistics, so the
+  // step ECDF evaluated there is within 1/n of the requested level.
+  const Ecdf F({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double t = F.quantile(q);
+    EXPECT_GE(F(t) + 0.1 + 1e-9, q);
+    EXPECT_LE(F(t) - 0.1 - 1e-9, q);
+  }
+}
+
+TEST(Ecdf, MeanMinMax) {
+  const Ecdf F({3, 1, 2});
+  EXPECT_DOUBLE_EQ(F.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(F.min(), 1.0);
+  EXPECT_DOUBLE_EQ(F.max(), 3.0);
+}
+
+TEST(Ecdf, EmptyThrows) { EXPECT_THROW(Ecdf({}), std::invalid_argument); }
+
+// --- min-of-k order statistics ---
+
+TEST(OrderStats, MinOfOneIsIdentityInExpectation) {
+  const Ecdf F({1, 2, 3, 4, 5});
+  EXPECT_NEAR(expected_min_of_k(F, 1), 3.0, 1e-9);
+}
+
+TEST(OrderStats, ExpectationDecreasesWithK) {
+  const Ecdf F({1, 5, 10, 20, 50, 100, 200, 500});
+  double prev = expected_min_of_k(F, 1);
+  for (int k : {2, 4, 8, 16, 64, 256}) {
+    const double e = expected_min_of_k(F, k);
+    EXPECT_LT(e, prev) << "k=" << k;
+    prev = e;
+  }
+  EXPECT_GE(prev, F.min());
+}
+
+TEST(OrderStats, LargeKConvergesToMinimum) {
+  const Ecdf F({2, 3, 5, 8, 13});
+  EXPECT_NEAR(expected_min_of_k(F, 100000), 2.0, 1e-3);
+}
+
+TEST(OrderStats, ExpectationMatchesMonteCarlo) {
+  // Property: the closed-form E[min-of-k] equals brute-force resampling.
+  core::Rng rng(5);
+  std::vector<double> bank;
+  for (int i = 0; i < 200; ++i) bank.push_back(rng.uniform01() * 100);
+  const Ecdf F(bank);
+  for (int k : {2, 5, 17}) {
+    double mc = 0;
+    const int trials = 40000;
+    for (int t = 0; t < trials; ++t) {
+      double mn = 1e300;
+      for (int d = 0; d < k; ++d) {
+        mn = std::min(mn, bank[static_cast<size_t>(rng.below(bank.size()))]);
+      }
+      mc += mn;
+    }
+    mc /= trials;
+    const double closed = expected_min_of_k(F, k);
+    EXPECT_NEAR(closed, mc, closed * 0.05) << "k=" << k;
+  }
+}
+
+TEST(OrderStats, QuantileMinOfKMonotoneInK) {
+  const Ecdf F({1, 2, 4, 8, 16, 32, 64, 128});
+  for (double q : {0.25, 0.5, 0.75}) {
+    double prev = quantile_min_of_k(F, 1, q);
+    for (int k : {2, 8, 32}) {
+      const double v = quantile_min_of_k(F, k, q);
+      EXPECT_LE(v, prev + 1e-12);
+      prev = v;
+    }
+  }
+}
+
+TEST(OrderStats, SampleMinOfKWithinRange) {
+  core::Rng rng(6);
+  const Ecdf F({5, 6, 7, 8, 9});
+  for (int k : {1, 3, 100, 5000}) {
+    for (int t = 0; t < 50; ++t) {
+      const double v = sample_min_of_k(F, k, rng);
+      EXPECT_GE(v, 5.0);
+      EXPECT_LE(v, 9.0);
+    }
+  }
+}
+
+TEST(OrderStats, SampleMeanTracksExpectation) {
+  core::Rng rng(7);
+  std::vector<double> bank;
+  for (int i = 0; i < 150; ++i) bank.push_back(1.0 + rng.uniform01() * 50);
+  const Ecdf F(bank);
+  for (int k : {4, 64, 512}) {  // covers both code paths (k <= 64, k > 64)
+    const auto samples = sample_mins(F, k, 20000, rng);
+    double mean = 0;
+    for (double s : samples) mean += s;
+    mean /= static_cast<double>(samples.size());
+    const double expect = expected_min_of_k(F, k);
+    EXPECT_NEAR(mean, expect, std::max(0.3, expect * 0.08)) << "k=" << k;
+  }
+}
+
+TEST(OrderStats, SmoothedSamplerInRange) {
+  core::Rng rng(8);
+  const Ecdf F({1, 2, 3, 4, 100});
+  for (int t = 0; t < 200; ++t) {
+    const double v = sample_min_of_k_smoothed(F, 512, rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(OrderStats, InvalidKThrows) {
+  const Ecdf F({1, 2});
+  EXPECT_THROW(expected_min_of_k(F, 0), std::invalid_argument);
+  EXPECT_THROW(quantile_min_of_k(F, 0, 0.5), std::invalid_argument);
+}
+
+// --- bootstrap ---
+
+TEST(Bootstrap, MeanCiCoversPointEstimate) {
+  core::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(10 + rng.uniform01());
+  const auto iv = bootstrap_mean_ci(xs, 500, 0.95, rng);
+  EXPECT_LE(iv.lo, iv.point);
+  EXPECT_GE(iv.hi, iv.point);
+  EXPECT_NEAR(iv.point, 10.5, 0.1);
+  EXPECT_LT(iv.hi - iv.lo, 0.5);
+}
+
+TEST(Bootstrap, TightForConstantData) {
+  core::Rng rng(10);
+  const std::vector<double> xs(50, 3.0);
+  const auto iv = bootstrap_mean_ci(xs, 200, 0.99, rng);
+  EXPECT_DOUBLE_EQ(iv.lo, 3.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 3.0);
+}
+
+// --- speedup ---
+
+TEST(Speedup, IdealScalingComputesLinearSpeedup) {
+  std::map<int, double> t{{32, 128.0}, {64, 64.0}, {128, 32.0}, {256, 16.0}};
+  const auto pts = speedup_series(t);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].speedup, 2.0);
+  EXPECT_DOUBLE_EQ(pts[3].speedup, 8.0);
+  for (const auto& p : pts) EXPECT_NEAR(p.efficiency, 1.0, 1e-12);
+}
+
+TEST(Speedup, SubLinearEfficiencyBelowOne) {
+  std::map<int, double> t{{1, 100.0}, {2, 60.0}};
+  const auto pts = speedup_series(t);
+  EXPECT_NEAR(pts[1].speedup, 100.0 / 60.0, 1e-12);
+  EXPECT_LT(pts[1].efficiency, 1.0);
+}
+
+TEST(Speedup, EmptyThrows) {
+  EXPECT_THROW(speedup_series({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cas::analysis

@@ -1,0 +1,123 @@
+// Simulated annealing baseline: correctness, budgets, cancellation, and
+// its place in the baseline ordering (AS beats SA beats nothing).
+#include "core/simulated_annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_search.hpp"
+#include "costas/checker.hpp"
+#include "costas/model.hpp"
+#include "problems/queens.hpp"
+
+namespace cas::core {
+namespace {
+
+TEST(SimulatedAnnealing, SolvesSmallCostas) {
+  for (int n : {8, 10, 11}) {
+    costas::CostasProblem p(n);
+    SaConfig cfg;
+    cfg.seed = static_cast<uint64_t>(n);
+    SimulatedAnnealing<costas::CostasProblem> engine(p, cfg);
+    const auto st = engine.solve();
+    ASSERT_TRUE(st.solved) << "n=" << n;
+    EXPECT_TRUE(costas::is_costas(st.solution));
+  }
+}
+
+TEST(SimulatedAnnealing, SolvesQueens) {
+  problems::QueensProblem p(24);
+  SaConfig cfg;
+  cfg.seed = 5;
+  SimulatedAnnealing<problems::QueensProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  ASSERT_TRUE(st.solved);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(SimulatedAnnealing, DeterministicForSeed) {
+  costas::CostasProblem p1(10), p2(10);
+  SaConfig cfg;
+  cfg.seed = 77;
+  SimulatedAnnealing<costas::CostasProblem> e1(p1, cfg), e2(p2, cfg);
+  const auto s1 = e1.solve();
+  const auto s2 = e2.solve();
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  EXPECT_EQ(s1.solution, s2.solution);
+}
+
+TEST(SimulatedAnnealing, BudgetRespected) {
+  costas::CostasProblem p(18);
+  SaConfig cfg;
+  cfg.seed = 1;
+  cfg.max_iterations = 500;
+  SimulatedAnnealing<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_LE(st.iterations, 500u);
+}
+
+TEST(SimulatedAnnealing, StopTokenHonored) {
+  costas::CostasProblem p(18);
+  SaConfig cfg;
+  cfg.seed = 2;
+  cfg.probe_interval = 1;
+  std::atomic<bool> stop{true};
+  SimulatedAnnealing<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve(StopToken(&stop));
+  EXPECT_FALSE(st.solved);
+  EXPECT_LE(st.iterations, 2u);
+}
+
+TEST(SimulatedAnnealing, AcceptsUphillMovesEarly) {
+  costas::CostasProblem p(12);
+  SaConfig cfg;
+  cfg.seed = 3;
+  cfg.max_iterations = 50000;
+  SimulatedAnnealing<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  // At sensible starting temperatures some uphill moves must be accepted
+  // (repurposed plateau_moves counter), otherwise it is plain descent.
+  EXPECT_GT(st.plateau_moves, 0u);
+}
+
+TEST(SimulatedAnnealing, RestartsWhenFrozen) {
+  // A fast-cooling schedule on a hard instance must reheat/restart.
+  costas::CostasProblem p(16);
+  SaConfig cfg;
+  cfg.seed = 4;
+  cfg.alpha = 0.5;  // cool brutally fast
+  cfg.moves_per_temperature = 100;
+  cfg.max_iterations = 300000;
+  SimulatedAnnealing<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_GE(st.restarts, 1u);
+}
+
+TEST(SimulatedAnnealing, AdaptiveSearchNeedsFewerEvaluations) {
+  // The ordering behind the paper's method choice, measured in move
+  // evaluations on identical instances.
+  const int n = 11;
+  uint64_t as_evals = 0, sa_evals = 0;
+  for (int r = 0; r < 5; ++r) {
+    {
+      costas::CostasProblem p(n);
+      AdaptiveSearch<costas::CostasProblem> e(
+          p, costas::recommended_config(n, 600 + static_cast<uint64_t>(r)));
+      const auto st = e.solve();
+      ASSERT_TRUE(st.solved);
+      as_evals += st.move_evaluations;
+    }
+    {
+      costas::CostasProblem p(n);
+      SaConfig cfg;
+      cfg.seed = 600 + static_cast<uint64_t>(r);
+      SimulatedAnnealing<costas::CostasProblem> e(p, cfg);
+      const auto st = e.solve();
+      ASSERT_TRUE(st.solved);
+      sa_evals += st.move_evaluations;
+    }
+  }
+  EXPECT_LT(as_evals, sa_evals);
+}
+
+}  // namespace
+}  // namespace cas::core

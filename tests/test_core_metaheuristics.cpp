@@ -1,0 +1,301 @@
+// The three extra baseline metaheuristics (Tabu Search with the quadratic
+// neighborhood, the permutation GA, and the Rickard-Healy stochastic walk):
+// correctness on small instances, budget/stop handling, determinism, and
+// the comparative properties the paper's narrative predicts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/adaptive_search.hpp"
+#include "core/genetic.hpp"
+#include "core/rickard_healy.hpp"
+#include "core/tabu_search.hpp"
+#include "costas/checker.hpp"
+#include "costas/model.hpp"
+#include "problems/all_interval.hpp"
+#include "problems/queens.hpp"
+
+namespace cas::core {
+namespace {
+
+// ---------- Tabu Search ----------
+
+TEST(TabuSearch, SolvesSmallCostas) {
+  for (int n : {8, 10, 12}) {
+    costas::CostasProblem p(n);
+    TsConfig cfg;
+    cfg.seed = static_cast<uint64_t>(n);
+    TabuSearch<costas::CostasProblem> engine(p, cfg);
+    const auto st = engine.solve();
+    ASSERT_TRUE(st.solved) << "n=" << n;
+    EXPECT_TRUE(costas::is_costas(st.solution));
+    EXPECT_EQ(st.final_cost, 0);
+  }
+}
+
+TEST(TabuSearch, SolvesQueens) {
+  problems::QueensProblem p(24);
+  TsConfig cfg;
+  cfg.seed = 7;
+  TabuSearch<problems::QueensProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  ASSERT_TRUE(st.solved);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(TabuSearch, DeterministicForFixedSeed) {
+  costas::CostasProblem p1(10), p2(10);
+  TsConfig cfg;
+  cfg.seed = 99;
+  TabuSearch<costas::CostasProblem> e1(p1, cfg), e2(p2, cfg);
+  const auto s1 = e1.solve();
+  const auto s2 = e2.solve();
+  EXPECT_EQ(s1.solution, s2.solution);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  EXPECT_EQ(s1.move_evaluations, s2.move_evaluations);
+}
+
+TEST(TabuSearch, RespectsBudget) {
+  costas::CostasProblem p(16);
+  TsConfig cfg;
+  cfg.seed = 1;
+  cfg.max_iterations = 10;
+  TabuSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_LE(st.iterations, 10u);
+}
+
+TEST(TabuSearch, StopTokenHonored) {
+  costas::CostasProblem p(17);
+  TsConfig cfg;
+  cfg.seed = 2;
+  cfg.probe_interval = 1;
+  std::atomic<bool> flag{true};  // already fired
+  TabuSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve(StopToken(&flag));
+  EXPECT_FALSE(st.solved);
+  EXPECT_LE(st.iterations, 2u);
+}
+
+TEST(TabuSearch, QuadraticNeighborhoodScansAllPairs) {
+  // One iteration evaluates n(n-1)/2 candidate moves (modulo the random
+  // fallback, absent this early).
+  costas::CostasProblem p(12);
+  TsConfig cfg;
+  cfg.seed = 3;
+  cfg.max_iterations = 5;
+  TabuSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_EQ(st.move_evaluations, st.iterations * (12 * 11 / 2));
+}
+
+TEST(TabuSearch, StallRestartTriggers) {
+  // A tiny stall threshold on a hard instance must force restarts.
+  costas::CostasProblem p(15);
+  TsConfig cfg;
+  cfg.seed = 4;
+  cfg.stall_restart = 5;
+  cfg.max_iterations = 200;
+  TabuSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_GE(st.restarts, 1u);
+}
+
+// ---------- Genetic algorithm ----------
+
+TEST(GeneticSearch, SolvesTinyCostas) {
+  for (int n : {6, 8}) {
+    costas::CostasProblem p(n);
+    GaConfig cfg;
+    cfg.seed = static_cast<uint64_t>(10 + n);
+    GeneticSearch<costas::CostasProblem> engine(p, cfg);
+    const auto st = engine.solve();
+    ASSERT_TRUE(st.solved) << "n=" << n;
+    EXPECT_TRUE(costas::is_costas(st.solution));
+  }
+}
+
+TEST(GeneticSearch, DeterministicForFixedSeed) {
+  costas::CostasProblem p(8);
+  GaConfig cfg;
+  cfg.seed = 5;
+  GeneticSearch<costas::CostasProblem> e1(p, cfg), e2(p, cfg);
+  const auto s1 = e1.solve();
+  const auto s2 = e2.solve();
+  EXPECT_EQ(s1.solution, s2.solution);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+}
+
+TEST(GeneticSearch, GenerationBudgetRespected) {
+  costas::CostasProblem p(14);
+  GaConfig cfg;
+  cfg.seed = 6;
+  cfg.max_generations = 7;
+  GeneticSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_LE(st.iterations, 7u);
+}
+
+TEST(GeneticSearch, StopTokenHonored) {
+  costas::CostasProblem p(14);
+  GaConfig cfg;
+  cfg.seed = 7;
+  cfg.probe_interval = 1;
+  std::atomic<bool> flag{true};
+  GeneticSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve(StopToken(&flag));
+  EXPECT_FALSE(st.solved);
+  EXPECT_LE(st.iterations, 2u);
+}
+
+TEST(GeneticSearch, EvaluationCountMatchesPopulationFlow) {
+  // Initial population + (population - elites) per generation.
+  costas::CostasProblem p(13);
+  GaConfig cfg;
+  cfg.seed = 8;
+  cfg.population = 20;
+  cfg.elites = 4;
+  cfg.max_generations = 5;
+  GeneticSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) {
+    EXPECT_EQ(st.move_evaluations, 20u + st.iterations * (20u - 4u));
+  }
+}
+
+TEST(GeneticSearch, FitnessNeverBelowZeroAndMonotoneBest) {
+  // Elitism guarantees the best cost is non-increasing across generations;
+  // observe indirectly: final cost <= initial best is hard to read out, so
+  // assert at least the engine reports a consistent final state.
+  costas::CostasProblem p(12);
+  GaConfig cfg;
+  cfg.seed = 9;
+  cfg.max_generations = 30;
+  GeneticSearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  EXPECT_GE(st.final_cost, 0);
+  EXPECT_EQ(st.solved, st.final_cost == 0);
+}
+
+// ---------- Rickard-Healy stochastic walk ----------
+
+TEST(RickardHealy, SolvesTinyCostas) {
+  for (int n : {6, 8, 10}) {
+    costas::CostasProblem p(n);
+    RhConfig cfg;
+    cfg.seed = static_cast<uint64_t>(n);
+    RickardHealySearch<costas::CostasProblem> engine(p, cfg);
+    const auto st = engine.solve();
+    ASSERT_TRUE(st.solved) << "n=" << n;
+    EXPECT_TRUE(costas::is_costas(st.solution));
+  }
+}
+
+TEST(RickardHealy, SolvesAllInterval) {
+  problems::AllIntervalProblem p(10);
+  RhConfig cfg;
+  cfg.seed = 11;
+  RickardHealySearch<problems::AllIntervalProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  ASSERT_TRUE(st.solved);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(RickardHealy, DeterministicForFixedSeed) {
+  costas::CostasProblem p1(9), p2(9);
+  RhConfig cfg;
+  cfg.seed = 12;
+  RickardHealySearch<costas::CostasProblem> e1(p1, cfg), e2(p2, cfg);
+  const auto s1 = e1.solve();
+  const auto s2 = e2.solve();
+  EXPECT_EQ(s1.solution, s2.solution);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+}
+
+TEST(RickardHealy, BudgetAndStopToken) {
+  costas::CostasProblem p(16);
+  RhConfig cfg;
+  cfg.seed = 13;
+  cfg.max_iterations = 1000;
+  RickardHealySearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_LE(st.iterations, 1000u);
+
+  std::atomic<bool> flag{true};
+  cfg.probe_interval = 1;
+  cfg.max_iterations = 0;
+  costas::CostasProblem p2(16);
+  RickardHealySearch<costas::CostasProblem> engine2(p2, cfg);
+  const auto st2 = engine2.solve(StopToken(&flag));
+  EXPECT_FALSE(st2.solved);
+}
+
+TEST(RickardHealy, RestartsOnStall) {
+  costas::CostasProblem p(14);
+  RhConfig cfg;
+  cfg.seed = 14;
+  cfg.stall_limit = 20;
+  cfg.max_iterations = 20000;
+  RickardHealySearch<costas::CostasProblem> engine(p, cfg);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_GE(st.restarts, 1u);
+}
+
+// ---------- comparative shape (the paper's narrative) ----------
+
+TEST(BaselineShape, AdaptiveSearchNeedsFewerMoveEvaluationsThanTabu) {
+  // AS scans O(n) candidate moves per iteration, TS scans O(n^2); on the
+  // same instance and a solved run, AS should spend far fewer evaluations.
+  const int n = 12;
+  uint64_t as_evals = 0, ts_evals = 0;
+  int as_solved = 0, ts_solved = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    costas::CostasProblem pa(n);
+    auto cfg = costas::recommended_config(n, seed);
+    AdaptiveSearch<costas::CostasProblem> as(pa, cfg);
+    const auto sa = as.solve();
+    if (sa.solved) {
+      as_evals += sa.move_evaluations;
+      ++as_solved;
+    }
+    costas::CostasProblem pt(n);
+    TsConfig tcfg;
+    tcfg.seed = seed;
+    TabuSearch<costas::CostasProblem> ts(pt, tcfg);
+    const auto stt = ts.solve();
+    if (stt.solved) {
+      ts_evals += stt.move_evaluations;
+      ++ts_solved;
+    }
+  }
+  ASSERT_EQ(as_solved, 5);
+  ASSERT_EQ(ts_solved, 5);
+  EXPECT_LT(as_evals, ts_evals);
+}
+
+TEST(BaselineShape, RickardHealySuccessCollapsesWhereAsStillSolves) {
+  // Fixed move budget at n = 13: AS solves every seed; the stochastic walk
+  // starts failing — the Sec. II story in miniature.
+  const int n = 13;
+  const uint64_t budget = 60000;
+  int as_ok = 0, rh_ok = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    costas::CostasProblem pa(n);
+    auto cfg = costas::recommended_config(n, seed);
+    cfg.max_iterations = budget;
+    AdaptiveSearch<costas::CostasProblem> as(pa, cfg);
+    as_ok += as.solve().solved;
+
+    costas::CostasProblem pr(n);
+    RhConfig rcfg;
+    rcfg.seed = seed;
+    rcfg.max_iterations = budget;
+    RickardHealySearch<costas::CostasProblem> rh(pr, rcfg);
+    rh_ok += rh.solve().solved;
+  }
+  EXPECT_EQ(as_ok, 6);
+  EXPECT_LE(rh_ok, as_ok);
+}
+
+}  // namespace
+}  // namespace cas::core

@@ -1,0 +1,168 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace cas::core {
+namespace {
+
+TEST(SplitMix64, KnownReferenceVector) {
+  // Reference values for seed 1234567 from the canonical splitmix64.c
+  // (Vigna); these pin the exact output sequence.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ull);
+  EXPECT_EQ(sm.next(), 3203168211198807973ull);
+  EXPECT_EQ(sm.next(), 9817491932198370423ull);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 33}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(5);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(bound)];
+  // Chi-square with 9 dof; 99.9% critical value ~27.9. Be generous.
+  double chi2 = 0;
+  const double expected = static_cast<double>(trials) / bound;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.015);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(10);
+  for (int n : {1, 2, 5, 30}) {
+    const auto p = rng.permutation(n);
+    std::set<int> s(p.begin(), p.end());
+    EXPECT_EQ(static_cast<int>(s.size()), n);
+    EXPECT_EQ(*s.begin(), 1);
+    EXPECT_EQ(*s.rbegin(), n);
+  }
+}
+
+TEST(Rng, PermutationBaseZero) {
+  Rng rng(11);
+  const auto p = rng.permutation(4, 0);
+  std::set<int> s(p.begin(), p.end());
+  EXPECT_EQ(s, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(Rng, ShuffleIsUnbiasedOnThreeElements) {
+  // All 6 orderings of 3 elements should be ~equally likely.
+  Rng rng(12);
+  std::map<std::vector<int>, int> counts;
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> v{1, 2, 3};
+    rng.shuffle(v);
+    ++counts[v];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 6, 0.01);
+  }
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Rng a(13);
+  Rng b(13);
+  b.jump();
+  std::set<uint64_t> head;
+  for (int i = 0; i < 1000; ++i) head.insert(a());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) collisions += head.count(b());
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng a(14);
+  const uint64_t first = a();
+  a();
+  a.reseed(14);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, MonobitBalance) {
+  // Total set bits over 64k words should be ~50%.
+  Rng rng(15);
+  uint64_t ones = 0;
+  const int words = 65536;
+  for (int i = 0; i < words; ++i) ones += static_cast<uint64_t>(__builtin_popcountll(rng()));
+  const double frac = static_cast<double>(ones) / (64.0 * words);
+  EXPECT_NEAR(frac, 0.5, 0.002);
+}
+
+}  // namespace
+}  // namespace cas::core

@@ -1,0 +1,242 @@
+#include "costas/ambiguity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "costas/checker.hpp"
+#include "costas/construction.hpp"
+#include "costas/enumerate.hpp"
+#include "costas/symmetry.hpp"
+
+namespace cas::costas {
+namespace {
+
+TEST(AmbiguityMatrix, RejectsBadOrder) {
+  EXPECT_THROW(AmbiguityMatrix(0), std::invalid_argument);
+  EXPECT_THROW(AmbiguityMatrix(-3), std::invalid_argument);
+}
+
+TEST(AmbiguityMatrix, SideAndBounds) {
+  AmbiguityMatrix m(4);
+  EXPECT_EQ(m.order(), 4);
+  EXPECT_EQ(m.side(), 7);
+  EXPECT_EQ(m.at(3, -3), 0);
+  EXPECT_THROW((void)m.at(4, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, -4), std::out_of_range);
+}
+
+TEST(AutoAmbiguity, RejectsNonPermutation) {
+  EXPECT_THROW(auto_ambiguity(std::vector<int>{1, 1, 3}), std::invalid_argument);
+  EXPECT_THROW(auto_ambiguity(std::vector<int>{}), std::invalid_argument);
+}
+
+TEST(AutoAmbiguity, OriginHoldsN) {
+  const std::vector<int> perm{3, 4, 2, 1, 5};
+  const auto m = auto_ambiguity(perm);
+  EXPECT_EQ(m.at(0, 0), 5);
+}
+
+TEST(AutoAmbiguity, PaperExampleIsThumbtack) {
+  // The paper's Sec. II example array is Costas, so every off-origin cell
+  // holds at most one hit.
+  const auto m = auto_ambiguity(std::vector<int>{3, 4, 2, 1, 5});
+  EXPECT_EQ(m.max_sidelobe(), 1);
+}
+
+TEST(AutoAmbiguity, MatchesDifferenceTriangleByHand) {
+  // A = [3,4,2,1,5]; difference triangle row d holds A[i+d]-A[i], i.e. the
+  // hits in matrix row u = d. Row d=1 of the paper's figure: 1, -2, -1, 4.
+  const std::vector<int> perm{3, 4, 2, 1, 5};
+  const auto m = auto_ambiguity(perm);
+  EXPECT_EQ(m.at(1, 1), 1);
+  EXPECT_EQ(m.at(1, -2), 1);
+  EXPECT_EQ(m.at(1, -1), 1);
+  EXPECT_EQ(m.at(1, 4), 1);
+  EXPECT_EQ(m.at(1, 2), 0);
+  // Row d=2: -1, -3, 3.
+  EXPECT_EQ(m.at(2, -1), 1);
+  EXPECT_EQ(m.at(2, -3), 1);
+  EXPECT_EQ(m.at(2, 3), 1);
+}
+
+TEST(AutoAmbiguity, HermitianSymmetry) {
+  // amb(u, v) == amb(-u, -v): the pair (i, i+u) read backwards.
+  core::Rng rng(2012);
+  for (int n : {2, 5, 9, 13}) {
+    const auto perm = rng.permutation(n);
+    const auto m = auto_ambiguity(perm);
+    for (int u = -(n - 1); u <= n - 1; ++u)
+      for (int v = -(n - 1); v <= n - 1; ++v)
+        ASSERT_EQ(m.at(u, v), m.at(-u, -v)) << "n=" << n << " u=" << u << " v=" << v;
+  }
+}
+
+TEST(AutoAmbiguity, TotalHitsIsNTimesNMinus1) {
+  // Every ordered pair of distinct slots lands exactly one hit somewhere.
+  core::Rng rng(7);
+  for (int n : {1, 2, 3, 6, 10, 17}) {
+    const auto perm = rng.permutation(n);
+    const auto m = auto_ambiguity(perm);
+    EXPECT_EQ(m.total_sidelobe_hits(), static_cast<int64_t>(n) * (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(AutoAmbiguity, RowUZeroConcentratesAtOrigin) {
+  // With zero delay, a permutation never repeats a frequency, so every
+  // v != 0 cell of row u=0 is empty.
+  core::Rng rng(99);
+  const auto perm = rng.permutation(12);
+  const auto m = auto_ambiguity(perm);
+  for (int v = -11; v <= 11; ++v) {
+    if (v != 0) {
+      ASSERT_EQ(m.at(0, v), 0) << "v=" << v;
+    }
+  }
+}
+
+TEST(AutoAmbiguity, IdentityPermutationWorstCase) {
+  // A[i] = i+1 (a "linear chirp"): at delay u every difference equals u, so
+  // cell (u, u) holds n - |u| hits — the classic ridge, the waveform Costas
+  // arrays were designed to avoid.
+  const int n = 10;
+  std::vector<int> chirp(n);
+  std::iota(chirp.begin(), chirp.end(), 1);
+  const auto m = auto_ambiguity(chirp);
+  EXPECT_EQ(m.max_sidelobe(), n - 1);
+  for (int u = 1; u < n; ++u) EXPECT_EQ(m.at(u, u), n - u) << "u=" << u;
+}
+
+TEST(IsCostasByAmbiguity, AgreesWithCheckerOnAllOrder5Permutations) {
+  std::vector<int> perm{1, 2, 3, 4, 5};
+  int costas_count = 0;
+  do {
+    ASSERT_EQ(is_costas_by_ambiguity(perm), is_costas(perm));
+    if (is_costas(perm)) ++costas_count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(costas_count, 40);  // known C(5)
+}
+
+TEST(IsCostasByAmbiguity, RejectsNonPermutation) {
+  EXPECT_FALSE(is_costas_by_ambiguity(std::vector<int>{2, 2}));
+}
+
+TEST(SidelobeStats, CostasArrayValues) {
+  const auto m = auto_ambiguity(std::vector<int>{3, 4, 2, 1, 5});
+  const auto st = sidelobe_stats(m);
+  EXPECT_EQ(st.max_sidelobe, 1);
+  EXPECT_EQ(st.total_hits, 20);       // 5 * 4
+  EXPECT_EQ(st.occupied_cells, 20);   // all hits in distinct cells
+  EXPECT_DOUBLE_EQ(st.mean_nonzero, 1.0);
+  EXPECT_DOUBLE_EQ(st.thumbtack_ratio, 5.0);
+}
+
+TEST(SidelobeStats, TrivialOrder1) {
+  const auto m = auto_ambiguity(std::vector<int>{1});
+  const auto st = sidelobe_stats(m);
+  EXPECT_EQ(st.max_sidelobe, 0);
+  EXPECT_EQ(st.total_hits, 0);
+  EXPECT_DOUBLE_EQ(st.thumbtack_ratio, 1.0);
+}
+
+TEST(CrossAmbiguity, RejectsMismatchedOrders) {
+  EXPECT_THROW(cross_ambiguity(std::vector<int>{1, 2}, std::vector<int>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(CrossAmbiguity, SelfIsAutoAmbiguity) {
+  core::Rng rng(5);
+  const auto perm = rng.permutation(9);
+  const auto a = auto_ambiguity(perm);
+  const auto c = cross_ambiguity(perm, perm);
+  ASSERT_EQ(a.data().size(), c.data().size());
+  for (size_t k = 0; k < a.data().size(); ++k) ASSERT_EQ(a.data()[k], c.data()[k]);
+}
+
+TEST(CrossAmbiguity, TotalMassIsNSquaredMinusSharedDiagonal) {
+  // Between two distinct permutations every pair (i, i+u) including u = 0
+  // contributes one hit; with the origin included the total is exactly n^2.
+  core::Rng rng(11);
+  const auto a = rng.permutation(8);
+  const auto b = rng.permutation(8);
+  const auto m = cross_ambiguity(a, b);
+  int64_t total = 0;
+  for (int32_t h : m.data()) total += h;
+  EXPECT_EQ(total, 64);
+}
+
+TEST(CrossAmbiguity, ShiftedCopyHasFullRidgeCell) {
+  // b = a + 1 (mod nothing: add 1 then wrap values by renumbering is not a
+  // shift here; instead compare a against itself delayed by one slot).
+  const std::vector<int> a{3, 4, 2, 1, 5};
+  // b[i] = a[i] means cross(0, 0) = 5; use b as a rotated-in-time variant:
+  std::vector<int> b{4, 2, 1, 5, 3};  // a shifted left by one slot
+  const auto m = cross_ambiguity(a, b);
+  // b[i] = a[i+1], so v = b[i+u] - a[i] = a[i+u+1] - a[i]: hits of a at
+  // delay u+1 appear at delay u. The origin cell picks up a's d=1 hits? No:
+  // cross(-1, 0) should hold the full alignment: b[i-1] = a[i].
+  EXPECT_EQ(m.at(-1, 0), 4);  // i = 1..4 in range
+}
+
+TEST(RenderAmbiguity, ShapeAndMarks) {
+  const auto m = auto_ambiguity(std::vector<int>{2, 1});
+  const std::string s = render_ambiguity(m);
+  // 3x3 grid, three lines. Origin (center) holds 2.
+  const auto lines_end = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(lines_end, 3);
+  EXPECT_NE(s.find('2'), std::string::npos);
+}
+
+// --- property sweeps over certified Costas arrays ---
+
+class AmbiguityConstructionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AmbiguityConstructionSweep, WelchArraysAreThumbtacks) {
+  const uint64_t p = GetParam();
+  const auto perm = welch(p);
+  const auto m = auto_ambiguity(perm);
+  EXPECT_EQ(m.max_sidelobe(), 1);
+  const auto st = sidelobe_stats(m);
+  EXPECT_EQ(st.total_hits, st.occupied_cells);  // all cells hold exactly 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, AmbiguityConstructionSweep,
+                         ::testing::Values(5, 7, 11, 13, 17, 19, 23, 29, 31),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(AmbiguityProperty, TransformsPreserveMaxSidelobe) {
+  // D4 transforms permute the (u, v) plane, so the max sidelobe level is
+  // invariant even for non-Costas permutations.
+  core::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto perm = rng.permutation(9);
+    const int base = auto_ambiguity(perm).max_sidelobe();
+    for (Transform t : kAllTransforms) {
+      const auto img = apply_transform(perm, t);
+      ASSERT_EQ(auto_ambiguity(img).max_sidelobe(), base)
+          << "trial=" << trial << " transform=" << static_cast<int>(t);
+    }
+  }
+}
+
+TEST(AmbiguityProperty, EnumeratedOrder7ArraysAllPass) {
+  const auto arrays = all_costas(7);
+  ASSERT_EQ(arrays.size(), 200u);  // known C(7)
+  for (const auto& a : arrays) ASSERT_TRUE(is_costas_by_ambiguity(a));
+}
+
+TEST(AmbiguityProperty, RandomPermutationsAgreeWithChecker) {
+  core::Rng rng(20120521);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(10));
+    const auto perm = rng.permutation(n);
+    ASSERT_EQ(is_costas_by_ambiguity(perm), is_costas(perm)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace cas::costas

@@ -1,0 +1,321 @@
+// Algebraic constructions (paper Sec. II): Welch for all primes, Lempel-
+// Golomb for prime powers, corner removals, coverage of constructible
+// orders. Every constructed array is validated with the independent
+// checker — these are parameterized sweeps over many orders.
+#include "costas/construction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algebra/gf.hpp"
+#include "algebra/modular.hpp"
+#include "algebra/primes.hpp"
+#include "costas/checker.hpp"
+#include "costas/enumerate.hpp"
+
+namespace cas::costas {
+namespace {
+
+// ---------- Welch over all primes up to 100 ----------
+
+class WelchSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(WelchSweep, ProducesValidCostasArray) {
+  const uint64_t p = GetParam();
+  const auto perm = welch(p);
+  EXPECT_EQ(perm.size(), p - 1);
+  EXPECT_TRUE(is_costas(perm)) << explain_violation(perm);
+}
+
+TEST_P(WelchSweep, AllShiftsAreCostas) {
+  const uint64_t p = GetParam();
+  if (p > 31) GTEST_SKIP() << "shift sweep limited to small p";
+  const uint64_t g = algebra::primitive_root(p);
+  for (int shift = 0; shift < static_cast<int>(p - 1); ++shift) {
+    const auto perm = welch(p, g, shift);
+    EXPECT_TRUE(is_costas(perm)) << "p=" << p << " shift=" << shift;
+  }
+}
+
+TEST_P(WelchSweep, AllPrimitiveRootsWork) {
+  const uint64_t p = GetParam();
+  if (p > 23) GTEST_SKIP() << "root sweep limited to small p";
+  for (uint64_t g : algebra::all_primitive_roots(p)) {
+    EXPECT_TRUE(is_costas(welch(p, g, 0))) << "p=" << p << " g=" << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, WelchSweep,
+                         testing::Values(3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                                         53, 59, 61, 67, 71, 73, 79, 83, 89, 97),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(Welch, ShiftZeroStartsAtOne) {
+  // g^0 = 1, so the shift-0 Welch array has a corner mark — the hook for
+  // the corner-removal corollary.
+  for (uint64_t p : {5ull, 11ull, 23ull}) {
+    EXPECT_EQ(welch(p).front(), 1);
+  }
+}
+
+TEST(Welch, RejectsBadArguments) {
+  EXPECT_THROW(welch(9), std::invalid_argument);        // not prime
+  EXPECT_THROW(welch(2), std::invalid_argument);        // too small
+  EXPECT_THROW(welch(7, 2, 0), std::invalid_argument);  // 2 is not primitive mod 7
+  EXPECT_THROW(welch(7, 3, 99), std::invalid_argument); // shift out of range
+}
+
+// ---------- Lempel-Golomb over prime powers up to ~100 ----------
+
+class LempelGolombSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(LempelGolombSweep, GolombIsValidCostas) {
+  const uint64_t q = GetParam();
+  const auto perm = golomb(q);
+  EXPECT_EQ(perm.size(), q - 2);
+  EXPECT_TRUE(is_costas(perm)) << explain_violation(perm);
+}
+
+TEST_P(LempelGolombSweep, LempelIsValidAndSymmetric) {
+  const uint64_t q = GetParam();
+  const auto perm = lempel(q);
+  EXPECT_TRUE(is_costas(perm)) << explain_violation(perm);
+  // Lempel (alpha == beta) gives a symmetric array: A[A[i]] == i.
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm[static_cast<size_t>(perm[i] - 1)], static_cast<int>(i) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, LempelGolombSweep,
+                         testing::Values(4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32, 49, 64, 81),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+TEST(LempelGolomb, AllPrimitivePairsForSmallField) {
+  // Every pair of primitive elements gives a Costas array (G2 is fully
+  // general); exhaustive over GF(11).
+  const algebra::Gf f(11);
+  const auto prim = f.primitive_elements();
+  for (uint32_t a : prim) {
+    for (uint32_t b : prim) {
+      EXPECT_TRUE(is_costas(lempel_golomb(11, a, b))) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(LempelGolomb, RejectsNonPrimitiveElements) {
+  EXPECT_THROW(lempel_golomb(11, 1, 2), std::invalid_argument);  // 1 is never primitive
+  EXPECT_THROW(lempel_golomb(3, 2, 2), std::invalid_argument);   // q < 4
+}
+
+// ---------- corner removal ----------
+
+TEST(RemoveCorner, ShrinksWelchByOne) {
+  for (uint64_t p : {7ull, 11ull, 13ull, 23ull}) {
+    const auto base = welch(p);  // starts with 1
+    const auto smaller = remove_corner(base);
+    ASSERT_TRUE(smaller.has_value()) << "p=" << p;
+    EXPECT_EQ(smaller->size(), base.size() - 1);
+    EXPECT_TRUE(is_costas(*smaller)) << explain_violation(*smaller);
+  }
+}
+
+TEST(RemoveCorner, NulloptWithoutCornerMark) {
+  EXPECT_FALSE(remove_corner({2, 1}).has_value());
+  EXPECT_FALSE(remove_corner({3, 4, 2, 1, 5}).has_value());
+}
+
+TEST(RemoveCorner, RepeatedRemovalStaysCostas) {
+  // W1(p), remove corner, then (if the new array again has one) repeat.
+  auto arr = welch(23);
+  int removed = 0;
+  while (auto next = remove_corner(arr)) {
+    arr = *next;
+    ++removed;
+    EXPECT_TRUE(is_costas(arr));
+  }
+  EXPECT_GE(removed, 1);
+}
+
+// ---------- construct_any coverage ----------
+
+class ConstructAnySweep : public testing::TestWithParam<int> {};
+
+TEST_P(ConstructAnySweep, ValidWhenAvailable) {
+  const int n = GetParam();
+  const auto perm = construct_any(n);
+  if (!perm.has_value()) {
+    // No construction covered: must also claim no methods.
+    EXPECT_TRUE(available_constructions(n).empty()) << "n=" << n;
+    return;
+  }
+  EXPECT_EQ(static_cast<int>(perm->size()), n);
+  EXPECT_TRUE(is_costas(*perm)) << "n=" << n << ": " << explain_violation(*perm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ConstructAnySweep, testing::Range(1, 60),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(ConstructAny, CoversMostOrdersBelow50) {
+  int covered = 0;
+  for (int n = 1; n < 50; ++n) covered += construct_any(n).has_value();
+  // Welch (p-1), W corner (p-2), Golomb (q-2), G3 (q-3) cover the large
+  // majority of small orders.
+  EXPECT_GE(covered, 40);
+}
+
+TEST(ConstructAny, OpenCasesReturnNullopt) {
+  // n=32 and n=33 are the paper's famous open orders: no known construction
+  // (and none of ours applies: 33,34,35 / 34,35,36 contain no usable
+  // prime/prime-power pattern).
+  EXPECT_FALSE(construct_any(32).has_value());
+  EXPECT_FALSE(construct_any(33).has_value());
+}
+
+TEST(ConstructAny, MatchesEnumerationForTinyOrders) {
+  for (int n = 1; n <= 9; ++n) {
+    const auto c = construct_any(n);
+    ASSERT_TRUE(c.has_value()) << "n=" << n;
+    EXPECT_TRUE(is_costas(*c));
+  }
+}
+
+TEST(AvailableConstructions, ListsWelchForPMinus1) {
+  const auto methods = available_constructions(10);  // 11 prime
+  bool has_welch = false;
+  for (const auto& m : methods) has_welch |= (m.find("Welch") != std::string::npos);
+  EXPECT_TRUE(has_welch);
+}
+
+TEST(AvailableConstructions, EmptyForOpenOrders) {
+  EXPECT_TRUE(available_constructions(32).empty());
+}
+
+// ---------- corner addition ----------
+
+TEST(AddCorner, InvertsRemoveCorner) {
+  for (uint64_t p : {7ull, 11ull, 13ull}) {
+    const auto base = welch(p);  // starts with 1, so corner removal applies
+    const auto smaller = remove_corner(base);
+    ASSERT_TRUE(smaller.has_value());
+    const auto restored = add_corner(*smaller);
+    ASSERT_TRUE(restored.has_value()) << "p=" << p;
+    EXPECT_EQ(*restored, base);
+  }
+}
+
+TEST(AddCorner, RejectsWhenResultNotCostas) {
+  // [2, 1] + corner = [1, 3, 2]: d=1 row is (2, -1) ok, d=2 row is (1) ok —
+  // that one actually works. Use an array whose corner extension collides:
+  // [1, 2] -> prepend gives [1, 2, 3], d=1 row (1, 1) repeats.
+  EXPECT_FALSE(add_corner({1, 2}).has_value());
+  // And a success case for contrast.
+  EXPECT_TRUE(add_corner({2, 1}).has_value());
+}
+
+TEST(AddCorner, ProducesOrderPlusOne) {
+  const auto out = add_corner({2, 1});
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_TRUE(is_costas(*out));
+  EXPECT_EQ((*out)[0], 1);
+}
+
+// ---------- Welch shift family (singly periodic property) ----------
+
+TEST(WelchAllShifts, EveryShiftIsCostasAndDistinct) {
+  const uint64_t p = 13;
+  const auto family = welch_all_shifts(p, algebra::primitive_root(p));
+  ASSERT_EQ(family.size(), static_cast<size_t>(p - 1));
+  for (const auto& arr : family) {
+    ASSERT_EQ(arr.size(), static_cast<size_t>(p - 1));
+    EXPECT_TRUE(is_costas(arr)) << explain_violation(arr);
+  }
+  for (size_t a = 0; a < family.size(); ++a)
+    for (size_t b = a + 1; b < family.size(); ++b)
+      EXPECT_NE(family[a], family[b]) << "shifts " << a << " and " << b;
+}
+
+TEST(WelchAllShifts, ShiftsAreCyclicRowRotations) {
+  // Shift s multiplies every value by g: the grid rows rotate cyclically.
+  const uint64_t p = 11, g = algebra::primitive_root(p);
+  const auto family = welch_all_shifts(p, g);
+  for (size_t s = 0; s + 1 < family.size(); ++s) {
+    for (size_t i = 0; i < family[s].size(); ++i) {
+      const uint64_t expect =
+          algebra::mulmod(static_cast<uint64_t>(family[s][i]), g, p);
+      EXPECT_EQ(static_cast<uint64_t>(family[s + 1][i]), expect);
+    }
+  }
+}
+
+// ---------- W3: double corner removal for 2-primitive primes ----------
+
+class WelchMinusTwoSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(WelchMinusTwoSweep, ValidCostasOfOrderPMinus3) {
+  const uint64_t p = GetParam();
+  const auto arr = welch_minus_two(p);
+  ASSERT_EQ(arr.size(), static_cast<size_t>(p - 3));
+  EXPECT_TRUE(is_costas(arr)) << explain_violation(arr);
+}
+
+// Primes with 2 as a primitive root.
+INSTANTIATE_TEST_SUITE_P(TwoPrimitivePrimes, WelchMinusTwoSweep,
+                         testing::Values(5, 11, 13, 19, 29, 37, 53, 59, 61, 67),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(WelchMinusTwo, RejectsPrimesWhereTwoNotPrimitive) {
+  // 2 has order 3 mod 7 and order 8 mod 17.
+  EXPECT_THROW(welch_minus_two(7), std::invalid_argument);
+  EXPECT_THROW(welch_minus_two(17), std::invalid_argument);
+}
+
+// ---------- G4: double corner removal over GF(2^m) ----------
+
+TEST(GolombMinusTwo, PowerOfTwoFields) {
+  for (uint64_t q : {8ull, 16ull, 32ull, 64ull}) {
+    const auto arr = golomb_minus_two(q);
+    ASSERT_TRUE(arr.has_value()) << "q=" << q;
+    ASSERT_EQ(arr->size(), static_cast<size_t>(q - 4));
+    EXPECT_TRUE(is_costas(*arr)) << "q=" << q << ": " << explain_violation(*arr);
+  }
+}
+
+TEST(GolombMinusTwo, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(golomb_minus_two(9).has_value());   // 3^2: wrong characteristic
+  EXPECT_FALSE(golomb_minus_two(25).has_value());  // 5^2
+  EXPECT_FALSE(golomb_minus_two(4).has_value());   // too small: q - 4 = 0
+}
+
+TEST(ConstructibleOrders, ContainsExpectedAndExcludesOpen) {
+  const auto orders = constructible_orders_up_to(40);
+  const auto has = [&](int n) {
+    return std::find(orders.begin(), orders.end(), n) != orders.end();
+  };
+  // The W/G construction family misses exactly 19 and 31 below 32: around
+  // n = 19 (20, 21, 22, 23) and n = 31 (32..35) there is no usable prime or
+  // prime power. Arrays of those orders exist (19 is enumerated; order-31
+  // examples are known from search) but not from these generators.
+  for (int n = 1; n <= 31; ++n) {
+    if (n == 19 || n == 31) {
+      EXPECT_FALSE(has(n)) << "n=" << n;
+    } else {
+      EXPECT_TRUE(has(n)) << "n=" << n;
+    }
+  }
+  EXPECT_FALSE(has(32));
+  EXPECT_FALSE(has(33));
+  EXPECT_TRUE(has(36));  // 37 - 1
+}
+
+}  // namespace
+}  // namespace cas::costas

@@ -1,0 +1,145 @@
+// Complete CP solver: correctness against the enumerator and the
+// literature's counts, propagation effectiveness, limits and status codes.
+#include "costas/cp_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "costas/checker.hpp"
+#include "costas/enumerate.hpp"
+
+namespace cas::costas {
+namespace {
+
+class CpCounts : public testing::TestWithParam<int> {};
+
+TEST_P(CpCounts, MatchesKnownCounts) {
+  const int n = GetParam();
+  CpSolver solver(n);
+  EXPECT_EQ(solver.count_solutions(), kKnownCostasCounts[n]);
+}
+
+TEST_P(CpCounts, FullTriangleModelAgrees) {
+  const int n = GetParam();
+  if (n > 9) GTEST_SKIP() << "full-triangle model is slower; small n suffices";
+  CpOptions opts;
+  opts.use_chang = false;
+  CpSolver solver(n, opts);
+  EXPECT_EQ(solver.count_solutions(), kKnownCostasCounts[n]);
+}
+
+TEST_P(CpCounts, NoForwardCheckingStillComplete) {
+  const int n = GetParam();
+  if (n > 9) GTEST_SKIP() << "plain backtracking is slower; small n suffices";
+  CpOptions opts;
+  opts.forward_check = false;
+  CpSolver solver(n, opts);
+  EXPECT_EQ(solver.count_solutions(), kKnownCostasCounts[n]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CpCounts, testing::Range(1, 11),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(CpSolver, SolutionsMatchEnumeratorExactly) {
+  const int n = 8;
+  std::set<std::vector<int>> cp_solutions;
+  CpSolver solver(n);
+  solver.solve([&](std::span<const int> sol) {
+    cp_solutions.emplace(sol.begin(), sol.end());
+    return true;
+  });
+  const auto reference = all_costas(n);
+  EXPECT_EQ(cp_solutions, std::set<std::vector<int>>(reference.begin(), reference.end()));
+}
+
+TEST(CpSolver, FirstSolutionIsLexMinAndValid) {
+  for (int n : {5, 7, 9, 11}) {
+    CpSolver solver(n);
+    const auto sol = solver.first_solution();
+    ASSERT_TRUE(sol.has_value()) << n;
+    EXPECT_TRUE(is_costas(*sol));
+    EXPECT_EQ(*sol, *first_costas(n));  // same lexicographic order as the enumerator
+  }
+}
+
+TEST(CpSolver, ForwardCheckingPrunesSearch) {
+  const int n = 10;
+  CpOptions fc;
+  CpSolver with_fc(n, fc);
+  CpOptions nofc;
+  nofc.forward_check = false;
+  CpSolver without_fc(n, nofc);
+  CpStats sfc, snofc;
+  sfc = with_fc.solve([](std::span<const int>) { return true; });
+  snofc = without_fc.solve([](std::span<const int>) { return true; });
+  EXPECT_EQ(sfc.solutions, snofc.solutions);
+  EXPECT_LT(sfc.nodes, snofc.nodes);  // propagation must shrink the tree
+  EXPECT_GT(sfc.prunings, 0u);
+}
+
+TEST(CpSolver, NodeLimitRespected) {
+  CpOptions opts;
+  opts.node_limit = 100;
+  CpSolver solver(12, opts);
+  const auto stats = solver.solve([](std::span<const int>) { return true; });
+  EXPECT_EQ(stats.status, CpStatus::kNodeLimit);
+  EXPECT_LE(stats.nodes, 101u);
+}
+
+TEST(CpSolver, SolutionLimitStopsEarly) {
+  CpOptions opts;
+  opts.solution_limit = 3;
+  CpSolver solver(8, opts);
+  const auto stats = solver.solve([](std::span<const int>) { return true; });
+  EXPECT_EQ(stats.status, CpStatus::kSolutionLimit);
+  EXPECT_EQ(stats.solutions, 3u);
+}
+
+TEST(CpSolver, CallbackFalseStops) {
+  CpSolver solver(8);
+  int seen = 0;
+  const auto stats = solver.solve([&](std::span<const int>) { return ++seen < 2; });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(stats.status, CpStatus::kSolutionLimit);
+}
+
+TEST(CpSolver, TimeLimitProducesTimeout) {
+  CpOptions opts;
+  opts.time_limit_seconds = 0.05;
+  CpSolver solver(17, opts);  // counting all n=17 arrays takes far longer
+  const auto stats = solver.solve([](std::span<const int>) { return true; });
+  EXPECT_EQ(stats.status, CpStatus::kTimeLimit);
+  EXPECT_LT(stats.wall_seconds, 5.0);
+}
+
+TEST(CpSolver, ExhaustedStatusOnFullSearch) {
+  CpSolver solver(6);
+  const auto stats = solver.solve([](std::span<const int>) { return true; });
+  EXPECT_EQ(stats.status, CpStatus::kExhausted);
+  EXPECT_GT(stats.backtracks, 0u);
+}
+
+TEST(CpSolver, StatsAccountingSane) {
+  CpSolver solver(8);
+  const auto stats = solver.solve([](std::span<const int>) { return true; });
+  EXPECT_GT(stats.nodes, stats.solutions);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+}
+
+TEST(CpSolver, RejectsBadOrders) {
+  EXPECT_THROW(CpSolver(0), std::invalid_argument);
+  EXPECT_THROW(CpSolver(33), std::invalid_argument);
+}
+
+TEST(CpSolver, TrivialOrders) {
+  CpSolver one(1);
+  EXPECT_EQ(one.count_solutions(), 1u);
+  CpSolver two(2);
+  EXPECT_EQ(two.count_solutions(), 2u);
+}
+
+}  // namespace
+}  // namespace cas::costas

@@ -1,0 +1,211 @@
+// Dihedral symmetry group on Costas grids: group axioms, Costas-property
+// preservation, orbit structure, canonical forms (paper Sec. II: "164
+// Costas arrays, and 23 unique Costas arrays up to rotation and reflection"
+// for n = 29 — we verify the same machinery on enumerable orders).
+#include "costas/symmetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/rng.hpp"
+#include "costas/checker.hpp"
+#include "costas/construction.hpp"
+#include "costas/enumerate.hpp"
+
+namespace cas::costas {
+namespace {
+
+const std::vector<int> kExample{3, 4, 2, 1, 5};  // the paper's order-5 array
+
+TEST(Symmetry, IdentityIsIdentity) {
+  EXPECT_EQ(apply_transform(kExample, Transform::kIdentity), kExample);
+}
+
+TEST(Symmetry, AllImagesArePermutations) {
+  for (Transform t : kAllTransforms) {
+    EXPECT_TRUE(is_permutation(apply_transform(kExample, t)));
+  }
+}
+
+TEST(Symmetry, AllImagesOfCostasAreCostas) {
+  for (Transform t : kAllTransforms) {
+    const auto img = apply_transform(kExample, t);
+    EXPECT_TRUE(is_costas(img)) << static_cast<int>(t);
+  }
+}
+
+TEST(Symmetry, TransposeIsInversePermutation) {
+  // Transpose maps the mark (i, p[i]) to (p[i], i): the inverse permutation.
+  const auto inv = apply_transform(kExample, Transform::kTranspose);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(inv[static_cast<size_t>(kExample[static_cast<size_t>(i)] - 1)], i + 1);
+  }
+}
+
+TEST(Symmetry, Rot180IsFlipXThenFlipY) {
+  const auto a = apply_transform(kExample, Transform::kRot180);
+  const auto b = apply_transform(apply_transform(kExample, Transform::kFlipX), Transform::kFlipY);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Symmetry, Rot90FourTimesIsIdentity) {
+  auto v = kExample;
+  for (int i = 0; i < 4; ++i) v = apply_transform(v, Transform::kRot90);
+  EXPECT_EQ(v, kExample);
+}
+
+TEST(Symmetry, EveryTransformHasOrderDividing4) {
+  for (Transform t : kAllTransforms) {
+    auto v = kExample;
+    int order = 0;
+    do {
+      v = apply_transform(v, t);
+      ++order;
+    } while (v != kExample && order <= 8);
+    EXPECT_TRUE(order == 1 || order == 2 || order == 4) << static_cast<int>(t);
+  }
+}
+
+TEST(Symmetry, ComposeClosureTable) {
+  // D4 closure: compose of any two transforms is a transform, and the
+  // composition acts correctly on an actual array.
+  for (Transform a : kAllTransforms) {
+    for (Transform b : kAllTransforms) {
+      const Transform c = compose(a, b);
+      const auto direct = apply_transform(kExample, c);
+      const auto chained = apply_transform(apply_transform(kExample, a), b);
+      EXPECT_EQ(direct, chained)
+          << "compose(" << static_cast<int>(a) << "," << static_cast<int>(b) << ")";
+    }
+  }
+}
+
+TEST(Symmetry, InverseRoundTrip) {
+  for (Transform t : kAllTransforms) {
+    EXPECT_EQ(compose(t, inverse(t)), Transform::kIdentity);
+    EXPECT_EQ(compose(inverse(t), t), Transform::kIdentity);
+  }
+}
+
+TEST(Symmetry, GroupIdentityElement) {
+  for (Transform t : kAllTransforms) {
+    EXPECT_EQ(compose(t, Transform::kIdentity), t);
+    EXPECT_EQ(compose(Transform::kIdentity, t), t);
+  }
+}
+
+TEST(Symmetry, OrbitHasEightImages) {
+  EXPECT_EQ(orbit(kExample).size(), 8u);
+}
+
+TEST(Symmetry, OrbitSizeDividesEight) {
+  for (int n : {5, 6, 7}) {
+    for (const auto& a : all_costas(n)) {
+      const auto images = orbit(a);
+      const std::set<std::vector<int>> distinct(images.begin(), images.end());
+      EXPECT_EQ(8 % distinct.size(), 0u) << "n=" << n;
+    }
+  }
+}
+
+TEST(Symmetry, CanonicalFormIsOrbitInvariant) {
+  const auto canon = canonical_form(kExample);
+  for (const auto& img : orbit(kExample)) {
+    EXPECT_EQ(canonical_form(img), canon);
+  }
+}
+
+TEST(Symmetry, CanonicalFormIsMinimalInOrbit) {
+  const auto canon = canonical_form(kExample);
+  for (const auto& img : orbit(kExample)) {
+    EXPECT_LE(canon, img);
+  }
+}
+
+TEST(Symmetry, ClassCountTimesMeanOrbitEqualsTotal) {
+  // Orbits partition the enumeration: sum over distinct orbits of orbit
+  // size == total count.
+  for (int n : {5, 6, 7, 8}) {
+    const auto arrays = all_costas(n);
+    std::map<std::vector<int>, size_t> orbit_sizes;
+    for (const auto& a : arrays) {
+      const auto canon = canonical_form(a);
+      if (orbit_sizes.count(canon)) continue;
+      const auto images = orbit(a);
+      orbit_sizes[canon] = std::set<std::vector<int>>(images.begin(), images.end()).size();
+    }
+    uint64_t total = 0;
+    for (const auto& [canon, sz] : orbit_sizes) total += sz;
+    EXPECT_EQ(total, arrays.size()) << "n=" << n;
+    EXPECT_EQ(orbit_sizes.size(), count_symmetry_classes(arrays)) << "n=" << n;
+  }
+}
+
+TEST(Symmetry, KnownClassCounts) {
+  // Accepted values for the number of Costas arrays up to symmetry
+  // (OEIS A001441): 1, 1, 1, 2, 6, 17, 30, 60, 100, 277, ...
+  EXPECT_EQ(count_symmetry_classes(all_costas(1)), 1u);
+  EXPECT_EQ(count_symmetry_classes(all_costas(2)), 1u);
+  EXPECT_EQ(count_symmetry_classes(all_costas(3)), 1u);
+  EXPECT_EQ(count_symmetry_classes(all_costas(4)), 2u);
+  EXPECT_EQ(count_symmetry_classes(all_costas(5)), 6u);
+  EXPECT_EQ(count_symmetry_classes(all_costas(6)), 17u);
+  EXPECT_EQ(count_symmetry_classes(all_costas(7)), 30u);
+}
+
+TEST(Stabilizer, IdentityAlwaysPresent) {
+  core::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto perm = rng.permutation(7);
+    const auto stab = stabilizer(perm);
+    ASSERT_FALSE(stab.empty());
+    EXPECT_EQ(stab.front(), Transform::kIdentity);
+    // Subgroup of D4: size divides 8.
+    EXPECT_EQ(8 % stab.size(), 0u);
+    EXPECT_EQ(orbit_size(perm), 8 / stab.size());
+  }
+}
+
+TEST(Stabilizer, TransposeSymmetricPermutation) {
+  // A self-inverse permutation is fixed by the transpose.
+  const std::vector<int> involution{2, 1, 4, 3, 5};  // (1 2)(3 4)
+  EXPECT_TRUE(is_transpose_symmetric(involution));
+  const auto stab = stabilizer(involution);
+  EXPECT_NE(std::find(stab.begin(), stab.end(), Transform::kTranspose), stab.end());
+  EXPECT_LE(orbit_size(involution), 4u);
+}
+
+TEST(Stabilizer, LempelArraysAreTransposeSymmetric) {
+  // The Lempel construction (alpha = beta) gives symmetric Costas arrays
+  // by construction: a^i + a^j = 1 is symmetric in (i, j).
+  for (uint64_t q : {7ull, 11ull, 13ull, 16ull, 19ull}) {
+    const auto arr = lempel(q);
+    EXPECT_TRUE(is_transpose_symmetric(arr)) << "q=" << q;
+    EXPECT_LE(orbit_size(arr), 4u) << "q=" << q;
+  }
+}
+
+TEST(OrbitBreakdown, InvariantsOnFullEnumerations) {
+  for (int n : {4, 5, 6, 7}) {
+    const auto arrays = all_costas(n);
+    const auto bd = orbit_breakdown(arrays);
+    EXPECT_EQ(bd.total_arrays(), arrays.size()) << "n=" << n;
+    EXPECT_EQ(bd.total_orbits(), count_symmetry_classes(arrays)) << "n=" << n;
+  }
+}
+
+TEST(OrbitBreakdown, KnownShapeForOrder5) {
+  // C(5) = 40 arrays in 6 classes: 4 full orbits (32) + 2 orbits of size 4.
+  const auto bd = orbit_breakdown(all_costas(5));
+  EXPECT_EQ(bd.orbits_of_size[8], 4u);
+  EXPECT_EQ(bd.orbits_of_size[4], 2u);
+  EXPECT_EQ(bd.orbits_of_size[2], 0u);
+  EXPECT_EQ(bd.orbits_of_size[1], 0u);
+}
+
+}  // namespace
+}  // namespace cas::costas
+

@@ -1,0 +1,227 @@
+// Cross-validation fuzzing: the repo has FOUR independent answers to "is
+// this a Costas array / what does it cost" — the naive checker, the
+// incremental model, the bitmask enumerator, and the CP solver. This suite
+// drives randomized workloads through all of them and insists they agree,
+// plus stress-tests the engines under randomized configurations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/adaptive_search.hpp"
+#include "core/dialectic_search.hpp"
+#include "core/genetic.hpp"
+#include "core/rickard_healy.hpp"
+#include "core/simulated_annealing.hpp"
+#include "core/tabu_search.hpp"
+#include "costas/ambiguity.hpp"
+#include "costas/checker.hpp"
+#include "costas/construction.hpp"
+#include "costas/cp_solver.hpp"
+#include "costas/enumerate.hpp"
+#include "costas/model.hpp"
+
+namespace cas {
+namespace {
+
+TEST(Fuzz, CheckerVsModelOnRandomPermutations) {
+  core::Rng rng(101);
+  for (int t = 0; t < 2000; ++t) {
+    const int n = 3 + static_cast<int>(rng.below(12));
+    const auto perm = rng.permutation(n);
+    costas::CostasProblem model(n);
+    EXPECT_EQ(model.evaluate(perm) == 0, costas::is_costas(perm))
+        << testing::PrintToString(perm);
+  }
+}
+
+TEST(Fuzz, FullTriangleModelVsChecker) {
+  core::Rng rng(102);
+  for (int t = 0; t < 1000; ++t) {
+    const int n = 3 + static_cast<int>(rng.below(10));
+    const auto perm = rng.permutation(n);
+    costas::CostasOptions opts;
+    opts.use_chang = false;
+    costas::CostasProblem model(n, opts);
+    EXPECT_EQ(model.evaluate(perm) == 0, costas::is_costas(perm));
+  }
+}
+
+TEST(Fuzz, RandomSwapChainsKeepAllInvariants) {
+  core::Rng rng(103);
+  for (int n : {6, 11, 17, 23}) {
+    costas::CostasProblem p(n);
+    p.randomize(rng);
+    for (int step = 0; step < 500; ++step) {
+      const int i = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      int j = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      if (i == j) continue;
+      // Interleave the three mutation paths randomly.
+      switch (rng.below(3)) {
+        case 0:
+          p.apply_swap(i, j);
+          break;
+        case 1: {
+          const auto predicted = p.cost_if_swap(i, j);
+          p.apply_swap(i, j);
+          ASSERT_EQ(p.cost(), predicted);
+          break;
+        }
+        case 2:
+          p.custom_reset(rng);
+          break;
+      }
+      ASSERT_TRUE(costas::is_permutation(p.permutation()));
+      ASSERT_EQ(p.cost(), p.evaluate(p.permutation()));
+      ASSERT_GE(p.cost(), 0);
+    }
+  }
+}
+
+TEST(Fuzz, EnumeratorVsCpSolverSolutionSets) {
+  for (int n : {5, 6, 7}) {
+    std::set<std::vector<int>> cp;
+    costas::CpSolver solver(n);
+    solver.solve([&](std::span<const int> s) {
+      cp.emplace(s.begin(), s.end());
+      return true;
+    });
+    const auto ref = costas::all_costas(n);
+    EXPECT_EQ(cp, std::set<std::vector<int>>(ref.begin(), ref.end())) << "n=" << n;
+  }
+}
+
+TEST(Fuzz, EnginesAgreeOnSolvability) {
+  // Every engine must find SOME valid array on every seed at an easy size.
+  const int n = 10;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    {
+      costas::CostasProblem p(n);
+      core::AdaptiveSearch<costas::CostasProblem> e(p, costas::recommended_config(n, seed));
+      const auto st = e.solve();
+      ASSERT_TRUE(st.solved);
+      EXPECT_TRUE(costas::is_costas(st.solution));
+    }
+    {
+      costas::CostasProblem p(n);
+      core::DsConfig cfg;
+      cfg.seed = seed;
+      core::DialecticSearch<costas::CostasProblem> e(p, cfg);
+      const auto st = e.solve();
+      ASSERT_TRUE(st.solved);
+      EXPECT_TRUE(costas::is_costas(st.solution));
+    }
+    {
+      costas::CostasProblem p(n);
+      core::SaConfig cfg;
+      cfg.seed = seed;
+      core::SimulatedAnnealing<costas::CostasProblem> e(p, cfg);
+      const auto st = e.solve();
+      ASSERT_TRUE(st.solved);
+      EXPECT_TRUE(costas::is_costas(st.solution));
+    }
+  }
+}
+
+TEST(Fuzz, RandomizedEngineConfigurationsNeverCorruptState) {
+  // Failure injection for the engine parameter space: random (legal but
+  // possibly silly) configurations must never produce an invalid
+  // "solution" or a negative cost, even when they fail to solve.
+  core::Rng rng(104);
+  for (int t = 0; t < 25; ++t) {
+    const int n = 6 + static_cast<int>(rng.below(8));
+    costas::CostasProblem p(n);
+    core::AsConfig cfg;
+    cfg.seed = rng();
+    cfg.tabu_tenure = 1 + static_cast<int>(rng.below(30));
+    cfg.plateau_probability = rng.uniform01();
+    cfg.reset_limit = 1 + static_cast<int>(rng.below(4));
+    cfg.reset_fraction = rng.uniform01() * 0.6;
+    cfg.use_custom_reset = rng.chance(0.5);
+    cfg.hybrid_reset = rng.chance(0.5);
+    cfg.keep_tabu_on_reset = rng.chance(0.5);
+    cfg.restart_interval = 1000 + rng.below(100000);
+    cfg.max_iterations = 30000;
+    core::AdaptiveSearch<costas::CostasProblem> engine(p, cfg);
+    const auto st = engine.solve();
+    EXPECT_GE(st.final_cost, 0);
+    EXPECT_TRUE(costas::is_permutation(p.permutation()));
+    if (st.solved) {
+      EXPECT_TRUE(costas::is_costas(st.solution));
+    } else {
+      EXPECT_GT(st.final_cost, 0);
+    }
+  }
+}
+
+TEST(Fuzz, ConstructionsAgreeWithCpFeasibility) {
+  // Every constructible order has solutions; the CP solver must confirm
+  // feasibility instantly when seeded sizes are small.
+  for (int n = 3; n <= 11; ++n) {
+    const auto c = costas::construct_any(n);
+    ASSERT_TRUE(c.has_value());
+    costas::CpSolver solver(n);
+    const auto first = solver.first_solution();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_TRUE(costas::is_costas(*first));
+  }
+}
+
+TEST(Fuzz, ThreeWayCostasDefinitionsAgree) {
+  // Three independent implementations of "is this a Costas array":
+  //   1. the O(n^3) difference-triangle checker (costas/checker),
+  //   2. the incremental model's cost-zero predicate (costas/model),
+  //   3. the ambiguity characterization max-sidelobe <= 1 (costas/ambiguity).
+  // They share no code; agreement over random permutations pins all three.
+  core::Rng rng(0xC057A5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = 3 + static_cast<int>(rng.below(11));
+    const auto perm = rng.permutation(n);
+    const bool by_checker = costas::is_costas(perm);
+    costas::CostasProblem model(n);
+    model.set_permutation(perm);
+    const bool by_model = model.cost() == 0;
+    const bool by_ambiguity = costas::is_costas_by_ambiguity(perm);
+    ASSERT_EQ(by_checker, by_model) << "n=" << n << " trial=" << trial;
+    ASSERT_EQ(by_checker, by_ambiguity) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Fuzz, EveryEngineProducesCheckerValidSolutions) {
+  // All seven engines on one instance, many seeds: anything any engine
+  // calls a solution must satisfy the independent checker.
+  const int n = 10;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    costas::CostasProblem p1(n);
+    core::AdaptiveSearch<costas::CostasProblem> as(p1, costas::recommended_config(n, seed));
+    const auto s1 = as.solve();
+    ASSERT_TRUE(s1.solved);
+    EXPECT_TRUE(costas::is_costas(s1.solution));
+
+    costas::CostasProblem p2(n);
+    core::TsConfig tcfg;
+    tcfg.seed = seed;
+    core::TabuSearch<costas::CostasProblem> ts(p2, tcfg);
+    const auto s2 = ts.solve();
+    ASSERT_TRUE(s2.solved);
+    EXPECT_TRUE(costas::is_costas(s2.solution));
+
+    costas::CostasProblem p3(n);
+    core::RhConfig rcfg;
+    rcfg.seed = seed;
+    core::RickardHealySearch<costas::CostasProblem> rh(p3, rcfg);
+    const auto s3 = rh.solve();
+    ASSERT_TRUE(s3.solved);
+    EXPECT_TRUE(costas::is_costas(s3.solution));
+
+    costas::CostasProblem p4(n);
+    core::GaConfig gcfg;
+    gcfg.seed = seed;
+    core::GeneticSearch<costas::CostasProblem> ga(p4, gcfg);
+    const auto s4 = ga.solve();
+    ASSERT_TRUE(s4.solved);
+    EXPECT_TRUE(costas::is_costas(s4.solution));
+  }
+}
+
+}  // namespace
+}  // namespace cas

@@ -1,0 +1,176 @@
+// The in-process MPI-like communicator (paper Sec. V-A substitution):
+// message delivery, non-blocking probe, termination broadcast semantics.
+#include "par/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace cas::par {
+namespace {
+
+TEST(Comm, PointToPointDelivery) {
+  Comm comm(2);
+  std::atomic<int> received{-1};
+  comm.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, Message{7, -1, {42}});
+    } else {
+      const Message m = ctx.recv();
+      EXPECT_EQ(m.tag, 7);
+      EXPECT_EQ(m.source, 0);
+      ASSERT_EQ(m.payload.size(), 1u);
+      received = static_cast<int>(m.payload[0]);
+    }
+  });
+  EXPECT_EQ(received.load(), 42);
+}
+
+TEST(Comm, TryRecvNonBlocking) {
+  Comm comm(1);
+  comm.run([](RankCtx& ctx) {
+    EXPECT_FALSE(ctx.try_recv().has_value());  // empty mailbox, returns fast
+  });
+}
+
+TEST(Comm, TryRecvSeesSentMessage) {
+  Comm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, Message{1, -1, {}});
+    } else {
+      // Spin with the non-blocking probe (the paper's every-c-iterations
+      // test) until the message lands.
+      std::optional<Message> m;
+      while (!(m = ctx.try_recv())) {
+      }
+      EXPECT_EQ(m->tag, 1);
+    }
+  });
+}
+
+TEST(Comm, BroadcastOthersReachesEveryRankButSelf) {
+  const int n = 6;
+  Comm comm(n);
+  std::atomic<int> received{0};
+  comm.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 2) {
+      ctx.broadcast_others(Message{kTagSolutionFound, -1, {}});
+    } else {
+      const Message m = ctx.recv();
+      EXPECT_EQ(m.tag, kTagSolutionFound);
+      EXPECT_EQ(m.source, 2);
+      received.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(received.load(), n - 1);
+}
+
+TEST(Comm, TerminationPendingFlagSetBySolutionMessage) {
+  Comm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, Message{kTagSolutionFound, -1, {}});
+    } else {
+      while (!ctx.termination_pending()) {
+      }
+      SUCCEED();
+    }
+  });
+}
+
+TEST(Comm, OrdinaryMessagesDoNotSetTermination) {
+  Comm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, Message{99, -1, {}});
+    } else {
+      while (!ctx.try_recv()) {
+      }
+      EXPECT_FALSE(ctx.termination_pending());
+    }
+  });
+}
+
+TEST(Comm, MessagesArriveInSendOrderPerSender) {
+  Comm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 20; ++i) ctx.send(1, Message{i, -1, {}});
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        const Message m = ctx.recv();
+        EXPECT_EQ(m.tag, i);
+      }
+    }
+  });
+}
+
+TEST(Comm, ManyToOneAllDelivered) {
+  const int n = 8;
+  Comm comm(n);
+  std::atomic<int> total{0};
+  comm.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      std::set<int> sources;
+      while (static_cast<int>(sources.size()) < n - 1) {
+        sources.insert(ctx.recv().source);
+      }
+      total = static_cast<int>(sources.size());
+    } else {
+      ctx.send(0, Message{0, -1, {static_cast<int64_t>(ctx.rank())}});
+    }
+  });
+  EXPECT_EQ(total.load(), n - 1);
+}
+
+TEST(Comm, RankAndSizeCorrect) {
+  const int n = 5;
+  Comm comm(n);
+  std::atomic<uint32_t> rank_mask{0};
+  comm.run([&](RankCtx& ctx) {
+    EXPECT_EQ(ctx.size(), n);
+    rank_mask.fetch_or(1u << ctx.rank());
+  });
+  EXPECT_EQ(rank_mask.load(), (1u << n) - 1);
+}
+
+TEST(Comm, ReusableAcrossRuns) {
+  Comm comm(3);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> got{0};
+    comm.run([&](RankCtx& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.broadcast_others(Message{kTagTerminate, -1, {}});
+      } else {
+        while (!ctx.termination_pending()) {
+        }
+        got.fetch_add(1);
+      }
+    });
+    EXPECT_EQ(got.load(), 2) << "round " << round;
+  }
+}
+
+TEST(Comm, SendToInvalidRankThrows) {
+  Comm comm(2);
+  EXPECT_THROW(
+      comm.run([](RankCtx& ctx) {
+        if (ctx.rank() == 0) ctx.send(5, Message{});
+      }),
+      std::out_of_range);
+}
+
+TEST(Comm, RejectsZeroRanks) { EXPECT_THROW(Comm(0), std::invalid_argument); }
+
+TEST(Comm, WorkerExceptionPropagates) {
+  Comm comm(2);
+  EXPECT_THROW(comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cas::par

@@ -1,0 +1,131 @@
+// Single-walk parallel engine (ParallelNeighborhoodSearch): equivalence
+// with sequential AS on outcomes, replica-consistency under resets,
+// budget/stop handling, and scan partitioning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/adaptive_search.hpp"
+#include "costas/checker.hpp"
+#include "costas/model.hpp"
+#include "par/neighborhood.hpp"
+
+namespace cas::par {
+namespace {
+
+TEST(ParallelNeighborhood, SolvesSmallCostasWithOneThread) {
+  costas::CostasProblem p(10);
+  ParallelNeighborhoodSearch<costas::CostasProblem> engine(
+      p, costas::recommended_config(10, 3), 1);
+  const auto st = engine.solve();
+  ASSERT_TRUE(st.solved);
+  EXPECT_TRUE(costas::is_costas(st.solution));
+}
+
+class ParallelNeighborhoodThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelNeighborhoodThreads, SolvesAcrossThreadCounts) {
+  const int threads = GetParam();
+  for (int n : {10, 12}) {
+    costas::CostasProblem p(n);
+    ParallelNeighborhoodSearch<costas::CostasProblem> engine(
+        p, costas::recommended_config(n, static_cast<uint64_t>(n + threads)), threads);
+    const auto st = engine.solve();
+    ASSERT_TRUE(st.solved) << "n=" << n << " threads=" << threads;
+    EXPECT_TRUE(costas::is_costas(st.solution));
+    EXPECT_EQ(st.final_cost, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelNeighborhoodThreads, ::testing::Values(1, 2, 3, 4),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ParallelNeighborhood, DeterministicForFixedSeedAndThreads) {
+  costas::CostasProblem p1(11), p2(11);
+  const auto cfg = costas::recommended_config(11, 9);
+  ParallelNeighborhoodSearch<costas::CostasProblem> e1(p1, cfg, 3), e2(p2, cfg, 3);
+  const auto s1 = e1.solve();
+  const auto s2 = e2.solve();
+  ASSERT_TRUE(s1.solved);
+  EXPECT_EQ(s1.solution, s2.solution);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  EXPECT_EQ(s1.move_evaluations, s2.move_evaluations);
+}
+
+TEST(ParallelNeighborhood, ScansTheFullNeighborhoodEachIteration) {
+  // Move evaluations must equal (n - 1) per iteration regardless of the
+  // thread partitioning (no j skipped, none double-counted).
+  const int n = 13;
+  for (int threads : {1, 2, 5}) {
+    costas::CostasProblem p(n);
+    auto cfg = costas::recommended_config(n, 21);
+    cfg.max_iterations = 50;
+    ParallelNeighborhoodSearch<costas::CostasProblem> engine(p, cfg, threads);
+    const auto st = engine.solve();
+    EXPECT_EQ(st.move_evaluations, st.iterations * static_cast<uint64_t>(n - 1))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelNeighborhood, BudgetRespected) {
+  costas::CostasProblem p(16);
+  auto cfg = costas::recommended_config(16, 4);
+  cfg.max_iterations = 25;
+  ParallelNeighborhoodSearch<costas::CostasProblem> engine(p, cfg, 2);
+  const auto st = engine.solve();
+  if (!st.solved) EXPECT_LE(st.iterations, 25u);
+}
+
+TEST(ParallelNeighborhood, StopTokenHonored) {
+  costas::CostasProblem p(17);
+  auto cfg = costas::recommended_config(17, 5);
+  cfg.probe_interval = 1;
+  std::atomic<bool> flag{true};
+  ParallelNeighborhoodSearch<costas::CostasProblem> engine(p, cfg, 2);
+  const auto st = engine.solve(core::StopToken(&flag));
+  EXPECT_FALSE(st.solved);
+  EXPECT_LE(st.iterations, 2u);
+}
+
+TEST(ParallelNeighborhood, SurvivesManyResets) {
+  // A small instance with a tight budget forces many custom resets and
+  // resyncs; the run must stay consistent (replicas never diverge: a
+  // diverged replica would return move costs inconsistent with the master,
+  // which would show up as a non-decreasing-cost crash or a wrong
+  // solution).
+  costas::CostasProblem p(14);
+  auto cfg = costas::recommended_config(14, 6);
+  ParallelNeighborhoodSearch<costas::CostasProblem> engine(p, cfg, 4);
+  const auto st = engine.solve();
+  ASSERT_TRUE(st.solved);
+  EXPECT_TRUE(costas::is_costas(st.solution));
+  EXPECT_GE(st.resets, 1u);  // n = 14 never solves reset-free in practice
+}
+
+TEST(ParallelNeighborhood, IterationCountsComparableToSequentialAs) {
+  // Same algorithm, different tie-break sampling: expect the same order of
+  // magnitude of iterations as sequential AS (not equality). Guards against
+  // the parallel scan accidentally changing the search behaviour.
+  const int n = 12;
+  uint64_t seq_total = 0, par_total = 0;
+  const int reps = 6;
+  for (int r = 0; r < reps; ++r) {
+    costas::CostasProblem ps(n);
+    core::AdaptiveSearch<costas::CostasProblem> seq(
+        ps, costas::recommended_config(n, static_cast<uint64_t>(100 + r)));
+    seq_total += seq.solve().iterations;
+
+    costas::CostasProblem pp(n);
+    ParallelNeighborhoodSearch<costas::CostasProblem> par(
+        pp, costas::recommended_config(n, static_cast<uint64_t>(100 + r)), 2);
+    par_total += par.solve().iterations;
+  }
+  const double ratio = static_cast<double>(par_total) / static_cast<double>(seq_total);
+  EXPECT_GT(ratio, 0.1);
+  EXPECT_LT(ratio, 10.0);
+}
+
+}  // namespace
+}  // namespace cas::par

@@ -1,0 +1,79 @@
+// Portfolio multi-walk: heterogeneous engine assignments, first-win
+// semantics, and the homogeneous-vs-portfolio comparison.
+#include <gtest/gtest.h>
+
+#include "costas/checker.hpp"
+#include "costas/model.hpp"
+#include "par/portfolio.hpp"
+
+namespace cas::par {
+namespace {
+
+TEST(RoundRobin, CyclesThroughKinds) {
+  const auto a = round_robin({EngineKind::kAdaptiveSearch, EngineKind::kTabuSearch}, 5);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[0], EngineKind::kAdaptiveSearch);
+  EXPECT_EQ(a[1], EngineKind::kTabuSearch);
+  EXPECT_EQ(a[2], EngineKind::kAdaptiveSearch);
+  EXPECT_EQ(a[4], EngineKind::kAdaptiveSearch);
+}
+
+TEST(EngineKindName, AllNamed) {
+  EXPECT_STREQ(engine_kind_name(EngineKind::kAdaptiveSearch), "adaptive-search");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kTabuSearch), "tabu-search");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kDialecticSearch), "dialectic-search");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kSimulatedAnnealing), "simulated-annealing");
+}
+
+TEST(Portfolio, MixedPortfolioSolvesSmallCostas) {
+  const auto assignment = round_robin(
+      {EngineKind::kAdaptiveSearch, EngineKind::kTabuSearch, EngineKind::kDialecticSearch,
+       EngineKind::kSimulatedAnnealing},
+      4);
+  PortfolioConfig cfg;
+  cfg.as = costas::recommended_config(11);
+  const auto result = run_portfolio<costas::CostasProblem>(11, assignment, cfg, 99);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(costas::is_costas(result.winner_stats.solution));
+  EXPECT_GE(result.winner, 0);
+  EXPECT_LT(result.winner, 4);
+}
+
+TEST(Portfolio, SingleEngineDegeneratesToPlainMultiwalk) {
+  const auto assignment = round_robin({EngineKind::kAdaptiveSearch}, 3);
+  PortfolioConfig cfg;
+  cfg.as = costas::recommended_config(10);
+  const auto result = run_portfolio<costas::CostasProblem>(10, assignment, cfg, 7);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(costas::is_costas(result.winner_stats.solution));
+}
+
+TEST(Portfolio, EveryPureEngineSolvesEventually) {
+  for (EngineKind kind : {EngineKind::kAdaptiveSearch, EngineKind::kTabuSearch,
+                          EngineKind::kDialecticSearch, EngineKind::kSimulatedAnnealing}) {
+    PortfolioConfig cfg;
+    cfg.as = costas::recommended_config(9);
+    const auto result =
+        run_portfolio<costas::CostasProblem>(9, round_robin({kind}, 2), cfg, 13);
+    EXPECT_TRUE(result.solved) << engine_kind_name(kind);
+  }
+}
+
+TEST(Portfolio, LosersAreCancelledPromptly) {
+  // With one AS walker (fast on CAP) and one SA walker (slow), the SA
+  // member should be cut short: its iterations must stay far below an
+  // uncancelled SA run.
+  PortfolioConfig cfg;
+  cfg.as = costas::recommended_config(12);
+  cfg.probe_interval = 8;
+  const auto result = run_portfolio<costas::CostasProblem>(
+      12, {EngineKind::kAdaptiveSearch, EngineKind::kSimulatedAnnealing}, cfg, 31);
+  ASSERT_TRUE(result.solved);
+  if (result.winner == 0) {
+    const auto& sa_stats = result.walker_stats[1];
+    EXPECT_FALSE(sa_stats.solved);
+  }
+}
+
+}  // namespace
+}  // namespace cas::par

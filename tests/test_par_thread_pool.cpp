@@ -1,0 +1,101 @@
+#include "par/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+
+namespace cas::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ResultsArriveInAnyOrderButComplete) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that each wait for the other to start: deadlock-free only if
+  // the pool really runs them in parallel.
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  auto wait_for_peer = [&started] {
+    started.fetch_add(1);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (started.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  };
+  auto f1 = pool.submit(wait_for_peer);
+  auto f2 = pool.submit(wait_for_peer);
+  EXPECT_TRUE(f1.get());
+  EXPECT_TRUE(f2.get());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      // Futures discarded on purpose: destructor must still run the tasks
+      // already accepted (packaged_task keeps state alive).
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+  }
+  // All tasks enqueued before shutdown are processed.
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, DistributesAcrossWorkerThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::scoped_lock lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_GE(ids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cas::par

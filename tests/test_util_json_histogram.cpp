@@ -1,0 +1,181 @@
+// JSON writer and ASCII histogram utilities.
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace cas::util {
+namespace {
+
+// ---------- Json ----------
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(int64_t{1} << 40).dump(), "1099511627776");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(Json("q\"\n").dump(), "\"q\\\"\\n\"");
+}
+
+TEST(Json, ArrayBuilding) {
+  Json a = Json::array({1, 2, 3});
+  EXPECT_TRUE(a.is_array());
+  EXPECT_EQ(a.size(), 3u);
+  a.push_back("x");
+  EXPECT_EQ(a.dump(), "[1,2,3,\"x\"]");
+  // push_back on a fresh null value promotes it to an array.
+  Json b;
+  b.push_back(7);
+  EXPECT_EQ(b.dump(), "[7]");
+}
+
+TEST(Json, ObjectBuilding) {
+  Json o;
+  o["b"] = 2;
+  o["a"] = 1;
+  o["nested"]["deep"] = true;
+  // std::map ordering: keys sorted.
+  EXPECT_EQ(o.dump(), "{\"a\":1,\"b\":2,\"nested\":{\"deep\":true}}");
+  EXPECT_TRUE(o.contains("a"));
+  EXPECT_FALSE(o.contains("z"));
+  EXPECT_EQ(o.at("b").as_number(), 2);
+  EXPECT_THROW(o.at("z"), std::out_of_range);
+}
+
+TEST(Json, TypeErrors) {
+  Json n(5);
+  EXPECT_THROW(n.push_back(1), std::logic_error);
+  EXPECT_THROW(n["k"], std::logic_error);
+  EXPECT_THROW((void)n.size(), std::logic_error);
+  EXPECT_THROW((void)Json("s").at("k"), std::logic_error);
+}
+
+TEST(Json, PrettyPrint) {
+  Json o;
+  o["xs"] = Json::array({1, 2});
+  const std::string pretty = o.dump(2);
+  EXPECT_EQ(pretty,
+            "{\n"
+            "  \"xs\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, NumberRoundTripPrecision) {
+  const double x = 0.1 + 0.2;  // classic 0.30000000000000004
+  double back = 0;
+  sscanf(Json(x).dump().c_str(), "%lf", &back);
+  EXPECT_EQ(back, x);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, RejectsBadInput) {
+  EXPECT_THROW(bin_samples({}, {}), std::invalid_argument);
+  HistogramOptions zero_bins;
+  zero_bins.bins = 0;
+  EXPECT_THROW(bin_samples({1.0}, zero_bins), std::invalid_argument);
+  HistogramOptions logx;
+  logx.log_x = true;
+  EXPECT_THROW(bin_samples({0.0, 1.0}, logx), std::invalid_argument);
+}
+
+TEST(Histogram, CountsPartitionTheSample) {
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(static_cast<double>(i % 37));
+  HistogramOptions opts;
+  opts.bins = 10;
+  const auto bins = bin_samples(xs, opts);
+  ASSERT_EQ(bins.size(), 10u);
+  size_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, xs.size());
+  // Bin edges tile [min, max] without gaps.
+  for (size_t i = 1; i < bins.size(); ++i) EXPECT_DOUBLE_EQ(bins[i - 1].hi, bins[i].lo);
+  EXPECT_DOUBLE_EQ(bins.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins.back().hi, 36.0);
+}
+
+TEST(Histogram, MaxSampleLandsInLastBin) {
+  const auto bins = bin_samples({0, 1, 2, 3, 10}, {});
+  EXPECT_EQ(bins.back().count, 1u);
+}
+
+TEST(Histogram, DegenerateSingleValue) {
+  const auto bins = bin_samples({5, 5, 5}, {});
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].count, 3u);
+  EXPECT_DOUBLE_EQ(bins[0].lo, 5);
+  EXPECT_DOUBLE_EQ(bins[0].hi, 5);
+}
+
+TEST(Histogram, LogBinsGrowGeometrically) {
+  HistogramOptions opts;
+  opts.bins = 3;
+  opts.log_x = true;
+  const auto bins = bin_samples({1.0, 1000.0}, opts);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_NEAR(bins[0].hi, 10.0, 1e-9);
+  EXPECT_NEAR(bins[1].hi, 100.0, 1e-9);
+  EXPECT_NEAR(bins[2].hi, 1000.0, 1e-9);
+}
+
+TEST(Histogram, RenderShapes) {
+  std::vector<double> xs{1, 1, 1, 1, 2, 2, 3};
+  HistogramOptions opts;
+  opts.bins = 2;
+  opts.max_bar = 8;
+  const std::string out = histogram(xs, opts);
+  // Two lines: bin [1,2) holds the four 1s, bin [2,3] holds {2,2,3}.
+  const auto nl = out.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::string line1 = out.substr(0, nl);
+  const std::string line2 = out.substr(nl + 1);
+  EXPECT_GT(std::count(line1.begin(), line1.end(), '#'),
+            std::count(line2.begin(), line2.end(), '#'));
+  EXPECT_NE(line1.find("(4)"), std::string::npos);
+  EXPECT_NE(line2.find("(3)"), std::string::npos);
+  EXPECT_NE(line1.find('['), std::string::npos);
+  // Last bin is closed: "]".
+  EXPECT_NE(line2.find(']'), std::string::npos);
+}
+
+TEST(Histogram, PeakBarUsesFullWidth) {
+  std::vector<double> xs{1, 1, 1, 1, 1, 9};
+  HistogramOptions opts;
+  opts.bins = 2;
+  opts.max_bar = 10;
+  const std::string out = histogram(xs, opts);
+  const auto nl = out.find('\n');
+  const std::string line1 = out.substr(0, nl);
+  EXPECT_EQ(std::count(line1.begin(), line1.end(), '#'), 10);
+}
+
+}  // namespace
+}  // namespace cas::util

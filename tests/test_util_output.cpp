@@ -1,0 +1,180 @@
+// Tests for the table writer, CSV round-trip and ASCII plotting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace cas::util {
+namespace {
+
+// --- Table ---
+
+TEST(Table, TextLayoutAlignsColumns) {
+  Table t("Title");
+  t.header({"Size", "Time"});
+  t.row({"16", "0.08"});
+  t.row({"20", "250.68"});
+  const std::string s = t.to_text();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("Size"), std::string::npos);
+  // Right alignment: "0.08" padded to the width of "250.68".
+  EXPECT_NE(s.find("  0.08"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, MarkdownHasHeaderSeparator) {
+  Table t;
+  t.header({"n", "avg"});
+  t.row({"18", "3.49"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("n |"), std::string::npos);  // right-aligned header cell
+  EXPECT_NE(md.find("--"), std::string::npos);
+  EXPECT_NE(md.find("18 |"), std::string::npos);
+}
+
+TEST(Table, CsvOutputIsParseable) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  t.row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, SeparatorRowsRenderedInTextOnly) {
+  Table t;
+  t.header({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  EXPECT_EQ(t.num_rows(), 3u);  // separator counts as a row entry
+  const std::string md = t.to_markdown();
+  // Markdown rendering skips separators but keeps both data rows.
+  EXPECT_NE(md.find("| 1"), std::string::npos);
+  EXPECT_NE(md.find("| 2"), std::string::npos);
+}
+
+TEST(Table, LeftAlignment) {
+  Table t;
+  t.header({"name", "v"}, {Align::kLeft, Align::kRight});
+  t.row({"x", "10"});
+  t.row({"long-name", "7"});
+  const std::string s = t.to_text();
+  EXPECT_NE(s.find(" x        "), std::string::npos);
+}
+
+// --- CSV ---
+
+TEST(Csv, RoundTrip) {
+  const std::string path = testing::TempDir() + "/cas_csv_test.csv";
+  write_csv(path, {"x", "y"}, {{1.5, 2.0}, {3.0, 4.25}});
+  const CsvDoc doc = read_csv(path);
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.column("x"), 0);
+  EXPECT_EQ(doc.column("y"), 1);
+  EXPECT_EQ(doc.column("missing"), -1);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(std::stod(doc.rows[0][0]), 1.5);
+  EXPECT_DOUBLE_EQ(std::stod(doc.rows[1][1]), 4.25);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, PreservesFullDoublePrecision) {
+  const std::string path = testing::TempDir() + "/cas_csv_prec.csv";
+  const double v = 0.1234567890123456789;
+  write_csv(path, {"v"}, {{v}});
+  const CsvDoc doc = read_csv(path);
+  EXPECT_DOUBLE_EQ(std::stod(doc.rows[0][0]), v);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/path/file.csv"), std::runtime_error);
+  EXPECT_FALSE(file_exists("/nonexistent/path/file.csv"));
+}
+
+// --- ASCII plot ---
+
+TEST(AsciiPlot, ContainsGlyphsAndLegend) {
+  Series s;
+  s.name = "series-a";
+  s.glyph = '*';
+  s.x = {1, 2, 3, 4};
+  s.y = {1, 2, 3, 4};
+  PlotOptions opt;
+  opt.title = "ttl";
+  opt.x_label = "xs";
+  opt.y_label = "ys";
+  const std::string p = ascii_plot({s}, opt);
+  EXPECT_NE(p.find('*'), std::string::npos);
+  EXPECT_NE(p.find("series-a"), std::string::npos);
+  EXPECT_NE(p.find("ttl"), std::string::npos);
+  EXPECT_NE(p.find("xs"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleDropsNonPositive) {
+  Series s;
+  s.x = {0.0, 10.0, 100.0};  // zero must be dropped on log axis
+  s.y = {1.0, 10.0, 100.0};
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  const std::string p = ascii_plot({s}, opt);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.find("nan"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyDataHandled) {
+  Series s;
+  PlotOptions opt;
+  EXPECT_EQ(ascii_plot({s}, opt), "(no data)\n");
+}
+
+TEST(AsciiPlot, SinglePointDoesNotDivideByZero) {
+  Series s;
+  s.x = {5};
+  s.y = {7};
+  PlotOptions opt;
+  const std::string p = ascii_plot({s}, opt);
+  EXPECT_NE(p.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, ConnectedSeriesDrawsSegments) {
+  Series s;
+  s.glyph = 'o';
+  s.connect = true;
+  s.x = {0, 10};
+  s.y = {0, 10};
+  PlotOptions opt;
+  opt.width = 40;
+  opt.height = 12;
+  const std::string p = ascii_plot({s}, opt);
+  // Interpolated cells are '.'.
+  EXPECT_NE(p.find('.'), std::string::npos);
+}
+
+TEST(AsciiPlot, IdealSpeedupLineOnLogLog) {
+  // Shape check used by the Fig. 2/3 benches: doubling cores halves time.
+  Series line;
+  line.connect = true;
+  for (int k = 32; k <= 256; k *= 2) {
+    line.x.push_back(k);
+    line.y.push_back(k / 32.0);
+  }
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  const std::string p = ascii_plot({line}, opt);
+  EXPECT_NE(p.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cas::util

@@ -1,0 +1,80 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cas::util {
+namespace {
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("%5d", 7), "    7");
+}
+
+TEST(Strf, EmptyFormat) { EXPECT_EQ(strf("%s", ""), ""); }
+
+TEST(Strf, LongOutputIsNotTruncated) {
+  const std::string big(5000, 'a');
+  EXPECT_EQ(strf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\nz\r "), "z");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) { EXPECT_EQ(trim(" \t "), ""); }
+
+TEST(Trim, EmptyStaysEmpty) { EXPECT_EQ(trim(""), ""); }
+
+TEST(StartsWith, Matches) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
+
+TEST(PrettyDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(pretty_double(1.50, 2), "1.5");
+  EXPECT_EQ(pretty_double(2.00, 2), "2");
+  EXPECT_EQ(pretty_double(0.25, 2), "0.25");
+}
+
+TEST(SecondsCell, PaperStyleFormatting) {
+  EXPECT_EQ(seconds_cell(0.08), "0.08");
+  EXPECT_EQ(seconds_cell(1097.06), "1097.06");
+  EXPECT_EQ(seconds_cell(-1), "-");  // missing table entries
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(12665), "12,665");
+  EXPECT_EQ(with_commas(20536809), "20,536,809");
+  EXPECT_EQ(with_commas(-1234), "-1,234");
+}
+
+}  // namespace
+}  // namespace cas::util
