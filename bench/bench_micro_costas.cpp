@@ -1,9 +1,14 @@
 // M1 — google-benchmark microbenchmarks for the Costas model kernels: the
-// costs that dominate the engine's iteration budget (move evaluation, swap
-// application, error projection, reset candidate evaluation). These back
-// the O(n^2)-per-iteration cost model used by the platform profiles.
+// costs that dominate the engine's iteration budget (pure delta move
+// evaluation vs the do/undo probe it replaced, swap application, the
+// incrementally maintained error table vs the from-scratch projection,
+// reset candidate evaluation). These back the cost model used by the
+// platform profiles. Emits BENCH_micro_costas.json.
 #include <benchmark/benchmark.h>
 
+#include "json_out.hpp"
+
+#include "core/delta_adapter.hpp"
 #include "core/rng.hpp"
 #include "costas/checker.hpp"
 #include "costas/construction.hpp"
@@ -14,9 +19,27 @@ using namespace cas;
 
 namespace {
 
-void BM_CostIfSwap(benchmark::State& state) {
+void BM_DeltaCost(benchmark::State& state) {
+  // The hot kernel: pure incremental move evaluation, no state writes.
   const int n = static_cast<int>(state.range(0));
   costas::CostasProblem p(n);
+  core::Rng rng(1);
+  p.randomize(rng);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % n;
+    const int b = (i * 7 + 1) % n;
+    if (a != b) benchmark::DoNotOptimize(p.delta_cost(a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaCost)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+void BM_CostIfSwapDoUndo(benchmark::State& state) {
+  // The strategy delta_cost replaced: apply the swap, read, undo.
+  const int n = static_cast<int>(state.range(0));
+  core::DoUndoAdapter<costas::CostasProblem> p(costas::CostasProblem{n});
   core::Rng rng(1);
   p.randomize(rng);
   int i = 0;
@@ -28,7 +51,7 @@ void BM_CostIfSwap(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CostIfSwap)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+BENCHMARK(BM_CostIfSwapDoUndo)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
 
 void BM_ApplySwap(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -48,6 +71,8 @@ void BM_ApplySwap(benchmark::State& state) {
 BENCHMARK(BM_ApplySwap)->Arg(14)->Arg(18)->Arg(22);
 
 void BM_ComputeErrors(benchmark::State& state) {
+  // From-scratch projection — what every engine iteration paid before the
+  // incrementally maintained errors() table.
   const int n = static_cast<int>(state.range(0));
   costas::CostasProblem p(n);
   core::Rng rng(3);
@@ -60,6 +85,25 @@ void BM_ComputeErrors(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ComputeErrors)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_ErrorsMaintainedAcrossSwaps(benchmark::State& state) {
+  // Incremental path: one swap application (which keeps errs_ fresh) plus
+  // the errors() read. Compare against BM_ApplySwap + BM_ComputeErrors.
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(3);
+  p.randomize(rng);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % n;
+    const int b = (i * 5 + 1) % n;
+    if (a != b) p.apply_swap(a, b);
+    benchmark::DoNotOptimize(p.errors().data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ErrorsMaintainedAcrossSwaps)->Arg(14)->Arg(18)->Arg(22);
 
 void BM_StatelessEvaluate(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -117,4 +161,7 @@ BENCHMARK(BM_EnumerateCount)->Arg(7)->Arg(8)->Arg(9);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return cas::bench::run_micro_bench(argc, argv, "bench_micro_costas",
+                                     "BENCH_micro_costas.json");
+}

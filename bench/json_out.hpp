@@ -1,0 +1,99 @@
+// Shared main() for the google-benchmark micro benches: runs the normal
+// console reporting AND writes a machine-readable JSON artifact (one row
+// per benchmark run with its rate counters), so successive PRs have a perf
+// trajectory to diff instead of eyeballing console logs.
+//
+// Output path: --json_out=FILE on the command line, else the default the
+// bench passes in (bench_micro_engine emits BENCH_micro.json, the
+// Costas-kernel bench BENCH_micro_costas.json).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace cas::bench {
+
+/// Console output plus a captured JSON row per finished (non-aggregate,
+/// non-errored) run: name, iterations, wall nanoseconds per iteration, and
+/// every user counter (already rate-converted by the benchmark library —
+/// e.g. iters/s, moves/s).
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || failed_or_skipped(run)) continue;
+      util::Json row = util::Json::object();
+      row["name"] = run.benchmark_name();
+      row["iterations"] = static_cast<int64_t>(run.iterations);
+      row["real_time_per_iter"] = run.GetAdjustedRealTime();
+      row["time_unit"] = benchmark::GetTimeUnitString(run.time_unit);
+      for (const auto& [counter_name, counter] : run.counters) {
+        row[counter_name] = static_cast<double>(counter);
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  /// The collected rows wrapped with the bench name; written by run_micro_bench.
+  [[nodiscard]] util::Json document(const std::string& bench) const {
+    util::Json doc = util::Json::object();
+    doc["bench"] = bench;
+    doc["results"] = util::Json(util::Json::Array(rows_.begin(), rows_.end()));
+    return doc;
+  }
+
+ private:
+  // google-benchmark < 1.8 flags a failed run with Run::error_occurred;
+  // 1.8+ replaced it with Run::skipped. Detect whichever member exists so
+  // the bench builds against both.
+  template <typename R>
+  [[nodiscard]] static bool failed_or_skipped(const R& run) {
+    if constexpr (requires { run.error_occurred; }) {
+      return run.error_occurred;
+    } else {
+      return static_cast<bool>(run.skipped);
+    }
+  }
+
+  std::vector<util::Json> rows_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body. Returns the process
+/// exit code.
+inline int run_micro_bench(int argc, char** argv, const std::string& bench_name,
+                           std::string json_path) {
+  // Peel off our own flag before the benchmark library sees the args.
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int a = 0; a < argc; ++a) {
+    constexpr const char* kFlag = "--json_out=";
+    if (std::strncmp(argv[a], kFlag, std::strlen(kFlag)) == 0) {
+      json_path = argv[a] + std::strlen(kFlag);
+    } else {
+      passthrough.push_back(argv[a]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  std::ofstream out(json_path);
+  out << reporter.document(bench_name).dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+    return 0;  // benchmarks themselves succeeded
+  }
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace cas::bench

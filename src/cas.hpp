@@ -14,6 +14,7 @@
 #include "core/adaptive_search.hpp"
 #include "core/chaotic_seed.hpp"
 #include "core/config.hpp"
+#include "core/delta_adapter.hpp"
 #include "core/dialectic_search.hpp"
 #include "core/genetic.hpp"
 #include "core/hill_climber.hpp"

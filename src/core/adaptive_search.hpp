@@ -6,18 +6,20 @@
 // (Sec. III-B2, Sec. IV-B).
 //
 // One iteration:
-//   1. project constraint errors onto variables (problem.compute_errors),
+//   1. read the per-variable error table the problem maintains across swaps
+//      (problem.errors() — no from-scratch projection in the hot loop),
 //   2. select the worst ("culprit") non-tabu variable, ties broken uniformly,
-//   3. min-conflict: score swapping the culprit with every other variable,
-//   4. apply the best swap if it improves; follow an equal-cost plateau with
-//      probability p; otherwise mark the culprit tabu for `tabu_tenure`
-//      iterations,
+//   3. min-conflict: score swapping the culprit with every other variable
+//      via the pure problem.delta_cost (no do/undo probing),
+//   4. apply the best swap if it improves (delta < 0); follow an equal-cost
+//      plateau (delta == 0) with probability p; otherwise mark the culprit
+//      tabu for `tabu_tenure` iterations,
 //   5. when `reset_limit` variables are tabu simultaneously, diversify:
 //      problem custom reset if available, else re-shuffle `reset_fraction`
 //      of the variables.
 //
 // The engine is a template over LocalSearchProblem: the hot loop has no
-// virtual calls and no allocation (buffers are reused across iterations).
+// virtual calls and no allocation.
 #pragma once
 
 #include <algorithm>
@@ -51,7 +53,6 @@ class AdaptiveSearch {
     util::WallTimer timer;
     RunStats st;
     const int n = problem_.size();
-    errors_.resize(static_cast<size_t>(n));
     tabu_until_.assign(static_cast<size_t>(n), 0);
 
     uint64_t next_probe = cfg_.probe_interval;
@@ -81,38 +82,38 @@ class AdaptiveSearch {
         continue;
       }
 
-      // Min-conflict: best swap of the culprit with any other variable.
-      const Cost current = problem_.cost();
-      Cost best_cost = std::numeric_limits<Cost>::max();
+      // Min-conflict: best swap of the culprit with any other variable,
+      // scored by the pure incremental delta (no do/undo, no state writes).
+      Cost best_delta = std::numeric_limits<Cost>::max();
       int best_j = -1;
       int ties = 0;
       for (int j = 0; j < n; ++j) {
         if (j == culprit) continue;
-        const Cost c = problem_.cost_if_swap(culprit, j);
+        const Cost d = problem_.delta_cost(culprit, j);
         ++st.move_evaluations;
-        if (c < best_cost) {
-          best_cost = c;
+        if (d < best_delta) {
+          best_delta = d;
           best_j = j;
           ties = 1;
-        } else if (c == best_cost) {
+        } else if (d == best_delta) {
           // Uniform choice among equally good moves.
           ++ties;
           if (rng_.below(static_cast<uint64_t>(ties)) == 0) best_j = j;
         }
       }
 
-      if (best_j >= 0 && best_cost < current) {
+      if (best_j >= 0 && best_delta < 0) {
         problem_.apply_swap(culprit, best_j);
         ++st.swaps;
         continue;
       }
-      if (best_j >= 0 && best_cost == current && rng_.chance(cfg_.plateau_probability)) {
+      if (best_j >= 0 && best_delta == 0 && rng_.chance(cfg_.plateau_probability)) {
         problem_.apply_swap(culprit, best_j);
         ++st.swaps;
         ++st.plateau_moves;
         continue;
       }
-      if (best_j >= 0 && best_cost == current) ++st.plateau_refused;
+      if (best_j >= 0 && best_delta == 0) ++st.plateau_refused;
 
       // Local minimum for this variable: freeze it, maybe diversify.
       ++st.local_minima;
@@ -138,13 +139,16 @@ class AdaptiveSearch {
   /// Returns -1 if all variables are tabu.
   int select_culprit(uint64_t iter) {
     const int n = problem_.size();
-    problem_.compute_errors(std::span<Cost>(errors_.data(), errors_.size()));
+    // The problem maintains the projection across swaps; reading it here is
+    // free for incremental models (Costas) and one cached recompute at most
+    // for LazyErrors-backed ones.
+    const std::span<const Cost> errors = problem_.errors();
     Cost best_err = -1;
     int culprit = -1;
     int ties = 0;
     for (int i = 0; i < n; ++i) {
       if (tabu_until_[static_cast<size_t>(i)] > iter) continue;
-      const Cost e = errors_[static_cast<size_t>(i)];
+      const Cost e = errors[static_cast<size_t>(i)];
       if (e > best_err) {
         best_err = e;
         culprit = i;
@@ -211,7 +215,6 @@ class AdaptiveSearch {
   P& problem_;
   AsConfig cfg_;
   Rng rng_;
-  std::vector<Cost> errors_;
   std::vector<uint64_t> tabu_until_;
   std::vector<int> scratch_positions_;
 };

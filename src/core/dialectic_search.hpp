@@ -103,7 +103,7 @@ class DialecticSearch {
       for (int i = 0; i < n - 1; ++i) {
         for (int j = i + 1; j < n; ++j) {
           ++st.move_evaluations;
-          if (problem_.cost_if_swap(i, j) < problem_.cost()) {
+          if (problem_.delta_cost(i, j) < 0) {
             problem_.apply_swap(i, j);
             ++st.swaps;
             improved = true;
@@ -134,16 +134,18 @@ class DialecticSearch {
     while (!should_stop(st, stop)) {
       // Candidate steps: for each disagreeing position i, swap i with the
       // position currently holding the antithesis value of i.
+      // Deltas are all relative to the same (scan-constant) current cost,
+      // so comparing deltas picks the cheapest step.
       Cost step_best = std::numeric_limits<Cost>::max();
       int bi = -1, bj = -1;
       for (int i = 0; i < n; ++i) {
         const int want = antithesis_[static_cast<size_t>(i)];
         if (problem_.value(i) == want) continue;
         const int j = pos_of_value_[static_cast<size_t>(value_key(want))];
-        const Cost c = problem_.cost_if_swap(i, j);
+        const Cost d = problem_.delta_cost(i, j);
         ++st.move_evaluations;
-        if (c < step_best) {
-          step_best = c;
+        if (d < step_best) {
+          step_best = d;
           bi = i;
           bj = j;
         }

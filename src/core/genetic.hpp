@@ -8,8 +8,10 @@
 // Standard machinery: tournament selection, order crossover (OX1) which
 // preserves permutation validity, transposition mutation, elitism. The
 // engine is generic over any problem that can score a complete permutation
-// (PermutationEvaluator concept) — it never needs incremental move
-// evaluation, which is exactly why it cannot exploit the structure AS does.
+// (PermutationEvaluator concept) — it is the one engine that does NOT sit
+// on the incremental delta_cost/errors() API: crossover rebuilds whole
+// permutations, so there is no swap delta to exploit, which is exactly why
+// it cannot match the move throughput of the local-search family.
 #pragma once
 
 #include <algorithm>

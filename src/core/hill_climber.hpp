@@ -35,20 +35,20 @@ class HillClimber {
       }
       ++st.iterations;
 
-      Cost best = std::numeric_limits<Cost>::max();
+      Cost best_delta = std::numeric_limits<Cost>::max();
       int bi = -1, bj = -1;
       for (int i = 0; i < n - 1; ++i) {
         for (int j = i + 1; j < n; ++j) {
-          const Cost c = problem_.cost_if_swap(i, j);
+          const Cost d = problem_.delta_cost(i, j);
           ++st.move_evaluations;
-          if (c < best) {
-            best = c;
+          if (d < best_delta) {
+            best_delta = d;
             bi = i;
             bj = j;
           }
         }
       }
-      if (best < problem_.cost()) {
+      if (best_delta < 0) {
         problem_.apply_swap(bi, bj);
         ++st.swaps;
       } else {

@@ -1,21 +1,48 @@
 // The LocalSearchProblem concept: the contract between the search engines
-// (AdaptiveSearch, DialecticSearch, HillClimber) and problem models
-// (Costas, N-Queens, All-Interval, Magic Square).
+// (AdaptiveSearch, TabuSearch, DialecticSearch, HillClimber, ...) and the
+// problem models (Costas, N-Queens, All-Interval, Magic Square, ...).
 //
 // A problem owns a *configuration* (for all our models: a permutation laid
 // out over `size()` variables), a cached global cost, and enough internal
 // bookkeeping to evaluate candidate swap moves incrementally. Cost 0 means
 // every constraint is satisfied.
 //
+// Incremental evaluation API
+// --------------------------
+// The engines' hot loop is "score O(n) candidate swaps, pick one, apply
+// it". Two members carry that loop:
+//
+//   delta_cost(i, j)  — PURE: the cost change of swapping variables i and
+//                       j, computed without mutating any state. This
+//                       replaces the historical do/undo probe (apply the
+//                       swap, read cost(), undo it), which wrote to shared
+//                       state mid-probe and paid for two applications per
+//                       candidate.
+//   errors()          — the per-variable error projection, maintained
+//                       across apply_swap/randomize by the problem itself
+//                       (either truly incrementally, like the Costas
+//                       model, or via a lazily refreshed cache — see
+//                       LazyErrors below). Engines read it once per
+//                       iteration instead of re-projecting from scratch.
+//
+// cost_if_swap(i, j) is kept as a convenience; models define it as
+// cost() + delta_cost(i, j), so it is an identity, NOT an independent
+// oracle. The real oracles the tests pin the incremental members against
+// are applying the swap (on a copy) and reading cost(), the stateless
+// full evaluation where a model has one, and the from-scratch
+// compute_errors(errs) projection for the errors() table.
+//
 // The engines are templates over this concept: the per-iteration hot path
-// (error projection + move scan) compiles with no virtual dispatch.
+// (error read + move scan) compiles with no virtual dispatch.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <concepts>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "core/rng.hpp"
 
@@ -34,13 +61,21 @@ concept LocalSearchProblem = requires(P p, const P& cp, int i, int j, Rng& rng,
   { cp.value(i) } -> std::convertible_to<int>;
   // Draw a fresh uniform random configuration and rebuild internal state.
   { p.randomize(rng) };
-  // Cost the configuration would have after swapping variables i and j.
-  { p.cost_if_swap(i, j) } -> std::convertible_to<Cost>;
+  // Cost change the configuration would see after swapping variables i and
+  // j. Pure: no mutation, no do/undo; safe to call from concurrent readers.
+  { cp.delta_cost(i, j) } -> std::convertible_to<Cost>;
+  // Absolute form of delta_cost (== cost() + delta_cost(i, j)); kept as the
+  // cross-check oracle of the incremental API.
+  { cp.cost_if_swap(i, j) } -> std::convertible_to<Cost>;
   // Swap variables i and j, updating cost and bookkeeping incrementally.
   { p.apply_swap(i, j) };
-  // Write the per-variable error projection into errs (size() entries).
-  // Higher error == variable more responsible for constraint violations.
-  { p.compute_errors(errs) };
+  // Per-variable error projection, maintained by the problem across
+  // apply_swap/randomize. Higher error == variable more responsible for
+  // constraint violations. The span stays valid until the next mutation.
+  { cp.errors() } -> std::convertible_to<std::span<const Cost>>;
+  // From-scratch error projection into errs (size() entries) — the oracle
+  // that errors() is validated against.
+  { cp.compute_errors(errs) };
 };
 
 /// Problems may provide a hand-tuned reset ("diversification") procedure,
@@ -51,6 +86,64 @@ concept LocalSearchProblem = requires(P p, const P& cp, int i, int j, Rng& rng,
 template <typename P>
 concept HasCustomReset = requires(P p, Rng& rng) {
   { p.custom_reset(rng) } -> std::convertible_to<bool>;
+};
+
+/// Lazily refreshed per-variable error cache — the shared building block
+/// for problems whose error projection is cheapest recomputed in bulk
+/// (O(n) anyway, e.g. N-Queens reading its diagonal counters). It gives
+/// such models the errors() accessor of the incremental API: mutations call
+/// invalidate(), and the next errors() query refreshes the cache once via
+/// the problem's own compute_errors. Models with a genuinely incremental
+/// error table (the Costas model) do not need this.
+class LazyErrors {
+ public:
+  template <typename P>
+  [[nodiscard]] std::span<const Cost> get(const P& problem) const {
+    if (dirty_) {
+      cache_.resize(static_cast<size_t>(problem.size()));
+      problem.compute_errors(std::span<Cost>(cache_.data(), cache_.size()));
+      dirty_ = false;
+    }
+    return {cache_.data(), cache_.size()};
+  }
+  void invalidate() { dirty_ = true; }
+
+ private:
+  mutable std::vector<Cost> cache_;
+  mutable bool dirty_ = true;
+};
+
+/// Tiny fixed-capacity (slot -> pending count adjustment) ledger for pure
+/// delta_cost implementations over occupancy-counter models: it stages the
+/// counter updates a hypothetical swap would make, so coinciding slots
+/// among the affected counters are resolved exactly without touching the
+/// real tables. N bounds the number of distinct slots one swap can touch
+/// (queens: 4 per diagonal family; all-interval: 8). Lives on the stack —
+/// construction is free and lookups are a handful of register compares.
+template <int N>
+class ScratchCounterLedger {
+ public:
+  [[nodiscard]] int32_t pending(size_t slot) const {
+    int32_t c = 0;
+    for (int t = 0; t < n_; ++t)
+      if (slots_[t] == slot) c += adj_[t];
+    return c;
+  }
+  void bump(size_t slot, int32_t d) {
+    for (int t = 0; t < n_; ++t)
+      if (slots_[t] == slot) {
+        adj_[t] += d;
+        return;
+      }
+    slots_[static_cast<size_t>(n_)] = slot;
+    adj_[static_cast<size_t>(n_)] = d;
+    ++n_;
+  }
+
+ private:
+  std::array<size_t, N> slots_{};
+  std::array<int32_t, N> adj_{};
+  int n_ = 0;
 };
 
 /// Cooperative cancellation for parallel multi-walk: walkers poll this every

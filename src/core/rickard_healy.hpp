@@ -46,16 +46,15 @@ class RickardHealySearch {
       const int i = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
       int j = static_cast<int>(rng_.below(static_cast<uint64_t>(n - 1)));
       if (j >= i) ++j;
-      const Cost now = problem_.cost();
-      const Cost then = problem_.cost_if_swap(i, j);
+      const Cost delta = problem_.delta_cost(i, j);
       ++st.move_evaluations;
 
-      const bool accept = then < now || (cfg_.accept_equal && then == now);
+      const bool accept = delta < 0 || (cfg_.accept_equal && delta == 0);
       if (accept) {
         problem_.apply_swap(i, j);
         ++st.swaps;
-        if (then == now) ++st.plateau_moves;
-        if (then < now) stalled = 0;
+        if (delta == 0) ++st.plateau_moves;
+        if (delta < 0) stalled = 0;
       } else {
         ++stalled;
         if (stalled >= cfg_.stall_limit) {

@@ -62,10 +62,8 @@ class SimulatedAnnealing {
       const int i = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
       int j = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
       if (j == i) j = (j + 1) % n;
-      const Cost current = problem_.cost();
-      const Cost cand = problem_.cost_if_swap(i, j);
       ++st.move_evaluations;
-      const double delta = static_cast<double>(cand - current);
+      const double delta = static_cast<double>(problem_.delta_cost(i, j));
       if (delta <= 0 || rng_.uniform01() < std::exp(-delta / temperature)) {
         problem_.apply_swap(i, j);
         ++st.swaps;
@@ -105,7 +103,7 @@ class SimulatedAnnealing {
       const int i = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
       int j = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
       if (j == i) j = (j + 1) % n;
-      const Cost delta = problem_.cost_if_swap(i, j) - problem_.cost();
+      const Cost delta = problem_.delta_cost(i, j);
       if (delta > 0) {
         uphill_sum += static_cast<double>(delta);
         ++uphill;

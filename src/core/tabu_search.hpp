@@ -54,13 +54,15 @@ class TabuSearch {
       }
       ++st.iterations;
 
-      // Best admissible move over the full quadratic neighborhood.
+      // Best admissible move over the full quadratic neighborhood, scored
+      // by pure deltas against the scan-constant current cost.
+      const Cost scan_base = problem_.cost();
       Cost best_cost = std::numeric_limits<Cost>::max();
       int bi = -1, bj = -1;
       int ties = 0;
       for (int i = 0; i < n - 1; ++i) {
         for (int j = i + 1; j < n; ++j) {
-          const Cost c = problem_.cost_if_swap(i, j);
+          const Cost c = scan_base + problem_.delta_cost(i, j);
           ++st.move_evaluations;
           const bool tabu = tabu_until_[pair_index(i, j)] > st.iterations;
           const bool aspirated = cfg_.aspiration && c < best_seen;
@@ -86,7 +88,7 @@ class TabuSearch {
         bi = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
         bj = static_cast<int>(rng_.below(static_cast<uint64_t>(n - 1)));
         if (bj >= bi) ++bj;
-        best_cost = problem_.cost_if_swap(bi, bj);
+        best_cost = scan_base + problem_.delta_cost(bi, bj);
       }
 
       const Cost before = problem_.cost();

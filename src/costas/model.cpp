@@ -15,6 +15,8 @@ CostasProblem::CostasProblem(int n, CostasOptions opts) : n_(n), opts_(opts) {
   perm_.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) perm_[static_cast<size_t>(i)] = i + 1;
   occ_.assign(static_cast<size_t>(std::max(depth_, 1)) * stride_, 0);
+  pair_start_sum_.assign(occ_.size(), 0);
+  errs_.assign(static_cast<size_t>(n), 0);
   errw_.assign(static_cast<size_t>(depth_) + 1, 0);
   for (int d = 1; d <= depth_; ++d) {
     errw_[static_cast<size_t>(d)] =
@@ -27,11 +29,13 @@ CostasProblem::CostasProblem(int n, CostasOptions opts) : n_(n), opts_(opts) {
 
 void CostasProblem::rebuild() {
   std::fill(occ_.begin(), occ_.end(), 0);
+  std::fill(pair_start_sum_.begin(), pair_start_sum_.end(), 0);
+  std::fill(errs_.begin(), errs_.end(), Cost{0});
   cost_ = 0;
+  // add_pair maintains cost_ and errs_ through every intermediate state, so
+  // inserting the pairs one by one rebuilds both tables correctly.
   for (int d = 1; d <= depth_; ++d) {
-    for (int i = 0; i + d < n_; ++i) {
-      add_pair(d, perm_[static_cast<size_t>(i + d)] - perm_[static_cast<size_t>(i)]);
-    }
+    for (int i = 0; i + d < n_; ++i) add_pair(i, i + d);
   }
 }
 
@@ -48,20 +52,77 @@ void CostasProblem::set_permutation(std::span<const int> perm) {
 }
 
 void CostasProblem::apply_swap(int i, int j) {
-  for_each_affected_pair(i, j, [&](int a, int b) {
-    remove_pair(b - a, perm_[static_cast<size_t>(b)] - perm_[static_cast<size_t>(a)]);
-  });
+  for_each_affected_pair(i, j, [&](int a, int b) { remove_pair(a, b); });
   std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
-  for_each_affected_pair(i, j, [&](int a, int b) {
-    add_pair(b - a, perm_[static_cast<size_t>(b)] - perm_[static_cast<size_t>(a)]);
-  });
+  for_each_affected_pair(i, j, [&](int a, int b) { add_pair(a, b); });
 }
 
-Cost CostasProblem::cost_if_swap(int i, int j) {
-  apply_swap(i, j);
-  const Cost c = cost_;
-  apply_swap(i, j);  // swap back restores both permutation and counters
-  return c;
+Cost CostasProblem::delta_cost(int i, int j) const {
+  if (i == j) return 0;
+  if (i > j) std::swap(i, j);
+  // Pure evaluation against the live occ_ counters, mirroring apply_swap's
+  // remove-all-then-add-all order. Affected pairs can share buckets only
+  // within one triangle row (a bucket encodes its row), and a row has at
+  // most 4 affected pairs — so intra-move interactions are resolved with
+  // tiny per-row stack ledgers of raw diff values. The new diffs follow
+  // from the old ones by +/- (vj - vi), so each row costs a handful of
+  // loads and register compares. Zero mutation, safe for concurrent
+  // readers.
+  const int* const perm = perm_.data();
+  const int32_t* const occ = occ_.data();
+  const Cost* const errw = errw_.data();
+  const int n = n_;
+  const int vi = perm[i], vj = perm[j];
+  const int vd = vj - vi;
+  Cost delta = 0;
+  for (int d = 1; d <= depth_; ++d) {
+    // Row pointer offset so it can be indexed directly by a (possibly
+    // negative) difference value.
+    const int32_t* const row =
+        occ + static_cast<size_t>(d - 1) * stride_ + static_cast<size_t>(n - 1);
+    int oldd[4], newd[4];
+    int np = 0;
+    if (i - d >= 0) {
+      oldd[np] = vi - perm[i - d];
+      newd[np] = oldd[np] + vd;
+      ++np;
+    }
+    if (i + d < n) {
+      if (i + d == j) {  // the (i, j) pair itself: both endpoints swap
+        oldd[np] = vd;
+        newd[np] = -vd;
+      } else {
+        oldd[np] = perm[i + d] - vi;
+        newd[np] = oldd[np] - vd;
+      }
+      ++np;
+    }
+    if (j - d >= 0 && j - d != i) {
+      oldd[np] = vj - perm[j - d];
+      newd[np] = oldd[np] - vd;
+      ++np;
+    }
+    if (j + d < n) {
+      oldd[np] = perm[j + d] - vj;
+      newd[np] = oldd[np] + vd;
+      ++np;
+    }
+    const Cost w = errw[d];
+    // Removals first (a pair leaving a bucket with >= 2 pairs takes one
+    // collision with it), then additions against the adjusted counts.
+    for (int t = 0; t < np; ++t) {
+      int32_t c = row[oldd[t]];
+      for (int u = 0; u < t; ++u) c -= static_cast<int32_t>(oldd[u] == oldd[t]);
+      if (c >= 2) delta -= w;
+    }
+    for (int t = 0; t < np; ++t) {
+      int32_t c = row[newd[t]];
+      for (int u = 0; u < np; ++u) c -= static_cast<int32_t>(oldd[u] == newd[t]);
+      for (int u = 0; u < t; ++u) c += static_cast<int32_t>(newd[u] == newd[t]);
+      if (c >= 1) delta += w;
+    }
+  }
+  return delta;
 }
 
 void CostasProblem::compute_errors(std::span<Cost> errs) const {
@@ -85,26 +146,36 @@ Cost CostasProblem::evaluate(std::span<const int> perm) const {
 Cost CostasProblem::evaluate_bounded(std::span<const int> perm, Cost bound) const {
   // Stateless O(n * depth) evaluation with early abort once the partial cost
   // reaches `bound` (cost is a sum of non-negative row contributions, so it
-  // can only grow). Uses a per-row seen[] scratch indexed like occ_ rows.
+  // can only grow). Uses a per-row seen[] scratch indexed like occ_ rows;
+  // the scratch is kept all-zero BETWEEN calls (every exit path, including
+  // the early abort, clears exactly the slots it touched), so the hot reset
+  // loop never pays a full O(stride) wipe per candidate.
   Cost total = 0;
   thread_local std::vector<int32_t> seen;
-  seen.assign(stride_, 0);
+  if (seen.size() < stride_) seen.assign(stride_, 0);
   for (int d = 1; d <= depth_; ++d) {
     const Cost w = errw_[static_cast<size_t>(d)];
+    int processed = 0;
+    bool aborted = false;
     for (int i = 0; i + d < n_; ++i) {
       const int diff = perm[static_cast<size_t>(i + d)] - perm[static_cast<size_t>(i)];
       int32_t& c = seen[static_cast<size_t>(diff + n_ - 1)];
-      if (c >= 1) {
-        total += w;
-        if (total >= bound) return total;
-      }
       ++c;
+      processed = i + 1;
+      if (c >= 2) {
+        total += w;
+        if (total >= bound) {
+          aborted = true;
+          break;
+        }
+      }
     }
-    // Clear only the slots we touched for this row.
-    for (int i = 0; i + d < n_; ++i) {
+    // Clear only the slots this row actually touched.
+    for (int i = 0; i < processed; ++i) {
       seen[static_cast<size_t>(perm[static_cast<size_t>(i + d)] - perm[static_cast<size_t>(i)] +
                                n_ - 1)] = 0;
     }
+    if (aborted) return total;
   }
   return total;
 }
@@ -141,15 +212,16 @@ bool CostasProblem::custom_reset(core::Rng& rng) {
     return escaped;
   };
 
-  // Most erroneous variable Vm (ties broken uniformly).
-  err_scratch_.resize(static_cast<size_t>(n_));
-  compute_errors(std::span<Cost>(err_scratch_.data(), err_scratch_.size()));
+  // Most erroneous variable Vm (ties broken uniformly), read straight from
+  // the incrementally maintained error table (no state is mutated before
+  // accept_best, so the span stays valid throughout).
+  const std::span<const Cost> errs = errors();
   int m = 0;
   {
     Cost best_err = -1;
     int ties = 0;
     for (int i = 0; i < n_; ++i) {
-      const Cost e = err_scratch_[static_cast<size_t>(i)];
+      const Cost e = errs[static_cast<size_t>(i)];
       if (e > best_err) {
         best_err = e;
         m = i;
@@ -197,7 +269,7 @@ bool CostasProblem::custom_reset(core::Rng& rng) {
   {
     scratch_.clear();
     for (int i = 0; i < n_; ++i) {
-      if (i != m && err_scratch_[static_cast<size_t>(i)] > 0) scratch_.push_back(i);
+      if (i != m && errs[static_cast<size_t>(i)] > 0) scratch_.push_back(i);
     }
     // Pick up to 3 distinct erroneous positions uniformly.
     std::vector<int> chosen;

@@ -12,8 +12,18 @@
 //
 // Incremental evaluation: per difference-triangle row d we keep occurrence
 // counts occ[d][diff]. A swap of two positions touches at most 4*D triangle
-// cells (D = number of checked rows), so cost_if_swap/apply_swap are O(D)
-// per affected pair — O(n) per candidate move overall.
+// cells (D = number of checked rows), so delta_cost/apply_swap are O(D):
+//
+//   * delta_cost(i, j) is PURE — it walks the affected triangle cells of
+//     both the old and the new permutation against the live occ[] counters
+//     plus a small scratch ledger for intra-move interactions, without
+//     touching any state (no do/undo),
+//   * apply_swap additionally maintains the per-variable error table errs_
+//     in place: each occ[] bucket also tracks the sum of the start indices
+//     of the pairs it holds, so when a bucket crosses the collision
+//     threshold (count 1 <-> 2) the formerly/newly lone pair is recovered
+//     in O(1) and its endpoints' errors adjusted. errors() is therefore
+//     always fresh at zero per-iteration cost for the engines.
 #pragma once
 
 #include <cstdint>
@@ -47,8 +57,10 @@ class CostasProblem {
   [[nodiscard]] Cost cost() const { return cost_; }
   [[nodiscard]] int value(int i) const { return perm_[static_cast<size_t>(i)]; }
   void randomize(core::Rng& rng);
-  [[nodiscard]] Cost cost_if_swap(int i, int j);
+  [[nodiscard]] Cost delta_cost(int i, int j) const;
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
   void apply_swap(int i, int j);
+  [[nodiscard]] std::span<const Cost> errors() const { return {errs_.data(), errs_.size()}; }
   void compute_errors(std::span<Cost> errs) const;
 
   /// The paper's dedicated reset (Sec. IV-B). Tries, in order:
@@ -83,15 +95,48 @@ class CostasProblem {
     // diff in [-(n-1), n-1] -> [0, 2n-2]
     return static_cast<size_t>(d - 1) * stride_ + static_cast<size_t>(diff + n_ - 1);
   }
-  void add_pair(int d, int diff) {
-    int32_t& c = occ_[bucket(d, diff)];
-    if (c >= 1) cost_ += errw_[static_cast<size_t>(d)];
+
+  // add_pair/remove_pair maintain cost_ AND the per-variable error table
+  // errs_ (a pair contributes errw_[d] to both endpoints iff its bucket
+  // holds >= 2 pairs). pair_start_sum_[bucket] tracks the sum of the start
+  // indices of the pairs in the bucket, so when a removal leaves exactly
+  // one pair (or an addition joins exactly one), that lone pair's start is
+  // recovered in O(1) and its endpoints' errors adjusted.
+  void add_pair(int a, int b) {  // pair (a, b) under the current perm_
+    const int d = b - a;
+    const size_t bk = bucket(d, perm_[static_cast<size_t>(b)] - perm_[static_cast<size_t>(a)]);
+    int32_t& c = occ_[bk];
+    if (c >= 1) {
+      const Cost w = errw_[static_cast<size_t>(d)];
+      cost_ += w;
+      errs_[static_cast<size_t>(a)] += w;
+      errs_[static_cast<size_t>(b)] += w;
+      if (c == 1) {  // the formerly lone pair starts colliding too
+        const int s = pair_start_sum_[bk];
+        errs_[static_cast<size_t>(s)] += w;
+        errs_[static_cast<size_t>(s + d)] += w;
+      }
+    }
     ++c;
+    pair_start_sum_[bk] += a;
   }
-  void remove_pair(int d, int diff) {
-    int32_t& c = occ_[bucket(d, diff)];
+  void remove_pair(int a, int b) {
+    const int d = b - a;
+    const size_t bk = bucket(d, perm_[static_cast<size_t>(b)] - perm_[static_cast<size_t>(a)]);
+    int32_t& c = occ_[bk];
     --c;
-    if (c >= 1) cost_ -= errw_[static_cast<size_t>(d)];
+    pair_start_sum_[bk] -= a;
+    if (c >= 1) {
+      const Cost w = errw_[static_cast<size_t>(d)];
+      cost_ -= w;
+      errs_[static_cast<size_t>(a)] -= w;
+      errs_[static_cast<size_t>(b)] -= w;
+      if (c == 1) {  // the now-lone survivor stops colliding
+        const int s = pair_start_sum_[bk];
+        errs_[static_cast<size_t>(s)] -= w;
+        errs_[static_cast<size_t>(s + d)] -= w;
+      }
+    }
   }
 
   /// Invoke fn(a, b) for every checked triangle pair (a, b), b - a <= depth,
@@ -113,13 +158,14 @@ class CostasProblem {
   size_t stride_;  // 2n-1 diff slots per row
   std::vector<int> perm_;
   std::vector<int32_t> occ_;
+  std::vector<int32_t> pair_start_sum_;  // per bucket: sum of pair start indices
   std::vector<Cost> errw_;  // errw_[d], d = 1..depth (index 0 unused)
+  std::vector<Cost> errs_;  // per-variable errors, maintained by add/remove_pair
   Cost cost_ = 0;
 
   // custom_reset scratch (reused to keep resets allocation-free after warmup)
   std::vector<int> scratch_;
   std::vector<int> best_perm_;
-  std::vector<Cost> err_scratch_;
 };
 
 /// Engine configuration tuned for CAP (paper Sec. IV-B: RL=1, RP=5%,

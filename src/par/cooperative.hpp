@@ -96,7 +96,8 @@ class CooperativeProblem {
     inner_.randomize(rng);
     local_best_ = std::numeric_limits<core::Cost>::max();
   }
-  [[nodiscard]] core::Cost cost_if_swap(int i, int j) { return inner_.cost_if_swap(i, j); }
+  [[nodiscard]] core::Cost delta_cost(int i, int j) const { return inner_.delta_cost(i, j); }
+  [[nodiscard]] core::Cost cost_if_swap(int i, int j) const { return inner_.cost_if_swap(i, j); }
   void apply_swap(int i, int j) {
     inner_.apply_swap(i, j);
     // Publish strict improvements over this walker's own best. The offer
@@ -107,6 +108,7 @@ class CooperativeProblem {
       ++publishes_;
     }
   }
+  [[nodiscard]] std::span<const core::Cost> errors() const { return inner_.errors(); }
   void compute_errors(std::span<core::Cost> errs) const { inner_.compute_errors(errs); }
 
   /// Reset hook: adopt the shared crossroad (perturbed, so walkers do not

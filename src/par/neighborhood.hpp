@@ -63,7 +63,6 @@ class ParallelNeighborhoodSearch {
     util::WallTimer timer;
     core::RunStats st;
     const int n = problem_.size();
-    errors_.resize(static_cast<size_t>(n));
     tabu_until_.assign(static_cast<size_t>(n), 0);
     results_.assign(static_cast<size_t>(threads_), {});
 
@@ -95,15 +94,19 @@ class ParallelNeighborhoodSearch {
           res = {};
           if (culprit_ >= 0) {
             // Disjoint slice of the neighborhood: j = w, w+T, w+2T, ...
+            // Replicas stay in lockstep with the driver, so deltas from a
+            // replica are deltas for the driver's configuration too. The
+            // pure delta_cost also means a replica scan writes nothing —
+            // no do/undo churn inside the barrier window.
             for (int j = w; j < n; j += threads_) {
               if (j == culprit_) continue;
-              const Cost c = replica.cost_if_swap(culprit_, j);
+              const Cost d = replica.delta_cost(culprit_, j);
               ++res.evaluations;
-              if (c < res.best_cost) {
-                res.best_cost = c;
+              if (d < res.best_delta) {
+                res.best_delta = d;
                 res.ties.clear();
                 res.ties.push_back(j);
-              } else if (c == res.best_cost) {
+              } else if (d == res.best_delta) {
                 res.ties.push_back(j);
               }
             }
@@ -148,16 +151,16 @@ class ParallelNeighborhoodSearch {
       phase.arrive_and_wait();  // results ready
 
       // Merge the per-worker results with uniform tie-breaking.
-      Cost best_cost = std::numeric_limits<Cost>::max();
+      Cost best_delta = std::numeric_limits<Cost>::max();
       merged_ties_.clear();
       for (const auto& res : results_) {
         st.move_evaluations += res.evaluations;
         if (res.ties.empty()) continue;
-        if (res.best_cost < best_cost) {
-          best_cost = res.best_cost;
+        if (res.best_delta < best_delta) {
+          best_delta = res.best_delta;
           merged_ties_.clear();
         }
-        if (res.best_cost == best_cost)
+        if (res.best_delta == best_delta)
           merged_ties_.insert(merged_ties_.end(), res.ties.begin(), res.ties.end());
       }
       const int best_j =
@@ -165,21 +168,20 @@ class ParallelNeighborhoodSearch {
               ? -1
               : merged_ties_[rng_.below(static_cast<uint64_t>(merged_ties_.size()))];
 
-      const Cost current = problem_.cost();
-      if (best_j >= 0 && best_cost < current) {
+      if (best_j >= 0 && best_delta < 0) {
         problem_.apply_swap(culprit, best_j);
         ++st.swaps;
         last_swap = {culprit, best_j};
         continue;
       }
-      if (best_j >= 0 && best_cost == current && rng_.chance(cfg_.plateau_probability)) {
+      if (best_j >= 0 && best_delta == 0 && rng_.chance(cfg_.plateau_probability)) {
         problem_.apply_swap(culprit, best_j);
         ++st.swaps;
         ++st.plateau_moves;
         last_swap = {culprit, best_j};
         continue;
       }
-      if (best_j >= 0 && best_cost == current) ++st.plateau_refused;
+      if (best_j >= 0 && best_delta == 0) ++st.plateau_refused;
 
       ++st.local_minima;
       tabu_until_[static_cast<size_t>(culprit)] =
@@ -212,20 +214,20 @@ class ParallelNeighborhoodSearch {
   enum class Command { kScan, kResync, kStop };
 
   struct WorkerResult {
-    Cost best_cost = std::numeric_limits<Cost>::max();
+    Cost best_delta = std::numeric_limits<Cost>::max();
     std::vector<int> ties;
     uint64_t evaluations = 0;
   };
 
   int select_culprit(uint64_t iter) {
     const int n = problem_.size();
-    problem_.compute_errors(std::span<Cost>(errors_.data(), errors_.size()));
+    const std::span<const Cost> errors = problem_.errors();
     Cost best_err = -1;
     int culprit = -1;
     int ties = 0;
     for (int i = 0; i < n; ++i) {
       if (tabu_until_[static_cast<size_t>(i)] > iter) continue;
-      const Cost e = errors_[static_cast<size_t>(i)];
+      const Cost e = errors[static_cast<size_t>(i)];
       if (e > best_err) {
         best_err = e;
         culprit = i;
@@ -279,7 +281,6 @@ class ParallelNeighborhoodSearch {
   core::Rng rng_;
   int threads_;
 
-  std::vector<Cost> errors_;
   std::vector<uint64_t> tabu_until_;
   std::vector<int> merged_ties_;
 

@@ -41,14 +41,37 @@ class AllIntervalProblem {
     for_each_affected_interval(i, j, [&](int k) { remove_interval(k); });
     std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
     for_each_affected_interval(i, j, [&](int k) { add_interval(k); });
+    lazy_errors_.invalidate();
   }
 
-  [[nodiscard]] Cost cost_if_swap(int i, int j) {
-    apply_swap(i, j);
-    const Cost c = cost_;
-    apply_swap(i, j);
-    return c;
+  /// Pure swap delta: at most 4 adjacent intervals change value; stage the
+  /// occupancy adjustments on a tiny ledger (affected intervals can land in
+  /// the same occupancy slot) and read collisions off it. No mutation.
+  [[nodiscard]] Cost delta_cost(int i, int j) const {
+    if (i == j) return 0;
+    core::ScratchCounterLedger<8> led;
+    Cost delta = 0;
+    for_each_affected_interval(i, j, [&](int k) {
+      const size_t v = static_cast<size_t>(interval(k));
+      if (occ_[v] + led.pending(v) >= 2) --delta;
+      led.bump(v, -1);
+    });
+    const auto val = [&](int x) {
+      return x == i   ? perm_[static_cast<size_t>(j)]
+             : x == j ? perm_[static_cast<size_t>(i)]
+                      : perm_[static_cast<size_t>(x)];
+    };
+    for_each_affected_interval(i, j, [&](int k) {
+      const size_t v = static_cast<size_t>(std::abs(val(k + 1) - val(k)));
+      if (occ_[v] + led.pending(v) >= 1) ++delta;
+      led.bump(v, +1);
+    });
+    return delta;
   }
+
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
+
+  [[nodiscard]] std::span<const Cost> errors() const { return lazy_errors_.get(*this); }
 
   void compute_errors(std::span<Cost> errs) const {
     std::fill(errs.begin(), errs.end(), Cost{0});
@@ -99,12 +122,14 @@ class AllIntervalProblem {
     std::fill(occ_.begin(), occ_.end(), 0);
     cost_ = 0;
     for (int k = 0; k + 1 < n_; ++k) add_interval(k);
+    lazy_errors_.invalidate();
   }
 
   int n_;
   std::vector<int> perm_;
   std::vector<int32_t> occ_;
   Cost cost_ = 0;
+  core::LazyErrors lazy_errors_;
 };
 
 }  // namespace cas::problems

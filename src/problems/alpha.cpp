@@ -44,15 +44,17 @@ void AlphaProblem::randomize(core::Rng& rng) {
   rebuild();
 }
 
-Cost AlphaProblem::cost_if_swap(int i, int j) const {
+Cost AlphaProblem::delta_cost(int i, int j) const {
+  if (i == j) return 0;
   const int64_t di = val_[static_cast<size_t>(j)] - val_[static_cast<size_t>(i)];
-  Cost c = 0;
+  Cost delta = 0;
   for (size_t e = 0; e < eqs_.size(); ++e) {
     const int coef_diff = coef_[e][static_cast<size_t>(i)] - coef_[e][static_cast<size_t>(j)];
-    const int64_t s = sums_[e] + coef_diff * di;
-    c += std::abs(s - targets_[e]);
+    if (coef_diff == 0) continue;  // equation untouched by this swap
+    const int64_t dev = sums_[e] - targets_[e];
+    delta += std::abs(dev + coef_diff * di) - std::abs(dev);
   }
-  return c;
+  return delta;
 }
 
 void AlphaProblem::apply_swap(int i, int j) {
@@ -64,6 +66,7 @@ void AlphaProblem::apply_swap(int i, int j) {
     cost_ += std::abs(sums_[e] - targets_[e]);
   }
   std::swap(val_[static_cast<size_t>(i)], val_[static_cast<size_t>(j)]);
+  lazy_errors_.invalidate();
 }
 
 void AlphaProblem::compute_errors(std::span<Cost> errs) const {
@@ -113,6 +116,7 @@ core::AsConfig AlphaProblem::recommended_config(uint64_t seed) {
 }
 
 void AlphaProblem::rebuild() {
+  lazy_errors_.invalidate();
   cost_ = 0;
   for (size_t e = 0; e < eqs_.size(); ++e) {
     int64_t s = 0;

@@ -45,8 +45,12 @@ class AlphaProblem {
   [[nodiscard]] int value(int i) const { return val_[static_cast<size_t>(i)]; }
 
   void randomize(core::Rng& rng);
-  [[nodiscard]] Cost cost_if_swap(int i, int j) const;
+  /// Pure swap delta: only equations where the two letters' multiplicities
+  /// differ move; O(#equations) with an early skip for untouched ones.
+  [[nodiscard]] Cost delta_cost(int i, int j) const;
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
   void apply_swap(int i, int j);
+  [[nodiscard]] std::span<const Cost> errors() const { return lazy_errors_.get(*this); }
   void compute_errors(std::span<Cost> errs) const;
 
   /// Value currently assigned to a letter ('A'..'Z' or 'a'..'z').
@@ -75,6 +79,7 @@ class AlphaProblem {
   std::vector<int> val_;       // letter index -> assigned number
   std::vector<int64_t> sums_;  // cached equation sums
   Cost cost_ = 0;
+  core::LazyErrors lazy_errors_;
 };
 
 }  // namespace cas::problems

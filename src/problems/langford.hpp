@@ -47,12 +47,25 @@ class LangfordProblem {
     rebuild();
   }
 
-  [[nodiscard]] Cost cost_if_swap(int i, int j) {
-    apply_swap(i, j);
-    const Cost c = cost_;
-    apply_swap(i, j);
-    return c;
+  /// Pure swap delta: only the values owning the two swapped items change
+  /// their separation error; re-derive it under the hypothetical positions.
+  [[nodiscard]] Cost delta_cost(int i, int j) const {
+    if (i == j) return 0;
+    const int a = perm_[static_cast<size_t>(i)];
+    const int b = perm_[static_cast<size_t>(j)];
+    const auto pos_after = [&](int item) {
+      return item == a ? j : item == b ? i : pos_[static_cast<size_t>(item)];
+    };
+    const auto error_after = [&](int k) {
+      const int d = std::abs(pos_after(2 * k) - pos_after(2 * k + 1));
+      return static_cast<Cost>(std::abs(d - (k + 2)));
+    };
+    Cost delta = error_after(a / 2) - value_error(a / 2);
+    if (b / 2 != a / 2) delta += error_after(b / 2) - value_error(b / 2);
+    return delta;
   }
+
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
 
   void apply_swap(int i, int j) {
     const int a = perm_[static_cast<size_t>(i)];
@@ -62,7 +75,10 @@ class LangfordProblem {
     pos_[static_cast<size_t>(a)] = j;
     pos_[static_cast<size_t>(b)] = i;
     cost_ += value_error(a / 2) + (b / 2 != a / 2 ? value_error(b / 2) : 0);
+    lazy_errors_.invalidate();
   }
+
+  [[nodiscard]] std::span<const Cost> errors() const { return lazy_errors_.get(*this); }
 
   void compute_errors(std::span<Cost> errs) const {
     std::fill(errs.begin(), errs.end(), Cost{0});
@@ -122,12 +138,14 @@ class LangfordProblem {
     for (int i = 0; i < 2 * n_; ++i) pos_[static_cast<size_t>(perm_[static_cast<size_t>(i)])] = i;
     cost_ = 0;
     for (int k = 0; k < n_; ++k) cost_ += value_error(k);
+    lazy_errors_.invalidate();
   }
 
   int n_;
   std::vector<int> perm_;  // slot -> item (items 2k, 2k+1 are copies of k+1)
   std::vector<int> pos_;   // item -> slot
   Cost cost_ = 0;
+  core::LazyErrors lazy_errors_;
 };
 
 }  // namespace cas::problems

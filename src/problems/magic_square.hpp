@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <span>
 #include <stdexcept>
@@ -49,14 +50,49 @@ class MagicSquareProblem {
     adjust_cell(i, delta);
     adjust_cell(j, -delta);
     std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
+    lazy_errors_.invalidate();
   }
 
-  [[nodiscard]] Cost cost_if_swap(int i, int j) {
-    apply_swap(i, j);
-    const Cost c = cost_;
-    apply_swap(i, j);
-    return c;
+  /// Pure swap delta: collect the net sum change of every line through the
+  /// two cells (merging shared lines, whose net change is then zero) and
+  /// compare |sum' - magic| against |sum - magic| per line. No mutation.
+  [[nodiscard]] Cost delta_cost(int i, int j) const {
+    if (i == j) return 0;
+    struct Ledger {
+      std::array<const Cost*, 6> line{};
+      std::array<Cost, 6> d{};
+      int n = 0;
+      void bump(const Cost* s, Cost dd) {
+        for (int t = 0; t < n; ++t)
+          if (line[t] == s) {
+            d[t] += dd;
+            return;
+          }
+        line[static_cast<size_t>(n)] = s;
+        d[static_cast<size_t>(n)] = dd;
+        ++n;
+      }
+    };
+    Ledger led;
+    const auto collect = [&](int cell_idx, Cost dd) {
+      const int r = cell_idx / order_, c = cell_idx % order_;
+      led.bump(&row_sum_[static_cast<size_t>(r)], dd);
+      led.bump(&col_sum_[static_cast<size_t>(c)], dd);
+      if (r == c) led.bump(&diag_sum_, dd);
+      if (r + c == order_ - 1) led.bump(&anti_sum_, dd);
+    };
+    const Cost dv = perm_[static_cast<size_t>(j)] - perm_[static_cast<size_t>(i)];
+    collect(i, dv);
+    collect(j, -dv);
+    Cost delta = 0;
+    for (int t = 0; t < led.n; ++t)
+      delta += std::abs(*led.line[t] + led.d[t] - magic_) - std::abs(*led.line[t] - magic_);
+    return delta;
   }
+
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
+
+  [[nodiscard]] std::span<const Cost> errors() const { return lazy_errors_.get(*this); }
 
   void compute_errors(std::span<Cost> errs) const {
     for (int i = 0; i < n_; ++i) {
@@ -127,6 +163,7 @@ class MagicSquareProblem {
     for (Cost s : row_sum_) cost_ += std::abs(s - magic_);
     for (Cost s : col_sum_) cost_ += std::abs(s - magic_);
     cost_ += std::abs(diag_sum_ - magic_) + std::abs(anti_sum_ - magic_);
+    lazy_errors_.invalidate();
   }
 
   int order_;
@@ -136,6 +173,7 @@ class MagicSquareProblem {
   std::vector<Cost> row_sum_, col_sum_;
   Cost diag_sum_ = 0, anti_sum_ = 0;
   Cost cost_ = 0;
+  core::LazyErrors lazy_errors_;
 };
 
 }  // namespace cas::problems

@@ -47,10 +47,14 @@ class PartitionProblem {
     rebuild();
   }
 
-  [[nodiscard]] Cost cost_if_swap(int i, int j) {
+  /// Pure swap delta: a cross-half swap shifts group A's sum and sum of
+  /// squares by a closed-form amount; same-half swaps are free. O(1).
+  [[nodiscard]] Cost delta_cost(int i, int j) const {
     const auto [ds, dq] = swap_delta(i, j);
-    return cost_of(sum_a_ + ds, sq_a_ + dq);
+    return cost_of(sum_a_ + ds, sq_a_ + dq) - cost_;
   }
+
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
 
   void apply_swap(int i, int j) {
     const auto [ds, dq] = swap_delta(i, j);
@@ -58,7 +62,10 @@ class PartitionProblem {
     sum_a_ += ds;
     sq_a_ += dq;
     cost_ = cost_of(sum_a_, sq_a_);
+    lazy_errors_.invalidate();
   }
+
+  [[nodiscard]] std::span<const Cost> errors() const { return lazy_errors_.get(*this); }
 
   void compute_errors(std::span<Cost> errs) const {
     // Every variable participates in the same two global constraints; the
@@ -124,6 +131,7 @@ class PartitionProblem {
       sq_a_ += v * v;
     }
     cost_ = cost_of(sum_a_, sq_a_);
+    lazy_errors_.invalidate();
   }
 
   int n_;
@@ -131,6 +139,7 @@ class PartitionProblem {
   std::vector<int> perm_;
   int64_t sum_a_ = 0, sq_a_ = 0;
   Cost cost_ = 0;
+  core::LazyErrors lazy_errors_;
 };
 
 }  // namespace cas::problems

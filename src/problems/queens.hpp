@@ -45,14 +45,40 @@ class QueensProblem {
     std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
     add_queen(i);
     add_queen(j);
+    lazy_errors_.invalidate();
   }
 
-  [[nodiscard]] Cost cost_if_swap(int i, int j) {
-    apply_swap(i, j);
-    const Cost c = cost_;
-    apply_swap(i, j);
-    return c;
+  /// Pure swap delta: simulates the eight diagonal-counter updates of
+  /// apply_swap on a tiny ledger, so coinciding diagonals among the four
+  /// (column, row) endpoints are handled exactly. O(1), no mutation.
+  [[nodiscard]] Cost delta_cost(int i, int j) const {
+    if (i == j) return 0;
+    using Ledger = core::ScratchCounterLedger<4>;
+    Ledger up, down;
+    Cost delta = 0;
+    const auto remove_from = [&](Ledger& led, const std::vector<int32_t>& arr, size_t k) {
+      if (arr[k] + led.pending(k) >= 2) --delta;
+      led.bump(k, -1);
+    };
+    const auto add_to = [&](Ledger& led, const std::vector<int32_t>& arr, size_t k) {
+      if (arr[k] + led.pending(k) >= 1) ++delta;
+      led.bump(k, +1);
+    };
+    remove_from(up, up_, up_index(i));
+    remove_from(down, down_, down_index(i));
+    remove_from(up, up_, up_index(j));
+    remove_from(down, down_, down_index(j));
+    const int vi = perm_[static_cast<size_t>(i)], vj = perm_[static_cast<size_t>(j)];
+    add_to(up, up_, static_cast<size_t>(i + vj));
+    add_to(down, down_, static_cast<size_t>(i - vj + n_));
+    add_to(up, up_, static_cast<size_t>(j + vi));
+    add_to(down, down_, static_cast<size_t>(j - vi + n_));
+    return delta;
   }
+
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
+
+  [[nodiscard]] std::span<const Cost> errors() const { return lazy_errors_.get(*this); }
 
   void compute_errors(std::span<Cost> errs) const {
     for (int i = 0; i < n_; ++i) {
@@ -92,12 +118,14 @@ class QueensProblem {
     std::fill(down_.begin(), down_.end(), 0);
     cost_ = 0;
     for (int i = 0; i < n_; ++i) add_queen(i);
+    lazy_errors_.invalidate();
   }
 
   int n_;
   std::vector<int> perm_;
   std::vector<int32_t> up_, down_;
   Cost cost_ = 0;
+  core::LazyErrors lazy_errors_;
 };
 
 }  // namespace cas::problems

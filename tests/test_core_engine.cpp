@@ -34,12 +34,14 @@ class SortProblem {
     std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
     recompute();
   }
-  [[nodiscard]] Cost cost_if_swap(int i, int j) {
-    apply_swap(i, j);
-    const Cost c = cost_;
-    apply_swap(i, j);
-    return c;
+  [[nodiscard]] Cost delta_cost(int i, int j) const {
+    if (i == j) return 0;
+    const auto mism = [](int pos, int v) { return v != pos + 1 ? 1 : 0; };
+    const int vi = perm_[static_cast<size_t>(i)], vj = perm_[static_cast<size_t>(j)];
+    return mism(i, vj) + mism(j, vi) - mism(i, vi) - mism(j, vj);
   }
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
+  [[nodiscard]] std::span<const Cost> errors() const { return lazy_errors_.get(*this); }
   void compute_errors(std::span<Cost> errs) const {
     for (int i = 0; i < size(); ++i)
       errs[static_cast<size_t>(i)] = perm_[static_cast<size_t>(i)] != i + 1 ? 1 : 0;
@@ -49,9 +51,11 @@ class SortProblem {
   void recompute() {
     cost_ = 0;
     for (int i = 0; i < size(); ++i) cost_ += perm_[static_cast<size_t>(i)] != i + 1;
+    lazy_errors_.invalidate();
   }
   std::vector<int> perm_;
   Cost cost_ = 0;
+  LazyErrors lazy_errors_;
 };
 static_assert(LocalSearchProblem<SortProblem>);
 
@@ -66,7 +70,9 @@ class CustomResetProbe {
   [[nodiscard]] int value(int i) const { return inner_.value(i); }
   void randomize(Rng& rng) { inner_.randomize(rng); }
   void apply_swap(int i, int j) { inner_.apply_swap(i, j); }
-  [[nodiscard]] Cost cost_if_swap(int i, int j) { return inner_.cost_if_swap(i, j); }
+  [[nodiscard]] Cost delta_cost(int i, int j) const { return inner_.delta_cost(i, j); }
+  [[nodiscard]] Cost cost_if_swap(int i, int j) const { return inner_.cost_if_swap(i, j); }
+  [[nodiscard]] std::span<const Cost> errors() const { return inner_.errors(); }
   void compute_errors(std::span<Cost> errs) const { inner_.compute_errors(errs); }
   bool custom_reset(Rng& rng) {
     ++reset_calls;

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "core/adaptive_search.hpp"
+#include "core/delta_adapter.hpp"
 #include "core/dialectic_search.hpp"
 #include "core/genetic.hpp"
 #include "core/rickard_healy.hpp"
@@ -19,9 +20,167 @@
 #include "costas/cp_solver.hpp"
 #include "costas/enumerate.hpp"
 #include "costas/model.hpp"
+#include "problems/all_interval.hpp"
+#include "problems/alpha.hpp"
+#include "problems/langford.hpp"
+#include "problems/magic_square.hpp"
+#include "problems/partition.hpp"
+#include "problems/queens.hpp"
 
 namespace cas {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Incremental-evaluation cross-validation: for every LocalSearchProblem
+// model, the pure delta_cost must predict exactly what applying the swap
+// does, without mutating anything, and the incrementally maintained
+// errors() table must match the from-scratch compute_errors projection
+// after arbitrary mutation histories.
+// ---------------------------------------------------------------------------
+
+template <core::LocalSearchProblem P>
+void fuzz_delta_against_oracle(P& p, core::Rng& rng, int rounds, int steps) {
+  const int n = p.size();
+  std::vector<core::Cost> oracle_errs(static_cast<size_t>(n));
+  for (int r = 0; r < rounds; ++r) {
+    p.randomize(rng);
+    for (int s = 0; s < steps; ++s) {
+      const int i = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      int j = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      if (j == i) j = (j + 1) % n;
+      const core::Cost before = p.cost();
+      const core::Cost delta = p.delta_cost(i, j);
+      // Purity: probing must not change the observable state.
+      ASSERT_EQ(p.cost(), before) << "delta_cost mutated cost";
+      ASSERT_EQ(p.delta_cost(i, j), delta) << "delta_cost not repeatable";
+      // API identity (cost_if_swap delegates to delta_cost, so this is a
+      // consistency check, not an independent oracle).
+      ASSERT_EQ(p.cost_if_swap(i, j), before + delta);
+      // The oracle: actually applying the swap lands exactly on cost + delta.
+      P probe = p;
+      probe.apply_swap(i, j);
+      ASSERT_EQ(probe.cost(), before + delta)
+          << "delta mispredicts swap (" << i << "," << j << ") at step " << s;
+      // Advance the real state most of the time so the incremental error
+      // table accumulates a long mutation history before each check.
+      if (rng.chance(0.7)) p.apply_swap(i, j);
+      const std::span<const core::Cost> errs = p.errors();
+      ASSERT_EQ(static_cast<int>(errs.size()), n);
+      p.compute_errors(std::span<core::Cost>(oracle_errs.data(), oracle_errs.size()));
+      for (int k = 0; k < n; ++k) {
+        ASSERT_EQ(errs[static_cast<size_t>(k)], oracle_errs[static_cast<size_t>(k)])
+            << "errors() diverged from compute_errors at var " << k << " step " << s;
+      }
+    }
+  }
+}
+
+TEST(FuzzDelta, CostasAllOptionCombinations) {
+  core::Rng rng(0xDE17A1);
+  for (const int n : {5, 9, 14, 19, 25}) {
+    for (const auto err : {costas::ErrFunction::kUnit, costas::ErrFunction::kQuadratic}) {
+      for (const bool chang : {false, true}) {
+        costas::CostasProblem p(n, {err, chang});
+        fuzz_delta_against_oracle(p, rng, 2, 150);
+      }
+    }
+  }
+}
+
+TEST(FuzzDelta, Queens) {
+  core::Rng rng(0xDE17A2);
+  for (const int n : {4, 9, 16, 40}) {
+    problems::QueensProblem p(n);
+    fuzz_delta_against_oracle(p, rng, 2, 250);
+  }
+}
+
+TEST(FuzzDelta, AllInterval) {
+  core::Rng rng(0xDE17A3);
+  for (const int n : {5, 10, 17, 30}) {
+    problems::AllIntervalProblem p(n);
+    fuzz_delta_against_oracle(p, rng, 2, 250);
+  }
+}
+
+TEST(FuzzDelta, Langford) {
+  core::Rng rng(0xDE17A4);
+  for (const int n : {3, 4, 8, 15}) {
+    problems::LangfordProblem p(n);
+    fuzz_delta_against_oracle(p, rng, 2, 250);
+  }
+}
+
+TEST(FuzzDelta, MagicSquare) {
+  core::Rng rng(0xDE17A5);
+  for (const int order : {3, 5, 8}) {
+    problems::MagicSquareProblem p(order);
+    fuzz_delta_against_oracle(p, rng, 2, 250);
+  }
+}
+
+TEST(FuzzDelta, Partition) {
+  core::Rng rng(0xDE17A6);
+  for (const int n : {8, 16, 32}) {
+    problems::PartitionProblem p(n);
+    fuzz_delta_against_oracle(p, rng, 2, 250);
+  }
+}
+
+TEST(FuzzDelta, Alpha) {
+  core::Rng rng(0xDE17A7);
+  problems::AlphaProblem p;
+  fuzz_delta_against_oracle(p, rng, 4, 250);
+}
+
+TEST(FuzzDelta, CostasDeltaMatchesStatelessEvaluate) {
+  // The ISSUE-level identity: cost() + delta_cost(i, j) equals the
+  // stateless evaluation of the explicitly swapped permutation.
+  core::Rng rng(0xDE17A8);
+  for (const int n : {6, 11, 17, 24}) {
+    costas::CostasProblem p(n);
+    p.randomize(rng);
+    for (int s = 0; s < 400; ++s) {
+      const int i = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      int j = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      if (j == i) j = (j + 1) % n;
+      std::vector<int> swapped = p.permutation();
+      std::swap(swapped[static_cast<size_t>(i)], swapped[static_cast<size_t>(j)]);
+      ASSERT_EQ(p.cost() + p.delta_cost(i, j), p.evaluate(swapped));
+      if (rng.chance(0.5)) p.apply_swap(i, j);
+    }
+  }
+}
+
+static_assert(core::LocalSearchProblem<core::DoUndoAdapter<costas::CostasProblem>>);
+static_assert(core::HasCustomReset<core::DoUndoAdapter<costas::CostasProblem>>);
+
+TEST(FuzzDelta, DoUndoAdapterAgreesWithNativeDelta) {
+  // The shared fallback adapter (apply/read/undo) and the native pure delta
+  // must be indistinguishable move evaluators on identical states.
+  core::Rng rng(0xDE17A9);
+  for (const int n : {7, 13, 20}) {
+    costas::CostasProblem native(n);
+    native.randomize(rng);
+    core::DoUndoAdapter<costas::CostasProblem> wrapped(costas::CostasProblem{n});
+    wrapped.base().set_permutation(native.permutation());
+    for (int s = 0; s < 300; ++s) {
+      const int i = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      int j = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      if (j == i) j = (j + 1) % n;
+      ASSERT_EQ(native.delta_cost(i, j), wrapped.delta_cost(i, j));
+      ASSERT_EQ(native.cost(), wrapped.cost());
+      const auto ne = native.errors();
+      const auto we = wrapped.errors();
+      ASSERT_EQ(std::vector<core::Cost>(ne.begin(), ne.end()),
+                std::vector<core::Cost>(we.begin(), we.end()));
+      if (rng.chance(0.8)) {
+        native.apply_swap(i, j);
+        wrapped.apply_swap(i, j);
+      }
+    }
+  }
+}
 
 TEST(Fuzz, CheckerVsModelOnRandomPermutations) {
   core::Rng rng(101);
