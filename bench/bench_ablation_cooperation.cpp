@@ -8,12 +8,16 @@
 // for n > 17): CAP solutions are spread out, so biasing walkers toward a
 // shared basin buys little and can even hurt diversity — independence is
 // hard to beat. The point of the bench is to measure, not assume.
+//
+// Every row is one declarative SolveRequest: strategy "multiwalk" for the
+// independent baseline, strategy "cooperative" with an adopt_probability
+// knob for the dependent rows; the blackboard improvement count comes back
+// in the report's extras.
 #include <cstdio>
 
 #include "analysis/summary.hpp"
 #include "common.hpp"
-#include "par/cooperative.hpp"
-#include "par/multiwalk.hpp"
+#include "runtime/runtime.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -29,29 +33,31 @@ struct Outcome {
 };
 
 Outcome run_series(int n, int walkers, int reps, double adopt_prob, uint64_t seed) {
+  runtime::SolveRequest req;
+  req.problem = "costas";
+  req.size = n;
+  req.walkers = walkers;
+  if (adopt_prob < 0) {  // sentinel: fully independent driver
+    req.strategy = "multiwalk";
+  } else {
+    req.strategy = "cooperative";
+    req.strategy_config = util::Json::object();
+    req.strategy_config["adopt_probability"] = adopt_prob;
+  }
+
   std::vector<double> wall, iters;
   double adoptions = 0;
   for (int r = 0; r < reps; ++r) {
-    par::Blackboard board;
-    par::MultiWalkResult res;
-    if (adopt_prob < 0) {  // sentinel: fully independent driver
-      res = par::run_multiwalk(walkers, seed + static_cast<uint64_t>(r),
-                               [n](int, uint64_t s, core::StopToken stop) {
-                                 costas::CostasProblem p(n);
-                                 core::AdaptiveSearch<costas::CostasProblem> e(
-                                     p, costas::recommended_config(n, s));
-                                 return e.solve(stop);
-                               });
-    } else {
-      res = par::run_multiwalk_cooperative<costas::CostasProblem>(
-          walkers, seed + static_cast<uint64_t>(r),
-          [n](int) { return costas::CostasProblem(n); },
-          [n](int, uint64_t s) { return costas::recommended_config(n, s); },
-          par::CooperativeOptions{adopt_prob, 0}, &board);
-      adoptions += static_cast<double>(board.improvements());
+    req.seed = seed + static_cast<uint64_t>(r);
+    const auto report = runtime::solve(req);
+    if (!report.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", report.error.c_str());
+      std::exit(1);
     }
-    wall.push_back(res.wall_seconds);
-    iters.push_back(static_cast<double>(res.winner_stats.iterations));
+    wall.push_back(report.wall_seconds);
+    iters.push_back(static_cast<double>(report.winner_stats.iterations));
+    if (report.extras.contains("blackboard_improvements"))
+      adoptions += static_cast<double>(report.extras.at("blackboard_improvements").as_int());
   }
   return {analysis::summarize(wall), analysis::summarize(iters), adoptions / reps};
 }

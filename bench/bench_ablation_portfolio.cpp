@@ -8,10 +8,14 @@
 // the baseline gallery), so the portfolio should lose exactly the fraction
 // of cores it spends on non-AS members — measured here as the mean
 // first-win time over many runs on the same hardware.
+//
+// Each row is a declarative portfolio mix executed by the runtime's
+// "portfolio" strategy ({"engines": [...]} in strategy_config), so adding
+// a mix is a one-line engine-name list, not new wiring.
 #include <cstdio>
 
 #include "common.hpp"
-#include "par/portfolio.hpp"
+#include "runtime/runtime.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -20,15 +24,27 @@ using namespace cas::bench;
 
 namespace {
 
-double mean_time(int n, const std::vector<par::EngineKind>& assignment, int reps,
+double mean_time(int n, int walkers, const std::vector<std::string>& engines, int reps,
                  uint64_t seed) {
-  par::PortfolioConfig cfg;
-  cfg.as = costas::recommended_config(n);
+  runtime::SolveRequest req;
+  req.problem = "costas";
+  req.size = n;
+  req.strategy = "portfolio";
+  req.walkers = walkers;
+  util::Json mix = util::Json::array();
+  for (const auto& e : engines) mix.push_back(e);
+  req.strategy_config = util::Json::object();
+  req.strategy_config["engines"] = std::move(mix);
+
   double total = 0;
   for (int r = 0; r < reps; ++r) {
-    const auto result = par::run_portfolio<costas::CostasProblem>(
-        n, assignment, cfg, seed + static_cast<uint64_t>(997 * r));
-    total += result.wall_seconds;
+    req.seed = seed + static_cast<uint64_t>(997 * r);
+    const auto report = runtime::solve(req);
+    if (!report.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", report.error.c_str());
+      std::exit(1);
+    }
+    total += report.wall_seconds;
   }
   return total / reps;
 }
@@ -54,18 +70,15 @@ int main(int argc, char** argv) {
   const int walkers = static_cast<int>(flags.get_int("walkers"));
   const auto seed = static_cast<uint64_t>(flags.get_int("seed"));
 
-  using K = par::EngineKind;
   struct Row {
     const char* name;
-    std::vector<K> kinds;
+    std::vector<std::string> engines;
   };
   const std::vector<Row> plans{
-      {"pure AS (the paper)", {K::kAdaptiveSearch}},
-      {"AS + Tabu", {K::kAdaptiveSearch, K::kTabuSearch}},
-      {"AS + DS + TS + SA", {K::kAdaptiveSearch, K::kDialecticSearch, K::kTabuSearch,
-                             K::kSimulatedAnnealing}},
-      {"no AS (TS + DS + SA)", {K::kTabuSearch, K::kDialecticSearch,
-                                K::kSimulatedAnnealing}},
+      {"pure AS (the paper)", {"as"}},
+      {"AS + Tabu", {"as", "tabu"}},
+      {"AS + DS + TS + SA", {"as", "dialectic", "tabu", "sa"}},
+      {"no AS (TS + DS + SA)", {"tabu", "dialectic", "sa"}},
   };
 
   std::printf("CAP %d, %d walkers, %d runs per row\n\n", n, walkers, reps);
@@ -73,8 +86,7 @@ int main(int argc, char** argv) {
   table.header({"portfolio", "mean time (s)", "vs pure AS"});
   double base = 0;
   for (const auto& row : plans) {
-    const double t =
-        mean_time(n, par::round_robin(row.kinds, walkers), reps, seed);
+    const double t = mean_time(n, walkers, row.engines, reps, seed);
     if (base == 0) base = t;
     table.row({row.name, util::strf("%.4f", t), util::strf("%.2fx", t / base)});
   }

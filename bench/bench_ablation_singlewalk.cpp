@@ -2,18 +2,21 @@
 //
 // The paper chooses *independent multi-walk* parallelism and reports
 // near-linear speedups. The other taxonomy branch — parallelizing the
-// neighborhood exploration inside one walk — is implemented here
-// (ParallelNeighborhoodSearch) and measured head to head on the same
-// hardware. For the CAP the neighborhood is only n-1 cheap incremental
-// evaluations, so per-iteration barrier synchronization dominates and
-// single-walk parallelism yields no speedup (often a slowdown), while
-// multi-walk over the same threads shows the paper's near-linear gain.
-// This is the quantitative justification for the paper's design choice.
+// neighborhood exploration inside one walk — is measured head to head on
+// the same hardware. For the CAP the neighborhood is only n-1 cheap
+// incremental evaluations, so per-iteration barrier synchronization
+// dominates and single-walk parallelism yields no speedup (often a
+// slowdown), while multi-walk over the same threads shows the paper's
+// near-linear gain. This is the quantitative justification for the paper's
+// design choice.
+//
+// Both schemes are the runtime's registered strategies ("neighborhood" and
+// "multiwalk"); each cell is a SolveRequest differing only in the strategy
+// name and thread count.
 #include <cstdio>
 
 #include "common.hpp"
-#include "par/multiwalk.hpp"
-#include "par/neighborhood.hpp"
+#include "runtime/runtime.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -22,34 +25,21 @@ using namespace cas::bench;
 
 namespace {
 
-double mean_singlewalk_time(int n, int threads, int reps, uint64_t seed) {
+double mean_time(int n, const std::string& strategy, int walkers, int reps, uint64_t seed) {
+  runtime::SolveRequest req;
+  req.problem = "costas";
+  req.size = n;
+  req.strategy = strategy;
+  req.walkers = walkers;
   double total = 0;
   for (int r = 0; r < reps; ++r) {
-    costas::CostasProblem p(n);
-    auto cfg = costas::recommended_config(n, seed + static_cast<uint64_t>(r));
-    if (threads <= 0) {
-      core::AdaptiveSearch<costas::CostasProblem> engine(p, cfg);
-      total += engine.solve().wall_seconds;
-    } else {
-      par::ParallelNeighborhoodSearch<costas::CostasProblem> engine(p, cfg, threads);
-      total += engine.solve().wall_seconds;
+    req.seed = seed + static_cast<uint64_t>(1000 * r);
+    const auto report = runtime::solve(req);
+    if (!report.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", report.error.c_str());
+      std::exit(1);
     }
-  }
-  return total / reps;
-}
-
-double mean_multiwalk_time(int n, int walkers, int reps, uint64_t seed) {
-  double total = 0;
-  for (int r = 0; r < reps; ++r) {
-    const auto result = par::run_multiwalk(
-        walkers, seed + static_cast<uint64_t>(1000 * r),
-        [&](int /*id*/, uint64_t s, core::StopToken stop) {
-          costas::CostasProblem p(n);
-          auto cfg = costas::recommended_config(n, s);
-          core::AdaptiveSearch<costas::CostasProblem> engine(p, cfg);
-          return engine.solve(stop);
-        });
-    total += result.wall_seconds;
+    total += report.wall_seconds;
   }
   return total / reps;
 }
@@ -76,15 +66,15 @@ int main(int argc, char** argv) {
   std::printf("CAP %d, %d runs per cell. Sequential AS is the baseline for both columns.\n\n",
               n, reps);
 
-  const double base = mean_singlewalk_time(n, 0, reps, seed);
+  const double base = mean_time(n, "sequential", 1, reps, seed);
 
   util::Table table("speedup = sequential mean time / scheme mean time");
   table.header({"threads", "single-walk time", "single-walk speedup", "multi-walk time",
                 "multi-walk speedup"});
   table.row({"1 (seq)", util::strf("%.4f", base), "1.00", util::strf("%.4f", base), "1.00"});
   for (int t : {2, 4}) {
-    const double sw = mean_singlewalk_time(n, t, reps, seed + 7);
-    const double mw = mean_multiwalk_time(n, t, reps, seed + 13);
+    const double sw = mean_time(n, "neighborhood", t, reps, seed + 7);
+    const double mw = mean_time(n, "multiwalk", t, reps, seed + 13);
     table.row({util::strf("%d", t), util::strf("%.4f", sw), util::strf("%.2f", base / sw),
                util::strf("%.4f", mw), util::strf("%.2f", base / mw)});
   }

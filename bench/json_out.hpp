@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/provenance.hpp"
 
 namespace cas::bench {
 
@@ -41,10 +42,14 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
     }
   }
 
-  /// The collected rows wrapped with the bench name; written by run_micro_bench.
+  /// The collected rows wrapped with the bench name and build/run
+  /// provenance (git SHA, compiler + flags, thread count, timestamp) —
+  /// without which the BENCH_*.json trajectory cannot be compared across
+  /// PRs; written by run_micro_bench.
   [[nodiscard]] util::Json document(const std::string& bench) const {
     util::Json doc = util::Json::object();
     doc["bench"] = bench;
+    doc["provenance"] = util::build_provenance();
     doc["results"] = util::Json(util::Json::Array(rows_.begin(), rows_.end()));
     return doc;
   }

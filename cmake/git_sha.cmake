@@ -1,0 +1,20 @@
+# Script mode (cmake -P): regenerate the git-SHA provenance header each
+# build, writing only on change so unchanged SHAs don't trigger relinks.
+# Inputs: -DOUT=<header path> -DSRC=<source dir>.
+execute_process(
+  COMMAND git rev-parse --short=12 HEAD
+  WORKING_DIRECTORY ${SRC}
+  OUTPUT_VARIABLE CAS_SHA
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET)
+if(NOT CAS_SHA)
+  set(CAS_SHA "unknown")
+endif()
+set(CONTENT "#define CAS_GIT_SHA \"${CAS_SHA}\"\n")
+set(OLD "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} OLD)
+endif()
+if(NOT OLD STREQUAL CONTENT)
+  file(WRITE ${OUT} "${CONTENT}")
+endif()

@@ -1,125 +1,73 @@
 // csp_gallery — Adaptive Search is domain-independent (paper Sec. III: the
 // same engine that solves Costas is cited solving N-Queens ~40x faster than
 // Comet and Magic Square 100-500x faster). This example runs the one engine
-// over seven different CSP models through the same LocalSearchProblem
-// interface: N-Queens, All-Interval Series, Magic Square, Langford pairing,
-// number partitioning, the alpha cipher, and Costas — the same benchmark
-// set Diaz's reference AS library ships.
+// over every CSP model the runtime's problem registry knows — the same
+// benchmark set Diaz's reference AS library ships — each as a declarative
+// SolveRequest, with the per-problem tuned configuration and the
+// independent solution checker coming from the registry instead of being
+// hardcoded here.
 //
-//   $ ./csp_gallery --queens 256 --interval 20 --magic 6 --costas 16
+//   $ ./csp_gallery --queens 256 --costas 16 --engine as
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "core/adaptive_search.hpp"
-#include "costas/checker.hpp"
-#include "costas/model.hpp"
-#include "problems/all_interval.hpp"
-#include "problems/alpha.hpp"
-#include "problems/langford.hpp"
-#include "problems/magic_square.hpp"
-#include "problems/partition.hpp"
-#include "problems/queens.hpp"
+#include "runtime/runtime.hpp"
 #include "util/flags.hpp"
-#include "util/timer.hpp"
 
 using namespace cas;
 
-namespace {
-
-template <core::LocalSearchProblem P>
-core::RunStats run(const char* name, P& problem, core::AsConfig cfg, bool expect_valid) {
-  core::AdaptiveSearch<P> engine(problem, cfg);
-  const auto st = engine.solve();
-  std::printf("%-22s %s in %8.3f s, %10llu iterations, %8llu local minima%s\n", name,
-              st.solved ? "solved" : "FAILED", st.wall_seconds,
-              static_cast<unsigned long long>(st.iterations),
-              static_cast<unsigned long long>(st.local_minima),
-              expect_valid ? "" : " (?)");
-  return st;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   util::Flags flags(
-      "csp_gallery — one Adaptive Search engine, four constraint problems\n"
-      "(N-Queens, All-Interval prob007, Magic Square prob019, Costas).");
+      "csp_gallery — one engine, every registered CSP model (N-Queens,\n"
+      "All-Interval prob007, Magic Square prob019, Langford, partition,\n"
+      "alpha, Costas), driven through the solver runtime.");
   flags.add_int("queens", 256, "N-Queens board size");
   flags.add_int("interval", 20, "All-Interval series length");
   flags.add_int("magic", 6, "Magic Square order");
-  flags.add_int("langford", 16, "Langford L(2,n) order (n = 0 or 3 mod 4)");
-  flags.add_int("partition", 40, "Number-partitioning size (multiple of 4)");
+  flags.add_int("langford", 16, "Langford L(2,n) order (rounded up to 0 or 3 mod 4)");
+  flags.add_int("partition", 40, "Number-partitioning size (rounded up to multiple of 4)");
   flags.add_int("costas", 16, "Costas array order");
+  flags.add_string("engine", "as", "engine to race across the gallery (see cas_run --list)");
   flags.add_int("seed", 7, "random seed");
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<uint64_t>(flags.get_int("seed"));
 
-  {
-    problems::QueensProblem p(static_cast<int>(flags.get_int("queens")));
-    core::AsConfig cfg;
-    cfg.seed = seed;
-    cfg.tabu_tenure = 4;
-    cfg.reset_limit = 4;
-    cfg.reset_fraction = 0.05;
-    const auto st = run("N-Queens", p, cfg, true);
-    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
-  }
-  {
-    problems::AllIntervalProblem p(static_cast<int>(flags.get_int("interval")));
-    core::AsConfig cfg;
-    cfg.seed = seed;
-    cfg.tabu_tenure = 3;
-    cfg.reset_limit = 2;
-    cfg.reset_fraction = 0.15;
-    cfg.plateau_probability = 0.5;
-    const auto st = run("All-Interval", p, cfg, true);
-    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
-  }
-  {
-    problems::MagicSquareProblem p(static_cast<int>(flags.get_int("magic")));
-    core::AsConfig cfg;
-    cfg.seed = seed;
-    cfg.tabu_tenure = 5;
-    cfg.reset_limit = 3;
-    cfg.reset_fraction = 0.1;
-    cfg.plateau_probability = 0.93;  // the paper's plateau tuning showcase
-    const auto st = run("Magic Square", p, cfg, true);
-    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
-  }
-  {
-    int ln = static_cast<int>(flags.get_int("langford"));
-    if (!problems::LangfordProblem::solvable(ln)) {
-      const int requested = ln;
-      while (!problems::LangfordProblem::solvable(ln)) ++ln;
-      std::printf("Langford L(2,%d) has no solutions (n must be 0 or 3 mod 4); using %d\n",
-                  requested, ln);
+  const std::vector<std::pair<std::string, int>> gallery{
+      {"queens", static_cast<int>(flags.get_int("queens"))},
+      {"all-interval", static_cast<int>(flags.get_int("interval"))},
+      {"magic-square", static_cast<int>(flags.get_int("magic"))},
+      {"langford", static_cast<int>(flags.get_int("langford"))},
+      {"partition", static_cast<int>(flags.get_int("partition"))},
+      {"alpha", 0},
+      {"costas", static_cast<int>(flags.get_int("costas"))},
+  };
+
+  int failures = 0;
+  for (const auto& [problem, size] : gallery) {
+    runtime::SolveRequest req;
+    req.problem = problem;
+    req.size = size;
+    req.engine = flags.get_string("engine");
+    req.strategy = "sequential";
+    req.seed = seed;
+    const auto report = runtime::solve(req);
+    if (!report.error.empty()) {
+      std::printf("%-22s ERROR: %s\n", problem.c_str(), report.error.c_str());
+      ++failures;
+      continue;
     }
-    problems::LangfordProblem p(ln);
-    core::AsConfig cfg;
-    cfg.seed = seed;
-    const auto st = run("Langford", p, cfg, true);
-    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
+    std::printf("%-22s %s in %8.3f s, %10llu iterations, %8llu local minima (size %d)\n",
+                problem.c_str(), report.solved ? "solved" : "FAILED", report.wall_seconds,
+                static_cast<unsigned long long>(report.winner_stats.iterations),
+                static_cast<unsigned long long>(report.winner_stats.local_minima),
+                report.request.size);
+    if (!report.solved) ++failures;
+    if (report.checked && !report.check_passed) {
+      std::printf("  WARNING: checker disagrees!\n");
+      ++failures;
+    }
   }
-  {
-    problems::PartitionProblem p(static_cast<int>(flags.get_int("partition")));
-    core::AsConfig cfg;
-    cfg.seed = seed;
-    const auto st = run("Number Partitioning", p, cfg, true);
-    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
-  }
-  {
-    problems::AlphaProblem p;
-    const auto st = run("Alpha cipher", p, problems::AlphaProblem::recommended_config(seed), true);
-    if (st.solved && !p.valid()) std::printf("  WARNING: checker disagrees!\n");
-    if (st.solved)
-      std::printf("  A=%d B=%d C=%d ... Z=%d (the unique rec.puzzles assignment)\n",
-                  p.value_of('A'), p.value_of('B'), p.value_of('C'), p.value_of('Z'));
-  }
-  {
-    costas::CostasProblem p(static_cast<int>(flags.get_int("costas")));
-    const auto st = run("Costas", p, costas::recommended_config(
-                                          static_cast<int>(flags.get_int("costas")), seed),
-                        true);
-    if (st.solved && !costas::is_costas(st.solution)) std::printf("  WARNING: checker disagrees!\n");
-  }
-  return 0;
+  return failures == 0 ? 0 : 1;
 }

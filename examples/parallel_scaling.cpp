@@ -6,14 +6,16 @@
 // many-core host it directly reproduces the left edge of Table III; the
 // simulator extrapolates the rest via order statistics (DESIGN.md §4).
 //
+// Built on the solver runtime: each cell is a declarative SolveRequest
+// executed by the registered strategy ("multiwalk" or "mpi"), so this
+// driver is a thin scenario loop over runtime::solve.
+//
 //   $ ./parallel_scaling --n 16 --reps 10 --max-walkers 8
 #include <cstdio>
 #include <vector>
 
 #include "analysis/summary.hpp"
-#include "core/adaptive_search.hpp"
-#include "costas/model.hpp"
-#include "par/multiwalk.hpp"
+#include "runtime/runtime.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -41,12 +43,10 @@ int main(int argc, char** argv) {
               "gains flatten — the simulator (bench_table3_ha8000) models what a\n"
               "machine with genuinely more cores would do.\n\n");
 
-  auto walker = [n](int, uint64_t s, core::StopToken stop) {
-    costas::CostasProblem problem(n);
-    core::AdaptiveSearch<costas::CostasProblem> engine(problem,
-                                                       costas::recommended_config(n, s));
-    return engine.solve(stop);
-  };
+  runtime::SolveRequest base;
+  base.problem = "costas";
+  base.size = n;
+  base.strategy = flags.get_bool("mpi-style") ? "mpi" : "multiwalk";
 
   util::Table table("Real-thread multi-walk (wall seconds)");
   table.header({"walkers", "avg", "med", "min", "max", "speedup", "winner iters (avg)"});
@@ -55,16 +55,16 @@ int main(int argc, char** argv) {
     std::vector<double> times;
     double winner_iters = 0;
     for (int r = 0; r < reps; ++r) {
-      const uint64_t ms = seed + static_cast<uint64_t>(r) * 7919 + static_cast<uint64_t>(w);
-      const auto res = flags.get_bool("mpi-style")
-                           ? par::run_multiwalk_mpi_style(w, ms, walker)
-                           : par::run_multiwalk(w, ms, walker);
-      if (!res.solved) {
-        std::fprintf(stderr, "unsolved run (should not happen)\n");
+      runtime::SolveRequest req = base;
+      req.walkers = w;
+      req.seed = seed + static_cast<uint64_t>(r) * 7919 + static_cast<uint64_t>(w);
+      const auto report = runtime::solve(req);
+      if (!report.error.empty() || !report.solved) {
+        std::fprintf(stderr, "unsolved run (should not happen): %s\n", report.error.c_str());
         return 1;
       }
-      times.push_back(res.wall_seconds);
-      winner_iters += static_cast<double>(res.winner_stats.iterations);
+      times.push_back(report.wall_seconds);
+      winner_iters += static_cast<double>(report.winner_stats.iterations);
     }
     const auto s = analysis::summarize(times);
     if (ref < 0) ref = s.mean;

@@ -44,6 +44,9 @@
 #include "par/portfolio.hpp"
 #include "par/thread_pool.hpp"
 
+// The unified solver runtime: registries, strategies, SolverService.
+#include "runtime/runtime.hpp"
+
 // Run-time distribution analysis.
 #include "analysis/distribution_fit.hpp"
 #include "analysis/ecdf.hpp"

@@ -162,6 +162,10 @@ class CooperativeProblem {
 struct CooperativeOptions {
   double adopt_probability = 0.25;
   unsigned num_threads = 0;
+  /// Shared executor + deadline, forwarded to the underlying multi-walk
+  /// runner (see MultiWalkOptions).
+  ThreadPool* executor = nullptr;
+  double timeout_seconds = 0.0;
 };
 
 /// Cooperative multi-walk driver: like run_multiwalk, but walkers share a
@@ -174,6 +178,10 @@ MultiWalkResult run_multiwalk_cooperative(int num_walkers, uint64_t master_seed,
                                           Blackboard* board_out = nullptr) {
   Blackboard local_board;
   Blackboard* board = board_out != nullptr ? board_out : &local_board;
+  MultiWalkOptions mw;
+  mw.num_threads = opts.num_threads;
+  mw.executor = opts.executor;
+  mw.timeout_seconds = opts.timeout_seconds;
   return run_multiwalk(
       num_walkers, master_seed,
       [&](int id, uint64_t seed, core::StopToken stop) {
@@ -181,7 +189,7 @@ MultiWalkResult run_multiwalk_cooperative(int num_walkers, uint64_t master_seed,
         core::AdaptiveSearch<CooperativeProblem<P>> engine(problem, make_config(id, seed));
         return engine.solve(stop);
       },
-      opts.num_threads);
+      mw);
 }
 
 }  // namespace cas::par

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "core/problem.hpp"
 #include "core/stats.hpp"
 #include "par/comm.hpp"
+#include "par/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cas::par {
@@ -45,16 +47,35 @@ struct MultiWalkResult {
   }
 };
 
+/// Execution knobs shared by the thread-based runners.
+struct MultiWalkOptions {
+  /// Cap on concurrently running walkers. 0 = one worker per walker (or
+  /// the executor's width when one is given). Values below the walker
+  /// count oversubscribe: walkers are claimed from a shared counter and
+  /// run in chunks.
+  unsigned num_threads = 0;
+  /// Run walker chunks on this shared pool instead of spawning fresh
+  /// jthreads per call — the form SolverService uses so that many
+  /// concurrent solve requests share one set of OS threads instead of
+  /// oversubscribing the machine. The caller's thread only blocks waiting
+  /// for the chunks; walker tasks never submit further pool work, so
+  /// batches cannot deadlock the pool.
+  ThreadPool* executor = nullptr;
+  /// > 0: every walker's stop token also fires once this many wall-clock
+  /// seconds elapse (measured from entry), whichever comes first with the
+  /// first-win cancellation. Engines poll every probe_interval iterations,
+  /// so the overshoot past the deadline is one probe window.
+  double timeout_seconds = 0.0;
+};
+
 /// WalkerFn signature: core::RunStats fn(int walker_id, uint64_t seed,
 /// core::StopToken stop). The walker must poll `stop` (engines do this
 /// every cfg.probe_interval iterations) and return promptly once stopping.
 ///
 /// Per-walker seeds come from the chaotic-map sequence (paper Sec. III-B3).
-/// `num_threads` caps the number of concurrent OS threads (0 = one thread
-/// per walker), allowing oversubscribed runs where #walkers exceeds cores.
 template <typename WalkerFn>
 MultiWalkResult run_multiwalk(int num_walkers, uint64_t master_seed, WalkerFn&& fn,
-                              unsigned num_threads = 0) {
+                              const MultiWalkOptions& opts) {
   MultiWalkResult result;
   result.walker_stats.resize(static_cast<size_t>(num_walkers));
   const auto seeds =
@@ -67,38 +88,67 @@ MultiWalkResult run_multiwalk(int num_walkers, uint64_t master_seed, WalkerFn&& 
   double winner_time = 0.0;
 
   std::atomic<int> next_walker{0};
-  const unsigned workers =
-      num_threads == 0 ? static_cast<unsigned>(num_walkers)
-                       : std::min<unsigned>(num_threads, static_cast<unsigned>(num_walkers));
+  unsigned workers = opts.num_threads != 0    ? opts.num_threads
+                     : opts.executor != nullptr ? opts.executor->size()
+                                                : static_cast<unsigned>(num_walkers);
+  workers = std::min<unsigned>(std::max(1u, workers), static_cast<unsigned>(num_walkers));
 
-  {
+  const auto worker_body = [&] {
+    while (true) {
+      const int id = next_walker.fetch_add(1, std::memory_order_relaxed);
+      if (id >= num_walkers) return;
+      if (stop_flag.load(std::memory_order_relaxed)) {
+        // A solution already exists; unstarted walkers record nothing.
+        return;
+      }
+      core::RunStats st;
+      if (opts.timeout_seconds > 0.0) {
+        // Combined per-walker token: first-win flag OR shared deadline.
+        // Lives on this worker's stack for the duration of the walk
+        // (StopToken stores a pointer to it).
+        const std::function<bool()> combined = [&] {
+          return stop_flag.load(std::memory_order_relaxed) ||
+                 timer.seconds() >= opts.timeout_seconds;
+        };
+        st = fn(id, seeds[static_cast<size_t>(id)], core::StopToken(&combined));
+      } else {
+        st = fn(id, seeds[static_cast<size_t>(id)], core::StopToken(&stop_flag));
+      }
+      if (st.solved) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, id)) {
+          // First finisher: freeze the clock and cancel everyone else.
+          std::scoped_lock lock(result_mu);
+          winner_time = timer.seconds();
+          stop_flag.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::scoped_lock lock(result_mu);
+      result.walker_stats[static_cast<size_t>(id)] = std::move(st);
+    }
+  };
+
+  if (opts.executor != nullptr) {
+    std::vector<std::future<void>> chunks;
+    chunks.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) chunks.push_back(opts.executor->submit(worker_body));
+    // Every chunk must be joined before this frame unwinds — the chunks
+    // reference stack state. If one throws, cancel the rest, drain them
+    // all, then rethrow the first error.
+    std::exception_ptr first_error;
+    for (auto& c : chunks) {
+      try {
+        c.get();
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+        stop_flag.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  } else {
     std::vector<std::jthread> threads;
     threads.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) {
-      threads.emplace_back([&] {
-        while (true) {
-          const int id = next_walker.fetch_add(1, std::memory_order_relaxed);
-          if (id >= num_walkers) return;
-          if (stop_flag.load(std::memory_order_relaxed)) {
-            // A solution already exists; unstarted walkers record nothing.
-            return;
-          }
-          core::RunStats st =
-              fn(id, seeds[static_cast<size_t>(id)], core::StopToken(&stop_flag));
-          if (st.solved) {
-            int expected = -1;
-            if (winner.compare_exchange_strong(expected, id)) {
-              // First finisher: freeze the clock and cancel everyone else.
-              std::scoped_lock lock(result_mu);
-              winner_time = timer.seconds();
-              stop_flag.store(true, std::memory_order_relaxed);
-            }
-          }
-          std::scoped_lock lock(result_mu);
-          result.walker_stats[static_cast<size_t>(id)] = std::move(st);
-        }
-      });
-    }
+    for (unsigned t = 0; t < workers; ++t) threads.emplace_back(worker_body);
   }  // join
 
   const int w = winner.load();
@@ -113,30 +163,30 @@ MultiWalkResult run_multiwalk(int num_walkers, uint64_t master_seed, WalkerFn&& 
   return result;
 }
 
+/// Historical signature: `num_threads` caps the number of concurrent OS
+/// threads (0 = one thread per walker), allowing oversubscribed runs where
+/// #walkers exceeds cores.
+template <typename WalkerFn>
+MultiWalkResult run_multiwalk(int num_walkers, uint64_t master_seed, WalkerFn&& fn,
+                              unsigned num_threads = 0) {
+  MultiWalkOptions opts;
+  opts.num_threads = num_threads;
+  return run_multiwalk(num_walkers, master_seed, std::forward<WalkerFn>(fn), opts);
+}
+
 /// run_multiwalk with a wall-clock budget: every walker's stop token fires
 /// either when a winner exists (the paper's first-win cancellation) or when
-/// `timeout_seconds` elapse — whichever comes first. Engines poll the token
-/// every probe_interval iterations, so the overshoot past the deadline is
-/// one probe window. The paper's own experiments live under exactly this
-/// kind of budget (scheduler walltime caps, Sec. V-B); downstream users get
-/// it as a first-class knob.
+/// `timeout_seconds` elapse — whichever comes first. The paper's own
+/// experiments live under exactly this kind of budget (scheduler walltime
+/// caps, Sec. V-B); downstream users get it as a first-class knob.
 template <typename WalkerFn>
 MultiWalkResult run_multiwalk_timed(int num_walkers, uint64_t master_seed,
                                     double timeout_seconds, WalkerFn&& fn,
                                     unsigned num_threads = 0) {
-  util::WallTimer deadline_timer;
-  return run_multiwalk(
-      num_walkers, master_seed,
-      [&](int id, uint64_t seed, core::StopToken inner) {
-        // Per-walker combined token: the runner's first-win flag OR the
-        // shared deadline. Lives on this walker's stack for the duration
-        // of the walk (StopToken stores a pointer to it).
-        const std::function<bool()> combined = [&deadline_timer, timeout_seconds, inner] {
-          return inner.stop_requested() || deadline_timer.seconds() >= timeout_seconds;
-        };
-        return fn(id, seed, core::StopToken(&combined));
-      },
-      num_threads);
+  MultiWalkOptions opts;
+  opts.num_threads = num_threads;
+  opts.timeout_seconds = timeout_seconds;
+  return run_multiwalk(num_walkers, master_seed, std::forward<WalkerFn>(fn), opts);
 }
 
 /// Aggregate statistics computed *inside* the communicator by the

@@ -1,0 +1,134 @@
+#include "runtime/engines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/knobs.hpp"
+
+namespace cas::runtime {
+
+namespace {
+
+/// The shared spec reader, labelled for engine knob errors.
+KnobReader knobs(const EngineParams& p, const char* engine) {
+  return KnobReader(p.overrides, std::string("engine '") + engine + "'");
+}
+
+/// Budget knobs shared by every engine config struct.
+template <typename Config>
+void apply_budget(Config& cfg, const EngineParams& p) {
+  if (p.probe_interval != 0) cfg.probe_interval = p.probe_interval;
+  if (p.max_iterations != 0) cfg.max_iterations = p.max_iterations;
+}
+
+}  // namespace
+
+core::AsConfig make_as_config(const EngineParams& p) {
+  core::AsConfig cfg = p.base_as;  // the problem's tuned defaults
+  KnobReader k = knobs(p, "as");
+  k.read("tabu_tenure", cfg.tabu_tenure);
+  k.read("plateau_probability", cfg.plateau_probability);
+  k.read("reset_limit", cfg.reset_limit);
+  k.read("reset_fraction", cfg.reset_fraction);
+  k.read("use_custom_reset", cfg.use_custom_reset);
+  k.read("keep_tabu_on_reset", cfg.keep_tabu_on_reset);
+  k.read("hybrid_reset", cfg.hybrid_reset);
+  k.read("restart_interval", cfg.restart_interval);
+  k.finish();
+  apply_budget(cfg, p);
+  return cfg;
+}
+
+core::TsConfig make_ts_config(const EngineParams& p) {
+  core::TsConfig cfg;
+  KnobReader k = knobs(p, "tabu");
+  k.read("tenure", cfg.tenure);
+  k.read("aspiration", cfg.aspiration);
+  k.read("stall_restart", cfg.stall_restart);
+  k.finish();
+  apply_budget(cfg, p);
+  return cfg;
+}
+
+core::DsConfig make_ds_config(const EngineParams& p) {
+  core::DsConfig cfg;
+  KnobReader k = knobs(p, "dialectic");
+  k.read("max_no_improve", cfg.max_no_improve);
+  k.read("perturbation_fraction", cfg.perturbation_fraction);
+  k.finish();
+  if (p.max_iterations != 0) cfg.max_iterations = p.max_iterations;
+  // The dialectic engine counts greedy passes, not moves; the shared probe
+  // interval is scaled down the same way the portfolio runner always did.
+  if (p.probe_interval != 0)
+    cfg.probe_interval = std::max<uint64_t>(1, p.probe_interval / 8);
+  return cfg;
+}
+
+core::SaConfig make_sa_config(const EngineParams& p) {
+  core::SaConfig cfg;
+  KnobReader k = knobs(p, "sa");
+  k.read("initial_temperature", cfg.initial_temperature);
+  k.read("alpha", cfg.alpha);
+  k.read("moves_per_temperature", cfg.moves_per_temperature);
+  k.read("freeze_temperature", cfg.freeze_temperature);
+  k.finish();
+  apply_budget(cfg, p);
+  return cfg;
+}
+
+core::HcConfig make_hc_config(const EngineParams& p) {
+  core::HcConfig cfg;
+  KnobReader k = knobs(p, "hill");
+  k.finish();
+  apply_budget(cfg, p);
+  return cfg;
+}
+
+core::RhConfig make_rh_config(const EngineParams& p) {
+  core::RhConfig cfg;
+  KnobReader k = knobs(p, "rickard-healy");
+  k.read("stall_limit", cfg.stall_limit);
+  k.read("accept_equal", cfg.accept_equal);
+  k.finish();
+  apply_budget(cfg, p);
+  return cfg;
+}
+
+core::GaConfig make_ga_config(const EngineParams& p) {
+  core::GaConfig cfg;
+  KnobReader k = knobs(p, "genetic");
+  k.read("population", cfg.population);
+  k.read("tournament_k", cfg.tournament_k);
+  k.read("crossover_probability", cfg.crossover_probability);
+  k.read("mutation_probability", cfg.mutation_probability);
+  k.read("elites", cfg.elites);
+  k.finish();
+  if (p.probe_interval != 0) cfg.probe_interval = p.probe_interval;
+  if (p.max_iterations != 0) cfg.max_generations = p.max_iterations;
+  return cfg;
+}
+
+const Registry<EngineInfo>& engine_catalog() {
+  static const Registry<EngineInfo> catalog = [] {
+    Registry<EngineInfo> r;
+    r.add("as", {"Adaptive Search (the paper's engine; per-problem tuned defaults)",
+                 [](const EngineParams& p) { make_as_config(p); }});
+    r.add("tabu", {"Tabu Search over the swap neighborhood (Comet comparator)",
+                   [](const EngineParams& p) { make_ts_config(p); }});
+    r.add("dialectic", {"Dialectic Search (Kadioglu & Sellmann 2009)",
+                        [](const EngineParams& p) { make_ds_config(p); }});
+    r.add("sa", {"Simulated annealing with geometric cooling",
+                 [](const EngineParams& p) { make_sa_config(p); }});
+    r.add("hill", {"Random-restart steepest descent baseline",
+                   [](const EngineParams& p) { make_hc_config(p); }});
+    r.add("rickard-healy", {"Rickard-Healy stochastic search (CISS 2006)",
+                            [](const EngineParams& p) { make_rh_config(p); }});
+    r.add("genetic", {"Permutation genetic algorithm (population baseline)",
+                      [](const EngineParams& p) { make_ga_config(p); }});
+    return r;
+  }();
+  return catalog;
+}
+
+}  // namespace cas::runtime

@@ -1,0 +1,158 @@
+// The engine registry: every sequential search engine (Adaptive Search,
+// Tabu, Dialectic, Simulated Annealing, hill climbing, Rickard-Healy,
+// genetic) selectable by name and configurable from a JSON knob object.
+//
+// Two pieces cooperate:
+//   * engine_catalog() — the type-erased, string-keyed side: name,
+//     description, and a config validator, shared across all problems
+//     (what `cas_run --list` prints);
+//   * engine_table<P>() — the typed side: for a concrete problem model P,
+//     a registry of factories producing ready-to-run closures. The engines
+//     are templates over the LocalSearchProblem concept, so the
+//     problem × engine cross product is instantiated here, once per
+//     problem type, behind a uniform std::function interface.
+// A test pins the two key sets against each other so they cannot drift.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/adaptive_search.hpp"
+#include "core/config.hpp"
+#include "core/dialectic_search.hpp"
+#include "core/genetic.hpp"
+#include "core/hill_climber.hpp"
+#include "core/problem.hpp"
+#include "core/rickard_healy.hpp"
+#include "core/simulated_annealing.hpp"
+#include "core/stats.hpp"
+#include "core/tabu_search.hpp"
+#include "runtime/registry.hpp"
+#include "util/json.hpp"
+
+namespace cas::runtime {
+
+/// Everything an engine factory needs besides the per-walker seed.
+struct EngineParams {
+  /// Engine-specific knob overrides (JSON object or null). Unknown keys
+  /// are an error.
+  util::Json overrides;
+  /// Tuned Adaptive Search defaults for the problem at hand (the paper's
+  /// per-problem tuning); JSON overrides are applied on top. Only the AS
+  /// factory reads this — other engines start from their struct defaults.
+  core::AsConfig base_as;
+  uint64_t probe_interval = 0;  // 0 = keep the engine's default
+  uint64_t max_iterations = 0;  // 0 = unlimited
+};
+
+// --- JSON -> engine config builders (throw on unknown keys) ---
+core::AsConfig make_as_config(const EngineParams& p);
+core::TsConfig make_ts_config(const EngineParams& p);
+core::DsConfig make_ds_config(const EngineParams& p);
+core::SaConfig make_sa_config(const EngineParams& p);
+core::HcConfig make_hc_config(const EngineParams& p);
+core::RhConfig make_rh_config(const EngineParams& p);
+core::GaConfig make_ga_config(const EngineParams& p);
+
+/// Type-erased engine metadata: what the CLI lists and validates against.
+struct EngineInfo {
+  std::string description;
+  /// Parses `p.overrides` for its side effects only: throws on unknown or
+  /// ill-typed knobs so spec validation can run without a problem instance.
+  std::function<void(const EngineParams& p)> validate;
+};
+
+/// The shared, string-keyed engine catalog.
+const Registry<EngineInfo>& engine_catalog();
+
+/// Typed engine factories for problem model P. A Factory builds a Runner
+/// from EngineParams; the Runner executes one walk on a freshly
+/// constructed problem instance with the walker's own seed.
+template <core::LocalSearchProblem P>
+struct EngineTable {
+  using Runner = std::function<core::RunStats(P& problem, uint64_t seed, core::StopToken stop)>;
+  using Factory = std::function<Runner(const EngineParams&)>;
+};
+
+template <core::LocalSearchProblem P>
+const Registry<typename EngineTable<P>::Factory>& engine_table() {
+  using Runner = typename EngineTable<P>::Runner;
+  using Factory = typename EngineTable<P>::Factory;
+  static const Registry<Factory> table = [] {
+    Registry<Factory> r;
+    r.add("as", Factory([](const EngineParams& p) -> Runner {
+            auto cfg = make_as_config(p);
+            return [cfg](P& problem, uint64_t seed, core::StopToken stop) {
+              auto c = cfg;
+              c.seed = seed;
+              core::AdaptiveSearch<P> engine(problem, c);
+              return engine.solve(stop);
+            };
+          }));
+    r.add("tabu", Factory([](const EngineParams& p) -> Runner {
+            auto cfg = make_ts_config(p);
+            return [cfg](P& problem, uint64_t seed, core::StopToken stop) {
+              auto c = cfg;
+              c.seed = seed;
+              core::TabuSearch<P> engine(problem, c);
+              return engine.solve(stop);
+            };
+          }));
+    r.add("dialectic", Factory([](const EngineParams& p) -> Runner {
+            auto cfg = make_ds_config(p);
+            return [cfg](P& problem, uint64_t seed, core::StopToken stop) {
+              auto c = cfg;
+              c.seed = seed;
+              core::DialecticSearch<P> engine(problem, c);
+              return engine.solve(stop);
+            };
+          }));
+    r.add("sa", Factory([](const EngineParams& p) -> Runner {
+            auto cfg = make_sa_config(p);
+            return [cfg](P& problem, uint64_t seed, core::StopToken stop) {
+              auto c = cfg;
+              c.seed = seed;
+              core::SimulatedAnnealing<P> engine(problem, c);
+              return engine.solve(stop);
+            };
+          }));
+    r.add("hill", Factory([](const EngineParams& p) -> Runner {
+            auto cfg = make_hc_config(p);
+            return [cfg](P& problem, uint64_t seed, core::StopToken stop) {
+              auto c = cfg;
+              c.seed = seed;
+              core::HillClimber<P> engine(problem, c);
+              return engine.solve(stop);
+            };
+          }));
+    r.add("rickard-healy", Factory([](const EngineParams& p) -> Runner {
+            auto cfg = make_rh_config(p);
+            return [cfg](P& problem, uint64_t seed, core::StopToken stop) {
+              auto c = cfg;
+              c.seed = seed;
+              core::RickardHealySearch<P> engine(problem, c);
+              return engine.solve(stop);
+            };
+          }));
+    // The GA is the one engine off the incremental API: it needs the
+    // stateless whole-permutation evaluate() (PermutationEvaluator), which
+    // only some models provide. Problems without it simply don't list
+    // "genetic", and a spec asking for it gets the unknown-engine error
+    // naming the alternatives.
+    if constexpr (core::PermutationEvaluator<P>) {
+      r.add("genetic", Factory([](const EngineParams& p) -> Runner {
+              auto cfg = make_ga_config(p);
+              return [cfg](P& problem, uint64_t seed, core::StopToken stop) {
+                auto c = cfg;
+                c.seed = seed;
+                core::GeneticSearch<P> engine(problem, c);
+                return engine.solve(stop);
+              };
+            }));
+    }
+    return r;
+  }();
+  return table;
+}
+
+}  // namespace cas::runtime

@@ -1,0 +1,67 @@
+// The problem registry: all seven CSP models (Costas plus the six side
+// problems), each constructible by name and size from a SolveRequest, with
+// its paper-tuned Adaptive Search defaults, an independent solution
+// verifier where one exists, and type-erased walker factories the
+// strategies consume.
+//
+// The entries hide the concrete model types: a registered problem exposes
+//   * make_walker()            — a fresh, self-contained walker closure per
+//                                {engine, config}; every walker invocation
+//                                builds its own private problem replica,
+//   * make_cooperative_walker  — blackboard-sharing walker (only for models
+//                                whose full configuration is exportable),
+//   * run_neighborhood         — the single-walk parallel engine (only for
+//                                replicable models),
+// so the strategy layer and SolverService never mention a model type.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/stats.hpp"
+#include "par/cooperative.hpp"
+#include "runtime/registry.hpp"
+#include "runtime/spec.hpp"
+
+namespace cas::runtime {
+
+/// A multi-walk walker: runs one complete search with the given per-walker
+/// seed, polling `stop` (the first-win cancellation) every probe interval.
+using Walker = std::function<core::RunStats(int walker_id, uint64_t seed, core::StopToken stop)>;
+
+struct ProblemEntry {
+  std::string description;
+  int default_size = 0;
+  /// Round a requested size up to the nearest feasible instance (Langford's
+  /// n = 0,3 mod 4; partition's multiples of 4). Null = any size >= min.
+  std::function<int(int)> adjust_size;
+
+  /// Build a walker for the request's {engine, engine_config}. Throws on
+  /// unknown engines or malformed knobs. The returned closure is safe to
+  /// invoke concurrently from many threads.
+  std::function<Walker(const SolveRequest& req)> make_walker;
+
+  /// Cooperative (blackboard) multi-walk, delegating to
+  /// par::run_multiwalk_cooperative — null when the model cannot export
+  /// its configuration. Adaptive Search only, like the par runner.
+  std::function<par::MultiWalkResult(const SolveRequest& req, double adopt_probability,
+                                     const par::MultiWalkOptions& exec, par::Blackboard* board)>
+      run_cooperative;
+
+  /// Single-walk parallel neighborhood search — null when the model is not
+  /// replicable. `threads` replicas scan the swap neighborhood.
+  std::function<core::RunStats(const SolveRequest& req, int threads, core::StopToken stop)>
+      run_neighborhood;
+
+  /// Independent verifier for a reported solution (presentation values as
+  /// produced by RunStats::solution). Null = no checker beyond cost == 0.
+  std::function<bool(const std::vector<int>& solution)> check;
+};
+
+/// The string-keyed problem catalog: costas, queens, all-interval,
+/// magic-square, langford, partition, alpha.
+const Registry<ProblemEntry>& problem_registry();
+
+}  // namespace cas::runtime

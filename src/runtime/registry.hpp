@@ -1,0 +1,67 @@
+// String-keyed registry — the shared building block of the solver runtime.
+// Problems, engines, and strategies are all looked up by name so that a
+// {problem, engine, strategy} triple is constructible from pure data (a
+// scenario spec), never from compile-time wiring.
+//
+// Registries are built once (function-local statics in the respective
+// modules) and read-only afterwards, so lookups are lock-free.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cas::runtime {
+
+template <typename Value>
+class Registry {
+ public:
+  /// Register `value` under `key`. Duplicate keys are a programming error.
+  Registry& add(std::string key, Value value) {
+    const auto [it, inserted] = entries_.emplace(std::move(key), std::move(value));
+    if (!inserted) throw std::logic_error("Registry: duplicate key '" + it->first + "'");
+    return *this;
+  }
+
+  /// Pointer to the entry, or nullptr when unknown.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Entry lookup that fails loudly, naming the valid alternatives — the
+  /// error surface the cas_run CLI shows for a typo'd spec.
+  [[nodiscard]] const Value& at(const std::string& key, const std::string& what) const {
+    if (const Value* v = find(key)) return *v;
+    std::string msg = "unknown " + what + " '" + key + "' (known: ";
+    bool first = true;
+    for (const auto& [k, _] : entries_) {
+      if (!first) msg += ", ";
+      msg += k;
+      first = false;
+    }
+    msg += ")";
+    throw std::invalid_argument(msg);
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const { return find(key) != nullptr; }
+
+  /// Registered keys in sorted order (std::map iteration).
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [k, _] : entries_) out.push_back(k);
+    return out;
+  }
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+ private:
+  std::map<std::string, Value> entries_;
+};
+
+}  // namespace cas::runtime

@@ -1,0 +1,12 @@
+// Aggregate header for the solver runtime: registries (problems, engines,
+// strategies), the SolveRequest -> SolveReport strategy layer, and the
+// batch-capable SolverService. This is the layer the cas_run CLI drives
+// from declarative scenario specs.
+#pragma once
+
+#include "runtime/engines.hpp"
+#include "runtime/problems.hpp"
+#include "runtime/registry.hpp"
+#include "runtime/service.hpp"
+#include "runtime/spec.hpp"
+#include "runtime/strategy.hpp"

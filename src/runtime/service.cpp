@@ -1,0 +1,85 @@
+#include "runtime/service.hpp"
+
+#include <thread>
+
+namespace cas::runtime {
+
+util::Json SolverService::Stats::to_json() const {
+  util::Json j = util::Json::object();
+  j["submitted"] = submitted;
+  j["completed"] = completed;
+  j["solved"] = solved;
+  j["failed"] = failed;
+  j["total_iterations"] = total_iterations;
+  j["total_wall_seconds"] = total_wall_seconds;
+  return j;
+}
+
+SolverService::SolverService() : SolverService(Options{}) {}
+
+SolverService::SolverService(Options opts) : pool_(opts.pool_threads) {}
+
+SolverService::~SolverService() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+SolveReport SolverService::run_one(const SolveRequest& req) {
+  StrategyContext ctx;
+  ctx.executor = &pool_;
+  SolveReport report = solve(req, ctx);  // never throws
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.completed;
+    if (!report.error.empty())
+      ++stats_.failed;
+    else if (report.solved)
+      ++stats_.solved;
+    stats_.total_iterations += report.total_iterations;
+    stats_.total_wall_seconds += report.wall_seconds;
+    --inflight_;
+    // Notify under the lock: after the unlock the destructor may already
+    // have observed inflight_ == 0 and destroyed the condition variable.
+    idle_cv_.notify_all();
+  }
+  return report;
+}
+
+std::future<SolveReport> SolverService::submit(SolveRequest req) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.submitted;
+    ++inflight_;
+  }
+  try {
+    // One coordinator thread per in-flight request; it spends its life
+    // blocked on the request's walker chunks, which run on the shared pool.
+    return std::async(std::launch::async,
+                      [this, req = std::move(req)] { return run_one(req); });
+  } catch (...) {
+    // Thread creation failed: no coordinator will ever decrement
+    // inflight_, so roll the accounting back or the destructor hangs.
+    std::scoped_lock lock(mu_);
+    --stats_.submitted;
+    --inflight_;
+    idle_cv_.notify_all();
+    throw;
+  }
+}
+
+std::vector<SolveReport> SolverService::solve_batch(const std::vector<SolveRequest>& requests) {
+  std::vector<std::future<SolveReport>> futures;
+  futures.reserve(requests.size());
+  for (const auto& req : requests) futures.push_back(submit(req));
+  std::vector<SolveReport> reports;
+  reports.reserve(futures.size());
+  for (auto& f : futures) reports.push_back(f.get());
+  return reports;
+}
+
+SolverService::Stats SolverService::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace cas::runtime

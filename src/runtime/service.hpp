@@ -1,0 +1,77 @@
+// SolverService: the server-shaped entry point of the runtime. Accepts
+// many concurrent SolveRequests and executes them over ONE shared
+// par::ThreadPool, so a batch of requests time-shares the machine instead
+// of each spawning its own walker threads (the oversubscription the
+// ROADMAP's production framing forbids).
+//
+// Each request keeps its own first-win cancellation: run_multiwalk gives
+// every request a private stop flag, so a winner in one request never
+// cancels walkers of another — a test races >= 8 concurrent requests to
+// pin exactly that isolation.
+//
+// Requests are driven by lightweight coordinator threads (one per
+// in-flight request, blocked in future::get most of their life); walker
+// work is pool-only and never submits further pool tasks, so batches
+// cannot deadlock the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "runtime/spec.hpp"
+#include "runtime/strategy.hpp"
+
+namespace cas::runtime {
+
+class SolverService {
+ public:
+  struct Options {
+    /// Walker pool width; 0 = hardware concurrency.
+    unsigned pool_threads = 0;
+  };
+
+  /// Aggregate statistics over the service's lifetime.
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t solved = 0;
+    uint64_t failed = 0;  // completed with a non-empty error
+    uint64_t total_iterations = 0;
+    double total_wall_seconds = 0.0;  // summed per-request wall time
+
+    [[nodiscard]] util::Json to_json() const;
+  };
+
+  SolverService();
+  explicit SolverService(Options opts);
+  /// Blocks until every in-flight request has completed.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Asynchronously execute one request on the shared pool. The future
+  /// never carries an exception: failures surface as SolveReport::error.
+  std::future<SolveReport> submit(SolveRequest req);
+
+  /// Execute a batch concurrently; reports come back in request order.
+  std::vector<SolveReport> solve_batch(const std::vector<SolveRequest>& requests);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] par::ThreadPool& pool() { return pool_; }
+
+ private:
+  SolveReport run_one(const SolveRequest& req);
+
+  par::ThreadPool pool_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  Stats stats_;
+  uint64_t inflight_ = 0;
+};
+
+}  // namespace cas::runtime

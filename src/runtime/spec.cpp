@@ -1,0 +1,95 @@
+#include "runtime/spec.hpp"
+
+#include <stdexcept>
+
+#include "runtime/knobs.hpp"
+
+namespace cas::runtime {
+
+namespace {
+
+// util::Json stores numbers as doubles, exact only up to 2^53. Seeds (and
+// in principle the other uint64 budgets) can exceed that, so they
+// round-trip as strings beyond the exact range — a silently rounded seed
+// in the echoed request would make the report useless as a reproducibility
+// record.
+constexpr uint64_t kMaxExactJsonInt = uint64_t{1} << 53;
+
+util::Json u64_to_json(uint64_t v) {
+  if (v <= kMaxExactJsonInt) return util::Json(v);
+  return util::Json(std::to_string(v));
+}
+
+void read_u64(KnobReader& r, const std::string& key, uint64_t& out) {
+  if (const auto* v = r.take(key))
+    out = v->is_string() ? std::stoull(v->as_string()) : static_cast<uint64_t>(v->as_int());
+}
+
+}  // namespace
+
+util::Json SolveRequest::to_json() const {
+  util::Json j = util::Json::object();
+  if (!id.empty()) j["id"] = id;
+  j["problem"] = problem;
+  j["size"] = size;
+  if (!problem_config.is_null()) j["problem_config"] = problem_config;
+  j["engine"] = engine;
+  if (!engine_config.is_null()) j["engine_config"] = engine_config;
+  j["strategy"] = strategy;
+  j["walkers"] = walkers;
+  if (num_threads != 0) j["num_threads"] = static_cast<uint64_t>(num_threads);
+  if (!strategy_config.is_null()) j["strategy_config"] = strategy_config;
+  j["seed"] = u64_to_json(seed);
+  if (timeout_seconds > 0) j["timeout_seconds"] = timeout_seconds;
+  if (max_iterations != 0) j["max_iterations"] = u64_to_json(max_iterations);
+  if (probe_interval != 0) j["probe_interval"] = u64_to_json(probe_interval);
+  return j;
+}
+
+SolveRequest SolveRequest::from_json(const util::Json& j) {
+  SolveRequest req;
+  KnobReader r(j, "request");
+  r.read("id", req.id);
+  r.read("problem", req.problem);
+  r.read("size", req.size);
+  if (const auto* v = r.take("problem_config")) req.problem_config = *v;
+  r.read("engine", req.engine);
+  if (const auto* v = r.take("engine_config")) req.engine_config = *v;
+  r.read("strategy", req.strategy);
+  r.read("walkers", req.walkers);
+  r.read("num_threads", req.num_threads);
+  if (const auto* v = r.take("strategy_config")) req.strategy_config = *v;
+  read_u64(r, "seed", req.seed);
+  r.read("timeout_seconds", req.timeout_seconds);
+  read_u64(r, "max_iterations", req.max_iterations);
+  read_u64(r, "probe_interval", req.probe_interval);
+  r.finish();
+  return req;
+}
+
+util::Json SolveReport::to_json() const {
+  util::Json j = util::Json::object();
+  j["request"] = request.to_json();
+  if (!error.empty()) {
+    j["error"] = error;
+    return j;
+  }
+  j["solved"] = solved;
+  j["winner"] = winner;
+  j["wall_seconds"] = wall_seconds;
+  j["total_iterations"] = total_iterations;
+  j["walkers_run"] = walkers_run;
+  if (solved) {
+    j["winner_iterations"] = winner_stats.iterations;
+    j["winner_local_minima"] = winner_stats.local_minima;
+    j["winner_resets"] = winner_stats.resets;
+    util::Json sol = util::Json::array();
+    for (int v : winner_stats.solution) sol.push_back(v);
+    j["solution"] = std::move(sol);
+    if (checked) j["check_passed"] = check_passed;
+  }
+  if (!extras.is_null()) j["extras"] = extras;
+  return j;
+}
+
+}  // namespace cas::runtime

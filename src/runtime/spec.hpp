@@ -1,0 +1,87 @@
+// The solver runtime's wire types: a declarative SolveRequest (what to
+// solve, with what engine, under which parallel strategy) and the
+// SolveReport every strategy produces. Both round-trip through util::Json,
+// which is what makes the cas_run CLI and the SolverService batch API
+// driveable from a scenario file with no recompilation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "util/json.hpp"
+
+namespace cas::runtime {
+
+struct SolveRequest {
+  /// Optional label echoed in the report (batch bookkeeping).
+  std::string id;
+
+  // --- problem selection ---
+  std::string problem = "costas";
+  /// Instance size in the problem's natural unit (Costas order, queens
+  /// board, Langford order, ...). 0 = the problem's default; sizes that
+  /// hit an infeasible instance (Langford, partition) are rounded up to
+  /// the nearest valid one.
+  int size = 0;
+  /// Problem-specific options, e.g. {"err": "unit", "chang": false} for
+  /// Costas. Null/absent = model defaults.
+  util::Json problem_config;
+
+  // --- engine selection ---
+  std::string engine = "as";
+  /// Engine knob overrides on top of the problem's tuned defaults, e.g.
+  /// {"plateau_probability": 0.8}. Unknown keys are an error.
+  util::Json engine_config;
+
+  // --- parallel strategy ---
+  std::string strategy = "multiwalk";
+  int walkers = 4;
+  /// Cap on concurrent OS threads (0 = one per walker / executor width).
+  /// Only meaningful for the multi-walk-based strategies; mpi, collective,
+  /// and neighborhood own one thread per rank/replica and reject it.
+  unsigned num_threads = 0;
+  /// Strategy-specific knobs, e.g. {"adopt_probability": 0.25} for
+  /// cooperative or {"engines": ["as", "tabu"]} for portfolio.
+  util::Json strategy_config;
+
+  // --- budget ---
+  uint64_t seed = 2012;
+  double timeout_seconds = 0.0;       // 0 = unlimited
+  uint64_t max_iterations = 0;        // per walker; 0 = unlimited
+  uint64_t probe_interval = 0;        // 0 = engine default
+
+  [[nodiscard]] util::Json to_json() const;
+  /// Build from a spec object; unknown keys are an error (typos in
+  /// scenario files fail loudly, mirroring util::Flags).
+  static SolveRequest from_json(const util::Json& j);
+};
+
+struct SolveReport {
+  SolveRequest request;  // with defaults resolved (size filled in, ...)
+
+  bool solved = false;
+  int winner = -1;               // walker id of the first solution (-1: none)
+  double wall_seconds = 0.0;     // time until the winner finished
+  uint64_t total_iterations = 0; // summed over all walkers
+  core::RunStats winner_stats;   // meaningful iff solved
+  int walkers_run = 0;           // walkers that actually executed
+
+  /// Solution checked against the problem's independent verifier (e.g.
+  /// costas::is_costas); `checked` is false when no verifier exists.
+  bool checked = false;
+  bool check_passed = false;
+
+  /// Strategy-specific extras (e.g. collective aggregate stats, blackboard
+  /// improvement counts). Null when the strategy has none.
+  util::Json extras;
+
+  /// Non-empty when the request failed validation or execution; all other
+  /// fields are then meaningless.
+  std::string error;
+
+  [[nodiscard]] util::Json to_json() const;
+};
+
+}  // namespace cas::runtime

@@ -1,0 +1,61 @@
+// The Strategy abstraction: one SolveRequest -> SolveReport contract over
+// every parallel execution scheme the par layer implements —
+//
+//   sequential    one walker, no parallelism (the paper's Table I setting)
+//   multiwalk     independent multi-walk threads, first win cancels the rest
+//                 (paper Sec. V-A); honours num_threads oversubscription,
+//                 a shared executor, and the wall-clock deadline
+//   mpi           the paper's OpenMPI control flow on the in-process
+//                 communicator (winner broadcasts SOLUTION_FOUND)
+//   collective    mpi plus the allreduce/gather statistics epilogue
+//   portfolio     heterogeneous engines racing on the same instance
+//   cooperative   dependent multi-walk sharing a best-configuration
+//                 blackboard (the paper's Sec. VI future work)
+//   neighborhood  single-walk parallelism: replicas scan the move
+//                 neighborhood of ONE walk (the other Sec. V branch)
+//
+// Strategies are registry entries, so `cas_run --strategy=...` and the
+// SolverService pick them by name at runtime; the templated par runners sit
+// beneath this layer and are not duplicated.
+#pragma once
+
+#include "par/thread_pool.hpp"
+#include "runtime/registry.hpp"
+#include "runtime/spec.hpp"
+
+namespace cas::runtime {
+
+/// Execution environment handed to a strategy by the caller. The
+/// multi-walk-based strategies (sequential, multiwalk, portfolio,
+/// cooperative) run their walkers on `executor` when provided (the
+/// SolverService's shared pool) instead of spawning fresh threads. The
+/// communicator/replica strategies (mpi, collective, neighborhood)
+/// inherently own one thread per rank/replica: they ignore the executor
+/// and reject a num_threads cap rather than silently dishonour it.
+struct StrategyContext {
+  par::ThreadPool* executor = nullptr;
+};
+
+struct StrategyInfo {
+  std::string description;
+  /// Executes the (already resolved) request; fills everything in `report`
+  /// except `request`, which the caller has set. Throws on malformed
+  /// strategy_config.
+  std::function<void(const SolveRequest& req, const StrategyContext& ctx, SolveReport& report)>
+      run;
+};
+
+/// The string-keyed strategy catalog.
+const Registry<StrategyInfo>& strategy_registry();
+
+/// Validate a request and fill derived defaults: problem/engine/strategy
+/// names must exist, the size is defaulted and rounded to a feasible
+/// instance, walkers >= 1. Throws std::invalid_argument with a message
+/// naming the valid alternatives.
+SolveRequest resolve(SolveRequest req);
+
+/// Resolve and execute one request. Never throws: validation and execution
+/// failures come back in SolveReport::error.
+SolveReport solve(const SolveRequest& req, const StrategyContext& ctx = {});
+
+}  // namespace cas::runtime

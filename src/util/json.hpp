@@ -1,7 +1,7 @@
-// Minimal JSON value model and writer, so bench binaries can emit
-// machine-readable result artifacts (--json flags) next to their
-// paper-style text tables. Output only — the harness never parses JSON —
-// which keeps this dependency-free and small.
+// Minimal JSON value model, writer, and parser. The writer lets bench
+// binaries emit machine-readable result artifacts (--json flags) next to
+// their paper-style text tables; the parser lets the cas_run driver read
+// declarative scenario specs. Dependency-free and small.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -49,20 +50,32 @@ class Json {
   Json& operator[](const std::string& key);
   [[nodiscard]] const Json& at(const std::string& key) const;
   [[nodiscard]] bool contains(const std::string& key) const;
+  /// Pointer to the member, or nullptr when this is not an object or the
+  /// key is absent — the lookup form for optional spec fields.
+  [[nodiscard]] const Json* find(const std::string& key) const;
 
   /// Array append.
   void push_back(Json v);
   [[nodiscard]] size_t size() const;
 
   [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] int64_t as_int() const;  // requires an integral number
   [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
   [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(value_); }
 
   /// Serialize. `indent` > 0 pretty-prints with that many spaces per
   /// level; 0 emits the compact single-line form. Numbers use the shortest
   /// representation that round-trips (printf %.17g trimmed), with integral
   /// values printed without a decimal point.
   [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a JSON document (the scenario-spec reader for cas_run). Strict
+  /// except for two spec-friendly extensions: `//` line comments and
+  /// trailing commas in arrays/objects. Throws std::runtime_error with a
+  /// line:column position on malformed input.
+  static Json parse(std::string_view text);
 
  private:
   void write(std::string& out, int indent, int depth) const;

@@ -56,9 +56,13 @@ TEST(CooperativeProblem, PublishesImprovements) {
   CooperativeProblem<costas::CostasProblem> p(std::move(inner), &board, 0.0);
   core::Rng rng(3);
   p.randomize(rng);
-  // Apply a few swaps; any improvement must reach the board.
-  for (int i = 0; i < 20; ++i) {
-    p.apply_swap(static_cast<int>(rng.below(10)), static_cast<int>((rng.below(9) + 1)));
+  // Apply a few swaps; any improvement must reach the board. The swapped
+  // positions must be distinct — apply_swap(i, i) is outside the
+  // LocalSearchProblem contract (engines never produce it).
+  for (int t = 0; t < 20; ++t) {
+    const int i = static_cast<int>(rng.below(10));
+    const int j = (i + 1 + static_cast<int>(rng.below(9))) % 10;
+    p.apply_swap(i, j);
   }
   EXPECT_GE(p.publishes(), 1u);
   EXPECT_TRUE(board.best().has_value());

@@ -235,6 +235,119 @@ TEST(MultiWalkTimed, DeadlineFiresOnHardInstance) {
   for (const auto& st : result.walker_stats) EXPECT_FALSE(st.solved);
 }
 
+TEST(MultiWalkTimed, DeadlineReachesOversubscribedWalkers) {
+  // 8 walkers on 2 OS threads with a 50 ms budget: walkers claimed after
+  // the deadline has passed must still run (recording their stats) but
+  // their very first probe fires, so the whole oversubscribed queue drains
+  // in a bounded time instead of 8 x budget.
+  util::WallTimer timer;
+  std::atomic<int> ran{0};
+  const auto result = run_multiwalk_timed(
+      8, 21, /*timeout_seconds=*/0.05,
+      [&](int, uint64_t, StopToken stop) {
+        ran.fetch_add(1);
+        RunStats st;
+        for (int i = 0; i < 50000000; ++i) {
+          ++st.iterations;
+          if (stop.stop_requested()) break;
+          std::this_thread::yield();
+        }
+        return st;
+      },
+      /*num_threads=*/2);
+  EXPECT_FALSE(result.solved);
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(result.walker_stats.size(), 8u);
+  for (const auto& st : result.walker_stats) EXPECT_GT(st.iterations, 0u);
+  EXPECT_LT(timer.seconds(), 5.0);  // not 8 x 50 ms serial budgets + loop time
+}
+
+TEST(MultiWalkTimed, DeadlineZeroMeansNoDeadline) {
+  // timeout_seconds == 0 must mean "unlimited", not "instant cancel".
+  const auto result = run_multiwalk(2, 23,
+                                    [&](int, uint64_t seed, StopToken stop) {
+                                      costas::CostasProblem p(10);
+                                      core::AdaptiveSearch<costas::CostasProblem> e(
+                                          p, costas::recommended_config(10, seed));
+                                      return e.solve(stop);
+                                    },
+                                    MultiWalkOptions{});
+  EXPECT_TRUE(result.solved);
+}
+
+TEST(MultiWalkExecutor, SharedPoolRunsAllWalkers) {
+  // An executor narrower than the walker count: chunks run on the pool's
+  // threads, every walker still executes, and no fresh jthread is spawned
+  // per call (we can't observe thread creation directly, but the pool's
+  // width bounds concurrency: with 2 pool threads at most 2 walkers run at
+  // once, which the claim counter makes visible as full coverage).
+  ThreadPool pool(2);
+  MultiWalkOptions opts;
+  opts.executor = &pool;
+  std::atomic<int> ran{0};
+  const auto result = run_multiwalk(
+      16, 31,
+      [&](int, uint64_t, StopToken) {
+        ran.fetch_add(1);
+        return RunStats{};  // nobody solves: every walker must execute
+      },
+      opts);
+  EXPECT_FALSE(result.solved);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(MultiWalkExecutor, FirstWinSemanticsOnSharedPool) {
+  ThreadPool pool(4);
+  MultiWalkOptions opts;
+  opts.executor = &pool;
+  std::atomic<int> cancelled{0};
+  const auto result = run_multiwalk(
+      4, 1,
+      [&](int id, uint64_t seed, StopToken stop) {
+        return scripted_walker(id, seed, stop, 500, &cancelled);
+      },
+      opts);
+  ASSERT_TRUE(result.solved);
+  EXPECT_EQ(result.winner, 1);  // same script, same winner as the jthread form
+}
+
+TEST(MultiWalkExecutor, PoolSurvivesManySequentialRuns) {
+  // The executor form exists so batches reuse one pool; after N runs the
+  // pool must still be healthy (no leaked shutdowns, no deadlock).
+  ThreadPool pool(2);
+  MultiWalkOptions opts;
+  opts.executor = &pool;
+  for (int round = 0; round < 5; ++round) {
+    const auto result = run_multiwalk(
+        3, static_cast<uint64_t>(round),
+        [&](int, uint64_t, StopToken) {
+          RunStats st;
+          st.solved = true;
+          st.solution = {1};
+          return st;
+        },
+        opts);
+    EXPECT_TRUE(result.solved);
+  }
+}
+
+TEST(MultiWalkExecutor, SolvesRealCostasOnSharedPool) {
+  ThreadPool pool(2);
+  MultiWalkOptions opts;
+  opts.executor = &pool;
+  const auto result = run_multiwalk(
+      4, 2012,
+      [&](int, uint64_t seed, StopToken stop) {
+        costas::CostasProblem problem(12);
+        core::AdaptiveSearch<costas::CostasProblem> engine(
+            problem, costas::recommended_config(12, seed));
+        return engine.solve(stop);
+      },
+      opts);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(costas::is_costas(result.winner_stats.solution));
+}
+
 TEST(MultiWalkTimed, FirstWinStillCancelsBeforeDeadline) {
   // A huge timeout must not delay the first-win cancellation: the whole
   // run ends as soon as one walker solves the easy instance.

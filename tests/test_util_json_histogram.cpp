@@ -96,6 +96,74 @@ TEST(Json, NumberRoundTripPrecision) {
 
 // ---------- Histogram ----------
 
+// ---------- Json::parse ----------
+
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  const Json arr = Json::parse("[1, 2, 3]");
+  ASSERT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.size(), 3u);
+  const Json obj = Json::parse(R"({"a": 1, "b": [true, null]})");
+  EXPECT_EQ(obj.at("a").as_int(), 1);
+  EXPECT_EQ(obj.at("b").size(), 2u);
+}
+
+TEST(JsonParse, RoundTripsDumpOutput) {
+  Json doc = Json::object();
+  doc["name"] = "bench";
+  doc["values"] = Json::array({1, 2.5, -3});
+  doc["nested"] = Json::object();
+  doc["nested"]["flag"] = true;
+  doc["empty_arr"] = Json::array();
+  doc["big"] = uint64_t{1} << 40;
+  for (int indent : {0, 2}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back.dump(), doc.dump()) << "indent=" << indent;
+  }
+}
+
+TEST(JsonParse, SpecExtensionsCommentsAndTrailingCommas) {
+  const Json j = Json::parse(R"({
+    // scenario specs are handwritten: comments and trailing commas allowed
+    "requests": [
+      {"problem": "costas"},
+    ],
+  })");
+  EXPECT_EQ(j.at("requests").size(), 1u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\n\t")").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");        // é
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonParse, ErrorsCarryPosition) {
+  for (const char* bad : {"", "{", "[1,", "\"unterminated", "{\"a\" 1}", "tru", "1.2.3",
+                          "[1] trailing", "{\"a\":}"}) {
+    try {
+      Json::parse(bad);
+      FAIL() << "expected parse failure for: " << bad;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("JSON parse error at "), std::string::npos);
+    }
+  }
+}
+
+TEST(JsonParse, FindAndAsInt) {
+  const Json j = Json::parse(R"({"n": 42, "x": 1.5})");
+  ASSERT_NE(j.find("n"), nullptr);
+  EXPECT_EQ(j.find("n")->as_int(), 42);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_EQ(Json("s").find("k"), nullptr);  // non-objects have no members
+  EXPECT_THROW(j.at("x").as_int(), std::logic_error);  // 1.5 is not integral
+}
+
 TEST(Histogram, RejectsBadInput) {
   EXPECT_THROW(bin_samples({}, {}), std::invalid_argument);
   HistogramOptions zero_bins;

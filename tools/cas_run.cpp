@@ -1,0 +1,183 @@
+// cas_run — the declarative driver for the solver runtime: any
+// {problem × engine × strategy} combination the registries know, from CLI
+// flags or a JSON scenario file, with no recompilation. Emits one
+// machine-readable JSON report (provenance-stamped) per invocation.
+//
+// One request from flags:
+//   $ cas_run --problem=costas --size=14 --engine=as --strategy=multiwalk --walkers=4
+//
+// A batch through the SolverService (all requests share one thread pool,
+// each keeps its own first-win cancellation):
+//   $ cas_run --scenario=scenario.json --out=report.json
+//
+// scenario.json is either an array of request objects or
+//   { "pool_threads": 8, "requests": [ {...}, {...} ] }
+//
+// Catalog listing (what names the registries accept):
+//   $ cas_run --list
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/flags.hpp"
+#include "util/provenance.hpp"
+
+using namespace cas;
+
+namespace {
+
+util::Json parse_json_flag(const util::Flags& flags, const std::string& name) {
+  const std::string& text = flags.get_string(name);
+  if (text.empty()) return {};
+  return util::Json::parse(text);
+}
+
+runtime::SolveRequest request_from_flags(const util::Flags& flags) {
+  runtime::SolveRequest req;
+  req.problem = flags.get_string("problem");
+  req.size = static_cast<int>(flags.get_int("size"));
+  req.problem_config = parse_json_flag(flags, "problem-config");
+  req.engine = flags.get_string("engine");
+  req.engine_config = parse_json_flag(flags, "engine-config");
+  req.strategy = flags.get_string("strategy");
+  req.walkers = static_cast<int>(flags.get_int("walkers"));
+  req.num_threads = static_cast<unsigned>(flags.get_int("threads"));
+  req.strategy_config = parse_json_flag(flags, "strategy-config");
+  req.seed = static_cast<uint64_t>(flags.get_int("seed"));
+  req.timeout_seconds = flags.get_double("timeout");
+  req.max_iterations = static_cast<uint64_t>(flags.get_int("max-iters"));
+  req.probe_interval = static_cast<uint64_t>(flags.get_int("probe"));
+  return req;
+}
+
+void print_catalogs() {
+  std::printf("problems:\n");
+  for (const auto& [name, entry] : runtime::problem_registry()) {
+    std::printf("  %-14s %s (default size %d%s%s)\n", name.c_str(),
+                entry.description.c_str(), entry.default_size,
+                entry.run_cooperative != nullptr ? ", cooperative" : "",
+                entry.run_neighborhood != nullptr ? ", neighborhood" : "");
+  }
+  std::printf("engines:\n");
+  for (const auto& [name, info] : runtime::engine_catalog())
+    std::printf("  %-14s %s\n", name.c_str(), info.description.c_str());
+  std::printf("strategies:\n");
+  for (const auto& [name, info] : runtime::strategy_registry())
+    std::printf("  %-14s %s\n", name.c_str(), info.description.c_str());
+}
+
+struct Scenario {
+  unsigned pool_threads = 0;
+  std::vector<runtime::SolveRequest> requests;
+};
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const util::Json doc = util::Json::parse(buf.str());
+
+  Scenario sc;
+  const util::Json* requests = &doc;
+  if (doc.is_object()) {
+    if (const auto* p = doc.find("pool_threads"))
+      sc.pool_threads = static_cast<unsigned>(p->as_int());
+    requests = doc.find("requests");
+    if (requests == nullptr)
+      throw std::runtime_error("scenario object needs a 'requests' array");
+  }
+  if (!requests->is_array()) throw std::runtime_error("scenario: expected an array of requests");
+  for (const auto& r : requests->as_array())
+    sc.requests.push_back(runtime::SolveRequest::from_json(r));
+  return sc;
+}
+
+int write_report(const util::Json& doc, const std::string& out_path, int indent) {
+  const std::string text = doc.dump(indent) + "\n";
+  if (out_path.empty() || out_path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "cas_run — declarative solver runtime driver: run any registered\n"
+      "{problem x engine x strategy} combination from flags or a JSON scenario.");
+  flags.add_string("problem", "costas", "problem name (see --list)");
+  flags.add_int("size", 0, "instance size (0 = problem default)");
+  flags.add_string("problem-config", "", "problem options as JSON, e.g. {\"err\":\"unit\"}");
+  flags.add_string("engine", "as", "engine name (see --list)");
+  flags.add_string("engine-config", "", "engine knob overrides as JSON");
+  flags.add_string("strategy", "multiwalk", "parallel strategy (see --list)");
+  flags.add_int("walkers", 4, "walkers (or scan threads for strategy=neighborhood)");
+  flags.add_int("threads", 0, "cap on concurrent OS threads (0 = one per walker)");
+  flags.add_string("strategy-config", "", "strategy knobs as JSON");
+  flags.add_int("seed", 2012, "master seed (per-walker seeds via the chaotic map)");
+  flags.add_double("timeout", 0.0, "wall-clock budget in seconds (0 = unlimited)");
+  flags.add_int("max-iters", 0, "per-walker iteration cap (0 = unlimited)");
+  flags.add_int("probe", 0, "stop-token probe interval (0 = engine default)");
+  flags.add_string("scenario", "", "JSON scenario file: batch of requests via SolverService");
+  flags.add_int("pool-threads", 0, "SolverService pool width (0 = hardware)");
+  flags.add_string("out", "-", "report path ('-' = stdout)");
+  flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
+  flags.add_bool("require-solved", false, "exit non-zero unless every request solved");
+  flags.add_bool("list", false, "print the problem/engine/strategy catalogs and exit");
+  if (!flags.parse(argc, argv)) return 0;
+
+  if (flags.get_bool("list")) {
+    print_catalogs();
+    return 0;
+  }
+
+  util::Json doc = util::Json::object();
+  doc["provenance"] = util::build_provenance();
+
+  std::vector<runtime::SolveReport> reports;
+  try {
+    if (!flags.get_string("scenario").empty()) {
+      Scenario sc = load_scenario(flags.get_string("scenario"));
+      if (flags.get_int("pool-threads") > 0)
+        sc.pool_threads = static_cast<unsigned>(flags.get_int("pool-threads"));
+      runtime::SolverService service({sc.pool_threads});
+      reports = service.solve_batch(sc.requests);
+      doc["pool_threads"] = static_cast<uint64_t>(service.pool().size());
+      doc["service"] = service.stats().to_json();
+    } else {
+      reports.push_back(runtime::solve(request_from_flags(flags)));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  util::Json results = util::Json::array();
+  bool any_error = false, all_solved = true;
+  for (const auto& rep : reports) {
+    results.push_back(rep.to_json());
+    if (!rep.error.empty()) any_error = true;
+    if (!rep.solved) all_solved = false;
+    if (rep.checked && !rep.check_passed) any_error = true;
+  }
+  doc["results"] = std::move(results);
+
+  const int rc = write_report(doc, flags.get_string("out"), flags.get_bool("compact") ? 0 : 2);
+  if (rc != 0) return rc;
+  if (any_error) return 1;
+  if (flags.get_bool("require-solved") && !all_solved) return 1;
+  return 0;
+}
