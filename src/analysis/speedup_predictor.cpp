@@ -44,6 +44,10 @@ std::vector<PredictedSpeedup> predict_speedup_curve_empirical(const Ecdf& ecdf,
   return out;
 }
 
+double expected_walker_seconds(const ShiftedExponential& fit, int cores) {
+  return cores * predict_speedup(fit, cores).expected_time;
+}
+
 double efficiency_knee(const ShiftedExponential& fit) {
   return max_cores_at_efficiency(fit, 0.5);  // k* = 2 + lambda/mu
 }

@@ -55,4 +55,11 @@ double efficiency_knee(const ShiftedExponential& fit);
 /// (saturating; infinity when mu <= 0).
 double max_cores_at_efficiency(const ShiftedExponential& fit, double efficiency);
 
+/// Expected cumulative machine time of first-win multi-walk: every one of
+/// the k walkers runs until the winner finishes, so the bill is
+/// k * E[T_k] = k*mu + lambda. This is the quantity a serving layer
+/// admits and budgets on (walker-seconds, not wall-seconds): parallelism
+/// buys latency but the machine-time floor is lambda however wide you go.
+double expected_walker_seconds(const ShiftedExponential& fit, int cores);
+
 }  // namespace cas::analysis

@@ -1,0 +1,76 @@
+// Cost-estimated admission for the SolverService.
+//
+// The paper's Sec. V-B observation — run times are (shifted-)exponentially
+// distributed — is what makes request cost PREDICTABLE: the same fitted
+// distribution that predicts multi-walk speedup (analysis/speedup_predictor)
+// predicts the expected machine-time bill of a request. For first-win
+// multi-walk over a fit {mu, lambda} the bill is
+//
+//     E[walker-seconds] = k * E[T_k] = k*mu + lambda
+//
+// i.e. parallelism buys latency, but the machine-time floor is lambda no
+// matter how many walkers race. A serving layer can therefore admit, queue,
+// or reject a request BEFORE burning pool time on it.
+//
+// Calibration: per-problem curves of single-walker run-time fits keyed by
+// instance size. Costas ships a built-in curve (machine-measured means in
+// the exponential regime, mu = 0; order-of-magnitude defaults, not paper
+// claims). Unknown problems/sizes beyond the curve extrapolate
+// geometrically — the solution-density collapse of Sec. II makes log-linear
+// growth the right prior. calibrate() overrides any point from measured
+// samples via analysis/exponential_fit, so a long-running service can keep
+// its model honest from its own completed reports.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/exponential_fit.hpp"
+#include "runtime/spec.hpp"
+
+namespace cas::runtime {
+
+struct CostEstimate {
+  /// False when no calibration curve covers the problem — the service
+  /// admits such requests (the model only gates what it can price).
+  bool known = false;
+  int effective_walkers = 1;
+  double expected_wall_seconds = 0;    // E[T_k] for the strategy/walkers
+  double expected_walker_seconds = 0;  // k * E[T_k] — the machine-time bill
+  /// Single-walker run-time model the estimate came from (seconds).
+  analysis::ShiftedExponential fit;
+
+  [[nodiscard]] util::Json to_json() const;
+};
+
+class CostModel {
+ public:
+  /// Built-in calibration (currently: the Costas curve).
+  CostModel();
+
+  /// Price a resolve()d request. Budget caps tighten the estimate: a
+  /// wall-clock timeout bounds the bill at k * timeout, an iteration cap
+  /// at k * max_iterations / iterations_per_second.
+  [[nodiscard]] CostEstimate estimate(const SolveRequest& resolved) const;
+
+  /// Fit measured single-walker run times (seconds) and install the result
+  /// as the calibration point for (problem, size), overriding any built-in
+  /// value. Requires >= 2 samples (analysis::fit_shifted_exponential).
+  void calibrate(const std::string& problem, int size, const std::vector<double>& run_seconds);
+
+  /// Engine iteration rate used to convert max_iterations caps to seconds.
+  void set_iterations_per_second(double rate) { iterations_per_second_ = rate; }
+  [[nodiscard]] double iterations_per_second() const { return iterations_per_second_; }
+
+ private:
+  /// size -> single-walker run-time fit (seconds).
+  using Curve = std::map<int, analysis::ShiftedExponential>;
+
+  [[nodiscard]] analysis::ShiftedExponential fit_for(const Curve& curve, int size) const;
+
+  std::map<std::string, Curve> curves_;
+  double iterations_per_second_ = 1.2e5;
+};
+
+}  // namespace cas::runtime

@@ -1,0 +1,40 @@
+#include "runtime/report_cache.hpp"
+
+namespace cas::runtime {
+
+std::optional<SolveReport> ReportCache::get(const std::string& key, double now) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (ttl_seconds_ > 0 && now - it->second->stored_at >= ttl_seconds_) {
+    lru_.erase(it->second);
+    entries_.erase(it);
+    ++expired_;
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->report;
+}
+
+void ReportCache::put(const std::string& key, SolveReport report, double now) {
+  if (capacity_ == 0) return;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second->report = std::move(report);
+    it->second->stored_at = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, std::move(report), now});
+  entries_[key] = lru_.begin();
+}
+
+}  // namespace cas::runtime

@@ -1,0 +1,58 @@
+// Bounded LRU cache of SolveReports keyed by canonical request
+// (SolveRequest::canonical_key), with optional TTL expiry.
+//
+// Policy lives in the SolverService: only deterministic-seed requests whose
+// execution succeeded are ever put() here (stochastic requests are
+// dedup-only, and an unsolved run bounded by a wall-clock timeout might do
+// better on a retry, so it is not a cacheable answer). The cache itself is
+// policy-free and NOT internally synchronized — the service serializes
+// access under its own mutex. Time is passed in by the caller (monotonic
+// seconds), which keeps TTL behaviour testable without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/spec.hpp"
+
+namespace cas::runtime {
+
+class ReportCache {
+ public:
+  /// capacity 0 disables the cache (get always misses, put is a no-op);
+  /// ttl_seconds 0 means entries never expire.
+  ReportCache(size_t capacity, double ttl_seconds)
+      : capacity_(capacity), ttl_seconds_(ttl_seconds) {}
+
+  /// Lookup; a hit is moved to the front of the LRU order. An entry older
+  /// than the TTL is dropped and counted as expired, not served.
+  std::optional<SolveReport> get(const std::string& key, double now);
+
+  /// Insert/overwrite; evicts the least-recently-used entry when full.
+  void put(const std::string& key, SolveReport report, double now);
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] uint64_t hits() const { return hits_; }
+  [[nodiscard]] uint64_t misses() const { return misses_; }
+  [[nodiscard]] uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] uint64_t expired() const { return expired_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    SolveReport report;
+    double stored_at = 0;
+  };
+
+  size_t capacity_;
+  double ttl_seconds_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, expired_ = 0;
+};
+
+}  // namespace cas::runtime

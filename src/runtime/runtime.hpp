@@ -1,12 +1,15 @@
 // Aggregate header for the solver runtime: registries (problems, engines,
 // strategies), the SolveRequest -> SolveReport strategy layer, and the
-// batch-capable SolverService. This is the layer the cas_run CLI drives
-// from declarative scenario specs.
+// batch-capable SolverService with its serving machinery (canonical-key
+// dedup, the LRU report cache, and cost-estimated admission). This is the
+// layer the cas_run CLI drives from declarative scenario specs.
 #pragma once
 
+#include "runtime/cost_model.hpp"
 #include "runtime/engines.hpp"
 #include "runtime/problems.hpp"
 #include "runtime/registry.hpp"
+#include "runtime/report_cache.hpp"
 #include "runtime/service.hpp"
 #include "runtime/spec.hpp"
 #include "runtime/strategy.hpp"

@@ -1,15 +1,41 @@
 #include "runtime/service.hpp"
 
+#include <chrono>
 #include <thread>
 
 namespace cas::runtime {
 
-util::Json SolverService::Stats::to_json() const {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A future already holding its report — the shape of every serving path
+/// that skips execution (cache hit, dedup is promise-based, rejection).
+std::future<SolveReport> ready_future(SolveReport report) {
+  std::promise<SolveReport> p;
+  p.set_value(std::move(report));
+  return p.get_future();
+}
+
+}  // namespace
+
+util::Json ServiceStats::to_json() const {
   util::Json j = util::Json::object();
   j["submitted"] = submitted;
   j["completed"] = completed;
   j["solved"] = solved;
   j["failed"] = failed;
+  j["executions"] = executions;
+  j["dedup_hits"] = dedup_hits;
+  j["cache_hits"] = cache_hits;
+  j["rejected"] = rejected;
+  j["cache_size"] = cache_size;
+  j["cache_evictions"] = cache_evictions;
+  j["cache_expired"] = cache_expired;
+  j["estimated_walker_seconds"] = estimated_walker_seconds;
   j["total_iterations"] = total_iterations;
   j["total_wall_seconds"] = total_wall_seconds;
   return j;
@@ -17,19 +43,28 @@ util::Json SolverService::Stats::to_json() const {
 
 SolverService::SolverService() : SolverService(Options{}) {}
 
-SolverService::SolverService(Options opts) : pool_(opts.pool_threads) {}
+SolverService::SolverService(Options opts)
+    : opts_(std::move(opts)),
+      pool_(opts_.pool_threads),
+      clock_(opts_.clock ? opts_.clock : steady_seconds),
+      cache_(opts_.cache_capacity, opts_.cache_ttl_seconds) {}
 
 SolverService::~SolverService() {
   std::unique_lock lock(mu_);
   idle_cv_.wait(lock, [this] { return inflight_ == 0; });
 }
 
-SolveReport SolverService::run_one(const SolveRequest& req) {
+SolveReport SolverService::run_leader(const SolveRequest& req, const std::string& key,
+                                      const std::shared_ptr<Inflight>& entry,
+                                      bool cacheable_seed) {
   StrategyContext ctx;
   ctx.executor = &pool_;
   SolveReport report = solve(req, ctx);  // never throws
+  report.served_by = "executed";
+  std::vector<std::pair<std::string, std::promise<SolveReport>>> followers;
   {
     std::scoped_lock lock(mu_);
+    ++stats_.executions;
     ++stats_.completed;
     if (!report.error.empty())
       ++stats_.failed;
@@ -37,32 +72,138 @@ SolveReport SolverService::run_one(const SolveRequest& req) {
       ++stats_.solved;
     stats_.total_iterations += report.total_iterations;
     stats_.total_wall_seconds += report.wall_seconds;
+    if (entry != nullptr) {
+      // The inflight entry leaves the map under the same lock that admits
+      // followers, so the follower set is final here.
+      followers = std::move(entry->followers);
+      inflight_by_key_.erase(key);
+      stats_.completed += followers.size();
+      if (!report.error.empty())
+        stats_.failed += followers.size();
+      else if (report.solved)
+        stats_.solved += followers.size();
+      // Cacheable: deterministic seed, clean execution, and not an
+      // unsolved run whose only bound was the wall clock (a retry might
+      // do better — that answer must not be frozen).
+      if (cacheable_seed && report.error.empty() &&
+          (report.solved || report.request.timeout_seconds <= 0))
+        cache_.put(key, report, clock_());
+    }
     --inflight_;
     // Notify under the lock: after the unlock the destructor may already
     // have observed inflight_ == 0 and destroyed the condition variable.
     idle_cv_.notify_all();
   }
+  for (auto& [follower_id, promise] : followers) {
+    SolveReport copy = report;
+    copy.served_by = "dedup";
+    copy.request.id = follower_id;
+    promise.set_value(std::move(copy));
+  }
   return report;
 }
 
 std::future<SolveReport> SolverService::submit(SolveRequest req) {
-  {
-    std::scoped_lock lock(mu_);
-    ++stats_.submitted;
-    ++inflight_;
-  }
+  // Resolution (and hence the canonical key) happens before any serving
+  // decision; an unresolvable request skips dedup/cache/admission and goes
+  // straight to execution, where solve() turns the failure into an error
+  // report — the established stats semantics for bad requests.
+  SolveRequest resolved;
+  std::string key;
+  bool resolvable = false;
   try {
-    // One coordinator thread per in-flight request; it spends its life
+    resolved = resolve(req);
+    key = resolved.canonical_key();
+    resolvable = true;
+  } catch (const std::exception&) {
+  }
+
+  std::unique_lock lock(mu_);
+  ++stats_.submitted;
+  if (resolvable) {
+    // 1. Report cache. A hit is free, so it is served even when the
+    //    request would fail admission.
+    if (auto hit = cache_.get(key, clock_())) {
+      ++stats_.completed;
+      if (hit->solved) ++stats_.solved;
+      hit->served_by = "cache";
+      hit->request.id = req.id;
+      return ready_future(std::move(*hit));
+    }
+    // 2. In-flight dedup: coalesce onto the running execution.
+    if (const auto it = inflight_by_key_.find(key); it != inflight_by_key_.end()) {
+      ++stats_.dedup_hits;
+      it->second->followers.emplace_back(req.id, std::promise<SolveReport>{});
+      return it->second->followers.back().second.get_future();
+    }
+    // 3. Cost-estimated admission, only for work that would actually run.
+    if (opts_.admission_budget_walker_seconds > 0) {
+      const CostEstimate est = cost_model_.estimate(resolved);
+      if (est.known &&
+          est.expected_walker_seconds > opts_.admission_budget_walker_seconds) {
+        ++stats_.rejected;
+        ++stats_.completed;
+        ++stats_.failed;
+        SolveReport rejection;
+        rejection.request = std::move(resolved);
+        rejection.served_by = "rejected";
+        rejection.error = "admission rejected: estimated " +
+                          std::to_string(est.expected_walker_seconds) +
+                          " walker-seconds exceeds budget " +
+                          std::to_string(opts_.admission_budget_walker_seconds);
+        rejection.extras = util::Json::object();
+        rejection.extras["cost_estimate"] = est.to_json();
+        return ready_future(std::move(rejection));
+      }
+      if (est.known) stats_.estimated_walker_seconds += est.expected_walker_seconds;
+    }
+  }
+  ++inflight_;
+  std::shared_ptr<Inflight> entry;
+  if (resolvable) {
+    entry = std::make_shared<Inflight>();
+    inflight_by_key_[key] = entry;
+  }
+  lock.unlock();
+  // Leaders keep the resolved request (resolve is idempotent inside
+  // solve()); unresolvable requests carry the original so the error
+  // message names the offending field.
+  const SolveRequest& to_run = resolvable ? resolved : req;
+  const bool cacheable_seed = resolvable && resolved.seed != 0 && opts_.cache_capacity > 0;
+  try {
+    // One coordinator thread per executing request; it spends its life
     // blocked on the request's walker chunks, which run on the shared pool.
-    return std::async(std::launch::async,
-                      [this, req = std::move(req)] { return run_one(req); });
+    // `key` is copied, not moved: the rollback below still needs it when
+    // coordinator creation throws mid-flight.
+    return std::async(std::launch::async, [this, run = to_run, key, entry, cacheable_seed] {
+      return run_leader(run, key, entry, cacheable_seed);
+    });
   } catch (...) {
     // Thread creation failed: no coordinator will ever decrement
     // inflight_, so roll the accounting back or the destructor hangs.
-    std::scoped_lock lock(mu_);
-    --stats_.submitted;
-    --inflight_;
-    idle_cv_.notify_all();
+    // Any follower that attached in the published-but-unlaunched window
+    // must be fulfilled (with an error report) or its future would throw
+    // broken_promise instead of surfacing a SolveReport.
+    std::vector<std::pair<std::string, std::promise<SolveReport>>> orphans;
+    {
+      std::scoped_lock relock(mu_);
+      --stats_.submitted;
+      --inflight_;
+      if (entry != nullptr) {
+        orphans = std::move(entry->followers);
+        inflight_by_key_.erase(key);
+        stats_.completed += orphans.size();
+        stats_.failed += orphans.size();
+      }
+      idle_cv_.notify_all();
+    }
+    for (auto& [follower_id, promise] : orphans) {
+      SolveReport orphan_report;
+      orphan_report.request = resolved;
+      orphan_report.request.id = follower_id;
+      orphan_report.error = "service: coordinator thread creation failed";
+      promise.set_value(std::move(orphan_report));
+    }
     throw;
   }
 }
@@ -77,9 +218,30 @@ std::vector<SolveReport> SolverService::solve_batch(const std::vector<SolveReque
   return reports;
 }
 
-SolverService::Stats SolverService::stats() const {
+ServiceStats SolverService::stats() const {
   std::scoped_lock lock(mu_);
-  return stats_;
+  ServiceStats s = stats_;
+  s.cache_hits = cache_.hits();
+  s.cache_size = cache_.size();
+  s.cache_evictions = cache_.evictions();
+  s.cache_expired = cache_.expired();
+  return s;
+}
+
+void SolverService::set_admission_budget(double walker_seconds) {
+  std::scoped_lock lock(mu_);
+  opts_.admission_budget_walker_seconds = walker_seconds;
+}
+
+void SolverService::calibrate_cost_model(const std::string& problem, int size,
+                                         const std::vector<double>& run_seconds) {
+  std::scoped_lock lock(mu_);
+  cost_model_.calibrate(problem, size, run_seconds);
+}
+
+CostModel SolverService::cost_model() const {
+  std::scoped_lock lock(mu_);
+  return cost_model_;
 }
 
 }  // namespace cas::runtime

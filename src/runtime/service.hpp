@@ -4,47 +4,105 @@
 // of each spawning its own walker threads (the oversubscription the
 // ROADMAP's production framing forbids).
 //
+// On top of the PR-2 fan-out, the service is a real serving layer:
+//
+//   dedup      concurrent requests with the same canonical key
+//              (SolveRequest::canonical_key — id excluded, defaults
+//              normalized) coalesce onto ONE execution; every follower
+//              receives the leader's report stamped served_by = "dedup".
+//   cache      completed reports of deterministic-seed requests land in a
+//              bounded LRU (optional TTL); a resubmission is served from
+//              memory, stamped served_by = "cache". Stochastic requests
+//              (seed 0 — a fresh seed is drawn per execution) are
+//              dedup-only; an unsolved timeout-bounded run is also never
+//              cached (a retry might do better).
+//   admission  a CostModel priced off the analysis layer's run-time
+//              distribution fits predicts each request's expected
+//              walker-seconds; with a budget configured, requests priced
+//              over it are rejected up front (served_by = "rejected",
+//              error names the estimate) instead of burning pool time.
+//
 // Each request keeps its own first-win cancellation: run_multiwalk gives
 // every request a private stop flag, so a winner in one request never
 // cancels walkers of another — a test races >= 8 concurrent requests to
 // pin exactly that isolation.
 //
 // Requests are driven by lightweight coordinator threads (one per
-// in-flight request, blocked in future::get most of their life); walker
+// executing request, blocked in future::get most of their life); walker
 // work is pool-only and never submits further pool tasks, so batches
-// cannot deadlock the pool.
+// cannot deadlock the pool. Dedup followers and cache hits consume no
+// coordinator at all.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "par/thread_pool.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/report_cache.hpp"
 #include "runtime/spec.hpp"
 #include "runtime/strategy.hpp"
 
 namespace cas::runtime {
+
+/// Aggregate statistics over a SolverService's lifetime — the surface the
+/// streaming front-end will export. Identities:
+///   submitted = completed + (still in flight)
+///   completed = executions + dedup_hits + cache_hits + rejected
+///   failed    = completions with a non-empty error (rejections included)
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t solved = 0;
+  uint64_t failed = 0;  // completed with a non-empty error
+
+  uint64_t executions = 0;   // real strategy runs
+  uint64_t dedup_hits = 0;   // coalesced onto an in-flight execution
+  uint64_t cache_hits = 0;   // served from the report cache
+  uint64_t rejected = 0;     // denied admission by the cost model
+
+  uint64_t cache_size = 0;       // point-in-time entry count
+  uint64_t cache_evictions = 0;  // LRU capacity evictions
+  uint64_t cache_expired = 0;    // TTL expiries observed on lookup
+
+  /// Sum of CostModel estimates over admitted executions (0 unless an
+  /// admission budget is configured).
+  double estimated_walker_seconds = 0.0;
+
+  // Real work only: dedup/cache servings do not double-count.
+  uint64_t total_iterations = 0;
+  double total_wall_seconds = 0.0;  // summed per-execution wall time
+
+  [[nodiscard]] util::Json to_json() const;
+};
 
 class SolverService {
  public:
   struct Options {
     /// Walker pool width; 0 = hardware concurrency.
     unsigned pool_threads = 0;
+    /// Report-cache entries; 0 disables caching (dedup stays on).
+    size_t cache_capacity = 128;
+    /// Cache entry lifetime; 0 = never expires.
+    double cache_ttl_seconds = 0.0;
+    /// Reject requests whose estimated walker-seconds exceed this;
+    /// 0 = admit everything. Dedup followers and cache hits are always
+    /// served — they cost nothing.
+    double admission_budget_walker_seconds = 0.0;
+    /// Monotonic clock (seconds) for cache TTL; null = steady_clock.
+    /// Injection point for the TTL tests.
+    std::function<double()> clock;
   };
 
-  /// Aggregate statistics over the service's lifetime.
-  struct Stats {
-    uint64_t submitted = 0;
-    uint64_t completed = 0;
-    uint64_t solved = 0;
-    uint64_t failed = 0;  // completed with a non-empty error
-    uint64_t total_iterations = 0;
-    double total_wall_seconds = 0.0;  // summed per-request wall time
-
-    [[nodiscard]] util::Json to_json() const;
-  };
+  using Stats = ServiceStats;
 
   SolverService();
   explicit SolverService(Options opts);
@@ -64,13 +122,40 @@ class SolverService {
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] par::ThreadPool& pool() { return pool_; }
 
- private:
-  SolveReport run_one(const SolveRequest& req);
+  /// Reconfigure the admission budget at runtime (0 = admit everything).
+  void set_admission_budget(double walker_seconds);
+  /// Refit the admission price list for (problem, size) from measured
+  /// single-walker run times. Synchronized against concurrent submits —
+  /// the cost model is only ever touched under the service mutex, so a
+  /// long-running service can recalibrate from its own completed reports
+  /// while traffic flows.
+  void calibrate_cost_model(const std::string& problem, int size,
+                            const std::vector<double>& run_seconds);
+  /// Snapshot of the admission price list (copy: the live model is only
+  /// accessed under the service mutex).
+  [[nodiscard]] CostModel cost_model() const;
 
+ private:
+  /// One coalescing group: the leader executes, followers wait on
+  /// promises fulfilled from the leader's completion epilogue.
+  struct Inflight {
+    std::vector<std::pair<std::string /*follower request id*/, std::promise<SolveReport>>>
+        followers;
+  };
+
+  SolveReport run_leader(const SolveRequest& resolved, const std::string& key,
+                         const std::shared_ptr<Inflight>& entry, bool cacheable_seed);
+
+  Options opts_;
   par::ThreadPool pool_;
+  CostModel cost_model_;
+  std::function<double()> clock_;
+
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
-  Stats stats_;
+  ServiceStats stats_;
+  ReportCache cache_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_by_key_;
   uint64_t inflight_ = 0;
 };
 

@@ -67,9 +67,38 @@ SolveRequest SolveRequest::from_json(const util::Json& j) {
   return req;
 }
 
+util::Json SolveRequest::canonical_json() const {
+  util::Json j = util::Json::object();
+  j["problem"] = problem;
+  j["size"] = size;
+  j["engine"] = engine;
+  j["strategy"] = strategy;
+  j["walkers"] = walkers;
+  j["num_threads"] = static_cast<uint64_t>(num_threads);
+  j["seed"] = u64_to_json(seed);
+  j["timeout_seconds"] = timeout_seconds;
+  j["max_iterations"] = u64_to_json(max_iterations);
+  j["probe_interval"] = u64_to_json(probe_interval);
+  // Configs: null members dropped, and a config that canonicalizes to an
+  // empty object is the same request as one with no config at all.
+  const auto put_config = [&j](const char* key, const util::Json& cfg) {
+    if (cfg.is_null()) return;
+    util::Json c = cfg.canonicalized();
+    if (c.is_object() && c.size() == 0) return;
+    j[key] = std::move(c);
+  };
+  put_config("problem_config", problem_config);
+  put_config("engine_config", engine_config);
+  put_config("strategy_config", strategy_config);
+  return j;
+}
+
+std::string SolveRequest::canonical_key() const { return canonical_json().dump(0); }
+
 util::Json SolveReport::to_json() const {
   util::Json j = util::Json::object();
   j["request"] = request.to_json();
+  if (!served_by.empty()) j["served_by"] = served_by;
   if (!error.empty()) {
     j["error"] = error;
     return j;

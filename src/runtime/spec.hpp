@@ -47,6 +47,11 @@ struct SolveRequest {
   util::Json strategy_config;
 
   // --- budget ---
+  /// Master seed (per-walker seeds derive from it). Seed 0 marks the
+  /// request STOCHASTIC: every execution draws a fresh seed (the report
+  /// echoes the drawn one, so any individual run stays replayable). The
+  /// SolverService caches only deterministic-seed requests; stochastic
+  /// ones are dedup-only.
   uint64_t seed = 2012;
   double timeout_seconds = 0.0;       // 0 = unlimited
   uint64_t max_iterations = 0;        // per walker; 0 = unlimited
@@ -56,6 +61,18 @@ struct SolveRequest {
   /// Build from a spec object; unknown keys are an error (typos in
   /// scenario files fail loudly, mirroring util::Flags).
   static SolveRequest from_json(const util::Json& j);
+
+  /// Canonical serialization for request identity (the SolverService's
+  /// dedup/cache key). Unlike to_json, every field is emitted explicitly —
+  /// absent-vs-default spellings collapse — and `id` is EXCLUDED: it is a
+  /// bookkeeping label, not part of the work, so two requests differing
+  /// only in id are the same computation. Configs are canonicalized (null
+  /// members dropped; empty objects treated as absent). Call on a
+  /// resolve()d request so size defaults are normalized too.
+  [[nodiscard]] util::Json canonical_json() const;
+  /// `canonical_json().dump(0)` — hashes/compares equal iff the requests
+  /// describe identical work.
+  [[nodiscard]] std::string canonical_key() const;
 };
 
 struct SolveReport {
@@ -76,6 +93,13 @@ struct SolveReport {
   /// Strategy-specific extras (e.g. collective aggregate stats, blackboard
   /// improvement counts). Null when the strategy has none.
   util::Json extras;
+
+  /// Serving provenance, stamped by the SolverService: "executed" (a real
+  /// strategy run), "dedup" (coalesced onto a concurrent identical
+  /// request's execution), "cache" (served from the report cache), or
+  /// "rejected" (denied admission by the cost model). Empty when the
+  /// report came from a bare runtime::solve call.
+  std::string served_by;
 
   /// Non-empty when the request failed validation or execution; all other
   /// fields are then meaningless.

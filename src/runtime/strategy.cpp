@@ -1,6 +1,7 @@
 #include "runtime/strategy.hpp"
 
 #include <memory>
+#include <random>
 #include <stdexcept>
 
 #include "par/cooperative.hpp"
@@ -262,11 +263,29 @@ SolveRequest resolve(SolveRequest req) {
   return req;
 }
 
+namespace {
+
+/// Fresh nonzero seed for stochastic (seed = 0) requests. Drawn per
+/// execution — NOT in resolve(), so a request's canonical key (computed on
+/// the resolved form) still reads seed 0 and identical stochastic requests
+/// coalesce under dedup while bypassing the report cache.
+uint64_t draw_seed() {
+  std::random_device rd;
+  uint64_t s = 0;
+  while (s == 0) s = (static_cast<uint64_t>(rd()) << 32) | rd();
+  return s;
+}
+
+}  // namespace
+
 SolveReport solve(const SolveRequest& req, const StrategyContext& ctx) {
   SolveReport report;
   report.request = req;
   try {
     report.request = resolve(req);
+    // The echoed request carries the drawn seed, so any individual
+    // stochastic run stays replayable as a deterministic request.
+    if (report.request.seed == 0) report.request.seed = draw_seed();
     const auto& strategy = strategy_registry().at(report.request.strategy, "strategy");
     strategy.run(report.request, ctx, report);
   } catch (const std::exception& e) {

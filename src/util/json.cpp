@@ -154,6 +154,24 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+Json Json::canonicalized() const {
+  if (is_array()) {
+    Array out;
+    out.reserve(std::get<Array>(value_).size());
+    for (const auto& v : std::get<Array>(value_)) out.push_back(v.canonicalized());
+    return Json(std::move(out));
+  }
+  if (is_object()) {
+    Object out;
+    for (const auto& [k, v] : std::get<Object>(value_)) {
+      if (v.is_null()) continue;
+      out.emplace(k, v.canonicalized());
+    }
+    return Json(std::move(out));
+  }
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Parser: recursive descent over the grammar of json.org, plus `//` line
 // comments and trailing commas (scenario specs are written by hand).

@@ -71,6 +71,14 @@ class Json {
   /// values printed without a decimal point.
   [[nodiscard]] std::string dump(int indent = 0) const;
 
+  /// Copy normalized for use as a lookup key: object members whose value
+  /// is null are dropped recursively, so the absent and null spellings of
+  /// an optional field collapse to one form. Key order (sorted map) and
+  /// number formatting (integral values never carry a decimal point) are
+  /// already canonical, so `canonicalized().dump(0)` of two semantically
+  /// equal documents compares equal byte for byte.
+  [[nodiscard]] Json canonicalized() const;
+
   /// Parse a JSON document (the scenario-spec reader for cas_run). Strict
   /// except for two spec-friendly extensions: `//` line comments and
   /// trailing commas in arrays/objects. Throws std::runtime_error with a

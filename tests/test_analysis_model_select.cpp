@@ -194,6 +194,22 @@ TEST(SpeedupPredictor, ShiftCausesSaturation) {
   EXPECT_GT(predict_speedup(fit, 1 << 20).speedup, 95.0);
 }
 
+TEST(SpeedupPredictor, WalkerSecondsAreKMuPlusLambda) {
+  // The machine-time bill of first-win multi-walk: k * E[T_k] = k*mu +
+  // lambda. In the pure-exponential regime the bill is flat in k —
+  // parallelism buys latency for free machine time — while a shift makes
+  // width cost real money. This is the quantity the SolverService admits on.
+  const ShiftedExponential pure{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(expected_walker_seconds(pure, 1), 10.0);
+  EXPECT_DOUBLE_EQ(expected_walker_seconds(pure, 512), 10.0);
+  const ShiftedExponential shifted{1.0, 100.0};
+  for (int k : {1, 4, 64}) {
+    EXPECT_NEAR(expected_walker_seconds(shifted, k), k * 1.0 + 100.0, 1e-9);
+    EXPECT_NEAR(expected_walker_seconds(shifted, k),
+                k * predict_speedup(shifted, k).expected_time, 1e-9);
+  }
+}
+
 TEST(SpeedupPredictor, KneeFormula) {
   const ShiftedExponential fit{2.0, 50.0};
   // efficiency(k) = (mu+lambda)/(k*mu+lambda); at k = 2 + lambda/mu this is 1/2.

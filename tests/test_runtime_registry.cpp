@@ -113,6 +113,66 @@ TEST(Spec, UnknownRequestKeyThrows) {
                std::invalid_argument);
 }
 
+TEST(CanonicalKey, IdIsExcludedFromIdentity) {
+  // The id is a bookkeeping label, not part of the work: two requests
+  // differing only in id are the same computation (what makes the
+  // SolverService coalesce them).
+  SolveRequest a = SolveRequest{};
+  a.id = "first";
+  SolveRequest b = SolveRequest{};
+  b.id = "totally-different";
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+}
+
+TEST(CanonicalKey, ResolvedDefaultsCollapseSpellings) {
+  // "size absent" and "size = the default, spelled out" are the same
+  // request once resolved; same for the sequential strategy's walker pin.
+  SolveRequest implicit_size;
+  implicit_size.problem = "costas";
+  SolveRequest explicit_size;
+  explicit_size.problem = "costas";
+  explicit_size.size = problem_registry().at("costas", "problem").default_size;
+  EXPECT_EQ(resolve(implicit_size).canonical_key(), resolve(explicit_size).canonical_key());
+
+  SolveRequest seq4;
+  seq4.strategy = "sequential";
+  seq4.walkers = 4;  // resolve pins sequential to 1 walker
+  SolveRequest seq1;
+  seq1.strategy = "sequential";
+  seq1.walkers = 1;
+  EXPECT_EQ(resolve(seq4).canonical_key(), resolve(seq1).canonical_key());
+}
+
+TEST(CanonicalKey, ConfigSpellingsNormalize) {
+  SolveRequest a, b;
+  a.engine_config = util::Json::parse(R"({"tenure": 7})");
+  b.engine_config = util::Json::parse(R"({"tenure": 7.0})");  // integral double
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+
+  // Null members drop; a config that empties out equals no config at all.
+  b.engine_config = util::Json::parse(R"({"tenure": 7, "ghost": null})");
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  SolveRequest empty_cfg, no_cfg;
+  empty_cfg.strategy_config = util::Json::object();
+  EXPECT_EQ(empty_cfg.canonical_key(), no_cfg.canonical_key());
+}
+
+TEST(CanonicalKey, DifferentWorkDiffers) {
+  const std::string base = SolveRequest{}.canonical_key();
+  SolveRequest req;
+  req.seed = 2013;
+  EXPECT_NE(req.canonical_key(), base);
+  req = SolveRequest{};
+  req.engine = "tabu";
+  EXPECT_NE(req.canonical_key(), base);
+  req = SolveRequest{};
+  req.engine_config = util::Json::parse(R"({"tabu_tenure": 9})");
+  EXPECT_NE(req.canonical_key(), base);
+  req = SolveRequest{};
+  req.walkers = 8;
+  EXPECT_NE(req.canonical_key(), base);
+}
+
 TEST(Resolve, FillsDefaultSizeAndValidates) {
   SolveRequest req;
   req.problem = "costas";

@@ -1,0 +1,287 @@
+// The SolverService serving layer: canonical-key dedup of concurrent
+// identical requests, the bounded LRU report cache (TTL, eviction order,
+// seed-sensitivity), and cost-estimated admission. The acceptance race —
+// 16 concurrent identical deterministic-seed requests producing exactly
+// ONE strategy execution — lives here.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/service.hpp"
+
+namespace cas::runtime {
+namespace {
+
+SolveRequest costas_request(const std::string& id, int size, uint64_t seed) {
+  SolveRequest req;
+  req.id = id;
+  req.problem = "costas";
+  req.size = size;
+  req.strategy = "multiwalk";
+  req.walkers = 2;
+  req.seed = seed;
+  return req;
+}
+
+TEST(ServiceDedup, SixteenConcurrentIdenticalRequestsOneExecution) {
+  SolverService service({/*pool_threads=*/4, /*cache_capacity=*/16});
+  // Identical work under sixteen different ids: the canonical key excludes
+  // the id, so all sixteen coalesce. Exactly one strategy execution may
+  // happen; every other submission is served by dedup (in flight) or by
+  // the cache (if the leader finished before a later submit).
+  std::vector<std::future<SolveReport>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(service.submit(costas_request("r" + std::to_string(i), 13, 42)));
+
+  std::vector<SolveReport> reports;
+  for (auto& f : futures) reports.push_back(f.get());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.dedup_hits + stats.cache_hits, 15u);
+  EXPECT_EQ(stats.submitted, 16u);
+  EXPECT_EQ(stats.completed, 16u);
+  EXPECT_EQ(stats.solved, 16u);
+
+  int executed = 0;
+  for (int i = 0; i < 16; ++i) {
+    const auto& rep = reports[static_cast<size_t>(i)];
+    ASSERT_TRUE(rep.error.empty()) << rep.error;
+    EXPECT_TRUE(rep.solved);
+    // Every follower gets the leader's answer under its own id.
+    EXPECT_EQ(rep.request.id, "r" + std::to_string(i));
+    EXPECT_EQ(rep.winner_stats.solution, reports[0].winner_stats.solution);
+    if (rep.served_by == "executed")
+      ++executed;
+    else
+      EXPECT_TRUE(rep.served_by == "dedup" || rep.served_by == "cache") << rep.served_by;
+  }
+  EXPECT_EQ(executed, 1);
+
+  // Resubmission after completion is a cache hit.
+  const auto again = service.submit(costas_request("again", 13, 42)).get();
+  EXPECT_EQ(again.served_by, "cache");
+  EXPECT_EQ(again.request.id, "again");
+  EXPECT_TRUE(again.solved);
+  EXPECT_EQ(service.stats().executions, 1u);
+}
+
+TEST(ServiceCache, LruEvictsLeastRecentlyUsed) {
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 2;
+  SolverService service(opts);
+  const auto a = costas_request("a", 9, 1);
+  const auto b = costas_request("b", 10, 2);
+  const auto c = costas_request("c", 11, 3);
+
+  service.submit(a).get();                                    // cache: [A]
+  service.submit(b).get();                                    // cache: [B, A]
+  EXPECT_EQ(service.submit(a).get().served_by, "cache");      // touch A: [A, B]
+  service.submit(c).get();                                    // evicts B: [C, A]
+  EXPECT_EQ(service.submit(a).get().served_by, "cache");      // A survived: [A, C]
+  EXPECT_EQ(service.submit(b).get().served_by, "executed");   // B was evicted
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.executions, 4u);  // a, b, c, b-again
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_evictions, 2u);  // B (by C), then C (by B-again)
+  EXPECT_EQ(stats.cache_size, 2u);
+}
+
+TEST(ServiceCache, TtlExpiresEntries) {
+  auto now = std::make_shared<double>(0.0);
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 8;
+  opts.cache_ttl_seconds = 10.0;
+  opts.clock = [now] { return *now; };
+  SolverService service(opts);
+
+  const auto req = costas_request("ttl", 10, 5);
+  EXPECT_EQ(service.submit(req).get().served_by, "executed");
+  *now = 5.0;  // within TTL
+  EXPECT_EQ(service.submit(req).get().served_by, "cache");
+  *now = 20.0;  // past TTL: entry dropped, a fresh execution runs
+  EXPECT_EQ(service.submit(req).get().served_by, "executed");
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.executions, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_expired, 1u);
+}
+
+TEST(ServiceCache, StochasticSeedRequestsBypassTheCache) {
+  SolverService service({/*pool_threads=*/2, /*cache_capacity=*/16});
+  const auto req = costas_request("stoch", 10, /*seed=*/0);  // seed 0 = stochastic
+  const auto first = service.submit(req).get();
+  const auto second = service.submit(req).get();
+  EXPECT_TRUE(first.solved);
+  EXPECT_TRUE(second.solved);
+  // Each execution drew its own fresh seed; the echo keeps it replayable.
+  EXPECT_NE(first.request.seed, 0u);
+  EXPECT_NE(second.request.seed, 0u);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.executions, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_size, 0u);
+}
+
+TEST(ServiceCache, UnsolvedTimeoutBoundedRunsAreNotCached) {
+  SolverService service({/*pool_threads=*/2, /*cache_capacity=*/16});
+  // Hopeless in 30 ms: the run completes unsolved, bounded only by the
+  // wall clock — a retry might do better, so the answer must not freeze.
+  auto req = costas_request("hard", 18, 7);
+  req.timeout_seconds = 0.03;
+  req.probe_interval = 8;
+  const auto first = service.submit(req).get();
+  ASSERT_TRUE(first.error.empty()) << first.error;
+  ASSERT_FALSE(first.solved);
+  EXPECT_EQ(service.submit(req).get().served_by, "executed");
+  EXPECT_EQ(service.stats().executions, 2u);
+  EXPECT_EQ(service.stats().cache_size, 0u);
+}
+
+TEST(ServiceCache, UnsolvedIterationCappedRunsAreCached) {
+  SolverService service({/*pool_threads=*/2, /*cache_capacity=*/16});
+  // An iteration cap with no wall-clock bound is deterministic: the same
+  // request gives the same unsolved outcome, so it is a cacheable answer.
+  auto req = costas_request("capped", 18, 7);
+  req.max_iterations = 40;
+  req.probe_interval = 8;
+  const auto first = service.submit(req).get();
+  ASSERT_TRUE(first.error.empty()) << first.error;
+  ASSERT_FALSE(first.solved);
+  const auto second = service.submit(req).get();
+  EXPECT_EQ(second.served_by, "cache");
+  EXPECT_FALSE(second.solved);
+  EXPECT_EQ(service.stats().executions, 1u);
+}
+
+TEST(ServiceAdmission, RejectsOverBudgetServesCheapAndCached) {
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 16;
+  opts.admission_budget_walker_seconds = 0.05;  // ~50 ms of machine time
+  SolverService service(opts);
+
+  // Costas 17 costs ~1 walker-second by the built-in curve: rejected
+  // before touching the pool.
+  const auto rejected = service.submit(costas_request("big", 17, 1)).get();
+  EXPECT_EQ(rejected.served_by, "rejected");
+  EXPECT_NE(rejected.error.find("admission rejected"), std::string::npos) << rejected.error;
+  ASSERT_TRUE(rejected.extras.is_object());
+  EXPECT_GT(rejected.extras.at("cost_estimate").at("expected_walker_seconds").as_number(),
+            0.05);
+
+  // Cheap work is admitted and its estimate is accounted.
+  const auto ok = service.submit(costas_request("small", 10, 1)).get();
+  EXPECT_EQ(ok.served_by, "executed");
+  EXPECT_TRUE(ok.solved);
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_GT(stats.estimated_walker_seconds, 0.0);
+
+  // A cache hit costs nothing, so it is served even under a budget that
+  // would reject the execution.
+  service.set_admission_budget(1e-9);
+  const auto cached = service.submit(costas_request("small-again", 10, 1)).get();
+  EXPECT_EQ(cached.served_by, "cache");
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(ServiceAdmission, TimeoutCapMakesBigRequestsAdmissible) {
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 0;
+  opts.admission_budget_walker_seconds = 0.5;
+  SolverService service(opts);
+  // Unbounded costas 17 is over budget, but a wall-clock cap bounds the
+  // bill at walkers x timeout, which fits.
+  auto req = costas_request("bounded", 17, 1);
+  req.walkers = 2;
+  req.timeout_seconds = 0.05;
+  req.probe_interval = 8;
+  const auto rep = service.submit(req).get();
+  EXPECT_NE(rep.served_by, "rejected") << rep.error;
+  EXPECT_TRUE(rep.error.empty()) << rep.error;
+}
+
+TEST(ServiceStatsJson, ExportsTheFullSurface) {
+  SolverService service({/*pool_threads=*/2});
+  service.submit(costas_request("s", 10, 3)).get();
+  const util::Json j = service.stats().to_json();
+  for (const char* key :
+       {"submitted", "completed", "solved", "failed", "executions", "dedup_hits", "cache_hits",
+        "rejected", "cache_size", "cache_evictions", "cache_expired",
+        "estimated_walker_seconds", "total_iterations", "total_wall_seconds"})
+    EXPECT_TRUE(j.contains(key)) << key;
+  EXPECT_EQ(j.at("executions").as_int(), 1);
+}
+
+// ---------- CostModel ----------
+
+TEST(CostModel, CostasCurveGrowsWithSizeAndIsWalkerInvariantAtMuZero) {
+  CostModel model;
+  SolveRequest req = costas_request("", 13, 1);
+  const auto e13 = model.estimate(resolve(req));
+  req.size = 16;
+  const auto e16 = model.estimate(resolve(req));
+  ASSERT_TRUE(e13.known);
+  ASSERT_TRUE(e16.known);
+  EXPECT_GT(e16.expected_walker_seconds, e13.expected_walker_seconds);
+  // mu = 0 regime: the machine-time bill is lambda no matter how wide the
+  // race — parallelism buys latency only.
+  req.walkers = 16;
+  const auto wide = model.estimate(resolve(req));
+  EXPECT_NEAR(wide.expected_walker_seconds, e16.expected_walker_seconds,
+              1e-9 + 0.01 * e16.expected_walker_seconds);
+  EXPECT_LT(wide.expected_wall_seconds, e16.expected_wall_seconds);
+}
+
+TEST(CostModel, InterpolatesAndExtrapolatesGeometrically) {
+  CostModel model;
+  SolveRequest req = costas_request("", 15, 1);
+  const double at15 = model.estimate(resolve(req)).expected_walker_seconds;
+  req.size = 16;
+  const double at16 = model.estimate(resolve(req)).expected_walker_seconds;
+  req.size = 19;  // beyond the curve: log-linear extrapolation keeps growing
+  const double at19 = model.estimate(resolve(req)).expected_walker_seconds;
+  EXPECT_GT(at16, at15);
+  EXPECT_GT(at19, 10 * at16);
+}
+
+TEST(CostModel, UnknownProblemsAreNotPriced) {
+  CostModel model;
+  SolveRequest req;
+  req.problem = "queens";
+  req.size = 32;
+  EXPECT_FALSE(model.estimate(resolve(req)).known);
+}
+
+TEST(CostModel, CalibrateOverridesFromMeasuredSamples) {
+  CostModel model;
+  // Ten measured single-walker runs around 2 s install a sharper point
+  // than the built-in curve (analysis::fit_shifted_exponential underneath).
+  model.calibrate("queens", 32, {1.8, 2.0, 2.2, 1.9, 2.1, 2.0, 1.95, 2.05, 2.15, 1.85});
+  SolveRequest req;
+  req.problem = "queens";
+  req.size = 32;
+  req.walkers = 4;
+  const auto est = model.estimate(resolve(req));
+  ASSERT_TRUE(est.known);
+  // k*mu + lambda with mu ~= 1.8, lambda ~= 0.2: around 7.4 walker-seconds.
+  EXPECT_GT(est.expected_walker_seconds, 5.0);
+  EXPECT_LT(est.expected_walker_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace cas::runtime

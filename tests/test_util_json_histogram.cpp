@@ -98,6 +98,34 @@ TEST(Json, NumberRoundTripPrecision) {
 
 // ---------- Json::parse ----------
 
+TEST(Json, CanonicalizedDropsNullObjectMembersRecursively) {
+  Json j = Json::object();
+  j["keep"] = 1;
+  j["drop"] = Json(nullptr);
+  j["nested"] = Json::object();
+  j["nested"]["inner_drop"] = Json(nullptr);
+  j["nested"]["inner_keep"] = "x";
+  j["arr"] = Json::array({Json(nullptr), Json(2)});  // array elements keep position
+  const Json c = j.canonicalized();
+  EXPECT_EQ(c.dump(), R"({"arr":[null,2],"keep":1,"nested":{"inner_keep":"x"}})");
+}
+
+TEST(Json, CanonicalFormIsInsertionOrderIndependent) {
+  // Objects are sorted maps: the emission order never follows insertion
+  // order, so semantically equal documents dump byte-identically — the
+  // property the runtime's request keys are built on.
+  Json a = Json::object();
+  a["zeta"] = 1;
+  a["alpha"] = Json::array({true});
+  a["mid"] = 2.0;  // integral double prints without a decimal point
+  Json b = Json::object();
+  b["mid"] = 2;
+  b["alpha"] = Json::array({true});
+  b["zeta"] = 1.0;
+  EXPECT_EQ(a.canonicalized().dump(), b.canonicalized().dump());
+  EXPECT_EQ(a.dump(), R"({"alpha":[true],"mid":2,"zeta":1})");
+}
+
 TEST(JsonParse, ScalarsAndContainers) {
   EXPECT_TRUE(Json::parse("null").is_null());
   EXPECT_TRUE(Json::parse("true").as_bool());

@@ -7,11 +7,18 @@
 //   $ cas_run --problem=costas --size=14 --engine=as --strategy=multiwalk --walkers=4
 //
 // A batch through the SolverService (all requests share one thread pool,
-// each keeps its own first-win cancellation):
-//   $ cas_run --scenario=scenario.json --out=report.json
+// each keeps its own first-win cancellation; identical concurrent requests
+// coalesce, and with --cache completed deterministic-seed reports are
+// served from memory on resubmission — see each report's "served_by"):
+//   $ cas_run --scenario=scenario.json --cache=64 --out=report.json
 //
 // scenario.json is either an array of request objects or
 //   { "pool_threads": 8, "requests": [ {...}, {...} ] }
+// optionally with service options ("cache", "cache_ttl", "admit_budget")
+// and/or "waves": an array of request arrays solved as successive batches
+// over ONE service, so later waves hit the cache warmed by earlier ones.
+// "description" and "expect" keys are ignored by cas_run itself — the CI
+// corpus checker (tools/check_report.py) reads them.
 //
 // Catalog listing (what names the registries accept):
 //   $ cas_run --list
@@ -70,9 +77,26 @@ void print_catalogs() {
 }
 
 struct Scenario {
-  unsigned pool_threads = 0;
-  std::vector<runtime::SolveRequest> requests;
+  // Caching defaults OFF in the CLI (a one-shot driver), unlike the
+  // library's serving default; the scenario file's "cache" key or the
+  // --cache flag turns it on.
+  runtime::SolverService::Options service = [] {
+    runtime::SolverService::Options o;
+    o.cache_capacity = 0;
+    return o;
+  }();
+  /// Successive batches over one service; single-batch scenarios are one
+  /// wave. Cache state persists across waves, so a wave re-issuing an
+  /// earlier wave's requests demonstrates (and tests) cache hits.
+  std::vector<std::vector<runtime::SolveRequest>> waves;
 };
+
+std::vector<runtime::SolveRequest> parse_requests(const util::Json& arr) {
+  if (!arr.is_array()) throw std::runtime_error("scenario: expected an array of requests");
+  std::vector<runtime::SolveRequest> out;
+  for (const auto& r : arr.as_array()) out.push_back(runtime::SolveRequest::from_json(r));
+  return out;
+}
 
 Scenario load_scenario(const std::string& path) {
   std::ifstream in(path);
@@ -82,17 +106,25 @@ Scenario load_scenario(const std::string& path) {
   const util::Json doc = util::Json::parse(buf.str());
 
   Scenario sc;
-  const util::Json* requests = &doc;
-  if (doc.is_object()) {
-    if (const auto* p = doc.find("pool_threads"))
-      sc.pool_threads = static_cast<unsigned>(p->as_int());
-    requests = doc.find("requests");
-    if (requests == nullptr)
-      throw std::runtime_error("scenario object needs a 'requests' array");
+  if (!doc.is_object()) {
+    sc.waves.push_back(parse_requests(doc));
+    return sc;
   }
-  if (!requests->is_array()) throw std::runtime_error("scenario: expected an array of requests");
-  for (const auto& r : requests->as_array())
-    sc.requests.push_back(runtime::SolveRequest::from_json(r));
+  if (const auto* p = doc.find("pool_threads"))
+    sc.service.pool_threads = static_cast<unsigned>(p->as_int());
+  if (const auto* p = doc.find("cache"))
+    sc.service.cache_capacity = static_cast<size_t>(p->as_int());
+  if (const auto* p = doc.find("cache_ttl")) sc.service.cache_ttl_seconds = p->as_number();
+  if (const auto* p = doc.find("admit_budget"))
+    sc.service.admission_budget_walker_seconds = p->as_number();
+  if (const auto* waves = doc.find("waves")) {
+    if (!waves->is_array()) throw std::runtime_error("scenario: 'waves' must be an array of request arrays");
+    for (const auto& wave : waves->as_array()) sc.waves.push_back(parse_requests(wave));
+  } else if (const auto* requests = doc.find("requests")) {
+    sc.waves.push_back(parse_requests(*requests));
+  } else {
+    throw std::runtime_error("scenario object needs a 'requests' or 'waves' array");
+  }
   return sc;
 }
 
@@ -127,12 +159,19 @@ int main(int argc, char** argv) {
   flags.add_int("walkers", 4, "walkers (or scan threads for strategy=neighborhood)");
   flags.add_int("threads", 0, "cap on concurrent OS threads (0 = one per walker)");
   flags.add_string("strategy-config", "", "strategy knobs as JSON");
-  flags.add_int("seed", 2012, "master seed (per-walker seeds via the chaotic map)");
+  flags.add_int("seed", 2012,
+                "master seed (per-walker seeds via the chaotic map); 0 = stochastic: "
+                "a fresh seed per execution, never served from the report cache");
   flags.add_double("timeout", 0.0, "wall-clock budget in seconds (0 = unlimited)");
   flags.add_int("max-iters", 0, "per-walker iteration cap (0 = unlimited)");
   flags.add_int("probe", 0, "stop-token probe interval (0 = engine default)");
   flags.add_string("scenario", "", "JSON scenario file: batch of requests via SolverService");
   flags.add_int("pool-threads", 0, "SolverService pool width (0 = hardware)");
+  flags.add_int("cache", 0, "report-cache capacity in entries (0 = caching off)");
+  flags.add_double("cache-ttl", 0.0, "report-cache TTL in seconds (0 = never expires)");
+  flags.add_double("admit-budget", 0.0,
+                   "reject requests whose estimated cost exceeds this many walker-seconds "
+                   "(0 = admit everything)");
   flags.add_string("out", "-", "report path ('-' = stdout)");
   flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
   flags.add_bool("require-solved", false, "exit non-zero unless every request solved");
@@ -149,17 +188,30 @@ int main(int argc, char** argv) {
 
   std::vector<runtime::SolveReport> reports;
   try {
-    if (!flags.get_string("scenario").empty()) {
-      Scenario sc = load_scenario(flags.get_string("scenario"));
-      if (flags.get_int("pool-threads") > 0)
-        sc.pool_threads = static_cast<unsigned>(flags.get_int("pool-threads"));
-      runtime::SolverService service({sc.pool_threads});
-      reports = service.solve_batch(sc.requests);
-      doc["pool_threads"] = static_cast<uint64_t>(service.pool().size());
-      doc["service"] = service.stats().to_json();
-    } else {
-      reports.push_back(runtime::solve(request_from_flags(flags)));
+    Scenario sc;
+    if (!flags.get_string("scenario").empty())
+      sc = load_scenario(flags.get_string("scenario"));
+    else
+      sc.waves.push_back({request_from_flags(flags)});
+    // CLI flags override the scenario file's service options.
+    if (flags.get_int("pool-threads") > 0)
+      sc.service.pool_threads = static_cast<unsigned>(flags.get_int("pool-threads"));
+    if (flags.get_int("cache") > 0)
+      sc.service.cache_capacity = static_cast<size_t>(flags.get_int("cache"));
+    if (flags.get_double("cache-ttl") > 0)
+      sc.service.cache_ttl_seconds = flags.get_double("cache-ttl");
+    if (flags.get_double("admit-budget") > 0)
+      sc.service.admission_budget_walker_seconds = flags.get_double("admit-budget");
+
+    runtime::SolverService service(sc.service);
+    for (const auto& wave : sc.waves) {
+      auto batch = service.solve_batch(wave);
+      reports.insert(reports.end(), std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
     }
+    doc["pool_threads"] = static_cast<uint64_t>(service.pool().size());
+    doc["waves"] = static_cast<uint64_t>(sc.waves.size());
+    doc["service"] = service.stats().to_json();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Bench trajectory guard: diff a freshly-emitted BENCH_micro*.json against
+the checked-in reference and fail on a real regression.
+
+Usage: check_bench.py REFERENCE.json CURRENT.json [--max-regression 0.25]
+
+The primary gate is machine-independent: the SPEEDUP RATIOS the repo's perf
+story rests on (incremental delta evaluation vs the do/undo baseline). For
+every size present in both files, current_ratio must stay within
+--max-regression of reference_ratio. Absolute per-cell rates are only
+REPORTED — CI runners and the reference machine differ too much in raw
+speed for an absolute gate to be meaningful (the provenance stamps say
+exactly which machine/flags produced each file).
+
+Pairs guarded (delta-path bench vs its do/undo counterpart):
+  BM_EngineIterations<x>/N          vs BM_EngineIterations<x>DoUndo/N
+  BM_DeltaCost/N                    vs BM_CostIfSwapDoUndo/N
+"""
+
+import argparse
+import json
+import sys
+
+# (fast numerator, slow denominator) stems; the guarded metric is
+# items_per_second(fast) / items_per_second(slow) per matching size.
+PAIRS = [
+    ("BM_EngineIterations", "BM_EngineIterationsDoUndo"),
+    ("BM_EngineIterationsEvalBound", "BM_EngineIterationsEvalBoundDoUndo"),
+    ("BM_DeltaCost", "BM_CostIfSwapDoUndo"),
+]
+
+
+def rates(path):
+    doc = json.load(open(path))
+    out = {}
+    for r in doc.get("results", []):
+        if "items_per_second" in r:
+            out[r["name"]] = r["items_per_second"]
+    return out
+
+
+def ratios(table):
+    found = {}
+    for fast_stem, slow_stem in PAIRS:
+        for name, rate in table.items():
+            stem, _, size = name.partition("/")
+            if stem != fast_stem or not size:
+                continue
+            slow = table.get(f"{slow_stem}/{size}")
+            if slow:
+                found[f"{fast_stem}/{size}"] = rate / slow
+    return found
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reference")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=0.25)
+    args = ap.parse_args()
+
+    ref, cur = rates(args.reference), rates(args.current)
+    ref_ratios, cur_ratios = ratios(ref), ratios(cur)
+    common = sorted(set(ref_ratios) & set(cur_ratios))
+    if not common:
+        print("check_bench: FAIL: no guarded speedup pair present in both files "
+              "(the guard would be vacuous)", file=sys.stderr)
+        sys.exit(1)
+
+    failures = []
+    for name in common:
+        r, c = ref_ratios[name], cur_ratios[name]
+        change = c / r - 1.0
+        status = "OK"
+        if change < -args.max_regression:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"  {name:<40} speedup ref={r:6.2f}x cur={c:6.2f}x ({change:+.1%}) {status}")
+
+    # Absolute rates: informational only (machines differ).
+    for name in sorted(set(ref) & set(cur)):
+        change = cur[name] / ref[name] - 1.0
+        print(f"  [abs] {name:<40} {change:+8.1%}")
+
+    if failures:
+        print(f"check_bench: FAIL: speedup regression > {args.max_regression:.0%} "
+              f"in {failures}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench: OK ({len(common)} speedup pairs within "
+          f"{args.max_regression:.0%} of reference)")
+
+
+if __name__ == "__main__":
+    main()
