@@ -6,14 +6,20 @@
 // platform profiles. Emits BENCH_micro_costas.json.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "json_out.hpp"
 
 #include "core/delta_adapter.hpp"
+#include "core/problem.hpp"
 #include "core/rng.hpp"
 #include "costas/checker.hpp"
 #include "costas/construction.hpp"
 #include "costas/enumerate.hpp"
 #include "costas/model.hpp"
+#include "simd/select.hpp"
+#include "simd/simd.hpp"
 
 using namespace cas;
 
@@ -52,6 +58,94 @@ void BM_CostIfSwapDoUndo(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CostIfSwapDoUndo)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+// --- batched row-delta scan: SIMD vs scalar batch vs per-j loop ---------
+// One item == one full culprit row (n - 1 move deltas): what an Adaptive
+// Search iteration pays for its min-conflict scan. The three variants are
+// the dispatch-selected kernel (AVX2 on the CI leg), the same batched walk
+// pinned to the scalar backend, and the historical per-j delta_cost loop
+// the engines used before the batched API.
+
+void BM_DeltaRow(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(1);
+  p.randomize(rng);
+  std::vector<core::Cost> row(static_cast<size_t>(n));
+  int i = 0;
+  for (auto _ : state) {
+    p.delta_costs_row(i % n, {row.data(), row.size()});
+    benchmark::DoNotOptimize(row.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(simd::isa_name(simd::active_isa()));
+}
+BENCHMARK(BM_DeltaRow)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+void BM_DeltaRowScalar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  simd::ScopedIsa guard(simd::Isa::kScalar);
+  costas::CostasProblem p(n);
+  core::Rng rng(1);
+  p.randomize(rng);
+  std::vector<core::Cost> row(static_cast<size_t>(n));
+  int i = 0;
+  for (auto _ : state) {
+    p.delta_costs_row(i % n, {row.data(), row.size()});
+    benchmark::DoNotOptimize(row.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaRowScalar)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+void BM_DeltaRowPerJ(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(1);
+  p.randomize(rng);
+  std::vector<core::Cost> row(static_cast<size_t>(n));
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % n;
+    for (int j = 0; j < n; ++j)
+      row[static_cast<size_t>(j)] = (j == a) ? core::kExcludedDelta : p.delta_cost(a, j);
+    benchmark::DoNotOptimize(row.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaRowPerJ)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+// --- culprit scan: masked argmax over the error table -------------------
+// One item == one full culprit selection (value pass + reservoir). Sized
+// at the Costas orders plus larger tables where the vector width shows.
+
+void culprit_scan_bench(benchmark::State& state, bool scalar) {
+  const int n = static_cast<int>(state.range(0));
+  std::unique_ptr<simd::ScopedIsa> guard;
+  if (scalar) guard = std::make_unique<simd::ScopedIsa>(simd::Isa::kScalar);
+  core::Rng rng(9);
+  std::vector<core::Cost> errors(static_cast<size_t>(n));
+  std::vector<uint64_t> tabu(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    errors[static_cast<size_t>(k)] = static_cast<core::Cost>(rng.below(64));
+    tabu[static_cast<size_t>(k)] = rng.below(8);  // vs iter 5: ~3/4 admissible
+  }
+  for (auto _ : state) {
+    const auto pick = simd::pick_max_where_le({errors.data(), errors.size()},
+                                              {tabu.data(), tabu.size()}, 5, rng);
+    benchmark::DoNotOptimize(pick.index);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CulpritScan(benchmark::State& state) { culprit_scan_bench(state, /*scalar=*/false); }
+BENCHMARK(BM_CulpritScan)->Arg(18)->Arg(128)->Arg(1024);
+
+void BM_CulpritScanScalar(benchmark::State& state) { culprit_scan_bench(state, /*scalar=*/true); }
+BENCHMARK(BM_CulpritScanScalar)->Arg(18)->Arg(128)->Arg(1024);
 
 void BM_ApplySwap(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -36,6 +36,11 @@
 #include "costas/model.hpp"
 #include "costas/symmetry.hpp"
 
+// SIMD kernel layer (runtime ISA dispatch, reductions, selection).
+#include "simd/reduce.hpp"
+#include "simd/select.hpp"
+#include "simd/simd.hpp"
+
 // Parallel runtimes.
 #include "par/comm.hpp"
 #include "par/cooperative.hpp"

@@ -8,9 +8,13 @@
 // One iteration:
 //   1. read the per-variable error table the problem maintains across swaps
 //      (problem.errors() — no from-scratch projection in the hot loop),
-//   2. select the worst ("culprit") non-tabu variable, ties broken uniformly,
-//   3. min-conflict: score swapping the culprit with every other variable
-//      via the pure problem.delta_cost (no do/undo probing),
+//   2. select the worst ("culprit") non-tabu variable via the two-pass
+//      masked-argmax kernel (SIMD value pass + scalar reservoir among the
+//      tied lanes — uniform, and bit-identical across ISAs),
+//   3. min-conflict: fill the culprit's whole move row in one batched
+//      delta_costs_row pass (native vectorized walk for problems that have
+//      one, per-j pure deltas otherwise) and argmin it the same two-pass
+//      way,
 //   4. apply the best swap if it improves (delta < 0); follow an equal-cost
 //      plateau (delta == 0) with probability p; otherwise mark the culprit
 //      tabu for `tabu_tenure` iterations,
@@ -19,17 +23,19 @@
 //      of the variables.
 //
 // The engine is a template over LocalSearchProblem: the hot loop has no
-// virtual calls and no allocation.
+// virtual calls and no allocation after the first iteration.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/problem.hpp"
 #include "core/stats.hpp"
+#include "simd/select.hpp"
 #include "util/timer.hpp"
 
 namespace cas::core {
@@ -82,25 +88,16 @@ class AdaptiveSearch {
         continue;
       }
 
-      // Min-conflict: best swap of the culprit with any other variable,
-      // scored by the pure incremental delta (no do/undo, no state writes).
-      Cost best_delta = std::numeric_limits<Cost>::max();
-      int best_j = -1;
-      int ties = 0;
-      for (int j = 0; j < n; ++j) {
-        if (j == culprit) continue;
-        const Cost d = problem_.delta_cost(culprit, j);
-        ++st.move_evaluations;
-        if (d < best_delta) {
-          best_delta = d;
-          best_j = j;
-          ties = 1;
-        } else if (d == best_delta) {
-          // Uniform choice among equally good moves.
-          ++ties;
-          if (rng_.below(static_cast<uint64_t>(ties)) == 0) best_j = j;
-        }
-      }
+      // Min-conflict: batched scoring of the culprit against every other
+      // variable (one row fill, no do/undo, no state writes), then a
+      // two-pass argmin — SIMD value scan plus a scalar reservoir over the
+      // tied lanes, uniform among equally good moves.
+      row_.resize(static_cast<size_t>(n));
+      delta_costs_row(problem_, culprit, std::span<Cost>(row_.data(), row_.size()));
+      st.move_evaluations += static_cast<uint64_t>(n - 1);
+      const simd::Pick move = simd::pick_min({row_.data(), row_.size()}, rng_);
+      const Cost best_delta = move.value;
+      const int best_j = move.index;
 
       if (best_j >= 0 && best_delta < 0) {
         problem_.apply_swap(culprit, best_j);
@@ -138,27 +135,14 @@ class AdaptiveSearch {
   /// Highest-error variable not currently tabu; ties broken uniformly.
   /// Returns -1 if all variables are tabu.
   int select_culprit(uint64_t iter) {
-    const int n = problem_.size();
     // The problem maintains the projection across swaps; reading it here is
     // free for incremental models (Costas) and one cached recompute at most
-    // for LazyErrors-backed ones.
+    // for LazyErrors-backed ones. The masked-argmax kernel treats
+    // "tabu_until[i] <= iter" as the admissibility gate.
     const std::span<const Cost> errors = problem_.errors();
-    Cost best_err = -1;
-    int culprit = -1;
-    int ties = 0;
-    for (int i = 0; i < n; ++i) {
-      if (tabu_until_[static_cast<size_t>(i)] > iter) continue;
-      const Cost e = errors[static_cast<size_t>(i)];
-      if (e > best_err) {
-        best_err = e;
-        culprit = i;
-        ties = 1;
-      } else if (e == best_err) {
-        ++ties;
-        if (rng_.below(static_cast<uint64_t>(ties)) == 0) culprit = i;
-      }
-    }
-    return culprit;
+    return simd::pick_max_where_le(errors, {tabu_until_.data(), tabu_until_.size()}, iter,
+                                   rng_)
+        .index;
   }
 
   int count_tabu(uint64_t iter) const {
@@ -217,6 +201,7 @@ class AdaptiveSearch {
   Rng rng_;
   std::vector<uint64_t> tabu_until_;
   std::vector<int> scratch_positions_;
+  std::vector<Cost> row_;  // batched move-delta scratch, sized on first scan
 };
 
 }  // namespace cas::core

@@ -6,6 +6,11 @@
 //   delta_cost(i, j)  := apply the swap, read the cost, undo the swap
 //   errors()          := recompute the projection on every query
 //
+// The adapter deliberately does NOT expose a native delta_costs_row even
+// when its base has one: engines reach it through the core
+// delta_costs_row() default loop (n - 1 do/undo probes), which is exactly
+// the historical evaluation strategy the adapter exists to measure.
+//
 // Two uses:
 //   1. migration aid — a new problem model becomes engine-compatible the
 //      moment it has the legacy surface, and can adopt true deltas later;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/problem.hpp"
@@ -35,12 +37,26 @@ class HillClimber {
       }
       ++st.iterations;
 
+      // Full quadratic neighborhood. Problems with a native batched row
+      // (HasDeltaRow) fill one delta_costs_row per i — the fill scores all
+      // n - 1 lanes but the per-lane batch is cheap enough that it beats
+      // the half-row scalar scan; everything else keeps the historical
+      // upper-triangle per-pair loop (a full-row default fill would double
+      // its work). Selection order matches the historical (i, j) pair loop
+      // exactly in both paths, so the chosen move is unchanged.
       Cost best_delta = std::numeric_limits<Cost>::max();
       int bi = -1, bj = -1;
+      if constexpr (HasDeltaRow<P>) row_.resize(static_cast<size_t>(n));
       for (int i = 0; i < n - 1; ++i) {
+        if constexpr (HasDeltaRow<P>)
+          delta_costs_row(problem_, i, std::span<Cost>(row_.data(), row_.size()));
+        st.move_evaluations += static_cast<uint64_t>(n - 1 - i);
         for (int j = i + 1; j < n; ++j) {
-          const Cost d = problem_.delta_cost(i, j);
-          ++st.move_evaluations;
+          Cost d;
+          if constexpr (HasDeltaRow<P>)
+            d = row_[static_cast<size_t>(j)];
+          else
+            d = problem_.delta_cost(i, j);
           if (d < best_delta) {
             best_delta = d;
             bi = i;
@@ -72,6 +88,7 @@ class HillClimber {
   P& problem_;
   HcConfig cfg_;
   Rng rng_;
+  std::vector<Cost> row_;  // batched move-delta scratch
 };
 
 }  // namespace cas::core

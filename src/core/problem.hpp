@@ -41,6 +41,7 @@
 #include <concepts>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -77,6 +78,37 @@ concept LocalSearchProblem = requires(P p, const P& cp, int i, int j, Rng& rng,
   // that errors() is validated against.
   { cp.compute_errors(errs) };
 };
+
+/// Sentinel the batched row fill parks in out[i] (the self-swap lane): the
+/// engines take a plain minimum over the filled row, and INT64_MAX can
+/// never win it unless every lane holds it (n == 1).
+inline constexpr Cost kExcludedDelta = std::numeric_limits<Cost>::max();
+
+/// Optional batched evaluation member: problems that can score one
+/// variable against ALL others cheaper than n calls to delta_cost
+/// (CostasProblem walks each difference-triangle row once and fills every
+/// j lane of it in one pass, vectorized when a SIMD backend is active)
+/// expose delta_costs_row(i, out) and the engines pick it up through
+/// delta_costs_row() below.
+template <typename P>
+concept HasDeltaRow = requires(const P& cp, int i, std::span<Cost> out) {
+  { cp.delta_costs_row(i, out) };
+};
+
+/// Fill out[j] = delta_cost(i, j) for every j != i, and out[i] =
+/// kExcludedDelta. Uses the problem's native batched member when it has
+/// one; every other model (the six side problems, DoUndoAdapter, test
+/// problems) gets this correct per-j loop. out.size() == p.size().
+template <LocalSearchProblem P>
+inline void delta_costs_row(const P& p, int i, std::span<Cost> out) {
+  if constexpr (HasDeltaRow<P>) {
+    p.delta_costs_row(i, out);
+  } else {
+    const int n = p.size();
+    for (int j = 0; j < n; ++j)
+      out[static_cast<size_t>(j)] = (j == i) ? kExcludedDelta : p.delta_cost(i, j);
+  }
+}
 
 /// Problems may provide a hand-tuned reset ("diversification") procedure,
 /// like the paper's Costas reset (Sec. IV-B). The engine calls it at local

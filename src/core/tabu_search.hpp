@@ -14,6 +14,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -54,16 +55,30 @@ class TabuSearch {
       }
       ++st.iterations;
 
-      // Best admissible move over the full quadratic neighborhood, scored
-      // by pure deltas against the scan-constant current cost.
+      // Best admissible move over the full quadratic neighborhood. For
+      // problems with a native batched row (HasDeltaRow) the deltas come
+      // from one delta_costs_row fill per i; everything else keeps the
+      // per-pair deltas (a full-row default fill would double its work).
+      // The admissibility walk (tabu memory, aspiration, uniform
+      // tie-breaking) stays scalar and in the historical pair order, so
+      // the selected move and the RNG stream are exactly those of the
+      // per-pair scan.
       const Cost scan_base = problem_.cost();
       Cost best_cost = std::numeric_limits<Cost>::max();
       int bi = -1, bj = -1;
       int ties = 0;
+      if constexpr (HasDeltaRow<P>) row_.resize(static_cast<size_t>(n));
       for (int i = 0; i < n - 1; ++i) {
+        if constexpr (HasDeltaRow<P>)
+          delta_costs_row(problem_, i, std::span<Cost>(row_.data(), row_.size()));
+        st.move_evaluations += static_cast<uint64_t>(n - 1 - i);
         for (int j = i + 1; j < n; ++j) {
-          const Cost c = scan_base + problem_.delta_cost(i, j);
-          ++st.move_evaluations;
+          Cost delta;
+          if constexpr (HasDeltaRow<P>)
+            delta = row_[static_cast<size_t>(j)];
+          else
+            delta = problem_.delta_cost(i, j);
+          const Cost c = scan_base + delta;
           const bool tabu = tabu_until_[pair_index(i, j)] > st.iterations;
           const bool aspirated = cfg_.aspiration && c < best_seen;
           if (tabu && !aspirated) continue;
@@ -122,6 +137,7 @@ class TabuSearch {
   TsConfig cfg_;
   Rng rng_;
   std::vector<uint64_t> tabu_until_;
+  std::vector<Cost> row_;  // batched move-delta scratch
 };
 
 }  // namespace cas::core

@@ -5,8 +5,17 @@
 #include <stdexcept>
 
 #include "costas/checker.hpp"
+#include "simd/costas_kernels.hpp"
 
 namespace cas::costas {
+
+namespace {
+
+// The kernels' self-lane sentinel and the engines' exclusion sentinel must
+// agree, or a fully-positive row could hand an engine the culprit itself.
+static_assert(simd::kDeltaRowExcluded == core::kExcludedDelta);
+
+}  // namespace
 
 CostasProblem::CostasProblem(int n, CostasOptions opts) : n_(n), opts_(opts) {
   if (n < 2) throw std::invalid_argument("CostasProblem: n must be >= 2");
@@ -125,18 +134,14 @@ Cost CostasProblem::delta_cost(int i, int j) const {
   return delta;
 }
 
+void CostasProblem::delta_costs_row(int i, std::span<Cost> out) const {
+  const simd::CostasCtx ctx{perm_.data(), occ_.data(), errw_.data(), n_, depth_, stride_};
+  simd::costas_delta_row(ctx, i, out.data());
+}
+
 void CostasProblem::compute_errors(std::span<Cost> errs) const {
-  std::fill(errs.begin(), errs.end(), Cost{0});
-  for (int d = 1; d <= depth_; ++d) {
-    const Cost w = errw_[static_cast<size_t>(d)];
-    for (int i = 0; i + d < n_; ++i) {
-      const int diff = perm_[static_cast<size_t>(i + d)] - perm_[static_cast<size_t>(i)];
-      if (occ_[bucket(d, diff)] >= 2) {
-        errs[static_cast<size_t>(i)] += w;
-        errs[static_cast<size_t>(i + d)] += w;
-      }
-    }
-  }
+  const simd::CostasCtx ctx{perm_.data(), occ_.data(), errw_.data(), n_, depth_, stride_};
+  simd::costas_errors(ctx, errs.data());
 }
 
 Cost CostasProblem::evaluate(std::span<const int> perm) const {

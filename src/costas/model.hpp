@@ -58,6 +58,13 @@ class CostasProblem {
   [[nodiscard]] int value(int i) const { return perm_[static_cast<size_t>(i)]; }
   void randomize(core::Rng& rng);
   [[nodiscard]] Cost delta_cost(int i, int j) const;
+  /// Batched move evaluation: out[j] = delta_cost(i, j) for every j != i
+  /// (out[i] = core::kExcludedDelta), walking each difference-triangle row
+  /// ONCE and filling all j lanes of it — vectorized (AVX2 gathers over
+  /// the occ rows) when a SIMD backend is active, an amortized scalar
+  /// batch otherwise. Exactly equal to n - 1 scalar delta_cost calls; the
+  /// parity fuzz suite pins that lane by lane.
+  void delta_costs_row(int i, std::span<Cost> out) const;
   [[nodiscard]] Cost cost_if_swap(int i, int j) const { return cost_ + delta_cost(i, j); }
   void apply_swap(int i, int j);
   [[nodiscard]] std::span<const Cost> errors() const { return {errs_.data(), errs_.size()}; }

@@ -1,5 +1,6 @@
 #include "runtime/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -36,6 +37,7 @@ util::Json ServiceStats::to_json() const {
   j["cache_evictions"] = cache_evictions;
   j["cache_expired"] = cache_expired;
   j["estimated_walker_seconds"] = estimated_walker_seconds;
+  j["cost_model_calibrations"] = cost_model_calibrations;
   j["total_iterations"] = total_iterations;
   j["total_wall_seconds"] = total_wall_seconds;
   return j;
@@ -72,6 +74,7 @@ SolveReport SolverService::run_leader(const SolveRequest& req, const std::string
       ++stats_.solved;
     stats_.total_iterations += report.total_iterations;
     stats_.total_wall_seconds += report.wall_seconds;
+    if (opts_.auto_calibrate) auto_calibrate_locked(report);
     if (entry != nullptr) {
       // The inflight entry leaves the map under the same lock that admits
       // followers, so the follower set is final here.
@@ -101,6 +104,30 @@ SolveReport SolverService::run_leader(const SolveRequest& req, const std::string
     promise.set_value(std::move(copy));
   }
   return report;
+}
+
+void SolverService::auto_calibrate_locked(const SolveReport& report) {
+  // Only clean, solved, first-win executions are usable: an unsolved or
+  // errored run is a censored observation of the run-time distribution,
+  // and non-first-win strategies (cooperative adoption, portfolio
+  // heterogeneity, single-walk neighborhood) change the law itself.
+  if (!report.error.empty() || !report.solved) return;
+  const SolveRequest& req = report.request;
+  if (req.strategy != "sequential" && req.strategy != "multiwalk" && req.strategy != "mpi")
+    return;
+  const int k = report.walkers_run;
+  if (k < 1 || report.wall_seconds <= 0) return;
+  // Minimum of k exponential walkers, scaled by k, is distributed like one
+  // walker: the sample is a single-walker-equivalent draw.
+  const double sample = report.wall_seconds * k;
+  auto& samples = calibration_samples_[{req.problem, req.size}];
+  constexpr size_t kWindow = 64;
+  if (samples.size() >= kWindow) samples.erase(samples.begin());
+  samples.push_back(sample);
+  if (samples.size() < static_cast<size_t>(std::max(2, opts_.auto_calibrate_min_samples)))
+    return;
+  cost_model_.calibrate(req.problem, req.size, samples);
+  ++stats_.cost_model_calibrations;
 }
 
 std::future<SolveReport> SolverService::submit(SolveRequest req) {

@@ -21,6 +21,13 @@
 //              walker-seconds; with a budget configured, requests priced
 //              over it are rejected up front (served_by = "rejected",
 //              error names the estimate) instead of burning pool time.
+//              The model auto-calibrates from the service's OWN completed
+//              reports: every clean solved first-win execution contributes
+//              a single-walker-equivalent sample (wall * walkers — for an
+//              exponential run-time law the minimum of k walkers scaled by
+//              k IS a single-walker draw), and once a (problem, size) cell
+//              has enough samples its built-in/extrapolated price is
+//              replaced by a fit of what this machine actually measured.
 //
 // Each request keeps its own first-win cancellation: run_multiwalk gives
 // every request a private stop flag, so a winner in one request never
@@ -76,6 +83,9 @@ struct ServiceStats {
   /// Sum of CostModel estimates over admitted executions (0 unless an
   /// admission budget is configured).
   double estimated_walker_seconds = 0.0;
+  /// Times the cost model was refit from the service's own completed
+  /// reports (auto-calibration).
+  uint64_t cost_model_calibrations = 0;
 
   // Real work only: dedup/cache servings do not double-count.
   uint64_t total_iterations = 0;
@@ -97,6 +107,16 @@ class SolverService {
     /// 0 = admit everything. Dedup followers and cache hits are always
     /// served — they cost nothing.
     double admission_budget_walker_seconds = 0.0;
+    /// Refit the cost model's (problem, size) price from the service's own
+    /// completed reports. Samples come from clean SOLVED executions of the
+    /// first-win strategies (sequential/multiwalk/mpi), normalized to
+    /// single-walker-equivalents (wall * walkers); unsolved or errored
+    /// runs are censored observations and never contribute.
+    bool auto_calibrate = true;
+    /// Samples a (problem, size) cell needs before its first refit; each
+    /// later sample refits again over a rolling window of the most recent
+    /// 64.
+    int auto_calibrate_min_samples = 8;
     /// Monotonic clock (seconds) for cache TTL; null = steady_clock.
     /// Injection point for the TTL tests.
     std::function<double()> clock;
@@ -146,6 +166,11 @@ class SolverService {
   SolveReport run_leader(const SolveRequest& resolved, const std::string& key,
                          const std::shared_ptr<Inflight>& entry, bool cacheable_seed);
 
+  /// Feed one completed execution into the auto-calibration buffers and
+  /// refit the cost model's cell once it has enough samples. Caller holds
+  /// mu_.
+  void auto_calibrate_locked(const SolveReport& report);
+
   Options opts_;
   par::ThreadPool pool_;
   CostModel cost_model_;
@@ -157,6 +182,9 @@ class SolverService {
   ReportCache cache_;
   std::map<std::string, std::shared_ptr<Inflight>> inflight_by_key_;
   uint64_t inflight_ = 0;
+  /// (problem, size) -> rolling single-walker-equivalent run-time samples
+  /// feeding the cost model's auto-calibration.
+  std::map<std::pair<std::string, int>, std::vector<double>> calibration_samples_;
 };
 
 }  // namespace cas::runtime

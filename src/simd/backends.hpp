@@ -1,0 +1,50 @@
+// Internal contract between the dispatching kernel fronts (reduce.cpp,
+// costas_kernels.cpp) and the per-ISA backend translation units. Each
+// backend TU is compiled with its target flags (-mavx2 / -msse4.2) and
+// ONLY when CMake enabled it, so every declaration here may be missing at
+// link time — call sites must guard with the same CAS_SIMD_* macros CMake
+// sets on the dispatch-aware sources.
+//
+// Backend functions implement exactly the semantics documented on their
+// public fronts (reduce.hpp, costas_kernels.hpp) and must be bit-identical
+// to the scalar reference: the parity fuzz suite holds every backend to
+// that bar, and trajectory identity of SIMD-on vs SIMD-off search runs
+// depends on it.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cas::simd {
+
+struct CostasCtx;  // costas_kernels.hpp
+
+namespace detail {
+
+#if defined(CAS_SIMD_AVX2)
+int64_t min_value_avx2(const int64_t* v, int n);
+int64_t max_value_where_le_avx2(const int64_t* v, const uint64_t* gate, uint64_t bound,
+                                int n, bool* any);
+/// Accumulates the weighted delta hits of the vectorizable ("no pair shared
+/// with the culprit") lanes of triangle row d into acc, leaving masked
+/// lanes (j == i, j == i +- d) and the block tail untouched. Returns the
+/// first j the caller must finish scalar (the vectorized prefix length).
+int costas_delta_row_block_avx2(const CostasCtx& ctx, int i, int d, const int32_t* padded_perm,
+                                int pad, int32_t* acc);
+void costas_errors_row_avx2(const CostasCtx& ctx, int d, int64_t* errs);
+#endif
+
+#if defined(CAS_SIMD_SSE42)
+int64_t min_value_sse42(const int64_t* v, int n);
+int64_t max_value_where_le_sse42(const int64_t* v, const uint64_t* gate, uint64_t bound,
+                                 int n, bool* any);
+#endif
+
+#if defined(CAS_SIMD_NEON)
+int64_t min_value_neon(const int64_t* v, int n);
+int64_t max_value_where_le_neon(const int64_t* v, const uint64_t* gate, uint64_t bound,
+                                int n, bool* any);
+#endif
+
+}  // namespace detail
+}  // namespace cas::simd

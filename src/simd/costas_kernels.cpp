@@ -1,0 +1,165 @@
+#include "simd/costas_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "simd/backends.hpp"
+
+namespace cas::simd {
+
+namespace {
+
+[[nodiscard]] inline const int32_t* row_ptr(const CostasCtx& ctx, int d) {
+  // Offset by n - 1 so the row is indexable by a (possibly negative)
+  // difference value, mirroring the scalar delta.
+  return ctx.occ + static_cast<size_t>(d - 1) * ctx.stride + static_cast<size_t>(ctx.n - 1);
+}
+
+/// Net collision-hit change (unweighted) of swapping x < y within triangle
+/// row d — the per-row ledger of the scalar delta (costas/model.cpp),
+/// exact for every endpoint/bucket coincidence. Multiply by errw[d] for
+/// the cost change.
+[[nodiscard]] int row_delta_hits(const CostasCtx& ctx, const int32_t* row, int d, int x, int y) {
+  const int* const perm = ctx.perm;
+  const int n = ctx.n;
+  const int vx = perm[x], vy = perm[y];
+  const int vd = vy - vx;
+  int oldd[4], newd[4];
+  int np = 0;
+  if (x - d >= 0) {
+    oldd[np] = vx - perm[x - d];
+    newd[np] = oldd[np] + vd;
+    ++np;
+  }
+  if (x + d < n) {
+    if (x + d == y) {  // the (x, y) pair itself: both endpoints swap
+      oldd[np] = vd;
+      newd[np] = -vd;
+    } else {
+      oldd[np] = perm[x + d] - vx;
+      newd[np] = oldd[np] - vd;
+    }
+    ++np;
+  }
+  if (y - d >= 0 && y - d != x) {
+    oldd[np] = vy - perm[y - d];
+    newd[np] = oldd[np] - vd;
+    ++np;
+  }
+  if (y + d < n) {
+    oldd[np] = perm[y + d] - vy;
+    newd[np] = oldd[np] + vd;
+    ++np;
+  }
+  int hits = 0;
+  for (int t = 0; t < np; ++t) {
+    int32_t c = row[oldd[t]];
+    for (int u = 0; u < t; ++u) c -= static_cast<int32_t>(oldd[u] == oldd[t]);
+    if (c >= 2) --hits;
+  }
+  for (int t = 0; t < np; ++t) {
+    int32_t c = row[newd[t]];
+    for (int u = 0; u < np; ++u) c -= static_cast<int32_t>(oldd[u] == newd[t]);
+    for (int u = 0; u < t; ++u) c += static_cast<int32_t>(newd[u] == newd[t]);
+    if (c >= 1) ++hits;
+  }
+  return hits;
+}
+
+[[nodiscard]] inline int64_t lane_delta(const CostasCtx& ctx, const int32_t* row, int d, int i,
+                                        int j) {
+  return row_delta_hits(ctx, row, d, std::min(i, j), std::max(i, j));
+}
+
+}  // namespace
+
+void costas_delta_row(const CostasCtx& ctx, int i, int64_t* out) {
+  const int n = ctx.n;
+  // The batched paths accumulate weighted hits in int32 lanes; |delta| is
+  // bounded by 4 * depth * max_w <= 4 * (n - 1) * n^2 (quadratic weights,
+  // no Chang cut), which stays inside int32 for n <= 812. Costas search
+  // sizes sit two orders of magnitude under that; a synthetic giant
+  // instance falls back to direct int64 accumulation.
+  if (n > 768) {
+    for (int j = 0; j < n; ++j) {
+      if (j == i) {
+        out[j] = kDeltaRowExcluded;
+        continue;
+      }
+      int64_t delta = 0;
+      for (int d = 1; d <= ctx.depth; ++d)
+        delta += ctx.errw[d] * lane_delta(ctx, row_ptr(ctx, d), d, i, j);
+      out[j] = delta;
+    }
+    return;
+  }
+
+  thread_local std::vector<int32_t> acc;
+  acc.assign(static_cast<size_t>(n), 0);
+  bool vectorized = false;
+#if defined(CAS_SIMD_AVX2)
+  if (active_isa() == Isa::kAvx2 && n >= 8) {
+    // Padded copy of the permutation so the kernel's shifted loads
+    // (perm[j - d], perm[j + d]) stay in bounds at the row edges; the
+    // out-of-range lanes are masked before they feed any gather.
+    thread_local std::vector<int32_t> padded;
+    const int pad = ctx.depth;
+    padded.assign(static_cast<size_t>(n + 2 * pad), 0);
+    for (int k = 0; k < n; ++k) padded[static_cast<size_t>(pad + k)] = ctx.perm[k];
+    for (int d = 1; d <= ctx.depth; ++d) {
+      const int32_t* row = row_ptr(ctx, d);
+      const int32_t w32 = static_cast<int32_t>(ctx.errw[d]);
+      const int vec_end =
+          detail::costas_delta_row_block_avx2(ctx, i, d, padded.data(), pad, acc.data());
+      // Block-tail lanes, then the two lanes the vector pass masked out
+      // because they share a triangle pair with the culprit in this row.
+      for (int j = vec_end; j < n; ++j)
+        if (j != i)
+          acc[static_cast<size_t>(j)] +=
+              w32 * static_cast<int32_t>(lane_delta(ctx, row, d, i, j));
+      for (const int j : {i - d, i + d})
+        if (j >= 0 && j < vec_end)
+          acc[static_cast<size_t>(j)] +=
+              w32 * static_cast<int32_t>(lane_delta(ctx, row, d, i, j));
+    }
+    vectorized = true;
+  }
+#endif
+  if (!vectorized) {
+    // Scalar batch: same triangle walk, row setup amortized over all j.
+    for (int d = 1; d <= ctx.depth; ++d) {
+      const int32_t* row = row_ptr(ctx, d);
+      const int32_t w32 = static_cast<int32_t>(ctx.errw[d]);
+      for (int j = 0; j < n; ++j)
+        if (j != i)
+          acc[static_cast<size_t>(j)] +=
+              w32 * static_cast<int32_t>(lane_delta(ctx, row, d, i, j));
+    }
+  }
+  for (int j = 0; j < n; ++j)
+    out[j] = (j == i) ? kDeltaRowExcluded : static_cast<int64_t>(acc[static_cast<size_t>(j)]);
+}
+
+void costas_errors(const CostasCtx& ctx, int64_t* errs) {
+  const int n = ctx.n;
+  std::fill(errs, errs + n, int64_t{0});
+  for (int d = 1; d <= ctx.depth; ++d) {
+#if defined(CAS_SIMD_AVX2)
+    if (active_isa() == Isa::kAvx2 && n - d >= 8) {
+      detail::costas_errors_row_avx2(ctx, d, errs);
+      continue;
+    }
+#endif
+    const int32_t* row = row_ptr(ctx, d);
+    const int64_t w = ctx.errw[d];
+    for (int a = 0; a + d < n; ++a) {
+      const int diff = ctx.perm[a + d] - ctx.perm[a];
+      if (row[diff] >= 2) {
+        errs[a] += w;
+        errs[a + d] += w;
+      }
+    }
+  }
+}
+
+}  // namespace cas::simd

@@ -1,0 +1,49 @@
+// Batched Costas-model kernels: the difference-triangle walks behind
+// CostasProblem::delta_costs_row (fill the move deltas of a culprit
+// against every other variable in one pass over the triangle rows) and
+// CostasProblem::compute_errors (the from-scratch per-variable error
+// projection).
+//
+// The model hands its internal tables over through CostasCtx — raw
+// pointers, no ownership — so the intrinsics stay out of src/costas/ and
+// the kernels stay testable on synthetic tables. Both kernels are exact:
+// every count interaction a swap's removals/additions can have inside one
+// triangle row is resolved with the same ledger arithmetic the scalar
+// delta uses, and the parity fuzz suite pins batched == per-j scalar for
+// every lane.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "simd/simd.hpp"
+
+namespace cas::simd {
+
+/// Read-only view of the CostasProblem tables a kernel needs.
+struct CostasCtx {
+  const int* perm;        // permutation, n entries, values 1..n
+  const int32_t* occ;     // difference-triangle occurrence counts,
+                          // depth rows x stride slots (diff + n - 1)
+  const int64_t* errw;    // errw[d], d = 1..depth (index 0 unused)
+  int n = 0;
+  int depth = 0;          // checked triangle rows
+  size_t stride = 0;      // 2n - 1
+};
+
+/// Sentinel parked in out[i] (the self-swap lane) by costas_delta_row, so
+/// a plain minimum over the filled row can never pick the culprit itself.
+/// Mirrors core::kExcludedDelta; redeclared here to keep src/simd/ free of
+/// core dependencies (static_asserted equal in the model).
+inline constexpr int64_t kDeltaRowExcluded = INT64_MAX;
+
+/// Fill out[j] with the exact cost delta of swapping variables i and j for
+/// every j != i; out[i] = kDeltaRowExcluded. Exactly equivalent to calling
+/// the scalar per-j delta n - 1 times, but walks each triangle row once.
+void costas_delta_row(const CostasCtx& ctx, int i, int64_t* out);
+
+/// From-scratch per-variable error projection into errs (n entries): each
+/// colliding checked pair adds its row weight to both endpoints.
+void costas_errors(const CostasCtx& ctx, int64_t* errs);
+
+}  // namespace cas::simd

@@ -1,0 +1,79 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cas::simd {
+
+namespace {
+
+/// Strongest tier both compiled in AND supported by this CPU. The backend
+/// macros (CAS_SIMD_AVX2 / CAS_SIMD_SSE42 / CAS_SIMD_NEON) are set per
+/// translation unit by CMake exactly when the matching backend file is
+/// compiled, so this function can never select a tier with no code behind
+/// it. -DCAS_SIMD=OFF defines CAS_SIMD_DISABLED instead and pins scalar.
+Isa detect() {
+#if defined(CAS_SIMD_DISABLED)
+  return Isa::kScalar;
+#else
+#if defined(CAS_SIMD_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+#if defined(CAS_SIMD_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) return Isa::kSse42;
+#endif
+#if defined(CAS_SIMD_NEON)
+  return Isa::kNeon;  // aarch64 baseline: always available when compiled
+#endif
+  return Isa::kScalar;
+#endif
+}
+
+/// CAS_SIMD environment override, clamped to `cap`. Unknown values are
+/// ignored (auto).
+Isa apply_env(Isa cap) {
+  const char* env = std::getenv("CAS_SIMD");
+  if (env == nullptr) return cap;
+  const auto is = [env](const char* v) { return std::strcmp(env, v) == 0; };
+  if (is("off") || is("0") || is("scalar")) return Isa::kScalar;
+  if (is("neon")) return cap >= Isa::kNeon ? Isa::kNeon : Isa::kScalar;
+  if (is("sse42")) return cap >= Isa::kSse42 ? Isa::kSse42 : Isa::kScalar;
+  if (is("avx2")) return cap >= Isa::kAvx2 ? Isa::kAvx2 : cap;
+  return cap;  // "auto" or unrecognized
+}
+
+Isa best_cached() {
+  static const Isa best = detect();
+  return best;
+}
+
+std::atomic<Isa>& active_slot() {
+  static std::atomic<Isa> active{apply_env(best_cached())};
+  return active;
+}
+
+}  // namespace
+
+Isa best_supported_isa() { return best_cached(); }
+
+Isa active_isa() { return active_slot().load(std::memory_order_relaxed); }
+
+Isa force_isa(Isa isa) {
+  const Isa best = best_cached();
+  const Isa clamped = isa <= best ? isa : best;
+  active_slot().store(clamped, std::memory_order_relaxed);
+  return clamped;
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kNeon: return "neon";
+    case Isa::kSse42: return "sse42";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace cas::simd

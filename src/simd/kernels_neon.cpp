@@ -1,0 +1,59 @@
+// NEON backend (aarch64 baseline; 2-lane int64 reductions). NEON has no
+// 64-bit integer min/max instruction, so lanes are selected through
+// compare + bit-select. Compiled only when CMake enables it
+// (CAS_SIMD_NEON); a no-op otherwise.
+#if defined(CAS_SIMD_NEON)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "simd/backends.hpp"
+
+namespace cas::simd::detail {
+
+int64_t min_value_neon(const int64_t* v, int n) {
+  int64x2_t best = vdupq_n_s64(std::numeric_limits<int64_t>::max());
+  int k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const int64x2_t x = vld1q_s64(v + k);
+    best = vbslq_s64(vcgtq_s64(x, best), best, x);  // lane-wise min
+  }
+  int64_t out = vgetq_lane_s64(best, 0);
+  const int64_t out1 = vgetq_lane_s64(best, 1);
+  if (out1 < out) out = out1;
+  for (; k < n; ++k)
+    if (v[k] < out) out = v[k];
+  return out;
+}
+
+int64_t max_value_where_le_neon(const int64_t* v, const uint64_t* gate, uint64_t bound,
+                                int n, bool* any) {
+  const uint64x2_t vbound = vdupq_n_u64(bound);
+  int64x2_t best = vdupq_n_s64(std::numeric_limits<int64_t>::min());
+  uint64x2_t anyv = vdupq_n_u64(0);
+  int k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const uint64x2_t pass = vcleq_u64(vld1q_u64(gate + k), vbound);
+    anyv = vorrq_u64(anyv, pass);
+    const int64x2_t x = vld1q_s64(v + k);
+    const int64x2_t cand = vbslq_s64(pass, x, best);
+    best = vbslq_s64(vcgtq_s64(best, cand), best, cand);  // lane-wise max
+  }
+  int64_t out = vgetq_lane_s64(best, 0);
+  const int64_t out1 = vgetq_lane_s64(best, 1);
+  if (out1 > out) out = out1;
+  bool found = (vgetq_lane_u64(anyv, 0) | vgetq_lane_u64(anyv, 1)) != 0;
+  for (; k < n; ++k) {
+    if (gate[k] > bound) continue;
+    found = true;
+    if (v[k] > out) out = v[k];
+  }
+  if (any != nullptr) *any = found;
+  return out;
+}
+
+}  // namespace cas::simd::detail
+
+#endif  // CAS_SIMD_NEON

@@ -1,0 +1,62 @@
+// SSE4.2 backend (2-lane int64 reductions — the widest integer-compare
+// tier below AVX2 on x86). Compiled with -msse4.2 only when CMake enables
+// it (CAS_SIMD_SSE42); a no-op otherwise.
+#if defined(CAS_SIMD_SSE42)
+
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "simd/backends.hpp"
+
+namespace cas::simd::detail {
+
+int64_t min_value_sse42(const int64_t* v, int n) {
+  __m128i best = _mm_set1_epi64x(std::numeric_limits<int64_t>::max());
+  int k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + k));
+    best = _mm_blendv_epi8(x, best, _mm_cmpgt_epi64(x, best));  // lane-wise min
+  }
+  const __m128i sw = _mm_unpackhi_epi64(best, best);
+  best = _mm_blendv_epi8(best, sw, _mm_cmpgt_epi64(best, sw));
+  int64_t out = _mm_cvtsi128_si64(best);
+  for (; k < n; ++k)
+    if (v[k] < out) out = v[k];
+  return out;
+}
+
+int64_t max_value_where_le_sse42(const int64_t* v, const uint64_t* gate, uint64_t bound,
+                                 int n, bool* any) {
+  const __m128i sign = _mm_set1_epi64x(static_cast<int64_t>(0x8000000000000000ull));
+  const __m128i vbound = _mm_xor_si128(_mm_set1_epi64x(static_cast<int64_t>(bound)), sign);
+  __m128i best = _mm_set1_epi64x(std::numeric_limits<int64_t>::min());
+  __m128i anyv = _mm_setzero_si128();
+  int k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m128i g =
+        _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(gate + k)), sign);
+    const __m128i pass = _mm_andnot_si128(_mm_cmpgt_epi64(g, vbound), _mm_set1_epi64x(-1));
+    anyv = _mm_or_si128(anyv, pass);
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + k));
+    const __m128i cand = _mm_blendv_epi8(best, x, pass);
+    best = _mm_blendv_epi8(cand, best, _mm_cmpgt_epi64(best, cand));  // lane-wise max
+  }
+  const __m128i sw = _mm_unpackhi_epi64(best, best);
+  best = _mm_blendv_epi8(sw, best, _mm_cmpgt_epi64(best, sw));
+  int64_t out = _mm_cvtsi128_si64(best);
+  bool found = _mm_movemask_epi8(anyv) != 0;
+  for (; k < n; ++k) {
+    if (gate[k] > bound) continue;
+    found = true;
+    if (v[k] > out) out = v[k];
+  }
+  if (any != nullptr) *any = found;
+  return out;
+}
+
+}  // namespace cas::simd::detail
+
+#endif  // CAS_SIMD_SSE42

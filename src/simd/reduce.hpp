@@ -1,0 +1,34 @@
+// Vectorized reductions over the engines' contiguous Cost tables — the two
+// linear passes that dominate an Adaptive Search iteration alongside the
+// move-delta scan:
+//
+//   min_value          — the best (lowest) delta in a filled move row,
+//   max_value_where_le — the worst per-variable error among non-tabu
+//                        variables (gate[i] <= bound == "not tabu at this
+//                        iteration").
+//
+// Both return the extreme VALUE only. Index selection with uniform
+// tie-breaking stays scalar (simd/select.hpp): it is the part that consumes
+// the RNG, and keeping it scalar is what makes a search trajectory
+// bit-identical whether the value pass ran under AVX2, SSE4.2, NEON, or the
+// scalar fallback.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simd/simd.hpp"
+
+namespace cas::simd {
+
+/// Minimum value of v (int64 lanes). Empty span: INT64_MAX.
+[[nodiscard]] int64_t min_value(std::span<const int64_t> v);
+
+/// Maximum of v[i] over lanes with gate[i] <= bound (unsigned compare).
+/// `*any` reports whether at least one lane passed the gate; the returned
+/// value is INT64_MIN when none did. v and gate have equal lengths.
+[[nodiscard]] int64_t max_value_where_le(std::span<const int64_t> v,
+                                         std::span<const uint64_t> gate, uint64_t bound,
+                                         bool* any);
+
+}  // namespace cas::simd

@@ -1,0 +1,70 @@
+// Two-pass extreme-element selection with uniform tie-breaking — the
+// engine-facing shape of the reduce kernels.
+//
+// Pass 1 finds the extreme VALUE (vectorized when a backend is active);
+// pass 2 is a scalar reservoir walk over the lanes equal to that value,
+// spending one rng.below(ties) draw per tie beyond the first. Because pass
+// 2 is identical code under every ISA and pass 1 returns the same value
+// bit-for-bit (integer reductions), a search trajectory is reproducible
+// regardless of which backend ran — the property the seeded SIMD-on/off
+// identity test pins.
+//
+// Compared to the historical one-pass running-extreme scan, the reservoir
+// consumes the RNG differently (draws only for ties of the FINAL extreme,
+// not of every running prefix extreme), but the selected index is still
+// uniform among the tied lanes, which is all Adaptive Search requires.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "core/rng.hpp"
+#include "simd/reduce.hpp"
+
+namespace cas::simd {
+
+struct Pick {
+  int index = -1;
+  int64_t value = 0;
+};
+
+/// Argmin over a filled move row with uniform tie-breaking. Lanes holding
+/// INT64_MAX (the delta-row exclusion sentinel) can never win unless every
+/// lane holds it, in which case index stays -1.
+inline Pick pick_min(std::span<const int64_t> row, core::Rng& rng) {
+  Pick p;
+  const int64_t best = min_value(row);
+  if (best == std::numeric_limits<int64_t>::max()) return p;
+  p.value = best;
+  const int n = static_cast<int>(row.size());
+  int ties = 0;
+  for (int j = 0; j < n; ++j) {
+    if (row[static_cast<size_t>(j)] != best) continue;
+    ++ties;
+    if (ties == 1 || rng.below(static_cast<uint64_t>(ties)) == 0) p.index = j;
+  }
+  return p;
+}
+
+/// Argmax over v restricted to lanes with gate[i] <= bound (the "not tabu
+/// at this iteration" predicate), uniform among ties. index == -1 when no
+/// lane passes the gate.
+inline Pick pick_max_where_le(std::span<const int64_t> v, std::span<const uint64_t> gate,
+                              uint64_t bound, core::Rng& rng) {
+  Pick p;
+  bool any = false;
+  const int64_t best = max_value_where_le(v, gate, bound, &any);
+  if (!any) return p;
+  p.value = best;
+  const int n = static_cast<int>(v.size());
+  int ties = 0;
+  for (int i = 0; i < n; ++i) {
+    if (gate[static_cast<size_t>(i)] > bound || v[static_cast<size_t>(i)] != best) continue;
+    ++ties;
+    if (ties == 1 || rng.below(static_cast<uint64_t>(ties)) == 0) p.index = i;
+  }
+  return p;
+}
+
+}  // namespace cas::simd

@@ -222,9 +222,67 @@ TEST(ServiceStatsJson, ExportsTheFullSurface) {
   for (const char* key :
        {"submitted", "completed", "solved", "failed", "executions", "dedup_hits", "cache_hits",
         "rejected", "cache_size", "cache_evictions", "cache_expired",
-        "estimated_walker_seconds", "total_iterations", "total_wall_seconds"})
+        "estimated_walker_seconds", "cost_model_calibrations", "total_iterations",
+        "total_wall_seconds"})
     EXPECT_TRUE(j.contains(key)) << key;
   EXPECT_EQ(j.at("executions").as_int(), 1);
+}
+
+// ---------- auto-calibration from the service's own reports ----------
+
+TEST(ServiceAutoCalibration, RefitsCostModelFromOwnReports) {
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 0;  // every request must really execute
+  opts.auto_calibrate_min_samples = 3;
+  SolverService service(opts);
+  // Distinct seeds -> distinct canonical keys -> four real executions.
+  for (int s = 1; s <= 4; ++s)
+    service.submit(costas_request("c" + std::to_string(s), 10, static_cast<uint64_t>(s)))
+        .get();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.executions, 4u);
+  EXPECT_GE(stats.cost_model_calibrations, 1u);
+  // The refit (costas, 10) cell now carries this machine's measured fit,
+  // not the built-in curve's canned point.
+  SolveRequest probe = costas_request("probe", 10, 7);
+  const auto live = service.cost_model().estimate(resolve(probe));
+  ASSERT_TRUE(live.known);
+  EXPECT_GT(live.expected_walker_seconds, 0.0);
+  const auto builtin = CostModel().estimate(resolve(probe));
+  EXPECT_NE(live.fit.lambda, builtin.fit.lambda);
+}
+
+TEST(ServiceAutoCalibration, DisabledKeepsBuiltInCurve) {
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 0;
+  opts.auto_calibrate = false;
+  opts.auto_calibrate_min_samples = 2;
+  SolverService service(opts);
+  for (int s = 1; s <= 3; ++s)
+    service.submit(costas_request("c" + std::to_string(s), 9, static_cast<uint64_t>(s))).get();
+  EXPECT_EQ(service.stats().cost_model_calibrations, 0u);
+  SolveRequest probe = costas_request("probe", 9, 7);
+  EXPECT_EQ(service.cost_model().estimate(resolve(probe)).fit.lambda,
+            CostModel().estimate(resolve(probe)).fit.lambda);
+}
+
+TEST(ServiceAutoCalibration, CensoredRunsNeverContribute) {
+  // Unsolved (iteration-capped) executions are censored observations of
+  // the run-time distribution; feeding them in would bias the price down.
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 0;
+  opts.auto_calibrate_min_samples = 2;
+  SolverService service(opts);
+  for (int s = 1; s <= 3; ++s) {
+    auto req = costas_request("t" + std::to_string(s), 16, static_cast<uint64_t>(s));
+    req.max_iterations = 50;  // far below the ~1e6 expected solve cost
+    req.probe_interval = 8;
+    service.submit(req).get();
+  }
+  EXPECT_EQ(service.stats().cost_model_calibrations, 0u);
 }
 
 // ---------- CostModel ----------

@@ -14,7 +14,8 @@
 //
 // scenario.json is either an array of request objects or
 //   { "pool_threads": 8, "requests": [ {...}, {...} ] }
-// optionally with service options ("cache", "cache_ttl", "admit_budget")
+// optionally with service options ("cache", "cache_ttl", "admit_budget",
+// "auto_calibrate", "auto_calibrate_min_samples")
 // and/or "waves": an array of request arrays solved as successive batches
 // over ONE service, so later waves hit the cache warmed by earlier ones.
 // "description" and "expect" keys are ignored by cas_run itself — the CI
@@ -117,6 +118,9 @@ Scenario load_scenario(const std::string& path) {
   if (const auto* p = doc.find("cache_ttl")) sc.service.cache_ttl_seconds = p->as_number();
   if (const auto* p = doc.find("admit_budget"))
     sc.service.admission_budget_walker_seconds = p->as_number();
+  if (const auto* p = doc.find("auto_calibrate")) sc.service.auto_calibrate = p->as_bool();
+  if (const auto* p = doc.find("auto_calibrate_min_samples"))
+    sc.service.auto_calibrate_min_samples = static_cast<int>(p->as_int());
   if (const auto* waves = doc.find("waves")) {
     if (!waves->is_array()) throw std::runtime_error("scenario: 'waves' must be an array of request arrays");
     for (const auto& wave : waves->as_array()) sc.waves.push_back(parse_requests(wave));
@@ -172,6 +176,8 @@ int main(int argc, char** argv) {
   flags.add_double("admit-budget", 0.0,
                    "reject requests whose estimated cost exceeds this many walker-seconds "
                    "(0 = admit everything)");
+  flags.add_bool("auto-calibrate", true,
+                 "refit the admission cost model from this run's own completed reports");
   flags.add_string("out", "-", "report path ('-' = stdout)");
   flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
   flags.add_bool("require-solved", false, "exit non-zero unless every request solved");
@@ -202,6 +208,7 @@ int main(int argc, char** argv) {
       sc.service.cache_ttl_seconds = flags.get_double("cache-ttl");
     if (flags.get_double("admit-budget") > 0)
       sc.service.admission_budget_walker_seconds = flags.get_double("admit-budget");
+    if (!flags.get_bool("auto-calibrate")) sc.service.auto_calibrate = false;
 
     runtime::SolverService service(sc.service);
     for (const auto& wave : sc.waves) {

@@ -27,6 +27,12 @@ PAIRS = [
     ("BM_EngineIterations", "BM_EngineIterationsDoUndo"),
     ("BM_EngineIterationsEvalBound", "BM_EngineIterationsEvalBoundDoUndo"),
     ("BM_DeltaCost", "BM_CostIfSwapDoUndo"),
+    # PR 4 vectorized kernels vs their scalar/per-j baselines. Absent from
+    # references predating the SIMD layer; a pair is only scored when both
+    # files carry both benches, so older refs stay valid.
+    ("BM_DeltaRow", "BM_DeltaRowPerJ"),
+    ("BM_DeltaRow", "BM_DeltaRowScalar"),
+    ("BM_CulpritScan", "BM_CulpritScanScalar"),
 ]
 
 
@@ -40,6 +46,8 @@ def rates(path):
 
 
 def ratios(table):
+    # Keyed on "fast/size|slow": one fast stem can anchor several pairs
+    # (BM_DeltaRow is scored against both its per-j and scalar baselines).
     found = {}
     for fast_stem, slow_stem in PAIRS:
         for name, rate in table.items():
@@ -48,7 +56,7 @@ def ratios(table):
                 continue
             slow = table.get(f"{slow_stem}/{size}")
             if slow:
-                found[f"{fast_stem}/{size}"] = rate / slow
+                found[f"{fast_stem}/{size}|{slow_stem}"] = rate / slow
     return found
 
 
