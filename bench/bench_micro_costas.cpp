@@ -6,7 +6,12 @@
 // platform profiles. Emits BENCH_micro_costas.json.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "json_out.hpp"
@@ -20,6 +25,26 @@
 #include "costas/model.hpp"
 #include "simd/select.hpp"
 #include "simd/simd.hpp"
+
+// --- allocation counter -------------------------------------------------
+// Replaces global new/delete with counting wrappers so the reset bench can
+// ASSERT the hot reset path is allocation-free after warmup (the batched
+// candidate pipeline reuses its SoA buffer and kernel scratches).
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+uint64_t bench_alloc_count() { return g_alloc_count.load(std::memory_order_relaxed); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace cas;
 
@@ -216,12 +241,99 @@ void BM_CustomReset(benchmark::State& state) {
   costas::CostasProblem p(n);
   core::Rng rng(5);
   p.randomize(rng);
+  // The batched reset pipeline must be allocation-free once its scratch
+  // buffers are warm — resets run thousands of times per hard instance.
+  for (int t = 0; t < 8; ++t) p.custom_reset(rng);
+  const uint64_t allocs_before = bench_alloc_count();
+  for (int t = 0; t < 64; ++t) p.custom_reset(rng);
+  if (bench_alloc_count() != allocs_before) {
+    std::fprintf(stderr,
+                 "BM_CustomReset: custom_reset allocated after warmup "
+                 "(%llu allocations in 64 resets) — the reset path must be "
+                 "allocation-free\n",
+                 static_cast<unsigned long long>(bench_alloc_count() - allocs_before));
+    std::abort();
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(p.custom_reset(rng));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CustomReset)->Arg(14)->Arg(18)->Arg(22);
+
+// --- batched reset candidate evaluation: SIMD vs scalar batch vs the ---
+// --- per-candidate evaluate_bounded loop it replaced -------------------
+// One item == one full reset candidate-set evaluation (the ~2n+7 family
+// 1/2/3 permutations custom_reset scores per diversification), winner
+// selection included. The per-candidate baseline replicates the historical
+// serial consider-loop exactly: evaluate_bounded against a running best.
+
+/// Reset-shaped candidate set: the model's OWN family-1/2 generator (so
+/// the measured candidate shape can never drift from custom_reset's) plus
+/// 3 deterministic stand-ins for the RNG-picked family-3 prefix rotations.
+void fill_reset_candidates(const costas::CostasProblem& p, int m, core::CandidateBatch& batch) {
+  const int n = p.size();
+  const std::vector<int>& perm = p.permutation();
+  batch.reset(n, p.reset_candidate_count());
+  p.append_reset_families_1_2(m, batch);
+  for (int e : {n / 3, n / 2, n - 2}) {
+    if (e <= 0) continue;
+    const int lane = batch.append(perm);
+    for (int i = 0; i < e; ++i) batch.set(lane, i, perm[static_cast<size_t>(i + 1)]);
+    batch.set(lane, e, perm[0]);
+  }
+}
+
+void reset_batch_bench(benchmark::State& state, bool scalar) {
+  const int n = static_cast<int>(state.range(0));
+  std::unique_ptr<simd::ScopedIsa> guard;
+  if (scalar) guard = std::make_unique<simd::ScopedIsa>(simd::Isa::kScalar);
+  costas::CostasProblem p(n);
+  core::Rng rng(6);
+  p.randomize(rng);
+  core::CandidateBatch batch;
+  fill_reset_candidates(p, n / 2, batch);
+  std::vector<core::Cost> out(static_cast<size_t>(batch.count()));
+  for (auto _ : state) {
+    p.evaluate_batch(batch, std::numeric_limits<core::Cost>::max(), {out.data(), out.size()});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (!scalar) state.SetLabel(simd::isa_name(simd::active_isa()));
+}
+
+void BM_ResetBatch(benchmark::State& state) { reset_batch_bench(state, /*scalar=*/false); }
+BENCHMARK(BM_ResetBatch)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+void BM_ResetBatchScalar(benchmark::State& state) { reset_batch_bench(state, /*scalar=*/true); }
+BENCHMARK(BM_ResetBatchScalar)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
+
+void BM_ResetBatchPerCandidate(benchmark::State& state) {
+  // The strategy the batch replaced: one evaluate_bounded call per
+  // candidate with a running best-so-far bound (the serial consider-loop).
+  const int n = static_cast<int>(state.range(0));
+  costas::CostasProblem p(n);
+  core::Rng rng(6);
+  p.randomize(rng);
+  core::CandidateBatch batch;
+  fill_reset_candidates(p, n / 2, batch);
+  std::vector<int> cand(static_cast<size_t>(n));
+  for (auto _ : state) {
+    core::Cost best = std::numeric_limits<core::Cost>::max();
+    int best_lane = -1;
+    for (int c = 0; c < batch.count(); ++c) {
+      batch.extract(c, cand);
+      const core::Cost cost = p.evaluate_bounded(cand, best);
+      if (cost < best) {
+        best = cost;
+        best_lane = c;
+      }
+    }
+    benchmark::DoNotOptimize(best_lane);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResetBatchPerCandidate)->Arg(14)->Arg(18)->Arg(22)->Arg(26);
 
 void BM_FullRebuildViaSetPermutation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -18,6 +18,7 @@
 #include "core/dialectic_search.hpp"
 #include "core/genetic.hpp"
 #include "core/hill_climber.hpp"
+#include "core/candidate_batch.hpp"
 #include "core/problem.hpp"
 #include "core/rickard_healy.hpp"
 #include "core/rng.hpp"

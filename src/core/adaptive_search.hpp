@@ -154,19 +154,28 @@ class AdaptiveSearch {
 
   void diversify(RunStats& st) {
     ++st.resets;
+    // The reset phase is the other half of the hot loop (the ablation
+    // bench puts it at ~30% of hard-instance wall time), so it is timed
+    // separately — reset_seconds/reset_candidates make the batched
+    // candidate pipeline observable end-to-end in every report.
+    const util::WallTimer reset_timer;
     if constexpr (HasCustomReset<P>) {
       if (cfg_.use_custom_reset) {
         const bool escaped = problem_.custom_reset(rng_);
+        if constexpr (requires { problem_.reset_candidates_evaluated(); })
+          st.reset_candidates += static_cast<uint64_t>(problem_.reset_candidates_evaluated());
         if (escaped)
           ++st.custom_reset_escapes;
         else if (cfg_.hybrid_reset)
           generic_reset();
         if (!cfg_.keep_tabu_on_reset) clear_tabu();
+        st.reset_seconds += reset_timer.seconds();
         return;
       }
     }
     generic_reset();
     if (!cfg_.keep_tabu_on_reset) clear_tabu();
+    st.reset_seconds += reset_timer.seconds();
   }
 
   /// Generic reset (Sec. III-B2): re-randomize ~reset_fraction of the

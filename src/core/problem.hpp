@@ -43,8 +43,10 @@
 #include <functional>
 #include <limits>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "core/candidate_batch.hpp"
 #include "core/rng.hpp"
 
 namespace cas::core {
@@ -107,6 +109,62 @@ inline void delta_costs_row(const P& p, int i, std::span<Cost> out) {
     const int n = p.size();
     for (int j = 0; j < n; ++j)
       out[static_cast<size_t>(j)] = (j == i) ? kExcludedDelta : p.delta_cost(i, j);
+  }
+}
+
+/// Optional batched candidate evaluation: problems that can score a whole
+/// CandidateBatch of configurations cheaper than one full evaluation per
+/// candidate expose evaluate_batch(batch, bound, out). CostasProblem walks
+/// each difference-triangle row once per 8-candidate block, vectorized
+/// when a SIMD backend is active, sharing one best-so-far bound across
+/// candidates for pruning. Contract for out[c] (one entry per candidate):
+///   * out[c] is the EXACT cost whenever that cost is strictly below every
+///     bound the implementation could have pruned against — in particular
+///     for every candidate whose cost is strictly below `bound` and below
+///     all exactly-computed costs of earlier candidates;
+///   * a pruned candidate reports a partial cost p with p <= true cost and
+///     p >= the tightest bound in effect for it (which is >= the true
+///     minimum over the batch), so "first candidate with out[c] < X" and
+///     "first candidate achieving min(out)" match the serial
+///     evaluate-in-order-with-running-bound loop exactly.
+template <typename P>
+concept HasBatchEval = requires(const P& cp, const CandidateBatch& b, Cost bound,
+                                std::span<Cost> out) {
+  { cp.evaluate_batch(b, bound, out) };
+};
+
+/// Evaluate every candidate in `batch` against problem `p`, filling out[c]
+/// per the HasBatchEval contract. Problems with a native batched member use
+/// it; every other model gets a serial reference: a scratch copy of the
+/// problem is morphed into each candidate by swaps (candidates must be
+/// value-rearrangements of the current configuration, which reset
+/// perturbations always are) and its cached cost read back — exact costs,
+/// `bound` unused. out.size() >= batch.count().
+template <LocalSearchProblem P>
+  requires(HasBatchEval<P> || std::copy_constructible<P>)
+inline void evaluate_batch(const P& p, const CandidateBatch& batch, Cost bound,
+                           std::span<Cost> out) {
+  if constexpr (HasBatchEval<P>) {
+    p.evaluate_batch(batch, bound, out);
+  } else {
+    (void)bound;
+    const int n = p.size();
+    P scratch(p);
+    for (int c = 0; c < batch.count(); ++c) {
+      // Selection-style sync: position i takes the candidate's value via a
+      // swap with whichever later position currently holds it.
+      for (int i = 0; i < n; ++i) {
+        const int want = static_cast<int>(batch.get(c, i));
+        if (scratch.value(i) == want) continue;
+        int j = i + 1;
+        while (j < n && scratch.value(j) != want) ++j;
+        if (j == n)
+          throw std::invalid_argument(
+              "evaluate_batch: candidate is not a rearrangement of the configuration");
+        scratch.apply_swap(i, j);
+      }
+      out[static_cast<size_t>(c)] = scratch.cost();
+    }
   }
 }
 

@@ -22,6 +22,11 @@ struct RunStats {
   uint64_t custom_reset_escapes = 0;  // custom reset found strict improvement
   uint64_t restarts = 0;
   uint64_t move_evaluations = 0;  // candidate swaps scored
+  // Reset-phase observability (the batched-reset pipeline's end-to-end
+  // counters): wall time spent inside diversification, and the candidate
+  // configurations the problem's custom reset examined.
+  uint64_t reset_candidates = 0;
+  double reset_seconds = 0.0;
 
   double wall_seconds = 0.0;
 

@@ -27,6 +27,10 @@ CostasProblem::CostasProblem(int n, CostasOptions opts) : n_(n), opts_(opts) {
   pair_start_sum_.assign(occ_.size(), 0);
   errs_.assign(static_cast<size_t>(n), 0);
   errw_.assign(static_cast<size_t>(depth_) + 1, 0);
+  // The family-3 erroneous-position list is bounded by n; reserving it here
+  // keeps the whole reset path allocation-free from the first call (the
+  // reset bench asserts this after warmup).
+  scratch_.reserve(static_cast<size_t>(n));
   for (int d = 1; d <= depth_; ++d) {
     errw_[static_cast<size_t>(d)] =
         opts_.err == ErrFunction::kQuadratic
@@ -185,6 +189,54 @@ Cost CostasProblem::evaluate_bounded(std::span<const int> perm, Cost bound) cons
   return total;
 }
 
+void CostasProblem::append_rotated_candidate(core::CandidateBatch& batch, int lo, int hi,
+                                             bool left) const {
+  // A copy of the current permutation with only the [lo, hi] window
+  // rewritten, shifted one cell left or right circularly.
+  const int lane = batch.append(perm_);
+  if (left) {
+    for (int i = lo; i < hi; ++i)
+      batch.set(lane, i, static_cast<int32_t>(perm_[static_cast<size_t>(i + 1)]));
+    batch.set(lane, hi, static_cast<int32_t>(perm_[static_cast<size_t>(lo)]));
+  } else {
+    for (int i = lo + 1; i <= hi; ++i)
+      batch.set(lane, i, static_cast<int32_t>(perm_[static_cast<size_t>(i - 1)]));
+    batch.set(lane, lo, static_cast<int32_t>(perm_[static_cast<size_t>(hi)]));
+  }
+}
+
+void CostasProblem::append_reset_families_1_2(int m, core::CandidateBatch& batch) const {
+  // Family 1: circular shifts of the sub-arrays [m, e] (e > m) and
+  // [s, m] (s < m) anchored at the most erroneous variable, one cell left
+  // and one cell right each.
+  for (int e = m + 1; e < n_; ++e) {
+    append_rotated_candidate(batch, m, e, /*left=*/true);
+    append_rotated_candidate(batch, m, e, /*left=*/false);
+  }
+  for (int s = 0; s < m; ++s) {
+    append_rotated_candidate(batch, s, m, /*left=*/true);
+    append_rotated_candidate(batch, s, m, /*left=*/false);
+  }
+  // Family 2: add a constant modulo n.
+  const int consts[4] = {1, 2, n_ - 2, n_ - 3};
+  for (int c : consts) {
+    if (c <= 0 || c >= n_) continue;  // degenerate for tiny n
+    const int lane = batch.append(perm_);
+    for (int i = 0; i < n_; ++i)
+      batch.set(lane, i,
+                static_cast<int32_t>((perm_[static_cast<size_t>(i)] - 1 + c) % n_ + 1));
+  }
+}
+
+void CostasProblem::evaluate_batch(const core::CandidateBatch& batch, Cost bound,
+                                   std::span<Cost> out) const {
+  if (batch.size() != n_)
+    throw std::invalid_argument("CostasProblem::evaluate_batch: candidate size mismatch");
+  const simd::CostasCtx ctx{perm_.data(), occ_.data(), errw_.data(), n_, depth_, stride_};
+  simd::costas_evaluate_batch(ctx, batch.data(), batch.lane_stride(), batch.count(), bound,
+                              out.data());
+}
+
 int CostasProblem::reset_candidate_count() const {
   // Family 1: 2 shift directions for each sub-array starting or ending at
   // Vm — (n-1) sub-arrays each way minus the duplicate full-range one gives
@@ -194,32 +246,61 @@ int CostasProblem::reset_candidate_count() const {
 }
 
 bool CostasProblem::custom_reset(core::Rng& rng) {
+  // Batched pipeline: the candidate families are generated straight into
+  // the reusable SoA batch (no per-candidate vector copies) and scored
+  // through the chunked kernel walk with a shared best-so-far bound. The
+  // selection replicates the historical serial consider-loop exactly:
+  //   * escape — the FIRST candidate strictly below the entry cost wins
+  //     (the kernel stops after the chunk containing it; later candidates
+  //     are never needed, and candidate generation draws no RNG);
+  //   * otherwise — the first candidate achieving the batch minimum wins,
+  //     which is exactly what the serial loop's strict-improvement update
+  //     adopted. Pruned lanes report partials >= every bound that was in
+  //     effect for them, so they can never falsely claim either role.
   const Cost entry_cost = cost_;
-  Cost best_cost = std::numeric_limits<Cost>::max();
-  best_perm_.clear();
+  const simd::CostasCtx ctx{perm_.data(), occ_.data(), errw_.data(), n_, depth_, stride_};
+  // +kLaneBlock: family 3 is evaluated as a lane-offset slice, so the
+  // kernel may read one full block past the last family-3 lane.
+  reset_batch_.reset(n_, reset_candidate_count() + core::CandidateBatch::kLaneBlock);
+  reset_costs_.resize(static_cast<size_t>(reset_candidate_count()));
 
-  // Evaluates one candidate; returns true when the candidate strictly beats
-  // the entry cost (early escape per the paper).
-  auto consider = [&](const std::vector<int>& cand) {
-    const Cost c = evaluate_bounded(cand, best_cost);
-    if (c < best_cost) {
-      best_cost = c;
-      best_perm_ = cand;
-    }
-    return best_cost < entry_cost;
+  // Adopt candidate `lane` in place (index into the batch, no copy).
+  auto adopt = [&](int lane) {
+    for (int i = 0; i < n_; ++i)
+      perm_[static_cast<size_t>(i)] = static_cast<int>(reset_batch_.get(lane, i));
+    rebuild();
   };
 
-  auto accept_best = [&](bool escaped) {
-    if (!best_perm_.empty()) {
-      perm_ = best_perm_;
-      rebuild();
+  // The batch's own capacity guard admits kLaneBlock padding lanes beyond
+  // reset_candidate_count(), so it cannot catch a generator drifting past
+  // the cost row — check the invariant before every kernel write.
+  auto check_cost_row_fits = [&] {
+    if (static_cast<size_t>(reset_batch_.count()) > reset_costs_.size())
+      throw std::logic_error(
+          "CostasProblem::custom_reset: candidate families exceed reset_candidate_count()");
+  };
+
+  // Scan a just-evaluated slice [first_lane, first_lane + evaluated):
+  // returns the first strict improvement over the entry cost (the escape
+  // lane), or -1 after folding the slice into best_cost/best_lane with the
+  // serial loop's strict-< update.
+  Cost best_cost = std::numeric_limits<Cost>::max();
+  int best_lane = -1;
+  auto scan_for_escape = [&](int first_lane, int evaluated) {
+    for (int c = 0; c < evaluated; ++c) {
+      const Cost cost = reset_costs_[static_cast<size_t>(first_lane + c)];
+      if (cost < entry_cost) return first_lane + c;  // first strict improvement
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_lane = first_lane + c;
+      }
     }
-    return escaped;
+    return -1;
   };
 
   // Most erroneous variable Vm (ties broken uniformly), read straight from
   // the incrementally maintained error table (no state is mutated before
-  // accept_best, so the span stays valid throughout).
+  // adopt, so the span stays valid throughout).
   const std::span<const Cost> errs = errors();
   int m = 0;
   {
@@ -238,61 +319,63 @@ bool CostasProblem::custom_reset(core::Rng& rng) {
     }
   }
 
-  // --- Family 1: circular shifts of sub-arrays anchored at Vm ---
-  // Sub-arrays [m, e] (e > m) and [s, m] (s < m), shifted one cell left and
-  // one cell right.
-  auto try_rotated = [&](int lo, int hi, bool left) {
-    scratch_ = perm_;
-    auto first = scratch_.begin() + lo;
-    auto last = scratch_.begin() + hi + 1;
-    if (left)
-      std::rotate(first, first + 1, last);
-    else
-      std::rotate(first, last - 1, last);
-    return consider(scratch_);
-  };
-  for (int e = m + 1; e < n_; ++e) {
-    if (try_rotated(m, e, /*left=*/true)) return accept_best(true);
-    if (try_rotated(m, e, /*left=*/false)) return accept_best(true);
-  }
-  for (int s = 0; s < m; ++s) {
-    if (try_rotated(s, m, /*left=*/true)) return accept_best(true);
-    if (try_rotated(s, m, /*left=*/false)) return accept_best(true);
-  }
+  // Families 1 + 2 (deterministic, shared with the reset micro bench).
+  append_reset_families_1_2(m, reset_batch_);
 
-  // --- Family 2: add a constant modulo n ---
-  const int consts[4] = {1, 2, n_ - 2, n_ - 3};
-  for (int c : consts) {
-    if (c <= 0 || c >= n_) continue;  // degenerate for tiny n
-    scratch_ = perm_;
-    for (int& v : scratch_) v = (v - 1 + c) % n_ + 1;
-    if (consider(scratch_)) return accept_best(true);
+  // One batched pass over families 1 + 2; the kernel stops early once a
+  // completed chunk holds an escape.
+  const int count12 = reset_batch_.count();
+  check_cost_row_fits();
+  const int evaluated12 =
+      simd::costas_evaluate_batch(ctx, reset_batch_.data(), reset_batch_.lane_stride(),
+                                  count12, std::numeric_limits<Cost>::max(),
+                                  reset_costs_.data(), entry_cost);
+  reset_evaluated_ = evaluated12;
+  if (const int escape = scan_for_escape(0, evaluated12); escape >= 0) {
+    adopt(escape);
+    return true;
   }
 
   // --- Family 3: left-shift the prefix ending at a random erroneous
-  // variable (not Vm); up to 3 attempts ---
+  // variable (not Vm); up to 3 attempts. Only reached when families 1/2
+  // did not escape, so the RNG stream matches the serial procedure. ---
   {
     scratch_.clear();
     for (int i = 0; i < n_; ++i) {
       if (i != m && errs[static_cast<size_t>(i)] > 0) scratch_.push_back(i);
     }
     // Pick up to 3 distinct erroneous positions uniformly.
-    std::vector<int> chosen;
+    int chosen[3];
+    int num_chosen = 0;
     for (int t = 0; t < 3 && !scratch_.empty(); ++t) {
       const size_t idx = static_cast<size_t>(rng.below(scratch_.size()));
-      chosen.push_back(scratch_[idx]);
+      chosen[num_chosen++] = scratch_[idx];
       scratch_[idx] = scratch_.back();
       scratch_.pop_back();
     }
-    for (int e : chosen) {
+    for (int t = 0; t < num_chosen; ++t) {
+      const int e = chosen[t];
       if (e == 0) continue;  // prefix of length 1: no-op
-      std::vector<int> cand = perm_;
-      std::rotate(cand.begin(), cand.begin() + 1, cand.begin() + e + 1);
-      if (consider(cand)) return accept_best(true);
+      append_rotated_candidate(reset_batch_, 0, e, /*left=*/true);
+    }
+  }
+  const int count3 = reset_batch_.count() - count12;
+  if (count3 > 0) {
+    // Lane-offset slice: same kernel, pruning against the families-1/2
+    // best, escaping below the entry cost.
+    check_cost_row_fits();
+    const int evaluated3 = simd::costas_evaluate_batch(
+        ctx, reset_batch_.data() + count12, reset_batch_.lane_stride(), count3, best_cost,
+        reset_costs_.data() + count12, entry_cost);
+    reset_evaluated_ += evaluated3;
+    if (const int escape = scan_for_escape(count12, evaluated3); escape >= 0) {
+      adopt(escape);
+      return true;
     }
   }
 
-  return accept_best(false);
+  if (best_lane >= 0) adopt(best_lane);
+  return false;
 }
 
 core::AsConfig recommended_config(int n, uint64_t seed) {

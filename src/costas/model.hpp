@@ -70,6 +70,16 @@ class CostasProblem {
   [[nodiscard]] std::span<const Cost> errors() const { return {errs_.data(), errs_.size()}; }
   void compute_errors(std::span<Cost> errs) const;
 
+  /// Batched candidate evaluation (the HasBatchEval member): score every
+  /// candidate permutation in `batch` in fixed 8-lane chunks that walk each
+  /// difference-triangle row once for all lanes (vectorized under an active
+  /// SIMD backend, bit-identical scalar batch otherwise), sharing one
+  /// best-so-far bound across candidates for pruning. out[c] follows the
+  /// core::HasBatchEval contract: exact for every candidate that could
+  /// still win, a partial sum >= the tightest bound for pruned ones.
+  void evaluate_batch(const core::CandidateBatch& batch, Cost bound,
+                      std::span<Cost> out) const;
+
   /// The paper's dedicated reset (Sec. IV-B). Tries, in order:
   ///  1. circular shifts (left and right) of every sub-array starting or
   ///     ending at the most erroneous variable,
@@ -78,7 +88,11 @@ class CostasProblem {
   ///     variable (up to 3 candidates).
   /// Accepts the first perturbation that strictly improves on the entry
   /// cost (returns true: "escaped"); otherwise evaluates all and adopts the
-  /// best one (returns false).
+  /// best one (returns false). The candidate families are generated
+  /// straight into a reusable CandidateBatch (no per-candidate vector
+  /// copies) and scored through evaluate_batch in one pass — same
+  /// first-found / strict-improvement semantics as the historical serial
+  /// loop, bit-identical trajectories, allocation-free after warmup.
   bool custom_reset(core::Rng& rng);
 
   // --- model introspection / utilities ---
@@ -90,13 +104,32 @@ class CostasProblem {
   /// Stateless cost of an arbitrary permutation under these options.
   [[nodiscard]] Cost evaluate(std::span<const int> perm) const;
 
-  /// Number of candidate configurations the custom reset examines (used by
-  /// tests and the reset ablation bench).
+  /// Stateless evaluation with early abort once the partial cost reaches
+  /// `bound` (row contributions are non-negative, so the total only
+  /// grows). The serial reference the batched reset pipeline is measured
+  /// and fuzzed against.
+  [[nodiscard]] Cost evaluate_bounded(std::span<const int> perm, Cost bound) const;
+
+  /// Worst-case number of candidate configurations one custom reset can
+  /// examine (used by tests and the reset ablation bench).
   [[nodiscard]] int reset_candidate_count() const;
+
+  /// Append the deterministic reset candidate families for anchor variable
+  /// m to `batch` (family 1: sub-array rotations anchored at m; family 2:
+  /// modular constant shifts) — the exact set custom_reset scores before
+  /// its RNG-dependent family 3. Shared with the reset micro bench so the
+  /// measured candidate shape can never drift from the real one.
+  void append_reset_families_1_2(int m, core::CandidateBatch& batch) const;
+
+  /// Candidates the LAST custom_reset actually evaluated — smaller than
+  /// reset_candidate_count() when the batched walk stopped at an escaping
+  /// chunk or tiny-n degeneracies dropped family members. Feeds the
+  /// engines' reset_candidates stat.
+  [[nodiscard]] int reset_candidates_evaluated() const { return reset_evaluated_; }
 
  private:
   void rebuild();
-  [[nodiscard]] Cost evaluate_bounded(std::span<const int> perm, Cost bound) const;
+  void append_rotated_candidate(core::CandidateBatch& batch, int lo, int hi, bool left) const;
 
   [[nodiscard]] size_t bucket(int d, int diff) const {
     // diff in [-(n-1), n-1] -> [0, 2n-2]
@@ -170,9 +203,13 @@ class CostasProblem {
   std::vector<Cost> errs_;  // per-variable errors, maintained by add/remove_pair
   Cost cost_ = 0;
 
-  // custom_reset scratch (reused to keep resets allocation-free after warmup)
+  // custom_reset scratch (reused to keep resets allocation-free after
+  // warmup): the SoA candidate buffer, its per-candidate cost row, and the
+  // erroneous-position list for family 3.
+  core::CandidateBatch reset_batch_;
+  std::vector<Cost> reset_costs_;
   std::vector<int> scratch_;
-  std::vector<int> best_perm_;
+  int reset_evaluated_ = 0;
 };
 
 /// Engine configuration tuned for CAP (paper Sec. IV-B: RL=1, RP=5%,

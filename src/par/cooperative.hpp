@@ -97,6 +97,22 @@ class CooperativeProblem {
     local_best_ = std::numeric_limits<core::Cost>::max();
   }
   [[nodiscard]] core::Cost delta_cost(int i, int j) const { return inner_.delta_cost(i, j); }
+  /// Forwarded batched APIs: without these the wrapper would silently
+  /// demote an engine running on a cooperative walker to the per-j scalar
+  /// loop (HasDeltaRow / HasBatchEval are member-detection concepts), so
+  /// the vectorized move scan and the batched reset candidate pipeline
+  /// stay active under cooperation.
+  void delta_costs_row(int i, std::span<core::Cost> out) const
+    requires core::HasDeltaRow<P>
+  {
+    inner_.delta_costs_row(i, out);
+  }
+  void evaluate_batch(const core::CandidateBatch& batch, core::Cost bound,
+                      std::span<core::Cost> out) const
+    requires core::HasBatchEval<P>
+  {
+    inner_.evaluate_batch(batch, bound, out);
+  }
   [[nodiscard]] core::Cost cost_if_swap(int i, int j) const { return inner_.cost_if_swap(i, j); }
   void apply_swap(int i, int j) {
     inner_.apply_swap(i, j);
@@ -114,6 +130,7 @@ class CooperativeProblem {
   /// Reset hook: adopt the shared crossroad (perturbed, so walkers do not
   /// collapse onto one trajectory) or defer to the inner reset.
   bool custom_reset(core::Rng& rng) {
+    last_reset_deferred_ = false;
     if (board_ != nullptr && rng.chance(adopt_probability_)) {
       if (auto shared = board_->best()) {
         const core::Cost entry = inner_.cost();
@@ -126,11 +143,22 @@ class CooperativeProblem {
       }
     }
     if constexpr (core::HasCustomReset<P>) {
+      last_reset_deferred_ = true;
       return inner_.custom_reset(rng);
     } else {
       perturb(rng);
       return false;
     }
+  }
+
+  /// Reset observability forward: without it the engines' reset_candidates
+  /// stat would read 0 under cooperation. A blackboard adoption evaluates
+  /// no candidates, so it reports the inner problem's last count only when
+  /// the reset actually deferred to it.
+  [[nodiscard]] int reset_candidates_evaluated() const
+    requires requires(const P& p) { p.reset_candidates_evaluated(); }
+  {
+    return last_reset_deferred_ ? inner_.reset_candidates_evaluated() : 0;
   }
 
   // --- introspection ---
@@ -157,6 +185,7 @@ class CooperativeProblem {
   core::Cost local_best_ = std::numeric_limits<core::Cost>::max();
   uint64_t adoptions_ = 0;
   uint64_t publishes_ = 0;
+  bool last_reset_deferred_ = false;
 };
 
 struct CooperativeOptions {

@@ -249,19 +249,27 @@ class ParallelNeighborhoodSearch {
 
   void diversify(core::RunStats& st) {
     ++st.resets;
+    // Timed like the sequential engine's reset phase: the driver resets
+    // alone between barrier rounds, so this is pure single-walk reset
+    // latency (served by the model's batched candidate pipeline).
+    const util::WallTimer reset_timer;
     if constexpr (core::HasCustomReset<P>) {
       if (cfg_.use_custom_reset) {
         const bool escaped = problem_.custom_reset(rng_);
+        if constexpr (requires { problem_.reset_candidates_evaluated(); })
+          st.reset_candidates += static_cast<uint64_t>(problem_.reset_candidates_evaluated());
         if (escaped)
           ++st.custom_reset_escapes;
         else if (cfg_.hybrid_reset)
           generic_reset();
         std::fill(tabu_until_.begin(), tabu_until_.end(), uint64_t{0});
+        st.reset_seconds += reset_timer.seconds();
         return;
       }
     }
     generic_reset();
     std::fill(tabu_until_.begin(), tabu_until_.end(), uint64_t{0});
+    st.reset_seconds += reset_timer.seconds();
   }
 
   void generic_reset() {

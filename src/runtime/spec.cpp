@@ -112,6 +112,12 @@ util::Json SolveReport::to_json() const {
     j["winner_iterations"] = winner_stats.iterations;
     j["winner_local_minima"] = winner_stats.local_minima;
     j["winner_resets"] = winner_stats.resets;
+    // Reset-phase observability (the batched reset pipeline): how often the
+    // custom reset escaped, how many candidate configurations it examined,
+    // and the wall time the winner spent diversifying.
+    j["winner_custom_reset_escapes"] = winner_stats.custom_reset_escapes;
+    j["winner_reset_candidates"] = winner_stats.reset_candidates;
+    j["winner_reset_seconds"] = winner_stats.reset_seconds;
     util::Json sol = util::Json::array();
     for (int v : winner_stats.solution) sol.push_back(v);
     j["solution"] = std::move(sol);

@@ -21,6 +21,13 @@ struct CostasCtx;  // costas_kernels.hpp
 
 namespace detail {
 
+// Candidate-batch row walk (costas_evaluate_batch): count, for each of the
+// 8 candidate lanes starting at `base` (column-major, stride lane_stride),
+// the number of colliding pairs triangle row d contributes — i.e. the
+// positions whose difference already appeared earlier in the row. All 8
+// lanes are computed unconditionally (padded lanes carry garbage the
+// caller discards); `diff_scratch` is caller-provided storage for at least
+// n * 8 int32 (the row's per-lane difference columns).
 #if defined(CAS_SIMD_AVX2)
 int64_t min_value_avx2(const int64_t* v, int n);
 int64_t max_value_where_le_avx2(const int64_t* v, const uint64_t* gate, uint64_t bound,
@@ -32,18 +39,29 @@ int64_t max_value_where_le_avx2(const int64_t* v, const uint64_t* gate, uint64_t
 int costas_delta_row_block_avx2(const CostasCtx& ctx, int i, int d, const int32_t* padded_perm,
                                 int pad, int32_t* acc);
 void costas_errors_row_avx2(const CostasCtx& ctx, int d, int64_t* errs);
+void batch_row_hits_avx2(const int32_t* base, size_t lane_stride, int n, int d,
+                         int32_t* hits, int32_t* diff_scratch);
 #endif
 
 #if defined(CAS_SIMD_SSE42)
 int64_t min_value_sse42(const int64_t* v, int n);
 int64_t max_value_where_le_sse42(const int64_t* v, const uint64_t* gate, uint64_t bound,
                                  int n, bool* any);
+void batch_row_hits_sse42(const int32_t* base, size_t lane_stride, int n, int d,
+                          int32_t* hits, int32_t* diff_scratch);
 #endif
 
 #if defined(CAS_SIMD_NEON)
 int64_t min_value_neon(const int64_t* v, int n);
 int64_t max_value_where_le_neon(const int64_t* v, const uint64_t* gate, uint64_t bound,
                                 int n, bool* any);
+/// NEON leg of the batched culprit-row fill: the per-lane difference and
+/// ledger arithmetic runs 4 lanes wide; the occ-row lookups (NEON has no
+/// gather) drop to per-lane scalar loads between the two vector halves.
+int costas_delta_row_block_neon(const CostasCtx& ctx, int i, int d, const int32_t* padded_perm,
+                                int pad, int32_t* acc);
+void batch_row_hits_neon(const int32_t* base, size_t lane_stride, int n, int d,
+                         int32_t* hits, int32_t* diff_scratch);
 #endif
 
 }  // namespace detail

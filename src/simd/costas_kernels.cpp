@@ -71,6 +71,37 @@ namespace {
   return row_delta_hits(ctx, row, d, std::min(i, j), std::max(i, j));
 }
 
+#if defined(CAS_SIMD_AVX2) || defined(CAS_SIMD_NEON)
+/// Signature shared by the per-ISA culprit-row block kernels.
+using DeltaRowBlockFn = int (*)(const CostasCtx&, int, int, const int32_t*, int, int32_t*);
+
+/// Shared driver for the vectorized culprit-row fill: stages the padded
+/// permutation copy (so the block kernel's shifted loads perm[j - d] /
+/// perm[j + d] stay in bounds at the row edges), runs the block kernel per
+/// triangle row, then finishes the block tail and the two lanes the vector
+/// pass masked out because they share a triangle pair with the culprit in
+/// that row. Keeping this logic in ONE place is what guarantees the ISA
+/// legs cannot drift apart in the tail/special-lane handling.
+void delta_row_vectorized(const CostasCtx& ctx, int i, int32_t* acc, DeltaRowBlockFn block) {
+  const int n = ctx.n;
+  thread_local std::vector<int32_t> padded;
+  const int pad = ctx.depth;
+  padded.assign(static_cast<size_t>(n + 2 * pad), 0);
+  for (int k = 0; k < n; ++k) padded[static_cast<size_t>(pad + k)] = ctx.perm[k];
+  for (int d = 1; d <= ctx.depth; ++d) {
+    const int32_t* row = row_ptr(ctx, d);
+    const int32_t w32 = static_cast<int32_t>(ctx.errw[d]);
+    const int vec_end = block(ctx, i, d, padded.data(), pad, acc);
+    for (int j = vec_end; j < n; ++j)
+      if (j != i)
+        acc[j] += w32 * static_cast<int32_t>(lane_delta(ctx, row, d, i, j));
+    for (const int j : {i - d, i + d})
+      if (j >= 0 && j < vec_end)
+        acc[j] += w32 * static_cast<int32_t>(lane_delta(ctx, row, d, i, j));
+  }
+}
+#endif
+
 }  // namespace
 
 void costas_delta_row(const CostasCtx& ctx, int i, int64_t* out) {
@@ -99,29 +130,16 @@ void costas_delta_row(const CostasCtx& ctx, int i, int64_t* out) {
   bool vectorized = false;
 #if defined(CAS_SIMD_AVX2)
   if (active_isa() == Isa::kAvx2 && n >= 8) {
-    // Padded copy of the permutation so the kernel's shifted loads
-    // (perm[j - d], perm[j + d]) stay in bounds at the row edges; the
-    // out-of-range lanes are masked before they feed any gather.
-    thread_local std::vector<int32_t> padded;
-    const int pad = ctx.depth;
-    padded.assign(static_cast<size_t>(n + 2 * pad), 0);
-    for (int k = 0; k < n; ++k) padded[static_cast<size_t>(pad + k)] = ctx.perm[k];
-    for (int d = 1; d <= ctx.depth; ++d) {
-      const int32_t* row = row_ptr(ctx, d);
-      const int32_t w32 = static_cast<int32_t>(ctx.errw[d]);
-      const int vec_end =
-          detail::costas_delta_row_block_avx2(ctx, i, d, padded.data(), pad, acc.data());
-      // Block-tail lanes, then the two lanes the vector pass masked out
-      // because they share a triangle pair with the culprit in this row.
-      for (int j = vec_end; j < n; ++j)
-        if (j != i)
-          acc[static_cast<size_t>(j)] +=
-              w32 * static_cast<int32_t>(lane_delta(ctx, row, d, i, j));
-      for (const int j : {i - d, i + d})
-        if (j >= 0 && j < vec_end)
-          acc[static_cast<size_t>(j)] +=
-              w32 * static_cast<int32_t>(lane_delta(ctx, row, d, i, j));
-    }
+    delta_row_vectorized(ctx, i, acc.data(), detail::costas_delta_row_block_avx2);
+    vectorized = true;
+  }
+#endif
+#if defined(CAS_SIMD_NEON)
+  if (active_isa() == Isa::kNeon && n >= 4) {
+    // Same driver; the NEON block kernel trades the masked gathers for
+    // per-lane scalar occ lookups through a transposed index/mask spill
+    // (see kernels_neon.cpp).
+    delta_row_vectorized(ctx, i, acc.data(), detail::costas_delta_row_block_neon);
     vectorized = true;
   }
 #endif
@@ -138,6 +156,125 @@ void costas_delta_row(const CostasCtx& ctx, int i, int64_t* out) {
   }
   for (int j = 0; j < n; ++j)
     out[j] = (j == i) ? kDeltaRowExcluded : static_cast<int64_t>(acc[static_cast<size_t>(j)]);
+}
+
+namespace {
+
+/// Scalar reference for one candidate chunk's triangle row: per lane, walk
+/// the row's differences through a touched-slot histogram (the
+/// evaluate_bounded trick: clear only what was written) and count the
+/// positions whose difference was already present. Bit-identical to the
+/// vector backends by construction — a collision count is exact integer
+/// data, not an approximation.
+void batch_row_hits_scalar(const int32_t* base, size_t lane_stride, int n, int d,
+                           int lanes, int32_t* hits, int32_t* seen) {
+  // seen is a caller-provided all-zero scratch of 2n-1 slots, returned
+  // all-zero (diff + n - 1 indexing, mirroring the occ rows).
+  const int m = n - d;
+  for (int l = 0; l < lanes; ++l) {
+    int32_t h = 0;
+    for (int a = 0; a < m; ++a) {
+      const int32_t diff =
+          base[static_cast<size_t>(a + d) * lane_stride + static_cast<size_t>(l)] -
+          base[static_cast<size_t>(a) * lane_stride + static_cast<size_t>(l)];
+      int32_t& c = seen[diff + n - 1];
+      h += static_cast<int32_t>(++c >= 2);
+    }
+    for (int a = 0; a < m; ++a) {
+      const int32_t diff =
+          base[static_cast<size_t>(a + d) * lane_stride + static_cast<size_t>(l)] -
+          base[static_cast<size_t>(a) * lane_stride + static_cast<size_t>(l)];
+      seen[diff + n - 1] = 0;
+    }
+    hits[l] = h;
+  }
+}
+
+}  // namespace
+
+int costas_evaluate_batch(const CostasCtx& ctx, const int32_t* values, size_t lane_stride,
+                          int count, int64_t bound, int64_t* out, int64_t escape_below) {
+  constexpr int kChunk = 8;
+  const int n = ctx.n;
+  // Scratches, grown once per thread: the vector backends stage one row's
+  // per-lane difference columns; the scalar reference keeps a touched-slot
+  // histogram. Both stay allocation-free across hot reset loops.
+  thread_local std::vector<int32_t> diff_scratch;
+  thread_local std::vector<int32_t> seen_scratch;
+  const bool want_vector =
+#if defined(CAS_SIMD_AVX2) || defined(CAS_SIMD_SSE42) || defined(CAS_SIMD_NEON)
+      active_isa() != Isa::kScalar;
+#else
+      false;
+#endif
+  if (want_vector) {
+    if (diff_scratch.size() < static_cast<size_t>(n) * kChunk)
+      diff_scratch.resize(static_cast<size_t>(n) * kChunk);
+  } else {
+    if (seen_scratch.size() < static_cast<size_t>(2 * n - 1))
+      seen_scratch.assign(static_cast<size_t>(2 * n - 1), 0);
+  }
+
+  for (int c0 = 0; c0 < count; c0 += kChunk) {
+    const int lanes = std::min(kChunk, count - c0);
+    const int32_t* const chunk_base = values + c0;
+    int64_t partial[kChunk] = {0, 0, 0, 0, 0, 0, 0, 0};
+    int32_t hits[kChunk];
+    bool aborted = false;
+    for (int d = 1; d <= ctx.depth; ++d) {
+      // Per-ISA row pass; every variant produces the same exact counts.
+      switch (active_isa()) {
+#if defined(CAS_SIMD_AVX2)
+        case Isa::kAvx2:
+          detail::batch_row_hits_avx2(chunk_base, lane_stride, n, d, hits,
+                                      diff_scratch.data());
+          break;
+#endif
+#if defined(CAS_SIMD_SSE42)
+        case Isa::kSse42:
+          detail::batch_row_hits_sse42(chunk_base, lane_stride, n, d, hits,
+                                       diff_scratch.data());
+          break;
+#endif
+#if defined(CAS_SIMD_NEON)
+        case Isa::kNeon:
+          detail::batch_row_hits_neon(chunk_base, lane_stride, n, d, hits,
+                                      diff_scratch.data());
+          break;
+#endif
+        default:
+          batch_row_hits_scalar(chunk_base, lane_stride, n, d, lanes, hits,
+                                seen_scratch.data());
+          break;
+      }
+      const int64_t w = ctx.errw[d];
+      int64_t min_partial = INT64_MAX;
+      for (int l = 0; l < lanes; ++l) {
+        partial[l] += w * hits[l];
+        min_partial = std::min(min_partial, partial[l]);
+      }
+      // Shared-bound pruning: once every live lane has reached the bound,
+      // no candidate in this chunk can beat the best-so-far — stop walking
+      // rows and report the (truncated) partials.
+      if (min_partial >= bound) {
+        aborted = true;
+        break;
+      }
+    }
+    int64_t chunk_best = INT64_MAX;
+    for (int l = 0; l < lanes; ++l) {
+      out[c0 + l] = partial[l];
+      chunk_best = std::min(chunk_best, partial[l]);
+    }
+    if (!aborted) {
+      // Completed chunk: exact costs. Tighten the shared bound, and stop
+      // the whole walk if the caller's escape condition is satisfied —
+      // later candidates can never be the FIRST escape.
+      bound = std::min(bound, chunk_best);
+      if (chunk_best < escape_below) return c0 + lanes;
+    }
+  }
+  return count;
 }
 
 void costas_errors(const CostasCtx& ctx, int64_t* errs) {

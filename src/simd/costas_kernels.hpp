@@ -46,4 +46,31 @@ void costas_delta_row(const CostasCtx& ctx, int i, int64_t* out);
 /// colliding checked pair adds its row weight to both endpoints.
 void costas_errors(const CostasCtx& ctx, int64_t* errs);
 
+/// Batched stateless evaluation of `count` candidate permutations stored
+/// COLUMN-MAJOR in `values` (values[i * lane_stride + c] = candidate c's
+/// value at position i; lane_stride a multiple of 8, padded lanes hold
+/// initialized garbage). Uses ctx only for n / depth / errw — the live occ
+/// tables play no part in a from-scratch evaluation.
+///
+/// Candidates are processed in fixed 8-lane chunks, each chunk walking the
+/// difference triangle row by row with all lanes in flight (vectorized
+/// when a backend is active, a bit-identical scalar batch otherwise). One
+/// best-so-far bound is shared across chunks:
+///   * a chunk aborts once EVERY lane's partial cost has reached the
+///     bound (costs only grow row by row, so none of its candidates can
+///     win any more); aborted lanes report their partial sums;
+///   * a completed chunk tightens the bound to its best exact cost.
+/// The chunking, row order, and abort points are ISA-independent, so the
+/// filled out[] is bit-identical under every backend.
+///
+/// `escape_below` (optional, INT64_MIN disables): stop after the first
+/// chunk that completed with some exact cost < escape_below — the caller
+/// is hunting the FIRST such candidate (the custom reset's early-escape
+/// rule) and anything past its chunk is dead work. Returns the number of
+/// leading candidates whose out[] entries were filled (== count unless an
+/// escape stopped the walk early).
+int costas_evaluate_batch(const CostasCtx& ctx, const int32_t* values, size_t lane_stride,
+                          int count, int64_t bound, int64_t* out,
+                          int64_t escape_below = INT64_MIN);
+
 }  // namespace cas::simd

@@ -214,6 +214,39 @@ int costas_delta_row_block_avx2(const CostasCtx& ctx, int i, int d, const int32_
   return vec_end;
 }
 
+void batch_row_hits_avx2(const int32_t* base, size_t lane_stride, int n, int d,
+                         int32_t* hits, int32_t* diff_scratch) {
+  // One vector = one triangle-row difference of 8 candidate lanes. Stage
+  // the row's m = n - d difference vectors in the scratch, then count, per
+  // position, whether the same difference appeared at any earlier position
+  // (the exact "bucket reaches >= 2" rule of the scalar histogram, phrased
+  // as pairwise compares so 8 candidates share every instruction and no
+  // lane ever touches memory it must scatter back to).
+  const int m = n - d;
+  for (int a = 0; a < m; ++a) {
+    const __m256i lo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(base + static_cast<size_t>(a) * lane_stride));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(base + static_cast<size_t>(a + d) * lane_stride));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(diff_scratch + a * 8),
+                        _mm256_sub_epi32(hi, lo));
+  }
+  __m256i acc = _mm256_setzero_si256();
+  for (int a = 1; a < m; ++a) {
+    const __m256i da =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(diff_scratch + a * 8));
+    __m256i match = _mm256_setzero_si256();
+    for (int b = 0; b < a; ++b) {
+      match = _mm256_or_si256(
+          match, _mm256_cmpeq_epi32(
+                     da, _mm256_loadu_si256(
+                             reinterpret_cast<const __m256i*>(diff_scratch + b * 8))));
+    }
+    acc = _mm256_sub_epi32(acc, match);  // mask lanes are -1 per hit
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(hits), acc);
+}
+
 void costas_errors_row_avx2(const CostasCtx& ctx, int d, int64_t* errs) {
   const int n = ctx.n;
   const int m = n - d;  // pairs in this row

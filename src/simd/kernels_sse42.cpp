@@ -57,6 +57,38 @@ int64_t max_value_where_le_sse42(const int64_t* v, const uint64_t* gate, uint64_
   return out;
 }
 
+void batch_row_hits_sse42(const int32_t* base, size_t lane_stride, int n, int d,
+                          int32_t* hits, int32_t* diff_scratch) {
+  // Same pairwise-compare formulation as the AVX2 leg, run as two 4-lane
+  // halves over the fixed 8-lane chunk (see batch_row_hits_avx2).
+  const int m = n - d;
+  for (int a = 0; a < m; ++a) {
+    for (int half = 0; half < 2; ++half) {
+      const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          base + static_cast<size_t>(a) * lane_stride + half * 4));
+      const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          base + static_cast<size_t>(a + d) * lane_stride + half * 4));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(diff_scratch + a * 8 + half * 4),
+                       _mm_sub_epi32(hi, lo));
+    }
+  }
+  for (int half = 0; half < 2; ++half) {
+    __m128i acc = _mm_setzero_si128();
+    for (int a = 1; a < m; ++a) {
+      const __m128i da = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(diff_scratch + a * 8 + half * 4));
+      __m128i match = _mm_setzero_si128();
+      for (int b = 0; b < a; ++b) {
+        match = _mm_or_si128(
+            match, _mm_cmpeq_epi32(da, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                           diff_scratch + b * 8 + half * 4))));
+      }
+      acc = _mm_sub_epi32(acc, match);  // mask lanes are -1 per hit
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hits + half * 4), acc);
+  }
+}
+
 }  // namespace cas::simd::detail
 
 #endif  // CAS_SIMD_SSE42

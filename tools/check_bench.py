@@ -33,6 +33,10 @@ PAIRS = [
     ("BM_DeltaRow", "BM_DeltaRowPerJ"),
     ("BM_DeltaRow", "BM_DeltaRowScalar"),
     ("BM_CulpritScan", "BM_CulpritScanScalar"),
+    # PR 5 batched reset evaluation vs the per-candidate evaluate_bounded
+    # loop and the scalar batch walk. Same absence tolerance as above.
+    ("BM_ResetBatch", "BM_ResetBatchPerCandidate"),
+    ("BM_ResetBatch", "BM_ResetBatchScalar"),
 ]
 
 

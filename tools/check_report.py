@@ -20,6 +20,11 @@ The scenario's optional `expect` object adds:
                  per-request outcome pins
   served_by      {request_id: "executed"|"dedup"|"cache"|"rejected"}
   service        {counter: exact-int | {"min": n} | {"max": n} | both}
+  winner         {request_id: {report-field: exact | {"min"/"max"} bound}}
+                 pins on the winner's stats fields of a solved result
+                 (e.g. winner_custom_reset_escapes, winner_reset_seconds,
+                 winner_reset_candidates — the reset-phase observability
+                 counters)
 """
 
 import json
@@ -49,11 +54,11 @@ def is_costas(perm):
 def check_bound(name, value, bound):
     if isinstance(bound, dict):
         if "min" in bound and value < bound["min"]:
-            fail(f"service.{name} = {value} < min {bound['min']}")
+            fail(f"{name} = {value} < min {bound['min']}")
         if "max" in bound and value > bound["max"]:
-            fail(f"service.{name} = {value} > max {bound['max']}")
+            fail(f"{name} = {value} > max {bound['max']}")
     elif value != bound:
-        fail(f"service.{name} = {value}, expected {bound}")
+        fail(f"{name} = {value}, expected {bound}")
 
 
 def main():
@@ -136,7 +141,17 @@ def main():
     for name, bound in expect.get("service", {}).items():
         if name not in service:
             fail(f"service stats missing counter '{name}'")
-        check_bound(name, service[name], bound)
+        check_bound(f"service.{name}", service[name], bound)
+    for rid, pins in expect.get("winner", {}).items():
+        r = by_id.get(rid)
+        if r is None:
+            fail(f"winner pins name unknown request id '{rid}'")
+        if not r.get("solved"):
+            fail(f"winner pins on {rid} require a solved result")
+        for field, bound in pins.items():
+            if field not in r:
+                fail(f"{rid}: report missing winner field '{field}'")
+            check_bound(f"{rid}.{field}", r[field], bound)
 
     print(f"check_report: OK ({sys.argv[1]}: {len(results)} results, "
           f"executions={service['executions']} dedup={service['dedup_hits']} "
