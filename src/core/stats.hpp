@@ -23,9 +23,11 @@ struct RunStats {
   uint64_t restarts = 0;
   uint64_t move_evaluations = 0;  // candidate swaps scored
   // Reset-phase observability (the batched-reset pipeline's end-to-end
-  // counters): wall time spent inside diversification, and the candidate
-  // configurations the problem's custom reset examined.
+  // counters): wall time spent inside diversification, the candidate
+  // configurations the problem's custom reset examined, and the kernel
+  // chunks its batched walk aborted early against the shared bound.
   uint64_t reset_candidates = 0;
+  uint64_t reset_escape_chunks = 0;
   double reset_seconds = 0.0;
 
   double wall_seconds = 0.0;

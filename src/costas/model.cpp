@@ -326,11 +326,13 @@ bool CostasProblem::custom_reset(core::Rng& rng) {
   // completed chunk holds an escape.
   const int count12 = reset_batch_.count();
   check_cost_row_fits();
+  int escaped12 = 0;
   const int evaluated12 =
       simd::costas_evaluate_batch(ctx, reset_batch_.data(), reset_batch_.lane_stride(),
                                   count12, std::numeric_limits<Cost>::max(),
-                                  reset_costs_.data(), entry_cost);
+                                  reset_costs_.data(), entry_cost, &escaped12);
   reset_evaluated_ = evaluated12;
+  reset_escaped_chunks_ = escaped12;
   if (const int escape = scan_for_escape(0, evaluated12); escape >= 0) {
     adopt(escape);
     return true;
@@ -364,10 +366,12 @@ bool CostasProblem::custom_reset(core::Rng& rng) {
     // Lane-offset slice: same kernel, pruning against the families-1/2
     // best, escaping below the entry cost.
     check_cost_row_fits();
+    int escaped3 = 0;
     const int evaluated3 = simd::costas_evaluate_batch(
         ctx, reset_batch_.data() + count12, reset_batch_.lane_stride(), count3, best_cost,
-        reset_costs_.data() + count12, entry_cost);
+        reset_costs_.data() + count12, entry_cost, &escaped3);
     reset_evaluated_ += evaluated3;
+    reset_escaped_chunks_ += escaped3;
     if (const int escape = scan_for_escape(count12, evaluated3); escape >= 0) {
       adopt(escape);
       return true;

@@ -127,6 +127,13 @@ class CostasProblem {
   /// engines' reset_candidates stat.
   [[nodiscard]] int reset_candidates_evaluated() const { return reset_evaluated_; }
 
+  /// Kernel chunks the LAST custom_reset aborted early because every lane
+  /// had reached the shared best-so-far bound — how much dead work the
+  /// batched walk pruned. ISA-independent; feeds the engines'
+  /// reset_escape_chunks stat (and, via the report, the cost model's
+  /// future per-instance diversification pricing).
+  [[nodiscard]] int reset_chunks_escaped() const { return reset_escaped_chunks_; }
+
  private:
   void rebuild();
   void append_rotated_candidate(core::CandidateBatch& batch, int lo, int hi, bool left) const;
@@ -210,6 +217,7 @@ class CostasProblem {
   std::vector<Cost> reset_costs_;
   std::vector<int> scratch_;
   int reset_evaluated_ = 0;
+  int reset_escaped_chunks_ = 0;
 };
 
 /// Engine configuration tuned for CAP (paper Sec. IV-B: RL=1, RP=5%,

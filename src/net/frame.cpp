@@ -1,0 +1,78 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cas::net {
+
+namespace {
+
+void put_u32_be(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>((v >> 24) & 0xff);
+  dst[1] = static_cast<char>((v >> 16) & 0xff);
+  dst[2] = static_cast<char>((v >> 8) & 0xff);
+  dst[3] = static_cast<char>(v & 0xff);
+}
+
+uint32_t get_u32_be(const char* src) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(src[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(src[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(src[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(src[3]));
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  append_frame(out, payload);
+  return out;
+}
+
+void append_frame(std::string& out, std::string_view payload) {
+  if (payload.size() > std::numeric_limits<uint32_t>::max())
+    throw std::length_error("encode_frame: payload exceeds u32 length prefix");
+  char hdr[kFrameHeaderBytes];
+  put_u32_be(hdr, static_cast<uint32_t>(payload.size()));
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  out.append(hdr, kFrameHeaderBytes);
+  out.append(payload.data(), payload.size());
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame) : max_frame_(max_frame) {}
+
+void FrameDecoder::feed(const void* data, size_t n) {
+  if (!error_.empty() || n == 0) return;
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+FrameDecoder::Result FrameDecoder::next(std::string& out) {
+  if (!error_.empty()) return Result::kError;
+  if (buffered() < kFrameHeaderBytes) {
+    // Reclaim the consumed prefix while we idle between messages.
+    if (off_ > 0) {
+      buf_.erase(0, off_);
+      off_ = 0;
+    }
+    return Result::kNeedMore;
+  }
+  const uint32_t len = get_u32_be(buf_.data() + off_);
+  if (len > max_frame_) {
+    error_ = util::strf("frame length %u exceeds limit %zu", len, max_frame_);
+    return Result::kError;
+  }
+  if (buffered() < kFrameHeaderBytes + len) return Result::kNeedMore;
+  out.assign(buf_, off_ + kFrameHeaderBytes, len);
+  off_ += kFrameHeaderBytes + len;
+  // Compact once the dead prefix dominates the buffer.
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  return Result::kFrame;
+}
+
+}  // namespace cas::net

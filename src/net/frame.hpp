@@ -1,0 +1,66 @@
+// Wire framing for the serving front-end: every message on a cas_serve
+// connection is one frame — a 4-byte big-endian payload length followed by
+// that many bytes of UTF-8 JSON. Length-prefixing (rather than
+// newline-delimiting) keeps the codec agnostic to payload contents and
+// makes truncation detectable: a reader always knows whether it is waiting
+// on a header or a body.
+//
+// FrameDecoder is the incremental receive half: feed() raw socket bytes in
+// whatever chunks recv() produced, then drain complete frames with next().
+// A length prefix above the configured ceiling is a protocol error (kError
+// is sticky — the connection is unrecoverable and should be closed), which
+// is the overload defense against a client declaring a multi-gigabyte
+// frame and making the server buffer it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cas::net {
+
+/// Per-frame payload ceiling default: 4 MiB comfortably holds any
+/// SolveReport while bounding per-connection memory.
+inline constexpr size_t kDefaultMaxFrame = size_t{4} << 20;
+
+/// Bytes of framing overhead per message (the length prefix).
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Length-prefix the payload. Throws std::length_error above 2^32 - 1.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// encode_frame appended in place (the server's outbuf path — no
+/// intermediate string per frame).
+void append_frame(std::string& out, std::string_view payload);
+
+class FrameDecoder {
+ public:
+  enum class Result {
+    kFrame,     // one complete payload written to `out`
+    kNeedMore,  // buffered bytes do not yet hold a full frame
+    kError,     // protocol violation; see error(). Sticky.
+  };
+
+  explicit FrameDecoder(size_t max_frame = kDefaultMaxFrame);
+
+  /// Append raw bytes received from the peer.
+  void feed(const void* data, size_t n);
+
+  /// Extract the next complete frame's payload. Call in a loop after each
+  /// feed() — one feed can complete several frames.
+  Result next(std::string& out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed as frames.
+  [[nodiscard]] size_t buffered() const { return buf_.size() - off_; }
+  [[nodiscard]] size_t max_frame() const { return max_frame_; }
+
+ private:
+  std::string buf_;
+  size_t off_ = 0;  // consumed prefix of buf_
+  size_t max_frame_;
+  std::string error_;
+};
+
+}  // namespace cas::net

@@ -1,0 +1,467 @@
+#include "net/server.hpp"
+
+#include <csignal>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace cas::net {
+
+namespace {
+
+double now_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+// SIGTERM/SIGINT land here; request_drain() is async-signal-safe (an
+// atomic store plus one write() on the wakeup fd).
+std::atomic<Server*> g_signal_server{nullptr};
+
+extern "C" void cas_serve_signal_handler(int) {
+  if (Server* s = g_signal_server.load(std::memory_order_acquire)) s->request_drain();
+}
+
+}  // namespace
+
+util::Json ServerStats::to_json() const {
+  util::Json j = util::Json::object();
+  j["accepted"] = accepted;
+  j["refused_connections"] = refused_connections;
+  j["closed"] = closed;
+  j["idle_closed"] = idle_closed;
+  j["frames_in"] = frames_in;
+  j["frames_out"] = frames_out;
+  j["requests"] = requests;
+  j["responses"] = responses;
+  j["shed_overload"] = shed_overload;
+  j["shed_cost"] = shed_cost;
+  j["shed_draining"] = shed_draining;
+  j["protocol_errors"] = protocol_errors;
+  j["backpressure_pauses"] = backpressure_pauses;
+  return j;
+}
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      service_(std::make_unique<runtime::SolverService>(opts_.service)) {
+  loop_.add(wakeup_.read_fd(), /*want_read=*/true, /*want_write=*/false);
+}
+
+Server::~Server() {
+  Server* self = this;
+  g_signal_server.compare_exchange_strong(self, nullptr);
+  // The service must die FIRST: its destructor joins every in-flight
+  // coordinator, whose completion callbacks touch completions_ and
+  // wakeup_ — members that outlive this reset() but not ~Server.
+  service_.reset();
+}
+
+void Server::listen() {
+  std::string err;
+  listen_fd_ = listen_tcp(opts_.host, opts_.port, opts_.backlog, err);
+  if (!listen_fd_.valid())
+    throw std::runtime_error("cas_serve: " + err);
+  set_nonblocking(listen_fd_.get(), true);
+  loop_.add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
+  listening_ = true;
+}
+
+uint16_t Server::port() const {
+  return listen_fd_.valid() ? local_port(listen_fd_.get()) : 0;
+}
+
+void Server::request_drain() noexcept {
+  drain_requested_.store(true, std::memory_order_release);
+  wakeup_.notify();
+}
+
+void Server::install_signal_handlers() {
+  g_signal_server.store(this, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = cas_serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking syscalls should wake
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // Dead peers surface as send() errors, not process death.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void Server::run() {
+  std::vector<Event> events;
+  while (true) {
+    loop_.wait(events, 200);
+    for (const Event& e : events) {
+      if (e.fd == wakeup_.read_fd()) {
+        wakeup_.drain();
+        continue;
+      }
+      if (listening_ && e.fd == listen_fd_.get()) {
+        accept_ready();
+        continue;
+      }
+      const auto it = token_by_fd_.find(e.fd);
+      if (it == token_by_fd_.end()) continue;
+      const uint64_t token = it->second;
+      if (e.writable) {
+        if (const auto ct = conns_.find(token); ct != conns_.end()) conn_writable(*ct->second);
+      }
+      // The writable handler may have closed the connection.
+      if (e.readable || e.hangup) {
+        if (const auto ct = conns_.find(token); ct != conns_.end()) conn_readable(*ct->second);
+      }
+    }
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) begin_drain();
+    drain_completions();
+    const double now = now_seconds();
+    if (opts_.idle_timeout_seconds > 0 && !draining_) sweep_idle(now);
+    if (draining_) {
+      if (drain_complete()) break;
+      if (now - drain_started_ > opts_.drain_timeout_seconds) break;  // force-close stragglers
+    }
+  }
+  // Drain finished (or timed out): close everything still open.
+  while (!conns_.empty()) close_conn(conns_.begin()->first);
+}
+
+void Server::begin_drain() {
+  draining_ = true;
+  drain_started_ = now_seconds();
+  if (listening_) {
+    loop_.remove(listen_fd_.get());
+    listen_fd_.reset();
+    listening_ = false;
+  }
+}
+
+bool Server::drain_complete() const {
+  if (inflight_total_ > 0) return false;
+  for (const auto& [token, c] : conns_)
+    if (c->outbuf.size() > c->out_off) return false;
+  return true;
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors: retry on the next readiness
+    }
+    if (static_cast<int>(conns_.size()) >= opts_.max_connections) {
+      ++stats_.refused_connections;
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd, true);
+    set_nodelay(fd);
+    const uint64_t token = next_token_++;
+    auto conn = std::make_unique<Conn>(token, Fd(fd), opts_.max_frame_bytes);
+    conn->last_activity = now_seconds();
+    loop_.add(fd, /*want_read=*/true, /*want_write=*/false);
+    token_by_fd_[fd] = token;
+    conns_[token] = std::move(conn);
+    ++stats_.accepted;
+  }
+}
+
+void Server::close_conn(uint64_t token) {
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  loop_.remove(c.fd.get());
+  token_by_fd_.erase(c.fd.get());
+  ++stats_.closed;
+  // In-flight solves keep running; their completions find no connection
+  // and are dropped (inflight_total_ is reconciled there, not here).
+  conns_.erase(it);
+}
+
+void Server::conn_readable(Conn& c) {
+  const uint64_t token = c.token;
+  while (!c.paused_read && !c.close_after_flush) {
+    char buf[16384];
+    const ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(token);
+      return;
+    }
+    if (n == 0) {
+      c.peer_eof = true;
+      break;
+    }
+    c.last_activity = now_seconds();
+    c.decoder.feed(buf, static_cast<size_t>(n));
+    std::string payload;
+    bool more = true;
+    while (more && !c.close_after_flush) {
+      switch (c.decoder.next(payload)) {
+        case FrameDecoder::Result::kFrame:
+          ++stats_.frames_in;
+          handle_frame(c, payload);
+          break;
+        case FrameDecoder::Result::kNeedMore:
+          more = false;
+          break;
+        case FrameDecoder::Result::kError: {
+          ++stats_.protocol_errors;
+          util::Json err = util::Json::object();
+          err["type"] = "error";
+          err["error"] = c.decoder.error();
+          send_json(c, err);
+          c.close_after_flush = true;  // framing is unrecoverable
+          more = false;
+          break;
+        }
+      }
+    }
+  }
+  if ((c.peer_eof || c.close_after_flush) && c.inflight == 0 && c.out_off == c.outbuf.size()) {
+    close_conn(token);
+    return;
+  }
+  update_interest(c);
+}
+
+void Server::handle_frame(Conn& c, const std::string& payload) {
+  util::Json msg;
+  try {
+    msg = util::Json::parse(payload);
+  } catch (const std::exception& e) {
+    ++stats_.protocol_errors;
+    util::Json err = util::Json::object();
+    err["type"] = "error";
+    err["error"] = util::strf("bad JSON frame: %s", e.what());
+    send_json(c, err);
+    return;
+  }
+  const util::Json* type = msg.is_object() ? msg.find("type") : nullptr;
+  const std::string t = (type && type->is_string()) ? type->as_string() : "";
+  if (t == "solve") {
+    handle_solve(c, msg);
+  } else if (t == "stats") {
+    util::Json j = util::Json::object();
+    j["type"] = "stats";
+    j["service"] = service_->stats().to_json();
+    j["server"] = stats_.to_json();
+    j["backend"] = backend();
+    j["connections"] = static_cast<uint64_t>(conns_.size());
+    j["draining"] = draining_;
+    send_json(c, j);
+  } else if (t == "ping") {
+    util::Json j = util::Json::object();
+    j["type"] = "pong";
+    send_json(c, j);
+  } else if (t == "drain") {
+    request_drain();
+    util::Json j = util::Json::object();
+    j["type"] = "draining";
+    send_json(c, j);
+  } else {
+    ++stats_.protocol_errors;
+    util::Json err = util::Json::object();
+    err["type"] = "error";
+    err["error"] = t.empty() ? "frame missing string 'type'" : "unknown frame type '" + t + "'";
+    send_json(c, err);
+  }
+}
+
+void Server::handle_solve(Conn& c, const util::Json& msg) {
+  const util::Json* rj = msg.find("request");
+  if (rj == nullptr) {
+    ++stats_.protocol_errors;
+    util::Json err = util::Json::object();
+    err["type"] = "error";
+    err["error"] = "solve frame missing 'request'";
+    send_json(c, err);
+    return;
+  }
+  runtime::SolveRequest req;
+  try {
+    req = runtime::SolveRequest::from_json(*rj);
+  } catch (const std::exception& e) {
+    ++stats_.protocol_errors;
+    util::Json err = util::Json::object();
+    err["type"] = "error";
+    if (const util::Json* id = rj->find("id"); id && id->is_string()) err["id"] = id->as_string();
+    err["error"] = util::strf("bad solve request: %s", e.what());
+    send_json(c, err);
+    return;
+  }
+  if (req.id.empty())
+    req.id = util::strf("c%llu-%llu", static_cast<unsigned long long>(c.token),
+                        static_cast<unsigned long long>(c.next_seq++));
+
+  // Edge shedding, cheapest test first. Every rejection is a normal
+  // report frame so clients keep a single completion path.
+  if (draining_) {
+    ++stats_.shed_draining;
+    send_rejection(c, std::move(req), "server draining: not accepting new work", nullptr);
+    return;
+  }
+  if (inflight_total_ >= opts_.max_inflight) {
+    ++stats_.shed_overload;
+    send_rejection(c, std::move(req),
+                   util::strf("overloaded: %llu solves in flight (limit %llu)",
+                              static_cast<unsigned long long>(inflight_total_),
+                              static_cast<unsigned long long>(opts_.max_inflight)),
+                   nullptr);
+    return;
+  }
+  runtime::CostEstimate est;
+  bool priced = false;
+  if (opts_.shed_budget_walker_seconds > 0) {
+    est = service_->estimate(req);
+    priced = est.known;
+    if (est.known && est.expected_walker_seconds > opts_.shed_budget_walker_seconds) {
+      ++stats_.shed_cost;
+      send_rejection(c, std::move(req),
+                     util::strf("load shed: estimated %.3f walker-seconds exceeds budget %.3f",
+                                est.expected_walker_seconds, opts_.shed_budget_walker_seconds),
+                     &est);
+      return;
+    }
+  }
+
+  util::Json prog = util::Json::object();
+  prog["type"] = "progress";
+  prog["id"] = req.id;
+  prog["event"] = "accepted";
+  if (priced) prog["cost_estimate"] = est.to_json();
+  send_json(c, prog);
+
+  ++stats_.requests;
+  ++inflight_total_;
+  ++c.inflight;
+  const uint64_t token = c.token;
+  try {
+    service_->submit_with_callback(std::move(req), [this, token](runtime::SolveReport rep) {
+      {
+        std::lock_guard<std::mutex> g(completions_mu_);
+        completions_.push_back({token, std::move(rep)});
+      }
+      wakeup_.notify();
+    });
+  } catch (const std::exception& e) {
+    // Submission failed before the callback was registered: unwind the
+    // accounting and fail the request over the wire.
+    --inflight_total_;
+    --c.inflight;
+    util::Json err = util::Json::object();
+    err["type"] = "error";
+    err["error"] = util::strf("submit failed: %s", e.what());
+    send_json(c, err);
+  }
+}
+
+void Server::send_rejection(Conn& c, runtime::SolveRequest req, const std::string& why,
+                            const runtime::CostEstimate* est) {
+  runtime::SolveReport rep;
+  rep.request = std::move(req);
+  rep.served_by = "rejected";
+  rep.error = why;
+  if (est != nullptr && est->known) {
+    rep.extras = util::Json::object();
+    rep.extras["cost_estimate"] = est->to_json();
+  }
+  util::Json j = util::Json::object();
+  j["type"] = "report";
+  j["report"] = rep.to_json();
+  send_json(c, j);
+  ++stats_.responses;
+}
+
+void Server::send_json(Conn& c, const util::Json& j) {
+  append_frame(c.outbuf, j.dump(0));
+  ++stats_.frames_out;
+  if (!c.paused_read && c.outbuf.size() - c.out_off > opts_.write_buffer_limit) {
+    // Peer is not draining its socket: stop reading it until it does.
+    c.paused_read = true;
+    ++stats_.backpressure_pauses;
+  }
+  update_interest(c);
+}
+
+void Server::conn_writable(Conn& c) {
+  const uint64_t token = c.token;
+  while (c.out_off < c.outbuf.size()) {
+    const ssize_t n = ::send(c.fd.get(), c.outbuf.data() + c.out_off,
+                             c.outbuf.size() - c.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(token);
+      return;
+    }
+    c.out_off += static_cast<size_t>(n);
+    c.last_activity = now_seconds();
+  }
+  if (c.out_off == c.outbuf.size()) {
+    c.outbuf.clear();
+    c.out_off = 0;
+  } else if (c.out_off > (size_t{1} << 20) && c.out_off * 2 > c.outbuf.size()) {
+    c.outbuf.erase(0, c.out_off);
+    c.out_off = 0;
+  }
+  if (c.paused_read && c.outbuf.size() - c.out_off < opts_.write_buffer_limit / 2)
+    c.paused_read = false;  // peer caught up: resume reading
+  if ((c.peer_eof || c.close_after_flush) && c.inflight == 0 && c.out_off == c.outbuf.size()) {
+    close_conn(token);
+    return;
+  }
+  update_interest(c);
+}
+
+void Server::update_interest(Conn& c) {
+  const bool rd = !c.paused_read && !c.peer_eof && !c.close_after_flush;
+  const bool wr = c.out_off < c.outbuf.size();
+  if (rd == c.want_read && wr == c.want_write) return;
+  c.want_read = rd;
+  c.want_write = wr;
+  loop_.modify(c.fd.get(), rd, wr);
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> g(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& comp : batch) {
+    --inflight_total_;
+    const auto it = conns_.find(comp.token);
+    if (it == conns_.end()) continue;  // client left; report dropped
+    Conn& c = *it->second;
+    --c.inflight;
+    util::Json j = util::Json::object();
+    j["type"] = "report";
+    j["report"] = comp.report.to_json();
+    send_json(c, j);
+    ++stats_.responses;
+  }
+}
+
+void Server::sweep_idle(double now) {
+  std::vector<uint64_t> victims;
+  for (const auto& [token, c] : conns_) {
+    if (c->inflight == 0 && c->out_off == c->outbuf.size() &&
+        now - c->last_activity > opts_.idle_timeout_seconds)
+      victims.push_back(token);
+  }
+  for (uint64_t token : victims) {
+    ++stats_.idle_closed;
+    close_conn(token);
+  }
+}
+
+}  // namespace cas::net

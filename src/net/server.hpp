@@ -1,0 +1,196 @@
+// cas_serve's engine: a single-threaded, readiness-driven front-end that
+// turns the in-process SolverService into a network service without giving
+// up any of its overload discipline.
+//
+// Threading model — exactly one thread owns every socket:
+//   * the event-loop thread (run()) accepts, reads, frames, parses,
+//     sheds, submits, and writes;
+//   * solver work happens where it always has — SolverService coordinator
+//     threads + the shared par::ThreadPool;
+//   * completions cross back via a mutex-guarded queue + Wakeup::notify()
+//     (eventfd/pipe), so the loop never blocks on a solve and a solve
+//     never touches a socket.
+//
+// Protocol (all frames are length-prefixed JSON, see net/frame.hpp):
+//   client -> server   {"type":"solve","request":{...SolveRequest...}}
+//                      {"type":"stats"} {"type":"ping"} {"type":"drain"}
+//   server -> client   {"type":"progress","id":...,"event":"accepted",
+//                       "cost_estimate":{...}?}          (solve accepted)
+//                      {"type":"report","report":{...SolveReport...}}
+//                      {"type":"stats","service":{...},"server":{...}}
+//                      {"type":"pong"} {"type":"draining"}
+//                      {"type":"error","id":...?,"error":"..."}
+// Every solve terminates in exactly one report frame; shed requests get a
+// synthetic rejection report (served_by = "rejected", extras.cost_estimate
+// when priced) so clients have ONE completion path.
+//
+// Overload defense, layered outside the SolverService's own admission:
+//   admission      max_connections refuses accepts; max_inflight rejects
+//                  solve frames before they queue.
+//   load shedding  shed_budget_walker_seconds prices each request on the
+//                  service's live CostModel and rejects over-budget work
+//                  BEFORE submission — the estimate rides the rejection.
+//   backpressure   a connection whose outbuf exceeds write_buffer_limit
+//                  stops being read (level-triggered loops make resuming
+//                  free) until the peer drains it below half.
+//   idle timeout   quiet connections with nothing in flight are closed.
+//   graceful drain SIGTERM / {"type":"drain"} / request_drain(): close the
+//                  listener, finish in-flight work, flush write buffers,
+//                  return from run(). A drain deadline force-closes
+//                  stragglers so shutdown always terminates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "runtime/service.hpp"
+#include "util/json.hpp"
+
+namespace cas::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; Server::port() after listen()
+  int backlog = 128;
+
+  /// Accept-time admission: refuse connections beyond this many open.
+  int max_connections = 1024;
+  /// Server-wide outstanding solves; excess solve frames are rejected
+  /// with a synthetic rejection report (not queued).
+  uint64_t max_inflight = 256;
+  /// Reject solve requests whose CostModel estimate exceeds this many
+  /// walker-seconds (0 = no edge shedding; the service's own admission
+  /// budget, if configured, still applies after submission).
+  double shed_budget_walker_seconds = 0.0;
+  /// Close connections idle this long with nothing in flight (0 = never).
+  double idle_timeout_seconds = 0.0;
+  /// Force-close stragglers this long after a drain starts.
+  double drain_timeout_seconds = 30.0;
+
+  size_t max_frame_bytes = kDefaultMaxFrame;
+  /// Per-connection outbuf high-water mark: above it the peer stops being
+  /// read; reads resume below half.
+  size_t write_buffer_limit = size_t{4} << 20;
+
+  runtime::SolverService::Options service;
+};
+
+/// Loop-thread counters (read them after run() returns, or from the
+/// stats frame, which the loop itself serializes).
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t refused_connections = 0;  // max_connections admission
+  uint64_t closed = 0;
+  uint64_t idle_closed = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t requests = 0;   // solve frames admitted to the service
+  uint64_t responses = 0;  // report frames sent (or dropped with their conn)
+  uint64_t shed_overload = 0;  // max_inflight rejections
+  uint64_t shed_cost = 0;      // budget-priced rejections
+  uint64_t shed_draining = 0;  // solve frames during drain
+  uint64_t protocol_errors = 0;
+  uint64_t backpressure_pauses = 0;
+
+  [[nodiscard]] util::Json to_json() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen (throws std::runtime_error on failure). Separate from
+  /// run() so callers learn the ephemeral port before clients connect.
+  void listen();
+  [[nodiscard]] uint16_t port() const;
+
+  /// The event loop. Blocks until a drain completes; safe to call from a
+  /// dedicated thread while other threads connect as clients.
+  void run();
+
+  /// Begin graceful drain. Thread-safe; also callable from signal
+  /// handlers (atomic store + one write()).
+  void request_drain() noexcept;
+
+  /// Route SIGTERM/SIGINT to request_drain() on this server (the most
+  /// recently installed one — cas_serve runs exactly one).
+  void install_signal_handlers();
+
+  [[nodiscard]] runtime::SolverService& service() { return *service_; }
+  /// Valid once run() has returned (or before it starts).
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const char* backend() const { return loop_.backend(); }
+
+ private:
+  struct Conn {
+    uint64_t token = 0;
+    Fd fd;
+    FrameDecoder decoder;
+    std::string outbuf;
+    size_t out_off = 0;      // flushed prefix of outbuf
+    uint64_t inflight = 0;   // solves submitted, report not yet sent
+    uint64_t next_seq = 0;   // anonymous-request id counter
+    double last_activity = 0;
+    bool want_read = true;        // cached loop interest (skip no-op modifies)
+    bool want_write = false;
+    bool paused_read = false;     // backpressure engaged
+    bool peer_eof = false;        // no more requests; replies still flow
+    bool close_after_flush = false;
+
+    Conn(uint64_t t, Fd f, size_t max_frame)
+        : token(t), fd(std::move(f)), decoder(max_frame) {}
+  };
+
+  struct Completion {
+    uint64_t token = 0;
+    runtime::SolveReport report;
+  };
+
+  void accept_ready();
+  void conn_readable(Conn& c);
+  void conn_writable(Conn& c);
+  void handle_frame(Conn& c, const std::string& payload);
+  void handle_solve(Conn& c, const util::Json& msg);
+  void send_json(Conn& c, const util::Json& j);
+  void send_rejection(Conn& c, runtime::SolveRequest req, const std::string& why,
+                      const runtime::CostEstimate* est);
+  void update_interest(Conn& c);
+  void close_conn(uint64_t token);
+  void drain_completions();
+  void begin_drain();
+  void sweep_idle(double now);
+  [[nodiscard]] bool drain_complete() const;
+
+  ServerOptions opts_;
+  std::unique_ptr<runtime::SolverService> service_;
+  EventLoop loop_;
+  Wakeup wakeup_;
+  Fd listen_fd_;
+  bool listening_ = false;
+  bool draining_ = false;
+  double drain_started_ = 0;
+
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;      // token -> conn
+  std::map<int, uint64_t> token_by_fd_;
+  uint64_t inflight_total_ = 0;  // loop-thread mirror of outstanding solves
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+  std::atomic<bool> drain_requested_{false};
+
+  ServerStats stats_;
+};
+
+}  // namespace cas::net

@@ -161,6 +161,14 @@ class CooperativeProblem {
     return last_reset_deferred_ ? inner_.reset_candidates_evaluated() : 0;
   }
 
+  /// Same deferral rule for the escape-chunk telemetry: a blackboard
+  /// adoption runs no batched walk, so it contributes no chunks.
+  [[nodiscard]] int reset_chunks_escaped() const
+    requires requires(const P& p) { p.reset_chunks_escaped(); }
+  {
+    return last_reset_deferred_ ? inner_.reset_chunks_escaped() : 0;
+  }
+
   // --- introspection ---
   [[nodiscard]] const std::vector<int>& permutation() const { return inner_.permutation(); }
   void set_permutation(std::span<const int> p) { inner_.set_permutation(p); }

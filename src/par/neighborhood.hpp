@@ -258,6 +258,8 @@ class ParallelNeighborhoodSearch {
         const bool escaped = problem_.custom_reset(rng_);
         if constexpr (requires { problem_.reset_candidates_evaluated(); })
           st.reset_candidates += static_cast<uint64_t>(problem_.reset_candidates_evaluated());
+        if constexpr (requires { problem_.reset_chunks_escaped(); })
+          st.reset_escape_chunks += static_cast<uint64_t>(problem_.reset_chunks_escaped());
         if (escaped)
           ++st.custom_reset_escapes;
         else if (cfg_.hybrid_reset)

@@ -13,14 +13,6 @@ double steady_seconds() {
       .count();
 }
 
-/// A future already holding its report — the shape of every serving path
-/// that skips execution (cache hit, dedup is promise-based, rejection).
-std::future<SolveReport> ready_future(SolveReport report) {
-  std::promise<SolveReport> p;
-  p.set_value(std::move(report));
-  return p.get_future();
-}
-
 }  // namespace
 
 util::Json ServiceStats::to_json() const {
@@ -40,6 +32,25 @@ util::Json ServiceStats::to_json() const {
   j["cost_model_calibrations"] = cost_model_calibrations;
   j["total_iterations"] = total_iterations;
   j["total_wall_seconds"] = total_wall_seconds;
+  // Per-outcome service latency percentiles (milliseconds). An outcome
+  // with count 0 reports zeros — the keys are always present so wire
+  // consumers need no existence checks.
+  const auto latency_json = [](const util::LogHistogram& h) {
+    util::Json l = util::Json::object();
+    l["count"] = h.count();
+    l["mean_ms"] = h.mean() * 1e3;
+    l["p50_ms"] = h.percentile(0.50) * 1e3;
+    l["p95_ms"] = h.percentile(0.95) * 1e3;
+    l["p99_ms"] = h.percentile(0.99) * 1e3;
+    l["max_ms"] = h.max() * 1e3;
+    return l;
+  };
+  util::Json lat = util::Json::object();
+  lat["executed"] = latency_json(latency_executed);
+  lat["dedup"] = latency_json(latency_dedup);
+  lat["cache"] = latency_json(latency_cache);
+  lat["rejected"] = latency_json(latency_rejected);
+  j["latency"] = std::move(lat);
   return j;
 }
 
@@ -56,16 +67,17 @@ SolverService::~SolverService() {
   idle_cv_.wait(lock, [this] { return inflight_ == 0; });
 }
 
-SolveReport SolverService::run_leader(const SolveRequest& req, const std::string& key,
-                                      const std::shared_ptr<Inflight>& entry,
-                                      bool cacheable_seed) {
+void SolverService::run_leader(const SolveRequest& req, const std::string& key,
+                               const std::shared_ptr<Inflight>& entry, bool cacheable_seed,
+                               double t0, Callback done) {
   StrategyContext ctx;
   ctx.executor = &pool_;
   SolveReport report = solve(req, ctx);  // never throws
   report.served_by = "executed";
-  std::vector<std::pair<std::string, std::promise<SolveReport>>> followers;
+  std::vector<Follower> followers;
   {
     std::scoped_lock lock(mu_);
+    const double now = clock_();
     ++stats_.executions;
     ++stats_.completed;
     if (!report.error.empty())
@@ -74,6 +86,7 @@ SolveReport SolverService::run_leader(const SolveRequest& req, const std::string
       ++stats_.solved;
     stats_.total_iterations += report.total_iterations;
     stats_.total_wall_seconds += report.wall_seconds;
+    stats_.latency_executed.add(now - t0);
     if (opts_.auto_calibrate) auto_calibrate_locked(report);
     if (entry != nullptr) {
       // The inflight entry leaves the map under the same lock that admits
@@ -85,6 +98,7 @@ SolveReport SolverService::run_leader(const SolveRequest& req, const std::string
         stats_.failed += followers.size();
       else if (report.solved)
         stats_.solved += followers.size();
+      for (const Follower& f : followers) stats_.latency_dedup.add(now - f.t0);
       // Cacheable: deterministic seed, clean execution, and not an
       // unsolved run whose only bound was the wall clock (a retry might
       // do better — that answer must not be frozen).
@@ -92,18 +106,28 @@ SolveReport SolverService::run_leader(const SolveRequest& req, const std::string
           (report.solved || report.request.timeout_seconds <= 0))
         cache_.put(key, report, clock_());
     }
+  }
+  // Completion callbacks run BEFORE the inflight decrement: the destructor
+  // releases only once every callback has returned, so a callback can
+  // safely touch structures that outlive the service by construction (the
+  // server's completion queue) without racing teardown.
+  for (Follower& f : followers) {
+    SolveReport copy = report;
+    copy.served_by = "dedup";
+    copy.request.id = f.id;
+    f.done(std::move(copy));
+  }
+  done(std::move(report));
+  {
+    // Nothing may touch `this` after this block: once inflight_ hits 0 the
+    // destructor is free to run while this detached coordinator finishes
+    // returning.
+    std::scoped_lock lock(mu_);
     --inflight_;
     // Notify under the lock: after the unlock the destructor may already
     // have observed inflight_ == 0 and destroyed the condition variable.
     idle_cv_.notify_all();
   }
-  for (auto& [follower_id, promise] : followers) {
-    SolveReport copy = report;
-    copy.served_by = "dedup";
-    copy.request.id = follower_id;
-    promise.set_value(std::move(copy));
-  }
-  return report;
 }
 
 void SolverService::auto_calibrate_locked(const SolveReport& report) {
@@ -131,6 +155,19 @@ void SolverService::auto_calibrate_locked(const SolveReport& report) {
 }
 
 std::future<SolveReport> SolverService::submit(SolveRequest req) {
+  // The blocking form is a thin shim over the streaming one: the callback
+  // fulfills a shared promise. The promise outlives the service by
+  // construction (the closure owns it), so the callback-before-decrement
+  // teardown rule holds trivially.
+  auto prom = std::make_shared<std::promise<SolveReport>>();
+  std::future<SolveReport> fut = prom->get_future();
+  submit_with_callback(std::move(req),
+                       [prom](SolveReport r) { prom->set_value(std::move(r)); });
+  return fut;
+}
+
+void SolverService::submit_with_callback(SolveRequest req, Callback done) {
+  const double t0 = clock_();
   // Resolution (and hence the canonical key) happens before any serving
   // decision; an unresolvable request skips dedup/cache/admission and goes
   // straight to execution, where solve() turns the failure into an error
@@ -153,15 +190,19 @@ std::future<SolveReport> SolverService::submit(SolveRequest req) {
     if (auto hit = cache_.get(key, clock_())) {
       ++stats_.completed;
       if (hit->solved) ++stats_.solved;
+      stats_.latency_cache.add(clock_() - t0);
       hit->served_by = "cache";
       hit->request.id = req.id;
-      return ready_future(std::move(*hit));
+      lock.unlock();
+      done(std::move(*hit));
+      return;
     }
-    // 2. In-flight dedup: coalesce onto the running execution.
+    // 2. In-flight dedup: coalesce onto the running execution; the
+    //    leader's completion epilogue fulfills the callback.
     if (const auto it = inflight_by_key_.find(key); it != inflight_by_key_.end()) {
       ++stats_.dedup_hits;
-      it->second->followers.emplace_back(req.id, std::promise<SolveReport>{});
-      return it->second->followers.back().second.get_future();
+      it->second->followers.push_back({req.id, t0, std::move(done)});
+      return;
     }
     // 3. Cost-estimated admission, only for work that would actually run.
     if (opts_.admission_budget_walker_seconds > 0) {
@@ -171,6 +212,7 @@ std::future<SolveReport> SolverService::submit(SolveRequest req) {
         ++stats_.rejected;
         ++stats_.completed;
         ++stats_.failed;
+        stats_.latency_rejected.add(clock_() - t0);
         SolveReport rejection;
         rejection.request = std::move(resolved);
         rejection.served_by = "rejected";
@@ -180,7 +222,9 @@ std::future<SolveReport> SolverService::submit(SolveRequest req) {
                           std::to_string(opts_.admission_budget_walker_seconds);
         rejection.extras = util::Json::object();
         rejection.extras["cost_estimate"] = est.to_json();
-        return ready_future(std::move(rejection));
+        lock.unlock();
+        done(std::move(rejection));
+        return;
       }
       if (est.known) stats_.estimated_walker_seconds += est.expected_walker_seconds;
     }
@@ -199,19 +243,22 @@ std::future<SolveReport> SolverService::submit(SolveRequest req) {
   const bool cacheable_seed = resolvable && resolved.seed != 0 && opts_.cache_capacity > 0;
   try {
     // One coordinator thread per executing request; it spends its life
-    // blocked on the request's walker chunks, which run on the shared pool.
-    // `key` is copied, not moved: the rollback below still needs it when
-    // coordinator creation throws mid-flight.
-    return std::async(std::launch::async, [this, run = to_run, key, entry, cacheable_seed] {
-      return run_leader(run, key, entry, cacheable_seed);
-    });
+    // blocked on the request's walker chunks, which run on the shared
+    // pool. Detached: the destructor's inflight wait is the join (the
+    // coordinator's last act is the decrement), so nobody has to hold a
+    // future. `key` is copied, not moved: the rollback below still needs
+    // it when coordinator creation throws mid-flight.
+    std::thread([this, run = to_run, key, entry, cacheable_seed, t0,
+                 done = std::move(done)]() mutable {
+      run_leader(run, key, entry, cacheable_seed, t0, std::move(done));
+    }).detach();
   } catch (...) {
     // Thread creation failed: no coordinator will ever decrement
-    // inflight_, so roll the accounting back or the destructor hangs.
-    // Any follower that attached in the published-but-unlaunched window
-    // must be fulfilled (with an error report) or its future would throw
-    // broken_promise instead of surfacing a SolveReport.
-    std::vector<std::pair<std::string, std::promise<SolveReport>>> orphans;
+    // inflight_, so roll the accounting back or the destructor hangs. Any
+    // follower that attached in the published-but-unlaunched window must
+    // still see its callback run (with an error report) — a swallowed
+    // completion would wedge the server front-end's connection state.
+    std::vector<Follower> orphans;
     {
       std::scoped_lock relock(mu_);
       --stats_.submitted;
@@ -224,12 +271,12 @@ std::future<SolveReport> SolverService::submit(SolveRequest req) {
       }
       idle_cv_.notify_all();
     }
-    for (auto& [follower_id, promise] : orphans) {
+    for (Follower& f : orphans) {
       SolveReport orphan_report;
       orphan_report.request = resolved;
-      orphan_report.request.id = follower_id;
+      orphan_report.request.id = f.id;
       orphan_report.error = "service: coordinator thread creation failed";
-      promise.set_value(std::move(orphan_report));
+      f.done(std::move(orphan_report));
     }
     throw;
   }
@@ -253,6 +300,21 @@ ServiceStats SolverService::stats() const {
   s.cache_evictions = cache_.evictions();
   s.cache_expired = cache_.expired();
   return s;
+}
+
+uint64_t SolverService::inflight() const {
+  std::scoped_lock lock(mu_);
+  return inflight_;
+}
+
+CostEstimate SolverService::estimate(const SolveRequest& req) const {
+  try {
+    const SolveRequest resolved = resolve(req);
+    std::scoped_lock lock(mu_);
+    return cost_model_.estimate(resolved);
+  } catch (const std::exception&) {
+    return {};  // unpriceable: est.known stays false, the caller admits
+  }
 }
 
 void SolverService::set_admission_budget(double walker_seconds) {

@@ -57,11 +57,12 @@
 #include "runtime/report_cache.hpp"
 #include "runtime/spec.hpp"
 #include "runtime/strategy.hpp"
+#include "util/histogram.hpp"
 
 namespace cas::runtime {
 
 /// Aggregate statistics over a SolverService's lifetime — the surface the
-/// streaming front-end will export. Identities:
+/// streaming front-end exports. Identities:
 ///   submitted = completed + (still in flight)
 ///   completed = executions + dedup_hits + cache_hits + rejected
 ///   failed    = completions with a non-empty error (rejections included)
@@ -90,6 +91,15 @@ struct ServiceStats {
   // Real work only: dedup/cache servings do not double-count.
   uint64_t total_iterations = 0;
   double total_wall_seconds = 0.0;  // summed per-execution wall time
+
+  /// Per-outcome service latency (seconds, submission -> completion):
+  /// log-spaced streaming histograms, so cas_serve / cas_load report
+  /// p50/p95/p99 straight off to_json without private hooks. Indexed by
+  /// served_by outcome: executed, dedup, cache, rejected.
+  util::LogHistogram latency_executed;
+  util::LogHistogram latency_dedup;
+  util::LogHistogram latency_cache;
+  util::LogHistogram latency_rejected;
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -132,15 +142,41 @@ class SolverService {
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
+  /// Completion callback for the streaming submission API. Invoked exactly
+  /// once per request with its final report.
+  using Callback = std::function<void(SolveReport)>;
+
   /// Asynchronously execute one request on the shared pool. The future
   /// never carries an exception: failures surface as SolveReport::error.
   std::future<SolveReport> submit(SolveRequest req);
+
+  /// Streaming form of submit — the server front-end's entry point, where
+  /// completions must land in an event loop's wakeup queue instead of a
+  /// blocking future. `done` runs exactly once:
+  ///   * synchronously on the CALLER's thread for the free serving paths
+  ///     (cache hit, admission rejection) — they complete inside this call;
+  ///   * on the request's coordinator thread for executions and for dedup
+  ///     followers (fulfilled from their leader's completion epilogue).
+  /// The callback must not block for long and must not wait on the service
+  /// being destroyed (the destructor waits for all callbacks to return).
+  /// If submission itself throws (coordinator thread creation failed, the
+  /// accounting is rolled back), `done` is never invoked.
+  void submit_with_callback(SolveRequest req, Callback done);
 
   /// Execute a batch concurrently; reports come back in request order.
   std::vector<SolveReport> solve_batch(const std::vector<SolveRequest>& requests);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] par::ThreadPool& pool() { return pool_; }
+  /// Requests currently executing (leaders only; followers/cache/rejects
+  /// never occupy a slot).
+  [[nodiscard]] uint64_t inflight() const;
+
+  /// Price a request on the live cost model WITHOUT submitting it — the
+  /// server front-end's load-shedding hook (reject with the estimate
+  /// before queueing). Returns an unknown estimate for unresolvable
+  /// requests; never throws.
+  [[nodiscard]] CostEstimate estimate(const SolveRequest& req) const;
 
   /// Reconfigure the admission budget at runtime (0 = admit everything).
   void set_admission_budget(double walker_seconds);
@@ -156,15 +192,24 @@ class SolverService {
   [[nodiscard]] CostModel cost_model() const;
 
  private:
-  /// One coalescing group: the leader executes, followers wait on
-  /// promises fulfilled from the leader's completion epilogue.
-  struct Inflight {
-    std::vector<std::pair<std::string /*follower request id*/, std::promise<SolveReport>>>
-        followers;
+  /// One dedup follower: completion callback plus its own submission
+  /// timestamp (for the latency histogram) and request id (reports are
+  /// restamped under the follower's id).
+  struct Follower {
+    std::string id;
+    double t0 = 0;
+    Callback done;
   };
 
-  SolveReport run_leader(const SolveRequest& resolved, const std::string& key,
-                         const std::shared_ptr<Inflight>& entry, bool cacheable_seed);
+  /// One coalescing group: the leader executes, followers' callbacks are
+  /// fulfilled from the leader's completion epilogue.
+  struct Inflight {
+    std::vector<Follower> followers;
+  };
+
+  void run_leader(const SolveRequest& resolved, const std::string& key,
+                  const std::shared_ptr<Inflight>& entry, bool cacheable_seed, double t0,
+                  Callback done);
 
   /// Feed one completed execution into the auto-calibration buffers and
   /// refit the cost model's cell once it has enough samples. Caller holds

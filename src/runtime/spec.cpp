@@ -101,6 +101,9 @@ util::Json SolveReport::to_json() const {
   if (!served_by.empty()) j["served_by"] = served_by;
   if (!error.empty()) {
     j["error"] = error;
+    // Rejections carry their pricing (extras.cost_estimate) — the whole
+    // point of shedding with an estimate is that the client sees it.
+    if (!extras.is_null()) j["extras"] = extras;
     return j;
   }
   j["solved"] = solved;
@@ -117,6 +120,7 @@ util::Json SolveReport::to_json() const {
     // and the wall time the winner spent diversifying.
     j["winner_custom_reset_escapes"] = winner_stats.custom_reset_escapes;
     j["winner_reset_candidates"] = winner_stats.reset_candidates;
+    j["winner_reset_escape_chunks"] = winner_stats.reset_escape_chunks;
     j["winner_reset_seconds"] = winner_stats.reset_seconds;
     util::Json sol = util::Json::array();
     for (int v : winner_stats.solution) sol.push_back(v);

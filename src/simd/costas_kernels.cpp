@@ -193,8 +193,10 @@ void batch_row_hits_scalar(const int32_t* base, size_t lane_stride, int n, int d
 }  // namespace
 
 int costas_evaluate_batch(const CostasCtx& ctx, const int32_t* values, size_t lane_stride,
-                          int count, int64_t bound, int64_t* out, int64_t escape_below) {
+                          int count, int64_t bound, int64_t* out, int64_t escape_below,
+                          int* escaped_chunks) {
   constexpr int kChunk = 8;
+  int aborted_chunks = 0;
   const int n = ctx.n;
   // Scratches, grown once per thread: the vector backends stage one row's
   // per-lane difference columns; the scalar reference keeps a touched-slot
@@ -258,6 +260,7 @@ int costas_evaluate_batch(const CostasCtx& ctx, const int32_t* values, size_t la
       // rows and report the (truncated) partials.
       if (min_partial >= bound) {
         aborted = true;
+        ++aborted_chunks;
         break;
       }
     }
@@ -271,9 +274,13 @@ int costas_evaluate_batch(const CostasCtx& ctx, const int32_t* values, size_t la
       // the whole walk if the caller's escape condition is satisfied —
       // later candidates can never be the FIRST escape.
       bound = std::min(bound, chunk_best);
-      if (chunk_best < escape_below) return c0 + lanes;
+      if (chunk_best < escape_below) {
+        if (escaped_chunks != nullptr) *escaped_chunks = aborted_chunks;
+        return c0 + lanes;
+      }
     }
   }
+  if (escaped_chunks != nullptr) *escaped_chunks = aborted_chunks;
   return count;
 }
 

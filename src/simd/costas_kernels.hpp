@@ -69,8 +69,14 @@ void costas_errors(const CostasCtx& ctx, int64_t* errs);
 /// rule) and anything past its chunk is dead work. Returns the number of
 /// leading candidates whose out[] entries were filled (== count unless an
 /// escape stopped the walk early).
+///
+/// `escaped_chunks` (optional): set to the number of chunks whose triangle
+/// walk aborted before the last row because every live lane had reached
+/// the shared bound — the dead work the pruning avoided. The count is
+/// ISA-independent (chunking and abort points are part of the contract),
+/// so it is usable as trajectory-stable telemetry.
 int costas_evaluate_batch(const CostasCtx& ctx, const int32_t* values, size_t lane_stride,
                           int count, int64_t bound, int64_t* out,
-                          int64_t escape_below = INT64_MIN);
+                          int64_t escape_below = INT64_MIN, int* escaped_chunks = nullptr);
 
 }  // namespace cas::simd

@@ -84,4 +84,66 @@ std::string histogram(const std::vector<double>& samples, const HistogramOptions
   return render_histogram(bin_samples(samples, opts), opts);
 }
 
+LogHistogram::LogHistogram(double lo, double hi, int buckets_per_decade) : lo_(lo) {
+  if (lo <= 0 || hi <= lo) throw std::invalid_argument("LogHistogram: need 0 < lo < hi");
+  if (buckets_per_decade < 1)
+    throw std::invalid_argument("LogHistogram: buckets_per_decade must be >= 1");
+  log_lo_ = std::log10(lo);
+  log_step_ = 1.0 / buckets_per_decade;
+  const int n = static_cast<int>(std::ceil((std::log10(hi) - log_lo_) / log_step_));
+  counts_.assign(static_cast<size_t>(std::max(n, 1)), 0);
+}
+
+double LogHistogram::edge(int b) const { return std::pow(10.0, log_lo_ + b * log_step_); }
+
+void LogHistogram::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  int b = 0;
+  if (v > lo_) b = static_cast<int>((std::log10(v) - log_lo_) / log_step_);
+  b = std::clamp(b, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(b)];
+}
+
+double LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the p-quantile in the cumulative counts (nearest-rank).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_))));
+  // The extreme ranks are known exactly — no bucket interpolation.
+  if (rank <= 1) return min_;
+  if (rank >= count_) return max_;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const uint64_t before = cum;
+    cum += counts_[b];
+    if (cum < rank) continue;
+    // Geometric interpolation inside the bucket by the rank's position in
+    // it, clamped to the exact observed extremes.
+    const double frac =
+        (static_cast<double>(rank - before)) / static_cast<double>(counts_[b]);
+    const double lo_edge = edge(static_cast<int>(b));
+    const double v = lo_edge * std::pow(10.0, log_step_ * frac);
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+std::vector<HistogramBin> LogHistogram::bins() const {
+  std::vector<HistogramBin> out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    out.push_back({edge(static_cast<int>(b)), edge(static_cast<int>(b) + 1), counts_[b]});
+  }
+  return out;
+}
+
 }  // namespace cas::util

@@ -3,6 +3,7 @@
 // tail that motivates the paper's multi-walk parallelization.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,5 +35,48 @@ std::string render_histogram(const std::vector<HistogramBin>& bins,
 
 /// bin_samples + render_histogram.
 std::string histogram(const std::vector<double>& samples, const HistogramOptions& opts = {});
+
+/// Streaming histogram over fixed log-spaced buckets: O(1) add, fixed
+/// memory, no sample retention — the accumulator behind the serving
+/// layer's per-outcome latency percentiles (ServiceStats), where samples
+/// arrive one at a time under a lock and span six orders of magnitude
+/// (microsecond cache hits to multi-second solves).
+///
+/// Buckets cover [lo, hi) geometrically; values below lo land in the
+/// first bucket, values >= hi in the last. percentile() interpolates
+/// geometrically inside the holding bucket and clamps to the exact
+/// observed min/max, so p0/p100 are exact and interior quantiles are
+/// accurate to one bucket ratio (~12% at the default resolution).
+class LogHistogram {
+ public:
+  /// Defaults span 1 microsecond .. 10^4 seconds at 12 buckets/decade.
+  explicit LogHistogram(double lo = 1e-6, double hi = 1e4, int buckets_per_decade = 12);
+
+  void add(double v);
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }  // exact
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }  // exact
+  [[nodiscard]] double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Quantile for p in [0, 1]; 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Per-bucket counts with edges, empty buckets skipped (render/debug).
+  [[nodiscard]] std::vector<HistogramBin> bins() const;
+
+ private:
+  [[nodiscard]] double edge(int b) const;  // lower edge of bucket b
+
+  double lo_;
+  double log_lo_;
+  double log_step_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 }  // namespace cas::util

@@ -341,5 +341,88 @@ TEST(CostModel, CalibrateOverridesFromMeasuredSamples) {
   EXPECT_LT(est.expected_walker_seconds, 10.0);
 }
 
+// ---------- streaming submission + per-outcome latency histograms --------
+
+TEST(ServiceCallbacks, SubmitWithCallbackCoversExecutedCacheAndDedup) {
+  SolverService service({/*pool_threads=*/2, /*cache_capacity=*/8});
+  // Executed leader + a concurrent follower + a cache hit afterwards, all
+  // through the callback API the network front-end uses.
+  std::promise<SolveReport> lead, follow;
+  service.submit_with_callback(costas_request("cb-lead", 12, 99),
+                               [&](SolveReport r) { lead.set_value(std::move(r)); });
+  service.submit_with_callback(costas_request("cb-follow", 12, 99),
+                               [&](SolveReport r) { follow.set_value(std::move(r)); });
+  const SolveReport r1 = lead.get_future().get();
+  const SolveReport r2 = follow.get_future().get();
+  EXPECT_EQ(r1.served_by, "executed");
+  EXPECT_TRUE(r2.served_by == "dedup" || r2.served_by == "cache");
+  EXPECT_EQ(r2.request.id, "cb-follow");  // follower reports are restamped
+
+  // Cache path completes synchronously inside the call.
+  bool done = false;
+  service.submit_with_callback(costas_request("cb-cached", 12, 99), [&](SolveReport r) {
+    EXPECT_EQ(r.served_by, "cache");
+    done = true;
+  });
+  EXPECT_TRUE(done);
+
+  // Every completion fed its outcome's latency histogram.
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.latency_executed.count(), 1u);
+  EXPECT_EQ(stats.latency_cache.count() + stats.latency_dedup.count(), 2u);
+  EXPECT_GT(stats.latency_executed.min(), 0.0);
+  EXPECT_GE(stats.latency_executed.percentile(0.99), stats.latency_executed.percentile(0.50));
+
+  // ...and the JSON surface carries p50/p95/p99 per outcome.
+  const util::Json j = stats.to_json();
+  const util::Json& lat = j.at("latency");
+  for (const char* outcome : {"executed", "dedup", "cache", "rejected"}) {
+    const util::Json& o = lat.at(outcome);
+    EXPECT_TRUE(o.contains("count"));
+    EXPECT_TRUE(o.contains("p50_ms"));
+    EXPECT_TRUE(o.contains("p99_ms"));
+  }
+  EXPECT_EQ(lat.at("executed").at("count").as_int(), 1);
+}
+
+TEST(ServiceCallbacks, RejectionCallbackIsSynchronousAndRecorded) {
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.admission_budget_walker_seconds = 1e-9;  // reject everything priceable
+  SolverService service(opts);
+  bool done = false;
+  service.submit_with_callback(costas_request("cb-rej", 18, 5), [&](SolveReport r) {
+    EXPECT_EQ(r.served_by, "rejected");
+    EXPECT_NE(r.error.find("admission rejected"), std::string::npos);
+    // The pricing rides the rejection, including through JSON (the wire
+    // path's contract).
+    EXPECT_TRUE(r.extras.at("cost_estimate").is_object());
+    EXPECT_TRUE(r.to_json().at("extras").contains("cost_estimate"));
+    done = true;
+  });
+  EXPECT_TRUE(done);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.latency_rejected.count(), 1u);
+}
+
+TEST(ServiceCallbacks, EstimatePricesWithoutSubmitting) {
+  SolverService service({/*pool_threads=*/2, /*cache_capacity=*/8});
+  const CostEstimate est = service.estimate(costas_request("probe", 16, 3));
+  EXPECT_TRUE(est.known);  // the built-in Costas curve covers n=16
+  EXPECT_GT(est.expected_walker_seconds, 0.0);
+  // Nothing was submitted, nothing ran.
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // Unresolvable requests price as unknown instead of throwing — the
+  // server front-end sheds on estimates mid-read and must never unwind.
+  SolveRequest bogus;
+  bogus.problem = "no-such-problem";
+  const CostEstimate none = service.estimate(bogus);
+  EXPECT_FALSE(none.known);
+}
+
 }  // namespace
 }  // namespace cas::runtime

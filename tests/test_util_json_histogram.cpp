@@ -1,6 +1,10 @@
 // JSON writer and ASCII histogram utilities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "util/histogram.hpp"
 #include "util/json.hpp"
 
@@ -271,6 +275,79 @@ TEST(Histogram, PeakBarUsesFullWidth) {
   const auto nl = out.find('\n');
   const std::string line1 = out.substr(0, nl);
   EXPECT_EQ(std::count(line1.begin(), line1.end(), '#'), 10);
+}
+
+// ---------- LogHistogram (streaming percentile accumulator) ----------
+
+TEST(LogHistogram, EmptyAndSingleValue) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+
+  h.add(0.125);
+  EXPECT_EQ(h.count(), 1u);
+  // A single sample IS every percentile, exactly (min/max clamping).
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.125);
+}
+
+TEST(LogHistogram, PercentilesTrackExactQuantilesWithinBucketRatio) {
+  // 10,000 samples spread over four decades: each streaming percentile
+  // must land within one bucket ratio (10^(1/12) ~ 1.212) of the exact
+  // order statistic.
+  LogHistogram h(1e-6, 1e4, 12);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = 1e-4 * std::pow(10.0, 4.0 * i / 9999.0);  // 1e-4 .. 1
+    xs.push_back(v);
+    h.add(v);
+  }
+  std::sort(xs.begin(), xs.end());
+  const double ratio = std::pow(10.0, 1.0 / 12.0);
+  for (double p : {0.10, 0.50, 0.95, 0.99}) {
+    const double exact = xs[static_cast<size_t>(p * (xs.size() - 1))];
+    const double est = h.percentile(p);
+    EXPECT_LE(est / exact, ratio * 1.01) << "p" << p;
+    EXPECT_GE(est / exact, 1.0 / (ratio * 1.01)) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), xs.back());  // p100 exact
+  EXPECT_EQ(h.count(), 10000u);
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampToEdgeBuckets) {
+  LogHistogram h(1e-3, 1e3, 6);
+  h.add(1e-9);  // below lo: first bucket
+  h.add(1e9);   // above hi: last bucket
+  EXPECT_EQ(h.count(), 2u);
+  // Exact extremes survive via the min/max clamp even though the buckets
+  // saturate.
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1e-9);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e9);
+}
+
+TEST(LogHistogram, BinsSkipEmptyBucketsAndPartitionCount) {
+  LogHistogram h(1e-2, 1e2, 4);
+  for (int i = 0; i < 7; ++i) h.add(0.5);
+  for (int i = 0; i < 3; ++i) h.add(50.0);
+  uint64_t total = 0;
+  for (const auto& b : h.bins()) {
+    EXPECT_GT(b.count, 0u);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(h.bins().size(), 2u);
+}
+
+TEST(LogHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 12), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 12), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1e-6, 1e4, 0), std::invalid_argument);
 }
 
 }  // namespace

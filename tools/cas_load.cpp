@@ -1,0 +1,456 @@
+// cas_load — open-loop load driver for cas_serve: replays a scenario
+// file's request mix over N connections at a controlled request rate and
+// measures what the server actually did about it.
+//
+// Two modes:
+//
+//   --rounds=R      replay the mix exactly R times at --rps, wait for
+//                   every report, and (with --report=PATH) emit a
+//                   cas_run-shaped document {provenance, service, results}
+//                   built from the wire reports + the server's stats
+//                   frame — the CI loopback smoke leg feeds it straight
+//                   to check_report.py.
+//
+//   --saturation    step target RPS up from --rps by --rps-factor in
+//                   --duration-second phases until the server saturates
+//                   (overload rejections or achieved rate collapsing
+//                   below the target), then emit BENCH_serve.json with
+//                   per-phase p50/p95/p99 latency, reject rates, the
+//                   sustained and saturating rates, and whether
+//                   cost-priced shedding engaged — check_bench.py guards
+//                   those numbers in CI.
+//
+// Open-loop means the sender paces by the clock, not by responses: when
+// the server backpressures, sends block, the achieved rate falls short of
+// target, and that gap IS the saturation measurement.
+//
+// Rejections are split by origin: cost sheds ("load shed"/"admission
+// rejected" — deliberate, proves the pricing path) vs overload sheds
+// ("overloaded"/"draining" — the saturation signal).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "runtime/spec.hpp"
+#include "util/flags.hpp"
+#include "util/histogram.hpp"
+#include "util/provenance.hpp"
+
+using namespace cas;
+
+namespace {
+
+double now_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+std::vector<runtime::SolveRequest> load_mix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const util::Json doc = util::Json::parse(buf.str());
+  const util::Json* arr = doc.is_object() ? doc.find("requests") : &doc;
+  if (arr == nullptr || !arr->is_array())
+    throw std::runtime_error("scenario needs a 'requests' array");
+  std::vector<runtime::SolveRequest> mix;
+  for (const auto& r : arr->as_array()) mix.push_back(runtime::SolveRequest::from_json(r));
+  if (mix.empty()) throw std::runtime_error("scenario request mix is empty");
+  return mix;
+}
+
+/// Sender-side framing straight onto the fd, so the paced sender never
+/// shares BlockingClient state with that connection's receiver thread.
+bool send_frame_fd(int fd, const std::string& payload) {
+  const std::string frame = net::encode_frame(payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Completion bookkeeping shared between the paced sender and the
+/// per-connection receiver threads. Counters are per-phase; the phase
+/// prefix fences off stragglers from an earlier (saturated) phase.
+struct Tally {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<std::string, double> send_time;
+  std::string phase_prefix;
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t solved = 0;
+  uint64_t rejected_cost = 0;
+  uint64_t rejected_overload = 0;
+  uint64_t wire_errors = 0;
+  uint64_t stray = 0;  // completions from a previous phase
+  util::LogHistogram latency{1e-6, 1e4, 12};
+  bool keep_reports = false;
+  std::vector<util::Json> reports;
+  util::Json last_stats;
+
+  void begin_phase(const std::string& prefix) {
+    std::lock_guard<std::mutex> g(mu);
+    phase_prefix = prefix;
+    sent = completed = solved = rejected_cost = rejected_overload = wire_errors = 0;
+    latency = util::LogHistogram(1e-6, 1e4, 12);
+  }
+
+  void mark_sent(const std::string& id, double t) {
+    std::lock_guard<std::mutex> g(mu);
+    send_time[id] = t;
+    ++sent;
+  }
+
+  /// Wait until every sent request of this phase completed (or deadline).
+  bool await_drain(double timeout_seconds) {
+    std::unique_lock<std::mutex> lk(mu);
+    return cv.wait_for(lk, std::chrono::duration<double>(timeout_seconds),
+                       [&] { return completed >= sent; });
+  }
+};
+
+void record_report(Tally& t, const util::Json& report, double now) {
+  const util::Json* req = report.find("request");
+  const util::Json* idj = req != nullptr ? req->find("id") : nullptr;
+  const std::string id = (idj && idj->is_string()) ? idj->as_string() : "";
+  std::lock_guard<std::mutex> g(t.mu);
+  const auto it = t.send_time.find(id);
+  if (it == t.send_time.end() ||
+      id.compare(0, t.phase_prefix.size(), t.phase_prefix) != 0) {
+    ++t.stray;
+    return;
+  }
+  t.latency.add(now - it->second);
+  t.send_time.erase(it);
+  ++t.completed;
+  const util::Json* served = report.find("served_by");
+  const util::Json* err = report.find("error");
+  const std::string error = (err && err->is_string()) ? err->as_string() : "";
+  if (served && served->is_string() && served->as_string() == "rejected") {
+    if (error.rfind("overloaded", 0) == 0 || error.rfind("server draining", 0) == 0)
+      ++t.rejected_overload;
+    else
+      ++t.rejected_cost;  // "load shed"/"admission rejected": priced sheds
+  } else if (const util::Json* s = report.find("solved"); s && s->is_bool() && s->as_bool()) {
+    ++t.solved;
+  }
+  if (t.keep_reports) t.reports.push_back(report);
+  t.cv.notify_all();
+}
+
+void receiver_loop(net::BlockingClient& client, Tally& tally, std::atomic<bool>& stop) {
+  while (true) {
+    auto frame = client.recv_json(0.2);
+    if (!frame) {
+      if (client.eof() || !client.error().empty()) return;
+      if (stop.load(std::memory_order_relaxed)) return;
+      continue;  // timeout: poll again
+    }
+    const util::Json* type = frame->find("type");
+    const std::string t = (type && type->is_string()) ? type->as_string() : "";
+    if (t == "report") {
+      if (const util::Json* rep = frame->find("report")) record_report(tally, *rep, now_seconds());
+    } else if (t == "stats") {
+      std::lock_guard<std::mutex> g(tally.mu);
+      tally.last_stats = *frame;
+      tally.cv.notify_all();
+    } else if (t == "error") {
+      std::lock_guard<std::mutex> g(tally.mu);
+      ++tally.wire_errors;
+      tally.cv.notify_all();
+    }
+    // "progress"/"pong"/"draining": informational
+  }
+}
+
+struct PhaseResult {
+  double target_rps = 0;
+  double achieved_rps = 0;
+  double wall_seconds = 0;
+  uint64_t sent = 0, completed = 0, solved = 0;
+  uint64_t rejected_cost = 0, rejected_overload = 0, wire_errors = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;
+  bool drained = true;
+
+  [[nodiscard]] double overload_rate() const {
+    return completed ? static_cast<double>(rejected_overload) / static_cast<double>(completed) : 0;
+  }
+  [[nodiscard]] util::Json to_json() const {
+    util::Json j = util::Json::object();
+    j["target_rps"] = target_rps;
+    j["achieved_rps"] = achieved_rps;
+    j["wall_seconds"] = wall_seconds;
+    j["sent"] = sent;
+    j["completed"] = completed;
+    j["solved"] = solved;
+    j["rejected_cost"] = rejected_cost;
+    j["rejected_overload"] = rejected_overload;
+    j["wire_errors"] = wire_errors;
+    j["reject_rate"] = overload_rate();
+    j["p50_ms"] = p50_ms;
+    j["p95_ms"] = p95_ms;
+    j["p99_ms"] = p99_ms;
+    j["max_ms"] = max_ms;
+    j["drained"] = drained;
+    return j;
+  }
+};
+
+/// Pace `count` requests from the mix over the clients at `rps`, wait for
+/// the phase to drain, and summarize.
+PhaseResult run_phase(std::vector<net::BlockingClient>& clients, Tally& tally,
+                      const std::vector<runtime::SolveRequest>& mix, const std::string& prefix,
+                      uint64_t count, double rps, double wait_timeout, bool preserve_ids) {
+  tally.begin_phase(prefix);
+  const double t0 = now_seconds();
+  PhaseResult pr;
+  pr.target_rps = rps;
+  for (uint64_t i = 0; i < count; ++i) {
+    const double slot = t0 + static_cast<double>(i) / rps;
+    for (double now = now_seconds(); now < slot; now = now_seconds())
+      std::this_thread::sleep_for(std::chrono::duration<double>(std::min(slot - now, 0.002)));
+    runtime::SolveRequest req = mix[i % mix.size()];
+    if (!(preserve_ids && i < mix.size()) || req.id.empty())
+      req.id = prefix + req.id + "-" + std::to_string(i);
+    util::Json msg = util::Json::object();
+    msg["type"] = "solve";
+    msg["request"] = req.to_json();
+    tally.mark_sent(req.id, now_seconds());
+    if (!send_frame_fd(clients[i % clients.size()].fd(), msg.dump(0))) {
+      std::lock_guard<std::mutex> g(tally.mu);
+      ++tally.wire_errors;
+      ++tally.completed;  // it will never be reported; unblock the drain
+    }
+  }
+  pr.drained = tally.await_drain(wait_timeout);
+  const double wall = now_seconds() - t0;
+  std::lock_guard<std::mutex> g(tally.mu);
+  pr.sent = tally.sent;
+  pr.completed = tally.completed;
+  pr.solved = tally.solved;
+  pr.rejected_cost = tally.rejected_cost;
+  pr.rejected_overload = tally.rejected_overload;
+  pr.wire_errors = tally.wire_errors;
+  pr.wall_seconds = wall;
+  pr.achieved_rps = wall > 0 ? static_cast<double>(tally.completed) / wall : 0;
+  pr.p50_ms = tally.latency.percentile(0.50) * 1e3;
+  pr.p95_ms = tally.latency.percentile(0.95) * 1e3;
+  pr.p99_ms = tally.latency.percentile(0.99) * 1e3;
+  pr.max_ms = tally.latency.max() * 1e3;
+  return pr;
+}
+
+/// Stops and joins the receiver threads on every exit path (exceptions
+/// included — a joinable std::thread destructor would terminate).
+struct ReceiverGuard {
+  std::atomic<bool>& stop;
+  std::vector<std::thread>& threads;
+  ~ReceiverGuard() {
+    stop.store(true);
+    for (auto& t : threads)
+      if (t.joinable()) t.join();
+  }
+};
+
+int write_doc(const util::Json& doc, const std::string& path, int indent) {
+  const std::string text = doc.dump(indent) + "\n";
+  if (path.empty() || path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(path);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "cas_load — open-loop load driver for cas_serve: replays a scenario\n"
+      "request mix at controlled RPS, measures latency percentiles and\n"
+      "shedding behavior, and searches for the saturation rate.");
+  flags.add_string("host", "127.0.0.1", "server address");
+  flags.add_int("port", 7077, "server port");
+  flags.add_string("scenario", "", "scenario JSON with the request mix (required)");
+  flags.add_int("connections", 4, "client connections to spread load over");
+  flags.add_double("rps", 100.0, "target request rate (first phase in --saturation mode)");
+  flags.add_int("rounds", 0, "replay mode: send the mix exactly this many times");
+  flags.add_bool("saturation", false, "step RPS up by --rps-factor until the server saturates");
+  flags.add_double("duration", 2.0, "seconds per phase (saturation / fixed-rate mode)");
+  flags.add_double("rps-factor", 2.0, "per-phase rate multiplier in --saturation mode");
+  flags.add_int("max-phases", 7, "phase cap in --saturation mode");
+  flags.add_double("reject-threshold", 0.05,
+                   "overload-reject fraction that counts as saturated");
+  flags.add_double("wait-timeout", 60.0, "per-phase drain deadline in seconds");
+  flags.add_string("out", "BENCH_serve.json", "benchmark output path ('-' = stdout)");
+  flags.add_string("report", "",
+                   "replay mode: also emit a cas_run-shaped report (provenance, service "
+                   "stats from the server, per-request results) for check_report.py");
+  flags.add_bool("drain", false, "send {\"type\":\"drain\"} to the server when done");
+  if (!flags.parse(argc, argv)) return 0;
+
+  try {
+    const auto mix = load_mix(flags.get_string("scenario"));
+    const int nconn = std::max(1, static_cast<int>(flags.get_int("connections")));
+    const auto host = flags.get_string("host");
+    const auto port = static_cast<uint16_t>(flags.get_int("port"));
+
+    std::vector<net::BlockingClient> clients(static_cast<size_t>(nconn));
+    for (auto& c : clients)
+      if (!c.connect(host, port))
+        throw std::runtime_error("connect " + host + ":" + std::to_string(port) + ": " + c.error());
+
+    Tally tally;
+    tally.keep_reports = !flags.get_string("report").empty();
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> receivers;
+    receivers.reserve(clients.size());
+    for (auto& c : clients) receivers.emplace_back(receiver_loop, std::ref(c), std::ref(tally),
+                                                   std::ref(stop));
+    ReceiverGuard guard{stop, receivers};
+
+    const double rps = std::max(1e-3, flags.get_double("rps"));
+    const double duration = flags.get_double("duration");
+    const double wait_timeout = flags.get_double("wait-timeout");
+    std::vector<PhaseResult> phases;
+    util::Json doc = util::Json::object();
+    doc["provenance"] = util::build_provenance();
+    int rc = 0;
+
+    if (flags.get_int("rounds") > 0) {
+      // Replay mode: R exact copies of the mix, first round with original
+      // ids (so scenario expect blocks can pin them), later rounds
+      // suffixed — dedup/cache keys ignore the id, so rounds 2..R land on
+      // the service's dedup or cache paths.
+      const auto rounds = static_cast<uint64_t>(flags.get_int("rounds"));
+      PhaseResult pr = run_phase(clients, tally, mix, "", rounds * mix.size(), rps, wait_timeout,
+                                 /*preserve_ids=*/true);
+      phases.push_back(pr);
+      if (!pr.drained)
+        throw std::runtime_error("replay did not drain: " + std::to_string(pr.completed) + "/" +
+                                 std::to_string(pr.sent) + " reports within deadline");
+    } else {
+      const int max_phases = flags.get_bool("saturation")
+                                 ? std::max(1, static_cast<int>(flags.get_int("max-phases")))
+                                 : 1;
+      double target = rps;
+      for (int p = 0; p < max_phases; ++p) {
+        const auto count = static_cast<uint64_t>(std::max(1.0, target * duration));
+        PhaseResult pr = run_phase(clients, tally, mix, "p" + std::to_string(p) + "-", count,
+                                   target, wait_timeout, /*preserve_ids=*/false);
+        phases.push_back(pr);
+        std::fprintf(stderr,
+                     "phase %d: target %.0f rps -> achieved %.0f rps, p50 %.2f ms, p99 %.2f ms, "
+                     "overload-rejects %.1f%%, cost-sheds %llu%s\n",
+                     p, pr.target_rps, pr.achieved_rps, pr.p50_ms, pr.p99_ms,
+                     pr.overload_rate() * 100.0,
+                     static_cast<unsigned long long>(pr.rejected_cost),
+                     pr.drained ? "" : " (drain timeout)");
+        const bool saturated = pr.overload_rate() > flags.get_double("reject-threshold") ||
+                               pr.achieved_rps < 0.6 * pr.target_rps || !pr.drained;
+        if (saturated) break;
+        target *= flags.get_double("rps-factor");
+      }
+    }
+
+    // Server-side view: one stats frame over connection 0.
+    {
+      util::Json q = util::Json::object();
+      q["type"] = "stats";
+      send_frame_fd(clients[0].fd(), q.dump(0));
+      std::unique_lock<std::mutex> lk(tally.mu);
+      tally.cv.wait_for(lk, std::chrono::seconds(5), [&] { return !tally.last_stats.is_null(); });
+    }
+    if (flags.get_bool("drain")) {
+      util::Json q = util::Json::object();
+      q["type"] = "drain";
+      send_frame_fd(clients[0].fd(), q.dump(0));
+    }
+    stop.store(true);
+    for (auto& t : receivers) t.join();
+
+    // Saturation summary: fastest clean phase vs. first overloaded target.
+    double sustained = 0, saturation = 0;
+    uint64_t shed_total = 0;
+    for (const auto& pr : phases) {
+      const bool clean = pr.overload_rate() <= flags.get_double("reject-threshold") &&
+                         pr.drained && pr.achieved_rps >= 0.6 * pr.target_rps;
+      if (clean) sustained = std::max(sustained, pr.achieved_rps);
+      else if (saturation == 0) saturation = pr.target_rps;
+      shed_total += pr.rejected_cost;
+    }
+
+    util::Json serve = util::Json::object();
+    serve["scenario"] = flags.get_string("scenario");
+    serve["connections"] = static_cast<uint64_t>(nconn);
+    serve["mix_size"] = static_cast<uint64_t>(mix.size());
+    util::Json pj = util::Json::array();
+    for (const auto& pr : phases) pj.push_back(pr.to_json());
+    serve["phases"] = std::move(pj);
+    serve["sustained_rps"] = sustained;
+    serve["saturation_rps"] = saturation;
+    serve["shed_engaged"] = shed_total > 0;
+    serve["cost_sheds"] = shed_total;
+    {
+      std::lock_guard<std::mutex> g(tally.mu);
+      if (const util::Json* srv = tally.last_stats.find("server")) serve["server"] = *srv;
+      if (const util::Json* b = tally.last_stats.find("backend")) serve["backend"] = *b;
+    }
+    doc["serve"] = std::move(serve);
+
+    if (!flags.get_string("report").empty()) {
+      // check_report.py-shaped document from the wire reports.
+      util::Json rdoc = util::Json::object();
+      rdoc["provenance"] = util::build_provenance();
+      std::lock_guard<std::mutex> g(tally.mu);
+      if (const util::Json* svc = tally.last_stats.find("service")) rdoc["service"] = *svc;
+      util::Json results = util::Json::array();
+      for (const auto& r : tally.reports) results.push_back(r);
+      rdoc["results"] = std::move(results);
+      const int rrc = write_doc(rdoc, flags.get_string("report"), 2);
+      if (rrc != 0) return rrc;
+    }
+
+    rc = write_doc(doc, flags.get_string("out"), 2);
+    if (rc != 0) return rc;
+
+    // Hard failures: wire errors or an undrained replay already threw;
+    // a fixed-rate phase that never completed anything is also a failure.
+    for (const auto& pr : phases)
+      if (pr.completed == 0) {
+        std::fprintf(stderr, "error: phase completed 0 requests\n");
+        return 1;
+      }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -180,6 +180,9 @@ int main(int argc, char** argv) {
                  "refit the admission cost model from this run's own completed reports");
   flags.add_string("out", "-", "report path ('-' = stdout)");
   flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
+  flags.add_bool("stats", false,
+                 "print the final ServiceStats JSON (with per-outcome latency "
+                 "percentiles) to stderr, even in single-request mode");
   flags.add_bool("require-solved", false, "exit non-zero unless every request solved");
   flags.add_bool("list", false, "print the problem/engine/strategy catalogs and exit");
   if (!flags.parse(argc, argv)) return 0;
@@ -223,6 +226,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  if (flags.get_bool("stats"))
+    std::fprintf(stderr, "%s\n", doc["service"].dump(2).c_str());
 
   util::Json results = util::Json::array();
   bool any_error = false, all_solved = true;

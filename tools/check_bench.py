@@ -13,8 +13,23 @@ speed for an absolute gate to be meaningful (the provenance stamps say
 exactly which machine/flags produced each file).
 
 Pairs guarded (delta-path bench vs its do/undo counterpart):
-  BM_EngineIterations<x>/N          vs BM_EngineIterations<x>DoUndo/N
+  BM_EngineIterations<x>/N          vs BM_EngineIterationsDoUndo/N
   BM_DeltaCost/N                    vs BM_CostIfSwapDoUndo/N
+
+Serving benchmark (BENCH_serve.json, emitted by cas_load): when the
+CURRENT file carries a "serve" block the guard switches to the serving
+invariants, which are load-shape rather than machine-speed facts:
+  - sustained_rps >= --min-sustained-rps (the cached-hit floor; the
+    protocol + event loop overhead must not swamp the cache path)
+  - shed_engaged must be true when the run was priced (--shed-budget):
+    over-budget requests were rejected at the edge, not queued
+  - the server saturated (saturation_rps > 0) rather than letting
+    latency grow without bound
+  - vs a reference that also has a serve block: sustained_rps within
+    --serve-slack (generous — absolute RPS is machine-dependent; this
+    only catches a collapse, e.g. the event loop degrading to busy-wait)
+References predating the serving layer simply lack the block; the
+comparative check is skipped and the file stays a valid reference.
 """
 
 import argparse
@@ -40,13 +55,50 @@ PAIRS = [
 ]
 
 
-def rates(path):
-    doc = json.load(open(path))
+def rates(doc):
     out = {}
     for r in doc.get("results", []):
         if "items_per_second" in r:
             out[r["name"]] = r["items_per_second"]
     return out
+
+
+def check_serve(ref_doc, cur_doc, args):
+    """Guard the cas_load serving benchmark. Returns (ran, failures)."""
+    cur = cur_doc.get("serve")
+    if cur is None:
+        return False, []
+    failures = []
+    sustained = float(cur.get("sustained_rps", 0.0))
+    saturation = float(cur.get("saturation_rps", 0.0))
+    print(f"  serve: sustained {sustained:.0f} rps, saturation target "
+          f"{saturation:.0f} rps, cost sheds {cur.get('cost_sheds', 0)}")
+    if sustained < args.min_sustained_rps:
+        failures.append(f"sustained_rps {sustained:.0f} < floor "
+                        f"{args.min_sustained_rps:.0f}")
+    if not cur.get("shed_engaged", False):
+        failures.append("shed_engaged is false: over-budget requests were "
+                        "not priced and rejected at the edge")
+    if saturation <= 0:
+        failures.append("server never saturated within the phase ladder "
+                        "(no bounded-latency evidence)")
+    ref = ref_doc.get("serve")
+    if ref is None:
+        print("  serve: reference has no serve block (pre-serving ref) — "
+              "comparative check skipped")
+    else:
+        ref_sustained = float(ref.get("sustained_rps", 0.0))
+        if ref_sustained > 0:
+            change = sustained / ref_sustained - 1.0
+            status = "OK"
+            if change < -args.serve_slack:
+                status = "REGRESSION"
+                failures.append(f"sustained_rps {change:+.1%} vs reference "
+                                f"(slack {args.serve_slack:.0%})")
+            print(f"  serve: sustained vs reference "
+                  f"{ref_sustained:.0f} -> {sustained:.0f} rps "
+                  f"({change:+.1%}) {status}")
+    return True, failures
 
 
 def ratios(table):
@@ -69,17 +121,27 @@ def main():
     ap.add_argument("reference")
     ap.add_argument("current")
     ap.add_argument("--max-regression", type=float, default=0.25)
+    ap.add_argument("--min-sustained-rps", type=float, default=500.0,
+                    help="absolute cached-hit throughput floor for the serve "
+                         "benchmark (load-shape fact, not machine speed)")
+    ap.add_argument("--serve-slack", type=float, default=0.60,
+                    help="allowed sustained_rps drop vs the reference serve "
+                         "block (generous: machines differ)")
     args = ap.parse_args()
 
-    ref, cur = rates(args.reference), rates(args.current)
+    ref_doc = json.load(open(args.reference))
+    cur_doc = json.load(open(args.current))
+    ref, cur = rates(ref_doc), rates(cur_doc)
     ref_ratios, cur_ratios = ratios(ref), ratios(cur)
     common = sorted(set(ref_ratios) & set(cur_ratios))
-    if not common:
+
+    serve_ran, serve_failures = check_serve(ref_doc, cur_doc, args)
+    if not common and not serve_ran:
         print("check_bench: FAIL: no guarded speedup pair present in both files "
-              "(the guard would be vacuous)", file=sys.stderr)
+              "and no serve block (the guard would be vacuous)", file=sys.stderr)
         sys.exit(1)
 
-    failures = []
+    failures = list(serve_failures)
     for name in common:
         r, c = ref_ratios[name], cur_ratios[name]
         change = c / r - 1.0
@@ -95,11 +157,15 @@ def main():
         print(f"  [abs] {name:<40} {change:+8.1%}")
 
     if failures:
-        print(f"check_bench: FAIL: speedup regression > {args.max_regression:.0%} "
-              f"in {failures}", file=sys.stderr)
+        print(f"check_bench: FAIL: {failures}", file=sys.stderr)
         sys.exit(1)
-    print(f"check_bench: OK ({len(common)} speedup pairs within "
-          f"{args.max_regression:.0%} of reference)")
+    parts = []
+    if common:
+        parts.append(f"{len(common)} speedup pairs within "
+                     f"{args.max_regression:.0%} of reference")
+    if serve_ran:
+        parts.append("serve invariants hold")
+    print(f"check_bench: OK ({'; '.join(parts)})")
 
 
 if __name__ == "__main__":
