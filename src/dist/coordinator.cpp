@@ -1,0 +1,268 @@
+#include "dist/coordinator.hpp"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/wire.hpp"
+#include "net/frame_io.hpp"
+#include "util/strings.hpp"
+
+namespace cas::dist {
+
+namespace {
+
+double now_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+util::Json CoordinatorStats::to_json() const {
+  util::Json j = util::Json::object();
+  j["frames_in"] = frames_in.load(std::memory_order_relaxed);
+  j["frames_routed"] = frames_routed.load(std::memory_order_relaxed);
+  j["broadcasts"] = broadcasts.load(std::memory_order_relaxed);
+  j["heartbeats"] = heartbeats.load(std::memory_order_relaxed);
+  j["aborts"] = aborts.load(std::memory_order_relaxed);
+  return j;
+}
+
+Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
+  if (opts_.ranks < 1) throw std::invalid_argument("coordinator: ranks must be >= 1");
+  std::string err;
+  listen_fd_ = net::listen_tcp(opts_.host, opts_.port, /*backlog=*/opts_.ranks + 4, err);
+  if (!listen_fd_.valid()) throw std::runtime_error("coordinator: " + err);
+  port_ = net::local_port(listen_fd_.get());
+  net::set_nonblocking(listen_fd_.get(), true);
+  fd_of_rank_.assign(static_cast<size_t>(opts_.ranks), -1);
+  loop_.add(wakeup_.read_fd(), /*want_read=*/true, /*want_write=*/false);
+  loop_.add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
+  started_ = now_seconds();
+  thread_ = std::thread([this] { run(); });
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wakeup_.notify();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Coordinator::run() {
+  std::vector<net::Event> events;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    loop_.wait(events, 100);
+    const double now = now_seconds();
+    for (const net::Event& e : events) {
+      if (e.fd == wakeup_.read_fd()) {
+        wakeup_.drain();
+        continue;
+      }
+      if (e.fd == listen_fd_.get()) {
+        accept_ready(now);
+        continue;
+      }
+      if (e.writable && peers_.count(e.fd) != 0) peer_writable(e.fd);
+      if ((e.readable || e.hangup) && peers_.count(e.fd) != 0) peer_readable(e.fd, now);
+    }
+    check_liveness(now);
+  }
+  peers_.clear();
+}
+
+void Coordinator::accept_ready(double now) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/transient: next readiness retries
+    net::set_nonblocking(fd, true);
+    net::set_nodelay(fd);
+    auto peer = std::make_unique<Peer>(net::Fd(fd), opts_.max_frame_bytes);
+    peer->last_seen = now;
+    loop_.add(fd, /*want_read=*/true, /*want_write=*/false);
+    peers_[fd] = std::move(peer);
+  }
+}
+
+void Coordinator::peer_readable(int fd, double now) {
+  Peer& p = *peers_.at(fd);
+  for (;;) {
+    size_t bytes = 0;
+    const net::IoStatus st = net::read_chunk(fd, p.decoder, bytes);
+    if (st == net::IoStatus::kWouldBlock) break;
+    if (st == net::IoStatus::kError || st == net::IoStatus::kEof) {
+      drop_peer(fd, /*expected=*/p.said_bye);
+      return;
+    }
+    p.last_seen = now;
+    std::string payload;
+    bool more = true;
+    while (more) {
+      switch (p.decoder.next(payload)) {
+        case net::FrameDecoder::Result::kFrame:
+          stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+          handle_frame(p, payload, now);
+          if (peers_.count(fd) == 0) return;  // frame handler dropped us
+          break;
+        case net::FrameDecoder::Result::kNeedMore:
+          more = false;
+          break;
+        case net::FrameDecoder::Result::kError:
+          drop_peer(fd, /*expected=*/false);
+          return;
+      }
+    }
+  }
+}
+
+void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) {
+  util::Json j;
+  try {
+    j = util::Json::parse(payload);
+  } catch (const std::exception&) {
+    drop_peer(p.fd.get(), /*expected=*/false);
+    return;
+  }
+  const std::string type = frame_type(j);
+  if (type == "hello") {
+    int rank = -1, ranks = -1;
+    const util::Json* rj = j.find("rank");
+    const util::Json* nj = j.find("ranks");
+    try {
+      if (rj != nullptr) rank = static_cast<int>(rj->as_int());
+      if (nj != nullptr) ranks = static_cast<int>(nj->as_int());
+    } catch (...) {
+    }
+    if (rank < 0 || rank >= opts_.ranks || ranks != opts_.ranks ||
+        fd_of_rank_[static_cast<size_t>(rank)] != -1) {
+      abort_world(util::strf("coordinator: bad hello (rank %d of %d, expected %d distinct ranks)",
+                             rank, ranks, opts_.ranks));
+      return;
+    }
+    p.rank = rank;
+    fd_of_rank_[static_cast<size_t>(rank)] = p.fd.get();
+    ++joined_;
+    if (joined_ == opts_.ranks && !welcomed_) {
+      welcomed_ = true;
+      for (int r = 0; r < opts_.ranks; ++r) {
+        Peer& member = *peers_.at(fd_of_rank_[static_cast<size_t>(r)]);
+        enqueue(member, make_welcome(r, opts_.ranks).dump(0));
+      }
+    }
+    return;
+  }
+  if (type == "msg") {
+    try {
+      route(p, msg_dest(j), payload);
+    } catch (const CommError& e) {
+      abort_world(e.what());
+    }
+    return;
+  }
+  if (type == "hb") {
+    stats_.heartbeats.fetch_add(1, std::memory_order_relaxed);
+    p.last_seen = now;
+    return;
+  }
+  if (type == "bye") {
+    p.said_bye = true;
+    byes_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  abort_world("coordinator: unknown frame type '" + type + "'");
+}
+
+void Coordinator::route(Peer& from, int dest, const std::string& payload) {
+  if (dest == -1) {
+    stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
+    for (int r = 0; r < opts_.ranks; ++r) {
+      if (r == from.rank) continue;
+      const int fd = fd_of_rank_[static_cast<size_t>(r)];
+      if (fd < 0) continue;  // dead rank: abort already on its way
+      enqueue(*peers_.at(fd), payload);
+      stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (dest < 0 || dest >= opts_.ranks) throw CommError("coordinator: bad msg destination");
+  const int fd = fd_of_rank_[static_cast<size_t>(dest)];
+  if (fd < 0) return;  // destination died; its death broadcast handles it
+  enqueue(*peers_.at(fd), payload);
+  stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Coordinator::enqueue(Peer& p, const std::string& payload) {
+  net::append_frame(p.outbuf, payload);
+  // Try an immediate flush; whatever the socket refuses waits for epoll.
+  peer_writable(p.fd.get());
+}
+
+void Coordinator::peer_writable(int fd) {
+  Peer& p = *peers_.at(fd);
+  size_t sent = 0;
+  const net::IoStatus st = net::flush_pending(fd, p.outbuf, p.out_off, sent);
+  if (st == net::IoStatus::kError) {
+    drop_peer(fd, /*expected=*/p.said_bye);
+    return;
+  }
+  update_interest(p);
+}
+
+void Coordinator::update_interest(Peer& p) {
+  const bool wr = p.out_off < p.outbuf.size();
+  if (wr == p.want_write) return;
+  p.want_write = wr;
+  loop_.modify(p.fd.get(), /*want_read=*/true, wr);
+}
+
+void Coordinator::drop_peer(int fd, bool expected) {
+  const auto it = peers_.find(fd);
+  if (it == peers_.end()) return;
+  const int rank = it->second->rank;
+  loop_.remove(fd);
+  if (rank >= 0) fd_of_rank_[static_cast<size_t>(rank)] = -1;
+  peers_.erase(it);
+  if (!expected)
+    abort_world(rank >= 0 ? util::strf("coordinator: rank %d died (connection lost)", rank)
+                          : "coordinator: peer dropped before hello");
+}
+
+void Coordinator::abort_world(const std::string& reason) {
+  if (aborted_) return;
+  aborted_ = true;
+  stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  const std::string frame = make_abort(reason).dump(0);
+  // Collect fds first: enqueue may drop peers on write error, invalidating
+  // iterators into peers_.
+  std::vector<int> fds;
+  fds.reserve(peers_.size());
+  for (const auto& [fd, p] : peers_) fds.push_back(fd);
+  for (const int fd : fds) {
+    if (peers_.count(fd) != 0) enqueue(*peers_.at(fd), frame);
+  }
+}
+
+void Coordinator::check_liveness(double now) {
+  if (aborted_) return;
+  if (!welcomed_) {
+    if (opts_.join_timeout_seconds > 0 && now - started_ > opts_.join_timeout_seconds)
+      abort_world(util::strf("coordinator: rendezvous timed out (%d of %d ranks joined)",
+                             joined_, opts_.ranks));
+    return;
+  }
+  if (opts_.heartbeat_timeout_seconds <= 0) return;
+  for (const auto& [fd, p] : peers_) {
+    if (p->rank < 0 || p->said_bye) continue;
+    if (now - p->last_seen > opts_.heartbeat_timeout_seconds) {
+      abort_world(util::strf("coordinator: rank %d missed heartbeats for %.1fs", p->rank,
+                             now - p->last_seen));
+      return;
+    }
+  }
+}
+
+}  // namespace cas::dist

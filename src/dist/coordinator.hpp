@@ -1,0 +1,125 @@
+// The rank-0-hosted rendezvous and message router of the distributed
+// communicator. Every rank (including rank 0's own RankComm, over
+// loopback) connects here, says hello, and blocks until the coordinator
+// has seen all R ranks and answers welcome — that is the barrier that
+// makes "start cas_run R times" a rendezvous instead of a race. After
+// rendezvous the coordinator is a pure star router: msg frames are
+// forwarded to their destination rank (to = -1 fans out to every rank
+// except the source).
+//
+// Liveness: ranks heartbeat every interval; a rank that misses the
+// timeout, or whose connection drops without a bye, is declared dead and
+// the coordinator broadcasts abort to every surviving rank — the clean
+// abort path that turns a killed process into a CommError everywhere
+// instead of a distributed hang.
+//
+// Single-threaded over net::EventLoop + net/frame_io — the same
+// machinery, and the same codec path, as the cas_serve front-end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "util/json.hpp"
+
+namespace cas::dist {
+
+struct CoordinatorOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port().
+  uint16_t port = 0;
+  /// World size: connections claiming rank outside [0, ranks) are refused.
+  int ranks = 1;
+  /// A rank silent for longer than this (no frame of any kind) after
+  /// rendezvous is declared dead. 0 disables heartbeat policing (death is
+  /// then detected on connection drop only).
+  double heartbeat_timeout_seconds = 10.0;
+  /// Rendezvous must complete within this window or the join is aborted.
+  double join_timeout_seconds = 30.0;
+  size_t max_frame_bytes = net::kDefaultMaxFrame;
+};
+
+/// Router counters, readable live from other threads.
+struct CoordinatorStats {
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> frames_routed{0};
+  std::atomic<uint64_t> broadcasts{0};
+  std::atomic<uint64_t> heartbeats{0};
+  std::atomic<uint64_t> aborts{0};
+
+  [[nodiscard]] util::Json to_json() const;
+};
+
+class Coordinator {
+ public:
+  /// Binds and starts the router thread. Throws on bind failure.
+  explicit Coordinator(CoordinatorOptions opts);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// The port actually bound (resolves port 0).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Ask the router thread to exit; joined by the destructor (or here).
+  void stop();
+
+  [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
+  /// True once every rank has detached cleanly (all byes seen).
+  [[nodiscard]] bool all_detached() const {
+    return byes_.load(std::memory_order_acquire) >= opts_.ranks;
+  }
+
+ private:
+  struct Peer {
+    net::Fd fd;
+    net::FrameDecoder decoder;
+    std::string outbuf;
+    size_t out_off = 0;
+    int rank = -1;  // -1 until hello
+    bool said_bye = false;
+    bool want_write = false;
+    double last_seen = 0;
+
+    explicit Peer(net::Fd f, size_t max_frame) : fd(std::move(f)), decoder(max_frame) {}
+  };
+
+  void run();
+  void accept_ready(double now);
+  void peer_readable(int fd, double now);
+  void peer_writable(int fd);
+  void handle_frame(Peer& p, const std::string& payload, double now);
+  void route(Peer& from, int dest, const std::string& payload);
+  void enqueue(Peer& p, const std::string& payload);
+  void drop_peer(int fd, bool expected);
+  void abort_world(const std::string& reason);
+  void check_liveness(double now);
+  void update_interest(Peer& p);
+
+  CoordinatorOptions opts_;
+  net::Fd listen_fd_;
+  uint16_t port_ = 0;
+  net::EventLoop loop_;
+  net::Wakeup wakeup_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> byes_{0};
+  CoordinatorStats stats_;
+
+  std::map<int, std::unique_ptr<Peer>> peers_;       // by fd
+  std::vector<int> fd_of_rank_;                      // rank -> fd (-1 absent)
+  int joined_ = 0;
+  bool welcomed_ = false;
+  bool aborted_ = false;
+  double started_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace cas::dist

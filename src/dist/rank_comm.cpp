@@ -1,0 +1,311 @@
+#include "dist/rank_comm.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "net/frame_io.hpp"
+#include "util/strings.hpp"
+
+namespace cas::dist {
+
+namespace {
+
+double now_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+RankComm::RankComm(RankCommOptions opts)
+    : opts_(std::move(opts)), decoder_(opts_.max_frame_bytes) {
+  if (opts_.rank < 0 || opts_.rank >= opts_.ranks)
+    throw CommError(util::strf("rank_comm: rank %d outside world of %d", opts_.rank, opts_.ranks));
+
+  // Connect with retry: sibling processes race the coordinator's bind.
+  const double deadline = now_seconds() + opts_.connect_timeout_seconds;
+  std::string err;
+  for (;;) {
+    fd_ = net::connect_tcp(opts_.host, opts_.port, err);
+    if (fd_.valid()) break;
+    if (now_seconds() >= deadline)
+      throw CommError(util::strf("rank_comm: cannot reach coordinator %s:%u: %s",
+                                 opts_.host.c_str(), unsigned{opts_.port}, err.c_str()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  net::set_nodelay(fd_.get());
+
+  // hello, then block (deadline-bounded) until welcome — the rendezvous.
+  // Runs on the caller's thread with the same decoder the reader thread
+  // inherits afterwards, so bytes coalesced behind the welcome frame are
+  // not lost.
+  {
+    std::scoped_lock lock(send_mu_);
+    send_frame_locked_throw(make_hello(opts_.rank, opts_.ranks));
+  }
+  bool welcomed = false;
+  std::string payload;
+  while (!welcomed) {
+    for (bool more = true; more && !welcomed;) {
+      switch (decoder_.next(payload)) {
+        case net::FrameDecoder::Result::kFrame: {
+          const util::Json j = util::Json::parse(payload);
+          const std::string type = frame_type(j);
+          if (type == "welcome") {
+            welcomed = true;
+          } else if (type == "abort") {
+            const util::Json* r = j.find("reason");
+            throw CommError(r != nullptr && r->is_string() ? r->as_string()
+                                                           : "rendezvous aborted");
+          } else if (type == "msg") {
+            mailbox_.post(parse_msg(j));  // early traffic; keep it
+          }
+          break;
+        }
+        case net::FrameDecoder::Result::kNeedMore:
+          more = false;
+          break;
+        case net::FrameDecoder::Result::kError:
+          throw CommError("rank_comm: protocol error during rendezvous: " + decoder_.error());
+      }
+    }
+    if (welcomed) break;
+    const double remain = deadline - now_seconds();
+    if (remain <= 0)
+      throw CommError(util::strf("rank_comm: rendezvous timed out (rank %d of %d)", opts_.rank,
+                                 opts_.ranks));
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remain * 1000) + 1);
+    if (rc < 0 && errno != EINTR)
+      throw CommError(util::strf("rank_comm: poll: %s", std::strerror(errno)));
+    if (rc <= 0) continue;
+    char buf[16384];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n == 0) throw CommError("rank_comm: coordinator closed during rendezvous");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw CommError(util::strf("rank_comm: recv: %s", std::strerror(errno)));
+    }
+    bytes_received_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    decoder_.feed(buf, static_cast<size_t>(n));
+  }
+
+  reader_ = std::thread([this] { reader_body(); });
+  if (opts_.heartbeat_interval_seconds > 0)
+    heartbeat_ = std::thread([this] { heartbeat_body(); });
+}
+
+RankComm::~RankComm() { finalize(); }
+
+void RankComm::send_frame_locked_throw(const util::Json& j) {
+  const std::string frame = net::encode_frame(j.dump(0));
+  std::string err;
+  if (!net::write_all(fd_.get(), frame, err)) {
+    fail("rank_comm: " + err);
+    throw CommError(failure());
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+}
+
+void RankComm::send(int dest, par::Message msg) {
+  if (dest < 0 || dest >= opts_.ranks) throw CommError("rank_comm: bad destination rank");
+  if (failed()) throw CommError(failure());
+  msg.source = opts_.rank;
+  const util::Json frame = make_msg(dest, msg);
+  std::scoped_lock lock(send_mu_);
+  send_frame_locked_throw(frame);
+}
+
+void RankComm::broadcast_others(par::Message msg) {
+  if (failed()) throw CommError(failure());
+  msg.source = opts_.rank;
+  const util::Json frame = make_msg(/*to=*/-1, msg);
+  std::scoped_lock lock(send_mu_);
+  send_frame_locked_throw(frame);
+}
+
+par::Message RankComm::recv_collective(int tag, int64_t seq) {
+  par::Mailbox::Deadline deadline;
+  if (opts_.collective_timeout_seconds > 0)
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(opts_.collective_timeout_seconds));
+  const double t0 = now_seconds();
+  auto m = mailbox_.take_collective(tag, seq, deadline);
+  const double waited = now_seconds() - t0;
+  {
+    std::scoped_lock lock(latency_mu_);
+    collective_wait_.add(waited);
+  }
+  collective_rounds_.fetch_add(1, std::memory_order_relaxed);
+  if (!m) {
+    if (failed()) throw CommError(failure());
+    fail(util::strf("rank_comm: collective (tag %d, seq %lld) timed out after %.1fs — peer dead?",
+                    tag, static_cast<long long>(seq), waited));
+    throw CommError(failure());
+  }
+  return std::move(*m);
+}
+
+void RankComm::fail(const std::string& reason) {
+  {
+    std::scoped_lock lock(failure_mu_);
+    if (failed_.load(std::memory_order_acquire)) return;
+    failure_ = reason;
+    failed_.store(true, std::memory_order_release);
+  }
+  remote_stop_.store(true, std::memory_order_release);
+  mailbox_.close();
+}
+
+std::string RankComm::failure() const {
+  std::scoped_lock lock(failure_mu_);
+  return failure_.empty() ? "rank_comm: communicator failed" : failure_;
+}
+
+/// Consume every complete frame currently buffered in the decoder. Returns
+/// false when the communicator failed (the reader must exit).
+bool RankComm::drain_decoder() {
+  std::string payload;
+  for (bool more = true; more;) {
+    switch (decoder_.next(payload)) {
+      case net::FrameDecoder::Result::kFrame: {
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        util::Json j;
+        try {
+          j = util::Json::parse(payload);
+        } catch (const std::exception& e) {
+          fail(util::strf("rank_comm: bad frame from coordinator: %s", e.what()));
+          return false;
+        }
+        const std::string type = frame_type(j);
+        if (type == "msg") {
+          par::Message m;
+          try {
+            m = parse_msg(j);
+          } catch (const CommError& e) {
+            fail(e.what());
+            return false;
+          }
+          if (m.tag == par::kTagSolutionFound || m.tag == par::kTagTerminate)
+            remote_stop_.store(true, std::memory_order_release);
+          mailbox_.post(std::move(m));
+        } else if (type == "abort") {
+          const util::Json* r = j.find("reason");
+          fail(r != nullptr && r->is_string() ? r->as_string() : "aborted by coordinator");
+          return false;
+        }
+        // welcome duplicates / unknown types: ignored.
+        break;
+      }
+      case net::FrameDecoder::Result::kNeedMore:
+        more = false;
+        break;
+      case net::FrameDecoder::Result::kError:
+        fail("rank_comm: protocol error: " + decoder_.error());
+        return false;
+    }
+  }
+  return true;
+}
+
+void RankComm::reader_body() {
+  // Drain first: the rendezvous may have left frames coalesced behind the
+  // welcome sitting fully buffered in the decoder, and no further bytes
+  // need ever arrive to complete them.
+  if (!drain_decoder()) return;
+  while (!stop_threads_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail(util::strf("rank_comm: poll: %s", std::strerror(errno)));
+      return;
+    }
+    if (rc == 0) continue;
+    char buf[16384];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n == 0) {
+      if (!finalized_.load(std::memory_order_acquire))
+        fail("rank_comm: coordinator closed the connection");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (!finalized_.load(std::memory_order_acquire))
+        fail(util::strf("rank_comm: recv: %s", std::strerror(errno)));
+      return;
+    }
+    bytes_received_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    decoder_.feed(buf, static_cast<size_t>(n));
+    if (!drain_decoder()) return;
+  }
+}
+
+void RankComm::heartbeat_body() {
+  const auto interval = std::chrono::duration<double>(opts_.heartbeat_interval_seconds);
+  std::unique_lock lock(hb_mu_);
+  while (!stop_threads_.load(std::memory_order_acquire)) {
+    hb_cv_.wait_for(lock, interval,
+                    [this] { return stop_threads_.load(std::memory_order_acquire); });
+    if (stop_threads_.load(std::memory_order_acquire)) return;
+    if (failed()) return;
+    const util::Json frame = make_hb(opts_.rank);
+    std::scoped_lock send_lock(send_mu_);
+    try {
+      send_frame_locked_throw(frame);
+    } catch (const CommError&) {
+      return;  // fail() already ran
+    }
+  }
+}
+
+void RankComm::finalize() {
+  bool expected = false;
+  if (!finalized_.compare_exchange_strong(expected, true)) return;
+  if (!failed() && fd_.valid()) {
+    // Best-effort clean detach; the coordinator counts byes.
+    std::scoped_lock lock(send_mu_);
+    try {
+      send_frame_locked_throw(make_bye(opts_.rank));
+    } catch (const CommError&) {
+    }
+  }
+  stop_threads_.store(true, std::memory_order_release);
+  hb_cv_.notify_all();
+  if (reader_.joinable()) reader_.join();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  fd_.reset();
+}
+
+util::Json RankComm::stats_json() const {
+  util::Json j = util::Json::object();
+  j["rank"] = opts_.rank;
+  j["ranks"] = opts_.ranks;
+  j["frames_sent"] = frames_sent_.load(std::memory_order_relaxed);
+  j["bytes_sent"] = bytes_sent_.load(std::memory_order_relaxed);
+  j["frames_received"] = frames_received_.load(std::memory_order_relaxed);
+  j["bytes_received"] = bytes_received_.load(std::memory_order_relaxed);
+  j["collective_rounds"] = collective_rounds_.load(std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(latency_mu_);
+    util::Json lat = util::Json::object();
+    lat["count"] = collective_wait_.count();
+    lat["mean_ms"] = collective_wait_.mean() * 1e3;
+    lat["p50_ms"] = collective_wait_.percentile(0.50) * 1e3;
+    lat["p95_ms"] = collective_wait_.percentile(0.95) * 1e3;
+    lat["p99_ms"] = collective_wait_.percentile(0.99) * 1e3;
+    lat["max_ms"] = collective_wait_.max() * 1e3;
+    j["collective_wait"] = std::move(lat);
+  }
+  return j;
+}
+
+}  // namespace cas::dist

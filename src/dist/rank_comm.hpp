@@ -1,0 +1,140 @@
+// RankComm: one process's endpoint of the distributed communicator. It
+// speaks the same surface as the in-process par::RankCtx — send /
+// broadcast_others / termination_pending plus the CollectiveEndpoint
+// concept — so the collective algorithms in par/collectives.hpp run
+// UNCHANGED over TCP: the same code path that synchronizes walker threads
+// synchronizes processes, which is what makes the two backends
+// trajectory-compatible by construction (the parity test pins it).
+//
+// Transport: a blocking connection to the rank-0 coordinator. A reader
+// thread decodes incoming frames into the SAME par::Mailbox implementation
+// the in-process backend uses (selective receive, tag matching, the
+// termination fast-flag); a heartbeat thread keeps the coordinator's
+// liveness policing fed. A received abort — or connection loss, or a
+// collective outliving its deadline — fails the communicator: the mailbox
+// closes, every blocked receive unwinds, and CommError propagates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "dist/wire.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "par/collectives.hpp"
+#include "par/mailbox.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace cas::dist {
+
+struct RankCommOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int rank = 0;
+  int ranks = 1;
+  /// Window for connect + rendezvous (connect retries until the
+  /// coordinator's socket exists — ranks race the rank-0 process's bind).
+  double connect_timeout_seconds = 15.0;
+  /// Heartbeat cadence; 0 disables the heartbeat thread.
+  double heartbeat_interval_seconds = 1.0;
+  /// A blocking collective receive outliving this deadline throws
+  /// CommError (dead-peer detection from the waiting side). 0 = forever.
+  double collective_timeout_seconds = 120.0;
+  size_t max_frame_bytes = net::kDefaultMaxFrame;
+};
+
+class RankComm {
+ public:
+  /// Connects, says hello, and blocks until welcome. Throws CommError.
+  explicit RankComm(RankCommOptions opts);
+  ~RankComm();
+  RankComm(const RankComm&) = delete;
+  RankComm& operator=(const RankComm&) = delete;
+
+  // --- CollectiveEndpoint + point-to-point surface ---
+  [[nodiscard]] int rank() const { return opts_.rank; }
+  [[nodiscard]] int size() const { return opts_.ranks; }
+  void send(int dest, par::Message msg);
+  [[nodiscard]] par::Message recv_collective(int tag, int64_t seq);
+  [[nodiscard]] int64_t next_seq() { return static_cast<int64_t>(collective_seq_++); }
+  void broadcast_others(par::Message msg);
+  [[nodiscard]] std::optional<par::Message> try_recv() { return mailbox_.try_take(); }
+  [[nodiscard]] bool termination_pending() const {
+    return mailbox_.termination_pending() || failed();
+  }
+
+  /// Flipped by the reader thread on a remote SOLUTION_FOUND / TERMINATE
+  /// or on communicator failure — wired into MultiWalkOptions::external_stop
+  /// so local walkers unwind at their next probe.
+  [[nodiscard]] std::atomic<bool>& remote_stop() { return remote_stop_; }
+
+  /// Epoch boundary between successive requests on one long-lived world:
+  /// re-arms the remote-stop latch and drains stray SOLUTION_FOUND
+  /// broadcasts left over from the previous request (safe only after its
+  /// final barrier — see the runner's epilogue).
+  void begin_epoch() {
+    remote_stop_.store(false, std::memory_order_release);
+    mailbox_.drain();
+  }
+
+  /// Clean detach: bye to the coordinator, threads joined, socket closed.
+  /// Idempotent; also run by the destructor.
+  void finalize();
+
+  [[nodiscard]] bool failed() const { return failed_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::string failure() const;
+
+  /// Comm counters + collective wait-latency percentiles for the report's
+  /// dist provenance block.
+  [[nodiscard]] util::Json stats_json() const;
+
+ private:
+  void fail(const std::string& reason);
+  bool drain_decoder();
+  void reader_body();
+  void heartbeat_body();
+  void send_frame_locked_throw(const util::Json& j);
+
+  RankCommOptions opts_;
+  net::Fd fd_;
+  /// Used by the constructor's rendezvous (caller thread), then handed to
+  /// the reader thread — never both at once.
+  net::FrameDecoder decoder_;
+  par::Mailbox mailbox_;
+  uint64_t collective_seq_ = 0;
+
+  std::mutex send_mu_;
+  std::atomic<bool> stop_threads_{false};
+  std::atomic<bool> finalized_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> remote_stop_{false};
+  mutable std::mutex failure_mu_;
+  std::string failure_;
+  std::condition_variable hb_cv_;
+  std::mutex hb_mu_;
+
+  // Counters. frames/bytes sent are guarded by send_mu_; received ones are
+  // reader-thread-only until the threads are joined; the histogram and
+  // round counter are caller-thread-only. stats_json() is documented safe
+  // after finalize() and best-effort live.
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> collective_rounds_{0};
+  mutable std::mutex latency_mu_;
+  util::LogHistogram collective_wait_;
+
+  std::thread reader_;
+  std::thread heartbeat_;
+};
+
+static_assert(par::CollectiveEndpoint<RankComm>);
+
+}  // namespace cas::dist

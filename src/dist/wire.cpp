@@ -1,0 +1,106 @@
+#include "dist/wire.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace cas::dist {
+
+namespace {
+
+const util::Json& require(const util::Json& j, const char* key) {
+  const util::Json* f = j.is_object() ? j.find(key) : nullptr;
+  if (f == nullptr) throw CommError(util::strf("wire: frame missing '%s'", key));
+  return *f;
+}
+
+int require_int(const util::Json& j, const char* key) {
+  const util::Json& f = require(j, key);
+  try {
+    return static_cast<int>(f.as_int());
+  } catch (const std::exception&) {
+    throw CommError(util::strf("wire: '%s' is not an integer", key));
+  }
+}
+
+}  // namespace
+
+util::Json make_hello(int rank, int ranks) {
+  util::Json j = util::Json::object();
+  j["type"] = "hello";
+  j["v"] = kWireVersion;
+  j["rank"] = rank;
+  j["ranks"] = ranks;
+  return j;
+}
+
+util::Json make_welcome(int rank, int ranks) {
+  util::Json j = util::Json::object();
+  j["type"] = "welcome";
+  j["rank"] = rank;
+  j["ranks"] = ranks;
+  return j;
+}
+
+util::Json make_msg(int to, const par::Message& m) {
+  util::Json j = util::Json::object();
+  j["type"] = "msg";
+  j["to"] = to;
+  j["tag"] = m.tag;
+  j["src"] = m.source;
+  util::Json payload = util::Json::array();
+  for (const int64_t v : m.payload) payload.push_back(std::to_string(v));
+  j["payload"] = std::move(payload);
+  return j;
+}
+
+util::Json make_hb(int rank) {
+  util::Json j = util::Json::object();
+  j["type"] = "hb";
+  j["rank"] = rank;
+  return j;
+}
+
+util::Json make_abort(const std::string& reason) {
+  util::Json j = util::Json::object();
+  j["type"] = "abort";
+  j["reason"] = reason;
+  return j;
+}
+
+util::Json make_bye(int rank) {
+  util::Json j = util::Json::object();
+  j["type"] = "bye";
+  j["rank"] = rank;
+  return j;
+}
+
+std::string frame_type(const util::Json& j) {
+  const util::Json* t = j.is_object() ? j.find("type") : nullptr;
+  return (t != nullptr && t->is_string()) ? t->as_string() : "";
+}
+
+par::Message parse_msg(const util::Json& j) {
+  par::Message m;
+  m.tag = require_int(j, "tag");
+  m.source = require_int(j, "src");
+  const util::Json& payload = require(j, "payload");
+  if (!payload.is_array()) throw CommError("wire: msg payload is not an array");
+  m.payload.reserve(payload.as_array().size());
+  for (const util::Json& e : payload.as_array()) {
+    if (!e.is_string()) throw CommError("wire: msg payload element is not a string");
+    const std::string& s = e.as_string();
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno != 0 || end == s.c_str() || *end != '\0')
+      throw CommError("wire: msg payload element '" + s + "' is not an int64");
+    m.payload.push_back(static_cast<int64_t>(v));
+  }
+  return m;
+}
+
+int msg_dest(const util::Json& j) { return require_int(j, "to"); }
+
+}  // namespace cas::dist

@@ -1,0 +1,55 @@
+// The distributed communicator's wire protocol: length-prefixed JSON
+// frames (net::FrameDecoder — the same codec cas_serve speaks) carrying a
+// tiny star-topology routing vocabulary between the ranks and the rank-0
+// coordinator:
+//
+//   hello    rank -> coordinator on connect (rank, ranks, magic)
+//   welcome  coordinator -> every rank once all ranks have arrived
+//   msg      a routed par::Message (to = destination rank, -1 = broadcast
+//            to every rank except the source)
+//   hb       heartbeat, rank -> coordinator
+//   abort    coordinator -> all ranks: a peer died / protocol violation;
+//            every rank fails its communicator with the carried reason
+//   bye      rank -> coordinator: clean detach (EOF after bye is not a
+//            death)
+//
+// Message payloads are int64 vectors; elements travel as decimal STRINGS,
+// not JSON numbers, because util::Json stores numbers as doubles and a
+// broadcast 64-bit seed would silently lose its low bits above 2^53.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "par/mailbox.hpp"
+#include "util/json.hpp"
+
+namespace cas::dist {
+
+/// Unrecoverable communicator failure: a peer died, the coordinator went
+/// away, or a collective timed out. The distributed runner lets this
+/// propagate so the whole rank aborts cleanly instead of computing with a
+/// partial world.
+struct CommError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Protocol magic echoed in hello frames, bumped on incompatible changes.
+inline constexpr int kWireVersion = 1;
+
+util::Json make_hello(int rank, int ranks);
+util::Json make_welcome(int rank, int ranks);
+util::Json make_msg(int to, const par::Message& m);
+util::Json make_hb(int rank);
+util::Json make_abort(const std::string& reason);
+util::Json make_bye(int rank);
+
+/// The frame's "type" field ("" when absent/non-string).
+std::string frame_type(const util::Json& j);
+
+/// Decode a routed message frame. Throws CommError on malformed frames.
+par::Message parse_msg(const util::Json& j);
+/// Destination rank of a msg frame (-1 = broadcast). Throws on absence.
+int msg_dest(const util::Json& j);
+
+}  // namespace cas::dist

@@ -1,0 +1,52 @@
+#include "dist/world.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace cas::dist {
+
+World::World(WorldOptions opts, const std::function<void(uint16_t)>& on_listening)
+    : opts_(opts) {
+  if (opts_.rank == 0) {
+    CoordinatorOptions co;
+    co.host = opts_.host;
+    co.port = opts_.port;
+    co.ranks = opts_.ranks;
+    co.heartbeat_timeout_seconds = opts_.heartbeat_timeout_seconds;
+    co.join_timeout_seconds = opts_.connect_timeout_seconds * 2;
+    coordinator_ = std::make_unique<Coordinator>(co);
+    port_ = coordinator_->port();
+    if (on_listening) on_listening(port_);
+  } else {
+    port_ = opts_.port;
+  }
+  RankCommOptions rc;
+  rc.host = opts_.host;
+  rc.port = port_;
+  rc.rank = opts_.rank;
+  rc.ranks = opts_.ranks;
+  rc.connect_timeout_seconds = opts_.connect_timeout_seconds;
+  rc.heartbeat_interval_seconds = opts_.heartbeat_interval_seconds;
+  rc.collective_timeout_seconds = opts_.collective_timeout_seconds;
+  comm_ = std::make_unique<RankComm>(rc);
+}
+
+void World::finalize() {
+  if (comm_ != nullptr) comm_->finalize();
+  if (coordinator_ != nullptr) {
+    // Give the other ranks a moment to say bye so their detach is clean
+    // rather than racing the router teardown.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!coordinator_->all_detached() && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    coordinator_->stop();
+  }
+}
+
+util::Json World::stats_json() const {
+  util::Json j = comm_ != nullptr ? comm_->stats_json() : util::Json::object();
+  if (coordinator_ != nullptr) j["coordinator"] = coordinator_->stats().to_json();
+  return j;
+}
+
+}  // namespace cas::dist

@@ -1,0 +1,65 @@
+// World: one process's membership in a multi-process communicator. Rank 0
+// additionally hosts the Coordinator (rendezvous + router); every rank —
+// rank 0 included, over loopback — participates through a RankComm, so
+// the data path is identical on all ranks.
+//
+// Construction order matters for launchers: rank 0 binds the coordinator
+// FIRST and reports the actual port through `on_listening` BEFORE blocking
+// in the rendezvous, which is the hook cas_run's single-command loopback
+// launcher uses to fork the sibling ranks with --coordinator=host:port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dist/coordinator.hpp"
+#include "dist/rank_comm.hpp"
+#include "util/json.hpp"
+
+namespace cas::dist {
+
+struct WorldOptions {
+  int rank = 0;
+  int ranks = 1;
+  /// Rank 0: the bind address (port 0 = ephemeral). Ranks > 0: the
+  /// coordinator's address as launched.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double connect_timeout_seconds = 15.0;
+  double heartbeat_interval_seconds = 1.0;
+  double heartbeat_timeout_seconds = 10.0;
+  double collective_timeout_seconds = 120.0;
+};
+
+class World {
+ public:
+  /// Joins (and on rank 0 first hosts) the world. `on_listening` runs on
+  /// rank 0 after the coordinator is bound, before the blocking
+  /// rendezvous — spawn the other ranks / write the port file there.
+  /// Throws CommError when the rendezvous fails.
+  explicit World(WorldOptions opts,
+                 const std::function<void(uint16_t port)>& on_listening = nullptr);
+
+  [[nodiscard]] int rank() const { return opts_.rank; }
+  [[nodiscard]] int size() const { return opts_.ranks; }
+  [[nodiscard]] RankComm& comm() { return *comm_; }
+  /// Coordinator port (the rendezvous address all ranks dialed).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Clean shutdown: detach the rank; rank 0 waits briefly for the other
+  /// ranks' byes before stopping the router.
+  void finalize();
+
+  /// Per-rank comm counters (+ router counters on rank 0).
+  [[nodiscard]] util::Json stats_json() const;
+
+ private:
+  WorldOptions opts_;
+  uint16_t port_ = 0;
+  std::unique_ptr<Coordinator> coordinator_;  // rank 0 only
+  std::unique_ptr<RankComm> comm_;
+};
+
+}  // namespace cas::dist

@@ -1,0 +1,71 @@
+#include "net/frame_io.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace cas::net {
+
+IoStatus read_chunk(int fd, FrameDecoder& decoder, size_t& bytes_read) {
+  bytes_read = 0;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+      return IoStatus::kError;
+    }
+    if (n == 0) return IoStatus::kEof;
+    bytes_read = static_cast<size_t>(n);
+    decoder.feed(buf, bytes_read);
+    return IoStatus::kOk;
+  }
+}
+
+IoStatus flush_pending(int fd, std::string& buf, size_t& off, size_t& bytes_sent) {
+  bytes_sent = 0;
+  IoStatus status = IoStatus::kOk;
+  while (off < buf.size()) {
+    const ssize_t n = ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        status = IoStatus::kWouldBlock;
+        break;
+      }
+      return IoStatus::kError;
+    }
+    off += static_cast<size_t>(n);
+    bytes_sent += static_cast<size_t>(n);
+  }
+  if (off == buf.size()) {
+    buf.clear();
+    off = 0;
+  } else if (off > (size_t{1} << 20) && off * 2 > buf.size()) {
+    // More than a megabyte of consumed prefix dominating the buffer:
+    // compact so a slow reader doesn't pin peak memory forever.
+    buf.erase(0, off);
+    off = 0;
+  }
+  return status;
+}
+
+bool write_all(int fd, std::string_view data, std::string& err) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = util::strf("send: %s", std::strerror(errno));
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace cas::net

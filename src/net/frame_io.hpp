@@ -1,0 +1,39 @@
+// Shared socket frame I/O helpers: the one place that knows how to move
+// length-prefixed frames across a TCP fd. cas_serve's event-loop server,
+// the BlockingClient used by tests/cas_load, and the distributed
+// communicator's coordinator all route their reads and writes through
+// these, so there is exactly one codec path on the wire.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "net/frame.hpp"
+
+namespace cas::net {
+
+/// Outcome of a non-blocking I/O step.
+enum class IoStatus {
+  kOk,          // made progress (bytes moved)
+  kWouldBlock,  // socket not ready; wait for the next readiness event
+  kEof,         // peer half-closed (reads only)
+  kError,       // unrecoverable socket error; close the connection
+};
+
+/// One non-blocking recv() chunk fed into the decoder. `bytes_read` is set
+/// to the chunk size on kOk (0 otherwise). EINTR is retried internally.
+IoStatus read_chunk(int fd, FrameDecoder& decoder, size_t& bytes_read);
+
+/// Non-blocking flush of the pending bytes buf[off..) with EINTR retry.
+/// Advances `off`; when everything is flushed the buffer is cleared, and a
+/// large consumed prefix is compacted away so long-lived connections do
+/// not pin peak buffer memory. `bytes_sent` is the number of bytes moved
+/// this call (may be nonzero even when the final status is kWouldBlock).
+IoStatus flush_pending(int fd, std::string& buf, size_t& off, size_t& bytes_sent);
+
+/// Blocking send of the whole span (EINTR retried, SIGPIPE suppressed).
+/// False + `err` on failure.
+bool write_all(int fd, std::string_view data, std::string& err);
+
+}  // namespace cas::net

@@ -4,6 +4,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "net/frame_io.hpp"
+
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -188,20 +190,18 @@ void Server::close_conn(uint64_t token) {
 void Server::conn_readable(Conn& c) {
   const uint64_t token = c.token;
   while (!c.paused_read && !c.close_after_flush) {
-    char buf[16384];
-    const ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
+    size_t bytes_read = 0;
+    const IoStatus st = read_chunk(c.fd.get(), c.decoder, bytes_read);
+    if (st == IoStatus::kWouldBlock) break;
+    if (st == IoStatus::kError) {
       close_conn(token);
       return;
     }
-    if (n == 0) {
+    if (st == IoStatus::kEof) {
       c.peer_eof = true;
       break;
     }
     c.last_activity = now_seconds();
-    c.decoder.feed(buf, static_cast<size_t>(n));
     std::string payload;
     bool more = true;
     while (more && !c.close_after_flush) {
@@ -394,25 +394,13 @@ void Server::send_json(Conn& c, const util::Json& j) {
 
 void Server::conn_writable(Conn& c) {
   const uint64_t token = c.token;
-  while (c.out_off < c.outbuf.size()) {
-    const ssize_t n = ::send(c.fd.get(), c.outbuf.data() + c.out_off,
-                             c.outbuf.size() - c.out_off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      close_conn(token);
-      return;
-    }
-    c.out_off += static_cast<size_t>(n);
-    c.last_activity = now_seconds();
+  size_t bytes_sent = 0;
+  const IoStatus st = flush_pending(c.fd.get(), c.outbuf, c.out_off, bytes_sent);
+  if (st == IoStatus::kError) {
+    close_conn(token);
+    return;
   }
-  if (c.out_off == c.outbuf.size()) {
-    c.outbuf.clear();
-    c.out_off = 0;
-  } else if (c.out_off > (size_t{1} << 20) && c.out_off * 2 > c.outbuf.size()) {
-    c.outbuf.erase(0, c.out_off);
-    c.out_off = 0;
-  }
+  if (bytes_sent > 0) c.last_activity = now_seconds();
   if (c.paused_read && c.outbuf.size() - c.out_off < opts_.write_buffer_limit / 2)
     c.paused_read = false;  // peer caught up: resume reading
   if ((c.peer_eof || c.close_after_flush) && c.inflight == 0 && c.out_off == c.outbuf.size()) {

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/frame_io.hpp"
 #include "util/strings.hpp"
 
 namespace cas::net {
@@ -120,17 +121,7 @@ bool BlockingClient::send_text(std::string_view payload) {
     error_ = e.what();
     return false;
   }
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::send(fd_.get(), frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      error_ = util::strf("send: %s", std::strerror(errno));
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+  return write_all(fd_.get(), frame, error_);
 }
 
 std::optional<std::string> BlockingClient::recv_frame(double timeout_seconds) {

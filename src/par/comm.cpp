@@ -1,7 +1,6 @@
 #include "par/comm.hpp"
 
-#include <algorithm>
-#include <cstddef>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -21,153 +20,45 @@ void RankCtx::broadcast_others(const Message& msg) const {
 }
 
 std::optional<Message> RankCtx::try_recv() const {
-  auto& box = *comm_->mailboxes_[static_cast<size_t>(rank_)];
-  std::scoped_lock lock(box.mu);
-  if (box.queue.empty()) return std::nullopt;
-  Message m = std::move(box.queue.front());
-  box.queue.erase(box.queue.begin());
-  return m;
+  return comm_->mailboxes_[static_cast<size_t>(rank_)]->try_take();
 }
 
 Message RankCtx::recv() const {
-  auto& box = *comm_->mailboxes_[static_cast<size_t>(rank_)];
-  std::unique_lock lock(box.mu);
-  box.cv.wait(lock, [&] { return !box.queue.empty(); });
-  Message m = std::move(box.queue.front());
-  box.queue.erase(box.queue.begin());
-  return m;
+  return *comm_->mailboxes_[static_cast<size_t>(rank_)]->take();
 }
 
 bool RankCtx::termination_pending() const {
-  auto& box = *comm_->mailboxes_[static_cast<size_t>(rank_)];
-  std::scoped_lock lock(box.mu);
-  return box.has_termination;
+  return comm_->mailboxes_[static_cast<size_t>(rank_)]->termination_pending();
 }
 
 Message RankCtx::recv_tagged(int tag) const {
-  auto& box = *comm_->mailboxes_[static_cast<size_t>(rank_)];
-  std::unique_lock lock(box.mu);
-  while (true) {
-    for (size_t k = 0; k < box.queue.size(); ++k) {
-      if (box.queue[k].tag == tag) {
-        Message m = std::move(box.queue[k]);
-        box.queue.erase(box.queue.begin() + static_cast<ptrdiff_t>(k));
-        return m;
-      }
-    }
-    box.cv.wait(lock);
-  }
+  return *comm_->mailboxes_[static_cast<size_t>(rank_)]->take_tagged(tag);
 }
 
 Message RankCtx::recv_collective(int tag, int64_t seq) const {
-  auto& box = *comm_->mailboxes_[static_cast<size_t>(rank_)];
-  std::unique_lock lock(box.mu);
-  while (true) {
-    for (size_t k = 0; k < box.queue.size(); ++k) {
-      const Message& m = box.queue[k];
-      if (m.tag == tag && !m.payload.empty() && m.payload.front() == seq) {
-        Message out = std::move(box.queue[k]);
-        box.queue.erase(box.queue.begin() + static_cast<ptrdiff_t>(k));
-        return out;
-      }
-    }
-    box.cv.wait(lock);
-  }
+  return *comm_->mailboxes_[static_cast<size_t>(rank_)]->take_collective(tag, seq);
 }
 
-namespace {
-
-/// Collective payload layout: [seq, data...].
-std::vector<int64_t> with_seq(int64_t seq, const std::vector<int64_t>& data) {
-  std::vector<int64_t> payload;
-  payload.reserve(data.size() + 1);
-  payload.push_back(seq);
-  payload.insert(payload.end(), data.begin(), data.end());
-  return payload;
-}
-
-std::vector<int64_t> strip_seq(const Message& m) {
-  return {m.payload.begin() + 1, m.payload.end()};
-}
-
-void combine(std::vector<int64_t>& acc, const std::vector<int64_t>& in, ReduceOp op) {
-  if (acc.size() != in.size())
-    throw std::invalid_argument("reduce: ranks contributed different lengths");
-  for (size_t k = 0; k < acc.size(); ++k) {
-    switch (op) {
-      case ReduceOp::kSum: acc[k] += in[k]; break;
-      case ReduceOp::kMin: acc[k] = std::min(acc[k], in[k]); break;
-      case ReduceOp::kMax: acc[k] = std::max(acc[k], in[k]); break;
-    }
-  }
-}
-
-}  // namespace
-
-void RankCtx::barrier() {
-  const auto seq = static_cast<int64_t>(collective_seq_++);
-  const int n = size();
-  if (n == 1) return;
-  if (rank_ == 0) {
-    for (int arrived = 1; arrived < n; ++arrived) (void)recv_collective(kTagBarrier, seq);
-    for (int r = 1; r < n; ++r) send(r, Message{kTagBarrier, rank_, {seq}});
-  } else {
-    send(0, Message{kTagBarrier, rank_, {seq}});
-    (void)recv_collective(kTagBarrier, seq);
-  }
-}
+void RankCtx::barrier() { collective_barrier(*this, next_seq()); }
 
 std::vector<int64_t> RankCtx::broadcast(int root, std::vector<int64_t> values) {
-  const auto seq = static_cast<int64_t>(collective_seq_++);
-  if (root < 0 || root >= size()) throw std::out_of_range("broadcast: bad root");
-  if (size() == 1) return values;
-  if (rank_ == root) {
-    const auto payload = with_seq(seq, values);
-    for (int r = 0; r < size(); ++r) {
-      if (r != rank_) send(r, Message{kTagBroadcast, rank_, payload});
-    }
-    return values;
-  }
-  return strip_seq(recv_collective(kTagBroadcast, seq));
+  return collective_broadcast(*this, next_seq(), root, std::move(values));
 }
 
 std::vector<int64_t> RankCtx::reduce(int root, const std::vector<int64_t>& values,
                                      ReduceOp op) {
-  const auto seq = static_cast<int64_t>(collective_seq_++);
-  if (root < 0 || root >= size()) throw std::out_of_range("reduce: bad root");
-  if (size() == 1) return values;
-  if (rank_ == root) {
-    std::vector<int64_t> acc = values;
-    for (int contributions = 1; contributions < size(); ++contributions) {
-      const Message m = recv_collective(kTagReduce, seq);
-      combine(acc, strip_seq(m), op);
-    }
-    return acc;
-  }
-  send(root, Message{kTagReduce, rank_, with_seq(seq, values)});
-  return {};
+  return collective_reduce(*this, next_seq(), root, values, op);
 }
 
 std::vector<int64_t> RankCtx::allreduce(const std::vector<int64_t>& values, ReduceOp op) {
-  auto combined = reduce(0, values, op);
-  return broadcast(0, std::move(combined));
+  const int64_t reduce_seq = next_seq();
+  const int64_t bcast_seq = next_seq();
+  return collective_allreduce(*this, reduce_seq, bcast_seq, values, op);
 }
 
 std::vector<std::vector<int64_t>> RankCtx::gather(int root,
                                                   const std::vector<int64_t>& values) {
-  const auto seq = static_cast<int64_t>(collective_seq_++);
-  if (root < 0 || root >= size()) throw std::out_of_range("gather: bad root");
-  if (rank_ != root) {
-    send(root, Message{kTagGather, rank_, with_seq(seq, values)});
-    return {};
-  }
-  std::vector<std::vector<int64_t>> out(static_cast<size_t>(size()));
-  out[static_cast<size_t>(rank_)] = values;
-  for (int contributions = 1; contributions < size(); ++contributions) {
-    const Message m = recv_collective(kTagGather, seq);
-    out[static_cast<size_t>(m.source)] = strip_seq(m);
-  }
-  return out;
+  return collective_gather(*this, next_seq(), root, values);
 }
 
 Comm::Comm(int num_ranks) : num_ranks_(num_ranks) {
@@ -178,22 +69,12 @@ Comm::Comm(int num_ranks) : num_ranks_(num_ranks) {
 
 void Comm::post(int dest, Message msg) {
   if (dest < 0 || dest >= num_ranks_) throw std::out_of_range("Comm::post: bad destination rank");
-  auto& box = *mailboxes_[static_cast<size_t>(dest)];
-  {
-    std::scoped_lock lock(box.mu);
-    if (msg.tag == kTagTerminate || msg.tag == kTagSolutionFound) box.has_termination = true;
-    box.queue.push_back(std::move(msg));
-  }
-  box.cv.notify_one();
+  mailboxes_[static_cast<size_t>(dest)]->post(std::move(msg));
 }
 
 void Comm::run(const std::function<void(RankCtx&)>& fn) {
   // Reset mailboxes so a Comm can be reused across runs.
-  for (auto& boxp : mailboxes_) {
-    std::scoped_lock lock(boxp->mu);
-    boxp->queue.clear();
-    boxp->has_termination = false;
-  }
+  for (auto& boxp : mailboxes_) boxp->clear();
   std::vector<std::jthread> threads;
   threads.reserve(static_cast<size_t>(num_ranks_));
   std::exception_ptr first_error;

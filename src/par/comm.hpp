@@ -5,39 +5,23 @@
 // solution"), and a terminate-everyone broadcast by the winner.
 //
 // This is the substitution for OpenMPI documented in DESIGN.md §4: ranks
-// are threads, each with a mutex-guarded mailbox. The control flow of the
-// paper's implementation is preserved exactly; only the transport differs.
+// are threads, each with a mutex-guarded mailbox (par/mailbox.hpp). The
+// control flow of the paper's implementation is preserved exactly; only the
+// transport differs. The collective algorithms live in par/collectives.hpp,
+// shared verbatim with the socket-backed distributed communicator
+// (dist::RankComm) — one implementation, two transports.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "par/collectives.hpp"
+#include "par/mailbox.hpp"
+
 namespace cas::par {
-
-struct Message {
-  int tag = 0;
-  int source = -1;
-  std::vector<int64_t> payload;
-};
-
-/// Well-known tags, mirroring the paper's protocol.
-inline constexpr int kTagSolutionFound = 1;
-inline constexpr int kTagTerminate = 2;
-
-/// Tags reserved by the collective operations (selective receive keeps them
-/// from interfering with point-to-point traffic such as kTagSolutionFound).
-inline constexpr int kTagBarrier = 100;
-inline constexpr int kTagBroadcast = 101;
-inline constexpr int kTagReduce = 102;
-inline constexpr int kTagGather = 103;
-
-/// Element-wise combiner for reduce/allreduce.
-enum class ReduceOp { kSum, kMin, kMax };
 
 class Comm;
 
@@ -68,11 +52,20 @@ class RankCtx {
   /// Convenience used by multi-walk loops.
   [[nodiscard]] bool termination_pending() const;
 
+  /// Blocking selective receive of a collective frame — the
+  /// CollectiveEndpoint surface consumed by par/collectives.hpp. Ranks are
+  /// threads of this process, so there is no deadline: a peer cannot die
+  /// without taking the whole process with it.
+  [[nodiscard]] Message recv_collective(int tag, int64_t seq) const;
+
+  /// Advance the per-rank collective sequence number (one per collective
+  /// call; allreduce burns two).
+  [[nodiscard]] int64_t next_seq() { return static_cast<int64_t>(collective_seq_++); }
+
   // --- collectives -------------------------------------------------------
   // Every rank of the communicator must call the same collectives in the
-  // same order (the MPI contract). A per-rank sequence number keeps
-  // back-to-back collectives of the same kind from cross-talking; selective
-  // receive keeps them from consuming point-to-point messages.
+  // same order (the MPI contract); the shared algorithms in
+  // par/collectives.hpp implement them over this endpoint.
 
   /// Block until every rank has entered the barrier.
   void barrier();
@@ -97,14 +90,12 @@ class RankCtx {
   friend class Comm;
   RankCtx(Comm* comm, int rank) : comm_(comm), rank_(rank) {}
 
-  /// Blocking selective receive: first message with this tag whose payload
-  /// starts with the sequence number `seq`.
-  [[nodiscard]] Message recv_collective(int tag, int64_t seq) const;
-
   Comm* comm_;
   int rank_;
   uint64_t collective_seq_ = 0;  // advances once per collective call
 };
+
+static_assert(CollectiveEndpoint<RankCtx>);
 
 /// A "communicator world" of N ranks, each running `fn` on its own thread.
 class Comm {
@@ -118,13 +109,6 @@ class Comm {
 
  private:
   friend class RankCtx;
-
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<Message> queue;
-    bool has_termination = false;
-  };
 
   void post(int dest, Message msg);
 

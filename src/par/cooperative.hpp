@@ -199,10 +199,11 @@ class CooperativeProblem {
 struct CooperativeOptions {
   double adopt_probability = 0.25;
   unsigned num_threads = 0;
-  /// Shared executor + deadline, forwarded to the underlying multi-walk
-  /// runner (see MultiWalkOptions).
+  /// Shared executor + deadline + external cancellation, forwarded to the
+  /// underlying multi-walk runner (see MultiWalkOptions).
   ThreadPool* executor = nullptr;
   double timeout_seconds = 0.0;
+  std::atomic<bool>* external_stop = nullptr;
 };
 
 /// Cooperative multi-walk driver: like run_multiwalk, but walkers share a
@@ -219,6 +220,7 @@ MultiWalkResult run_multiwalk_cooperative(int num_walkers, uint64_t master_seed,
   mw.num_threads = opts.num_threads;
   mw.executor = opts.executor;
   mw.timeout_seconds = opts.timeout_seconds;
+  mw.external_stop = opts.external_stop;
   return run_multiwalk(
       num_walkers, master_seed,
       [&](int id, uint64_t seed, core::StopToken stop) {

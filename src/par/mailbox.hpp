@@ -1,0 +1,177 @@
+// The per-rank mailbox shared by every communicator backend: the
+// in-process par::Comm (ranks are threads, senders post directly) and the
+// socket-backed dist::RankComm (a reader thread posts frames decoded off
+// the coordinator connection). Keeping ONE queue implementation is what
+// makes the two backends trajectory-compatible — selective receive, tag
+// matching, and the termination fast-flag behave identically no matter
+// which transport delivered the message.
+//
+// All blocking receives take an optional deadline so a socket-backed rank
+// can fail a collective instead of wedging when a peer dies; the
+// in-process backend passes no deadline (its peers are threads of the same
+// process and cannot silently vanish).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace cas::par {
+
+struct Message {
+  int tag = 0;
+  int source = -1;
+  std::vector<int64_t> payload;
+};
+
+/// Well-known tags, mirroring the paper's protocol.
+inline constexpr int kTagSolutionFound = 1;
+inline constexpr int kTagTerminate = 2;
+
+/// Tags reserved by the collective operations (selective receive keeps them
+/// from interfering with point-to-point traffic such as kTagSolutionFound).
+inline constexpr int kTagBarrier = 100;
+inline constexpr int kTagBroadcast = 101;
+inline constexpr int kTagReduce = 102;
+inline constexpr int kTagGather = 103;
+
+/// Mutex-guarded message queue with MPI-style selective receive. Posts are
+/// cheap (push + notify); receives scan the queue for the first match so
+/// out-of-order arrivals (a collective reply overtaking a point-to-point
+/// message, or vice versa) never consume the wrong frame.
+class Mailbox {
+ public:
+  /// Monotonic deadline for the blocking receives; nullopt = wait forever.
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+  void post(Message msg) {
+    {
+      std::scoped_lock lock(mu_);
+      if (msg.tag == kTagTerminate || msg.tag == kTagSolutionFound) has_termination_ = true;
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Non-blocking: first pending message, if any.
+  [[nodiscard]] std::optional<Message> try_take() {
+    std::scoped_lock lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    return take_at(0);
+  }
+
+  /// Blocking receive of the first pending message. Returns nullopt only
+  /// on deadline expiry.
+  [[nodiscard]] std::optional<Message> take(Deadline deadline = std::nullopt) {
+    return take_matching([](const Message&) { return true; }, deadline);
+  }
+
+  /// Blocking receive of the first message with this tag, leaving all
+  /// others queued.
+  [[nodiscard]] std::optional<Message> take_tagged(int tag, Deadline deadline = std::nullopt) {
+    return take_matching([tag](const Message& m) { return m.tag == tag; }, deadline);
+  }
+
+  /// Blocking selective receive for the collective algorithms: first
+  /// message with this tag whose payload starts with sequence number `seq`.
+  [[nodiscard]] std::optional<Message> take_collective(int tag, int64_t seq,
+                                                      Deadline deadline = std::nullopt) {
+    return take_matching(
+        [tag, seq](const Message& m) {
+          return m.tag == tag && !m.payload.empty() && m.payload.front() == seq;
+        },
+        deadline);
+  }
+
+  /// True once any sender has posted a terminate/solution message here.
+  [[nodiscard]] bool termination_pending() const {
+    std::scoped_lock lock(mu_);
+    return has_termination_;
+  }
+
+  /// Reset to empty (a Comm reused across runs).
+  void clear() {
+    std::scoped_lock lock(mu_);
+    queue_.clear();
+    has_termination_ = false;
+    closed_ = false;
+  }
+
+  /// Epoch boundary between successive distributed requests on one
+  /// long-lived communicator: drop stray SOLUTION_FOUND / TERMINATE
+  /// broadcasts left over from the finished request and re-arm the
+  /// termination flag. Collective-tagged messages are KEPT — a fast peer
+  /// released from the final barrier may already have sent its first
+  /// collective frame of the NEXT request, and that frame can be sitting
+  /// here before this rank reaches its own epoch boundary; dropping it
+  /// would wedge the next collective. (A completed request leaves no stale
+  /// collective frames behind: every collective consumed its messages.)
+  /// Unlike clear(), a closed (failed) mailbox stays closed.
+  void drain() {
+    std::scoped_lock lock(mu_);
+    std::erase_if(queue_, [](const Message& m) {
+      return m.tag == kTagSolutionFound || m.tag == kTagTerminate;
+    });
+    has_termination_ = false;
+  }
+
+  /// Fail-fast shutdown: every blocked and future receive returns nullopt
+  /// immediately (after one final scan of what already arrived). The
+  /// socket backend closes the mailbox when its connection dies so ranks
+  /// blocked inside a collective unwind instead of waiting out the full
+  /// deadline.
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool is_closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+ private:
+  template <typename Pred>
+  std::optional<Message> take_matching(Pred&& match, Deadline deadline) {
+    std::unique_lock lock(mu_);
+    while (true) {
+      for (size_t k = 0; k < queue_.size(); ++k) {
+        if (match(queue_[k])) return take_at(k);
+      }
+      if (closed_) return std::nullopt;
+      if (deadline) {
+        if (cv_.wait_until(lock, *deadline) == std::cv_status::timeout) {
+          // One final scan: the notify may have raced the timeout.
+          for (size_t k = 0; k < queue_.size(); ++k) {
+            if (match(queue_[k])) return take_at(k);
+          }
+          return std::nullopt;
+        }
+      } else {
+        cv_.wait(lock);
+      }
+    }
+  }
+
+  /// Caller holds mu_.
+  Message take_at(size_t k) {
+    Message m = std::move(queue_[k]);
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(k));
+    return m;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Message> queue_;
+  bool has_termination_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace cas::par

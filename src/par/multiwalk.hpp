@@ -66,6 +66,11 @@ struct MultiWalkOptions {
   /// first-win cancellation. Engines poll every probe_interval iterations,
   /// so the overshoot past the deadline is one probe window.
   double timeout_seconds = 0.0;
+  /// Caller-owned cancellation OR'd into every walker's stop token — the
+  /// distributed runner's remote-stop: a SOLUTION_FOUND arriving from
+  /// another process flips it and every local walker unwinds at its next
+  /// probe. Must outlive the call.
+  std::atomic<bool>* external_stop = nullptr;
 };
 
 /// WalkerFn signature: core::RunStats fn(int walker_id, uint64_t seed,
@@ -97,18 +102,22 @@ MultiWalkResult run_multiwalk(int num_walkers, uint64_t master_seed, WalkerFn&& 
     while (true) {
       const int id = next_walker.fetch_add(1, std::memory_order_relaxed);
       if (id >= num_walkers) return;
-      if (stop_flag.load(std::memory_order_relaxed)) {
+      if (stop_flag.load(std::memory_order_relaxed) ||
+          (opts.external_stop != nullptr &&
+           opts.external_stop->load(std::memory_order_relaxed))) {
         // A solution already exists; unstarted walkers record nothing.
         return;
       }
       core::RunStats st;
-      if (opts.timeout_seconds > 0.0) {
-        // Combined per-walker token: first-win flag OR shared deadline.
-        // Lives on this worker's stack for the duration of the walk
-        // (StopToken stores a pointer to it).
+      if (opts.timeout_seconds > 0.0 || opts.external_stop != nullptr) {
+        // Combined per-walker token: first-win flag OR external stop OR
+        // shared deadline. Lives on this worker's stack for the duration
+        // of the walk (StopToken stores a pointer to it).
         const std::function<bool()> combined = [&] {
           return stop_flag.load(std::memory_order_relaxed) ||
-                 timer.seconds() >= opts.timeout_seconds;
+                 (opts.external_stop != nullptr &&
+                  opts.external_stop->load(std::memory_order_relaxed)) ||
+                 (opts.timeout_seconds > 0.0 && timer.seconds() >= opts.timeout_seconds);
         };
         st = fn(id, seeds[static_cast<size_t>(id)], core::StopToken(&combined));
       } else {

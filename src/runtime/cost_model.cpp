@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "analysis/speedup_predictor.hpp"
 
@@ -15,7 +16,37 @@ util::Json CostEstimate::to_json() const {
   j["expected_walker_seconds"] = expected_walker_seconds;
   j["fit_mu"] = fit.mu;
   j["fit_lambda"] = fit.lambda;
+  if (diversification_known) {
+    util::Json d = util::Json::object();
+    d["mean_escape_chunks_per_reset"] = mean_escape_chunks_per_reset;
+    d["p95_escape_chunks_per_reset"] = p95_escape_chunks_per_reset;
+    d["expected_reset_fraction"] = expected_reset_fraction;
+    d["expected_reset_seconds"] = expected_reset_seconds;
+    j["diversification"] = std::move(d);
+  }
   return j;
+}
+
+void CostModel::record_diversification(const SolveReport& report) {
+  if (!report.error.empty() || !report.solved) return;
+  const core::RunStats& st = report.winner_stats;
+  if (st.wall_seconds <= 0) return;
+  DiversificationProfile& prof =
+      diversification_[{report.request.problem, report.request.size}];
+  prof.runs += 1;
+  prof.resets += st.resets;
+  prof.reset_seconds += st.reset_seconds;
+  prof.wall_seconds += st.wall_seconds;
+  // Chunks-per-reset is only defined when the run diversified at all; a
+  // reset-free run still sharpens the fraction (it pulls it toward zero).
+  if (st.resets > 0)
+    prof.escape_chunks.add(static_cast<double>(st.reset_escape_chunks) /
+                           static_cast<double>(st.resets));
+}
+
+uint64_t CostModel::diversification_samples(const std::string& problem, int size) const {
+  const auto it = diversification_.find({problem, size});
+  return it == diversification_.end() ? 0 : it->second.runs;
 }
 
 CostModel::CostModel() {
@@ -109,6 +140,19 @@ CostEstimate CostModel::estimate(const SolveRequest& resolved) const {
     est.expected_wall_seconds =
         std::min(est.expected_wall_seconds, per_walker_cap * k / concurrency);
     est.expected_walker_seconds = std::min(est.expected_walker_seconds, k * per_walker_cap);
+  }
+
+  // Diversification pricing: apply the instance's observed reset-time
+  // share to the (possibly budget-capped) wall estimate.
+  const auto div = diversification_.find({resolved.problem, resolved.size});
+  if (div != diversification_.end() && div->second.runs > 0) {
+    const DiversificationProfile& prof = div->second;
+    est.diversification_known = true;
+    est.mean_escape_chunks_per_reset = prof.escape_chunks.mean();
+    est.p95_escape_chunks_per_reset = prof.escape_chunks.percentile(0.95);
+    est.expected_reset_fraction =
+        prof.wall_seconds > 0 ? std::min(1.0, prof.reset_seconds / prof.wall_seconds) : 0.0;
+    est.expected_reset_seconds = est.expected_reset_fraction * est.expected_wall_seconds;
   }
   return est;
 }

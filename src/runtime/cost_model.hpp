@@ -22,12 +22,15 @@
 // its model honest from its own completed reports.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/exponential_fit.hpp"
 #include "runtime/spec.hpp"
+#include "util/histogram.hpp"
 
 namespace cas::runtime {
 
@@ -40,6 +43,18 @@ struct CostEstimate {
   double expected_walker_seconds = 0;  // k * E[T_k] — the machine-time bill
   /// Single-walker run-time model the estimate came from (seconds).
   analysis::ShiftedExponential fit;
+
+  /// Diversification pricing — present once the per-(problem, size)
+  /// escape-chunk histogram has at least one recorded run. Escape chunks
+  /// measure how much batched-reset work each diversification event burned
+  /// before escaping; the fraction is the observed share of wall time
+  /// spent diversifying on THIS instance, so reset-heavy sizes carry a
+  /// visibly larger reset bill at the same total estimate.
+  bool diversification_known = false;
+  double mean_escape_chunks_per_reset = 0;
+  double p95_escape_chunks_per_reset = 0;
+  double expected_reset_fraction = 0;  // share of wall time inside resets
+  double expected_reset_seconds = 0;   // fraction * expected_wall_seconds
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -59,6 +74,16 @@ class CostModel {
   /// value. Requires >= 2 samples (analysis::fit_shifted_exponential).
   void calibrate(const std::string& problem, int size, const std::vector<double>& run_seconds);
 
+  /// Aggregate one clean solved run's diversification counters into the
+  /// per-(problem, size) profile: the winner's escape chunks per reset feed
+  /// a log histogram, and reset/wall seconds accumulate into the observed
+  /// diversification fraction. No-op for errored or unsolved reports
+  /// (winner_stats is meaningless there).
+  void record_diversification(const SolveReport& report);
+
+  /// Runs recorded into the (problem, size) diversification profile.
+  [[nodiscard]] uint64_t diversification_samples(const std::string& problem, int size) const;
+
   /// Engine iteration rate used to convert max_iterations caps to seconds.
   void set_iterations_per_second(double rate) { iterations_per_second_ = rate; }
   [[nodiscard]] double iterations_per_second() const { return iterations_per_second_; }
@@ -67,9 +92,23 @@ class CostModel {
   /// size -> single-walker run-time fit (seconds).
   using Curve = std::map<int, analysis::ShiftedExponential>;
 
+  /// Per-instance diversification profile. The histogram holds escape
+  /// chunks per reset (one sample per recorded run); the accumulators hold
+  /// the observed reset-time share. Strictly per (problem, size) — reset
+  /// behaviour does not extrapolate across sizes the way run time does, so
+  /// an unseen size simply reports diversification_known = false.
+  struct DiversificationProfile {
+    util::LogHistogram escape_chunks{1.0, 1e9, 6};
+    double reset_seconds = 0;
+    double wall_seconds = 0;
+    uint64_t resets = 0;
+    uint64_t runs = 0;
+  };
+
   [[nodiscard]] analysis::ShiftedExponential fit_for(const Curve& curve, int size) const;
 
   std::map<std::string, Curve> curves_;
+  std::map<std::pair<std::string, int>, DiversificationProfile> diversification_;
   double iterations_per_second_ = 1.2e5;
 };
 

@@ -79,6 +79,7 @@ ProblemEntry entry_for(std::string description, int default_size,
       opts.num_threads = exec.num_threads;
       opts.executor = exec.executor;
       opts.timeout_seconds = exec.timeout_seconds;
+      opts.external_stop = exec.external_stop;
       return par::run_multiwalk_cooperative<P>(
           req.walkers, req.seed, [b, req](int /*walker_id*/) { return b.make(req); },
           [base_cfg](int /*walker_id*/, uint64_t seed) {

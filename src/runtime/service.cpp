@@ -30,6 +30,7 @@ util::Json ServiceStats::to_json() const {
   j["cache_expired"] = cache_expired;
   j["estimated_walker_seconds"] = estimated_walker_seconds;
   j["cost_model_calibrations"] = cost_model_calibrations;
+  j["diversification_samples"] = diversification_samples;
   j["total_iterations"] = total_iterations;
   j["total_wall_seconds"] = total_wall_seconds;
   // Per-outcome service latency percentiles (milliseconds). An outcome
@@ -72,7 +73,9 @@ void SolverService::run_leader(const SolveRequest& req, const std::string& key,
                                double t0, Callback done) {
   StrategyContext ctx;
   ctx.executor = &pool_;
-  SolveReport report = solve(req, ctx);  // never throws
+  // Never throws: both solve() and any injected solve_fn report failures
+  // through report.error.
+  SolveReport report = opts_.solve_fn ? opts_.solve_fn(req, ctx) : solve(req, ctx);
   report.served_by = "executed";
   std::vector<Follower> followers;
   {
@@ -136,6 +139,13 @@ void SolverService::auto_calibrate_locked(const SolveReport& report) {
   // and non-first-win strategies (cooperative adoption, portfolio
   // heterogeneity, single-walk neighborhood) change the law itself.
   if (!report.error.empty() || !report.solved) return;
+  // Diversification is observational, not a run-time law — every clean
+  // solved run feeds the per-instance escape-chunk histogram regardless of
+  // strategy.
+  if (report.winner_stats.wall_seconds > 0) {
+    cost_model_.record_diversification(report);
+    ++stats_.diversification_samples;
+  }
   const SolveRequest& req = report.request;
   if (req.strategy != "sequential" && req.strategy != "multiwalk" && req.strategy != "mpi")
     return;

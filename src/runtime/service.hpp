@@ -87,6 +87,9 @@ struct ServiceStats {
   /// Times the cost model was refit from the service's own completed
   /// reports (auto-calibration).
   uint64_t cost_model_calibrations = 0;
+  /// Clean solved runs whose reset counters fed the cost model's
+  /// per-instance diversification histogram.
+  uint64_t diversification_samples = 0;
 
   // Real work only: dedup/cache servings do not double-count.
   uint64_t total_iterations = 0;
@@ -130,6 +133,12 @@ class SolverService {
     /// Monotonic clock (seconds) for cache TTL; null = steady_clock.
     /// Injection point for the TTL tests.
     std::function<double()> clock;
+    /// Replacement executor for leader runs; null = runtime::solve on the
+    /// shared pool. The distributed front-end injects dist::solve_distributed
+    /// here, so the serving layer (dedup, cache, admission, stats) wraps the
+    /// multi-process runner without the runtime depending on dist. Must
+    /// honour the solve() contract: never throw, failures in report.error.
+    std::function<SolveReport(const SolveRequest&, const StrategyContext&)> solve_fn;
   };
 
   using Stats = ServiceStats;

@@ -1,0 +1,263 @@
+// The socket-backed communicator under the shared collective algorithms:
+// correctness of barrier/broadcast/reduce/allreduce/gather over TCP, exact
+// int64 payload round-trips (the decimal-string codec), the typed wrappers,
+// the epoch protocol, and — the tentpole contract — SEEDED PARITY between
+// the in-process RankCtx and the socket RankComm: the same scripted
+// sequence of collectives and cooperation rounds must produce byte-equal
+// transcripts on both backends. Failure paths are pinned too: a rank that
+// dies mid-world turns into a CommError on every survivor (coordinator
+// abort), and a rank that never shows up inside a collective trips the
+// collective deadline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/rank_comm.hpp"
+#include "dist/runner.hpp"
+#include "dist/wire.hpp"
+#include "net/frame.hpp"
+#include "net/frame_io.hpp"
+#include "net/socket.hpp"
+#include "par/collectives.hpp"
+#include "par/comm.hpp"
+
+namespace cas::dist {
+namespace {
+
+/// Host a loopback coordinator and run `body` on `ranks` RankComm
+/// endpoints, one thread each — the whole world inside one test process.
+/// The first exception any rank threw is rethrown to the test body.
+void run_socket_world(int ranks, const std::function<void(RankComm&)>& body,
+                      double collective_timeout_seconds = 30.0) {
+  CoordinatorOptions co;
+  co.ranks = ranks;
+  Coordinator coord(co);
+  std::mutex mu;
+  std::exception_ptr first;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          RankCommOptions o;
+          o.port = coord.port();
+          o.rank = r;
+          o.ranks = ranks;
+          o.collective_timeout_seconds = collective_timeout_seconds;
+          RankComm comm(o);
+          body(comm);
+          comm.finalize();
+        } catch (...) {
+          std::scoped_lock lock(mu);
+          if (first == nullptr) first = std::current_exception();
+        }
+      });
+    }
+  }  // join
+  coord.stop();
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+TEST(SocketCollectives, BarrierSynchronizesRanksAcrossSockets) {
+  const int n = 4;
+  std::atomic<int> arrived{0};
+  run_socket_world(n, [&](RankComm& comm) {
+    arrived.fetch_add(1);
+    par::collective_barrier(comm, comm.next_seq());
+    EXPECT_EQ(arrived.load(), n);
+  });
+}
+
+TEST(SocketCollectives, ReduceAllreduceGatherAgreeWithClosedForms) {
+  const int n = 5;
+  run_socket_world(n, [&](RankComm& comm) {
+    const int64_t mine = comm.rank() + 1;
+    const auto sums =
+        par::collective_allreduce(comm, comm.next_seq(), comm.next_seq(), {mine}, par::ReduceOp::kSum);
+    EXPECT_EQ(sums, (std::vector<int64_t>{n * (n + 1) / 2}));
+    const auto maxs = par::collective_reduce(comm, comm.next_seq(), 0, {mine}, par::ReduceOp::kMax);
+    if (comm.rank() == 0) EXPECT_EQ(maxs, (std::vector<int64_t>{n}));
+    const auto rows = par::collective_gather(comm, comm.next_seq(), 0, {mine, -mine});
+    if (comm.rank() == 0) {
+      ASSERT_EQ(rows.size(), static_cast<size_t>(n));
+      for (int r = 0; r < n; ++r)
+        EXPECT_EQ(rows[static_cast<size_t>(r)], (std::vector<int64_t>{r + 1, -(r + 1)}));
+    } else {
+      EXPECT_TRUE(rows.empty());
+    }
+  });
+}
+
+TEST(SocketCollectives, Int64ExtremesRoundTripExactly) {
+  // The whole reason payload elements travel as decimal strings: util::Json
+  // numbers are doubles, and these values are not representable in one.
+  const std::vector<int64_t> extremes{
+      std::numeric_limits<int64_t>::max(), std::numeric_limits<int64_t>::min(),
+      (int64_t{1} << 53) + 1, -((int64_t{1} << 53) + 3), 0, -1};
+  run_socket_world(2, [&](RankComm& comm) {
+    const auto got = par::collective_broadcast(comm, comm.next_seq(), 0, extremes);
+    EXPECT_EQ(got, extremes);
+  });
+}
+
+TEST(SocketCollectives, MinlocTiesBreakToLowestRank) {
+  run_socket_world(3, [&](RankComm& comm) {
+    // Ranks 1 and 2 tie on the minimum; rank 1 must win on every backend.
+    const int64_t mine = comm.rank() == 0 ? 9 : 4;
+    const auto m = par::allreduce_minloc(comm, mine);
+    EXPECT_EQ(m.value, 4);
+    EXPECT_EQ(m.rank, 1);
+  });
+}
+
+TEST(SocketCollectives, SolutionFoundBroadcastAndEpochDrain) {
+  run_socket_world(3, [&](RankComm& comm) {
+    if (comm.rank() == 0)
+      comm.broadcast_others(par::Message{par::kTagSolutionFound, 0, {}});
+    // Frames are FIFO per connection through the coordinator, so rank 0's
+    // broadcast precedes its barrier release on every peer.
+    par::collective_barrier(comm, comm.next_seq());
+    if (comm.rank() != 0) {
+      EXPECT_TRUE(comm.termination_pending());
+      EXPECT_TRUE(comm.remote_stop().load());
+    }
+    par::collective_barrier(comm, comm.next_seq());
+    comm.begin_epoch();
+    EXPECT_FALSE(comm.termination_pending());
+    EXPECT_FALSE(comm.remote_stop().load());
+  });
+}
+
+// --- the parity contract ---------------------------------------------------
+// One scripted mixture of raw collectives, typed wrappers, and cooperation
+// rounds, seeded per rank. Running it over threads (RankCtx) and over
+// sockets (RankComm) must produce identical transcripts on every rank —
+// the backends share the algorithms, so any divergence is a transport bug
+// (lost frame, reordering, precision loss).
+
+template <par::CollectiveEndpoint EP>
+std::vector<int64_t> collective_script(EP& ep, uint64_t seed) {
+  std::mt19937_64 rng(seed + static_cast<uint64_t>(ep.rank()) * 7919);
+  std::vector<int64_t> transcript;
+  const auto note = [&](const std::vector<int64_t>& v) {
+    transcript.insert(transcript.end(), v.begin(), v.end());
+  };
+  const int rounds = 6;
+  for (int round = 0; round < rounds; ++round) {
+    const int64_t mine = static_cast<int64_t>(rng() % 100000);
+    note(par::collective_allreduce(ep, ep.next_seq(), ep.next_seq(), {mine, -mine},
+                                   par::ReduceOp::kSum));
+    note(par::collective_broadcast(ep, ep.next_seq(), round % ep.size(),
+                                   {mine, static_cast<int64_t>(round)}));
+    const par::MinLoc m = par::allreduce_minloc(ep, mine);
+    note({m.value, m.rank});
+    RankOffer offer;
+    offer.done = round == rounds - 1;
+    offer.solved = mine % 97 == 0;
+    offer.best_cost = mine;
+    offer.config = {mine % 17, mine % 13, mine % 11};
+    note(cooperation_round(ep, offer).to_payload());
+    par::collective_barrier(ep, ep.next_seq());
+  }
+  return transcript;
+}
+
+TEST(BackendParity, ScriptedTranscriptsMatchAcrossTransports) {
+  const int n = 4;
+  const uint64_t seed = 2012;
+  std::vector<std::vector<int64_t>> in_process(static_cast<size_t>(n));
+  par::Comm comm(n);
+  comm.run([&](par::RankCtx& ctx) {
+    in_process[static_cast<size_t>(ctx.rank())] = collective_script(ctx, seed);
+  });
+
+  std::vector<std::vector<int64_t>> socket(static_cast<size_t>(n));
+  run_socket_world(n, [&](RankComm& rc) {
+    socket[static_cast<size_t>(rc.rank())] = collective_script(rc, seed);
+  });
+
+  for (int r = 0; r < n; ++r) {
+    ASSERT_FALSE(in_process[static_cast<size_t>(r)].empty());
+    EXPECT_EQ(in_process[static_cast<size_t>(r)], socket[static_cast<size_t>(r)])
+        << "transcripts diverged on rank " << r;
+  }
+}
+
+// --- failure paths ---------------------------------------------------------
+
+TEST(SocketFailure, DeadRankAbortsEveryBlockedCollective) {
+  // Ranks 0 and 1 are real; rank 2 is a bare socket that completes the
+  // rendezvous and then drops dead (EOF without bye). The coordinator must
+  // broadcast abort, turning the survivors' blocked barrier into CommError
+  // well before any timeout.
+  CoordinatorOptions co;
+  co.ranks = 3;
+  Coordinator coord(co);
+
+  std::atomic<int> comm_errors{0};
+  std::vector<std::jthread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        RankCommOptions o;
+        o.port = coord.port();
+        o.rank = r;
+        o.ranks = 3;
+        o.collective_timeout_seconds = 60.0;  // the abort must beat this
+        RankComm comm(o);
+        par::collective_barrier(comm, comm.next_seq());  // rank 2 never joins in
+        ADD_FAILURE() << "rank " << r << " passed a barrier missing a rank";
+      } catch (const CommError&) {
+        comm_errors.fetch_add(1);
+      }
+    });
+  }
+
+  std::string err;
+  net::Fd fake = net::connect_tcp("127.0.0.1", coord.port(), err);
+  ASSERT_TRUE(fake.valid()) << err;
+  ASSERT_TRUE(net::write_all(fake.get(), net::encode_frame(make_hello(2, 3).dump(0)), err))
+      << err;
+  // Give the rendezvous time to complete so the survivors are inside the
+  // barrier, then die without a bye.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  fake.reset();
+
+  threads.clear();  // join
+  coord.stop();
+  EXPECT_EQ(comm_errors.load(), 2);
+}
+
+TEST(SocketFailure, CollectiveDeadlineFiresWhenAPeerNeverEnters) {
+  // Both ranks are alive (heartbeats flowing), but rank 1 skips the
+  // collective entirely: rank 0's barrier must trip the collective
+  // deadline rather than hang.
+  std::atomic<bool> rank0_failed{false};
+  try {
+    run_socket_world(
+        2,
+        [&](RankComm& comm) {
+          if (comm.rank() == 0) {
+            par::collective_barrier(comm, comm.next_seq());
+            ADD_FAILURE() << "barrier completed without rank 1";
+          }
+        },
+        /*collective_timeout_seconds=*/1.0);
+  } catch (const CommError&) {
+    rank0_failed = true;
+  }
+  EXPECT_TRUE(rank0_failed.load());
+}
+
+}  // namespace
+}  // namespace cas::dist

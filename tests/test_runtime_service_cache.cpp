@@ -341,6 +341,92 @@ TEST(CostModel, CalibrateOverridesFromMeasuredSamples) {
   EXPECT_LT(est.expected_walker_seconds, 10.0);
 }
 
+// ---------- diversification pricing (reset escape-chunk histogram) -------
+
+SolveReport diversified_report(const std::string& problem, int size, uint64_t resets,
+                               uint64_t escape_chunks, double reset_seconds,
+                               double wall_seconds) {
+  SolveReport r;
+  r.solved = true;
+  r.request.problem = problem;
+  r.request.size = size;
+  r.winner_stats.solved = true;
+  r.winner_stats.resets = resets;
+  r.winner_stats.reset_escape_chunks = escape_chunks;
+  r.winner_stats.reset_seconds = reset_seconds;
+  r.winner_stats.wall_seconds = wall_seconds;
+  return r;
+}
+
+TEST(CostModel, DiversificationPricesResetShareFromRecordedRuns) {
+  CostModel model;
+  // Two solved runs at (costas, 17): 40 and 60 escape chunks per reset,
+  // each spending a quarter of its wall inside diversification.
+  model.record_diversification(diversified_report("costas", 17, 10, 400, 0.25, 1.0));
+  model.record_diversification(diversified_report("costas", 17, 10, 600, 0.25, 1.0));
+  EXPECT_EQ(model.diversification_samples("costas", 17), 2u);
+
+  SolveRequest req = costas_request("", 17, 1);
+  const auto est = model.estimate(resolve(req));
+  ASSERT_TRUE(est.known);
+  ASSERT_TRUE(est.diversification_known);
+  EXPECT_DOUBLE_EQ(est.mean_escape_chunks_per_reset, 50.0);
+  EXPECT_GE(est.p95_escape_chunks_per_reset, est.mean_escape_chunks_per_reset);
+  EXPECT_LE(est.p95_escape_chunks_per_reset, 60.0);  // histogram clamps to max
+  EXPECT_DOUBLE_EQ(est.expected_reset_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(est.expected_reset_seconds, 0.25 * est.expected_wall_seconds);
+
+  // The pricing rides the estimate JSON under a dedicated block.
+  const util::Json j = est.to_json();
+  ASSERT_TRUE(j.contains("diversification"));
+  EXPECT_DOUBLE_EQ(j.at("diversification").at("expected_reset_fraction").as_number(), 0.25);
+
+  // Strictly per instance: a size nobody recorded carries no block.
+  req.size = 12;
+  const auto elsewhere = model.estimate(resolve(req));
+  ASSERT_TRUE(elsewhere.known);
+  EXPECT_FALSE(elsewhere.diversification_known);
+  EXPECT_FALSE(elsewhere.to_json().contains("diversification"));
+}
+
+TEST(CostModel, DiversificationIgnoresDirtyRunsAndCountsResetFreeOnes) {
+  CostModel model;
+  // Errored and unsolved reports never contribute — winner_stats is
+  // meaningless there.
+  SolveReport bad = diversified_report("costas", 16, 5, 100, 0.1, 1.0);
+  bad.error = "boom";
+  model.record_diversification(bad);
+  SolveReport unsolved = diversified_report("costas", 16, 5, 100, 0.1, 1.0);
+  unsolved.solved = false;
+  model.record_diversification(unsolved);
+  EXPECT_EQ(model.diversification_samples("costas", 16), 0u);
+
+  // A reset-free run adds no chunks-per-reset sample but pulls the
+  // observed reset fraction toward zero.
+  model.record_diversification(diversified_report("costas", 16, 4, 200, 0.5, 1.0));
+  model.record_diversification(diversified_report("costas", 16, 0, 0, 0.0, 1.0));
+  SolveRequest req = costas_request("", 16, 1);
+  const auto est = model.estimate(resolve(req));
+  ASSERT_TRUE(est.diversification_known);
+  EXPECT_DOUBLE_EQ(est.mean_escape_chunks_per_reset, 50.0);
+  EXPECT_DOUBLE_EQ(est.expected_reset_fraction, 0.25);
+}
+
+TEST(ServiceAutoCalibration, FeedsDiversificationHistogramFromOwnRuns) {
+  SolverService::Options opts;
+  opts.pool_threads = 2;
+  opts.cache_capacity = 0;  // every request must really execute
+  SolverService service(opts);
+  for (int s = 1; s <= 3; ++s)
+    service.submit(costas_request("d" + std::to_string(s), 12, static_cast<uint64_t>(s)))
+        .get();
+  EXPECT_GE(service.stats().diversification_samples, 1u);
+  const CostModel model = service.cost_model();
+  EXPECT_GE(model.diversification_samples("costas", 12), 1u);
+  SolveRequest probe = costas_request("probe", 12, 7);
+  EXPECT_TRUE(model.estimate(resolve(probe)).diversification_known);
+}
+
 // ---------- streaming submission + per-outcome latency histograms --------
 
 TEST(ServiceCallbacks, SubmitWithCallbackCoversExecutedCacheAndDedup) {

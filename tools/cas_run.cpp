@@ -23,12 +23,18 @@
 //
 // Catalog listing (what names the registries accept):
 //   $ cas_run --list
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dist/runner.hpp"
+#include "dist/world.hpp"
 #include "runtime/runtime.hpp"
 #include "util/flags.hpp"
 #include "util/provenance.hpp"
@@ -77,6 +83,21 @@ void print_catalogs() {
     std::printf("  %-14s %s\n", name.c_str(), info.description.c_str());
 }
 
+/// Distributed-mode settings, from the scenario's "dist" block and/or the
+/// --ranks/--rank/--coordinator flags (flags win). ranks > 1 turns the run
+/// into one rank of a multi-process world: rank 0 hosts the rendezvous and
+/// (absent an explicit --coordinator) forks the sibling ranks over loopback.
+struct DistConfig {
+  int ranks = 1;
+  int rank = 0;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral (launcher mode)
+  bool explicit_coordinator = false;
+  double connect_timeout = 15.0;
+  double heartbeat_timeout = 10.0;
+  double collective_timeout = 120.0;
+};
+
 struct Scenario {
   // Caching defaults OFF in the CLI (a one-shot driver), unlike the
   // library's serving default; the scenario file's "cache" key or the
@@ -90,6 +111,7 @@ struct Scenario {
   /// wave. Cache state persists across waves, so a wave re-issuing an
   /// earlier wave's requests demonstrates (and tests) cache hits.
   std::vector<std::vector<runtime::SolveRequest>> waves;
+  DistConfig dist;
 };
 
 std::vector<runtime::SolveRequest> parse_requests(const util::Json& arr) {
@@ -121,6 +143,17 @@ Scenario load_scenario(const std::string& path) {
   if (const auto* p = doc.find("auto_calibrate")) sc.service.auto_calibrate = p->as_bool();
   if (const auto* p = doc.find("auto_calibrate_min_samples"))
     sc.service.auto_calibrate_min_samples = static_cast<int>(p->as_int());
+  if (const auto* dist = doc.find("dist")) {
+    if (!dist->is_object()) throw std::runtime_error("scenario: 'dist' must be an object");
+    if (const auto* p = dist->find("ranks")) sc.dist.ranks = static_cast<int>(p->as_int());
+    if (const auto* p = dist->find("host")) sc.dist.host = p->as_string();
+    if (const auto* p = dist->find("port")) sc.dist.port = static_cast<uint16_t>(p->as_int());
+    if (const auto* p = dist->find("connect_timeout")) sc.dist.connect_timeout = p->as_number();
+    if (const auto* p = dist->find("heartbeat_timeout"))
+      sc.dist.heartbeat_timeout = p->as_number();
+    if (const auto* p = dist->find("collective_timeout"))
+      sc.dist.collective_timeout = p->as_number();
+  }
   if (const auto* waves = doc.find("waves")) {
     if (!waves->is_array()) throw std::runtime_error("scenario: 'waves' must be an array of request arrays");
     for (const auto& wave : waves->as_array()) sc.waves.push_back(parse_requests(wave));
@@ -146,6 +179,63 @@ int write_report(const util::Json& doc, const std::string& out_path, int indent)
   }
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
+}
+
+void parse_coordinator(const std::string& spec, DistConfig& dist) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size())
+    throw std::runtime_error("--coordinator expects host:port, got '" + spec + "'");
+  dist.host = spec.substr(0, colon);
+  dist.port = static_cast<uint16_t>(std::stoi(spec.substr(colon + 1)));
+  dist.explicit_coordinator = true;
+}
+
+/// True for argv entries that carry a per-process identity — these are
+/// stripped before re-exec'ing a sibling rank and re-issued with the
+/// child's own values. Handles both --flag=value and --flag value forms.
+bool is_identity_flag(const std::string& arg, bool& eats_next) {
+  static const char* kNames[] = {"--rank", "--ranks", "--coordinator"};
+  for (const char* name : kNames) {
+    if (arg == name) {
+      eats_next = true;
+      return true;
+    }
+    if (arg.rfind(std::string(name) + "=", 0) == 0) {
+      eats_next = false;
+      return true;
+    }
+  }
+  eats_next = false;
+  return false;
+}
+
+/// Fork+exec one sibling rank of this very binary, with this process's own
+/// arguments plus the child's rank identity — the single-command loopback
+/// launcher. Returns the child pid (-1: fork failed).
+pid_t spawn_rank(int argc, char** argv, int rank, int ranks, uint16_t port) {
+  std::vector<std::string> args;
+  args.emplace_back("/proc/self/exe");
+  for (int i = 1; i < argc; ++i) {
+    bool eats_next = false;
+    if (is_identity_flag(argv[i], eats_next)) {
+      if (eats_next) ++i;
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  args.push_back("--ranks=" + std::to_string(ranks));
+  args.push_back("--rank=" + std::to_string(rank));
+  args.push_back("--coordinator=127.0.0.1:" + std::to_string(port));
+
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::vector<char*> cargv;
+  cargv.reserve(args.size() + 1);
+  for (auto& a : args) cargv.push_back(a.data());
+  cargv.push_back(nullptr);
+  execv(cargv[0], cargv.data());
+  std::fprintf(stderr, "rank %d: exec failed\n", rank);
+  _exit(127);
 }
 
 }  // namespace
@@ -178,6 +268,13 @@ int main(int argc, char** argv) {
                    "(0 = admit everything)");
   flags.add_bool("auto-calibrate", true,
                  "refit the admission cost model from this run's own completed reports");
+  flags.add_int("ranks", 0,
+                "distributed mode: total ranks of the multi-process world (0/1 = off); "
+                "without --coordinator, rank 0 forks the sibling ranks over loopback");
+  flags.add_int("rank", 0, "this process's rank in the distributed world");
+  flags.add_string("coordinator", "",
+                   "host:port of the rank-0 rendezvous (join an existing world instead "
+                   "of launching one)");
   flags.add_string("out", "-", "report path ('-' = stdout)");
   flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
   flags.add_bool("stats", false,
@@ -196,6 +293,8 @@ int main(int argc, char** argv) {
   doc["provenance"] = util::build_provenance();
 
   std::vector<runtime::SolveReport> reports;
+  int my_rank = 0;
+  std::vector<pid_t> children;
   try {
     Scenario sc;
     if (!flags.get_string("scenario").empty())
@@ -212,19 +311,90 @@ int main(int argc, char** argv) {
     if (flags.get_double("admit-budget") > 0)
       sc.service.admission_budget_walker_seconds = flags.get_double("admit-budget");
     if (!flags.get_bool("auto-calibrate")) sc.service.auto_calibrate = false;
+    if (flags.get_int("ranks") > 0) sc.dist.ranks = static_cast<int>(flags.get_int("ranks"));
+    sc.dist.rank = static_cast<int>(flags.get_int("rank"));
+    if (!flags.get_string("coordinator").empty())
+      parse_coordinator(flags.get_string("coordinator"), sc.dist);
+    my_rank = sc.dist.rank;
+
+    std::optional<dist::World> world;
+    if (sc.dist.ranks > 1) {
+      dist::WorldOptions wo;
+      wo.rank = sc.dist.rank;
+      wo.ranks = sc.dist.ranks;
+      wo.host = sc.dist.host;
+      wo.port = sc.dist.port;
+      wo.connect_timeout_seconds = sc.dist.connect_timeout;
+      wo.heartbeat_timeout_seconds = sc.dist.heartbeat_timeout;
+      wo.collective_timeout_seconds = sc.dist.collective_timeout;
+      // Single-command loopback launch: rank 0 without an explicit
+      // coordinator forks the sibling ranks once its port is known.
+      const bool launch = sc.dist.rank == 0 && !sc.dist.explicit_coordinator;
+      world.emplace(wo, [&](uint16_t port) {
+        if (!launch) return;
+        for (int r = 1; r < sc.dist.ranks; ++r) {
+          const pid_t pid = spawn_rank(argc, argv, r, sc.dist.ranks, port);
+          if (pid > 0) children.push_back(pid);
+        }
+      });
+      // The serving layer wraps the distributed runner unchanged — dedup,
+      // cache, admission, and stats all apply. Requests go through one at a
+      // time: every rank must execute the same collective sequence, and
+      // sequential submission keeps serving decisions rank-consistent.
+      sc.service.solve_fn = [&world](const runtime::SolveRequest& req,
+                                     const runtime::StrategyContext& ctx) {
+        return dist::solve_distributed(*world, req, ctx);
+      };
+    }
 
     runtime::SolverService service(sc.service);
     for (const auto& wave : sc.waves) {
-      auto batch = service.solve_batch(wave);
-      reports.insert(reports.end(), std::make_move_iterator(batch.begin()),
-                     std::make_move_iterator(batch.end()));
+      if (world.has_value()) {
+        for (const auto& req : wave) reports.push_back(service.submit(req).get());
+      } else {
+        auto batch = service.solve_batch(wave);
+        reports.insert(reports.end(), std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+      }
     }
     doc["pool_threads"] = static_cast<uint64_t>(service.pool().size());
     doc["waves"] = static_cast<uint64_t>(sc.waves.size());
     doc["service"] = service.stats().to_json();
+    if (world.has_value()) {
+      util::Json dj = util::Json::object();
+      dj["ranks"] = static_cast<int64_t>(sc.dist.ranks);
+      dj["rank"] = static_cast<int64_t>(sc.dist.rank);
+      dj["coordinator_port"] = static_cast<int64_t>(world->port());
+      doc["dist"] = std::move(dj);
+      world->finalize();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    for (const pid_t pid : children) waitpid(pid, nullptr, 0);
     return 2;
+  }
+
+  // The launcher reaps its forked ranks; a sibling that failed fails the
+  // whole run even if rank 0's own path was clean.
+  bool child_failed = false;
+  for (const pid_t pid : children) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      child_failed = true;
+      std::fprintf(stderr, "error: a launched rank exited abnormally (status %d)\n", status);
+    }
+  }
+
+  // Ranks > 0 are participants, not reporters: rank 0's report is the
+  // merged, authoritative one.
+  if (my_rank > 0) {
+    for (const auto& rep : reports)
+      if (!rep.error.empty()) {
+        std::fprintf(stderr, "rank %d error: %s\n", my_rank, rep.error.c_str());
+        return 1;
+      }
+    return 0;
   }
 
   if (flags.get_bool("stats"))
@@ -242,7 +412,7 @@ int main(int argc, char** argv) {
 
   const int rc = write_report(doc, flags.get_string("out"), flags.get_bool("compact") ? 0 : 2);
   if (rc != 0) return rc;
-  if (any_error) return 1;
+  if (any_error || child_failed) return 1;
   if (flags.get_bool("require-solved") && !all_solved) return 1;
   return 0;
 }

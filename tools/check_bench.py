@@ -30,6 +30,22 @@ invariants, which are load-shape rather than machine-speed facts:
     only catches a collapse, e.g. the event loop degrading to busy-wait)
 References predating the serving layer simply lack the block; the
 comparative check is skipped and the file stays a valid reference.
+
+Distributed benchmark (BENCH_dist.json, emitted by bench_dist): when the
+CURRENT file carries a "dist" block the guard checks the scaling ladder's
+machine-independent invariants:
+  - every rung solved something, and its solve rate within the budget
+    stays above --min-dist-solve-rate
+  - multi-rank rungs actually communicated (frames_sent and
+    collective_rounds both nonzero — a silent fallback to one process
+    would otherwise read as a perfect bench)
+  - the ladder covers more than one rank count
+  - splitting a FIXED walker budget across ranks must not multiply wall
+    time beyond --dist-overhead x the single-rank rung (generous: solve
+    times are exponentially distributed and the rungs are small samples;
+    this catches a pathological communicator, not noise)
+References predating the distributed backend lack the block and stay
+valid, exactly like pre-serving references.
 """
 
 import argparse
@@ -101,6 +117,50 @@ def check_serve(ref_doc, cur_doc, args):
     return True, failures
 
 
+def check_dist(cur_doc, args):
+    """Guard the bench_dist scaling ladder. Returns (ran, failures)."""
+    cur = cur_doc.get("dist")
+    if cur is None:
+        return False, []
+    failures = []
+    ladder = cur.get("ladder", [])
+    rank_counts = {r.get("ranks") for r in ladder}
+    if len(rank_counts) < 2 or max(rank_counts, default=0) < 2:
+        failures.append(f"dist ladder covers ranks {sorted(rank_counts)}: "
+                        "need at least two rungs including a multi-rank one")
+    single_wall = None
+    for rung in ladder:
+        ranks = rung.get("ranks", 0)
+        rate = float(rung.get("solve_rate", 0.0))
+        wall = float(rung.get("mean_wall_seconds", 0.0))
+        print(f"  dist: ranks={ranks} solved {rung.get('solved', 0)}/"
+              f"{rung.get('reps', 0)} mean wall {wall:.3f}s "
+              f"frames {rung.get('frames_sent', 0)} "
+              f"collective rounds {rung.get('collective_rounds', 0)}")
+        if rung.get("solved", 0) < 1:
+            failures.append(f"dist ranks={ranks}: nothing solved")
+        if rate < args.min_dist_solve_rate:
+            failures.append(f"dist ranks={ranks}: solve rate {rate:.0%} < floor "
+                            f"{args.min_dist_solve_rate:.0%}")
+        if ranks > 1 and (rung.get("frames_sent", 0) <= 0
+                          or rung.get("collective_rounds", 0) <= 0):
+            failures.append(f"dist ranks={ranks}: no communication recorded "
+                            "(frames/collective rounds zero)")
+        if ranks == 1:
+            single_wall = wall
+    if single_wall and single_wall > 0:
+        for rung in ladder:
+            if rung.get("ranks", 0) <= 1:
+                continue
+            wall = float(rung.get("mean_wall_seconds", 0.0))
+            if wall > args.dist_overhead * single_wall:
+                failures.append(
+                    f"dist ranks={rung['ranks']}: mean wall {wall:.3f}s is "
+                    f"{wall / single_wall:.1f}x the single-rank rung "
+                    f"(bound {args.dist_overhead:.0f}x)")
+    return True, failures
+
+
 def ratios(table):
     # Keyed on "fast/size|slow": one fast stem can anchor several pairs
     # (BM_DeltaRow is scored against both its per-j and scalar baselines).
@@ -127,6 +187,13 @@ def main():
     ap.add_argument("--serve-slack", type=float, default=0.60,
                     help="allowed sustained_rps drop vs the reference serve "
                          "block (generous: machines differ)")
+    ap.add_argument("--min-dist-solve-rate", type=float, default=0.5,
+                    help="per-rung floor on the fraction of bench_dist "
+                         "requests solved within their budget")
+    ap.add_argument("--dist-overhead", type=float, default=10.0,
+                    help="multi-rank mean wall time may be at most this "
+                         "multiple of the single-rank rung (catches a "
+                         "pathological communicator, not noise)")
     args = ap.parse_args()
 
     ref_doc = json.load(open(args.reference))
@@ -136,12 +203,14 @@ def main():
     common = sorted(set(ref_ratios) & set(cur_ratios))
 
     serve_ran, serve_failures = check_serve(ref_doc, cur_doc, args)
-    if not common and not serve_ran:
-        print("check_bench: FAIL: no guarded speedup pair present in both files "
-              "and no serve block (the guard would be vacuous)", file=sys.stderr)
+    dist_ran, dist_failures = check_dist(cur_doc, args)
+    if not common and not serve_ran and not dist_ran:
+        print("check_bench: FAIL: no guarded speedup pair present in both files, "
+              "no serve block, and no dist block (the guard would be vacuous)",
+              file=sys.stderr)
         sys.exit(1)
 
-    failures = list(serve_failures)
+    failures = list(serve_failures) + list(dist_failures)
     for name in common:
         r, c = ref_ratios[name], cur_ratios[name]
         change = c / r - 1.0
@@ -165,6 +234,8 @@ def main():
                      f"{args.max_regression:.0%} of reference")
     if serve_ran:
         parts.append("serve invariants hold")
+    if dist_ran:
+        parts.append("dist scaling invariants hold")
     print(f"check_bench: OK ({'; '.join(parts)})")
 
 
