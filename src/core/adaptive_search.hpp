@@ -27,6 +27,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <limits>
 #include <span>
@@ -40,6 +41,18 @@
 
 namespace cas::core {
 
+/// The portable mid-walk state of one Adaptive Search walk — everything
+/// advance_walk() reads besides the problem's own configuration. Together
+/// with the permutation it reconstructs the walk bit-for-bit on any host
+/// (the checkpoint/restore layer serializes it; tests pin the trajectory).
+struct AsWalkState {
+  std::array<uint64_t, 4> rng{};
+  std::vector<uint64_t> tabu_until;
+  uint64_t next_probe = 0;
+  uint64_t next_restart = 0;
+  RunStats stats;
+};
+
 template <LocalSearchProblem P>
 class AdaptiveSearch {
  public:
@@ -49,34 +62,64 @@ class AdaptiveSearch {
   /// Randomize the configuration, then search until solved, stopped, or out
   /// of budget.
   RunStats solve(StopToken stop = {}) {
-    problem_.randomize(rng_);
-    return solve_from_current(stop);
+    begin_walk();
+    advance_walk(0, stop);
+    return walk_;
   }
 
   /// Search from the problem's current configuration (used by tests and by
   /// restart-free reproductions of specific runs).
   RunStats solve_from_current(StopToken stop = {}) {
-    util::WallTimer timer;
-    RunStats st;
-    const int n = problem_.size();
-    tabu_until_.assign(static_cast<size_t>(n), 0);
+    begin_walk_from_current();
+    advance_walk(0, stop);
+    return walk_;
+  }
 
-    uint64_t next_probe = cfg_.probe_interval;
-    uint64_t next_restart = cfg_.restart_interval;
+  // --- resumable walk surface -----------------------------------------------
+  // solve() == begin_walk() + advance_walk(0): the segmented form exists so a
+  // walk can pause at an iteration boundary (elastic epochs, checkpoints) and
+  // continue later — on this engine instance or, via export_walk/import_walk
+  // plus the permutation, on a freshly built one — with the exact trajectory
+  // an uninterrupted run would have taken.
+
+  /// Start a fresh walk: randomize, clear the tabu table, reset counters.
+  void begin_walk() {
+    problem_.randomize(rng_);
+    begin_walk_from_current();
+  }
+
+  /// Start a walk from the problem's current configuration.
+  void begin_walk_from_current() {
+    walk_ = RunStats{};
+    tabu_until_.assign(static_cast<size_t>(problem_.size()), 0);
+    next_probe_ = cfg_.probe_interval;
+    next_restart_ = cfg_.restart_interval;
+  }
+
+  /// Run the walk until solved, stopped, out of cfg_ budget, or — when
+  /// `iter_budget` > 0 — until `iter_budget` MORE iterations have elapsed
+  /// (the segment boundary; the walk stays resumable). Returns solved.
+  /// Wall time accumulates across segments into walk_stats().wall_seconds.
+  bool advance_walk(uint64_t iter_budget, StopToken stop = {}) {
+    util::WallTimer timer;
+    RunStats& st = walk_;
+    const int n = problem_.size();
+    const uint64_t iter_end = iter_budget == 0 ? 0 : st.iterations + iter_budget;
 
     while (problem_.cost() > 0) {
       if (cfg_.max_iterations != 0 && st.iterations >= cfg_.max_iterations) break;
-      if (st.iterations >= next_probe) {
+      if (iter_end != 0 && st.iterations >= iter_end) break;
+      if (st.iterations >= next_probe_) {
         // The paper's parallel scheme: a non-blocking "has anyone finished?"
         // test every c iterations.
         if (stop.stop_requested()) break;
-        next_probe += cfg_.probe_interval;
+        next_probe_ += cfg_.probe_interval;
       }
-      if (st.iterations >= next_restart) {
+      if (st.iterations >= next_restart_) {
         problem_.randomize(rng_);
         std::fill(tabu_until_.begin(), tabu_until_.end(), uint64_t{0});
         ++st.restarts;
-        next_restart += cfg_.restart_interval;
+        next_restart_ += cfg_.restart_interval;
         continue;
       }
       ++st.iterations;
@@ -120,12 +163,37 @@ class AdaptiveSearch {
 
     st.solved = problem_.cost() == 0;
     st.final_cost = problem_.cost();
-    st.wall_seconds = timer.seconds();
-    if (st.solved) {
+    st.wall_seconds += timer.seconds();
+    if (st.solved && st.solution.empty()) {
       st.solution.resize(static_cast<size_t>(n));
       for (int i = 0; i < n; ++i) st.solution[static_cast<size_t>(i)] = problem_.value(i);
     }
-    return st;
+    return st.solved;
+  }
+
+  /// Accumulated stats of the walk in progress (or just finished).
+  [[nodiscard]] const RunStats& walk_stats() const { return walk_; }
+
+  /// Export the walk's non-problem state (RNG, tabu, counters). The caller
+  /// captures the problem's permutation separately.
+  void export_walk(AsWalkState& out) const {
+    out.rng = rng_.state();
+    out.tabu_until = tabu_until_;
+    out.next_probe = next_probe_;
+    out.next_restart = next_restart_;
+    out.stats = walk_;
+  }
+
+  /// Import a walk exported by export_walk. The caller must first put the
+  /// problem into the configuration that was current at export time;
+  /// advance_walk then continues the original trajectory exactly.
+  void import_walk(const AsWalkState& s) {
+    assert(s.tabu_until.size() == static_cast<size_t>(problem_.size()));
+    rng_.set_state(s.rng);
+    tabu_until_ = s.tabu_until;
+    next_probe_ = s.next_probe;
+    next_restart_ = s.next_restart;
+    walk_ = s.stats;
   }
 
   [[nodiscard]] const AsConfig& config() const { return cfg_; }
@@ -210,6 +278,9 @@ class AdaptiveSearch {
   P& problem_;
   AsConfig cfg_;
   Rng rng_;
+  RunStats walk_;            // accumulated stats of the walk in progress
+  uint64_t next_probe_ = 0;  // next stop-token probe boundary
+  uint64_t next_restart_ = 0;
   std::vector<uint64_t> tabu_until_;
   std::vector<int> scratch_positions_;
   std::vector<Cost> row_;  // batched move-delta scratch, sized on first scan

@@ -7,6 +7,7 @@
 // threads (C++ Core Guidelines CP.2/CP.3).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -107,6 +108,13 @@ class Rng {
     for (int i = 0; i < n; ++i) p[static_cast<size_t>(i)] = base + i;
     shuffle(p);
     return p;
+  }
+
+  /// The full generator state, for exact checkpoint/restore of a walk.
+  /// set_state() with a state() snapshot resumes the stream bit-for-bit.
+  [[nodiscard]] std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
   /// 2^128 steps forward; used to partition one seed into parallel streams

@@ -1,0 +1,274 @@
+#include "dist/ckpt.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cas::dist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string crc_hex(uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw CkptError("checkpoint " + path + ": " + why);
+}
+
+/// write(2) the whole buffer, then fsync, through one fd. Throws CkptError.
+void write_all_fsync(const std::string& path, const std::string& blob) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail(path, std::string("open failed: ") + std::strerror(errno));
+  size_t off = 0;
+  while (off < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int e = errno;
+      ::close(fd);
+      fail(path, std::string("write failed: ") + std::strerror(e));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int e = errno;
+    ::close(fd);
+    fail(path, std::string("fsync failed: ") + std::strerror(e));
+  }
+  ::close(fd);
+}
+
+/// fsync the directory entry so the rename itself is durable.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort (e.g. non-seekable fs)
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::vector<uint64_t> u64_vec_from(const util::Json& j, const std::string& what) {
+  if (!j.is_array()) throw CkptError(what + ": expected an array");
+  std::vector<uint64_t> out;
+  out.reserve(j.as_array().size());
+  for (const auto& v : j.as_array()) out.push_back(u64_from(v, what));
+  return out;
+}
+
+util::Json u64_vec_json(const std::vector<uint64_t>& v) {
+  util::Json::Array a;
+  a.reserve(v.size());
+  for (uint64_t x : v) a.push_back(u64_json(x));
+  return util::Json(std::move(a));
+}
+
+}  // namespace
+
+uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+util::Json u64_json(uint64_t v) { return util::Json(std::to_string(v)); }
+
+uint64_t u64_from(const util::Json& v, const std::string& what) {
+  if (v.is_number()) {
+    // Tolerate the plain-number spelling for small values (hand-written
+    // test fixtures); the writer always emits strings.
+    const double d = v.as_number();
+    if (d < 0) throw CkptError(what + ": negative counter");
+    return static_cast<uint64_t>(d);
+  }
+  if (!v.is_string()) throw CkptError(what + ": expected a decimal string");
+  const std::string& s = v.as_string();
+  if (s.empty()) throw CkptError(what + ": empty counter");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size())
+    throw CkptError(what + ": malformed counter '" + s + "'");
+  return static_cast<uint64_t>(parsed);
+}
+
+size_t write_ckpt_file(const std::string& path, const util::Json& payload) {
+  const std::string body = payload.dump(0);
+  util::Json header = util::Json::object();
+  header["v"] = kCkptVersion;
+  header["bytes"] = static_cast<uint64_t>(body.size());
+  header["crc"] = crc_hex(fnv1a64(body));
+  const std::string blob = header.dump(0) + "\n" + body;
+
+  const std::string tmp = path + ".tmp";
+  write_all_fsync(tmp, blob);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int e = errno;
+    std::remove(tmp.c_str());
+    fail(path, std::string("rename failed: ") + std::strerror(e));
+  }
+  fsync_dir(fs::path(path).parent_path().string());
+  return blob.size();
+}
+
+util::Json read_ckpt_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string blob = buf.str();
+
+  const size_t nl = blob.find('\n');
+  if (nl == std::string::npos) fail(path, "truncated (no header line)");
+  util::Json header;
+  try {
+    header = util::Json::parse(std::string_view(blob).substr(0, nl));
+  } catch (const std::exception& e) {
+    fail(path, std::string("malformed header: ") + e.what());
+  }
+  if (!header.is_object() || !header.contains("v") || !header.contains("bytes") ||
+      !header.contains("crc"))
+    fail(path, "malformed header: missing v/bytes/crc");
+  const int64_t version = header.at("v").as_int();
+  if (version != kCkptVersion)
+    fail(path, "unsupported checkpoint version " + std::to_string(version) + " (this build reads v" +
+                   std::to_string(kCkptVersion) + ")");
+  const auto declared = static_cast<size_t>(header.at("bytes").as_int());
+  const std::string_view body = std::string_view(blob).substr(nl + 1);
+  if (body.size() != declared)
+    fail(path, "truncated: header declares " + std::to_string(declared) + " payload bytes, file has " +
+                   std::to_string(body.size()));
+  const std::string actual_crc = crc_hex(fnv1a64(body));
+  if (actual_crc != header.at("crc").as_string())
+    fail(path, "checksum mismatch (expected " + header.at("crc").as_string() + ", computed " +
+                   actual_crc + ")");
+  try {
+    return util::Json::parse(body);
+  } catch (const std::exception& e) {
+    fail(path, std::string("malformed payload: ") + e.what());
+  }
+}
+
+std::string walker_file_name(int member, uint64_t epoch) {
+  return "walkers_m" + std::to_string(member) + "_e" + std::to_string(epoch) + ".ckpt";
+}
+
+std::vector<WalkerFileRef> list_walker_files(const std::string& dir) {
+  std::vector<WalkerFileRef> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    int member = -1;
+    unsigned long long epoch = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "walkers_m%d_e%llu.ckpt%n", &member, &epoch, &consumed) == 2 &&
+        consumed == static_cast<int>(name.size()) && member >= 0) {
+      out.push_back({entry.path().string(), member, static_cast<uint64_t>(epoch)});
+    }
+  }
+  return out;
+}
+
+void prune_walker_files(const std::string& dir, uint64_t keep_from_epoch) {
+  for (const auto& ref : list_walker_files(dir)) {
+    if (ref.epoch < keep_from_epoch) std::remove(ref.path.c_str());
+  }
+}
+
+util::Json run_stats_to_json(const core::RunStats& st) {
+  util::Json j = util::Json::object();
+  j["solved"] = st.solved;
+  j["final_cost"] = static_cast<int64_t>(st.final_cost);
+  j["iterations"] = u64_json(st.iterations);
+  j["swaps"] = u64_json(st.swaps);
+  j["local_minima"] = u64_json(st.local_minima);
+  j["plateau_moves"] = u64_json(st.plateau_moves);
+  j["plateau_refused"] = u64_json(st.plateau_refused);
+  j["resets"] = u64_json(st.resets);
+  j["custom_reset_escapes"] = u64_json(st.custom_reset_escapes);
+  j["restarts"] = u64_json(st.restarts);
+  j["move_evaluations"] = u64_json(st.move_evaluations);
+  j["reset_candidates"] = u64_json(st.reset_candidates);
+  j["reset_escape_chunks"] = u64_json(st.reset_escape_chunks);
+  j["reset_seconds"] = st.reset_seconds;
+  j["wall_seconds"] = st.wall_seconds;
+  if (!st.solution.empty()) {
+    util::Json::Array sol;
+    sol.reserve(st.solution.size());
+    for (int v : st.solution) sol.push_back(v);
+    j["solution"] = util::Json(std::move(sol));
+  }
+  return j;
+}
+
+core::RunStats run_stats_from_json(const util::Json& j) {
+  if (!j.is_object()) throw CkptError("run stats: expected an object");
+  core::RunStats st;
+  st.solved = j.at("solved").as_bool();
+  st.final_cost = j.at("final_cost").as_int();
+  st.iterations = u64_from(j.at("iterations"), "iterations");
+  st.swaps = u64_from(j.at("swaps"), "swaps");
+  st.local_minima = u64_from(j.at("local_minima"), "local_minima");
+  st.plateau_moves = u64_from(j.at("plateau_moves"), "plateau_moves");
+  st.plateau_refused = u64_from(j.at("plateau_refused"), "plateau_refused");
+  st.resets = u64_from(j.at("resets"), "resets");
+  st.custom_reset_escapes = u64_from(j.at("custom_reset_escapes"), "custom_reset_escapes");
+  st.restarts = u64_from(j.at("restarts"), "restarts");
+  st.move_evaluations = u64_from(j.at("move_evaluations"), "move_evaluations");
+  st.reset_candidates = u64_from(j.at("reset_candidates"), "reset_candidates");
+  st.reset_escape_chunks = u64_from(j.at("reset_escape_chunks"), "reset_escape_chunks");
+  st.reset_seconds = j.at("reset_seconds").as_number();
+  st.wall_seconds = j.at("wall_seconds").as_number();
+  if (const util::Json* sol = j.find("solution")) {
+    st.solution.reserve(sol->as_array().size());
+    for (const auto& v : sol->as_array())
+      st.solution.push_back(static_cast<int>(v.as_int()));
+  }
+  return st;
+}
+
+util::Json walk_snapshot_to_json(const runtime::WalkSnapshot& s) {
+  util::Json j = util::Json::object();
+  util::Json::Array config;
+  config.reserve(s.config.size());
+  for (int v : s.config) config.push_back(v);
+  j["config"] = util::Json(std::move(config));
+  util::Json::Array rng;
+  for (uint64_t w : s.engine.rng) rng.push_back(u64_json(w));
+  j["rng"] = util::Json(std::move(rng));
+  j["tabu"] = u64_vec_json(s.engine.tabu_until);
+  j["next_probe"] = u64_json(s.engine.next_probe);
+  j["next_restart"] = u64_json(s.engine.next_restart);
+  j["stats"] = run_stats_to_json(s.engine.stats);
+  return j;
+}
+
+runtime::WalkSnapshot walk_snapshot_from_json(const util::Json& j) {
+  if (!j.is_object()) throw CkptError("walk snapshot: expected an object");
+  runtime::WalkSnapshot s;
+  const auto& config = j.at("config").as_array();
+  s.config.reserve(config.size());
+  for (const auto& v : config) s.config.push_back(static_cast<int>(v.as_int()));
+  const auto& rng = j.at("rng").as_array();
+  if (rng.size() != 4) throw CkptError("walk snapshot: rng state must have 4 words");
+  for (size_t i = 0; i < 4; ++i) s.engine.rng[i] = u64_from(rng[i], "rng");
+  s.engine.tabu_until = u64_vec_from(j.at("tabu"), "tabu");
+  s.engine.next_probe = u64_from(j.at("next_probe"), "next_probe");
+  s.engine.next_restart = u64_from(j.at("next_restart"), "next_restart");
+  s.engine.stats = run_stats_from_json(j.at("stats"));
+  return s;
+}
+
+}  // namespace cas::dist

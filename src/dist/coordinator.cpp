@@ -28,7 +28,18 @@ util::Json CoordinatorStats::to_json() const {
   j["broadcasts"] = broadcasts.load(std::memory_order_relaxed);
   j["heartbeats"] = heartbeats.load(std::memory_order_relaxed);
   j["aborts"] = aborts.load(std::memory_order_relaxed);
+  j["joins"] = joins.load(std::memory_order_relaxed);
+  j["leaves"] = leaves.load(std::memory_order_relaxed);
+  j["evictions"] = evictions.load(std::memory_order_relaxed);
+  j["rebalances"] = rebalances.load(std::memory_order_relaxed);
   return j;
+}
+
+void Coordinator::set_hunt(const std::string& key, uint64_t seed, int walkers) {
+  std::scoped_lock lock(hunt_mu_);
+  hunt_key_ = key;
+  hunt_seed_ = seed;
+  hunt_walkers_ = walkers;
 }
 
 Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
@@ -129,13 +140,20 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
   }
   const std::string type = frame_type(j);
   if (type == "hello") {
-    int rank = -1, ranks = -1;
+    int rank = -1, ranks = -1, version = -1;
     const util::Json* rj = j.find("rank");
     const util::Json* nj = j.find("ranks");
+    const util::Json* vj = j.find("v");
     try {
       if (rj != nullptr) rank = static_cast<int>(rj->as_int());
       if (nj != nullptr) ranks = static_cast<int>(nj->as_int());
+      if (vj != nullptr) version = static_cast<int>(vj->as_int());
     } catch (...) {
+    }
+    if (version != kWireVersion) {
+      abort_world(util::strf("coordinator: wire version mismatch (peer speaks v%d, this world v%d)",
+                             version, kWireVersion));
+      return;
     }
     if (rank < 0 || rank >= opts_.ranks || ranks != opts_.ranks ||
         fd_of_rank_[static_cast<size_t>(rank)] != -1) {
@@ -148,6 +166,16 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
     ++joined_;
     if (joined_ == opts_.ranks && !welcomed_) {
       welcomed_ = true;
+      if (opts_.elastic) {
+        for (int r = 0; r < opts_.ranks; ++r) {
+          Member m;
+          m.fd = fd_of_rank_[static_cast<size_t>(r)];
+          m.dense = r;
+          members_[r] = m;
+        }
+        next_member_ = opts_.ranks;
+        admitted_.store(opts_.ranks, std::memory_order_release);
+      }
       for (int r = 0; r < opts_.ranks; ++r) {
         Peer& member = *peers_.at(fd_of_rank_[static_cast<size_t>(r)]);
         enqueue(member, make_welcome(r, opts_.ranks).dump(0));
@@ -173,10 +201,317 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
     byes_.fetch_add(1, std::memory_order_release);
     return;
   }
+  if (opts_.elastic) {
+    if (type == "join") {
+      handle_join(p, j);
+      return;
+    }
+    if (type == "leave") {
+      int member = -1;
+      try {
+        member = frame_int(j, "rank");
+      } catch (const CommError& e) {
+        abort_world(e.what());
+        return;
+      }
+      if (member == 0) {
+        abort_world("coordinator: member 0 cannot leave (it hosts the coordinator); halt instead");
+        return;
+      }
+      const auto it = members_.find(member);
+      if (it != members_.end() && member_active(it->second)) {
+        it->second.leaving = true;
+        stats_.leaves.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (type == "epoch") {
+      handle_epoch(p, j);
+      return;
+    }
+    if (type == "ckpt") {
+      try {
+        const int member = frame_int(j, "rank");
+        const uint64_t epoch = frame_u64(j, "epoch");
+        const auto it = members_.find(member);
+        if (it != members_.end()) {
+          it->second.any_ckpt = true;
+          it->second.last_ckpt_epoch = epoch;
+        }
+      } catch (const CommError& e) {
+        abort_world(e.what());
+      }
+      return;
+    }
+  }
   abort_world("coordinator: unknown frame type '" + type + "'");
 }
 
+void Coordinator::handle_join(Peer& p, const util::Json& j) {
+  int version = -1;
+  const util::Json* vj = j.find("v");
+  try {
+    if (vj != nullptr) version = static_cast<int>(vj->as_int());
+  } catch (...) {
+  }
+  if (version != kWireVersion) {
+    // Refuse just this peer: a mis-versioned joiner must not kill a hunt.
+    enqueue(p, make_abort(util::strf("coordinator: wire version mismatch (joiner speaks v%d, "
+                                     "this world v%d)",
+                                     version, kWireVersion))
+                   .dump(0));
+    return;
+  }
+  {
+    std::scoped_lock lock(hunt_mu_);
+    const util::Json* kj = j.find("key");
+    const std::string key = (kj != nullptr && kj->is_string()) ? kj->as_string() : "";
+    if (!hunt_key_.empty() && key != hunt_key_) {
+      enqueue(p, make_abort("coordinator: join refused — request key does not match the hunt "
+                            "in progress")
+                     .dump(0));
+      return;
+    }
+  }
+  if (!welcomed_ || !hunting_) {
+    enqueue(p, make_abort(!welcomed_ ? "coordinator: join refused — world still in rendezvous"
+                                     : "coordinator: join refused — hunt already complete")
+                   .dump(0));
+    return;
+  }
+  p.pending_join = true;
+  pending_join_fds_.push_back(p.fd.get());
+  stats_.joins.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Coordinator::handle_epoch(Peer& /*p*/, const util::Json& j) {
+  int member = -1;
+  uint64_t epoch = 0;
+  try {
+    member = frame_int(j, "rank");
+    epoch = frame_u64(j, "epoch");
+  } catch (const CommError& e) {
+    abort_world(e.what());
+    return;
+  }
+  const auto it = members_.find(member);
+  if (it == members_.end() || !member_active(it->second)) return;  // late frame from the retired
+  Member& m = it->second;
+  if (!wave_anchored_) {
+    // Resumed worlds start counting from manifest_epoch + 1; adopt the
+    // first reported epoch as the current wave. Inconsistent starters are
+    // then caught by the mismatch check below.
+    wave_ = epoch;
+    wave_anchored_ = true;
+  }
+  if (epoch != wave_) {
+    abort_world(util::strf("coordinator: member %d reported epoch %llu during wave %llu", member,
+                           static_cast<unsigned long long>(epoch),
+                           static_cast<unsigned long long>(wave_)));
+    return;
+  }
+  m.reported = true;
+  m.summary = j;
+  try {
+    m.done = frame_bool(j, "done", false);
+    m.halt = frame_bool(j, "halt", false);
+    if (const util::Json* solved = j.find("solved"); solved != nullptr && solved->is_array()) {
+      for (const util::Json& s : solved->as_array()) {
+        const uint64_t id = frame_u64(s, "id");
+        const uint64_t seg = frame_u64(s, "seg");
+        if (!have_winner_ || seg < winner_seg_ || (seg == winner_seg_ && id < winner_id_)) {
+          have_winner_ = true;
+          winner_seg_ = seg;
+          winner_id_ = id;
+          winner_member_ = member;
+          winner_stats_ = s;
+        }
+      }
+    }
+  } catch (const CommError& e) {
+    abort_world(e.what());
+    return;
+  }
+  maybe_complete_wave();
+}
+
+void Coordinator::evict_member(int member, const std::string& why) {
+  const auto it = members_.find(member);
+  if (it == members_.end() || !member_active(it->second)) return;
+  it->second.evicted = true;
+  it->second.fd = -1;
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  (void)why;
+  maybe_complete_wave();
+}
+
+int Coordinator::active_count() const {
+  int n = 0;
+  for (const auto& [id, m] : members_)
+    if (member_active(m)) ++n;
+  return n;
+}
+
+int Coordinator::fd_of_dense(int dense) const {
+  for (const auto& [id, m] : members_)
+    if (member_active(m) && m.dense == dense) return m.fd;
+  return -1;
+}
+
+void Coordinator::maybe_complete_wave() {
+  if (!opts_.elastic || !welcomed_ || aborted_ || !hunting_) return;
+  bool all_done = true;
+  bool any_halt = false;
+  int active = 0;
+  for (const auto& [id, m] : members_) {
+    if (!member_active(m)) continue;
+    ++active;
+    if (!m.reported) return;  // wave still in flight
+    if (!m.done) all_done = false;
+    if (m.halt) any_halt = true;
+  }
+  if (active == 0) {
+    abort_world("coordinator: every member left or died");
+    return;
+  }
+  // FIFO per connection guarantees each member's wave ckpt frame arrived
+  // before its epoch frame, so the cut is consistent by the time we get
+  // here: advance the durable epoch when everyone active acknowledged it.
+  bool all_ckpt = true;
+  for (const auto& [id, m] : members_) {
+    if (!member_active(m)) continue;
+    if (!m.any_ckpt || m.last_ckpt_epoch < wave_) all_ckpt = false;
+  }
+  if (all_ckpt) ckpt_epoch_ = static_cast<int64_t>(wave_);
+  complete_wave(/*final=*/have_winner_ || any_halt || all_done);
+}
+
+void Coordinator::complete_wave(bool final) {
+  stats_.rebalances.fetch_add(1, std::memory_order_relaxed);
+  std::vector<int> retired, admitted, evicted_now;
+
+  if (final) {
+    hunting_ = false;
+    // Pending joiners can no longer participate; refuse them cleanly.
+    for (const int fd : pending_join_fds_) {
+      if (peers_.count(fd) != 0)
+        enqueue(*peers_.at(fd), make_abort("coordinator: hunt already complete").dump(0));
+    }
+    pending_join_fds_.clear();
+  } else {
+    // Retire leaving members, then admit the pending joiners.
+    for (auto& [id, m] : members_) {
+      if (member_active(m) && m.leaving) {
+        m.left = true;
+        retired.push_back(id);
+      }
+    }
+    for (const int fd : pending_join_fds_) {
+      const auto pit = peers_.find(fd);
+      if (pit == peers_.end()) continue;  // died while pending
+      const int id = next_member_++;
+      Member m;
+      m.fd = fd;
+      members_[id] = m;
+      pit->second->rank = id;
+      pit->second->pending_join = false;
+      admitted.push_back(id);
+      admitted_.fetch_add(1, std::memory_order_release);
+    }
+    pending_join_fds_.clear();
+  }
+
+  // Renumber: dense rank = index in the ascending-member-id active list.
+  int dense = 0;
+  for (auto& [id, m] : members_) {
+    if (!member_active(m)) {
+      if (m.evicted) evicted_now.push_back(id);
+      continue;
+    }
+    m.dense = dense++;
+    m.reported = false;
+  }
+  const int ranks = dense;
+
+  util::Json base = make_rebalance_base(final ? wave_ : wave_ + 1);
+  base["ranks"] = ranks;
+  base["final"] = final;
+  base["ckpt_epoch"] = static_cast<int64_t>(ckpt_epoch_);
+  {
+    std::scoped_lock lock(hunt_mu_);
+    base["seed"] = wire_u64(hunt_seed_);
+    base["walkers"] = hunt_walkers_;
+  }
+  util::Json members_list = util::Json::array();
+  for (const auto& [id, m] : members_)
+    if (member_active(m)) members_list.push_back(id);
+  base["members"] = std::move(members_list);
+  util::Json evicted_list = util::Json::array();
+  for (const int id : evicted_now) evicted_list.push_back(id);
+  base["evicted"] = std::move(evicted_list);
+  util::Json joined_list = util::Json::array();
+  for (const int id : admitted) joined_list.push_back(id);
+  base["joined"] = std::move(joined_list);
+
+  if (final) {
+    if (have_winner_) {
+      util::Json w = winner_stats_;
+      w["member"] = winner_member_;
+      base["winner"] = std::move(w);
+    }
+    util::Json summaries = util::Json::array();
+    for (const auto& [id, m] : members_) {
+      if (m.summary.is_null()) continue;
+      util::Json row = m.summary;
+      row["member"] = id;
+      row["evicted"] = m.evicted;
+      row["left"] = m.left;
+      summaries.push_back(std::move(row));
+    }
+    base["summaries"] = std::move(summaries);
+  }
+
+  // Personalized delivery: joiners were just welcomed (member id assigned),
+  // retiring members get your_rank = -1 so they detach after this frame.
+  for (const int id : admitted) {
+    const auto pit = peers_.find(members_.at(id).fd);
+    if (pit != peers_.end())
+      enqueue(*pit->second, make_welcome(id, ranks).dump(0));
+  }
+  for (auto& [id, m] : members_) {
+    const int fd = member_active(m) ? m.fd : (m.left ? m.fd : -1);
+    if (fd < 0 || peers_.count(fd) == 0) continue;
+    util::Json frame = base;
+    frame["your_rank"] = member_active(m) ? m.dense : -1;
+    enqueue(*peers_.at(fd), frame.dump(0));
+  }
+  for (const int id : retired) members_.at(id).fd = -1;
+
+  if (!final) ++wave_;
+}
+
 void Coordinator::route(Peer& from, int dest, const std::string& payload) {
+  if (opts_.elastic && welcomed_) {
+    // Elastic worlds address msg frames by DENSE rank (the collective
+    // surface the runner sees); membership may have shifted since hello.
+    if (dest == -1) {
+      stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
+      for (const auto& [id, m] : members_) {
+        if (!member_active(m) || id == from.rank || m.fd < 0) continue;
+        if (peers_.count(m.fd) == 0) continue;
+        enqueue(*peers_.at(m.fd), payload);
+        stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    const int fd = fd_of_dense(dest);
+    if (fd < 0) return;  // destination evicted/retired: frame is moot
+    if (peers_.count(fd) != 0) {
+      enqueue(*peers_.at(fd), payload);
+      stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
   if (dest == -1) {
     stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
     for (int r = 0; r < opts_.ranks; ++r) {
@@ -223,9 +558,38 @@ void Coordinator::drop_peer(int fd, bool expected) {
   const auto it = peers_.find(fd);
   if (it == peers_.end()) return;
   const int rank = it->second->rank;
+  const bool was_pending = it->second->pending_join;
   loop_.remove(fd);
-  if (rank >= 0) fd_of_rank_[static_cast<size_t>(rank)] = -1;
+  if (rank >= 0 && rank < opts_.ranks) fd_of_rank_[static_cast<size_t>(rank)] = -1;
   peers_.erase(it);
+  if (opts_.elastic) {
+    if (was_pending) {
+      // A joiner that died before admission never became a member.
+      std::erase(pending_join_fds_, fd);
+      return;
+    }
+    if (rank < 0 && welcomed_) {
+      // A refused joiner (key mismatch, version skew) or a stranger that
+      // connected and dropped without a hello. A live elastic world must
+      // shrug these off — only rendezvous-phase drops are fatal.
+      return;
+    }
+    if (rank >= 0 && welcomed_) {
+      detached_.fetch_add(1, std::memory_order_release);
+      if (expected) {
+        const auto mit = members_.find(rank);
+        if (mit != members_.end()) mit->second.fd = -1;
+        return;
+      }
+      if (rank != 0 && hunting_) {
+        // Elastic downgrade: a dead member is evicted at the wave
+        // boundary instead of aborting the world. Member 0 hosts this
+        // coordinator, so its death still falls through to abort.
+        evict_member(rank, "connection lost");
+        return;
+      }
+    }
+  }
   if (!expected)
     abort_world(rank >= 0 ? util::strf("coordinator: rank %d died (connection lost)", rank)
                           : "coordinator: peer dropped before hello");
@@ -255,14 +619,22 @@ void Coordinator::check_liveness(double now) {
     return;
   }
   if (opts_.heartbeat_timeout_seconds <= 0) return;
+  std::vector<int> dead_fds;
   for (const auto& [fd, p] : peers_) {
     if (p->rank < 0 || p->said_bye) continue;
     if (now - p->last_seen > opts_.heartbeat_timeout_seconds) {
+      if (opts_.elastic && p->rank != 0 && hunting_) {
+        dead_fds.push_back(fd);  // evict below; iterating peers_ here
+        continue;
+      }
       abort_world(util::strf("coordinator: rank %d missed heartbeats for %.1fs", p->rank,
                              now - p->last_seen));
       return;
     }
   }
+  // Elastic: close the silent members' connections; drop_peer downgrades
+  // each to an eviction at the wave boundary.
+  for (const int fd : dead_fds) drop_peer(fd, /*expected=*/false);
 }
 
 }  // namespace cas::dist

@@ -13,6 +13,18 @@
 // abort path that turns a killed process into a CommError everywhere
 // instead of a distributed hang.
 //
+// Elastic mode (CoordinatorOptions::elastic) layers a membership wave
+// machine on top. Members carry STABLE member ids (the initial ranks are
+// members 0..R-1; late joiners get the next id) and a DENSE rank — their
+// index in the ascending-member-id list of active members — recomputed at
+// every wave so the walker share/offset split stays deterministic. Each
+// active member reports the current wave with an `epoch` frame; when all
+// have reported, the coordinator retires leaving members, admits pending
+// joiners, evicts the dead, renumbers, and broadcasts a personalized
+// `rebalance` frame. Death of a member other than 0 downgrades from
+// world-abort to eviction at the wave boundary (member 0 hosts this
+// coordinator — its death still aborts).
+//
 // Single-threaded over net::EventLoop + net/frame_io — the same
 // machinery, and the same codec path, as the cas_serve front-end.
 #pragma once
@@ -21,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +58,10 @@ struct CoordinatorOptions {
   /// Rendezvous must complete within this window or the join is aborted.
   double join_timeout_seconds = 30.0;
   size_t max_frame_bytes = net::kDefaultMaxFrame;
+  /// Elastic membership (wire protocol v2): epoch-wave rebalancing, late
+  /// join admission, graceful leave, and eviction instead of world abort
+  /// when a member other than 0 dies.
+  bool elastic = false;
 };
 
 /// Router counters, readable live from other threads.
@@ -54,6 +71,10 @@ struct CoordinatorStats {
   std::atomic<uint64_t> broadcasts{0};
   std::atomic<uint64_t> heartbeats{0};
   std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> joins{0};
+  std::atomic<uint64_t> leaves{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> rebalances{0};
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -73,10 +94,20 @@ class Coordinator {
   void stop();
 
   [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
-  /// True once every rank has detached cleanly (all byes seen).
+  /// True once every rank has detached cleanly (all byes seen). In elastic
+  /// mode: every admitted member's connection is gone (bye or eviction).
   [[nodiscard]] bool all_detached() const {
+    if (opts_.elastic) {
+      const int admitted = admitted_.load(std::memory_order_acquire);
+      return admitted > 0 && detached_.load(std::memory_order_acquire) >= admitted;
+    }
     return byes_.load(std::memory_order_acquire) >= opts_.ranks;
   }
+
+  /// Rank 0 announces the hunt in progress so late joiners can be
+  /// validated (canonical request key) and bootstrapped (master seed +
+  /// walker count ride in every rebalance frame). Thread-safe.
+  void set_hunt(const std::string& key, uint64_t seed, int walkers);
 
  private:
   struct Peer {
@@ -84,12 +115,28 @@ class Coordinator {
     net::FrameDecoder decoder;
     std::string outbuf;
     size_t out_off = 0;
-    int rank = -1;  // -1 until hello
+    int rank = -1;  // -1 until hello; elastic: the member id
+    bool pending_join = false;  // said join, not yet admitted
     bool said_bye = false;
     bool want_write = false;
     double last_seen = 0;
 
     explicit Peer(net::Fd f, size_t max_frame) : fd(std::move(f)), decoder(max_frame) {}
+  };
+
+  /// One member of an elastic world, by stable member id.
+  struct Member {
+    int fd = -1;       // -1 once gone
+    int dense = -1;    // index in the ascending-id active list
+    bool leaving = false;   // leave received; retire at wave end
+    bool left = false;      // retired gracefully
+    bool evicted = false;   // died / timed out
+    bool done = false;      // reported out of budget (sticky)
+    bool halt = false;      // asked the world to drain (rank-0 SIGTERM)
+    bool reported = false;  // epoch frame for the current wave seen
+    bool any_ckpt = false;
+    uint64_t last_ckpt_epoch = 0;
+    util::Json summary;  // its latest epoch frame (final-report rows)
   };
 
   void run();
@@ -103,6 +150,16 @@ class Coordinator {
   void abort_world(const std::string& reason);
   void check_liveness(double now);
   void update_interest(Peer& p);
+
+  // Elastic wave machine (router thread only).
+  void handle_join(Peer& p, const util::Json& j);
+  void handle_epoch(Peer& p, const util::Json& j);
+  void evict_member(int member, const std::string& why);
+  void maybe_complete_wave();
+  void complete_wave(bool final);
+  [[nodiscard]] static bool member_active(const Member& m) { return !m.evicted && !m.left; }
+  [[nodiscard]] int active_count() const;
+  [[nodiscard]] int fd_of_dense(int dense) const;
 
   CoordinatorOptions opts_;
   net::Fd listen_fd_;
@@ -119,6 +176,30 @@ class Coordinator {
   bool welcomed_ = false;
   bool aborted_ = false;
   double started_ = 0;
+
+  // Elastic state (router thread only, except the atomics and hunt_mu_).
+  std::map<int, Member> members_;  // by stable member id
+  std::vector<int> pending_join_fds_;
+  int next_member_ = 0;
+  uint64_t wave_ = 0;
+  /// Waves are absolute epoch indices: a world resumed from a checkpoint
+  /// reports its first epoch as manifest_epoch + 1, so the coordinator
+  /// anchors wave_ to the FIRST epoch frame it sees instead of assuming 0.
+  bool wave_anchored_ = false;
+  int64_t ckpt_epoch_ = -1;  // last wave every active member checkpointed
+  bool hunting_ = true;      // false once the final rebalance went out
+  bool have_winner_ = false;
+  uint64_t winner_seg_ = 0;
+  uint64_t winner_id_ = 0;
+  int winner_member_ = -1;
+  util::Json winner_stats_;
+  std::atomic<int> admitted_{0};
+  std::atomic<int> detached_{0};
+  mutable std::mutex hunt_mu_;
+  std::string hunt_key_;
+  uint64_t hunt_seed_ = 0;
+  int hunt_walkers_ = 0;
+
   std::thread thread_;
 };
 

@@ -1,0 +1,598 @@
+#include "dist/elastic.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/chaotic_seed.hpp"
+#include "core/problem.hpp"
+#include "core/stats.hpp"
+#include "dist/ckpt.hpp"
+#include "dist/rank_comm.hpp"
+#include "dist/wire.hpp"
+#include "par/collectives.hpp"
+#include "runtime/problems.hpp"
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace cas::dist {
+
+namespace {
+
+// Same contiguous-slice partition solve_distributed uses: walker ids
+// [offset, offset + share) belong to dense rank r.
+int share_of(int walkers, int ranks, int rank) {
+  return walkers / ranks + (rank < walkers % ranks ? 1 : 0);
+}
+
+int offset_of(int walkers, int ranks, int rank) {
+  return rank * (walkers / ranks) + std::min(rank, walkers % ranks);
+}
+
+uint64_t draw_seed() {
+  std::random_device rd;
+  uint64_t s = 0;
+  while (s == 0) s = (static_cast<uint64_t>(rd()) << 32) | rd();
+  return s;
+}
+
+const runtime::ProblemEntry& entry_of(const runtime::SolveRequest& req) {
+  return runtime::problem_registry().at(req.problem, "problem");
+}
+
+/// The segment index a solve at iteration count `iters` happened in.
+uint64_t seg_of(uint64_t iters, uint64_t ckpt_iters) {
+  return iters == 0 ? 0 : (iters - 1) / ckpt_iters;
+}
+
+struct OwnedWalker {
+  int id = -1;
+  std::unique_ptr<runtime::ResumableWalk> walk;
+  bool solved = false;
+  uint64_t solve_seg = 0;
+};
+
+/// Advance one walker until its iteration count reaches `target` (the epoch
+/// boundary), it solves, or it stops making progress (max_iterations cap).
+/// Returns the iterations actually executed here.
+uint64_t advance_to(OwnedWalker& w, uint64_t target, uint64_t ckpt_iters) {
+  const uint64_t before = w.walk->stats().iterations;
+  while (!w.solved && w.walk->stats().iterations < target) {
+    const uint64_t step_start = w.walk->stats().iterations;
+    const bool solved = w.walk->advance(target - step_start, core::StopToken());
+    const core::RunStats& st = w.walk->stats();
+    if (solved || st.solved) {
+      w.solved = true;
+      w.solve_seg = seg_of(st.iterations, ckpt_iters);
+      break;
+    }
+    if (st.iterations == step_start) break;  // budget refused: walker is capped
+  }
+  return w.walk->stats().iterations - before;
+}
+
+/// Advance every unsolved owned walker to `target` on up to `num_threads`
+/// OS threads (0 = hardware concurrency). Returns iterations executed.
+uint64_t advance_all(std::map<int, OwnedWalker>& owned, uint64_t target, uint64_t ckpt_iters,
+                     unsigned num_threads) {
+  std::vector<OwnedWalker*> work;
+  work.reserve(owned.size());
+  for (auto& [id, w] : owned)
+    if (!w.solved) work.push_back(&w);
+  if (work.empty()) return 0;
+
+  std::atomic<uint64_t> executed{0};
+  std::atomic<size_t> next{0};
+  auto body = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= work.size()) return;
+      executed.fetch_add(advance_to(*work[i], target, ckpt_iters), std::memory_order_relaxed);
+    }
+  };
+  unsigned threads = num_threads == 0 ? std::thread::hardware_concurrency() : num_threads;
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(work.size())));
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t + 1 < threads; ++t) pool.emplace_back(body);
+  body();
+  for (auto& th : pool) th.join();
+  return executed.load(std::memory_order_relaxed);
+}
+
+/// Read every wave-`epoch` walker file in `dir` into an id -> snapshot-JSON
+/// map. Unreadable/corrupt files are skipped: their walkers fall back to
+/// deterministic replay, which reproduces the same state from the seed.
+std::map<int, util::Json> load_wave_snapshots(const std::string& dir, uint64_t epoch) {
+  std::map<int, util::Json> out;
+  for (const WalkerFileRef& ref : list_walker_files(dir)) {
+    if (ref.epoch != epoch) continue;
+    util::Json payload;
+    try {
+      payload = read_ckpt_file(ref.path);
+    } catch (const CkptError&) {
+      continue;
+    }
+    const util::Json* walkers = payload.find("walkers");
+    if (walkers == nullptr || !walkers->is_array()) continue;
+    for (const util::Json& w : walkers->as_array()) {
+      const util::Json* id = w.find("id");
+      if (id == nullptr) continue;
+      try {
+        out[static_cast<int>(u64_from(*id, "walker id"))] = w;
+      } catch (const CkptError&) {
+      }
+    }
+  }
+  return out;
+}
+
+/// Everything one epoch-loop pass needs; kept in a struct so the view
+/// adoption and report builders stay readable.
+struct ElasticRun {
+  RankComm* comm = nullptr;
+  const ElasticOptions* opts = nullptr;
+  runtime::SolveRequest* resolved = nullptr;
+
+  std::vector<uint64_t> seeds;  // global walker id -> engine seed
+  std::function<std::unique_ptr<runtime::ResumableWalk>(uint64_t)> factory;
+
+  std::map<int, OwnedWalker> owned;
+  uint64_t executed_local = 0;     // iterations physically run in this process
+  uint64_t epochs_executed = 0;    // segments this process advanced
+  uint64_t prior_elapsed_micros = 0;
+  util::WallTimer timer;
+
+  // Checkpoint provenance.
+  util::LogHistogram ckpt_write_seconds;
+  uint64_t ckpt_written = 0;
+  uint64_t ckpt_bytes = 0;
+  uint64_t walkers_restored = 0;
+  uint64_t walkers_replayed = 0;
+  int64_t resumed_from_epoch = -1;
+  int64_t manifest_epoch = -1;  // last manifest this process (member 0) wrote
+
+  [[nodiscard]] uint64_t elapsed_micros() const {
+    return prior_elapsed_micros + static_cast<uint64_t>(timer.seconds() * 1e6);
+  }
+  [[nodiscard]] bool out_of_time() const {
+    return resolved->timeout_seconds > 0 &&
+           static_cast<double>(elapsed_micros()) * 1e-6 >= resolved->timeout_seconds;
+  }
+  [[nodiscard]] bool draining() const {
+    return opts->drain != nullptr && opts->drain->load(std::memory_order_relaxed);
+  }
+
+  /// Adopt the walker slice of (rank, ranks) at epoch boundary `boundary`
+  /// (every walker must have executed `boundary` segments). Inherited
+  /// walkers restore from wave `cut` files when available, else replay.
+  void adopt_view(int rank, int ranks, uint64_t boundary, int64_t cut) {
+    const int walkers = resolved->walkers;
+    const int share = share_of(walkers, ranks, rank);
+    const int offset = offset_of(walkers, ranks, rank);
+    for (auto it = owned.begin(); it != owned.end();)
+      it = (it->first < offset || it->first >= offset + share) ? owned.erase(it) : std::next(it);
+
+    std::map<int, util::Json> snapshots;
+    bool snapshots_loaded = false;
+    for (int id = offset; id < offset + share; ++id) {
+      if (owned.count(id) != 0) continue;
+      if (!snapshots_loaded && !opts->ckpt_dir.empty() && cut >= 0) {
+        snapshots = load_wave_snapshots(opts->ckpt_dir, static_cast<uint64_t>(cut));
+        snapshots_loaded = true;
+      }
+      OwnedWalker w;
+      w.id = id;
+      w.walk = factory(seeds[static_cast<size_t>(id)]);
+      bool restored = false;
+      if (const auto sit = snapshots.find(id); sit != snapshots.end()) {
+        try {
+          w.walk->restore(walk_snapshot_from_json(sit->second));
+          restored = true;
+          ++walkers_restored;
+        } catch (const std::exception&) {
+          restored = false;  // stale snapshot: replay below
+        }
+      }
+      if (!restored) {
+        w.walk->begin();
+        if (boundary > 0) ++walkers_replayed;
+      }
+      const core::RunStats& st = w.walk->stats();
+      if (st.solved) {
+        w.solved = true;
+        w.solve_seg = seg_of(st.iterations, opts->ckpt_iters);
+      } else {
+        // Catch up to the boundary (zero-cost for a fresh restore from
+        // cut == boundary - 1; a full deterministic replay otherwise).
+        executed_local += advance_to(w, boundary * opts->ckpt_iters, opts->ckpt_iters);
+      }
+      owned.emplace(id, std::move(w));
+    }
+  }
+
+  [[nodiscard]] uint64_t owned_iters() const {
+    uint64_t sum = 0;
+    for (const auto& [id, w] : owned) sum += w.walk->stats().iterations;
+    return sum;
+  }
+
+  /// Write this member's wave-`epoch` walker file and tell the coordinator.
+  void write_wave_ckpt(uint64_t epoch) {
+    util::Json payload = util::Json::object();
+    payload["v"] = kCkptVersion;
+    payload["epoch"] = u64_json(epoch);
+    payload["member"] = comm->member();
+    util::Json walkers = util::Json::array();
+    for (const auto& [id, w] : owned) {
+      util::Json snap = walk_snapshot_to_json(w.walk->snapshot());
+      snap["id"] = u64_json(static_cast<uint64_t>(id));
+      walkers.push_back(std::move(snap));
+    }
+    payload["walkers"] = std::move(walkers);
+
+    util::WallTimer write_timer;
+    const std::string path = opts->ckpt_dir + "/" + walker_file_name(comm->member(), epoch);
+    const size_t bytes = write_ckpt_file(path, payload);
+    const double seconds = write_timer.seconds();
+    ckpt_write_seconds.add(seconds);
+    ++ckpt_written;
+    ckpt_bytes += bytes;
+    comm->send_control(wire_make_ckpt(comm->member(), epoch, bytes, seconds));
+  }
+
+  /// Member 0: the coordinator announced a new consistent cut — persist the
+  /// manifest and garbage-collect waves nobody can need any more.
+  void write_manifest(int64_t cut, int ranks, const util::Json& members) {
+    util::Json m = util::Json::object();
+    m["v"] = kCkptVersion;
+    m["epoch"] = u64_json(static_cast<uint64_t>(cut));
+    m["seed"] = u64_json(resolved->seed);
+    m["walkers"] = resolved->walkers;
+    m["ranks"] = ranks;
+    m["request"] = resolved->canonical_json();
+    m["elapsed_micros"] = u64_json(elapsed_micros());
+    m["members"] = members;
+    util::Json files = util::Json::array();
+    for (const WalkerFileRef& ref : list_walker_files(opts->ckpt_dir))
+      if (ref.epoch == static_cast<uint64_t>(cut))
+        files.push_back(walker_file_name(ref.member, ref.epoch));
+    m["files"] = std::move(files);
+    write_ckpt_file(opts->ckpt_dir + "/" + kManifestFile, m);
+    manifest_epoch = cut;
+    if (cut >= 1) prune_walker_files(opts->ckpt_dir, static_cast<uint64_t>(cut - 1));
+  }
+
+  [[nodiscard]] util::Json ckpt_extras() const {
+    util::Json c = util::Json::object();
+    c["enabled"] = !opts->ckpt_dir.empty();
+    if (!opts->ckpt_dir.empty()) c["dir"] = opts->ckpt_dir;
+    c["ckpt_iters"] = static_cast<int64_t>(opts->ckpt_iters);
+    c["written"] = static_cast<int64_t>(ckpt_written);
+    c["bytes"] = static_cast<int64_t>(ckpt_bytes);
+    c["restored"] = static_cast<int64_t>(walkers_restored);
+    c["replayed"] = static_cast<int64_t>(walkers_replayed);
+    c["resumed_from_epoch"] = resumed_from_epoch;
+    c["manifest_epoch"] = manifest_epoch;
+    if (ckpt_write_seconds.count() > 0) {
+      util::Json lat = util::Json::object();
+      lat["count"] = static_cast<int64_t>(ckpt_write_seconds.count());
+      lat["p50_seconds"] = ckpt_write_seconds.percentile(0.50);
+      lat["p90_seconds"] = ckpt_write_seconds.percentile(0.90);
+      lat["p99_seconds"] = ckpt_write_seconds.percentile(0.99);
+      lat["max_seconds"] = ckpt_write_seconds.max();
+      c["write_latency"] = std::move(lat);
+    }
+    return c;
+  }
+
+ private:
+  // make_ckpt carries seconds as micros on the wire.
+  static util::Json wire_make_ckpt(int member, uint64_t epoch, size_t bytes, double seconds) {
+    return make_ckpt(member, epoch, static_cast<uint64_t>(bytes),
+                     static_cast<uint64_t>(seconds * 1e6));
+  }
+};
+
+/// The outcome fields every member that saw the final rebalance can fill:
+/// winner identity, stats, and the independent check.
+void fill_outcome(runtime::SolveReport& report, const util::Json& final_frame) {
+  const util::Json* winner = final_frame.find("winner");
+  if (winner == nullptr || !winner->is_object()) return;
+  report.solved = true;
+  report.winner = static_cast<int>(frame_u64(*winner, "id"));
+  if (const util::Json* stats = winner->find("stats"); stats != nullptr)
+    report.winner_stats = run_stats_from_json(*stats);
+  const auto& entry = entry_of(report.request);
+  if (entry.check != nullptr && !report.winner_stats.solution.empty()) {
+    report.checked = true;
+    report.check_passed = entry.check(report.winner_stats.solution);
+  }
+}
+
+void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOptions& opts,
+                 runtime::SolveReport& report) {
+  if (resolved.strategy != "multiwalk")
+    throw std::invalid_argument(
+        "elastic worlds support only the multiwalk strategy (independent walkers are what "
+        "makes checkpointed ownership transferable); requested: " +
+        resolved.strategy);
+  if (opts.ckpt_iters == 0) throw std::invalid_argument("elastic: ckpt_iters must be >= 1");
+  if (opts.resume && opts.ckpt_dir.empty())
+    throw std::invalid_argument("elastic: --resume needs --ckpt-dir");
+
+  RankComm& comm = world.comm();
+  const bool joiner = comm.rank() < 0;
+
+  ElasticRun run;
+  run.comm = &comm;
+  run.opts = &opts;
+  run.resolved = &resolved;
+
+  uint64_t epoch = 0;     // wave index the next segment executes
+  int64_t cut = -1;       // latest consistent checkpoint wave we know of
+  int my_rank = comm.rank();
+  int ranks = comm.size();
+  util::Json first_rebalance;
+
+  if (joiner) {
+    // The coordinator welcomed us at a wave boundary; the rebalance frame
+    // right behind the welcome carries everything we need to start.
+    auto ctl = comm.take_control(opts.control_timeout_seconds);
+    if (!ctl) throw CommError("elastic: joiner saw no rebalance frame within the timeout");
+    first_rebalance = std::move(*ctl);
+    if (frame_bool(first_rebalance, "final", false)) {
+      fill_outcome(report, first_rebalance);
+      report.extras = util::Json::object();
+      return;  // the hunt ended in the same wave that admitted us
+    }
+    resolved.seed = frame_u64(first_rebalance, "seed");
+    const int hunt_walkers = frame_int(first_rebalance, "walkers");
+    if (hunt_walkers != resolved.walkers)
+      throw std::invalid_argument(util::strf("elastic: hunt runs %d walkers, request asked %d",
+                                             hunt_walkers, resolved.walkers));
+    my_rank = frame_int(first_rebalance, "your_rank");
+    ranks = frame_int(first_rebalance, "ranks");
+    epoch = frame_u64(first_rebalance, "epoch");
+    if (const util::Json* ce = first_rebalance.find("ckpt_epoch"); ce != nullptr)
+      cut = ce->as_int();
+    comm.set_view(my_rank, ranks);
+  } else if (opts.resume) {
+    const util::Json manifest = read_ckpt_file(opts.ckpt_dir + "/" + std::string(kManifestFile));
+    const runtime::SolveRequest stored = runtime::SolveRequest::from_json(manifest.at("request"));
+    if (elastic_hunt_key(stored) != elastic_hunt_key(resolved))
+      throw CkptError(
+          "resume: the checkpoint manifest describes a different request "
+          "(seed/threads/timeout may differ; problem, size, configs, and walkers may not)");
+    resolved.seed = u64_from(manifest.at("seed"), "manifest seed");
+    run.prior_elapsed_micros = u64_from(manifest.at("elapsed_micros"), "manifest elapsed_micros");
+    const uint64_t manifest_wave = u64_from(manifest.at("epoch"), "manifest epoch");
+    run.resumed_from_epoch = static_cast<int64_t>(manifest_wave);
+    run.manifest_epoch = static_cast<int64_t>(manifest_wave);
+    cut = static_cast<int64_t>(manifest_wave);
+    epoch = manifest_wave + 1;
+  } else if (resolved.seed == 0) {
+    // Stochastic request: member 0 draws, everyone adopts (the report then
+    // echoes the drawn seed, keeping the run replayable).
+    std::vector<int64_t> wire(1, 0);
+    if (comm.rank() == 0) wire[0] = std::bit_cast<int64_t>(draw_seed());
+    wire = par::collective_broadcast(comm, comm.next_seq(), 0, std::move(wire));
+    resolved.seed = std::bit_cast<uint64_t>(wire[0]);
+  }
+
+  // Member 0 announces the hunt so the coordinator can authenticate late
+  // joiners and feed them the seed through their first rebalance.
+  if (comm.member() == 0) world.set_hunt(elastic_hunt_key(resolved), resolved.seed, resolved.walkers);
+
+  run.seeds = core::ChaoticSeedSequence::generate(resolved.seed,
+                                                  static_cast<size_t>(resolved.walkers));
+  run.factory = entry_of(resolved).make_resumable_walker
+                    ? entry_of(resolved).make_resumable_walker(resolved)
+                    : throw std::invalid_argument("elastic: problem '" + resolved.problem +
+                                                  "' has no resumable walker factory");
+  run.adopt_view(my_rank, ranks, epoch, cut);
+
+  const uint64_t start_epoch = epoch;
+  bool leaving = false;
+  bool preempted = false;
+  util::Json final_frame;
+
+  for (;;) {
+    bool done = false;
+    bool halt = false;
+
+    // 1. Advance every unsolved owned walker one segment.
+    const uint64_t boundary = (epoch + 1) * opts.ckpt_iters;
+    const uint64_t delta =
+        advance_all(run.owned, boundary, opts.ckpt_iters, resolved.num_threads);
+    run.executed_local += delta;
+    ++run.epochs_executed;
+    bool any_unsolved = false;
+    for (const auto& [id, w] : run.owned)
+      if (!w.solved) any_unsolved = true;
+    if (delta == 0 && any_unsolved) done = true;  // capped walkers: no progress possible
+    if (!any_unsolved && run.owned.empty()) done = true;
+    if (opts.max_epochs > 0 && epoch + 1 >= opts.max_epochs) {
+      done = true;
+      preempted = true;
+    }
+    if (run.out_of_time()) halt = true;
+    if (run.draining()) {
+      if (comm.member() == 0) {
+        halt = true;
+      } else if (!leaving) {
+        comm.send_control(make_leave(comm.member()));
+        leaving = true;
+      }
+    }
+
+    // 2. Durable cut for this wave — written before the epoch frame, so a
+    // ckpt_epoch announcement implies every wave file is on disk.
+    if (!opts.ckpt_dir.empty()) run.write_wave_ckpt(epoch);
+
+    // 3. Fault injection: die like SIGKILL, after the checkpoint, before
+    // the epoch report — the worst-timed crash the protocol must absorb.
+    if (opts.die_at_epoch > 0 && run.epochs_executed >= opts.die_at_epoch) {
+      comm.hard_kill();
+      report.error = util::strf("elastic: fault injection hard-killed member %d at epoch %llu",
+                                comm.member(), static_cast<unsigned long long>(epoch));
+      return;
+    }
+
+    // 4. Report the epoch. `solved` lists every solved owned walker
+    // cumulatively — re-reports are idempotent under the coordinator's
+    // (min segment, min id) winner rule, which makes resume/rebalance
+    // re-announcement free.
+    util::Json ef = make_epoch_base(comm.member(), epoch);
+    ef["done"] = done;
+    ef["halt"] = halt;
+    ef["executed"] = wire_u64(run.executed_local);
+    ef["owned_iters"] = wire_u64(run.owned_iters());
+    ef["walkers"] = static_cast<int64_t>(run.owned.size());
+    ef["wall_micros"] = wire_u64(run.elapsed_micros());
+    util::Json solved_list = util::Json::array();
+    for (const auto& [id, w] : run.owned) {
+      if (!w.solved) continue;
+      util::Json s = util::Json::object();
+      s["id"] = wire_u64(static_cast<uint64_t>(id));
+      s["seg"] = wire_u64(w.solve_seg);
+      s["stats"] = run_stats_to_json(w.walk->stats());
+      solved_list.push_back(std::move(s));
+    }
+    ef["solved"] = std::move(solved_list);
+    comm.send_control(ef);
+
+    // 5. Wait for the coordinator to complete the wave.
+    auto ctl = comm.take_control(opts.control_timeout_seconds);
+    if (!ctl)
+      throw CommError(util::strf("elastic: no rebalance for epoch %llu within %.0fs",
+                                 static_cast<unsigned long long>(epoch),
+                                 opts.control_timeout_seconds));
+    const util::Json rb = std::move(*ctl);
+    if (const util::Json* ce = rb.find("ckpt_epoch"); ce != nullptr) cut = ce->as_int();
+    ranks = frame_int(rb, "ranks");
+
+    // Member 0 persists the manifest whenever the consistent cut advanced.
+    if (comm.member() == 0 && !opts.ckpt_dir.empty() && cut > run.manifest_epoch) {
+      const util::Json* members = rb.find("members");
+      run.write_manifest(cut, ranks, members != nullptr ? *members : util::Json::array());
+    }
+
+    if (frame_bool(rb, "final", false)) {
+      final_frame = rb;
+      break;
+    }
+
+    const int new_rank = frame_int(rb, "your_rank");
+    epoch = frame_u64(rb, "epoch");
+    if (new_rank < 0) {
+      // Retired: the coordinator rebalanced our walkers away after our
+      // leave. Report participation and bow out.
+      report.extras = util::Json::object();
+      util::Json d = util::Json::object();
+      d["elastic"] = true;
+      d["left"] = true;
+      d["member"] = comm.member();
+      d["epochs"] = static_cast<int64_t>(run.epochs_executed);
+      d["executed"] = static_cast<int64_t>(run.executed_local);
+      d["ckpt"] = run.ckpt_extras();
+      d["comm"] = world.stats_json();
+      report.extras["dist"] = std::move(d);
+      report.wall_seconds = static_cast<double>(run.elapsed_micros()) * 1e-6;
+      return;
+    }
+    my_rank = new_rank;
+    comm.set_view(my_rank, ranks);
+    run.adopt_view(my_rank, ranks, epoch, cut);
+  }
+
+  // --- final rebalance: build the report -----------------------------------
+  fill_outcome(report, final_frame);
+  report.wall_seconds = static_cast<double>(run.elapsed_micros()) * 1e-6;
+  report.extras = util::Json::object();
+  util::Json d = util::Json::object();
+  d["elastic"] = true;
+  d["strategy"] = resolved.strategy;
+  d["ranks"] = ranks;
+  d["member"] = comm.member();
+  d["rank"] = my_rank;
+  d["epochs"] = static_cast<int64_t>(frame_u64(final_frame, "epoch") + 1);
+  d["start_epoch"] = static_cast<int64_t>(start_epoch);
+  d["preempted"] = preempted;
+  if (const util::Json* ev = final_frame.find("evicted"); ev != nullptr) d["evicted"] = *ev;
+
+  if (comm.member() == 0) {
+    // Merge the per-member summaries the coordinator gathered. Every live
+    // walker is owned by exactly one final active member, so summing their
+    // owned_iters counts each walker's logical work once — inherited
+    // pre-crash iterations included, replayed duplicates excluded.
+    uint64_t total_iterations = 0;
+    util::Json rows = util::Json::array();
+    if (const util::Json* summaries = final_frame.find("summaries");
+        summaries != nullptr && summaries->is_array()) {
+      for (const util::Json& s : summaries->as_array()) {
+        const bool evicted = frame_bool(s, "evicted", false);
+        const bool left = frame_bool(s, "left", false);
+        util::Json row = util::Json::object();
+        row["member"] = frame_int(s, "rank");  // epoch frames carry the member id as rank
+        row["evicted"] = evicted;
+        row["left"] = left;
+        row["last_epoch"] = static_cast<int64_t>(frame_u64(s, "epoch"));
+        row["walkers"] = frame_int(s, "walkers");
+        row["executed"] = static_cast<int64_t>(frame_u64(s, "executed"));
+        row["owned_iters"] = static_cast<int64_t>(frame_u64(s, "owned_iters"));
+        row["wall_seconds"] = static_cast<double>(frame_u64(s, "wall_micros")) * 1e-6;
+        if (const util::Json* sv = s.find("solved"); sv != nullptr && sv->is_array())
+          row["solved"] = static_cast<int64_t>(sv->as_array().size());
+        if (!evicted && !left) total_iterations += frame_u64(s, "owned_iters");
+        rows.push_back(std::move(row));
+      }
+    }
+    report.total_iterations = total_iterations;
+    report.walkers_run = resolved.walkers;
+    d["members"] = std::move(rows);
+  }
+  d["ckpt"] = run.ckpt_extras();
+  d["comm"] = world.stats_json();
+  report.extras["dist"] = std::move(d);
+}
+
+}  // namespace
+
+std::string elastic_hunt_key(const runtime::SolveRequest& resolved) {
+  runtime::SolveRequest r = resolved;
+  r.id.clear();
+  r.seed = 0;
+  r.num_threads = 0;
+  r.timeout_seconds = 0.0;
+  return r.canonical_key();
+}
+
+runtime::SolveReport solve_elastic(World& world, const runtime::SolveRequest& req,
+                                   const runtime::StrategyContext& /*ctx*/,
+                                   const ElasticOptions& opts) {
+  runtime::SolveReport report;
+  try {
+    report.request = runtime::resolve(req);
+  } catch (const std::exception& e) {
+    report.request = req;
+    report.error = e.what();
+    return report;
+  }
+  try {
+    run_elastic(world, report.request, opts, report);
+  } catch (const std::exception& e) {
+    report.error = util::strf("elastic (member %d): %s", world.comm().member(), e.what());
+  }
+  return report;
+}
+
+}  // namespace cas::dist

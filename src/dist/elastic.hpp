@@ -1,0 +1,91 @@
+// The elastic distributed runner: epoch-stepped independent multi-walk over
+// a membership that can change while the hunt is running.
+//
+// Unlike solve_distributed — whose fixed-rank collectives assume every rank
+// lives for the whole request — solve_elastic advances each owned walker a
+// fixed iteration segment per epoch, checkpoints the mid-walk state, and
+// reports to the coordinator; the coordinator completes the wave once every
+// active member reported, evicting the dead, retiring the leaving, admitting
+// late joiners, and broadcasting the new walker partition in a `rebalance`
+// frame. Work is deterministic per walker (global walker id -> chaotic-map
+// seed), so ownership can move between members freely: a member that
+// inherits a walker restores its snapshot from the last consistent
+// checkpoint wave — or deterministically replays it from the seed when no
+// checkpoint exists — and continues exactly where the previous owner left
+// off. The same property makes `--resume` exact: a world killed outright and
+// restarted from its manifest (at ANY rank count) follows the identical
+// walker trajectories an uninterrupted run would.
+//
+// Invariants the protocol relies on:
+//   - Walkers never stop mid-segment: a solve is detected when the segment
+//     ends, and reported as (walker id, segment index). The coordinator
+//     picks the winner as (min segment, then min walker id) — a total order
+//     every membership agrees on, independent of wall-clock racing.
+//   - The wave-E checkpoint file is written BEFORE the epoch-E frame, on the
+//     same FIFO connection, so when the coordinator announces ckpt_epoch=E
+//     every active member's wave-E file is durably on disk.
+//   - Member 0 (the coordinator's host process) never leaves or dies while
+//     the world survives; it alone writes the resume manifest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "dist/world.hpp"
+#include "runtime/spec.hpp"
+#include "runtime/strategy.hpp"
+
+namespace cas::dist {
+
+struct ElasticOptions {
+  /// Checkpoint directory (shared by every member; typically a shared
+  /// filesystem in multi-host worlds). Empty = no durable checkpoints:
+  /// membership stays elastic, but inherited walkers are replayed from
+  /// their seeds and --resume is unavailable.
+  std::string ckpt_dir;
+  /// Iterations each walker advances per epoch. The epoch boundary is the
+  /// only point where membership changes, checkpoints cut, and budgets are
+  /// checked — shorter segments mean finer-grained elasticity, at the cost
+  /// of more frequent synchronization.
+  uint64_t ckpt_iters = 100000;
+  /// Absolute epoch bound: the member reports done once epoch index
+  /// max_epochs - 1 has executed (0 = unbounded). Because the bound is
+  /// absolute, every member agrees on the final wave — this is the clean
+  /// whole-world preemption knob.
+  uint64_t max_epochs = 0;
+  /// Restore from ckpt_dir's manifest: adopt its seed and elapsed budget,
+  /// start at manifest epoch + 1, and restore owned walkers from the
+  /// manifest wave's files.
+  bool resume = false;
+  /// Graceful-drain latch (cas_run's SIGTERM handler): when set, member 0
+  /// halts the world at the next epoch boundary; other members send
+  /// `leave` and retire once the coordinator rebalances them out.
+  const std::atomic<bool>* drain = nullptr;
+  /// Fault injection: hard-kill the communicator (no bye — exactly what
+  /// SIGKILL looks like to the coordinator) after this member has executed
+  /// `die_at_epoch` epochs and written the wave's checkpoint, but before
+  /// reporting the epoch frame. 0 = disabled.
+  uint64_t die_at_epoch = 0;
+  /// How long to wait for the coordinator's rebalance frame after
+  /// reporting an epoch before declaring the world dead.
+  double control_timeout_seconds = 120.0;
+};
+
+/// The seed-neutral request identity an elastic hunt is keyed by: the
+/// canonical key with seed, num_threads, and timeout_seconds zeroed —
+/// execution-shape fields an operator may legitimately change between the
+/// original launch, a late join, and a resume. Used as the join
+/// authentication key and the resume-manifest compatibility check.
+[[nodiscard]] std::string elastic_hunt_key(const runtime::SolveRequest& resolved);
+
+/// Run one elastic hunt on `world`. The report mirrors solve_distributed's
+/// contract: member 0 returns the merged world report (extras.dist carries
+/// the per-member rows, membership counters, and checkpoint provenance);
+/// other members return a participation stub that still names the winner.
+/// Errors come back in report.error — the call does not throw.
+runtime::SolveReport solve_elastic(World& world, const runtime::SolveRequest& req,
+                                   const runtime::StrategyContext& ctx,
+                                   const ElasticOptions& opts);
+
+}  // namespace cas::dist

@@ -25,8 +25,11 @@ double now_seconds() {
 
 RankComm::RankComm(RankCommOptions opts)
     : opts_(std::move(opts)), decoder_(opts_.max_frame_bytes) {
-  if (opts_.rank < 0 || opts_.rank >= opts_.ranks)
+  if (!opts_.join && (opts_.rank < 0 || opts_.rank >= opts_.ranks))
     throw CommError(util::strf("rank_comm: rank %d outside world of %d", opts_.rank, opts_.ranks));
+  rank_.store(opts_.join ? -1 : opts_.rank, std::memory_order_release);
+  ranks_.store(opts_.join ? 0 : opts_.ranks, std::memory_order_release);
+  member_ = opts_.join ? -1 : opts_.rank;
 
   // Connect with retry: sibling processes race the coordinator's bind.
   const double deadline = now_seconds() + opts_.connect_timeout_seconds;
@@ -41,13 +44,14 @@ RankComm::RankComm(RankCommOptions opts)
   }
   net::set_nodelay(fd_.get());
 
-  // hello, then block (deadline-bounded) until welcome — the rendezvous.
-  // Runs on the caller's thread with the same decoder the reader thread
-  // inherits afterwards, so bytes coalesced behind the welcome frame are
-  // not lost.
+  // hello (or join), then block (deadline-bounded) until welcome — the
+  // rendezvous. Runs on the caller's thread with the same decoder the
+  // reader thread inherits afterwards, so bytes coalesced behind the
+  // welcome frame are not lost.
   {
     std::scoped_lock lock(send_mu_);
-    send_frame_locked_throw(make_hello(opts_.rank, opts_.ranks));
+    send_frame_locked_throw(opts_.join ? make_join(opts_.hunt_key)
+                                       : make_hello(opts_.rank, opts_.ranks));
   }
   bool welcomed = false;
   std::string payload;
@@ -59,6 +63,16 @@ RankComm::RankComm(RankCommOptions opts)
           const std::string type = frame_type(j);
           if (type == "welcome") {
             welcomed = true;
+            if (opts_.join) {
+              // The coordinator assigned our member id; the dense rank
+              // arrives with the first rebalance frame.
+              const util::Json* rj = j.find("rank");
+              const util::Json* nj = j.find("ranks");
+              if (rj == nullptr || nj == nullptr)
+                throw CommError("rank_comm: malformed welcome for joiner");
+              member_ = static_cast<int>(rj->as_int());
+              ranks_.store(static_cast<int>(nj->as_int()), std::memory_order_release);
+            }
           } else if (type == "abort") {
             const util::Json* r = j.find("reason");
             throw CommError(r != nullptr && r->is_string() ? r->as_string()
@@ -115,9 +129,9 @@ void RankComm::send_frame_locked_throw(const util::Json& j) {
 }
 
 void RankComm::send(int dest, par::Message msg) {
-  if (dest < 0 || dest >= opts_.ranks) throw CommError("rank_comm: bad destination rank");
+  if (dest < 0 || dest >= size()) throw CommError("rank_comm: bad destination rank");
   if (failed()) throw CommError(failure());
-  msg.source = opts_.rank;
+  msg.source = rank();
   const util::Json frame = make_msg(dest, msg);
   std::scoped_lock lock(send_mu_);
   send_frame_locked_throw(frame);
@@ -125,10 +139,51 @@ void RankComm::send(int dest, par::Message msg) {
 
 void RankComm::broadcast_others(par::Message msg) {
   if (failed()) throw CommError(failure());
-  msg.source = opts_.rank;
+  msg.source = rank();
   const util::Json frame = make_msg(/*to=*/-1, msg);
   std::scoped_lock lock(send_mu_);
   send_frame_locked_throw(frame);
+}
+
+void RankComm::set_view(int rank, int ranks) {
+  rank_.store(rank, std::memory_order_release);
+  ranks_.store(ranks, std::memory_order_release);
+}
+
+void RankComm::send_control(const util::Json& frame) {
+  if (failed()) throw CommError(failure());
+  std::scoped_lock lock(send_mu_);
+  send_frame_locked_throw(frame);
+}
+
+std::optional<util::Json> RankComm::take_control(double timeout_seconds) {
+  std::unique_lock lock(control_mu_);
+  const auto pred = [this] { return !control_.empty() || failed(); };
+  if (timeout_seconds > 0) {
+    control_cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds), pred);
+  } else {
+    control_cv_.wait(lock, pred);
+  }
+  if (!control_.empty()) {
+    util::Json j = std::move(control_.front());
+    control_.pop_front();
+    return j;
+  }
+  if (failed()) throw CommError(failure());
+  return std::nullopt;
+}
+
+void RankComm::hard_kill() {
+  bool expected = false;
+  if (!finalized_.compare_exchange_strong(expected, true)) return;
+  stop_threads_.store(true, std::memory_order_release);
+  hb_cv_.notify_all();
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);  // FIN, no bye — looks killed
+  if (reader_.joinable()) reader_.join();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  fd_.reset();
+  fail("rank_comm: hard-killed (fault injection)");
+  control_cv_.notify_all();
 }
 
 par::Message RankComm::recv_collective(int tag, int64_t seq) {
@@ -163,6 +218,7 @@ void RankComm::fail(const std::string& reason) {
   }
   remote_stop_.store(true, std::memory_order_release);
   mailbox_.close();
+  control_cv_.notify_all();
 }
 
 std::string RankComm::failure() const {
@@ -201,6 +257,12 @@ bool RankComm::drain_decoder() {
           const util::Json* r = j.find("reason");
           fail(r != nullptr && r->is_string() ? r->as_string() : "aborted by coordinator");
           return false;
+        } else if (type == "rebalance") {
+          {
+            std::scoped_lock lock(control_mu_);
+            control_.push_back(std::move(j));
+          }
+          control_cv_.notify_all();
         }
         // welcome duplicates / unknown types: ignored.
         break;
@@ -257,7 +319,7 @@ void RankComm::heartbeat_body() {
                     [this] { return stop_threads_.load(std::memory_order_acquire); });
     if (stop_threads_.load(std::memory_order_acquire)) return;
     if (failed()) return;
-    const util::Json frame = make_hb(opts_.rank);
+    const util::Json frame = make_hb(member_);
     std::scoped_lock send_lock(send_mu_);
     try {
       send_frame_locked_throw(frame);
@@ -274,7 +336,7 @@ void RankComm::finalize() {
     // Best-effort clean detach; the coordinator counts byes.
     std::scoped_lock lock(send_mu_);
     try {
-      send_frame_locked_throw(make_bye(opts_.rank));
+      send_frame_locked_throw(make_bye(member_));
     } catch (const CommError&) {
     }
   }
@@ -287,8 +349,9 @@ void RankComm::finalize() {
 
 util::Json RankComm::stats_json() const {
   util::Json j = util::Json::object();
-  j["rank"] = opts_.rank;
-  j["ranks"] = opts_.ranks;
+  j["rank"] = rank();
+  j["ranks"] = size();
+  j["member"] = member_;
   j["frames_sent"] = frames_sent_.load(std::memory_order_relaxed);
   j["bytes_sent"] = bytes_sent_.load(std::memory_order_relaxed);
   j["frames_received"] = frames_received_.load(std::memory_order_relaxed);

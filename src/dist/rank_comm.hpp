@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -47,19 +48,27 @@ struct RankCommOptions {
   /// CommError (dead-peer detection from the waiting side). 0 = forever.
   double collective_timeout_seconds = 120.0;
   size_t max_frame_bytes = net::kDefaultMaxFrame;
+  /// Late-join handshake (elastic worlds): send `join` instead of `hello`;
+  /// the welcome then carries the coordinator-assigned member id, and the
+  /// dense rank stays -1 until the first rebalance frame names one.
+  bool join = false;
+  /// The canonical request key carried in the join frame (the coordinator
+  /// refuses joiners whose key does not match the hunt in progress).
+  std::string hunt_key;
 };
 
 class RankComm {
  public:
-  /// Connects, says hello, and blocks until welcome. Throws CommError.
+  /// Connects, says hello (or join), and blocks until welcome. Throws
+  /// CommError.
   explicit RankComm(RankCommOptions opts);
   ~RankComm();
   RankComm(const RankComm&) = delete;
   RankComm& operator=(const RankComm&) = delete;
 
   // --- CollectiveEndpoint + point-to-point surface ---
-  [[nodiscard]] int rank() const { return opts_.rank; }
-  [[nodiscard]] int size() const { return opts_.ranks; }
+  [[nodiscard]] int rank() const { return rank_.load(std::memory_order_acquire); }
+  [[nodiscard]] int size() const { return ranks_.load(std::memory_order_acquire); }
   void send(int dest, par::Message msg);
   [[nodiscard]] par::Message recv_collective(int tag, int64_t seq);
   [[nodiscard]] int64_t next_seq() { return static_cast<int64_t>(collective_seq_++); }
@@ -82,6 +91,30 @@ class RankComm {
     remote_stop_.store(false, std::memory_order_release);
     mailbox_.drain();
   }
+
+  // --- elastic surface ---
+
+  /// The stable member id (== rank for initial members; coordinator-
+  /// assigned for late joiners). Identity on the wire; the dense rank
+  /// from rank() is what the collective surface uses.
+  [[nodiscard]] int member() const { return member_; }
+
+  /// Adopt the membership view a rebalance frame announced: the dense
+  /// rank this member now holds (-1 = retired) and the active world size.
+  void set_view(int rank, int ranks);
+
+  /// Send a raw control frame (epoch / ckpt / leave) to the coordinator.
+  void send_control(const util::Json& frame);
+
+  /// Block until the coordinator's next control frame (rebalance) arrives.
+  /// Returns nullopt on timeout; throws CommError once the communicator
+  /// has failed.
+  [[nodiscard]] std::optional<util::Json> take_control(double timeout_seconds);
+
+  /// Fault injection: die like a SIGKILLed process — shut the socket down
+  /// with no bye, join the threads, fail the communicator. The coordinator
+  /// sees a connection lost, exactly as for a real kill.
+  void hard_kill();
 
   /// Clean detach: bye to the coordinator, threads joined, socket closed.
   /// Idempotent; also run by the destructor.
@@ -108,6 +141,17 @@ class RankComm {
   net::FrameDecoder decoder_;
   par::Mailbox mailbox_;
   uint64_t collective_seq_ = 0;
+
+  // The current membership view (dense rank + active world size); fixed
+  // for classic worlds, updated by set_view at every rebalance in elastic
+  // ones. member_ is written once during construction.
+  std::atomic<int> rank_{0};
+  std::atomic<int> ranks_{1};
+  int member_ = 0;
+
+  std::mutex control_mu_;
+  std::condition_variable control_cv_;
+  std::deque<util::Json> control_;
 
   std::mutex send_mu_;
   std::atomic<bool> stop_threads_{false};

@@ -76,6 +76,46 @@ util::Json make_bye(int rank) {
   return j;
 }
 
+util::Json make_join(const std::string& hunt_key) {
+  util::Json j = util::Json::object();
+  j["type"] = "join";
+  j["v"] = kWireVersion;
+  j["key"] = hunt_key;
+  return j;
+}
+
+util::Json make_leave(int member) {
+  util::Json j = util::Json::object();
+  j["type"] = "leave";
+  j["rank"] = member;
+  return j;
+}
+
+util::Json make_ckpt(int member, uint64_t epoch, uint64_t bytes, uint64_t micros) {
+  util::Json j = util::Json::object();
+  j["type"] = "ckpt";
+  j["rank"] = member;
+  j["epoch"] = wire_u64(epoch);
+  j["bytes"] = wire_u64(bytes);
+  j["micros"] = wire_u64(micros);
+  return j;
+}
+
+util::Json make_epoch_base(int member, uint64_t epoch) {
+  util::Json j = util::Json::object();
+  j["type"] = "epoch";
+  j["rank"] = member;
+  j["epoch"] = wire_u64(epoch);
+  return j;
+}
+
+util::Json make_rebalance_base(uint64_t epoch) {
+  util::Json j = util::Json::object();
+  j["type"] = "rebalance";
+  j["epoch"] = wire_u64(epoch);
+  return j;
+}
+
 std::string frame_type(const util::Json& j) {
   const util::Json* t = j.is_object() ? j.find("type") : nullptr;
   return (t != nullptr && t->is_string()) ? t->as_string() : "";
@@ -102,5 +142,33 @@ par::Message parse_msg(const util::Json& j) {
 }
 
 int msg_dest(const util::Json& j) { return require_int(j, "to"); }
+
+int frame_int(const util::Json& j, const char* key) { return require_int(j, key); }
+
+bool frame_bool(const util::Json& j, const char* key, bool fallback) {
+  const util::Json* f = j.is_object() ? j.find(key) : nullptr;
+  if (f == nullptr) return fallback;
+  if (!f->is_bool()) throw CommError(util::strf("wire: '%s' is not a bool", key));
+  return f->as_bool();
+}
+
+uint64_t frame_u64(const util::Json& j, const char* key) {
+  const util::Json& f = require(j, key);
+  if (f.is_number()) {
+    const double d = f.as_number();
+    if (d < 0) throw CommError(util::strf("wire: '%s' is negative", key));
+    return static_cast<uint64_t>(d);
+  }
+  if (!f.is_string()) throw CommError(util::strf("wire: '%s' is not a u64 string", key));
+  const std::string& s = f.as_string();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0')
+    throw CommError(util::strf("wire: '%s' value '%s' is not a u64", key, s.c_str()));
+  return static_cast<uint64_t>(v);
+}
+
+util::Json wire_u64(uint64_t v) { return util::Json(std::to_string(v)); }
 
 }  // namespace cas::dist

@@ -13,9 +13,25 @@
 //   bye      rank -> coordinator: clean detach (EOF after bye is not a
 //            death)
 //
+// The elastic vocabulary (protocol v2) rides on the same codec:
+//
+//   join      late rank -> coordinator: admit me at the next epoch
+//             boundary (no rank claim; the coordinator assigns a member
+//             id in its welcome)
+//   leave     rank -> coordinator: retire me at the end of this epoch
+//             (graceful drain; unlike bye the walk state is rebalanced)
+//   epoch     rank -> coordinator at each epoch boundary: progress,
+//             solves, and drain/halt intentions for the wave
+//   ckpt      rank -> coordinator just before its epoch frame: the wave
+//             checkpoint file was durably written (bytes, micros)
+//   rebalance coordinator -> every member once a wave completes: the new
+//             membership view, per-member dense rank, walker split, and
+//             (on the final wave) the winner + merged summaries
+//
 // Message payloads are int64 vectors; elements travel as decimal STRINGS,
 // not JSON numbers, because util::Json stores numbers as doubles and a
-// broadcast 64-bit seed would silently lose its low bits above 2^53.
+// broadcast 64-bit seed would silently lose its low bits above 2^53. The
+// elastic frames spell every 64-bit counter the same way.
 #pragma once
 
 #include <stdexcept>
@@ -34,8 +50,11 @@ struct CommError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Protocol magic echoed in hello frames, bumped on incompatible changes.
-inline constexpr int kWireVersion = 1;
+/// Protocol magic echoed in hello/join frames, bumped on incompatible
+/// changes. v2 added the elastic vocabulary (join/leave/epoch/ckpt/
+/// rebalance); a v2 coordinator rejects a mismatched version with an
+/// abort frame naming both versions.
+inline constexpr int kWireVersion = 2;
 
 util::Json make_hello(int rank, int ranks);
 util::Json make_welcome(int rank, int ranks);
@@ -44,6 +63,22 @@ util::Json make_hb(int rank);
 util::Json make_abort(const std::string& reason);
 util::Json make_bye(int rank);
 
+// --- elastic vocabulary (v2) ---
+
+/// Late-joiner handshake. `hunt_key` is the canonical request key the
+/// joiner expects to work on; the coordinator refuses a joiner whose key
+/// does not match the hunt in progress.
+util::Json make_join(const std::string& hunt_key);
+/// Graceful drain: retire member `member` at the end of the current epoch.
+util::Json make_leave(int member);
+/// Checkpoint acknowledgement: member wrote its wave-`epoch` walker file
+/// (`bytes` on disk, `micros` write latency).
+util::Json make_ckpt(int member, uint64_t epoch, uint64_t bytes, uint64_t micros);
+/// Skeleton epoch/rebalance frames; the elastic runner and coordinator
+/// fill in the wave-specific fields documented in docs/PROTOCOL.md.
+util::Json make_epoch_base(int member, uint64_t epoch);
+util::Json make_rebalance_base(uint64_t epoch);
+
 /// The frame's "type" field ("" when absent/non-string).
 std::string frame_type(const util::Json& j);
 
@@ -51,5 +86,14 @@ std::string frame_type(const util::Json& j);
 par::Message parse_msg(const util::Json& j);
 /// Destination rank of a msg frame (-1 = broadcast). Throws on absence.
 int msg_dest(const util::Json& j);
+
+/// Typed field access for the elastic frames; all throw CommError on
+/// missing or malformed fields.
+int frame_int(const util::Json& j, const char* key);
+bool frame_bool(const util::Json& j, const char* key, bool fallback);
+/// 64-bit counter carried as a decimal string (or small plain number).
+uint64_t frame_u64(const util::Json& j, const char* key);
+/// The decimal-string spelling for 64-bit fields in elastic frames.
+util::Json wire_u64(uint64_t v);
 
 }  // namespace cas::dist

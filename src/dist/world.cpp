@@ -7,13 +7,14 @@ namespace cas::dist {
 
 World::World(WorldOptions opts, const std::function<void(uint16_t)>& on_listening)
     : opts_(opts) {
-  if (opts_.rank == 0) {
+  if (opts_.rank == 0 && !opts_.join) {
     CoordinatorOptions co;
     co.host = opts_.host;
     co.port = opts_.port;
     co.ranks = opts_.ranks;
     co.heartbeat_timeout_seconds = opts_.heartbeat_timeout_seconds;
     co.join_timeout_seconds = opts_.connect_timeout_seconds * 2;
+    co.elastic = opts_.elastic;
     coordinator_ = std::make_unique<Coordinator>(co);
     port_ = coordinator_->port();
     if (on_listening) on_listening(port_);
@@ -28,7 +29,13 @@ World::World(WorldOptions opts, const std::function<void(uint16_t)>& on_listenin
   rc.connect_timeout_seconds = opts_.connect_timeout_seconds;
   rc.heartbeat_interval_seconds = opts_.heartbeat_interval_seconds;
   rc.collective_timeout_seconds = opts_.collective_timeout_seconds;
+  rc.join = opts_.join;
+  rc.hunt_key = opts_.hunt_key;
   comm_ = std::make_unique<RankComm>(rc);
+}
+
+void World::set_hunt(const std::string& key, uint64_t seed, int walkers) {
+  if (coordinator_ != nullptr) coordinator_->set_hunt(key, seed, walkers);
 }
 
 void World::finalize() {

@@ -31,6 +31,13 @@ struct WorldOptions {
   double heartbeat_interval_seconds = 1.0;
   double heartbeat_timeout_seconds = 10.0;
   double collective_timeout_seconds = 120.0;
+  /// Elastic membership: the rank-0 coordinator evicts dead members at
+  /// epoch boundaries instead of aborting, and admits late joiners.
+  bool elastic = false;
+  /// Join an existing elastic world late (no rank claim; implies not
+  /// hosting a coordinator). `hunt_key` authenticates the request.
+  bool join = false;
+  std::string hunt_key;
 };
 
 class World {
@@ -47,6 +54,10 @@ class World {
   [[nodiscard]] RankComm& comm() { return *comm_; }
   /// Coordinator port (the rendezvous address all ranks dialed).
   [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Rank 0 announces the hunt so the coordinator can validate and
+  /// bootstrap late joiners. No-op on worlds without a coordinator.
+  void set_hunt(const std::string& key, uint64_t seed, int walkers);
 
   /// Clean shutdown: detach the rank; rank 0 waits briefly for the other
   /// ranks' byes before stopping the router.

@@ -45,6 +45,56 @@ struct Binding {
   std::function<core::AsConfig(const SolveRequest&)> base_as;
 };
 
+/// The type-erased pausable walk: a private replica plus an Adaptive Search
+/// engine bound to it. Non-movable (the engine holds a reference into
+/// problem_), so it always lives behind the factory's unique_ptr.
+template <typename P>
+class AsResumableWalk final : public ResumableWalk {
+ public:
+  AsResumableWalk(P problem, core::AsConfig cfg)
+      : problem_(std::move(problem)), engine_(problem_, cfg) {}
+
+  void begin() override { engine_.begin_walk(); }
+
+  bool advance(uint64_t iter_budget, core::StopToken stop) override {
+    return engine_.advance_walk(iter_budget, stop);
+  }
+
+  [[nodiscard]] WalkSnapshot snapshot() const override {
+    WalkSnapshot s;
+    const int n = problem_.size();
+    s.config.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) s.config[static_cast<size_t>(i)] = problem_.value(i);
+    engine_.export_walk(s.engine);
+    return s;
+  }
+
+  void restore(const WalkSnapshot& s) override {
+    const int n = problem_.size();
+    if (static_cast<int>(s.config.size()) != n)
+      throw std::invalid_argument("walk snapshot does not match the instance size");
+    // Realign the replica's configuration to the snapshot through
+    // apply_swap so the model's incremental bookkeeping stays valid. Every
+    // registered model is a permutation of distinct values, so a
+    // selection pass settles each position exactly once.
+    for (int i = 0; i < n; ++i) {
+      if (problem_.value(i) == s.config[static_cast<size_t>(i)]) continue;
+      int j = i + 1;
+      while (j < n && problem_.value(j) != s.config[static_cast<size_t>(i)]) ++j;
+      if (j >= n)
+        throw std::invalid_argument("walk snapshot is not a permutation of this instance");
+      problem_.apply_swap(i, j);
+    }
+    engine_.import_walk(s.engine);
+  }
+
+  [[nodiscard]] const core::RunStats& stats() const override { return engine_.walk_stats(); }
+
+ private:
+  P problem_;
+  core::AdaptiveSearch<P> engine_;
+};
+
 template <typename P>
 ProblemEntry entry_for(std::string description, int default_size,
                        std::function<int(int)> adjust_size, Binding<P> b,
@@ -90,6 +140,19 @@ ProblemEntry entry_for(std::string description, int default_size,
           opts, board);
     };
   }
+
+  e.make_resumable_walker = [b](const SolveRequest& req) {
+    if (req.engine != "as")
+      throw std::invalid_argument(
+          "resumable walks run Adaptive Search walkers; set engine to 'as'");
+    const auto base_cfg = make_as_config(engine_params_for(req, b.base_as(req)));
+    b.make(req);  // eager probe, as in make_walker
+    return [b, req, base_cfg](uint64_t seed) -> std::unique_ptr<ResumableWalk> {
+      auto cfg = base_cfg;
+      cfg.seed = seed;
+      return std::make_unique<AsResumableWalk<P>>(b.make(req), cfg);
+    };
+  };
 
   if constexpr (par::ReplicableProblem<P>) {
     e.run_neighborhood = [b](const SolveRequest& req, int threads, core::StopToken stop) {

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/adaptive_search.hpp"
 #include "core/problem.hpp"
 #include "core/stats.hpp"
 #include "par/cooperative.hpp"
@@ -30,6 +32,33 @@ namespace cas::runtime {
 /// A multi-walk walker: runs one complete search with the given per-walker
 /// seed, polling `stop` (the first-win cancellation) every probe interval.
 using Walker = std::function<core::RunStats(int walker_id, uint64_t seed, core::StopToken stop)>;
+
+/// Everything needed to reconstruct a mid-walk Adaptive Search walker in
+/// another process: the engine state (RNG, tabu, counters — see
+/// core::AsWalkState) plus the problem's current configuration by position.
+/// The checkpoint layer serializes this; restore() + advance() continues
+/// the original trajectory exactly.
+struct WalkSnapshot {
+  std::vector<int> config;  // problem value at each position
+  core::AsWalkState engine;
+};
+
+/// A walk that can be paused at an iteration boundary, snapshotted, and
+/// resumed later — on this instance or a freshly built one in a different
+/// process. Owns a private problem replica. Adaptive Search only.
+class ResumableWalk {
+ public:
+  virtual ~ResumableWalk() = default;
+  /// Start a fresh walk (randomize + reset counters). Call this or
+  /// restore() before the first advance().
+  virtual void begin() = 0;
+  /// Run up to `iter_budget` more iterations (0 = no segment cap; the
+  /// engine's own budget/stop rules apply either way). Returns solved.
+  virtual bool advance(uint64_t iter_budget, core::StopToken stop) = 0;
+  [[nodiscard]] virtual WalkSnapshot snapshot() const = 0;
+  virtual void restore(const WalkSnapshot& s) = 0;
+  [[nodiscard]] virtual const core::RunStats& stats() const = 0;
+};
 
 struct ProblemEntry {
   std::string description;
@@ -54,6 +83,14 @@ struct ProblemEntry {
   /// replicable. `threads` replicas scan the swap neighborhood.
   std::function<core::RunStats(const SolveRequest& req, int threads, core::StopToken stop)>
       run_neighborhood;
+
+  /// Build a factory of pausable walks for checkpointed/elastic execution:
+  /// each call with a per-walker seed yields a self-contained ResumableWalk
+  /// (private problem replica) that advances in segments, snapshots, and
+  /// restores. Throws unless req.engine == "as".
+  std::function<std::function<std::unique_ptr<ResumableWalk>(uint64_t seed)>(
+      const SolveRequest& req)>
+      make_resumable_walker;
 
   /// Independent verifier for a reported solution (presentation values as
   /// produced by RunStats::solution). Null = no checker beyond cost == 0.

@@ -1,0 +1,307 @@
+// The durable-checkpoint layer: header/CRC codec hardening (truncated,
+// corrupted, checksum- and version-mismatched files are rejected before any
+// payload field is trusted), atomicity of the tmp+rename write protocol —
+// including a real SIGKILL mid-write — directory scanning/pruning, and the
+// property the whole elastic design rests on: a mid-walk snapshot restored
+// into a fresh walker continues the EXACT trajectory of the original,
+// regardless of how the iteration budget is segmented.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "dist/ckpt.hpp"
+#include "runtime/problems.hpp"
+#include "runtime/strategy.hpp"
+
+namespace cas::dist {
+namespace {
+
+std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "cas_ckpt_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+util::Json sample_payload() {
+  util::Json j = util::Json::object();
+  j["epoch"] = u64_json(7);
+  j["note"] = "hello";
+  util::Json arr = util::Json::array();
+  for (int i = 0; i < 16; ++i) arr.push_back(i * i);
+  j["data"] = std::move(arr);
+  return j;
+}
+
+TEST(CkptCodec, U64RoundTripsBeyondDoublePrecision) {
+  const uint64_t big = (uint64_t{1} << 62) + 12345;  // not representable as double
+  EXPECT_EQ(u64_from(u64_json(big), "x"), big);
+  EXPECT_EQ(u64_from(u64_json(0), "x"), 0u);
+  EXPECT_EQ(u64_from(u64_json(UINT64_MAX), "x"), UINT64_MAX);
+  EXPECT_THROW((void)u64_from(util::Json("not a number"), "x"), CkptError);
+}
+
+TEST(CkptCodec, FileRoundTrip) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/a.ckpt";
+  const util::Json payload = sample_payload();
+  const size_t bytes = write_ckpt_file(path, payload);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(read_ckpt_file(path).dump(0), payload.dump(0));
+}
+
+TEST(CkptCodec, TruncatedFileRejected) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/a.ckpt";
+  write_ckpt_file(path, sample_payload());
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 5));
+  EXPECT_THROW(
+      {
+        try {
+          (void)read_ckpt_file(path);
+        } catch (const CkptError& e) {
+          EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      CkptError);
+}
+
+TEST(CkptCodec, CorruptedPayloadRejectedByChecksum) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/a.ckpt";
+  write_ckpt_file(path, sample_payload());
+  std::string bytes = read_file(path);
+  bytes[bytes.size() - 3] ^= 0x20;  // flip a payload byte, keep the length
+  write_file(path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          (void)read_ckpt_file(path);
+        } catch (const CkptError& e) {
+          EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      CkptError);
+}
+
+TEST(CkptCodec, UnsupportedVersionRejected) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/a.ckpt";
+  const std::string body = sample_payload().dump(0);
+  util::Json header = util::Json::object();
+  header["v"] = kCkptVersion + 1;
+  header["bytes"] = static_cast<int64_t>(body.size());
+  char crc[32];
+  std::snprintf(crc, sizeof(crc), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(body)));
+  header["crc"] = std::string(crc);
+  write_file(path, header.dump(0) + "\n" + body);
+  EXPECT_THROW(
+      {
+        try {
+          (void)read_ckpt_file(path);
+        } catch (const CkptError& e) {
+          EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      CkptError);
+}
+
+TEST(CkptCodec, GarbageAndMissingFilesRejected) {
+  const std::string dir = make_temp_dir();
+  EXPECT_THROW((void)read_ckpt_file(dir + "/absent.ckpt"), CkptError);
+  write_file(dir + "/garbage.ckpt", "this is not a checkpoint\n{}");
+  EXPECT_THROW((void)read_ckpt_file(dir + "/garbage.ckpt"), CkptError);
+}
+
+TEST(CkptCodec, WriterCrashNeverClobbersThePreviousCheckpoint) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/a.ckpt";
+  const util::Json good = sample_payload();
+  write_ckpt_file(path, good);
+  // A writer killed mid-write leaves at most a partial sibling .tmp; the
+  // published file is untouched.
+  write_file(path + ".tmp", "{\"v\":1,\"bytes\":99999,\"crc\":\"dead");
+  EXPECT_EQ(read_ckpt_file(path).dump(0), good.dump(0));
+  // The next writer simply replaces the leftover tmp.
+  util::Json next = sample_payload();
+  next["epoch"] = u64_json(8);
+  write_ckpt_file(path, next);
+  EXPECT_EQ(read_ckpt_file(path).dump(0), next.dump(0));
+}
+
+TEST(CkptCodec, SigkillDuringWriteLeavesValidOrAbsentFile) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/victim.ckpt";
+  // Child rewrites the same checkpoint as fast as it can with a payload big
+  // enough that a kill lands mid-write with high probability.
+  util::Json payload = util::Json::object();
+  util::Json arr = util::Json::array();
+  for (int i = 0; i < 20000; ++i) arr.push_back(i);
+  payload["data"] = std::move(arr);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    for (;;) write_ckpt_file(path, payload);
+  }
+  // Let it get going, then SIGKILL at an arbitrary moment.
+  usleep(60 * 1000);
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  // Whatever instant the kill hit, the published file is a complete, valid
+  // checkpoint (rename is atomic) — never a torn write.
+  if (std::filesystem::exists(path)) {
+    const util::Json got = read_ckpt_file(path);
+    EXPECT_EQ(got.dump(0), payload.dump(0));
+  }
+}
+
+TEST(CkptFiles, ListAndPruneWalkerWaves) {
+  const std::string dir = make_temp_dir();
+  write_ckpt_file(dir + "/" + walker_file_name(0, 0), sample_payload());
+  write_ckpt_file(dir + "/" + walker_file_name(1, 0), sample_payload());
+  write_ckpt_file(dir + "/" + walker_file_name(0, 1), sample_payload());
+  write_ckpt_file(dir + "/" + walker_file_name(3, 2), sample_payload());
+  write_ckpt_file(dir + "/" + std::string(kManifestFile), sample_payload());
+  write_file(dir + "/unrelated.txt", "not a checkpoint");
+
+  auto files = list_walker_files(dir);
+  EXPECT_EQ(files.size(), 4u);
+  for (const auto& f : files) EXPECT_TRUE(f.member == 0 || f.member == 1 || f.member == 3);
+
+  prune_walker_files(dir, /*keep_from_epoch=*/1);
+  files = list_walker_files(dir);
+  EXPECT_EQ(files.size(), 2u);
+  for (const auto& f : files) EXPECT_GE(f.epoch, 1u);
+  // Manifest and unrelated files are never pruned.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + std::string(kManifestFile)));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/unrelated.txt"));
+  EXPECT_TRUE(list_walker_files(dir + "/no_such_dir").empty());
+}
+
+TEST(CkptStats, RunStatsRoundTripsEveryField) {
+  core::RunStats st;
+  st.solved = true;
+  st.final_cost = 3;
+  st.iterations = (uint64_t{1} << 54) + 17;  // exercises the string spelling
+  st.swaps = 11;
+  st.local_minima = 12;
+  st.plateau_moves = 13;
+  st.plateau_refused = 14;
+  st.resets = 15;
+  st.custom_reset_escapes = 16;
+  st.restarts = 17;
+  st.move_evaluations = 18;
+  st.reset_candidates = 19;
+  st.reset_escape_chunks = 20;
+  st.reset_seconds = 0.25;
+  st.wall_seconds = 1.5;
+  st.solution = {2, 4, 3, 1};
+  const core::RunStats back = run_stats_from_json(run_stats_to_json(st));
+  EXPECT_EQ(back.solved, st.solved);
+  EXPECT_EQ(back.final_cost, st.final_cost);
+  EXPECT_EQ(back.iterations, st.iterations);
+  EXPECT_EQ(back.swaps, st.swaps);
+  EXPECT_EQ(back.local_minima, st.local_minima);
+  EXPECT_EQ(back.plateau_moves, st.plateau_moves);
+  EXPECT_EQ(back.plateau_refused, st.plateau_refused);
+  EXPECT_EQ(back.resets, st.resets);
+  EXPECT_EQ(back.custom_reset_escapes, st.custom_reset_escapes);
+  EXPECT_EQ(back.restarts, st.restarts);
+  EXPECT_EQ(back.move_evaluations, st.move_evaluations);
+  EXPECT_EQ(back.reset_candidates, st.reset_candidates);
+  EXPECT_EQ(back.reset_escape_chunks, st.reset_escape_chunks);
+  EXPECT_NEAR(back.reset_seconds, st.reset_seconds, 1e-9);
+  EXPECT_NEAR(back.wall_seconds, st.wall_seconds, 1e-9);
+  EXPECT_EQ(back.solution, st.solution);
+}
+
+// --- the restore-equals-continue property -----------------------------------
+
+runtime::SolveRequest costas_request(int size, uint64_t seed) {
+  runtime::SolveRequest req;
+  req.problem = "costas";
+  req.size = size;
+  req.seed = seed;
+  return runtime::resolve(req);
+}
+
+uint64_t advance_until_solved(runtime::ResumableWalk& walk, uint64_t chunk) {
+  for (int guard = 0; guard < 100000; ++guard) {
+    if (walk.advance(chunk, core::StopToken())) return walk.stats().iterations;
+  }
+  ADD_FAILURE() << "walker did not solve within the guard budget";
+  return 0;
+}
+
+TEST(CkptSnapshot, RestoredWalkerContinuesTheExactTrajectory) {
+  const auto req = costas_request(12, 5);
+  const auto& entry = runtime::problem_registry().at("costas", "problem");
+  ASSERT_NE(entry.make_resumable_walker, nullptr);
+  const auto factory = entry.make_resumable_walker(req);
+  const uint64_t seed = 987654321;
+
+  // Reference: one uninterrupted walk (single advance call).
+  auto ref = factory(seed);
+  ref->begin();
+  const uint64_t ref_iters = advance_until_solved(*ref, 1u << 20);
+  const auto ref_solution = ref->stats().solution;
+  ASSERT_TRUE(ref->stats().solved);
+
+  // Snapshot mid-walk, round-trip through the JSON codec, restore into a
+  // FRESH walker, finish in small uneven chunks.
+  auto a = factory(seed);
+  a->begin();
+  a->advance(237, core::StopToken());
+  const util::Json snap = walk_snapshot_to_json(a->snapshot());
+  auto b = factory(seed);
+  b->restore(walk_snapshot_from_json(snap));
+  EXPECT_EQ(b->stats().iterations, a->stats().iterations);
+  const uint64_t b_iters = advance_until_solved(*b, 313);
+  EXPECT_EQ(b_iters, ref_iters);
+  EXPECT_EQ(b->stats().solution, ref_solution);
+
+  // And the snapshotted original, continued directly, agrees too.
+  const uint64_t a_iters = advance_until_solved(*a, 101);
+  EXPECT_EQ(a_iters, ref_iters);
+  EXPECT_EQ(a->stats().solution, ref_solution);
+}
+
+TEST(CkptSnapshot, RestoreRejectsWrongProblemSize) {
+  const auto& entry = runtime::problem_registry().at("costas", "problem");
+  const auto factory12 = entry.make_resumable_walker(costas_request(12, 5));
+  const auto factory13 = entry.make_resumable_walker(costas_request(13, 5));
+  auto a = factory12(42);
+  a->begin();
+  a->advance(100, core::StopToken());
+  const util::Json snap = walk_snapshot_to_json(a->snapshot());
+  auto b = factory13(42);
+  EXPECT_THROW(b->restore(walk_snapshot_from_json(snap)), std::exception);
+}
+
+}  // namespace
+}  // namespace cas::dist

@@ -1,0 +1,387 @@
+// Elastic distributed worlds, whole membership stories inside one test
+// process: the epoch/rebalance wave machine, hard-kill eviction (the
+// coordinator downgrades a dead member to an eviction instead of aborting
+// the world), graceful drain via `leave`, late-joiner admission keyed by the
+// hunt's canonical identity, checkpoint/restore resume parity — the resumed
+// world follows the EXACT walker trajectories of an uninterrupted run, even
+// at a different rank count — and the rejection paths for corrupted or
+// mismatched manifests.
+//
+// Seeds are pinned to instances probed long enough for the membership event
+// under test to land strictly before the hunt completes (e.g. size-14
+// seed-22 solves at walker 2, iteration 982 — segment 3 at 300-iteration
+// epochs, so both preemption at two epochs and membership events at the
+// first boundary land strictly before the solve), keeping every scenario deterministic.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/ckpt.hpp"
+#include "dist/elastic.hpp"
+#include "dist/world.hpp"
+#include "runtime/spec.hpp"
+#include "runtime/strategy.hpp"
+
+namespace cas::dist {
+namespace {
+
+std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "cas_elastic_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+runtime::SolveRequest costas_request(int size, int walkers, uint64_t seed) {
+  runtime::SolveRequest req;
+  req.problem = "costas";
+  req.size = size;
+  req.strategy = "multiwalk";
+  req.walkers = walkers;
+  req.seed = seed;
+  return req;
+}
+
+/// One elastic world, one thread per initial rank. Returns reports[rank].
+std::vector<runtime::SolveReport> run_elastic_world(
+    int ranks, const runtime::SolveRequest& req,
+    const std::function<ElasticOptions(int rank)>& opts_of) {
+  std::vector<runtime::SolveReport> reports(static_cast<size_t>(ranks));
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port = port_promise.get_future().share();
+  std::vector<std::jthread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      WorldOptions wo;
+      wo.rank = r;
+      wo.ranks = ranks;
+      wo.elastic = true;
+      wo.collective_timeout_seconds = 60.0;
+      std::optional<World> world;
+      if (r == 0) {
+        world.emplace(wo, [&](uint16_t p) { port_promise.set_value(p); });
+      } else {
+        wo.port = port.get();
+        world.emplace(wo);
+      }
+      reports[static_cast<size_t>(r)] =
+          solve_elastic(*world, req, runtime::StrategyContext{}, opts_of(r));
+      world->finalize();
+    });
+  }
+  threads.clear();  // join
+  return reports;
+}
+
+const util::Json& dist_extras(const runtime::SolveReport& rep) {
+  const util::Json* d = rep.extras.find("dist");
+  EXPECT_NE(d, nullptr);
+  return *d;
+}
+
+int64_t coordinator_counter(const runtime::SolveReport& rep, const std::string& name) {
+  return dist_extras(rep).at("comm").at("coordinator").at(name).as_int();
+}
+
+// The pinned reference trajectory for size 14 / 4 walkers / seed 8: winner
+// walker 2 at 982 iterations (segment 3 with 300-iteration epochs).
+constexpr int kSize = 14;
+constexpr int kWalkers = 4;
+constexpr uint64_t kSeed = 22;
+constexpr int kRefWinner = 2;
+constexpr uint64_t kRefWinnerIters = 982;
+
+ElasticOptions base_opts(uint64_t ckpt_iters = 300) {
+  ElasticOptions eo;
+  eo.ckpt_iters = ckpt_iters;
+  eo.control_timeout_seconds = 60.0;
+  return eo;
+}
+
+TEST(DistElastic, TwoRankWorldSolvesWithVerifiedWinner) {
+  const auto reports = run_elastic_world(2, costas_request(kSize, kWalkers, kSeed),
+                                         [](int) { return base_opts(); });
+  const auto& r0 = reports[0];
+  ASSERT_TRUE(r0.error.empty()) << r0.error;
+  EXPECT_TRUE(r0.solved);
+  EXPECT_EQ(r0.winner, kRefWinner);
+  EXPECT_EQ(r0.winner_stats.iterations, kRefWinnerIters);
+  EXPECT_TRUE(r0.checked);
+  EXPECT_TRUE(r0.check_passed);
+  EXPECT_EQ(r0.walkers_run, kWalkers);
+  EXPECT_GE(r0.total_iterations, kRefWinnerIters);
+  EXPECT_TRUE(dist_extras(r0).at("elastic").as_bool());
+  // The participant still learns the outcome from the final rebalance.
+  const auto& r1 = reports[1];
+  ASSERT_TRUE(r1.error.empty()) << r1.error;
+  EXPECT_TRUE(r1.solved);
+  EXPECT_EQ(r1.winner, kRefWinner);
+}
+
+TEST(DistElastic, HardKilledMemberIsEvictedNotWorldAborting) {
+  const std::string dir = make_temp_dir();
+  const auto reports =
+      run_elastic_world(3, costas_request(kSize, kWalkers, kSeed), [&](int rank) {
+        ElasticOptions eo = base_opts();
+        eo.ckpt_dir = dir;
+        if (rank == 2) eo.die_at_epoch = 1;  // SIGKILL-equivalent after epoch 0
+        return eo;
+      });
+  // The victim reports its injected death; the survivors finish the hunt.
+  EXPECT_NE(reports[2].error.find("fault injection"), std::string::npos) << reports[2].error;
+  const auto& r0 = reports[0];
+  ASSERT_TRUE(r0.error.empty()) << r0.error;
+  EXPECT_TRUE(r0.solved);
+  EXPECT_TRUE(r0.check_passed);
+  // Same winner trajectory as the clean 2-rank run: membership is
+  // execution-transparent.
+  EXPECT_EQ(r0.winner, kRefWinner);
+  EXPECT_EQ(r0.winner_stats.iterations, kRefWinnerIters);
+  EXPECT_EQ(coordinator_counter(r0, "evictions"), 1);
+  EXPECT_EQ(coordinator_counter(r0, "aborts"), 0);
+  const util::Json& evicted = dist_extras(r0).at("evicted");
+  ASSERT_EQ(evicted.as_array().size(), 1u);
+  EXPECT_EQ(evicted.as_array()[0].as_int(), 2);
+  // The dead member's walkers were inherited by restoring its LAST wave
+  // checkpoint (written before it died), not recomputed from scratch.
+  const auto& r1 = reports[1];
+  ASSERT_TRUE(r1.error.empty()) << r1.error;
+  EXPECT_GE(dist_extras(r1).at("ckpt").at("restored").as_int(), 1);
+}
+
+TEST(DistElastic, EvictionWithoutCheckpointsReplaysDeterministically) {
+  const auto reports =
+      run_elastic_world(3, costas_request(kSize, kWalkers, kSeed), [&](int rank) {
+        ElasticOptions eo = base_opts();  // no ckpt_dir: inheritance = replay
+        if (rank == 2) eo.die_at_epoch = 1;
+        return eo;
+      });
+  const auto& r0 = reports[0];
+  ASSERT_TRUE(r0.error.empty()) << r0.error;
+  EXPECT_TRUE(r0.solved);
+  EXPECT_EQ(r0.winner, kRefWinner);
+  EXPECT_EQ(r0.winner_stats.iterations, kRefWinnerIters);
+  EXPECT_EQ(coordinator_counter(r0, "evictions"), 1);
+  // Somebody replayed the orphaned walker from its seed.
+  int64_t replayed = 0;
+  for (const auto& rep : {reports[0], reports[1]})
+    replayed += dist_extras(rep).at("ckpt").at("replayed").as_int();
+  EXPECT_GE(replayed, 1);
+}
+
+TEST(DistElastic, DrainingMemberLeavesAndTheWorldFinishes) {
+  std::atomic<bool> drain{true};  // pre-set: rank 1 leaves at its first boundary
+  const auto reports =
+      run_elastic_world(2, costas_request(kSize, kWalkers, kSeed), [&](int rank) {
+        ElasticOptions eo = base_opts();
+        if (rank == 1) eo.drain = &drain;
+        return eo;
+      });
+  const auto& r0 = reports[0];
+  ASSERT_TRUE(r0.error.empty()) << r0.error;
+  EXPECT_TRUE(r0.solved);
+  EXPECT_EQ(r0.winner, kRefWinner);
+  EXPECT_EQ(r0.winner_stats.iterations, kRefWinnerIters);
+  EXPECT_EQ(coordinator_counter(r0, "leaves"), 1);
+  EXPECT_EQ(coordinator_counter(r0, "evictions"), 0);
+  const auto& r1 = reports[1];
+  ASSERT_TRUE(r1.error.empty()) << r1.error;
+  EXPECT_TRUE(dist_extras(r1).at("left").as_bool());
+}
+
+TEST(DistElastic, LateJoinerIsAdmittedByHuntKey) {
+  // Long hunt (size 16 / 2 walkers / seed 10 solves at iteration 37644, so
+  // a 200-iteration epoch world runs ~190 waves) — the joiner is admitted
+  // within the first few.
+  const runtime::SolveRequest req = costas_request(16, 2, 10);
+  const std::string key = elastic_hunt_key(runtime::resolve(req));
+
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port = port_promise.get_future().share();
+  std::promise<void> hunt_announced;
+  std::shared_future<void> announced = hunt_announced.get_future().share();
+  runtime::SolveReport host_report, join_report;
+
+  std::jthread host([&] {
+    WorldOptions wo;
+    wo.rank = 0;
+    wo.ranks = 1;
+    wo.elastic = true;
+    World world(wo, [&](uint16_t p) { port_promise.set_value(p); });
+    // Pre-announce the hunt so the joiner's handshake cannot race
+    // solve_elastic's own (idempotent) announcement.
+    world.set_hunt(key, req.seed, req.walkers);
+    hunt_announced.set_value();
+    host_report = solve_elastic(world, req, runtime::StrategyContext{}, base_opts(200));
+    world.finalize();
+  });
+  std::jthread joiner([&] {
+    announced.wait();
+    WorldOptions wo;
+    wo.join = true;
+    wo.rank = -1;
+    wo.ranks = 0;
+    wo.elastic = true;
+    wo.port = port.get();
+    wo.hunt_key = key;
+    wo.connect_timeout_seconds = 30.0;
+    World world(wo);  // blocks until admitted at a wave boundary
+    join_report = solve_elastic(world, req, runtime::StrategyContext{}, base_opts(200));
+    world.finalize();
+  });
+  host.join();
+  joiner.join();
+
+  ASSERT_TRUE(host_report.error.empty()) << host_report.error;
+  EXPECT_TRUE(host_report.solved);
+  EXPECT_TRUE(host_report.check_passed);
+  EXPECT_GE(coordinator_counter(host_report, "joins"), 1);
+  ASSERT_TRUE(join_report.error.empty()) << join_report.error;
+  EXPECT_TRUE(join_report.solved);
+  EXPECT_EQ(join_report.winner, host_report.winner);
+}
+
+TEST(DistElastic, JoinerWithWrongKeyIsRefused) {
+  const runtime::SolveRequest req = costas_request(16, 2, 10);
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port = port_promise.get_future().share();
+  std::promise<void> hunt_announced;
+  runtime::SolveReport host_report;
+
+  std::jthread host([&] {
+    WorldOptions wo;
+    wo.rank = 0;
+    wo.ranks = 1;
+    wo.elastic = true;
+    World world(wo, [&](uint16_t p) { port_promise.set_value(p); });
+    world.set_hunt(elastic_hunt_key(runtime::resolve(req)), req.seed, req.walkers);
+    hunt_announced.set_value();
+    host_report = solve_elastic(world, req, runtime::StrategyContext{}, base_opts(200));
+    world.finalize();
+  });
+  hunt_announced.get_future().wait();
+  WorldOptions wo;
+  wo.join = true;
+  wo.rank = -1;
+  wo.ranks = 0;
+  wo.port = port.get();
+  wo.hunt_key = "some other hunt entirely";
+  wo.connect_timeout_seconds = 30.0;
+  EXPECT_THROW(World world(wo), CommError);  // refused at the handshake
+  host.join();
+  ASSERT_TRUE(host_report.error.empty()) << host_report.error;
+  EXPECT_TRUE(host_report.solved);
+}
+
+TEST(DistElastic, PreemptedWorldResumesWithIdenticalTrajectory) {
+  const std::string dir = make_temp_dir();
+  const auto req = costas_request(kSize, kWalkers, kSeed);
+
+  // Phase 1: preempt the whole world cleanly after two epochs — long
+  // before the solve at segment 3.
+  const auto preempted = run_elastic_world(2, req, [&](int) {
+    ElasticOptions eo = base_opts();
+    eo.ckpt_dir = dir;
+    eo.max_epochs = 2;
+    return eo;
+  });
+  ASSERT_TRUE(preempted[0].error.empty()) << preempted[0].error;
+  EXPECT_FALSE(preempted[0].solved);
+  EXPECT_TRUE(dist_extras(preempted[0]).at("preempted").as_bool());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + std::string(kManifestFile)));
+
+  // Phase 2: resume at a DIFFERENT rank count; same trajectory, same winner.
+  const auto resumed = run_elastic_world(3, req, [&](int) {
+    ElasticOptions eo = base_opts();
+    eo.ckpt_dir = dir;
+    eo.resume = true;
+    return eo;
+  });
+  const auto& r0 = resumed[0];
+  ASSERT_TRUE(r0.error.empty()) << r0.error;
+  EXPECT_TRUE(r0.solved);
+  EXPECT_TRUE(r0.check_passed);
+  EXPECT_EQ(r0.winner, kRefWinner);
+  EXPECT_EQ(r0.winner_stats.iterations, kRefWinnerIters);
+  const util::Json& ckpt = dist_extras(r0).at("ckpt");
+  EXPECT_EQ(ckpt.at("resumed_from_epoch").as_int(), 1);
+  EXPECT_GE(ckpt.at("restored").as_int(), 1);
+  // Pre-preemption work is accounted: the merged iteration total includes
+  // the two checkpointed epochs, not just the post-resume segments.
+  EXPECT_GE(r0.total_iterations, kRefWinnerIters);
+}
+
+TEST(DistElastic, ResumeRejectsCorruptedManifest) {
+  const std::string dir = make_temp_dir();
+  const auto req = costas_request(kSize, kWalkers, kSeed);
+  const auto preempted = run_elastic_world(1, req, [&](int) {
+    ElasticOptions eo = base_opts();
+    eo.ckpt_dir = dir;
+    eo.max_epochs = 2;
+    return eo;
+  });
+  ASSERT_TRUE(preempted[0].error.empty()) << preempted[0].error;
+
+  const std::string mpath = dir + "/" + std::string(kManifestFile);
+  std::string bytes;
+  {
+    std::ifstream in(mpath, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(mpath, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const auto resumed = run_elastic_world(1, req, [&](int) {
+    ElasticOptions eo = base_opts();
+    eo.ckpt_dir = dir;
+    eo.resume = true;
+    return eo;
+  });
+  EXPECT_FALSE(resumed[0].error.empty());
+  EXPECT_NE(resumed[0].error.find("checksum"), std::string::npos) << resumed[0].error;
+}
+
+TEST(DistElastic, ResumeRejectsADifferentRequest) {
+  const std::string dir = make_temp_dir();
+  const auto preempted = run_elastic_world(1, costas_request(kSize, kWalkers, kSeed), [&](int) {
+    ElasticOptions eo = base_opts();
+    eo.ckpt_dir = dir;
+    eo.max_epochs = 2;
+    return eo;
+  });
+  ASSERT_TRUE(preempted[0].error.empty()) << preempted[0].error;
+
+  // Same walkers, different instance size: a different hunt entirely.
+  const auto resumed = run_elastic_world(1, costas_request(15, kWalkers, kSeed), [&](int) {
+    ElasticOptions eo = base_opts();
+    eo.ckpt_dir = dir;
+    eo.resume = true;
+    return eo;
+  });
+  EXPECT_FALSE(resumed[0].error.empty());
+  EXPECT_NE(resumed[0].error.find("different request"), std::string::npos) << resumed[0].error;
+}
+
+TEST(DistElastic, RejectsNonMultiwalkStrategies) {
+  auto req = costas_request(kSize, kWalkers, kSeed);
+  req.strategy = "cooperative";
+  const auto reports = run_elastic_world(1, req, [](int) { return base_opts(); });
+  EXPECT_FALSE(reports[0].error.empty());
+  EXPECT_NE(reports[0].error.find("multiwalk"), std::string::npos) << reports[0].error;
+}
+
+}  // namespace
+}  // namespace cas::dist

@@ -26,6 +26,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -33,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/elastic.hpp"
 #include "dist/runner.hpp"
 #include "dist/world.hpp"
 #include "runtime/runtime.hpp"
@@ -42,6 +45,13 @@
 using namespace cas;
 
 namespace {
+
+/// SIGTERM latch for elastic worlds: the handler only sets this flag; the
+/// epoch loop notices it at the next boundary and drains gracefully (member
+/// 0 halts the world, other members leave and retire).
+std::atomic<bool> g_drain{false};
+
+void on_drain_signal(int) { g_drain.store(true, std::memory_order_relaxed); }
 
 util::Json parse_json_flag(const util::Flags& flags, const std::string& name) {
   const std::string& text = flags.get_string(name);
@@ -96,6 +106,16 @@ struct DistConfig {
   double connect_timeout = 15.0;
   double heartbeat_timeout = 10.0;
   double collective_timeout = 120.0;
+
+  // --- elastic membership + checkpoint/restore (see docs/OPERATIONS.md) ---
+  bool elastic = false;
+  std::string ckpt_dir;        // durable checkpoints (empty = off)
+  uint64_t ckpt_iters = 100000;  // iterations per walker per epoch
+  uint64_t max_epochs = 0;       // absolute epoch bound (0 = unbounded)
+  bool resume = false;           // restore from ckpt_dir's manifest
+  std::string join;              // host:port of a running elastic world
+  uint64_t die_at_epoch = 0;     // fault injection (with die_rank)
+  int die_rank = -1;
 };
 
 struct Scenario {
@@ -153,6 +173,12 @@ Scenario load_scenario(const std::string& path) {
       sc.dist.heartbeat_timeout = p->as_number();
     if (const auto* p = dist->find("collective_timeout"))
       sc.dist.collective_timeout = p->as_number();
+    if (const auto* p = dist->find("elastic")) sc.dist.elastic = p->as_bool();
+    if (const auto* p = dist->find("ckpt_dir")) sc.dist.ckpt_dir = p->as_string();
+    if (const auto* p = dist->find("ckpt_iters"))
+      sc.dist.ckpt_iters = static_cast<uint64_t>(p->as_int());
+    if (const auto* p = dist->find("max_epochs"))
+      sc.dist.max_epochs = static_cast<uint64_t>(p->as_int());
   }
   if (const auto* waves = doc.find("waves")) {
     if (!waves->is_array()) throw std::runtime_error("scenario: 'waves' must be an array of request arrays");
@@ -275,6 +301,28 @@ int main(int argc, char** argv) {
   flags.add_string("coordinator", "",
                    "host:port of the rank-0 rendezvous (join an existing world instead "
                    "of launching one)");
+  flags.add_bool("elastic", false,
+                 "elastic membership: dead ranks are evicted (not world-aborting), late "
+                 "joiners admitted, walkers rebalanced at epoch boundaries");
+  flags.add_string("ckpt-dir", "",
+                   "elastic mode: directory for durable walker checkpoints + the resume "
+                   "manifest (empty = no checkpoints)");
+  flags.add_int("ckpt-iters", 0,
+                "elastic mode: iterations each walker advances per epoch (0 = default "
+                "100000); epoch boundaries are where membership changes and checkpoints cut");
+  flags.add_int("max-epochs", 0,
+                "elastic mode: stop cleanly after this absolute epoch (0 = unbounded) — "
+                "the whole-world preemption knob");
+  flags.add_string("resume", "",
+                   "resume an elastic hunt from this checkpoint directory's manifest "
+                   "(implies --elastic; rank count may differ from the original world)");
+  flags.add_string("join", "",
+                   "host:port of a RUNNING elastic world to join late (admitted at the "
+                   "next epoch boundary; implies --elastic)");
+  flags.add_int("die-at-epoch", 0,
+                "fault injection: the rank named by --die-rank hard-kills its "
+                "communicator after this many executed epochs (0 = off)");
+  flags.add_int("die-rank", -1, "fault injection: which rank --die-at-epoch applies to");
   flags.add_string("out", "-", "report path ('-' = stdout)");
   flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
   flags.add_bool("stats", false,
@@ -294,6 +342,7 @@ int main(int argc, char** argv) {
 
   std::vector<runtime::SolveReport> reports;
   int my_rank = 0;
+  bool elastic_run = false;
   std::vector<pid_t> children;
   try {
     Scenario sc;
@@ -315,10 +364,38 @@ int main(int argc, char** argv) {
     sc.dist.rank = static_cast<int>(flags.get_int("rank"));
     if (!flags.get_string("coordinator").empty())
       parse_coordinator(flags.get_string("coordinator"), sc.dist);
+    if (flags.get_bool("elastic")) sc.dist.elastic = true;
+    if (!flags.get_string("ckpt-dir").empty()) sc.dist.ckpt_dir = flags.get_string("ckpt-dir");
+    if (flags.get_int("ckpt-iters") > 0)
+      sc.dist.ckpt_iters = static_cast<uint64_t>(flags.get_int("ckpt-iters"));
+    if (flags.get_int("max-epochs") > 0)
+      sc.dist.max_epochs = static_cast<uint64_t>(flags.get_int("max-epochs"));
+    if (!flags.get_string("resume").empty()) {
+      sc.dist.elastic = true;
+      sc.dist.resume = true;
+      sc.dist.ckpt_dir = flags.get_string("resume");
+    }
+    sc.dist.join = flags.get_string("join");
+    if (!sc.dist.join.empty()) sc.dist.elastic = true;
+    sc.dist.die_at_epoch = static_cast<uint64_t>(flags.get_int("die-at-epoch"));
+    sc.dist.die_rank = static_cast<int>(flags.get_int("die-rank"));
     my_rank = sc.dist.rank;
+    elastic_run = sc.dist.elastic;
+
+    const bool joiner = !sc.dist.join.empty();
+    if (sc.dist.elastic) {
+      size_t total_requests = 0;
+      for (const auto& wave : sc.waves) total_requests += wave.size();
+      if (total_requests != 1)
+        throw std::runtime_error("elastic mode runs exactly one request (one hunt per world)");
+      // Graceful drain: SIGTERM is a request to stop at the next epoch
+      // boundary, not to die. Installed before the launcher forks so the
+      // children inherit the disposition.
+      std::signal(SIGTERM, on_drain_signal);
+    }
 
     std::optional<dist::World> world;
-    if (sc.dist.ranks > 1) {
+    if (sc.dist.ranks > 1 || sc.dist.elastic) {
       dist::WorldOptions wo;
       wo.rank = sc.dist.rank;
       wo.ranks = sc.dist.ranks;
@@ -327,9 +404,25 @@ int main(int argc, char** argv) {
       wo.connect_timeout_seconds = sc.dist.connect_timeout;
       wo.heartbeat_timeout_seconds = sc.dist.heartbeat_timeout;
       wo.collective_timeout_seconds = sc.dist.collective_timeout;
+      wo.elastic = sc.dist.elastic;
+      if (joiner) {
+        // Late joiner: no rank claim, no coordinator hosting. The hunt key
+        // authenticates us against the hunt in progress; admission happens
+        // at the next epoch boundary, so allow a generous rendezvous.
+        parse_coordinator(sc.dist.join, sc.dist);
+        wo.join = true;
+        wo.rank = -1;
+        wo.ranks = 0;
+        wo.host = sc.dist.host;
+        wo.port = sc.dist.port;
+        wo.hunt_key = dist::elastic_hunt_key(runtime::resolve(sc.waves.at(0).at(0)));
+        wo.connect_timeout_seconds = std::max(sc.dist.connect_timeout, 60.0);
+        my_rank = 1;  // participant, not the reporting rank
+      }
       // Single-command loopback launch: rank 0 without an explicit
       // coordinator forks the sibling ranks once its port is known.
-      const bool launch = sc.dist.rank == 0 && !sc.dist.explicit_coordinator;
+      const bool launch =
+          sc.dist.rank == 0 && !sc.dist.explicit_coordinator && !joiner && sc.dist.ranks > 1;
       world.emplace(wo, [&](uint16_t port) {
         if (!launch) return;
         for (int r = 1; r < sc.dist.ranks; ++r) {
@@ -341,10 +434,26 @@ int main(int argc, char** argv) {
       // cache, admission, and stats all apply. Requests go through one at a
       // time: every rank must execute the same collective sequence, and
       // sequential submission keeps serving decisions rank-consistent.
-      sc.service.solve_fn = [&world](const runtime::SolveRequest& req,
-                                     const runtime::StrategyContext& ctx) {
-        return dist::solve_distributed(*world, req, ctx);
-      };
+      if (sc.dist.elastic) {
+        dist::ElasticOptions eo;
+        eo.ckpt_dir = sc.dist.ckpt_dir;
+        eo.ckpt_iters = sc.dist.ckpt_iters;
+        eo.max_epochs = sc.dist.max_epochs;
+        eo.resume = sc.dist.resume;
+        eo.drain = &g_drain;
+        eo.control_timeout_seconds = sc.dist.collective_timeout;
+        if (!joiner && sc.dist.die_rank >= 0 && sc.dist.die_rank == sc.dist.rank)
+          eo.die_at_epoch = sc.dist.die_at_epoch;
+        sc.service.solve_fn = [&world, eo](const runtime::SolveRequest& req,
+                                           const runtime::StrategyContext& ctx) {
+          return dist::solve_elastic(*world, req, ctx, eo);
+        };
+      } else {
+        sc.service.solve_fn = [&world](const runtime::SolveRequest& req,
+                                       const runtime::StrategyContext& ctx) {
+          return dist::solve_distributed(*world, req, ctx);
+        };
+      }
     }
 
     runtime::SolverService service(sc.service);
@@ -365,6 +474,11 @@ int main(int argc, char** argv) {
       dj["ranks"] = static_cast<int64_t>(sc.dist.ranks);
       dj["rank"] = static_cast<int64_t>(sc.dist.rank);
       dj["coordinator_port"] = static_cast<int64_t>(world->port());
+      if (sc.dist.elastic) {
+        dj["elastic"] = true;
+        if (!sc.dist.ckpt_dir.empty()) dj["ckpt_dir"] = sc.dist.ckpt_dir;
+        if (sc.dist.resume) dj["resumed"] = true;
+      }
       doc["dist"] = std::move(dj);
       world->finalize();
     }
@@ -375,14 +489,21 @@ int main(int argc, char** argv) {
   }
 
   // The launcher reaps its forked ranks; a sibling that failed fails the
-  // whole run even if rank 0's own path was clean.
+  // whole run even if rank 0's own path was clean — EXCEPT in elastic mode,
+  // where a rank dying (SIGKILL, fault injection, eviction) is an expected
+  // membership event the world absorbed, not a run failure.
   bool child_failed = false;
   for (const pid_t pid : children) {
     int status = 0;
     waitpid(pid, &status, 0);
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      child_failed = true;
-      std::fprintf(stderr, "error: a launched rank exited abnormally (status %d)\n", status);
+      if (elastic_run) {
+        std::fprintf(stderr, "note: a rank exited abnormally (status %d) — tolerated in elastic mode\n",
+                     status);
+      } else {
+        child_failed = true;
+        std::fprintf(stderr, "error: a launched rank exited abnormally (status %d)\n", status);
+      }
     }
   }
 
