@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "dist/wire.hpp"
+#include "net/fault.hpp"
 #include "net/frame_io.hpp"
 #include "util/strings.hpp"
 
@@ -32,6 +33,7 @@ util::Json CoordinatorStats::to_json() const {
   j["leaves"] = leaves.load(std::memory_order_relaxed);
   j["evictions"] = evictions.load(std::memory_order_relaxed);
   j["rebalances"] = rebalances.load(std::memory_order_relaxed);
+  j["rehellos"] = rehellos.load(std::memory_order_relaxed);
   return j;
 }
 
@@ -90,6 +92,10 @@ void Coordinator::accept_ready(double now) {
   for (;;) {
     const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN/transient: next readiness retries
+    if (net::fault_refuse_accept()) {
+      ::close(fd);  // injected refusal: the peer sees EOF and retries
+      continue;
+    }
     net::set_nonblocking(fd, true);
     net::set_nodelay(fd);
     auto peer = std::make_unique<Peer>(net::Fd(fd), opts_.max_frame_bytes);
@@ -139,6 +145,15 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
     return;
   }
   const std::string type = frame_type(j);
+  if (p.rank >= 0 && type != "hello") {
+    // The first post-hello frame proves the rank's constructor returned —
+    // its welcome landed, it will never re-hello, and its replay
+    // transcript is dead weight.
+    if (++msgs_from_rank_[p.rank] == 1) {
+      replay_log_.erase(p.rank);
+      replay_bytes_.erase(p.rank);
+    }
+  }
   if (type == "hello") {
     int rank = -1, ranks = -1, version = -1;
     const util::Json* rj = j.find("rank");
@@ -150,36 +165,87 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
       if (vj != nullptr) version = static_cast<int>(vj->as_int());
     } catch (...) {
     }
-    if (version != kWireVersion) {
-      abort_world(util::strf("coordinator: wire version mismatch (peer speaks v%d, this world v%d)",
-                             version, kWireVersion));
+    if (version != kWireVersion || rank < 0 || rank >= opts_.ranks || ranks != opts_.ranks) {
+      // A misconfigured launch — or one corrupted byte in an otherwise
+      // healthy rank's hello (the fault layer's corrupt class produces
+      // exactly this). The two are indistinguishable here, and only the
+      // connection is provably bad: drop it so a healthy rank's
+      // rendezvous retry resends a clean hello. A genuinely bad config
+      // keeps failing until the join timeout names the missing rank.
+      std::fprintf(stderr,
+                   "coordinator: dropping invalid hello (v%d, rank %d of %d; this world is v%d, "
+                   "%d ranks) — corrupt frame or misconfigured launch\n",
+                   version, rank, ranks, kWireVersion, opts_.ranks);
+      drop_peer(p.fd.get(), /*expected=*/false);
       return;
     }
-    if (rank < 0 || rank >= opts_.ranks || ranks != opts_.ranks ||
-        fd_of_rank_[static_cast<size_t>(rank)] != -1) {
-      abort_world(util::strf("coordinator: bad hello (rank %d of %d, expected %d distinct ranks)",
-                             rank, ranks, opts_.ranks));
+    if (aborted_) {
+      // Late retry into a dead world: tell it, so it stops retrying.
+      enqueue(p, make_abort("coordinator: world aborted").dump(0), /*log=*/false);
       return;
+    }
+    if (msgs_from(rank) > 0) {
+      // That rank demonstrably completed rendezvous on another connection
+      // — a second hello is a duplicate launch, not a retry.
+      abort_world(util::strf("coordinator: duplicate hello for live rank %d", rank));
+      return;
+    }
+    if (welcomed_ && opts_.elastic) {
+      const auto mit = members_.find(rank);
+      if (mit == members_.end() || !member_active(mit->second) || !hunting_) {
+        enqueue(p, make_abort("coordinator: re-hello refused — member already retired").dump(0),
+                /*log=*/false);
+        return;
+      }
+    }
+    const int old_fd = fd_of_rank_[static_cast<size_t>(rank)];
+    if (old_fd != -1 && old_fd != p.fd.get()) {
+      // Stale occupant: the rank retried rendezvous on a fresh connection
+      // before we noticed the old one die. Forget the corpse silently.
+      loop_.remove(old_fd);
+      peers_.erase(old_fd);
+      if (!welcomed_) --joined_;
     }
     p.rank = rank;
     fd_of_rank_[static_cast<size_t>(rank)] = p.fd.get();
-    ++joined_;
-    if (joined_ == opts_.ranks && !welcomed_) {
-      welcomed_ = true;
-      if (opts_.elastic) {
-        for (int r = 0; r < opts_.ranks; ++r) {
-          Member m;
-          m.fd = fd_of_rank_[static_cast<size_t>(r)];
-          m.dense = r;
-          members_[r] = m;
+    vacant_since_.erase(rank);
+    if (!welcomed_) {
+      ++joined_;
+      if (joined_ == opts_.ranks) {
+        welcomed_ = true;
+        if (opts_.elastic) {
+          for (int r = 0; r < opts_.ranks; ++r) {
+            Member m;
+            m.fd = fd_of_rank_[static_cast<size_t>(r)];
+            m.dense = r;
+            members_[r] = m;
+          }
+          next_member_ = opts_.ranks;
+          admitted_.store(opts_.ranks, std::memory_order_release);
         }
-        next_member_ = opts_.ranks;
-        admitted_.store(opts_.ranks, std::memory_order_release);
+        for (int r = 0; r < opts_.ranks; ++r) {
+          Peer& member = *peers_.at(fd_of_rank_[static_cast<size_t>(r)]);
+          enqueue(member, make_welcome(r, opts_.ranks).dump(0));
+        }
       }
-      for (int r = 0; r < opts_.ranks; ++r) {
-        Peer& member = *peers_.at(fd_of_rank_[static_cast<size_t>(r)]);
-        enqueue(member, make_welcome(r, opts_.ranks).dump(0));
-      }
+      return;
+    }
+    // Post-welcome re-hello: the rank's previous connection died before it
+    // consumed anything (FIFO: its first frame would have been the
+    // welcome), so resending the whole logged transcript — welcome first —
+    // restores it exactly.
+    if (replay_overflow_.count(rank) != 0) {
+      abort_world(util::strf(
+          "coordinator: rank %d re-helloed after its replay window overflowed", rank));
+      return;
+    }
+    if (opts_.elastic) members_.at(rank).fd = p.fd.get();
+    stats_.rehellos.fetch_add(1, std::memory_order_relaxed);
+    const int fd = p.fd.get();
+    const std::vector<std::string> transcript = replay_log_[rank];
+    for (const std::string& frame : transcript) {
+      if (peers_.count(fd) == 0) break;  // write error mid-replay: dropped again
+      enqueue(*peers_.at(fd), frame, /*log=*/false);
     }
     return;
   }
@@ -244,7 +310,14 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
       return;
     }
   }
-  abort_world("coordinator: unknown frame type '" + type + "'");
+  // An unknown type proves only that THIS connection's stream can no
+  // longer be trusted (one corrupted byte in a type field lands here) —
+  // drop the peer and let the liveness machinery account for the rank:
+  // pre-welcome peers retry their rendezvous, welcomed ranks get the
+  // re-hello grace window, elastic members are evicted at the boundary.
+  std::fprintf(stderr, "coordinator: dropping peer (rank %d) after unknown frame type '%s'\n",
+               p.rank, type.c_str());
+  drop_peer(p.fd.get(), /*expected=*/false);
 }
 
 void Coordinator::handle_join(Peer& p, const util::Json& j) {
@@ -497,27 +570,41 @@ void Coordinator::route(Peer& from, int dest, const std::string& payload) {
     if (dest == -1) {
       stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
       for (const auto& [id, m] : members_) {
-        if (!member_active(m) || id == from.rank || m.fd < 0) continue;
-        if (peers_.count(m.fd) == 0) continue;
+        if (!member_active(m) || id == from.rank) continue;
+        if (m.fd < 0 || peers_.count(m.fd) == 0) {
+          // Vacant slot (awaiting re-hello): the frame still belongs to
+          // its transcript, so it must survive into the replay.
+          if (vacant_since_.count(id) != 0) log_for_replay(id, payload);
+          continue;
+        }
         enqueue(*peers_.at(m.fd), payload);
         stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
       }
       return;
     }
-    const int fd = fd_of_dense(dest);
-    if (fd < 0) return;  // destination evicted/retired: frame is moot
-    if (peers_.count(fd) != 0) {
-      enqueue(*peers_.at(fd), payload);
+    for (const auto& [id, m] : members_) {
+      if (!member_active(m) || m.dense != dest) continue;
+      if (m.fd < 0 || peers_.count(m.fd) == 0) {
+        if (vacant_since_.count(id) != 0) log_for_replay(id, payload);
+        return;
+      }
+      enqueue(*peers_.at(m.fd), payload);
       stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
-    return;
+    return;  // destination evicted/retired: frame is moot
   }
   if (dest == -1) {
     stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
     for (int r = 0; r < opts_.ranks; ++r) {
       if (r == from.rank) continue;
       const int fd = fd_of_rank_[static_cast<size_t>(r)];
-      if (fd < 0) continue;  // dead rank: abort already on its way
+      if (fd < 0) {
+        // Either dead (abort on its way) or vacant awaiting re-hello — in
+        // the latter case the frame must survive into the replay.
+        if (vacant_since_.count(r) != 0) log_for_replay(r, payload);
+        continue;
+      }
       enqueue(*peers_.at(fd), payload);
       stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
     }
@@ -525,12 +612,37 @@ void Coordinator::route(Peer& from, int dest, const std::string& payload) {
   }
   if (dest < 0 || dest >= opts_.ranks) throw CommError("coordinator: bad msg destination");
   const int fd = fd_of_rank_[static_cast<size_t>(dest)];
-  if (fd < 0) return;  // destination died; its death broadcast handles it
+  if (fd < 0) {
+    if (vacant_since_.count(dest) != 0) log_for_replay(dest, payload);
+    return;  // else: destination died; its death broadcast handles it
+  }
   enqueue(*peers_.at(fd), payload);
   stats_.frames_routed.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Coordinator::enqueue(Peer& p, const std::string& payload) {
+uint64_t Coordinator::msgs_from(int rank) const {
+  const auto it = msgs_from_rank_.find(rank);
+  return it == msgs_from_rank_.end() ? 0 : it->second;
+}
+
+void Coordinator::log_for_replay(int rank, const std::string& payload) {
+  if (!welcomed_ || rank < 0) return;
+  if (msgs_from(rank) > 0 || replay_overflow_.count(rank) != 0) return;
+  size_t& bytes = replay_bytes_[rank];
+  if (bytes + payload.size() > kReplayCapBytes) {
+    // Can't promise an exact replay any more; a re-hello from this rank
+    // is unrecoverable and aborts (the log itself is dropped now).
+    replay_overflow_.insert(rank);
+    replay_log_.erase(rank);
+    replay_bytes_.erase(rank);
+    return;
+  }
+  bytes += payload.size();
+  replay_log_[rank].push_back(payload);
+}
+
+void Coordinator::enqueue(Peer& p, const std::string& payload, bool log) {
+  if (log) log_for_replay(p.rank, payload);
   net::append_frame(p.outbuf, payload);
   // Try an immediate flush; whatever the socket refuses waits for epoll.
   peer_writable(p.fd.get());
@@ -560,39 +672,53 @@ void Coordinator::drop_peer(int fd, bool expected) {
   const int rank = it->second->rank;
   const bool was_pending = it->second->pending_join;
   loop_.remove(fd);
-  if (rank >= 0 && rank < opts_.ranks) fd_of_rank_[static_cast<size_t>(rank)] = -1;
+  if (rank >= 0 && rank < opts_.ranks && fd_of_rank_[static_cast<size_t>(rank)] == fd)
+    fd_of_rank_[static_cast<size_t>(rank)] = -1;
   peers_.erase(it);
-  if (opts_.elastic) {
-    if (was_pending) {
-      // A joiner that died before admission never became a member.
-      std::erase(pending_join_fds_, fd);
-      return;
-    }
-    if (rank < 0 && welcomed_) {
-      // A refused joiner (key mismatch, version skew) or a stranger that
-      // connected and dropped without a hello. A live elastic world must
-      // shrug these off — only rendezvous-phase drops are fatal.
-      return;
-    }
-    if (rank >= 0 && welcomed_) {
+  if (rank < 0) {
+    // A pending joiner, a refused peer, or a stranger that never said
+    // hello — including a rank whose hello was lost on the wire and is
+    // already retrying on a fresh connection. Never world-fatal.
+    if (was_pending) std::erase(pending_join_fds_, fd);
+    return;
+  }
+  if (!welcomed_) {
+    // Rendezvous-phase drop: release the slot for the rank's retry;
+    // join_timeout polices the ones that never come back.
+    --joined_;
+    return;
+  }
+  if (expected) {
+    if (opts_.elastic) {
       detached_.fetch_add(1, std::memory_order_release);
-      if (expected) {
-        const auto mit = members_.find(rank);
-        if (mit != members_.end()) mit->second.fd = -1;
-        return;
-      }
-      if (rank != 0 && hunting_) {
-        // Elastic downgrade: a dead member is evicted at the wave
-        // boundary instead of aborting the world. Member 0 hosts this
-        // coordinator, so its death still falls through to abort.
-        evict_member(rank, "connection lost");
-        return;
-      }
+      const auto mit = members_.find(rank);
+      if (mit != members_.end()) mit->second.fd = -1;
+    }
+    return;
+  }
+  if (msgs_from(rank) == 0 && opts_.rehello_grace_seconds > 0 && !aborted_) {
+    // The rank never spoke after its hello — its welcome may have been
+    // lost with this connection, in which case its rendezvous retry loop
+    // re-hellos any moment now. Hold the slot vacant; check_liveness
+    // settles the bill if nobody shows up.
+    vacant_since_.emplace(rank, now_seconds());
+    if (opts_.elastic) {
+      const auto mit = members_.find(rank);
+      if (mit != members_.end()) mit->second.fd = -1;  // fd numbers get reused
+    }
+    return;
+  }
+  if (opts_.elastic) {
+    detached_.fetch_add(1, std::memory_order_release);
+    if (rank != 0 && hunting_) {
+      // Elastic downgrade: a dead member is evicted at the wave boundary
+      // instead of aborting the world. Member 0 hosts this coordinator,
+      // so its death still falls through to abort.
+      evict_member(rank, "connection lost");
+      return;
     }
   }
-  if (!expected)
-    abort_world(rank >= 0 ? util::strf("coordinator: rank %d died (connection lost)", rank)
-                          : "coordinator: peer dropped before hello");
+  abort_world(util::strf("coordinator: rank %d died (connection lost)", rank));
 }
 
 void Coordinator::abort_world(const std::string& reason) {
@@ -616,6 +742,23 @@ void Coordinator::check_liveness(double now) {
     if (opts_.join_timeout_seconds > 0 && now - started_ > opts_.join_timeout_seconds)
       abort_world(util::strf("coordinator: rendezvous timed out (%d of %d ranks joined)",
                              joined_, opts_.ranks));
+    return;
+  }
+  // Vacant slots: an unexpected drop of a rank that never spoke post-hello
+  // is granted this grace window to re-hello before it counts as a death.
+  for (auto vit = vacant_since_.begin(); vit != vacant_since_.end();) {
+    if (now - vit->second <= opts_.rehello_grace_seconds) {
+      ++vit;
+      continue;
+    }
+    const int rank = vit->first;
+    vit = vacant_since_.erase(vit);
+    if (opts_.elastic && rank != 0 && hunting_) {
+      detached_.fetch_add(1, std::memory_order_release);
+      evict_member(rank, "re-hello grace expired");
+      continue;
+    }
+    abort_world(util::strf("coordinator: rank %d died during its re-hello grace window", rank));
     return;
   }
   if (opts_.heartbeat_timeout_seconds <= 0) return;

@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +58,11 @@ struct CoordinatorOptions {
   double heartbeat_timeout_seconds = 10.0;
   /// Rendezvous must complete within this window or the join is aborted.
   double join_timeout_seconds = 30.0;
+  /// A rank whose connection drops before it ever spoke (post-hello) may
+  /// have lost its welcome in flight; its slot is held vacant this long
+  /// for the rendezvous retry to re-hello before the drop is treated as a
+  /// death. 0 restores drop-means-dead.
+  double rehello_grace_seconds = 2.0;
   size_t max_frame_bytes = net::kDefaultMaxFrame;
   /// Elastic membership (wire protocol v2): epoch-wave rebalancing, late
   /// join admission, graceful leave, and eviction instead of world abort
@@ -75,6 +81,9 @@ struct CoordinatorStats {
   std::atomic<uint64_t> leaves{0};
   std::atomic<uint64_t> evictions{0};
   std::atomic<uint64_t> rebalances{0};
+  /// Re-hellos accepted after a welcome was lost in flight (the replay
+  /// recovery path of the fault-injection layer).
+  std::atomic<uint64_t> rehellos{0};
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -145,8 +154,12 @@ class Coordinator {
   void peer_writable(int fd);
   void handle_frame(Peer& p, const std::string& payload, double now);
   void route(Peer& from, int dest, const std::string& payload);
-  void enqueue(Peer& p, const std::string& payload);
+  void enqueue(Peer& p, const std::string& payload, bool log = true);
   void drop_peer(int fd, bool expected);
+  /// Frames delivered to a rank that never spoke after hello are also
+  /// recorded (bounded) so a re-hello can replay the exact transcript.
+  void log_for_replay(int rank, const std::string& payload);
+  [[nodiscard]] uint64_t msgs_from(int rank) const;
   void abort_world(const std::string& reason);
   void check_liveness(double now);
   void update_interest(Peer& p);
@@ -176,6 +189,18 @@ class Coordinator {
   bool welcomed_ = false;
   bool aborted_ = false;
   double started_ = 0;
+
+  // Re-hello recovery (router thread only). A rank retries rendezvous only
+  // while it has not yet seen its welcome — so the first post-hello frame
+  // from a rank proves the welcome landed, and until then every frame sent
+  // its way is logged (bounded) so a fresh connection can be replayed the
+  // exact transcript, welcome included.
+  static constexpr size_t kReplayCapBytes = size_t{4} << 20;  // per rank
+  std::map<int, uint64_t> msgs_from_rank_;           // post-hello frames seen
+  std::map<int, std::vector<std::string>> replay_log_;
+  std::map<int, size_t> replay_bytes_;
+  std::set<int> replay_overflow_;   // log overflowed: re-hello unrecoverable
+  std::map<int, double> vacant_since_;  // rank -> drop time, awaiting re-hello
 
   // Elastic state (router thread only, except the atomics and hunt_mu_).
   std::map<int, Member> members_;  // by stable member id

@@ -18,6 +18,7 @@
 #include "dist/ckpt.hpp"
 #include "dist/rank_comm.hpp"
 #include "dist/wire.hpp"
+#include "net/retry.hpp"
 #include "par/collectives.hpp"
 #include "runtime/problems.hpp"
 #include "util/histogram.hpp"
@@ -446,6 +447,10 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
                                 comm.member(), static_cast<unsigned long long>(epoch));
       return;
     }
+    // 3b. Fault injection: mid-epoch partition — sever the transport and
+    // let the epoch report below fail, driving solve_elastic's rejoin.
+    if (opts.drop_conn_at_epoch > 0 && run.epochs_executed >= opts.drop_conn_at_epoch)
+      comm.inject_disconnect();
 
     // 4. Report the epoch. `solved` lists every solved owned walker
     // cumulatively — re-reports are idempotent under the coordinator's
@@ -587,10 +592,45 @@ runtime::SolveReport solve_elastic(World& world, const runtime::SolveRequest& re
     report.error = e.what();
     return report;
   }
-  try {
-    run_elastic(world, report.request, opts, report);
-  } catch (const std::exception& e) {
-    report.error = util::strf("elastic (member %d): %s", world.comm().member(), e.what());
+  // A member (other than the coordinator host) whose communicator fails
+  // mid-hunt re-joins the world as a late joiner and keeps hunting: its old
+  // identity is evicted at the wave boundary, its walkers come back with
+  // the next rebalance, and the winner rule is membership-invariant, so
+  // recovery cannot change the verified outcome. Deliberate refusals (hunt
+  // complete, key mismatch) surface as rejoin failures and are final.
+  ElasticOptions eopts = opts;
+  int rejoins = 0;
+  net::Backoff backoff({}, 0xE1A5u + static_cast<uint64_t>(world.comm().member() + 1));
+  for (;;) {
+    report.error.clear();
+    try {
+      run_elastic(world, report.request, eopts, report);
+    } catch (const CommError& e) {
+      const bool host = world.comm().member() == 0;  // it IS the coordinator
+      if (host || !net::retry_enabled() || backoff.exhausted()) {
+        report.error = util::strf("elastic (member %d): %s", world.comm().member(), e.what());
+        break;
+      }
+      eopts.drop_conn_at_epoch = 0;  // the injected partition fires once
+      backoff.sleep();
+      try {
+        world.rejoin(elastic_hunt_key(report.request));
+      } catch (const std::exception& je) {
+        report.error = util::strf("elastic (member %d): rejoin failed: %s (after: %s)",
+                                  world.comm().member(), je.what(), e.what());
+        break;
+      }
+      ++rejoins;
+      continue;
+    } catch (const std::exception& e) {
+      report.error = util::strf("elastic (member %d): %s", world.comm().member(), e.what());
+    }
+    break;
+  }
+  if (rejoins > 0) {
+    if (!report.extras.is_object()) report.extras = util::Json::object();
+    if (!report.extras["dist"].is_object()) report.extras["dist"] = util::Json::object();
+    report.extras["dist"]["rejoins"] = static_cast<int64_t>(rejoins);
   }
   return report;
 }

@@ -67,6 +67,13 @@ struct ElasticOptions {
   /// `die_at_epoch` epochs and written the wave's checkpoint, but before
   /// reporting the epoch frame. 0 = disabled.
   uint64_t die_at_epoch = 0;
+  /// Fault injection: sever just the TRANSPORT (no bye) after this member
+  /// has executed `drop_conn_at_epoch` epochs — what a mid-epoch network
+  /// partition looks like. Unlike die_at_epoch the process stays alive, so
+  /// solve_elastic's rejoin path is the recovery under test: the member
+  /// dials back in as a late joiner and inherits walkers at the next
+  /// rebalance. 0 = disabled.
+  uint64_t drop_conn_at_epoch = 0;
   /// How long to wait for the coordinator's rebalance frame after
   /// reporting an epoch before declaring the world dead.
   double control_timeout_seconds = 120.0;

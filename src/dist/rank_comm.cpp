@@ -3,13 +3,17 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "net/fault.hpp"
 #include "net/frame_io.hpp"
+#include "net/retry.hpp"
 #include "util/strings.hpp"
 
 namespace cas::dist {
@@ -21,6 +25,23 @@ double now_seconds() {
   return duration<double>(steady_clock::now().time_since_epoch()).count();
 }
 
+/// A rendezvous attempt died on a transient wire fault (reset, refused
+/// accept, corrupt frame, connection lost). Retried under backoff by the
+/// constructor; never escapes RankComm.
+struct RendezvousRetry : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// A welcome that simply has not arrived within the per-attempt window:
+/// either a wedged stream (re-helloing unwedges it) or a coordinator still
+/// assembling the world (re-helloing is a cheap no-op). Unlike a hard
+/// fault this consumes no backoff budget — a slow rendezvous paced at one
+/// re-hello per window must not exhaust the retry schedule meant for
+/// resets; only the overall connect timeout bounds it.
+struct AttemptWindowExpired : RendezvousRetry {
+  using RendezvousRetry::RendezvousRetry;
+};
+
 }  // namespace
 
 RankComm::RankComm(RankCommOptions opts)
@@ -31,8 +52,46 @@ RankComm::RankComm(RankCommOptions opts)
   ranks_.store(opts_.join ? 0 : opts_.ranks, std::memory_order_release);
   member_ = opts_.join ? -1 : opts_.rank;
 
-  // Connect with retry: sibling processes race the coordinator's bind.
+  // The whole rendezvous — connect, hello/join, await welcome — retries
+  // under bounded backoff when an attempt dies on a transient wire fault:
+  // a rank whose hello is reset re-runs the handshake instead of aborting
+  // the launch (the coordinator re-welcomes and replays what it routed in
+  // the meantime — see Coordinator::handle_frame's re-hello path).
   const double deadline = now_seconds() + opts_.connect_timeout_seconds;
+  net::Backoff backoff(opts_.rendezvous_backoff,
+                       static_cast<uint64_t>(opts_.rank) + (opts_.join ? 0x10000u : 1u));
+  for (;;) {
+    try {
+      const double attempt_deadline =
+          opts_.rendezvous_attempt_seconds > 0
+              ? std::min(deadline, now_seconds() + opts_.rendezvous_attempt_seconds)
+              : deadline;
+      rendezvous_once(deadline, attempt_deadline);
+      break;
+    } catch (const RendezvousRetry& e) {
+      fd_.reset();
+      // The failed attempt may have left a partial (or poisoned) frame
+      // buffered; the next attempt starts from a clean stream.
+      decoder_ = net::FrameDecoder(opts_.max_frame_bytes);
+      const bool quiet_window = dynamic_cast<const AttemptWindowExpired*>(&e) != nullptr;
+      if (!net::retry_enabled() || now_seconds() >= deadline ||
+          (!quiet_window && backoff.exhausted()))
+        throw CommError(util::strf("rank_comm: rendezvous failed after %d attempt(s): %s",
+                                   backoff.attempts() + 1, e.what()));
+      rendezvous_retries_.fetch_add(1, std::memory_order_relaxed);
+      // Hard faults pace under backoff; quiet windows are already paced by
+      // the window itself and retry immediately.
+      if (!quiet_window) backoff.sleep();
+    }
+  }
+
+  reader_ = std::thread([this] { reader_body(); });
+  if (opts_.heartbeat_interval_seconds > 0)
+    heartbeat_ = std::thread([this] { heartbeat_body(); });
+}
+
+void RankComm::rendezvous_once(double deadline, double attempt_deadline) {
+  // Connect with retry: sibling processes race the coordinator's bind.
   std::string err;
   for (;;) {
     fd_ = net::connect_tcp(opts_.host, opts_.port, err);
@@ -47,11 +106,17 @@ RankComm::RankComm(RankCommOptions opts)
   // hello (or join), then block (deadline-bounded) until welcome — the
   // rendezvous. Runs on the caller's thread with the same decoder the
   // reader thread inherits afterwards, so bytes coalesced behind the
-  // welcome frame are not lost.
+  // welcome frame are not lost. Sends go through write_all directly (NOT
+  // send_frame_locked_throw): a transient send failure here must stay
+  // retryable instead of poisoning the communicator via fail().
   {
-    std::scoped_lock lock(send_mu_);
-    send_frame_locked_throw(opts_.join ? make_join(opts_.hunt_key)
-                                       : make_hello(opts_.rank, opts_.ranks));
+    const std::string frame = net::encode_frame(
+        (opts_.join ? make_join(opts_.hunt_key) : make_hello(opts_.rank, opts_.ranks)).dump(0));
+    std::string send_err;
+    if (!net::write_all(fd_.get(), frame, send_err))
+      throw RendezvousRetry("hello send failed: " + send_err);
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
   }
   bool welcomed = false;
   std::string payload;
@@ -59,7 +124,13 @@ RankComm::RankComm(RankCommOptions opts)
     for (bool more = true; more && !welcomed;) {
       switch (decoder_.next(payload)) {
         case net::FrameDecoder::Result::kFrame: {
-          const util::Json j = util::Json::parse(payload);
+          util::Json j;
+          try {
+            j = util::Json::parse(payload);
+          } catch (const std::exception& e) {
+            // A corrupted frame that still decodes as a frame: retryable.
+            throw RendezvousRetry(util::strf("bad frame during rendezvous: %s", e.what()));
+          }
           const std::string type = frame_type(j);
           if (type == "welcome") {
             welcomed = true;
@@ -74,11 +145,19 @@ RankComm::RankComm(RankCommOptions opts)
               ranks_.store(static_cast<int>(nj->as_int()), std::memory_order_release);
             }
           } else if (type == "abort") {
+            // Deliberate refusal (version/rank/key mismatch, hunt over):
+            // permanent, never retried.
             const util::Json* r = j.find("reason");
             throw CommError(r != nullptr && r->is_string() ? r->as_string()
                                                            : "rendezvous aborted");
           } else if (type == "msg") {
             mailbox_.post(parse_msg(j));  // early traffic; keep it
+          } else {
+            // The only frames the coordinator sends before our welcome are
+            // welcome, abort, and replayed early traffic. Anything else is
+            // a frame whose type a wire fault mangled — the bytes behind it
+            // cannot be trusted; start over on a fresh connection.
+            throw RendezvousRetry("unexpected '" + type + "' frame during rendezvous");
           }
           break;
         }
@@ -86,7 +165,7 @@ RankComm::RankComm(RankCommOptions opts)
           more = false;
           break;
         case net::FrameDecoder::Result::kError:
-          throw CommError("rank_comm: protocol error during rendezvous: " + decoder_.error());
+          throw RendezvousRetry("protocol error during rendezvous: " + decoder_.error());
       }
     }
     if (welcomed) break;
@@ -94,25 +173,28 @@ RankComm::RankComm(RankCommOptions opts)
     if (remain <= 0)
       throw CommError(util::strf("rank_comm: rendezvous timed out (rank %d of %d)", opts_.rank,
                                  opts_.ranks));
+    const double attempt_remain = attempt_deadline - now_seconds();
+    if (attempt_remain <= 0)
+      // No welcome and no error either — a wedged stream (corrupted length
+      // prefix, mangled frame) or a coordinator still waiting on
+      // stragglers. Re-helloing is cheap and unwedges the former.
+      throw AttemptWindowExpired("no welcome within the attempt window");
     pollfd pfd{fd_.get(), POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, static_cast<int>(remain * 1000) + 1);
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(std::min(remain, attempt_remain) * 1000) + 1);
     if (rc < 0 && errno != EINTR)
-      throw CommError(util::strf("rank_comm: poll: %s", std::strerror(errno)));
+      throw RendezvousRetry(util::strf("poll: %s", std::strerror(errno)));
     if (rc <= 0) continue;
     char buf[16384];
-    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
-    if (n == 0) throw CommError("rank_comm: coordinator closed during rendezvous");
+    const ssize_t n = net::fault_recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n == 0) throw RendezvousRetry("coordinator closed during rendezvous");
     if (n < 0) {
-      if (errno == EINTR) continue;
-      throw CommError(util::strf("rank_comm: recv: %s", std::strerror(errno)));
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw RendezvousRetry(util::strf("recv: %s", std::strerror(errno)));
     }
     bytes_received_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
     decoder_.feed(buf, static_cast<size_t>(n));
   }
-
-  reader_ = std::thread([this] { reader_body(); });
-  if (opts_.heartbeat_interval_seconds > 0)
-    heartbeat_ = std::thread([this] { heartbeat_body(); });
 }
 
 RankComm::~RankComm() { finalize(); }
@@ -186,6 +268,10 @@ void RankComm::hard_kill() {
   control_cv_.notify_all();
 }
 
+void RankComm::inject_disconnect() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
 par::Message RankComm::recv_collective(int tag, int64_t seq) {
   par::Mailbox::Deadline deadline;
   if (opts_.collective_timeout_seconds > 0)
@@ -219,6 +305,11 @@ void RankComm::fail(const std::string& reason) {
   remote_stop_.store(true, std::memory_order_release);
   mailbox_.close();
   control_cv_.notify_all();
+  // Sever the transport too: a failed communicator that leaves its socket
+  // open looks like a live-but-silent rank, and the coordinator would only
+  // notice at the heartbeat deadline. EOF makes the death visible now.
+  // (shutdown, not close — the reader thread still owns the fd.)
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
 
 std::string RankComm::failure() const {
@@ -293,14 +384,14 @@ void RankComm::reader_body() {
     }
     if (rc == 0) continue;
     char buf[16384];
-    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    const ssize_t n = net::fault_recv(fd_.get(), buf, sizeof(buf), 0);
     if (n == 0) {
       if (!finalized_.load(std::memory_order_acquire))
         fail("rank_comm: coordinator closed the connection");
       return;
     }
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       if (!finalized_.load(std::memory_order_acquire))
         fail(util::strf("rank_comm: recv: %s", std::strerror(errno)));
       return;
@@ -357,6 +448,7 @@ util::Json RankComm::stats_json() const {
   j["frames_received"] = frames_received_.load(std::memory_order_relaxed);
   j["bytes_received"] = bytes_received_.load(std::memory_order_relaxed);
   j["collective_rounds"] = collective_rounds_.load(std::memory_order_relaxed);
+  j["rendezvous_retries"] = rendezvous_retries_.load(std::memory_order_relaxed);
   {
     std::scoped_lock lock(latency_mu_);
     util::Json lat = util::Json::object();

@@ -26,6 +26,7 @@
 
 #include "dist/wire.hpp"
 #include "net/frame.hpp"
+#include "net/retry.hpp"
 #include "net/socket.hpp"
 #include "par/collectives.hpp"
 #include "par/mailbox.hpp"
@@ -55,6 +56,20 @@ struct RankCommOptions {
   /// The canonical request key carried in the join frame (the coordinator
   /// refuses joiners whose key does not match the hunt in progress).
   std::string hunt_key;
+  /// Pacing for rendezvous retries: a connect/hello/welcome attempt that
+  /// dies on a wire fault (reset, refusal, corrupt frame) is retried under
+  /// this schedule — bounded by connect_timeout_seconds overall and
+  /// disabled entirely by CAS_FAULT_NO_RETRY. Deliberate refusals (abort
+  /// frames: version/rank/key mismatch) are never retried.
+  net::BackoffOptions rendezvous_backoff;
+  /// Per-attempt patience for the welcome wait. Some wire faults leave the
+  /// stream wedged instead of broken — a corrupted length prefix parks the
+  /// decoder mid-frame, a corrupted frame type turns the welcome into an
+  /// ignorable stranger — and the connection stays healthy-looking on both
+  /// ends. An attempt that has not produced a welcome within this window
+  /// abandons the connection and re-hellos (the coordinator replays the
+  /// lost welcome). 0 = wait the whole connect timeout.
+  double rendezvous_attempt_seconds = 2.0;
 };
 
 class RankComm {
@@ -116,6 +131,12 @@ class RankComm {
   /// sees a connection lost, exactly as for a real kill.
   void hard_kill();
 
+  /// Fault injection: sever just the TRANSPORT (shutdown, no bye), leaving
+  /// the communicator object alive. The reader thread observes EOF and
+  /// fails the comm — what a mid-epoch network partition looks like; the
+  /// elastic runner's re-join path is the recovery under test.
+  void inject_disconnect();
+
   /// Clean detach: bye to the coordinator, threads joined, socket closed.
   /// Idempotent; also run by the destructor.
   void finalize();
@@ -128,6 +149,10 @@ class RankComm {
   [[nodiscard]] util::Json stats_json() const;
 
  private:
+  /// One connect + hello/join + await-welcome attempt. Throws
+  /// RendezvousRetry (internal) on transient wire failures, CommError on
+  /// deliberate refusals and deadline expiry.
+  void rendezvous_once(double deadline, double attempt_deadline);
   void fail(const std::string& reason);
   bool drain_decoder();
   void reader_body();
@@ -172,6 +197,7 @@ class RankComm {
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> collective_rounds_{0};
+  std::atomic<uint64_t> rendezvous_retries_{0};
   mutable std::mutex latency_mu_;
   util::LogHistogram collective_wait_;
 

@@ -38,6 +38,26 @@ void World::set_hunt(const std::string& key, uint64_t seed, int walkers) {
   if (coordinator_ != nullptr) coordinator_->set_hunt(key, seed, walkers);
 }
 
+void World::rejoin(const std::string& hunt_key) {
+  if (coordinator_ != nullptr)
+    throw CommError("world: the coordinator-hosting member cannot rejoin its own world");
+  if (comm_ != nullptr) comm_->finalize();  // joins threads; idempotent on a failed comm
+  RankCommOptions rc;
+  rc.host = opts_.host;
+  rc.port = port_;
+  rc.rank = -1;
+  rc.ranks = 0;
+  rc.connect_timeout_seconds = opts_.connect_timeout_seconds;
+  rc.heartbeat_interval_seconds = opts_.heartbeat_interval_seconds;
+  rc.collective_timeout_seconds = opts_.collective_timeout_seconds;
+  rc.join = true;
+  rc.hunt_key = hunt_key;
+  comm_ = std::make_unique<RankComm>(rc);
+  opts_.join = true;
+  opts_.hunt_key = hunt_key;
+  opts_.rank = -1;
+}
+
 void World::finalize() {
   if (comm_ != nullptr) comm_->finalize();
   if (coordinator_ != nullptr) {

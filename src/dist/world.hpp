@@ -59,6 +59,15 @@ class World {
   /// bootstrap late joiners. No-op on worlds without a coordinator.
   void set_hunt(const std::string& key, uint64_t seed, int walkers);
 
+  /// Recovery path for an elastic member whose connection died mid-hunt:
+  /// tear down the failed communicator and dial back in through the late-
+  /// join handshake (`hunt_key` re-authenticates). The process comes back
+  /// as a NEW member — its old identity is evicted at the wave boundary and
+  /// its walkers flow back via the usual rebalance. Throws CommError on
+  /// refusal (hunt complete, key mismatch) and on the coordinator-hosting
+  /// member, which has nothing left to dial.
+  void rejoin(const std::string& hunt_key);
+
   /// Clean shutdown: detach the rank; rank 0 waits briefly for the other
   /// ranks' byes before stopping the router.
   void finalize();

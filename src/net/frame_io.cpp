@@ -1,10 +1,12 @@
 #include "net/frame_io.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "net/fault.hpp"
 #include "util/strings.hpp"
 
 namespace cas::net {
@@ -13,7 +15,7 @@ IoStatus read_chunk(int fd, FrameDecoder& decoder, size_t& bytes_read) {
   bytes_read = 0;
   char buf[16384];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = fault_recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
@@ -30,7 +32,7 @@ IoStatus flush_pending(int fd, std::string& buf, size_t& off, size_t& bytes_sent
   bytes_sent = 0;
   IoStatus status = IoStatus::kOk;
   while (off < buf.size()) {
-    const ssize_t n = ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    const ssize_t n = fault_send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -57,9 +59,16 @@ IoStatus flush_pending(int fd, std::string& buf, size_t& off, size_t& bytes_sent
 bool write_all(int fd, std::string_view data, std::string& err) {
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    const ssize_t n = fault_send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Spurious would-block on a blocking socket (or an injected EAGAIN
+        // storm): wait for writability instead of failing the frame.
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 100);
+        continue;
+      }
       err = util::strf("send: %s", std::strerror(errno));
       return false;
     }

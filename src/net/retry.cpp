@@ -1,0 +1,33 @@
+#include "net/retry.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace cas::net {
+
+Backoff::Backoff(const BackoffOptions& opts, uint64_t salt)
+    : opts_(opts), rng_(opts.jitter_seed ^ (salt * 0x9e3779b97f4a7c15ull)) {}
+
+double Backoff::next_delay_seconds() {
+  double delay_ms = opts_.initial_delay_ms;
+  for (int k = 0; k < attempt_ && delay_ms < opts_.max_delay_ms; ++k)
+    delay_ms *= opts_.multiplier;
+  if (delay_ms > opts_.max_delay_ms) delay_ms = opts_.max_delay_ms;
+  ++attempt_;
+  const double jitter =
+      0.5 + 0.5 * (static_cast<double>(rng_.next() >> 11) * 0x1.0p-53);
+  return delay_ms * jitter / 1000.0;
+}
+
+void Backoff::sleep() {
+  std::this_thread::sleep_for(std::chrono::duration<double>(next_delay_seconds()));
+}
+
+bool retry_enabled() {
+  const char* v = std::getenv("CAS_FAULT_NO_RETRY");
+  return v == nullptr || v[0] == '\0' || std::strcmp(v, "0") == 0;
+}
+
+}  // namespace cas::net

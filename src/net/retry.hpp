@@ -1,0 +1,55 @@
+// Bounded exponential backoff with deterministic seeded jitter — the retry
+// half of the fault-injection story (net/fault.hpp): connects, dist
+// rendezvous/join handshakes, and client resends all pace their attempts
+// through a Backoff so transient wire faults (resets, refusals, storms)
+// are absorbed instead of aborting a launch.
+//
+// Jitter is drawn from a SplitMix64 stream seeded by the caller (typically
+// with its rank or connection id as salt), so a chaos run replays the same
+// retry timing — randomized enough to de-synchronize a fleet, reproducible
+// enough to debug.
+//
+// CAS_FAULT_NO_RETRY=1 turns every retry_enabled() gate off. This is the
+// chaos driver's negative control: a fault schedule that passes with
+// retries enabled must fail without them, proving the injector actually
+// exercises the recovery paths rather than landing in windows nobody hits.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace cas::net {
+
+struct BackoffOptions {
+  int max_attempts = 8;
+  double initial_delay_ms = 10.0;
+  double max_delay_ms = 1000.0;
+  double multiplier = 2.0;
+  uint64_t jitter_seed = 0x243f6a8885a308d3ull;  // pi, arbitrary fixed default
+};
+
+/// Delay schedule: attempt k sleeps jitter * min(initial * multiplier^k,
+/// max), jitter uniform in [0.5, 1.0).
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& opts = {}, uint64_t salt = 0);
+
+  [[nodiscard]] int attempts() const { return attempt_; }
+  /// True once max_attempts delays have been handed out.
+  [[nodiscard]] bool exhausted() const { return attempt_ >= opts_.max_attempts; }
+  /// The next delay (advances the schedule).
+  double next_delay_seconds();
+  /// next_delay_seconds() + this_thread::sleep_for.
+  void sleep();
+
+ private:
+  BackoffOptions opts_;
+  core::SplitMix64 rng_;
+  int attempt_ = 0;
+};
+
+/// False iff CAS_FAULT_NO_RETRY is set non-empty (and not "0").
+[[nodiscard]] bool retry_enabled();
+
+}  // namespace cas::net

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "net/fault.hpp"
 #include "net/frame_io.hpp"
 
 #include <cerrno>
@@ -157,6 +158,13 @@ void Server::accept_ready() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       return;  // transient accept errors: retry on the next readiness
+    }
+    if (fault_refuse_accept()) {
+      // Injected accept-time refusal (net/fault.hpp): the client sees an
+      // immediate close and is expected to back off and reconnect.
+      ++stats_.refused_connections;
+      ::close(fd);
+      continue;
     }
     if (static_cast<int>(conns_.size()) >= opts_.max_connections) {
       ++stats_.refused_connections;

@@ -12,7 +12,9 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/fault.hpp"
 #include "net/frame_io.hpp"
+#include "net/retry.hpp"
 #include "util/strings.hpp"
 
 namespace cas::net {
@@ -40,6 +42,7 @@ bool resolve_v4(const std::string& host, uint16_t port, sockaddr_in& addr, std::
 
 void Fd::reset() {
   if (fd_ >= 0) {
+    fault_forget(fd_);  // fd numbers are reused; injected state must not leak
     ::close(fd_);
     fd_ = -1;
   }
@@ -103,10 +106,25 @@ void set_nodelay(int fd) {
 bool BlockingClient::connect(const std::string& host, uint16_t port) {
   error_.clear();
   eof_ = false;
-  fd_ = connect_tcp(host, port, error_);
+  decoder_ = FrameDecoder(decoder_.max_frame());  // stale bytes from a prior
+  fd_ = connect_tcp(host, port, error_);          // connection never carry over
   if (!fd_.valid()) return false;
   set_nodelay(fd_.get());
   return true;
+}
+
+bool BlockingClient::connect_with_retry(const std::string& host, uint16_t port,
+                                        const BackoffOptions& backoff_opts, uint64_t salt) {
+  Backoff backoff(backoff_opts, salt);
+  for (;;) {
+    if (connect(host, port)) return true;
+    if (!retry_enabled() || backoff.exhausted()) {
+      error_ = util::strf("connect failed after %d attempt(s): %s", backoff.attempts() + 1,
+                          error_.c_str());
+      return false;
+    }
+    backoff.sleep();
+  }
 }
 
 bool BlockingClient::send_text(std::string_view payload) {
@@ -154,9 +172,12 @@ std::optional<std::string> BlockingClient::recv_frame(double timeout_seconds) {
     }
     if (rc == 0) return std::nullopt;  // timeout
     char buf[16384];
-    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    const ssize_t n = fault_recv(fd_.get(), buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // Spurious readiness (or an injected EAGAIN storm) on a blocking
+      // socket: poll again rather than failing the conversation.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       error_ = util::strf("recv: %s", std::strerror(errno));
       return std::nullopt;
     }

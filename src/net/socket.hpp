@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "net/frame.hpp"
+#include "net/retry.hpp"
 #include "util/json.hpp"
 
 namespace cas::net {
@@ -72,8 +73,15 @@ class BlockingClient {
   BlockingClient() = default;
   explicit BlockingClient(size_t max_frame) : decoder_(max_frame) {}
 
-  /// Connect (blocking). False + error() on failure.
+  /// Connect (blocking). False + error() on failure. Resets the frame
+  /// decoder, so a client instance can be reconnected after a failure.
   bool connect(const std::string& host, uint16_t port);
+
+  /// connect() under bounded exponential backoff with deterministic seeded
+  /// jitter (salt separates streams of concurrent clients). Honors
+  /// CAS_FAULT_NO_RETRY (then: a single attempt).
+  bool connect_with_retry(const std::string& host, uint16_t port,
+                          const BackoffOptions& backoff_opts = {}, uint64_t salt = 0);
 
   /// Frame the payload and write it fully (blocking).
   bool send_text(std::string_view payload);

@@ -160,6 +160,39 @@ TEST(DistElastic, HardKilledMemberIsEvictedNotWorldAborting) {
   EXPECT_GE(dist_extras(r1).at("ckpt").at("restored").as_int(), 1);
 }
 
+TEST(DistElastic, DroppedConnectionRejoinsAndFinishesWithTheSameWinner) {
+  // A mid-hunt network partition: rank 1's transport is severed (no bye,
+  // socket shut down) after its first epoch. The coordinator evicts the
+  // silent member at the wave boundary; solve_elastic's rejoin path then
+  // re-admits the SAME process under a fresh member id, and the hunt must
+  // still land on the pinned winner trajectory — the partition is
+  // execution-transparent, not merely survivable.
+  const std::string dir = make_temp_dir();
+  const auto reports =
+      run_elastic_world(2, costas_request(kSize, kWalkers, kSeed), [&](int rank) {
+        ElasticOptions eo = base_opts();
+        eo.ckpt_dir = dir;
+        if (rank == 1) eo.drop_conn_at_epoch = 1;
+        return eo;
+      });
+  const auto& r0 = reports[0];
+  ASSERT_TRUE(r0.error.empty()) << r0.error;
+  EXPECT_TRUE(r0.solved);
+  EXPECT_TRUE(r0.check_passed);
+  EXPECT_EQ(r0.winner, kRefWinner);
+  EXPECT_EQ(r0.winner_stats.iterations, kRefWinnerIters);
+  EXPECT_EQ(coordinator_counter(r0, "aborts"), 0);
+  EXPECT_EQ(coordinator_counter(r0, "evictions"), 1);
+  EXPECT_GE(coordinator_counter(r0, "joins"), 1);
+  // The partitioned member came back, finished the hunt, and accounts for
+  // its own recovery.
+  const auto& r1 = reports[1];
+  ASSERT_TRUE(r1.error.empty()) << r1.error;
+  EXPECT_TRUE(r1.solved);
+  EXPECT_EQ(r1.winner, kRefWinner);
+  EXPECT_GE(dist_extras(r1).at("rejoins").as_int(), 1);
+}
+
 TEST(DistElastic, EvictionWithoutCheckpointsReplaysDeterministically) {
   const auto reports =
       run_elastic_world(3, costas_request(kSize, kWalkers, kSeed), [&](int rank) {

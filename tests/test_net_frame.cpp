@@ -106,6 +106,53 @@ TEST(Frame, GarbageLengthPrefixFuzz) {
   }
 }
 
+TEST(Frame, FrameExactlyAtDefaultCeilingRoundTrips) {
+  // The limit is inclusive: a payload of exactly kDefaultMaxFrame bytes is
+  // the largest legal frame, and one byte more is a protocol error. Pinning
+  // both sides of the boundary here keeps an off-by-one in the `len >
+  // max_frame_` check from silently shrinking (or growing) the wire limit.
+  FrameDecoder dec;
+  const std::string wire = encode_frame(std::string(kDefaultMaxFrame, 'M'));
+  dec.feed(wire.data(), wire.size());
+  std::string out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.size(), kDefaultMaxFrame);
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Frame, FrameOneOverDefaultCeilingIsError) {
+  FrameDecoder dec;
+  // The header alone convicts the frame — no need to feed the payload.
+  const std::string wire = encode_frame(std::string(kDefaultMaxFrame + 1, 'M'));
+  dec.feed(wire.data(), kFrameHeaderBytes);
+  std::string out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kError);
+  EXPECT_NE(dec.error().find("exceeds limit"), std::string::npos);
+}
+
+TEST(Frame, TruncatedLengthPrefixAtEofStaysNeedMore) {
+  // A peer that dies mid-header leaves 1–3 bytes of length prefix with no
+  // more input ever coming. That must read as kNeedMore — "connection
+  // closed mid-frame" is the caller's diagnosis (EOF + buffered() > 0),
+  // not a decoder error — and next() must be safely re-callable without
+  // consuming the partial header.
+  const std::string wire = encode_frame("payload");
+  for (size_t cut = 1; cut < kFrameHeaderBytes; ++cut) {
+    FrameDecoder dec;
+    dec.feed(wire.data(), cut);
+    std::string out;
+    for (int probe = 0; probe < 3; ++probe) {
+      EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore) << "cut=" << cut;
+      EXPECT_EQ(dec.buffered(), cut) << "cut=" << cut;
+    }
+    // The stream is still healthy if bytes do arrive after all.
+    dec.feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame) << "cut=" << cut;
+    EXPECT_EQ(out, "payload");
+  }
+}
+
 TEST(Frame, InterleavedFeedNextKeepsBufferBounded) {
   // Long-lived connection: the consumed prefix must be reclaimed, not
   // accumulated forever.

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,7 +43,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/frame.hpp"
+#include "net/frame_io.hpp"
+#include "net/retry.hpp"
 #include "net/socket.hpp"
 #include "runtime/spec.hpp"
 #include "util/flags.hpp"
@@ -75,18 +79,30 @@ std::vector<runtime::SolveRequest> load_mix(const std::string& path) {
 
 /// Sender-side framing straight onto the fd, so the paced sender never
 /// shares BlockingClient state with that connection's receiver thread.
+/// net::write_all handles EINTR, sends with MSG_NOSIGNAL, and routes
+/// through the fault-injection hooks like every other wire path.
 bool send_frame_fd(int fd, const std::string& payload) {
-  const std::string frame = net::encode_frame(payload);
-  size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
+  std::string err;
+  return net::write_all(fd, net::encode_frame(payload), err);
+}
+
+/// Send over the preferred connection, failing over to the next healthy
+/// one when a send dies mid-frame. Safe because solve requests are
+/// idempotent by request key: the server's dedup/cache layer absorbs a
+/// duplicate if the original did land. A failed connection is shut down
+/// (not closed — its receiver thread still owns the fd) so stray bytes of
+/// a torn frame can't be followed by a fresh request the server would
+/// misparse.
+bool send_with_failover(std::vector<net::BlockingClient>& clients, size_t preferred,
+                        const std::string& payload) {
+  for (size_t attempt = 0; attempt < clients.size(); ++attempt) {
+    net::BlockingClient& c = clients[(preferred + attempt) % clients.size()];
+    if (!c.connected()) continue;
+    if (send_frame_fd(c.fd(), payload)) return true;
+    ::shutdown(c.fd(), SHUT_RDWR);  // torn frame: this conn is unusable now
+    if (!net::retry_enabled()) return false;
   }
-  return true;
+  return false;
 }
 
 /// Completion bookkeeping shared between the paced sender and the
@@ -237,7 +253,7 @@ PhaseResult run_phase(std::vector<net::BlockingClient>& clients, Tally& tally,
     msg["type"] = "solve";
     msg["request"] = req.to_json();
     tally.mark_sent(req.id, now_seconds());
-    if (!send_frame_fd(clients[i % clients.size()].fd(), msg.dump(0))) {
+    if (!send_with_failover(clients, i % clients.size(), msg.dump(0))) {
       std::lock_guard<std::mutex> g(tally.mu);
       ++tally.wire_errors;
       ++tally.completed;  // it will never be reported; unblock the drain
@@ -316,6 +332,13 @@ int main(int argc, char** argv) {
   flags.add_bool("drain", false, "send {\"type\":\"drain\"} to the server when done");
   if (!flags.parse(argc, argv)) return 0;
 
+  // A server resetting mid-write must surface as a send error on that
+  // connection, never as process death (sends also pass MSG_NOSIGNAL).
+  std::signal(SIGPIPE, SIG_IGN);
+  // Deterministic wire-fault injection (chaos runs): inert unless
+  // CAS_FAULT_PLAN is set in the environment.
+  net::FaultInjector::arm_from_env();
+
   try {
     const auto mix = load_mix(flags.get_string("scenario"));
     const int nconn = std::max(1, static_cast<int>(flags.get_int("connections")));
@@ -323,8 +346,9 @@ int main(int argc, char** argv) {
     const auto port = static_cast<uint16_t>(flags.get_int("port"));
 
     std::vector<net::BlockingClient> clients(static_cast<size_t>(nconn));
+    uint64_t salt = 0;
     for (auto& c : clients)
-      if (!c.connect(host, port))
+      if (!c.connect_with_retry(host, port, {}, /*salt=*/salt++))
         throw std::runtime_error("connect " + host + ":" + std::to_string(port) + ": " + c.error());
 
     Tally tally;
@@ -380,18 +404,18 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Server-side view: one stats frame over connection 0.
+    // Server-side view: one stats frame over the first healthy connection.
     {
       util::Json q = util::Json::object();
       q["type"] = "stats";
-      send_frame_fd(clients[0].fd(), q.dump(0));
+      send_with_failover(clients, 0, q.dump(0));
       std::unique_lock<std::mutex> lk(tally.mu);
       tally.cv.wait_for(lk, std::chrono::seconds(5), [&] { return !tally.last_stats.is_null(); });
     }
     if (flags.get_bool("drain")) {
       util::Json q = util::Json::object();
       q["type"] = "drain";
-      send_frame_fd(clients[0].fd(), q.dump(0));
+      send_with_failover(clients, 0, q.dump(0));
     }
     stop.store(true);
     for (auto& t : receivers) t.join();
@@ -418,6 +442,9 @@ int main(int argc, char** argv) {
     serve["saturation_rps"] = saturation;
     serve["shed_engaged"] = shed_total > 0;
     serve["cost_sheds"] = shed_total;
+    // Benchmarks taken with an ARMED fault layer measure the faults, not
+    // the server — check_bench.py refuses them unless explicitly allowed.
+    serve["fault_layer_armed"] = net::fault_armed();
     {
       std::lock_guard<std::mutex> g(tally.mu);
       if (const util::Json* srv = tally.last_stats.find("server")) serve["server"] = *srv;

@@ -38,6 +38,7 @@
 #include "dist/elastic.hpp"
 #include "dist/runner.hpp"
 #include "dist/world.hpp"
+#include "net/fault.hpp"
 #include "runtime/runtime.hpp"
 #include "util/flags.hpp"
 #include "util/provenance.hpp"
@@ -116,6 +117,8 @@ struct DistConfig {
   std::string join;              // host:port of a running elastic world
   uint64_t die_at_epoch = 0;     // fault injection (with die_rank)
   int die_rank = -1;
+  uint64_t drop_conn_at_epoch = 0;  // fault injection (with drop_conn_rank)
+  int drop_conn_rank = -1;
 };
 
 struct Scenario {
@@ -255,6 +258,9 @@ pid_t spawn_rank(int argc, char** argv, int rank, int ranks, uint16_t port) {
 
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  // Every rank derives its own deterministic fault stream from the shared
+  // CAS_FAULT_PLAN seed: same schedule every run, different faults per rank.
+  setenv("CAS_FAULT_SALT", std::to_string(rank).c_str(), 1);
   std::vector<char*> cargv;
   cargv.reserve(args.size() + 1);
   for (auto& a : args) cargv.push_back(a.data());
@@ -323,6 +329,12 @@ int main(int argc, char** argv) {
                 "fault injection: the rank named by --die-rank hard-kills its "
                 "communicator after this many executed epochs (0 = off)");
   flags.add_int("die-rank", -1, "fault injection: which rank --die-at-epoch applies to");
+  flags.add_int("drop-conn-at-epoch", 0,
+                "fault injection: the rank named by --drop-conn-rank severs its coordinator "
+                "connection (mid-epoch partition) after this many executed epochs and must "
+                "recover through the elastic rejoin path (0 = off)");
+  flags.add_int("drop-conn-rank", -1,
+                "fault injection: which rank --drop-conn-at-epoch applies to");
   flags.add_string("out", "-", "report path ('-' = stdout)");
   flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
   flags.add_bool("stats", false,
@@ -336,6 +348,13 @@ int main(int argc, char** argv) {
     print_catalogs();
     return 0;
   }
+
+  // A peer resetting mid-write must surface as EPIPE (handled per
+  // connection), never as process death.
+  std::signal(SIGPIPE, SIG_IGN);
+  // Deterministic wire-fault injection (chaos runs): inert unless
+  // CAS_FAULT_PLAN is set in the environment.
+  net::FaultInjector::arm_from_env();
 
   util::Json doc = util::Json::object();
   doc["provenance"] = util::build_provenance();
@@ -379,6 +398,8 @@ int main(int argc, char** argv) {
     if (!sc.dist.join.empty()) sc.dist.elastic = true;
     sc.dist.die_at_epoch = static_cast<uint64_t>(flags.get_int("die-at-epoch"));
     sc.dist.die_rank = static_cast<int>(flags.get_int("die-rank"));
+    sc.dist.drop_conn_at_epoch = static_cast<uint64_t>(flags.get_int("drop-conn-at-epoch"));
+    sc.dist.drop_conn_rank = static_cast<int>(flags.get_int("drop-conn-rank"));
     my_rank = sc.dist.rank;
     elastic_run = sc.dist.elastic;
 
@@ -444,6 +465,8 @@ int main(int argc, char** argv) {
         eo.control_timeout_seconds = sc.dist.collective_timeout;
         if (!joiner && sc.dist.die_rank >= 0 && sc.dist.die_rank == sc.dist.rank)
           eo.die_at_epoch = sc.dist.die_at_epoch;
+        if (!joiner && sc.dist.drop_conn_rank >= 0 && sc.dist.drop_conn_rank == sc.dist.rank)
+          eo.drop_conn_at_epoch = sc.dist.drop_conn_at_epoch;
         sc.service.solve_fn = [&world, eo](const runtime::SolveRequest& req,
                                            const runtime::StrategyContext& ctx) {
           return dist::solve_elastic(*world, req, ctx, eo);

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "net/fault.hpp"
 #include "net/server.hpp"
 #include "util/flags.hpp"
 
@@ -67,6 +68,11 @@ int main(int argc, char** argv) {
   opts.service.admission_budget_walker_seconds = flags.get_double("admit-budget");
   opts.service.auto_calibrate = flags.get_bool("auto-calibrate");
 
+  // Deterministic wire-fault injection (chaos runs): inert unless
+  // CAS_FAULT_PLAN is set in the environment.
+  if (net::FaultInjector::arm_from_env())
+    std::fprintf(stderr, "cas_serve: fault-injection layer ARMED from CAS_FAULT_PLAN\n");
+
   try {
     net::Server server(opts);
     server.install_signal_handlers();
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
       util::Json j = util::Json::object();
       j["server"] = server.stats().to_json();
       j["service"] = server.service().stats().to_json();
+      if (net::fault_armed()) j["faults"] = net::FaultInjector::stats().to_json();
       std::fprintf(stderr, "%s\n", j.dump(2).c_str());
     }
     std::fprintf(stderr, "cas_serve: drained, exiting\n");

@@ -89,6 +89,14 @@ def check_serve(ref_doc, cur_doc, args):
     saturation = float(cur.get("saturation_rps", 0.0))
     print(f"  serve: sustained {sustained:.0f} rps, saturation target "
           f"{saturation:.0f} rps, cost sheds {cur.get('cost_sheds', 0)}")
+    # A bench taken with an ARMED fault injector measures the injected
+    # faults, not the server: its numbers must never become a reference or
+    # pass for a clean run. The fault layer compiled in but DISARMED is the
+    # normal (and guarded) configuration — cas_load stamps which one it was.
+    if cur.get("fault_layer_armed", False) and not args.allow_fault_armed:
+        failures.append("fault_layer_armed is true: this bench ran with an "
+                        "armed fault injector (pass --allow-fault-armed only "
+                        "for deliberate chaos-bench comparisons)")
     if sustained < args.min_sustained_rps:
         failures.append(f"sustained_rps {sustained:.0f} < floor "
                         f"{args.min_sustained_rps:.0f}")
@@ -184,6 +192,10 @@ def main():
     ap.add_argument("--min-sustained-rps", type=float, default=500.0,
                     help="absolute cached-hit throughput floor for the serve "
                          "benchmark (load-shape fact, not machine speed)")
+    ap.add_argument("--allow-fault-armed", action="store_true",
+                    help="accept a serve bench taken with an armed fault "
+                         "injector (chaos comparisons only; by default such "
+                         "a file fails the guard)")
     ap.add_argument("--serve-slack", type=float, default=0.60,
                     help="allowed sustained_rps drop vs the reference serve "
                          "block (generous: machines differ)")
