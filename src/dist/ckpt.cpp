@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "dist/disk_fault.hpp"
+
 namespace cas::dist {
 
 namespace {
@@ -110,17 +112,62 @@ size_t write_ckpt_file(const std::string& path, const util::Json& payload) {
   header["v"] = kCkptVersion;
   header["bytes"] = static_cast<uint64_t>(body.size());
   header["crc"] = crc_hex(fnv1a64(body));
-  const std::string blob = header.dump(0) + "\n" + body;
+  std::string blob = header.dump(0) + "\n" + body;
+
+  // Scheduled disk faults (chaos runs; inert when disarmed). A short write
+  // SILENTLY truncates the blob and still renames it into place — the
+  // post-crash torn file only the reader's validation can catch; rename
+  // and fsync failures surface as the CkptError a dying disk would raise.
+  auto decision = DiskFaultInjector::Decision::kNone;
+  if (DiskFaultInjector* inj = DiskFaultInjector::active(); inj != nullptr)
+    decision = inj->next_write();
+  if (decision == DiskFaultInjector::Decision::kShortWrite) blob.resize(blob.size() / 2);
 
   const std::string tmp = path + ".tmp";
   write_all_fsync(tmp, blob);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (decision == DiskFaultInjector::Decision::kFailFsync) {
+    std::remove(tmp.c_str());
+    fail(path, "fsync failed: injected disk fault");
+  }
+  if (decision == DiskFaultInjector::Decision::kFailRename ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     const int e = errno;
     std::remove(tmp.c_str());
-    fail(path, std::string("rename failed: ") + std::strerror(e));
+    fail(path, decision == DiskFaultInjector::Decision::kFailRename
+                   ? "rename failed: injected disk fault"
+                   : std::string("rename failed: ") + std::strerror(e));
   }
   fsync_dir(fs::path(path).parent_path().string());
   return blob.size();
+}
+
+size_t write_manifest_file(const std::string& dir, const util::Json& payload) {
+  const std::string path = dir + "/" + kManifestFile;
+  const std::string prev = dir + "/" + kManifestPrevFile;
+  // Rotate the last good manifest aside BEFORE the new write: whatever the
+  // writer does to manifest.ckpt afterwards — including dying mid-write or
+  // renaming a torn blob into place — the predecessor cut survives.
+  if (fs::exists(path)) {
+    if (std::rename(path.c_str(), prev.c_str()) != 0)
+      fail(path, std::string("manifest rotation failed: ") + std::strerror(errno));
+    fsync_dir(dir);
+  }
+  return write_ckpt_file(path, payload);
+}
+
+util::Json read_manifest_file(const std::string& dir, bool* fell_back) {
+  if (fell_back != nullptr) *fell_back = false;
+  try {
+    return read_ckpt_file(dir + "/" + kManifestFile);
+  } catch (const CkptError& primary) {
+    try {
+      util::Json prev = read_ckpt_file(dir + "/" + kManifestPrevFile);
+      if (fell_back != nullptr) *fell_back = true;
+      return prev;
+    } catch (const CkptError&) {
+      throw primary;  // the current manifest's diagnosis is the useful one
+    }
+  }
 }
 
 util::Json read_ckpt_file(const std::string& path) {

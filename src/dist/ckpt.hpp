@@ -16,9 +16,16 @@
 //   walkers_m<member>_e<epoch>.ckpt   one per member per epoch: the mid-walk
 //                                     snapshots of every walker that member
 //                                     owned at epoch <epoch>
-//   manifest.ckpt                     written by rank 0 once ALL active
-//                                     members have acknowledged epoch E —
-//                                     the consistent cut a --resume uses
+//   manifest.ckpt                     written by the coordinator host once
+//                                     ALL active members have acknowledged
+//                                     epoch E — the consistent cut a
+//                                     --resume uses
+//   manifest.prev.ckpt                the predecessor manifest, rotated
+//                                     aside before each manifest write: if
+//                                     the writer died mid-manifest (torn
+//                                     file), --resume falls back to the
+//                                     previous consistent cut, whose wave
+//                                     files the pruner deliberately keeps
 //
 // All 64-bit counters are serialized as decimal strings because util::Json
 // stores numbers as doubles (2^53 integer precision).
@@ -43,6 +50,7 @@ class CkptError : public std::runtime_error {
 
 inline constexpr int kCkptVersion = 1;
 inline constexpr const char* kManifestFile = "manifest.ckpt";
+inline constexpr const char* kManifestPrevFile = "manifest.prev.ckpt";
 
 /// FNV-1a 64-bit over the payload bytes — the header checksum.
 [[nodiscard]] uint64_t fnv1a64(std::string_view bytes);
@@ -59,6 +67,16 @@ size_t write_ckpt_file(const std::string& path, const util::Json& payload);
 /// missing, truncated, corrupted, checksum-mismatched, or written by an
 /// unsupported format version.
 [[nodiscard]] util::Json read_ckpt_file(const std::string& path);
+
+/// Write `dir`'s resume manifest, first rotating any existing manifest to
+/// manifest.prev.ckpt so a torn write can never destroy the only good cut.
+/// Throws CkptError on I/O failure (the rotated predecessor survives).
+size_t write_manifest_file(const std::string& dir, const util::Json& payload);
+
+/// Read `dir`'s resume manifest, falling back to the rotated predecessor
+/// when manifest.ckpt is missing, truncated, or corrupt. Throws CkptError
+/// when neither validates; a non-null `fell_back` reports which was used.
+[[nodiscard]] util::Json read_manifest_file(const std::string& dir, bool* fell_back = nullptr);
 
 /// Per-member wave file name: "walkers_m<member>_e<epoch>.ckpt".
 [[nodiscard]] std::string walker_file_name(int member, uint64_t epoch);

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -34,6 +35,8 @@ util::Json CoordinatorStats::to_json() const {
   j["evictions"] = evictions.load(std::memory_order_relaxed);
   j["rebalances"] = rebalances.load(std::memory_order_relaxed);
   j["rehellos"] = rehellos.load(std::memory_order_relaxed);
+  j["state_syncs"] = state_syncs.load(std::memory_order_relaxed);
+  j["reconnects"] = reconnects.load(std::memory_order_relaxed);
   return j;
 }
 
@@ -52,6 +55,25 @@ Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
   port_ = net::local_port(listen_fd_.get());
   net::set_nonblocking(listen_fd_.get(), true);
   fd_of_rank_.assign(static_cast<size_t>(opts_.ranks), -1);
+  loop_.add(wakeup_.read_fd(), /*want_read=*/true, /*want_write=*/false);
+  loop_.add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
+  started_ = now_seconds();
+  thread_ = std::thread([this] { run(); });
+}
+
+Coordinator::Coordinator(CoordinatorOptions opts, net::Fd adopted_listener,
+                         const util::Json& state)
+    : opts_(std::move(opts)) {
+  if (!adopted_listener.valid())
+    throw CommError("coordinator: promotion needs a pre-bound failover listener");
+  listen_fd_ = std::move(adopted_listener);
+  port_ = net::local_port(listen_fd_.get());
+  net::set_nonblocking(listen_fd_.get(), true);
+  opts_.elastic = true;
+  import_state(state);
+  fd_of_rank_.assign(static_cast<size_t>(std::max(opts_.ranks, next_member_)), -1);
+  reconnect_mode_ = true;
+  reconnect_started_ = now_seconds();
   loop_.add(wakeup_.read_fd(), /*want_read=*/true, /*want_write=*/false);
   loop_.add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
   started_ = now_seconds();
@@ -207,6 +229,8 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
       if (!welcomed_) --joined_;
     }
     p.rank = rank;
+    if (const util::Json* fo = j.find("failover"); fo != nullptr && fo->is_string())
+      p.failover_addr = fo->as_string();
     fd_of_rank_[static_cast<size_t>(rank)] = p.fd.get();
     vacant_since_.erase(rank);
     if (!welcomed_) {
@@ -218,6 +242,8 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
             Member m;
             m.fd = fd_of_rank_[static_cast<size_t>(r)];
             m.dense = r;
+            if (const auto pit = peers_.find(m.fd); pit != peers_.end())
+              m.failover_addr = pit->second->failover_addr;
             members_[r] = m;
           }
           next_member_ = opts_.ranks;
@@ -239,7 +265,11 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
           "coordinator: rank %d re-helloed after its replay window overflowed", rank));
       return;
     }
-    if (opts_.elastic) members_.at(rank).fd = p.fd.get();
+    if (opts_.elastic) {
+      Member& m = members_.at(rank);
+      m.fd = p.fd.get();
+      if (!p.failover_addr.empty()) m.failover_addr = p.failover_addr;
+    }
     stats_.rehellos.fetch_add(1, std::memory_order_relaxed);
     const int fd = p.fd.get();
     const std::vector<std::string> transcript = replay_log_[rank];
@@ -272,6 +302,10 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
       handle_join(p, j);
       return;
     }
+    if (type == "reconnect") {
+      handle_reconnect(p, j, now);
+      return;
+    }
     if (type == "leave") {
       int member = -1;
       try {
@@ -280,8 +314,10 @@ void Coordinator::handle_frame(Peer& p, const std::string& payload, double now) 
         abort_world(e.what());
         return;
       }
-      if (member == 0) {
-        abort_world("coordinator: member 0 cannot leave (it hosts the coordinator); halt instead");
+      if (member == opts_.host_member) {
+        abort_world(util::strf(
+            "coordinator: member %d cannot leave (it hosts the coordinator); halt instead",
+            member));
         return;
       }
       const auto it = members_.find(member);
@@ -352,6 +388,8 @@ void Coordinator::handle_join(Peer& p, const util::Json& j) {
                    .dump(0));
     return;
   }
+  if (const util::Json* fo = j.find("failover"); fo != nullptr && fo->is_string())
+    p.failover_addr = fo->as_string();
   p.pending_join = true;
   pending_join_fds_.push_back(p.fd.get());
   stats_.joins.fetch_add(1, std::memory_order_relaxed);
@@ -485,6 +523,7 @@ void Coordinator::complete_wave(bool final) {
       const int id = next_member_++;
       Member m;
       m.fd = fd;
+      m.failover_addr = pit->second->failover_addr;
       members_[id] = m;
       pit->second->rank = id;
       pit->second->pending_join = false;
@@ -505,11 +544,17 @@ void Coordinator::complete_wave(bool final) {
     m.reported = false;
   }
   const int ranks = dense;
+  elect_standby();
 
   util::Json base = make_rebalance_base(final ? wave_ : wave_ + 1);
   base["ranks"] = ranks;
   base["final"] = final;
   base["ckpt_epoch"] = static_cast<int64_t>(ckpt_epoch_);
+  if (promoted_from_ >= 0) base["promoted_from"] = promoted_from_;
+  if (opts_.standby) {
+    base["standby_member"] = standby_member_;
+    base["standby_addr"] = standby_addr_;
+  }
   {
     std::scoped_lock lock(hunt_mu_);
     base["seed"] = wire_u64(hunt_seed_);
@@ -560,7 +605,302 @@ void Coordinator::complete_wave(bool final) {
   }
   for (const int id : retired) members_.at(id).fd = -1;
 
-  if (!final) ++wave_;
+  if (!final) {
+    ++wave_;
+    // Mirror the post-wave state to the standby on the same boundary the
+    // rebalance frames just rode: if this process dies any time before the
+    // next sync, the standby can reconstruct the world at wave_ exactly.
+    send_state_sync();
+  }
+}
+
+void Coordinator::elect_standby() {
+  standby_member_ = -1;
+  standby_addr_.clear();
+  if (!opts_.standby) return;
+  int best_dense = -1;
+  for (const auto& [id, m] : members_) {
+    if (!member_active(m) || id == opts_.host_member || m.failover_addr.empty()) continue;
+    if (best_dense < 0 || m.dense < best_dense) {
+      best_dense = m.dense;
+      standby_member_ = id;
+      standby_addr_ = m.failover_addr;
+    }
+  }
+}
+
+util::Json Coordinator::export_state() {
+  util::Json s = util::Json::object();
+  s["v"] = kWireVersion;
+  {
+    std::scoped_lock lock(hunt_mu_);
+    s["key"] = hunt_key_;
+    s["seed"] = wire_u64(hunt_seed_);
+    s["walkers"] = hunt_walkers_;
+  }
+  s["wave"] = wire_u64(wave_);
+  s["ckpt_epoch"] = static_cast<int64_t>(ckpt_epoch_);
+  s["next_member"] = next_member_;
+  s["host_member"] = opts_.host_member;
+  s["have_winner"] = have_winner_;
+  if (have_winner_) {
+    s["winner_seg"] = wire_u64(winner_seg_);
+    s["winner_id"] = wire_u64(winner_id_);
+    s["winner_member"] = winner_member_;
+    s["winner_stats"] = winner_stats_;
+  }
+  util::Json members = util::Json::array();
+  for (const auto& [id, m] : members_) {
+    util::Json row = util::Json::object();
+    row["id"] = id;
+    row["leaving"] = m.leaving;
+    row["left"] = m.left;
+    row["evicted"] = m.evicted;
+    row["done"] = m.done;
+    row["halt"] = m.halt;
+    row["any_ckpt"] = m.any_ckpt;
+    row["last_ckpt_epoch"] = wire_u64(m.last_ckpt_epoch);
+    if (!m.failover_addr.empty()) row["failover"] = m.failover_addr;
+    if (!m.summary.is_null()) row["summary"] = m.summary;
+    members.push_back(std::move(row));
+  }
+  s["members"] = std::move(members);
+  return s;
+}
+
+void Coordinator::import_state(const util::Json& state) {
+  try {
+    {
+      std::scoped_lock lock(hunt_mu_);
+      hunt_key_ = state.at("key").as_string();
+      hunt_seed_ = frame_u64(state, "seed");
+      hunt_walkers_ = frame_int(state, "walkers");
+    }
+    wave_ = frame_u64(state, "wave");
+    ckpt_epoch_ = state.at("ckpt_epoch").as_int();
+    next_member_ = frame_int(state, "next_member");
+    promoted_from_ = frame_int(state, "host_member");
+    have_winner_ = frame_bool(state, "have_winner", false);
+    if (have_winner_) {
+      winner_seg_ = frame_u64(state, "winner_seg");
+      winner_id_ = frame_u64(state, "winner_id");
+      winner_member_ = frame_int(state, "winner_member");
+      winner_stats_ = state.at("winner_stats");
+    }
+    const util::Json& members = state.at("members");
+    if (!members.is_array()) throw CommError("coordinator: state members is not an array");
+    for (const util::Json& row : members.as_array()) {
+      const int id = frame_int(row, "id");
+      Member m;
+      m.fd = -1;
+      m.leaving = frame_bool(row, "leaving", false);
+      m.left = frame_bool(row, "left", false);
+      m.evicted = frame_bool(row, "evicted", false);
+      m.done = frame_bool(row, "done", false);
+      m.halt = frame_bool(row, "halt", false);
+      m.any_ckpt = frame_bool(row, "any_ckpt", false);
+      m.last_ckpt_epoch = frame_u64(row, "last_ckpt_epoch");
+      if (const util::Json* fo = row.find("failover"); fo != nullptr && fo->is_string())
+        m.failover_addr = fo->as_string();
+      if (const util::Json* su = row.find("summary"); su != nullptr) m.summary = *su;
+      members_[id] = std::move(m);
+    }
+  } catch (const CommError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CommError(util::strf("coordinator: malformed replicated state: %s", e.what()));
+  }
+  // The dead host is the one member that cannot reconnect.
+  if (const auto hit = members_.find(promoted_from_);
+      hit != members_.end() && member_active(hit->second)) {
+    hit->second.evicted = true;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  int survivors = 0;
+  for (const auto& [id, m] : members_)
+    if (member_active(m)) ++survivors;
+  if (survivors == 0) throw CommError("coordinator: replicated state has no surviving members");
+  welcomed_ = true;
+  wave_anchored_ = true;
+  hunting_ = true;
+  admitted_.store(survivors, std::memory_order_release);
+}
+
+void Coordinator::send_state_sync() {
+  if (standby_member_ < 0 || !hunting_) return;
+  const auto mit = members_.find(standby_member_);
+  if (mit == members_.end() || mit->second.fd < 0 || peers_.count(mit->second.fd) == 0) return;
+  // Not logged for replay: a standby that re-hellos just waits for the
+  // next wave's sync; replaying a stale one would only waste the window.
+  enqueue(*peers_.at(mit->second.fd), make_state_sync(wave_, export_state()).dump(0),
+          /*log=*/false);
+  stats_.state_syncs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Coordinator::handle_reconnect(Peer& p, const util::Json& j, double now) {
+  int version = -1;
+  const util::Json* vj = j.find("v");
+  try {
+    if (vj != nullptr) version = static_cast<int>(vj->as_int());
+  } catch (...) {
+  }
+  if (version != kWireVersion) {
+    enqueue(p, make_abort(util::strf("coordinator: wire version mismatch (reconnect speaks "
+                                     "v%d, this world v%d)",
+                                     version, kWireVersion))
+                   .dump(0),
+            /*log=*/false);
+    return;
+  }
+  if (!reconnect_mode_) {
+    // Late arrival after the window closed (or a reconnect sent to a
+    // never-promoted coordinator): refuse — the survivor falls back to the
+    // ordinary late-join handshake against a live world.
+    enqueue(p, make_abort("coordinator: no reconnect window open").dump(0), /*log=*/false);
+    return;
+  }
+  int member = -1;
+  uint64_t epoch = 0;
+  std::string key;
+  try {
+    member = frame_int(j, "rank");
+    epoch = frame_u64(j, "epoch");
+    if (const util::Json* kj = j.find("key"); kj != nullptr && kj->is_string())
+      key = kj->as_string();
+  } catch (const CommError&) {
+    drop_peer(p.fd.get(), /*expected=*/false);
+    return;
+  }
+  {
+    std::scoped_lock lock(hunt_mu_);
+    if (!hunt_key_.empty() && key != hunt_key_) {
+      enqueue(p, make_abort("coordinator: reconnect refused — request key does not match the "
+                            "hunt in progress")
+                     .dump(0),
+              /*log=*/false);
+      return;
+    }
+  }
+  const auto mit = members_.find(member);
+  if (mit == members_.end() || !member_active(mit->second)) {
+    enqueue(p, make_abort(util::strf("coordinator: reconnect refused — member %d is not a "
+                                     "surviving member",
+                                     member))
+                   .dump(0),
+            /*log=*/false);
+    return;
+  }
+  // Epoch-stamp invariant: a survivor is never more than one wave away
+  // from the replicated state (state_sync rides the same boundary as the
+  // rebalance it mirrors). A wider gap means the state blob and the
+  // survivor describe different worlds.
+  if (epoch > wave_ + 1 || epoch + 1 < wave_) {
+    abort_world(util::strf("coordinator: reconnect from member %d stamps epoch %llu but the "
+                           "replicated state is at wave %llu",
+                           member, static_cast<unsigned long long>(epoch),
+                           static_cast<unsigned long long>(wave_)));
+    return;
+  }
+  Member& m = mit->second;
+  const bool again = m.reconnected;  // retry after a lost welcome
+  if (m.fd >= 0 && m.fd != p.fd.get()) {
+    loop_.remove(m.fd);
+    peers_.erase(m.fd);
+  }
+  p.rank = member;
+  if (const util::Json* fo = j.find("failover"); fo != nullptr && fo->is_string())
+    m.failover_addr = fo->as_string();
+  m.fd = p.fd.get();
+  m.reconnected = true;
+  vacant_since_.erase(member);
+  if (member >= 0 && member < static_cast<int>(fd_of_rank_.size()))
+    fd_of_rank_[static_cast<size_t>(member)] = p.fd.get();
+  stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  if (again && replay_bytes_.count(member) != 0) {
+    // Same recovery as a re-hello: replay the exact transcript (welcome
+    // first) the lost connection was owed.
+    const int fd = p.fd.get();
+    const std::vector<std::string> transcript = replay_log_[member];
+    for (const std::string& frame : transcript) {
+      if (peers_.count(fd) == 0) break;
+      enqueue(*peers_.at(fd), frame, /*log=*/false);
+    }
+  } else {
+    enqueue(p, make_welcome(member, active_count()).dump(0));
+  }
+  maybe_finish_reconnect(now);
+}
+
+void Coordinator::maybe_finish_reconnect(double now) {
+  if (!reconnect_mode_ || aborted_) return;
+  bool all = true;
+  for (const auto& [id, m] : members_) {
+    if (!member_active(m)) continue;
+    if (!m.reconnected || m.fd < 0) all = false;
+  }
+  if (!all) {
+    if (now - reconnect_started_ <= opts_.reconnect_grace_seconds) return;
+    // Window expired: whoever has not re-rendezvoused is gone too.
+    for (auto& [id, m] : members_) {
+      if (!member_active(m) || (m.reconnected && m.fd >= 0)) continue;
+      detached_.fetch_add(1, std::memory_order_release);
+      m.evicted = true;
+      m.fd = -1;
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (active_count() == 0) {
+    abort_world("coordinator: no survivor reconnected within the failover window");
+    return;
+  }
+  reconnect_mode_ = false;
+  // Resume rebalance: the same personalized frame a completed wave sends,
+  // except the wave index does not advance — everyone rewinds to the
+  // replicated epoch and re-runs it (deterministic walkers make the replay
+  // bit-identical, and re-reported acks are idempotent).
+  stats_.rebalances.fetch_add(1, std::memory_order_relaxed);
+  int dense = 0;
+  std::vector<int> evicted_now;
+  for (auto& [id, m] : members_) {
+    if (!member_active(m)) {
+      if (m.evicted) evicted_now.push_back(id);
+      continue;
+    }
+    m.dense = dense++;
+    m.reported = false;
+  }
+  const int ranks = dense;
+  elect_standby();
+  util::Json base = make_rebalance_base(wave_);
+  base["ranks"] = ranks;
+  base["final"] = false;
+  base["failover"] = true;
+  base["promoted_from"] = promoted_from_;
+  base["ckpt_epoch"] = static_cast<int64_t>(ckpt_epoch_);
+  {
+    std::scoped_lock lock(hunt_mu_);
+    base["seed"] = wire_u64(hunt_seed_);
+    base["walkers"] = hunt_walkers_;
+  }
+  util::Json members_list = util::Json::array();
+  for (const auto& [id, m] : members_)
+    if (member_active(m)) members_list.push_back(id);
+  base["members"] = std::move(members_list);
+  util::Json evicted_list = util::Json::array();
+  for (const int id : evicted_now) evicted_list.push_back(id);
+  base["evicted"] = std::move(evicted_list);
+  base["joined"] = util::Json::array();
+  if (opts_.standby) {
+    base["standby_member"] = standby_member_;
+    base["standby_addr"] = standby_addr_;
+  }
+  for (auto& [id, m] : members_) {
+    if (!member_active(m) || m.fd < 0 || peers_.count(m.fd) == 0) continue;
+    util::Json frame = base;
+    frame["your_rank"] = m.dense;
+    enqueue(*peers_.at(m.fd), frame.dump(0));
+  }
+  send_state_sync();
 }
 
 void Coordinator::route(Peer& from, int dest, const std::string& payload) {
@@ -710,10 +1050,10 @@ void Coordinator::drop_peer(int fd, bool expected) {
   }
   if (opts_.elastic) {
     detached_.fetch_add(1, std::memory_order_release);
-    if (rank != 0 && hunting_) {
+    if (rank != opts_.host_member && hunting_) {
       // Elastic downgrade: a dead member is evicted at the wave boundary
-      // instead of aborting the world. Member 0 hosts this coordinator,
-      // so its death still falls through to abort.
+      // instead of aborting the world. The host member's RankComm lives in
+      // this process, so its death still falls through to abort.
       evict_member(rank, "connection lost");
       return;
     }
@@ -738,6 +1078,8 @@ void Coordinator::abort_world(const std::string& reason) {
 
 void Coordinator::check_liveness(double now) {
   if (aborted_) return;
+  maybe_finish_reconnect(now);
+  if (reconnect_mode_) return;  // the window has its own clock; no policing yet
   if (!welcomed_) {
     if (opts_.join_timeout_seconds > 0 && now - started_ > opts_.join_timeout_seconds)
       abort_world(util::strf("coordinator: rendezvous timed out (%d of %d ranks joined)",
@@ -753,7 +1095,7 @@ void Coordinator::check_liveness(double now) {
     }
     const int rank = vit->first;
     vit = vacant_since_.erase(vit);
-    if (opts_.elastic && rank != 0 && hunting_) {
+    if (opts_.elastic && rank != opts_.host_member && hunting_) {
       detached_.fetch_add(1, std::memory_order_release);
       evict_member(rank, "re-hello grace expired");
       continue;
@@ -766,7 +1108,7 @@ void Coordinator::check_liveness(double now) {
   for (const auto& [fd, p] : peers_) {
     if (p->rank < 0 || p->said_bye) continue;
     if (now - p->last_seen > opts_.heartbeat_timeout_seconds) {
-      if (opts_.elastic && p->rank != 0 && hunting_) {
+      if (opts_.elastic && p->rank != opts_.host_member && hunting_) {
         dead_fds.push_back(fd);  // evict below; iterating peers_ here
         continue;
       }

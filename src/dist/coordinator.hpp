@@ -21,9 +21,12 @@
 // active member reports the current wave with an `epoch` frame; when all
 // have reported, the coordinator retires leaving members, admits pending
 // joiners, evicts the dead, renumbers, and broadcasts a personalized
-// `rebalance` frame. Death of a member other than 0 downgrades from
-// world-abort to eviction at the wave boundary (member 0 hosts this
-// coordinator — its death still aborts).
+// `rebalance` frame. Death of a member other than the coordinator host
+// downgrades from world-abort to eviction at the wave boundary; death of
+// the HOST process takes this coordinator with it, and with
+// CoordinatorOptions::standby the survivors recover by promoting the
+// replicated standby (the promotion constructor below) instead of
+// aborting.
 //
 // Single-threaded over net::EventLoop + net/frame_io — the same
 // machinery, and the same codec path, as the cas_serve front-end.
@@ -68,6 +71,20 @@ struct CoordinatorOptions {
   /// join admission, graceful leave, and eviction instead of world abort
   /// when a member other than 0 dies.
   bool elastic = false;
+  /// Coordinator failover (wire protocol v3): elect a standby (the lowest
+  /// non-host dense rank that announced a failover address), mirror the
+  /// wave-machine state to it in a state_sync frame after every completed
+  /// wave, and advertise the election in every rebalance frame so the
+  /// survivors know where to re-rendezvous if this coordinator dies.
+  bool standby = false;
+  /// Promoted coordinators only: how long the reconnect window stays open
+  /// for survivors to re-rendezvous before the missing are evicted and the
+  /// world resumes without them.
+  double reconnect_grace_seconds = 30.0;
+  /// The stable member id of the process hosting this coordinator (0 for
+  /// an original launch; the promoted standby's id after a failover). Its
+  /// death is world-fatal — everyone else's downgrades to eviction.
+  int host_member = 0;
 };
 
 /// Router counters, readable live from other threads.
@@ -84,6 +101,10 @@ struct CoordinatorStats {
   /// Re-hellos accepted after a welcome was lost in flight (the replay
   /// recovery path of the fault-injection layer).
   std::atomic<uint64_t> rehellos{0};
+  /// state_sync frames mirrored to the elected standby.
+  std::atomic<uint64_t> state_syncs{0};
+  /// Survivors re-admitted through the post-promotion reconnect handshake.
+  std::atomic<uint64_t> reconnects{0};
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -92,6 +113,13 @@ class Coordinator {
  public:
   /// Binds and starts the router thread. Throws on bind failure.
   explicit Coordinator(CoordinatorOptions opts);
+  /// Standby promotion: adopt a pre-bound listener and the wave-machine
+  /// state a state_sync frame replicated, then open a reconnect window for
+  /// the survivors. The old host (state's "host_member") is marked evicted;
+  /// the world resumes at the replicated wave once every expected survivor
+  /// re-rendezvoused (or the window expired and the missing were evicted).
+  /// Throws CommError on a malformed state blob.
+  Coordinator(CoordinatorOptions opts, net::Fd adopted_listener, const util::Json& state);
   ~Coordinator();
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
@@ -118,6 +146,10 @@ class Coordinator {
   /// walker count ride in every rebalance frame). Thread-safe.
   void set_hunt(const std::string& key, uint64_t seed, int walkers);
 
+  /// The member id of the dead host this coordinator was promoted from
+  /// (-1 for an original, never-promoted coordinator).
+  [[nodiscard]] int promoted_from() const { return promoted_from_; }
+
  private:
   struct Peer {
     net::Fd fd;
@@ -125,6 +157,7 @@ class Coordinator {
     std::string outbuf;
     size_t out_off = 0;
     int rank = -1;  // -1 until hello; elastic: the member id
+    std::string failover_addr;  // announced in hello/join/reconnect
     bool pending_join = false;  // said join, not yet admitted
     bool said_bye = false;
     bool want_write = false;
@@ -143,8 +176,10 @@ class Coordinator {
     bool done = false;      // reported out of budget (sticky)
     bool halt = false;      // asked the world to drain (rank-0 SIGTERM)
     bool reported = false;  // epoch frame for the current wave seen
+    bool reconnected = false;  // re-rendezvoused after a promotion
     bool any_ckpt = false;
     uint64_t last_ckpt_epoch = 0;
+    std::string failover_addr;  // its pre-bound promotion listener
     util::Json summary;  // its latest epoch frame (final-report rows)
   };
 
@@ -170,6 +205,16 @@ class Coordinator {
   void evict_member(int member, const std::string& why);
   void maybe_complete_wave();
   void complete_wave(bool final);
+
+  // Failover replication + promotion (router thread only, except
+  // import_state which runs on the constructing thread before the router
+  // starts).
+  void elect_standby();
+  [[nodiscard]] util::Json export_state();
+  void import_state(const util::Json& state);
+  void send_state_sync();
+  void handle_reconnect(Peer& p, const util::Json& j, double now);
+  void maybe_finish_reconnect(double now);
   [[nodiscard]] static bool member_active(const Member& m) { return !m.evicted && !m.left; }
   [[nodiscard]] int active_count() const;
   [[nodiscard]] int fd_of_dense(int dense) const;
@@ -220,6 +265,14 @@ class Coordinator {
   util::Json winner_stats_;
   std::atomic<int> admitted_{0};
   std::atomic<int> detached_{0};
+  // Failover state. standby_member_/_addr_ are re-elected every wave and
+  // broadcast in the rebalance frames; reconnect_mode_ is true only on a
+  // freshly promoted coordinator until the survivor window settles.
+  int standby_member_ = -1;
+  std::string standby_addr_;
+  int promoted_from_ = -1;
+  bool reconnect_mode_ = false;
+  double reconnect_started_ = 0;
   mutable std::mutex hunt_mu_;
   std::string hunt_key_;
   uint64_t hunt_seed_ = 0;

@@ -1,0 +1,148 @@
+#include "dist/disk_fault.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cas::dist {
+
+namespace {
+
+constexpr uint64_t kSaltMix = 0x9e3779b97f4a7c15ull;
+
+double u01(core::SplitMix64& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+DiskFaultClass parse_class(const std::string& name, const util::Json& j) {
+  DiskFaultClass c;
+  if (!j.is_object())
+    throw std::runtime_error("disk fault plan: class '" + name + "' must be an object");
+  for (const auto& [key, value] : j.as_object()) {
+    if (key == "prob") c.prob = value.as_number();
+    else if (key == "max") c.max = static_cast<uint64_t>(value.as_int());
+    else if (key == "min_op") c.min_op = static_cast<uint64_t>(value.as_int());
+    else if (key == "max_op") c.max_op = static_cast<uint64_t>(value.as_int());
+    else
+      throw std::runtime_error("disk fault plan: unknown field '" + key + "' in class '" +
+                               name + "'");
+  }
+  if (c.prob < 0.0 || c.prob > 1.0)
+    throw std::runtime_error("disk fault plan: class '" + name + "' prob must be in [0, 1]");
+  return c;
+}
+
+std::vector<DiskFaultClass> parse_windows(const std::string& name, const util::Json& j) {
+  std::vector<DiskFaultClass> out;
+  if (j.is_array()) {
+    for (const auto& item : j.as_array()) out.push_back(parse_class(name, item));
+  } else {
+    out.push_back(parse_class(name, j));
+  }
+  return out;
+}
+
+}  // namespace
+
+DiskFaultPlan DiskFaultPlan::parse(const util::Json& spec) {
+  if (!spec.is_object())
+    throw std::runtime_error("disk fault plan: document must be a JSON object");
+  DiskFaultPlan plan;
+  for (const auto& [key, value] : spec.as_object()) {
+    if (key == "seed") plan.seed = static_cast<uint64_t>(value.as_int());
+    else if (key == "short_write") plan.short_write = parse_windows(key, value);
+    else if (key == "fail_rename") plan.fail_rename = parse_windows(key, value);
+    else if (key == "fail_fsync") plan.fail_fsync = parse_windows(key, value);
+    else
+      throw std::runtime_error("disk fault plan: unknown fault class '" + key + "'");
+  }
+  return plan;
+}
+
+std::atomic<DiskFaultInjector*> DiskFaultInjector::g_active{nullptr};
+
+void DiskFaultInjector::arm(const DiskFaultPlan& plan, uint64_t salt) {
+  // Leaky singleton, same reasoning as net::FaultInjector: the armed plan
+  // must outlive any thread still inside the writer at process exit.
+  static DiskFaultInjector* inst = new DiskFaultInjector();
+  g_active.store(nullptr, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(inst->mu_);
+    inst->plan_ = plan;
+    inst->rng_ = core::SplitMix64(plan.seed ^ (salt * kSaltMix));
+    inst->write_ops_ = 0;
+    inst->fired_short_.assign(plan.short_write.size(), 0);
+    inst->fired_rename_.assign(plan.fail_rename.size(), 0);
+    inst->fired_fsync_.assign(plan.fail_fsync.size(), 0);
+    inst->stats_.short_writes.store(0);
+    inst->stats_.failed_renames.store(0);
+    inst->stats_.failed_fsyncs.store(0);
+  }
+  g_active.store(inst, std::memory_order_release);
+}
+
+void DiskFaultInjector::disarm() { g_active.store(nullptr, std::memory_order_release); }
+
+bool DiskFaultInjector::arm_from_env() {
+  const char* spec = std::getenv("CAS_DISK_FAULT_PLAN");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  std::string text = spec;
+  if (text[0] == '@') {
+    std::ifstream in(text.substr(1), std::ios::binary);
+    if (!in) throw std::runtime_error("CAS_DISK_FAULT_PLAN: cannot read " + text.substr(1));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  DiskFaultPlan plan = DiskFaultPlan::parse(util::Json::parse(text));
+  uint64_t salt = 0;
+  if (const char* s = std::getenv("CAS_FAULT_SALT"); s != nullptr && s[0] != '\0')
+    salt = std::strtoull(s, nullptr, 10);
+  arm(plan, salt);
+  return true;
+}
+
+const DiskFaultStats& DiskFaultInjector::stats() {
+  static DiskFaultStats empty;
+  DiskFaultInjector* f = active();
+  return f != nullptr ? f->stats_ : empty;
+}
+
+bool DiskFaultInjector::draw(std::vector<DiskFaultClass>& windows, uint64_t op) {
+  // Locate the fired-counter list for this window vector.
+  std::vector<uint64_t>* fired = nullptr;
+  if (&windows == &plan_.short_write) fired = &fired_short_;
+  else if (&windows == &plan_.fail_rename) fired = &fired_rename_;
+  else fired = &fired_fsync_;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    DiskFaultClass& c = windows[i];
+    if (op < c.min_op || op > c.max_op) continue;
+    if ((*fired)[i] >= c.max) continue;
+    if (u01(rng_) >= c.prob) continue;
+    ++(*fired)[i];
+    return true;
+  }
+  return false;
+}
+
+DiskFaultInjector::Decision DiskFaultInjector::next_write() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t op = write_ops_++;
+  if (draw(plan_.short_write, op)) {
+    stats_.short_writes.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kShortWrite;
+  }
+  if (draw(plan_.fail_rename, op)) {
+    stats_.failed_renames.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kFailRename;
+  }
+  if (draw(plan_.fail_fsync, op)) {
+    stats_.failed_fsyncs.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kFailFsync;
+  }
+  return Decision::kNone;
+}
+
+}  // namespace cas::dist

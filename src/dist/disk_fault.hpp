@@ -1,0 +1,101 @@
+// Seeded, deterministic DISK fault injection for the checkpoint writer —
+// the torn-write analogue of net/fault.hpp. An armed plan makes
+// write_ckpt_file misbehave on scheduled write operations:
+//
+//   short_write — the tmp file is written TRUNCATED (half the blob) and the
+//                 rename still succeeds: the post-crash torn file. The
+//                 writer reports success; only the reader's header/CRC
+//                 validation (and the manifest's predecessor fallback) can
+//                 save the day, which is exactly what the chaos schedules
+//                 assert.
+//   fail_rename — the tmp -> final rename fails; write_ckpt_file throws
+//                 CkptError and the previous file survives untouched.
+//   fail_fsync  — the data fsync fails (full disk, dying device);
+//                 write_ckpt_file throws CkptError.
+//
+// Each class fires with `prob` on write-op indices inside [min_op, max_op]
+// (one index per write_ckpt_file call, process-wide), at most `max` times.
+// Decisions come from a SplitMix64 stream seeded from (plan.seed,
+// CAS_FAULT_SALT), so a schedule replays identically per process — the same
+// determinism contract as the network injector.
+//
+// Environment contract (read by DiskFaultInjector::arm_from_env, called
+// from tool mains next to net::FaultInjector::arm_from_env):
+//   CAS_DISK_FAULT_PLAN — inline JSON plan, or @/path/to/plan.json
+//   CAS_FAULT_SALT      — shared with the network injector: forked ranks
+//                         draw distinct, reproducible schedules
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "util/json.hpp"
+
+namespace cas::dist {
+
+struct DiskFaultClass {
+  double prob = 0.0;
+  uint64_t max = std::numeric_limits<uint64_t>::max();
+  uint64_t min_op = 0;
+  uint64_t max_op = std::numeric_limits<uint64_t>::max();
+};
+
+struct DiskFaultPlan {
+  uint64_t seed = 1;
+  std::vector<DiskFaultClass> short_write;
+  std::vector<DiskFaultClass> fail_rename;
+  std::vector<DiskFaultClass> fail_fsync;
+
+  /// Throws std::runtime_error on unknown keys or malformed fields.
+  static DiskFaultPlan parse(const util::Json& spec);
+};
+
+struct DiskFaultStats {
+  std::atomic<uint64_t> short_writes{0};
+  std::atomic<uint64_t> failed_renames{0};
+  std::atomic<uint64_t> failed_fsyncs{0};
+};
+
+class DiskFaultInjector {
+ public:
+  /// What one write_ckpt_file call has been scheduled to suffer.
+  enum class Decision { kNone, kShortWrite, kFailRename, kFailFsync };
+
+  [[nodiscard]] static DiskFaultInjector* active() {
+    return g_active.load(std::memory_order_relaxed);
+  }
+
+  /// Publish `plan` process-wide (replaces any armed plan; resets the op
+  /// counter and stats).
+  static void arm(const DiskFaultPlan& plan, uint64_t salt = 0);
+  static void disarm();
+
+  /// Arm from CAS_DISK_FAULT_PLAN/CAS_FAULT_SALT. Returns false when
+  /// unset; throws std::runtime_error on a malformed plan.
+  static bool arm_from_env();
+
+  [[nodiscard]] static const DiskFaultStats& stats();
+
+  /// Consume one write-op index and draw its fate (first matching class in
+  /// short_write, fail_rename, fail_fsync order wins).
+  Decision next_write();
+
+ private:
+  DiskFaultInjector() = default;
+  bool draw(std::vector<DiskFaultClass>& windows, uint64_t op);
+
+  static std::atomic<DiskFaultInjector*> g_active;
+
+  DiskFaultPlan plan_;
+  DiskFaultStats stats_;
+  std::mutex mu_;
+  core::SplitMix64 rng_{0};
+  uint64_t write_ops_ = 0;
+  std::vector<uint64_t> fired_short_, fired_rename_, fired_fsync_;
+};
+
+}  // namespace cas::dist

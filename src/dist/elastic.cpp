@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <csignal>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -159,7 +160,8 @@ struct ElasticRun {
   uint64_t walkers_restored = 0;
   uint64_t walkers_replayed = 0;
   int64_t resumed_from_epoch = -1;
-  int64_t manifest_epoch = -1;  // last manifest this process (member 0) wrote
+  int64_t manifest_epoch = -1;  // last manifest this process (the host) wrote
+  bool resume_fell_back = false;  // torn manifest: resumed from the predecessor cut
 
   [[nodiscard]] uint64_t elapsed_micros() const {
     return prior_elapsed_micros + static_cast<uint64_t>(timer.seconds() * 1e6);
@@ -267,7 +269,7 @@ struct ElasticRun {
       if (ref.epoch == static_cast<uint64_t>(cut))
         files.push_back(walker_file_name(ref.member, ref.epoch));
     m["files"] = std::move(files);
-    write_ckpt_file(opts->ckpt_dir + "/" + kManifestFile, m);
+    write_manifest_file(opts->ckpt_dir, m);
     manifest_epoch = cut;
     if (cut >= 1) prune_walker_files(opts->ckpt_dir, static_cast<uint64_t>(cut - 1));
   }
@@ -283,6 +285,7 @@ struct ElasticRun {
     c["replayed"] = static_cast<int64_t>(walkers_replayed);
     c["resumed_from_epoch"] = resumed_from_epoch;
     c["manifest_epoch"] = manifest_epoch;
+    if (resumed_from_epoch >= 0) c["resume_fell_back"] = resume_fell_back;
     if (ckpt_write_seconds.count() > 0) {
       util::Json lat = util::Json::object();
       lat["count"] = static_cast<int64_t>(ckpt_write_seconds.count());
@@ -319,6 +322,16 @@ void fill_outcome(runtime::SolveReport& report, const util::Json& final_frame) {
   }
 }
 
+/// Cache the standby election each rebalance frame refreshes (and the epoch
+/// stamp a reconnect handshake would carry) — the recovery path in
+/// solve_elastic reads it after the communicator has already failed.
+void note_failover_from(World& world, const util::Json& rb) {
+  const util::Json* sm = rb.find("standby_member");
+  const util::Json* sa = rb.find("standby_addr");
+  if (sm == nullptr || sa == nullptr || !sa->is_string()) return;
+  world.note_failover(frame_int(rb, "standby_member"), sa->as_string(), frame_u64(rb, "epoch"));
+}
+
 void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOptions& opts,
                  runtime::SolveReport& report) {
   if (resolved.strategy != "multiwalk")
@@ -350,6 +363,7 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
     auto ctl = comm.take_control(opts.control_timeout_seconds);
     if (!ctl) throw CommError("elastic: joiner saw no rebalance frame within the timeout");
     first_rebalance = std::move(*ctl);
+    note_failover_from(world, first_rebalance);
     if (frame_bool(first_rebalance, "final", false)) {
       fill_outcome(report, first_rebalance);
       report.extras = util::Json::object();
@@ -367,7 +381,9 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
       cut = ce->as_int();
     comm.set_view(my_rank, ranks);
   } else if (opts.resume) {
-    const util::Json manifest = read_ckpt_file(opts.ckpt_dir + "/" + std::string(kManifestFile));
+    bool fell_back = false;
+    const util::Json manifest = read_manifest_file(opts.ckpt_dir, &fell_back);
+    run.resume_fell_back = fell_back;
     const runtime::SolveRequest stored = runtime::SolveRequest::from_json(manifest.at("request"));
     if (elastic_hunt_key(stored) != elastic_hunt_key(resolved))
       throw CkptError(
@@ -389,9 +405,10 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
     resolved.seed = std::bit_cast<uint64_t>(wire[0]);
   }
 
-  // Member 0 announces the hunt so the coordinator can authenticate late
+  // The host announces the hunt so the coordinator can authenticate late
   // joiners and feed them the seed through their first rebalance.
-  if (comm.member() == 0) world.set_hunt(elastic_hunt_key(resolved), resolved.seed, resolved.walkers);
+  // (Idempotent: a promoted coordinator already imported the same hunt.)
+  if (world.is_host()) world.set_hunt(elastic_hunt_key(resolved), resolved.seed, resolved.walkers);
 
   run.seeds = core::ChaoticSeedSequence::generate(resolved.seed,
                                                   static_cast<size_t>(resolved.walkers));
@@ -427,7 +444,7 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
     }
     if (run.out_of_time()) halt = true;
     if (run.draining()) {
-      if (comm.member() == 0) {
+      if (world.is_host()) {
         halt = true;
       } else if (!leaving) {
         comm.send_control(make_leave(comm.member()));
@@ -442,7 +459,11 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
     // 3. Fault injection: die like SIGKILL, after the checkpoint, before
     // the epoch report — the worst-timed crash the protocol must absorb.
     if (opts.die_at_epoch > 0 && run.epochs_executed >= opts.die_at_epoch) {
-      comm.hard_kill();
+      if (opts.die_sigkill) ::raise(SIGKILL);  // the forked-rank coordinator kill
+      if (world.is_host())
+        world.crash();  // take the hosted coordinator down with the member
+      else
+        comm.hard_kill();
       report.error = util::strf("elastic: fault injection hard-killed member %d at epoch %llu",
                                 comm.member(), static_cast<unsigned long long>(epoch));
       return;
@@ -482,11 +503,13 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
                                  static_cast<unsigned long long>(epoch),
                                  opts.control_timeout_seconds));
     const util::Json rb = std::move(*ctl);
+    note_failover_from(world, rb);
     if (const util::Json* ce = rb.find("ckpt_epoch"); ce != nullptr) cut = ce->as_int();
     ranks = frame_int(rb, "ranks");
 
-    // Member 0 persists the manifest whenever the consistent cut advanced.
-    if (comm.member() == 0 && !opts.ckpt_dir.empty() && cut > run.manifest_epoch) {
+    // The host persists the manifest whenever the consistent cut advanced
+    // (the role migrates with a promotion, so --resume survives failover).
+    if (world.is_host() && !opts.ckpt_dir.empty() && cut > run.manifest_epoch) {
       const util::Json* members = rb.find("members");
       run.write_manifest(cut, ranks, members != nullptr ? *members : util::Json::array());
     }
@@ -534,7 +557,7 @@ void run_elastic(World& world, runtime::SolveRequest& resolved, const ElasticOpt
   d["preempted"] = preempted;
   if (const util::Json* ev = final_frame.find("evicted"); ev != nullptr) d["evicted"] = *ev;
 
-  if (comm.member() == 0) {
+  if (world.is_host()) {
     // Merge the per-member summaries the coordinator gathered. Every live
     // walker is owned by exactly one final active member, so summing their
     // owned_iters counts each walker's logical work once — inherited
@@ -592,45 +615,69 @@ runtime::SolveReport solve_elastic(World& world, const runtime::SolveRequest& re
     report.error = e.what();
     return report;
   }
-  // A member (other than the coordinator host) whose communicator fails
-  // mid-hunt re-joins the world as a late joiner and keeps hunting: its old
-  // identity is evicted at the wave boundary, its walkers come back with
-  // the next rebalance, and the winner rule is membership-invariant, so
-  // recovery cannot change the verified outcome. Deliberate refusals (hunt
-  // complete, key mismatch) surface as rejoin failures and are final.
+  // A member whose communicator fails mid-hunt recovers and keeps hunting.
+  // Which recovery depends on what actually died:
+  //   - The coordinator still answers its port: only OUR connection broke.
+  //     Re-join as a late joiner — the old identity is evicted at the wave
+  //     boundary and the walkers come back with the next rebalance.
+  //   - The coordinator is gone and WE are the elected standby: promote —
+  //     adopt the replicated wave machine and host the reconnect window.
+  //   - The coordinator is gone and someone else is standby: dial the
+  //     standby's pre-bound listener with our stable member id (a refusal
+  //     is the double-failure case and aborts immediately).
+  // The winner rule is membership- and timing-invariant and the rewound
+  // wave replays idempotently, so no recovery can change the verified
+  // outcome. Deliberate refusals (hunt complete, key mismatch) are final.
   ElasticOptions eopts = opts;
   int rejoins = 0;
+  int failovers = 0;
   net::Backoff backoff({}, 0xE1A5u + static_cast<uint64_t>(world.comm().member() + 1));
   for (;;) {
     report.error.clear();
     try {
       run_elastic(world, report.request, eopts, report);
     } catch (const CommError& e) {
-      const bool host = world.comm().member() == 0;  // it IS the coordinator
-      if (host || !net::retry_enabled() || backoff.exhausted()) {
+      if (world.is_host() || !net::retry_enabled() || backoff.exhausted()) {
         report.error = util::strf("elastic (member %d): %s", world.comm().member(), e.what());
         break;
       }
       eopts.drop_conn_at_epoch = 0;  // the injected partition fires once
+      eopts.die_at_epoch = 0;
       backoff.sleep();
       try {
-        world.rejoin(elastic_hunt_key(report.request));
+        if (world.coordinator_alive()) {
+          world.rejoin(elastic_hunt_key(report.request));
+          ++rejoins;
+        } else if (world.failover_member() >= 0 &&
+                   world.failover_member() == world.comm().member()) {
+          world.promote();
+          ++failovers;
+        } else if (world.failover_member() >= 0) {
+          world.reconnect(world.failover_addr(), elastic_hunt_key(report.request));
+          ++failovers;
+        } else {
+          throw CommError(
+              "the coordinator died and no standby was ever elected "
+              "(launch with --standby to make the host's death survivable)");
+        }
       } catch (const std::exception& je) {
-        report.error = util::strf("elastic (member %d): rejoin failed: %s (after: %s)",
+        report.error = util::strf("elastic (member %d): recovery failed: %s (after: %s)",
                                   world.comm().member(), je.what(), e.what());
         break;
       }
-      ++rejoins;
       continue;
     } catch (const std::exception& e) {
       report.error = util::strf("elastic (member %d): %s", world.comm().member(), e.what());
     }
     break;
   }
-  if (rejoins > 0) {
+  if (rejoins > 0 || failovers > 0 || world.promoted_from() >= 0) {
     if (!report.extras.is_object()) report.extras = util::Json::object();
     if (!report.extras["dist"].is_object()) report.extras["dist"] = util::Json::object();
-    report.extras["dist"]["rejoins"] = static_cast<int64_t>(rejoins);
+    if (rejoins > 0) report.extras["dist"]["rejoins"] = static_cast<int64_t>(rejoins);
+    if (failovers > 0) report.extras["dist"]["failovers"] = static_cast<int64_t>(failovers);
+    if (world.promoted_from() >= 0)
+      report.extras["dist"]["promoted_from"] = world.promoted_from();
   }
   return report;
 }

@@ -24,8 +24,14 @@
 //   - The wave-E checkpoint file is written BEFORE the epoch-E frame, on the
 //     same FIFO connection, so when the coordinator announces ckpt_epoch=E
 //     every active member's wave-E file is durably on disk.
-//   - Member 0 (the coordinator's host process) never leaves or dies while
-//     the world survives; it alone writes the resume manifest.
+//   - Exactly one member hosts the coordinator and writes the resume
+//     manifest. Without a standby (wire v2 behavior) that host may never
+//     leave or die while the world survives. With WorldOptions::standby the
+//     coordinator mirrors its wave machine to an elected standby every
+//     completed wave; if the host dies, the standby promotes itself, the
+//     survivors re-rendezvous with an epoch-stamped reconnect, and the
+//     manifest-writer role migrates with the promotion — the hunt resumes
+//     from the last completed wave on the same deterministic trajectory.
 #pragma once
 
 #include <atomic>
@@ -67,6 +73,12 @@ struct ElasticOptions {
   /// `die_at_epoch` epochs and written the wave's checkpoint, but before
   /// reporting the epoch frame. 0 = disabled.
   uint64_t die_at_epoch = 0;
+  /// With die_at_epoch: die by raising SIGKILL on the whole process instead
+  /// of hard-killing just the communicator. This is what cas_run's forked
+  /// loopback ranks use to kill the COORDINATOR-hosting process — the
+  /// coordinator lives in-process, so only process death takes it down with
+  /// the member. (In-process tests use World::crash() for the same effect.)
+  bool die_sigkill = false;
   /// Fault injection: sever just the TRANSPORT (no bye) after this member
   /// has executed `drop_conn_at_epoch` epochs — what a mid-epoch network
   /// partition looks like. Unlike die_at_epoch the process stays alive, so

@@ -46,11 +46,14 @@ struct AttemptWindowExpired : RendezvousRetry {
 
 RankComm::RankComm(RankCommOptions opts)
     : opts_(std::move(opts)), decoder_(opts_.max_frame_bytes) {
-  if (!opts_.join && (opts_.rank < 0 || opts_.rank >= opts_.ranks))
+  const bool late = opts_.join || opts_.reconnect;
+  if (!late && (opts_.rank < 0 || opts_.rank >= opts_.ranks))
     throw CommError(util::strf("rank_comm: rank %d outside world of %d", opts_.rank, opts_.ranks));
-  rank_.store(opts_.join ? -1 : opts_.rank, std::memory_order_release);
-  ranks_.store(opts_.join ? 0 : opts_.ranks, std::memory_order_release);
-  member_ = opts_.join ? -1 : opts_.rank;
+  if (opts_.reconnect && opts_.reconnect_member < 0)
+    throw CommError("rank_comm: reconnect needs the surviving member id");
+  rank_.store(late ? -1 : opts_.rank, std::memory_order_release);
+  ranks_.store(late ? 0 : opts_.ranks, std::memory_order_release);
+  member_ = opts_.reconnect ? opts_.reconnect_member : (opts_.join ? -1 : opts_.rank);
 
   // The whole rendezvous — connect, hello/join, await welcome — retries
   // under bounded backoff when an attempt dies on a transient wire fault:
@@ -59,7 +62,9 @@ RankComm::RankComm(RankCommOptions opts)
   // the meantime — see Coordinator::handle_frame's re-hello path).
   const double deadline = now_seconds() + opts_.connect_timeout_seconds;
   net::Backoff backoff(opts_.rendezvous_backoff,
-                       static_cast<uint64_t>(opts_.rank) + (opts_.join ? 0x10000u : 1u));
+                       static_cast<uint64_t>(opts_.reconnect ? opts_.reconnect_member + 0x20000
+                                                            : opts_.rank) +
+                           (opts_.join ? 0x10000u : 1u));
   for (;;) {
     try {
       const double attempt_deadline =
@@ -96,6 +101,9 @@ void RankComm::rendezvous_once(double deadline, double attempt_deadline) {
   for (;;) {
     fd_ = net::connect_tcp(opts_.host, opts_.port, err);
     if (fd_.valid()) break;
+    if (opts_.fail_fast_refused)
+      throw CommError(util::strf("rank_comm: cannot reach coordinator %s:%u: %s",
+                                 opts_.host.c_str(), unsigned{opts_.port}, err.c_str()));
     if (now_seconds() >= deadline)
       throw CommError(util::strf("rank_comm: cannot reach coordinator %s:%u: %s",
                                  opts_.host.c_str(), unsigned{opts_.port}, err.c_str()));
@@ -110,8 +118,13 @@ void RankComm::rendezvous_once(double deadline, double attempt_deadline) {
   // send_frame_locked_throw): a transient send failure here must stay
   // retryable instead of poisoning the communicator via fail().
   {
-    const std::string frame = net::encode_frame(
-        (opts_.join ? make_join(opts_.hunt_key) : make_hello(opts_.rank, opts_.ranks)).dump(0));
+    util::Json hs = opts_.reconnect
+                        ? make_reconnect(opts_.reconnect_member, opts_.reconnect_epoch,
+                                         opts_.hunt_key)
+                        : (opts_.join ? make_join(opts_.hunt_key)
+                                      : make_hello(opts_.rank, opts_.ranks));
+    if (!opts_.failover_addr.empty()) hs["failover"] = opts_.failover_addr;
+    const std::string frame = net::encode_frame(hs.dump(0));
     std::string send_err;
     if (!net::write_all(fd_.get(), frame, send_err))
       throw RendezvousRetry("hello send failed: " + send_err);
@@ -134,9 +147,10 @@ void RankComm::rendezvous_once(double deadline, double attempt_deadline) {
           const std::string type = frame_type(j);
           if (type == "welcome") {
             welcomed = true;
-            if (opts_.join) {
-              // The coordinator assigned our member id; the dense rank
-              // arrives with the first rebalance frame.
+            if (opts_.join || opts_.reconnect) {
+              // The coordinator assigned (join) or echoed (reconnect) our
+              // member id; the dense rank arrives with the first rebalance
+              // frame.
               const util::Json* rj = j.find("rank");
               const util::Json* nj = j.find("ranks");
               if (rj == nullptr || nj == nullptr)
@@ -312,6 +326,11 @@ void RankComm::fail(const std::string& reason) {
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
 
+util::Json RankComm::latest_state_sync() const {
+  std::scoped_lock lock(state_sync_mu_);
+  return state_sync_;
+}
+
 std::string RankComm::failure() const {
   std::scoped_lock lock(failure_mu_);
   return failure_.empty() ? "rank_comm: communicator failed" : failure_;
@@ -354,6 +373,11 @@ bool RankComm::drain_decoder() {
             control_.push_back(std::move(j));
           }
           control_cv_.notify_all();
+        } else if (type == "state_sync") {
+          // We are the elected standby: keep only the newest replicated
+          // state — promotion reads it after the communicator fails.
+          std::scoped_lock lock(state_sync_mu_);
+          state_sync_ = std::move(j);
         }
         // welcome duplicates / unknown types: ignored.
         break;

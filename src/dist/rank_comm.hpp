@@ -56,6 +56,24 @@ struct RankCommOptions {
   /// The canonical request key carried in the join frame (the coordinator
   /// refuses joiners whose key does not match the hunt in progress).
   std::string hunt_key;
+  /// Post-promotion re-rendezvous (wire v3): send `reconnect` instead of
+  /// hello/join, carrying the stable member id this process held before
+  /// the coordinator died and the last epoch it observed. The welcome
+  /// echoes the member id; the dense rank arrives with the resume
+  /// rebalance, exactly like a late join.
+  bool reconnect = false;
+  int reconnect_member = -1;
+  uint64_t reconnect_epoch = 0;
+  /// This process's pre-bound promotion listener, announced in the
+  /// hello/join/reconnect frame so the coordinator can elect it standby.
+  /// Empty = not standby-eligible.
+  std::string failover_addr;
+  /// Fail the rendezvous on the FIRST refused connect instead of pacing
+  /// retries until the deadline. Used by the reconnect handshake: the
+  /// standby's listener was bound before the hunt started, so a refusal
+  /// proves the standby process is dead — the double-failure abort must be
+  /// prompt, not a connect-timeout hang.
+  bool fail_fast_refused = false;
   /// Pacing for rendezvous retries: a connect/hello/welcome attempt that
   /// dies on a wire fault (reset, refusal, corrupt frame) is retried under
   /// this schedule — bounded by connect_timeout_seconds overall and
@@ -144,6 +162,12 @@ class RankComm {
   [[nodiscard]] bool failed() const { return failed_.load(std::memory_order_acquire); }
   [[nodiscard]] std::string failure() const;
 
+  /// The most recent state_sync frame the coordinator mirrored to this
+  /// member ({"type","epoch","state"}), or null if none arrived — only the
+  /// elected standby ever receives one. Thread-safe; survives failure and
+  /// finalize, which is what promotion reads it after.
+  [[nodiscard]] util::Json latest_state_sync() const;
+
   /// Comm counters + collective wait-latency percentiles for the report's
   /// dist provenance block.
   [[nodiscard]] util::Json stats_json() const;
@@ -177,6 +201,9 @@ class RankComm {
   std::mutex control_mu_;
   std::condition_variable control_cv_;
   std::deque<util::Json> control_;
+
+  mutable std::mutex state_sync_mu_;
+  util::Json state_sync_;  // latest replicated coordinator state (standby)
 
   std::mutex send_mu_;
   std::atomic<bool> stop_threads_{false};

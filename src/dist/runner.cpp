@@ -37,7 +37,10 @@ std::vector<int64_t> pack_tail(std::vector<int64_t> head, const std::vector<int6
 // --- RunStats over the wire -------------------------------------------------
 // The winner rank ships its FULL RunStats to everyone (the "winner blob"),
 // so rank 0's merged report carries the same winner breakdown an in-process
-// run would. Seconds travel as microseconds (integer payloads).
+// run would. Seconds travel as microseconds (integer payloads). "Rank 0" is
+// literal here: fixed-rank worlds have no standby coordinator, so member 0
+// is both the comm host and the report writer for the whole run (elastic
+// worlds migrate that role on promotion; see elastic.cpp).
 
 constexpr size_t kStatsHeader = 15;
 

@@ -77,7 +77,10 @@ RoundDecision cooperation_round(EP& ep, const RankOffer& mine) {
 /// extras["dist"]; other ranks return a participation stub.
 ///
 /// The MPI contract applies across requests too: every rank of the world
-/// must call this with the SAME request sequence.
+/// must call this with the SAME request sequence. Fixed-rank worlds assume
+/// every rank survives the run: there is no standby and no promotion here.
+/// Coordinator failover (surviving the host's death) is an elastic-world
+/// feature — see solve_elastic and WorldOptions::standby.
 runtime::SolveReport solve_distributed(World& world, const runtime::SolveRequest& req,
                                        const runtime::StrategyContext& ctx);
 

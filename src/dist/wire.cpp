@@ -116,6 +116,24 @@ util::Json make_rebalance_base(uint64_t epoch) {
   return j;
 }
 
+util::Json make_state_sync(uint64_t epoch, util::Json state) {
+  util::Json j = util::Json::object();
+  j["type"] = "state_sync";
+  j["epoch"] = wire_u64(epoch);
+  j["state"] = std::move(state);
+  return j;
+}
+
+util::Json make_reconnect(int member, uint64_t epoch, const std::string& hunt_key) {
+  util::Json j = util::Json::object();
+  j["type"] = "reconnect";
+  j["v"] = kWireVersion;
+  j["rank"] = member;
+  j["epoch"] = wire_u64(epoch);
+  j["key"] = hunt_key;
+  return j;
+}
+
 std::string frame_type(const util::Json& j) {
   const util::Json* t = j.is_object() ? j.find("type") : nullptr;
   return (t != nullptr && t->is_string()) ? t->as_string() : "";

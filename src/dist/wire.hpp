@@ -28,6 +28,24 @@
 //             membership view, per-member dense rank, walker split, and
 //             (on the final wave) the winner + merged summaries
 //
+// The failover vocabulary (protocol v3) makes the coordinator a
+// replicated role instead of a process:
+//
+//   state_sync coordinator -> standby member after every completed wave:
+//              the full serialized wave-machine state (membership table,
+//              hunt key, epoch counter, consistent-cut pointer) the
+//              standby needs to promote itself if the coordinator dies
+//   reconnect  survivor -> promoted coordinator: an epoch-stamped
+//              re-rendezvous handshake (member id + hunt key + the last
+//              completed epoch the survivor observed); the promoted
+//              coordinator validates all three against its imported
+//              state before re-admitting the member
+//
+// hello/join frames additionally carry an optional "failover" field: the
+// host:port of the idle listener this member pre-bound so it can serve
+// as the promotion target. The coordinator broadcasts the elected
+// standby (member id + address) in every rebalance frame.
+//
 // Message payloads are int64 vectors; elements travel as decimal STRINGS,
 // not JSON numbers, because util::Json stores numbers as doubles and a
 // broadcast 64-bit seed would silently lose its low bits above 2^53. The
@@ -50,11 +68,12 @@ struct CommError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Protocol magic echoed in hello/join frames, bumped on incompatible
-/// changes. v2 added the elastic vocabulary (join/leave/epoch/ckpt/
-/// rebalance); a v2 coordinator rejects a mismatched version with an
-/// abort frame naming both versions.
-inline constexpr int kWireVersion = 2;
+/// Protocol magic echoed in hello/join/reconnect frames, bumped on
+/// incompatible changes. v2 added the elastic vocabulary (join/leave/
+/// epoch/ckpt/rebalance); v3 adds coordinator failover (state_sync/
+/// reconnect + the standby fields on rebalance). A coordinator rejects a
+/// mismatched version with an abort frame naming both versions.
+inline constexpr int kWireVersion = 3;
 
 util::Json make_hello(int rank, int ranks);
 util::Json make_welcome(int rank, int ranks);
@@ -78,6 +97,17 @@ util::Json make_ckpt(int member, uint64_t epoch, uint64_t bytes, uint64_t micros
 /// fill in the wave-specific fields documented in docs/PROTOCOL.md.
 util::Json make_epoch_base(int member, uint64_t epoch);
 util::Json make_rebalance_base(uint64_t epoch);
+
+// --- failover vocabulary (v3) ---
+
+/// Coordinator -> standby after each completed wave `epoch`: the full
+/// serialized wave-machine state (`state` is Coordinator::export_state()).
+util::Json make_state_sync(uint64_t epoch, util::Json state);
+/// Survivor -> promoted coordinator: epoch-stamped re-rendezvous. `member`
+/// is the stable member id the survivor held before the failover, `epoch`
+/// the last completed wave it observed, `hunt_key` the canonical key of
+/// the hunt in progress.
+util::Json make_reconnect(int member, uint64_t epoch, const std::string& hunt_key);
 
 /// The frame's "type" field ("" when absent/non-string).
 std::string frame_type(const util::Json& j);

@@ -38,6 +38,12 @@ struct WorldOptions {
   /// hosting a coordinator). `hunt_key` authenticates the request.
   bool join = false;
   std::string hunt_key;
+  /// Coordinator failover (wire v3). On the host: elect a standby and
+  /// mirror the wave machine to it every completed wave. On everyone else:
+  /// pre-bind an idle promotion listener and announce its address, so this
+  /// member is standby-eligible and can promote itself if the coordinator
+  /// dies. Off by default — without it, the host's death is world-fatal.
+  bool standby = false;
 };
 
 class World {
@@ -68,6 +74,48 @@ class World {
   /// member, which has nothing left to dial.
   void rejoin(const std::string& hunt_key);
 
+  /// True while this process hosts the coordinator (rank 0 at launch; the
+  /// promoted standby after a failover). The host writes the resume
+  /// manifest and the merged final report.
+  [[nodiscard]] bool is_host() const { return coordinator_ != nullptr; }
+
+  /// Probe whether the coordinator this world last rendezvoused with still
+  /// accepts connections — distinguishes "my connection broke" (rejoin the
+  /// live world) from "the coordinator died" (fail over to the standby).
+  [[nodiscard]] bool coordinator_alive() const;
+
+  /// Standby promotion: adopt the pre-bound failover listener, import the
+  /// last replicated state_sync this member's communicator captured, and
+  /// re-rendezvous the local communicator against the freshly promoted
+  /// coordinator. Throws CommError when no listener was pre-bound or no
+  /// state was ever replicated (e.g. the coordinator died before wave 0
+  /// completed).
+  void promote();
+
+  /// Survivor re-rendezvous: dial the promoted standby at `addr`
+  /// ("host:port") with the epoch-stamped reconnect handshake, preserving
+  /// this member's stable id (checkpoint files stay valid). A refused
+  /// connect fails fast — the double-failure (coordinator then standby)
+  /// abort must be prompt. Throws CommError on refusal.
+  void reconnect(const std::string& addr, const std::string& hunt_key);
+
+  /// The elastic runner caches the standby election and the latest wave
+  /// each rebalance frame announced, so the recovery path in solve_elastic
+  /// knows where to go when the communicator fails mid-epoch.
+  void note_failover(int standby_member, const std::string& standby_addr, uint64_t epoch);
+  [[nodiscard]] int failover_member() const { return failover_member_; }
+  [[nodiscard]] const std::string& failover_addr() const { return failover_addr_cache_; }
+
+  /// The member id of the dead host this world's coordinator replaced
+  /// (-1 when never promoted).
+  [[nodiscard]] int promoted_from() const;
+
+  /// Fault injection for in-process failover tests: die like a SIGKILLed
+  /// host — hard-kill the communicator AND tear down the hosted
+  /// coordinator (listener closed, every peer sees EOF). No-op communicator
+  /// afterwards; survivors' recovery is the behavior under test.
+  void crash();
+
   /// Clean shutdown: detach the rank; rank 0 waits briefly for the other
   /// ranks' byes before stopping the router.
   void finalize();
@@ -76,10 +124,20 @@ class World {
   [[nodiscard]] util::Json stats_json() const;
 
  private:
+  [[nodiscard]] RankCommOptions base_comm_options() const;
+
   WorldOptions opts_;
   uint16_t port_ = 0;
-  std::unique_ptr<Coordinator> coordinator_;  // rank 0 only
+  std::unique_ptr<Coordinator> coordinator_;  // the host only
   std::unique_ptr<RankComm> comm_;
+  // Failover: the idle pre-bound promotion listener (consumed by
+  // promote()), its announced address, and the election/epoch cache the
+  // elastic runner keeps fresh from rebalance frames.
+  net::Fd failover_listen_;
+  std::string failover_addr_;
+  int failover_member_ = -1;
+  std::string failover_addr_cache_;
+  uint64_t failover_epoch_ = 0;
 };
 
 }  // namespace cas::dist

@@ -18,6 +18,7 @@
 
 #include "core/stats.hpp"
 #include "dist/ckpt.hpp"
+#include "dist/disk_fault.hpp"
 #include "runtime/problems.hpp"
 #include "runtime/strategy.hpp"
 
@@ -289,6 +290,140 @@ TEST(CkptSnapshot, RestoredWalkerContinuesTheExactTrajectory) {
   const uint64_t a_iters = advance_until_solved(*a, 101);
   EXPECT_EQ(a_iters, ref_iters);
   EXPECT_EQ(a->stats().solution, ref_solution);
+}
+
+// --- seeded disk faults and the manifest's predecessor fallback -------------
+
+// Every test that arms the injector must disarm it even on assertion
+// failure, or the leaked plan would sabotage later tests' writes.
+struct ArmedPlan {
+  explicit ArmedPlan(const std::string& spec, uint64_t salt = 0) {
+    DiskFaultInjector::arm(DiskFaultPlan::parse(util::Json::parse(spec)), salt);
+  }
+  ~ArmedPlan() { DiskFaultInjector::disarm(); }
+};
+
+util::Json manifest_payload(uint64_t epoch) {
+  util::Json j = sample_payload();
+  j["epoch"] = u64_json(epoch);
+  return j;
+}
+
+TEST(DiskFault, PlanRejectsUnknownClassesAndFields) {
+  EXPECT_NO_THROW(DiskFaultPlan::parse(util::Json::parse(
+      R"({"seed":7,"short_write":{"prob":1,"max":1},"fail_rename":[{"prob":0.5,"min_op":2,"max_op":9}]})")));
+  EXPECT_THROW(DiskFaultPlan::parse(util::Json::parse(R"({"torn_write":{"prob":1}})")),
+               std::runtime_error);
+  EXPECT_THROW(DiskFaultPlan::parse(util::Json::parse(R"({"short_write":{"chance":1}})")),
+               std::runtime_error);
+  EXPECT_THROW(DiskFaultPlan::parse(util::Json::parse(R"({"short_write":{"prob":1.5}})")),
+               std::runtime_error);
+}
+
+TEST(DiskFault, ManifestRotationKeepsThePredecessorCut) {
+  const std::string dir = make_temp_dir();
+  write_manifest_file(dir, manifest_payload(3));
+  write_manifest_file(dir, manifest_payload(4));
+  bool fell_back = true;
+  EXPECT_EQ(u64_from(read_manifest_file(dir, &fell_back).at("epoch"), "epoch"), 4u);
+  EXPECT_FALSE(fell_back);
+  EXPECT_EQ(u64_from(read_ckpt_file(dir + "/" + std::string(kManifestPrevFile)).at("epoch"),
+                     "epoch"),
+            3u);
+}
+
+TEST(DiskFault, ShortWriteTearsTheManifestAndResumeFallsBack) {
+  const std::string dir = make_temp_dir();
+  write_manifest_file(dir, manifest_payload(5));  // the good predecessor cut
+  {
+    ArmedPlan armed(R"({"seed":11,"short_write":{"prob":1,"max":1}})");
+    // The torn write REPORTS SUCCESS — exactly the silent corruption a
+    // crash mid-write leaves behind.
+    EXPECT_NO_THROW(write_manifest_file(dir, manifest_payload(6)));
+    EXPECT_EQ(DiskFaultInjector::stats().short_writes.load(), 1u);
+  }
+  // The published manifest is torn; reading it directly must fail...
+  EXPECT_THROW((void)read_ckpt_file(dir + "/" + std::string(kManifestFile)), CkptError);
+  // ...and the manifest reader falls back to the rotated predecessor.
+  bool fell_back = false;
+  const util::Json got = read_manifest_file(dir, &fell_back);
+  EXPECT_TRUE(fell_back);
+  EXPECT_EQ(u64_from(got.at("epoch"), "epoch"), 5u);
+}
+
+TEST(DiskFault, FailRenameThrowsAndThePredecessorSurvives) {
+  const std::string dir = make_temp_dir();
+  write_manifest_file(dir, manifest_payload(8));
+  {
+    ArmedPlan armed(R"({"seed":11,"fail_rename":{"prob":1,"max":1}})");
+    EXPECT_THROW(
+        {
+          try {
+            write_manifest_file(dir, manifest_payload(9));
+          } catch (const CkptError& e) {
+            EXPECT_NE(std::string(e.what()).find("injected disk fault"), std::string::npos)
+                << e.what();
+            throw;
+          }
+        },
+        CkptError);
+    EXPECT_EQ(DiskFaultInjector::stats().failed_renames.load(), 1u);
+  }
+  // No tmp litter, and the rotated predecessor still resumes the world.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + std::string(kManifestFile) + ".tmp"));
+  bool fell_back = false;
+  EXPECT_EQ(u64_from(read_manifest_file(dir, &fell_back).at("epoch"), "epoch"), 8u);
+  EXPECT_TRUE(fell_back);
+}
+
+TEST(DiskFault, FailFsyncThrowsAndLeavesTheOldFileAlone) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/a.ckpt";
+  const util::Json good = manifest_payload(1);
+  write_ckpt_file(path, good);
+  {
+    ArmedPlan armed(R"({"seed":11,"fail_fsync":{"prob":1,"max":1}})");
+    EXPECT_THROW(
+        {
+          try {
+            write_ckpt_file(path, manifest_payload(2));
+          } catch (const CkptError& e) {
+            EXPECT_NE(std::string(e.what()).find("fsync failed"), std::string::npos)
+                << e.what();
+            throw;
+          }
+        },
+        CkptError);
+    EXPECT_EQ(DiskFaultInjector::stats().failed_fsyncs.load(), 1u);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(read_ckpt_file(path).dump(0), good.dump(0));
+}
+
+TEST(DiskFault, OpWindowsAndMaxBoundTheSchedule) {
+  const std::string dir = make_temp_dir();
+  // Only write-op #1 (the second write) is eligible, at most once.
+  ArmedPlan armed(R"({"seed":3,"short_write":{"prob":1,"max":1,"min_op":1,"max_op":1}})");
+  const std::string p0 = dir + "/w0.ckpt", p1 = dir + "/w1.ckpt", p2 = dir + "/w2.ckpt";
+  write_ckpt_file(p0, manifest_payload(0));
+  write_ckpt_file(p1, manifest_payload(1));
+  write_ckpt_file(p2, manifest_payload(2));
+  EXPECT_NO_THROW((void)read_ckpt_file(p0));
+  EXPECT_THROW((void)read_ckpt_file(p1), CkptError);
+  EXPECT_NO_THROW((void)read_ckpt_file(p2));
+  EXPECT_EQ(DiskFaultInjector::stats().short_writes.load(), 1u);
+}
+
+TEST(DiskFault, BothManifestsTornRethrowsThePrimaryDiagnosis) {
+  const std::string dir = make_temp_dir();
+  {
+    ArmedPlan armed(R"({"seed":5,"short_write":{"prob":1}})");  // every write torn
+    write_manifest_file(dir, manifest_payload(1));
+    write_manifest_file(dir, manifest_payload(2));
+  }
+  bool fell_back = false;
+  EXPECT_THROW((void)read_manifest_file(dir, &fell_back), CkptError);
+  EXPECT_FALSE(fell_back);
 }
 
 TEST(CkptSnapshot, RestoreRejectsWrongProblemSize) {

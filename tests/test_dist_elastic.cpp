@@ -366,17 +366,39 @@ TEST(DistElastic, ResumeRejectsCorruptedManifest) {
   });
   ASSERT_TRUE(preempted[0].error.empty()) << preempted[0].error;
 
-  const std::string mpath = dir + "/" + std::string(kManifestFile);
-  std::string bytes;
-  {
-    std::ifstream in(mpath, std::ios::binary);
-    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-  }
-  bytes[bytes.size() / 2] ^= 0x40;
-  {
-    std::ofstream out(mpath, std::ios::binary | std::ios::trunc);
-    out << bytes;
-  }
+  const auto corrupt = [&](const char* name) {
+    const std::string path = dir + "/" + std::string(name);
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(bytes.empty()) << path;
+    bytes[bytes.size() / 2] ^= 0x40;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+  };
+
+  // Corrupting only the primary manifest is survivable: resume falls back
+  // to the rotated predecessor cut and replays the last wave.
+  corrupt(kManifestFile);
+  const auto fell_back = run_elastic_world(1, req, [&](int) {
+    ElasticOptions eo = base_opts();
+    eo.ckpt_dir = dir;
+    eo.resume = true;
+    return eo;
+  });
+  ASSERT_TRUE(fell_back[0].error.empty()) << fell_back[0].error;
+  EXPECT_TRUE(fell_back[0].solved);
+  EXPECT_EQ(fell_back[0].winner, kRefWinner);
+  EXPECT_EQ(fell_back[0].winner_stats.iterations, kRefWinnerIters);
+  EXPECT_TRUE(dist_extras(fell_back[0]).at("ckpt").at("resume_fell_back").as_bool());
+
+  // Both cuts corrupt: nothing trustworthy remains, the resume must refuse.
+  corrupt(kManifestFile);
+  corrupt(kManifestPrevFile);
   const auto resumed = run_elastic_world(1, req, [&](int) {
     ElasticOptions eo = base_opts();
     eo.ckpt_dir = dir;

@@ -1,0 +1,300 @@
+// Coordinator failover, whole stories inside one test process: the host is
+// crashed mid-hunt (listener torn down, every peer sees EOF) and the world
+// must survive it — the elected standby imports the replicated wave machine
+// and promotes itself, the other survivors re-rendezvous through the
+// epoch-stamped reconnect handshake, and the hunt finishes with the EXACT
+// winner trajectory of an unfailed run. Also the failure modes around the
+// happy path: the double failure (coordinator, then standby) aborts
+// promptly, a world launched without --standby stays host-fatal, and a
+// manifest written by the PROMOTED coordinator resumes a fresh world.
+//
+// Seeds are pinned to the same reference trajectory the elastic suite uses:
+// size-14 seed-22 solves at walker 2, iteration 982 (segment 3 at
+// 300-iteration epochs), so a host death at epoch 2 lands strictly before
+// the solve and the post-failover waves decide the outcome.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/ckpt.hpp"
+#include "dist/elastic.hpp"
+#include "dist/world.hpp"
+#include "runtime/spec.hpp"
+#include "runtime/strategy.hpp"
+
+namespace cas::dist {
+namespace {
+
+std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "cas_failover_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+runtime::SolveRequest costas_request(int size, int walkers, uint64_t seed) {
+  runtime::SolveRequest req;
+  req.problem = "costas";
+  req.size = size;
+  req.strategy = "multiwalk";
+  req.walkers = walkers;
+  req.seed = seed;
+  return req;
+}
+
+/// One elastic world with failover armed (WorldOptions::standby), one thread
+/// per initial rank. Returns reports[rank].
+std::vector<runtime::SolveReport> run_standby_world(
+    int ranks, const runtime::SolveRequest& req,
+    const std::function<ElasticOptions(int rank)>& opts_of, bool standby = true) {
+  std::vector<runtime::SolveReport> reports(static_cast<size_t>(ranks));
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port = port_promise.get_future().share();
+  std::vector<std::jthread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      WorldOptions wo;
+      wo.rank = r;
+      wo.ranks = ranks;
+      wo.elastic = true;
+      wo.standby = standby;
+      wo.collective_timeout_seconds = 60.0;
+      std::optional<World> world;
+      if (r == 0) {
+        world.emplace(wo, [&](uint16_t p) { port_promise.set_value(p); });
+      } else {
+        wo.port = port.get();
+        world.emplace(wo);
+      }
+      reports[static_cast<size_t>(r)] =
+          solve_elastic(*world, req, runtime::StrategyContext{}, opts_of(r));
+      world->finalize();
+    });
+  }
+  threads.clear();  // join
+  return reports;
+}
+
+const util::Json& dist_extras(const runtime::SolveReport& rep) {
+  const util::Json* d = rep.extras.find("dist");
+  EXPECT_NE(d, nullptr);
+  return *d;
+}
+
+// The pinned reference trajectory shared with the elastic suite: size 14 /
+// 4 walkers / seed 22 solves at walker 2, iteration 982.
+constexpr int kSize = 14;
+constexpr int kWalkers = 4;
+constexpr uint64_t kSeed = 22;
+constexpr int kRefWinner = 2;
+constexpr uint64_t kRefWinnerIters = 982;
+
+ElasticOptions base_opts(uint64_t ckpt_iters = 300) {
+  ElasticOptions eo;
+  eo.ckpt_iters = ckpt_iters;
+  eo.control_timeout_seconds = 60.0;
+  return eo;
+}
+
+ElasticOptions kill_host_at(uint64_t epoch) {
+  ElasticOptions eo = base_opts();
+  eo.die_at_epoch = epoch;  // host death: World::crash() takes the coordinator down
+  return eo;
+}
+
+TEST(DistFailover, HostDeathPromotesTheStandbyAndTheHuntFinishes) {
+  const auto reports =
+      run_standby_world(3, costas_request(kSize, kWalkers, kSeed), [](int rank) {
+        return rank == 0 ? kill_host_at(2) : base_opts();
+      });
+  // The crashed host reports its injected death — nothing more.
+  EXPECT_NE(reports[0].error.find("fault injection"), std::string::npos) << reports[0].error;
+  // Member 1 is the elected standby (lowest-id non-host): it promoted, so IT
+  // now writes the merged, verified report the dead rank 0 would have.
+  const auto& promoted = reports[1];
+  ASSERT_TRUE(promoted.error.empty()) << promoted.error;
+  EXPECT_TRUE(promoted.solved);
+  EXPECT_TRUE(promoted.checked);
+  EXPECT_TRUE(promoted.check_passed);
+  EXPECT_EQ(promoted.winner, kRefWinner);
+  EXPECT_EQ(promoted.winner_stats.iterations, kRefWinnerIters);
+  EXPECT_GE(dist_extras(promoted).at("failovers").as_int(), 1);
+  EXPECT_EQ(dist_extras(promoted).at("promoted_from").as_int(), 0);
+  // The third member re-rendezvoused against the promoted coordinator and
+  // learned the same outcome.
+  const auto& survivor = reports[2];
+  ASSERT_TRUE(survivor.error.empty()) << survivor.error;
+  EXPECT_TRUE(survivor.solved);
+  EXPECT_EQ(survivor.winner, kRefWinner);
+  EXPECT_GE(dist_extras(survivor).at("failovers").as_int(), 1);
+}
+
+TEST(DistFailover, FailoverTrajectoryIsBitIdenticalToAnUnfailedRun) {
+  const auto req = costas_request(kSize, kWalkers, kSeed);
+  const auto clean = run_standby_world(2, req, [](int) { return base_opts(); },
+                                       /*standby=*/false);
+  ASSERT_TRUE(clean[0].error.empty()) << clean[0].error;
+  ASSERT_TRUE(clean[0].solved);
+
+  // Same request, but the host dies at epoch 2 and the single survivor
+  // promotes itself and finishes alone.
+  const auto failed = run_standby_world(
+      2, req, [](int rank) { return rank == 0 ? kill_host_at(2) : base_opts(); });
+  const auto& promoted = failed[1];
+  ASSERT_TRUE(promoted.error.empty()) << promoted.error;
+  ASSERT_TRUE(promoted.solved);
+
+  EXPECT_EQ(promoted.winner, clean[0].winner);
+  EXPECT_EQ(promoted.winner_stats.iterations, clean[0].winner_stats.iterations);
+  EXPECT_EQ(promoted.winner_stats.solution, clean[0].winner_stats.solution);
+  EXPECT_EQ(promoted.winner_stats.swaps, clean[0].winner_stats.swaps);
+  EXPECT_TRUE(promoted.check_passed);
+}
+
+TEST(DistFailover, DoubleFailureAbortsCleanly) {
+  // Coordinator AND elected standby die at the same boundary: the last
+  // survivor's reconnect has nowhere to land and must abort promptly, not
+  // hang — the world is unrecoverable and says so.
+  const auto reports =
+      run_standby_world(3, costas_request(kSize, kWalkers, kSeed), [](int rank) {
+        return rank <= 1 ? kill_host_at(2) : base_opts();
+      });
+  EXPECT_NE(reports[0].error.find("fault injection"), std::string::npos) << reports[0].error;
+  EXPECT_NE(reports[1].error.find("fault injection"), std::string::npos) << reports[1].error;
+  EXPECT_FALSE(reports[2].solved);
+  EXPECT_NE(reports[2].error.find("recovery failed"), std::string::npos) << reports[2].error;
+}
+
+TEST(DistFailover, HostDeathWithoutStandbyStaysFatal) {
+  // The negative control the failover feature is measured against: without
+  // --standby nothing was replicated and nobody may invent an outcome.
+  const auto reports = run_standby_world(
+      2, costas_request(kSize, kWalkers, kSeed),
+      [](int rank) { return rank == 0 ? kill_host_at(2) : base_opts(); },
+      /*standby=*/false);
+  EXPECT_NE(reports[0].error.find("fault injection"), std::string::npos) << reports[0].error;
+  EXPECT_FALSE(reports[1].solved);
+  EXPECT_NE(reports[1].error.find("no standby was ever elected"), std::string::npos)
+      << reports[1].error;
+}
+
+TEST(DistFailover, PromotedCoordinatorWritesAResumableManifest) {
+  const std::string dir = make_temp_dir();
+  const auto req = costas_request(kSize, kWalkers, kSeed);
+
+  // Phase 1: the host dies at epoch 2, the promoted survivor finishes the
+  // wave and is then preempted — so the LAST manifest on disk was written
+  // by the promoted coordinator, not the original host.
+  const auto preempted = run_standby_world(3, req, [&](int rank) {
+    ElasticOptions eo = rank == 0 ? kill_host_at(2) : base_opts();
+    eo.ckpt_dir = dir;
+    eo.max_epochs = 3;
+    return eo;
+  });
+  const auto& promoted = preempted[1];
+  ASSERT_TRUE(promoted.error.empty()) << promoted.error;
+  EXPECT_FALSE(promoted.solved);
+  EXPECT_TRUE(dist_extras(promoted).at("preempted").as_bool());
+  EXPECT_EQ(dist_extras(promoted).at("promoted_from").as_int(), 0);
+  ASSERT_TRUE(std::filesystem::exists(dir + "/" + std::string(kManifestFile)));
+
+  // Phase 2: a FRESH world (no failover involved) resumes from that
+  // manifest and lands on the pinned winner trajectory.
+  const auto resumed = run_standby_world(
+      2, req,
+      [&](int) {
+        ElasticOptions eo = base_opts();
+        eo.ckpt_dir = dir;
+        eo.resume = true;
+        return eo;
+      },
+      /*standby=*/false);
+  const auto& r0 = resumed[0];
+  ASSERT_TRUE(r0.error.empty()) << r0.error;
+  EXPECT_TRUE(r0.solved);
+  EXPECT_TRUE(r0.check_passed);
+  EXPECT_EQ(r0.winner, kRefWinner);
+  EXPECT_EQ(r0.winner_stats.iterations, kRefWinnerIters);
+  EXPECT_GE(dist_extras(r0).at("ckpt").at("restored").as_int(), 1);
+}
+
+TEST(DistFailover, JoinerAdmittedMidHuntSurvivesThePromotion) {
+  // A long hunt (size 16 / 2 walkers / seed 10 solves at iteration 37644;
+  // 200-iteration epochs): a late joiner is admitted within the first few
+  // waves, the host dies at epoch 8, and both the promoted standby and the
+  // joiner must carry the hunt to the verified solve.
+  const runtime::SolveRequest req = costas_request(16, 2, 10);
+  const std::string key = elastic_hunt_key(runtime::resolve(req));
+
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port = port_promise.get_future().share();
+  std::promise<void> hunt_announced;
+  std::shared_future<void> announced = hunt_announced.get_future().share();
+  runtime::SolveReport host_report, standby_report, join_report;
+
+  std::jthread host([&] {
+    WorldOptions wo;
+    wo.rank = 0;
+    wo.ranks = 2;
+    wo.elastic = true;
+    wo.standby = true;
+    wo.collective_timeout_seconds = 60.0;
+    World world(wo, [&](uint16_t p) { port_promise.set_value(p); });
+    world.set_hunt(key, req.seed, req.walkers);
+    hunt_announced.set_value();
+    ElasticOptions eo = base_opts(200);
+    eo.die_at_epoch = 8;
+    host_report = solve_elastic(world, req, runtime::StrategyContext{}, eo);
+    world.finalize();
+  });
+  std::jthread standby([&] {
+    WorldOptions wo;
+    wo.rank = 1;
+    wo.ranks = 2;
+    wo.elastic = true;
+    wo.standby = true;
+    wo.collective_timeout_seconds = 60.0;
+    wo.port = port.get();
+    World world(wo);
+    standby_report = solve_elastic(world, req, runtime::StrategyContext{}, base_opts(200));
+    world.finalize();
+  });
+  std::jthread joiner([&] {
+    announced.wait();
+    WorldOptions wo;
+    wo.join = true;
+    wo.rank = -1;
+    wo.ranks = 0;
+    wo.elastic = true;
+    wo.standby = true;
+    wo.port = port.get();
+    wo.hunt_key = key;
+    wo.connect_timeout_seconds = 30.0;
+    wo.collective_timeout_seconds = 60.0;
+    World world(wo);  // blocks until admitted at a wave boundary
+    join_report = solve_elastic(world, req, runtime::StrategyContext{}, base_opts(200));
+    world.finalize();
+  });
+  host.join();
+  standby.join();
+  joiner.join();
+
+  EXPECT_NE(host_report.error.find("fault injection"), std::string::npos)
+      << host_report.error;
+  ASSERT_TRUE(standby_report.error.empty()) << standby_report.error;
+  EXPECT_TRUE(standby_report.solved);
+  EXPECT_TRUE(standby_report.check_passed);
+  EXPECT_EQ(dist_extras(standby_report).at("promoted_from").as_int(), 0);
+  ASSERT_TRUE(join_report.error.empty()) << join_report.error;
+  EXPECT_TRUE(join_report.solved);
+  EXPECT_EQ(join_report.winner, standby_report.winner);
+}
+
+}  // namespace
+}  // namespace cas::dist

@@ -19,6 +19,13 @@
 // to fail. If the no-retry run passes, the plan never exercised the
 // retry/backoff paths and the green chaos runs were vacuous.
 //
+// --kill-coordinator is the failover drill (elastic multi-rank scenarios
+// only): SIGKILL member 0 — the coordinator host — mid-hunt with --standby
+// armed, require the promoted standby's report to carry the baseline's
+// exact verified winner AND record the promotion, then require the same
+// kill WITHOUT --standby to fail. Both directions, or the drill proved
+// nothing.
+//
 // Exit status: 0 = every comparison (and the negative proof, if requested)
 // held; 1 = a chaos run hung, crashed, or diverged from the baseline.
 #include <csignal>
@@ -254,6 +261,14 @@ int main(int argc, char** argv) {
   flags.add_bool("prove-no-retry", false,
                  "re-run the first chaos schedule with CAS_FAULT_NO_RETRY=1 and "
                  "require it to FAIL (proves the plan exercises the retry paths)");
+  flags.add_bool("kill-coordinator", false,
+                 "coordinator assassination: run the scenario with --standby and "
+                 "member 0 SIGKILLed mid-hunt, require the promoted report to match "
+                 "the baseline, then require the SAME kill WITHOUT --standby to fail "
+                 "(elastic multi-rank scenarios only)");
+  flags.add_int("kill-at-epoch", 2,
+                "which epoch --kill-coordinator murders member 0 at (must be >= 1: "
+                "promotion needs one replicated wave)");
   if (!flags.parse(argc, argv)) return 0;
 
   std::signal(SIGPIPE, SIG_IGN);
@@ -361,6 +376,67 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cas_chaos: no-retry run %s\n",
                    proved ? "failed as required (retry paths are load-bearing)"
                           : "DID NOT FAIL — the schedule never exercised retry");
+      ok = ok && proved;
+    }
+
+    if (flags.get_bool("kill-coordinator")) {
+      // Coordinator assassination. No wire plan here — the process death IS
+      // the fault: member 0 (the coordinator host) is SIGKILLed mid-hunt and
+      // the promoted standby must finish with the baseline's exact verified
+      // winner. The fingerprint alone could pass vacuously if the kill never
+      // fired, so the report must also prove a promotion actually happened.
+      const long long at = flags.get_int("kill-at-epoch");
+      if (at < 1) throw std::runtime_error("--kill-at-epoch must be >= 1");
+      const std::string kc_args[] = {"--die-rank=0", util::strf("--die-at-epoch=%lld", at)};
+      std::vector<std::string> argv_kc = base_argv;
+      argv_kc.insert(argv_kc.end(), std::begin(kc_args), std::end(kc_args));
+      argv_kc.push_back("--standby");
+      const std::string kc_report = out_dir + "/kill-coordinator.json";
+      argv_kc.push_back("--out=" + kc_report);
+      std::fprintf(stderr, "cas_chaos: kill-coordinator (SIGKILL member 0 at epoch %lld) ...\n",
+                   at);
+      const RunOutcome rc = run_child(argv_kc, {}, out_dir + "/kill-coordinator.log", deadline);
+      util::Json kc = util::Json::object();
+      kc["exit_code"] = static_cast<int64_t>(rc.exit_code);
+      kc["timed_out"] = rc.timed_out;
+      bool run_ok = rc.exit_code == 0;
+      if (run_ok) {
+        const util::Json doc = util::Json::parse(read_file(kc_report));
+        const util::Json fp = winner_fingerprint(doc, compare);
+        run_ok = fp.dump(0) == base_fp.dump(0);
+        if (!run_ok) kc["divergence"] = fp;
+        const util::Json* dist = doc.find("dist");
+        const util::Json* pf = dist != nullptr ? dist->find("promoted_from") : nullptr;
+        if (pf == nullptr || pf->as_int() < 0) {
+          run_ok = false;
+          kc["error"] = "report records no promotion — the kill never fired";
+        } else {
+          kc["promoted_from"] = *pf;
+        }
+      }
+      kc["ok"] = run_ok;
+      std::fprintf(stderr, "cas_chaos: kill-coordinator %s (%.1fs)\n",
+                   run_ok ? "OK" : "FAILED", rc.wall_seconds);
+      ok = ok && run_ok;
+
+      // Negative control: the identical assassination WITHOUT --standby must
+      // fail (and fail fast, not wedge) — otherwise the green run above
+      // measured an unkilled world, not a survived failover.
+      std::vector<std::string> argv_ns = base_argv;
+      argv_ns.insert(argv_ns.end(), std::begin(kc_args), std::end(kc_args));
+      argv_ns.push_back("--out=" + out_dir + "/kill-no-standby.json");
+      std::fprintf(stderr, "cas_chaos: kill-coordinator no-standby negative control ...\n");
+      const RunOutcome nc = run_child(argv_ns, {}, out_dir + "/kill-no-standby.log", deadline);
+      util::Json ns = util::Json::object();
+      ns["exit_code"] = static_cast<int64_t>(nc.exit_code);
+      ns["timed_out"] = nc.timed_out;
+      const bool proved = !nc.timed_out && nc.exit_code != 0;
+      ns["failed_as_required"] = proved;
+      kc["no_standby"] = std::move(ns);
+      summary["kill_coordinator"] = std::move(kc);
+      std::fprintf(stderr, "cas_chaos: no-standby run %s\n",
+                   proved ? "failed as required (failover is load-bearing)"
+                          : "DID NOT FAIL — the coordinator was never actually killed");
       ok = ok && proved;
     }
 

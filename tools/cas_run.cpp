@@ -29,12 +29,14 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dist/disk_fault.hpp"
 #include "dist/elastic.hpp"
 #include "dist/runner.hpp"
 #include "dist/world.hpp"
@@ -119,6 +121,7 @@ struct DistConfig {
   int die_rank = -1;
   uint64_t drop_conn_at_epoch = 0;  // fault injection (with drop_conn_rank)
   int drop_conn_rank = -1;
+  bool standby = false;          // coordinator failover (wire v3)
 };
 
 struct Scenario {
@@ -182,6 +185,7 @@ Scenario load_scenario(const std::string& path) {
       sc.dist.ckpt_iters = static_cast<uint64_t>(p->as_int());
     if (const auto* p = dist->find("max_epochs"))
       sc.dist.max_epochs = static_cast<uint64_t>(p->as_int());
+    if (const auto* p = dist->find("standby")) sc.dist.standby = p->as_bool();
   }
   if (const auto* waves = doc.find("waves")) {
     if (!waves->is_array()) throw std::runtime_error("scenario: 'waves' must be an array of request arrays");
@@ -223,7 +227,7 @@ void parse_coordinator(const std::string& spec, DistConfig& dist) {
 /// stripped before re-exec'ing a sibling rank and re-issued with the
 /// child's own values. Handles both --flag=value and --flag value forms.
 bool is_identity_flag(const std::string& arg, bool& eats_next) {
-  static const char* kNames[] = {"--rank", "--ranks", "--coordinator"};
+  static const char* kNames[] = {"--rank", "--ranks", "--coordinator", "--port-fd"};
   for (const char* name : kNames) {
     if (arg == name) {
       eats_next = true;
@@ -240,8 +244,11 @@ bool is_identity_flag(const std::string& arg, bool& eats_next) {
 
 /// Fork+exec one sibling rank of this very binary, with this process's own
 /// arguments plus the child's rank identity — the single-command loopback
-/// launcher. Returns the child pid (-1: fork failed).
-pid_t spawn_rank(int argc, char** argv, int rank, int ranks, uint16_t port) {
+/// launcher. Returns the child pid (-1: fork failed). With port_fd >= 0 the
+/// child is a SUPERVISED rank 0: it hosts the coordinator on an ephemeral
+/// port and reports that port back through the inherited pipe fd instead of
+/// dialing a --coordinator address.
+pid_t spawn_rank(int argc, char** argv, int rank, int ranks, uint16_t port, int port_fd = -1) {
   std::vector<std::string> args;
   args.emplace_back("/proc/self/exe");
   for (int i = 1; i < argc; ++i) {
@@ -254,7 +261,10 @@ pid_t spawn_rank(int argc, char** argv, int rank, int ranks, uint16_t port) {
   }
   args.push_back("--ranks=" + std::to_string(ranks));
   args.push_back("--rank=" + std::to_string(rank));
-  args.push_back("--coordinator=127.0.0.1:" + std::to_string(port));
+  if (port_fd >= 0)
+    args.push_back("--port-fd=" + std::to_string(port_fd));
+  else
+    args.push_back("--coordinator=127.0.0.1:" + std::to_string(port));
 
   const pid_t pid = fork();
   if (pid != 0) return pid;
@@ -268,6 +278,15 @@ pid_t spawn_rank(int argc, char** argv, int rank, int ranks, uint16_t port) {
   execv(cargv[0], cargv.data());
   std::fprintf(stderr, "rank %d: exec failed\n", rank);
   _exit(127);
+}
+
+/// Decode a waitpid status for the failure-cause report.
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) return "exit code " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "killed by signal " + std::to_string(WTERMSIG(status)) + " (" +
+           strsignal(WTERMSIG(status)) + ")";
+  return "wait status " + std::to_string(status);
 }
 
 }  // namespace
@@ -335,6 +354,14 @@ int main(int argc, char** argv) {
                 "recover through the elastic rejoin path (0 = off)");
   flags.add_int("drop-conn-rank", -1,
                 "fault injection: which rank --drop-conn-at-epoch applies to");
+  flags.add_bool("standby", false,
+                 "elastic mode: replicate the coordinator's wave state to an elected standby "
+                 "member every completed wave, so the coordinator-hosting process's death is "
+                 "survivable — the standby promotes itself, survivors re-rendezvous, and the "
+                 "hunt resumes from the last completed wave (wire v3 failover)");
+  flags.add_int("port-fd", -1,
+                "internal (supervised launch): this rank-0 process writes its coordinator "
+                "port to the given pipe fd instead of forking sibling ranks itself");
   flags.add_string("out", "-", "report path ('-' = stdout)");
   flags.add_bool("compact", false, "emit single-line JSON instead of pretty-printed");
   flags.add_bool("stats", false,
@@ -352,9 +379,10 @@ int main(int argc, char** argv) {
   // A peer resetting mid-write must surface as EPIPE (handled per
   // connection), never as process death.
   std::signal(SIGPIPE, SIG_IGN);
-  // Deterministic wire-fault injection (chaos runs): inert unless
-  // CAS_FAULT_PLAN is set in the environment.
+  // Deterministic wire/disk fault injection (chaos runs): inert unless
+  // CAS_FAULT_PLAN / CAS_DISK_FAULT_PLAN are set in the environment.
   net::FaultInjector::arm_from_env();
+  dist::DiskFaultInjector::arm_from_env();
 
   util::Json doc = util::Json::object();
   doc["provenance"] = util::build_provenance();
@@ -362,6 +390,7 @@ int main(int argc, char** argv) {
   std::vector<runtime::SolveReport> reports;
   int my_rank = 0;
   bool elastic_run = false;
+  bool promoted_host = false;  // this participant ended up hosting (failover)
   std::vector<pid_t> children;
   try {
     Scenario sc;
@@ -400,6 +429,7 @@ int main(int argc, char** argv) {
     sc.dist.die_rank = static_cast<int>(flags.get_int("die-rank"));
     sc.dist.drop_conn_at_epoch = static_cast<uint64_t>(flags.get_int("drop-conn-at-epoch"));
     sc.dist.drop_conn_rank = static_cast<int>(flags.get_int("drop-conn-rank"));
+    if (flags.get_bool("standby")) sc.dist.standby = true;
     my_rank = sc.dist.rank;
     elastic_run = sc.dist.elastic;
 
@@ -415,6 +445,72 @@ int main(int argc, char** argv) {
       std::signal(SIGTERM, on_drain_signal);
     }
 
+    // Supervised launch: when the coordinator-hosting rank itself may die
+    // (failover drills: --standby, or rank 0 named by --die-rank), the
+    // launcher must outlive rank 0. The parent forks ALL ranks — rank 0
+    // reports its ephemeral coordinator port back through a pipe — and only
+    // reaps and aggregates. Without this, SIGKILLing the coordinator would
+    // take the launcher down with it and orphan the surviving ranks.
+    const int port_fd = static_cast<int>(flags.get_int("port-fd"));
+    const bool supervise = sc.dist.elastic && sc.dist.ranks > 1 && sc.dist.rank == 0 &&
+                           !sc.dist.explicit_coordinator && !joiner && port_fd < 0 &&
+                           (sc.dist.standby || sc.dist.die_rank == 0);
+    if (supervise) {
+      int pfd[2];
+      if (pipe(pfd) != 0) throw std::runtime_error("supervisor: pipe failed");
+      std::vector<std::pair<int, pid_t>> kids;
+      const pid_t r0 = spawn_rank(argc, argv, 0, sc.dist.ranks, 0, pfd[1]);
+      close(pfd[1]);
+      if (r0 < 0) {
+        close(pfd[0]);
+        throw std::runtime_error("supervisor: fork failed for rank 0");
+      }
+      kids.emplace_back(0, r0);
+      std::string line;
+      char ch = 0;
+      while (read(pfd[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+      close(pfd[0]);
+      int port = 0;
+      try {
+        port = std::stoi(line);
+      } catch (const std::exception&) {
+      }
+      if (port <= 0 || port > 65535) {
+        waitpid(r0, nullptr, 0);
+        throw std::runtime_error("supervisor: rank 0 never reported its coordinator port");
+      }
+      for (int r = 1; r < sc.dist.ranks; ++r) {
+        const pid_t pid =
+            spawn_rank(argc, argv, r, sc.dist.ranks, static_cast<uint16_t>(port));
+        if (pid > 0) kids.emplace_back(r, pid);
+      }
+      // Signal deaths are membership events the world absorbs (that is the
+      // feature under drill); a rank EXITING nonzero reports a genuine
+      // failure — e.g. every survivor aborting because no standby was
+      // elected — and fails the run, with the cause per rank.
+      int completed = 0;
+      bool hard_failure = false;
+      std::vector<std::string> causes;
+      for (const auto& [r, pid] : kids) {
+        int status = 0;
+        waitpid(pid, &status, 0);
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          ++completed;
+          continue;
+        }
+        if (WIFEXITED(status)) hard_failure = true;
+        causes.push_back("rank " + std::to_string(r) + ": " + describe_exit(status));
+      }
+      if (completed == 0 || hard_failure) {
+        std::fprintf(stderr, "error: the supervised world failed\n");
+        for (const auto& c : causes) std::fprintf(stderr, "  %s\n", c.c_str());
+        return 1;
+      }
+      for (const auto& c : causes)
+        std::fprintf(stderr, "note: %s — tolerated in elastic mode\n", c.c_str());
+      return 0;
+    }
+
     std::optional<dist::World> world;
     if (sc.dist.ranks > 1 || sc.dist.elastic) {
       dist::WorldOptions wo;
@@ -426,6 +522,7 @@ int main(int argc, char** argv) {
       wo.heartbeat_timeout_seconds = sc.dist.heartbeat_timeout;
       wo.collective_timeout_seconds = sc.dist.collective_timeout;
       wo.elastic = sc.dist.elastic;
+      wo.standby = sc.dist.standby;
       if (joiner) {
         // Late joiner: no rank claim, no coordinator hosting. The hunt key
         // authenticates us against the hunt in progress; admission happens
@@ -441,10 +538,17 @@ int main(int argc, char** argv) {
         my_rank = 1;  // participant, not the reporting rank
       }
       // Single-command loopback launch: rank 0 without an explicit
-      // coordinator forks the sibling ranks once its port is known.
-      const bool launch =
-          sc.dist.rank == 0 && !sc.dist.explicit_coordinator && !joiner && sc.dist.ranks > 1;
+      // coordinator forks the sibling ranks once its port is known. A
+      // supervised rank 0 (--port-fd) instead reports the port to its
+      // supervisor, which does the forking.
+      const bool launch = sc.dist.rank == 0 && !sc.dist.explicit_coordinator && !joiner &&
+                          port_fd < 0 && sc.dist.ranks > 1;
       world.emplace(wo, [&](uint16_t port) {
+        if (port_fd >= 0) {
+          const std::string line = std::to_string(port) + "\n";
+          (void)!write(port_fd, line.c_str(), line.size());
+          close(port_fd);
+        }
         if (!launch) return;
         for (int r = 1; r < sc.dist.ranks; ++r) {
           const pid_t pid = spawn_rank(argc, argv, r, sc.dist.ranks, port);
@@ -463,8 +567,14 @@ int main(int argc, char** argv) {
         eo.resume = sc.dist.resume;
         eo.drain = &g_drain;
         eo.control_timeout_seconds = sc.dist.collective_timeout;
-        if (!joiner && sc.dist.die_rank >= 0 && sc.dist.die_rank == sc.dist.rank)
+        if (!joiner && sc.dist.die_rank >= 0 && sc.dist.die_rank == sc.dist.rank) {
           eo.die_at_epoch = sc.dist.die_at_epoch;
+          // In a multi-process world "die" means PROCESS death: raise
+          // SIGKILL so the coordinator (in-process on rank 0) dies with the
+          // member, instead of a comm-only kill followed by a live process
+          // racing the survivors for the report file.
+          eo.die_sigkill = sc.dist.ranks > 1;
+        }
         if (!joiner && sc.dist.drop_conn_rank >= 0 && sc.dist.drop_conn_rank == sc.dist.rank)
           eo.drop_conn_at_epoch = sc.dist.drop_conn_at_epoch;
         sc.service.solve_fn = [&world, eo](const runtime::SolveRequest& req,
@@ -501,7 +611,12 @@ int main(int argc, char** argv) {
         dj["elastic"] = true;
         if (!sc.dist.ckpt_dir.empty()) dj["ckpt_dir"] = sc.dist.ckpt_dir;
         if (sc.dist.resume) dj["resumed"] = true;
+        if (sc.dist.standby) dj["standby"] = true;
+        if (world->promoted_from() >= 0) dj["promoted_from"] = world->promoted_from();
       }
+      // A participant promoted to coordinator host mid-hunt holds the
+      // merged world report — it writes --out in the dead rank 0's stead.
+      promoted_host = my_rank > 0 && world->is_host();
       doc["dist"] = std::move(dj);
       world->finalize();
     }
@@ -521,18 +636,20 @@ int main(int argc, char** argv) {
     waitpid(pid, &status, 0);
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
       if (elastic_run) {
-        std::fprintf(stderr, "note: a rank exited abnormally (status %d) — tolerated in elastic mode\n",
-                     status);
+        std::fprintf(stderr, "note: a launched rank died (%s) — tolerated in elastic mode\n",
+                     describe_exit(status).c_str());
       } else {
         child_failed = true;
-        std::fprintf(stderr, "error: a launched rank exited abnormally (status %d)\n", status);
+        std::fprintf(stderr, "error: a launched rank failed (%s)\n",
+                     describe_exit(status).c_str());
       }
     }
   }
 
   // Ranks > 0 are participants, not reporters: rank 0's report is the
-  // merged, authoritative one.
-  if (my_rank > 0) {
+  // merged, authoritative one — unless a failover made THIS participant
+  // the host, in which case it reports for the world.
+  if (my_rank > 0 && !promoted_host) {
     for (const auto& rep : reports)
       if (!rep.error.empty()) {
         std::fprintf(stderr, "rank %d error: %s\n", my_rank, rep.error.c_str());
